@@ -1,0 +1,89 @@
+"""Fig. 10 (final rule), Fig. 11 (deadness) and Fig. 14 (Init tearing, §6.4)."""
+
+from repro.core import FINAL_MODEL, FINAL_MODEL_STRONG_TEAR, ORIGINAL_MODEL
+from repro.core.events import Event, SEQCST, UNORDERED, make_init_event
+from repro.core.execution import CandidateExecution
+from repro.core.js_model import is_valid
+from repro.lang import outcome_allowed
+from repro.litmus.catalogue import fig14_init_tearing, fig8_sc_drf_violation
+from repro.search import semantically_dead, syntactically_dead
+
+from conftest import print_rows, run_once
+
+
+def _fig5_shape():
+    """WSC — WUn — RSC (Fig. 5): the shape the original rule wrongly forbids."""
+    init = make_init_event("b", 4)
+    w_sc = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 0, 0, 0))
+    w_un = Event(eid=2, tid=1, ord=UNORDERED, block="b", index=0, writes=(2, 0, 0, 0))
+    r_sc = Event(eid=3, tid=2, ord=SEQCST, block="b", index=0, reads=(1, 0, 0, 0))
+    return CandidateExecution.build(
+        events=[init, w_sc, w_un, r_sc],
+        rbf={(k, 1, 3) for k in range(4)},
+        tot=[0, 1, 2, 3],
+    )
+
+
+def _fig8_execution():
+    """The Fig. 8 execution: allowed by the original rule, dead under Fig. 10."""
+    init = make_init_event("b", 4)
+    a = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 0, 0, 0))
+    b = Event(eid=2, tid=1, ord=SEQCST, block="b", index=0, writes=(2, 0, 0, 0))
+    c = Event(eid=3, tid=1, ord=SEQCST, block="b", index=0, reads=(1, 0, 0, 0))
+    d = Event(eid=4, tid=1, ord=UNORDERED, block="b", index=0, reads=(2, 0, 0, 0))
+    return CandidateExecution.build(
+        events=[init, a, b, c, d],
+        sb=[(2, 3), (2, 4), (3, 4)],
+        rbf={(k, 1, 3) for k in range(4)} | {(k, 2, 4) for k in range(4)},
+        tot=[0, 2, 1, 3, 4],
+    )
+
+
+def test_fig10_weakens_and_strengthens_the_original_rule(benchmark):
+    """The final rule allows the Fig. 5 shape (ARMv8 fix) and kills Fig. 8 (SC-DRF fix)."""
+    fig5 = _fig5_shape()
+    fig8 = _fig8_execution()
+    final_allows_fig5 = run_once(benchmark, is_valid, fig5, FINAL_MODEL)
+    assert final_allows_fig5 and not is_valid(fig5, ORIGINAL_MODEL)
+    assert is_valid(fig8, ORIGINAL_MODEL) and semantically_dead(fig8, FINAL_MODEL)
+    print_rows(
+        "Fig. 10 vs the original rule",
+        [
+            "Fig. 5 shape: original forbids, final allows (weakening — ARMv8 fix)",
+            "Fig. 8 execution: original allows, final forbids for every tot (strengthening — SC-DRF fix)",
+        ],
+    )
+
+
+def _fig11_execution():
+    init = make_init_event("b", 4)
+    a = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 0, 0, 0))
+    b = Event(eid=2, tid=1, ord=UNORDERED, block="b", index=0, writes=(2, 0, 0, 0))
+    c = Event(eid=3, tid=1, ord=SEQCST, block="b", index=0, reads=(1, 0, 0, 0))
+    return CandidateExecution.build(
+        events=[init, a, b, c], sb=[(2, 3)], rbf={(k, 1, 3) for k in range(4)}, tot=[0, 1, 2, 3]
+    )
+
+
+def test_fig11_spurious_counterexample_filtered_by_deadness(benchmark):
+    execution = _fig11_execution()
+    dead = run_once(benchmark, semantically_dead, execution, ORIGINAL_MODEL)
+    assert not is_valid(execution, ORIGINAL_MODEL)   # the naive search would report it
+    assert not dead                                   # …but it is not a real counter-example
+    assert not syntactically_dead(execution, ORIGINAL_MODEL)
+    print_rows(
+        "Fig. 11: naive-search counter-example",
+        ["invalid under the picked tot", "not dead: filtered out by the §5.2 criterion"],
+    )
+
+
+def test_fig14_init_tearing_and_strong_rule(benchmark):
+    program = fig14_init_tearing().program
+    torn = {"0:r": 0x0001}
+    allowed_weak = run_once(benchmark, outcome_allowed, program, torn, FINAL_MODEL)
+    assert allowed_weak
+    assert not outcome_allowed(program, torn, FINAL_MODEL_STRONG_TEAR)
+    print_rows(
+        "Fig. 14: torn read mixing Init and a 16-bit store",
+        ["current Tear-Free Reads: allowed", "strong Tear-Free Reads (§6.4): forbidden"],
+    )

@@ -1,0 +1,30 @@
+"""Fig. 13 / §7 — wait/notify critical-section synchronisation."""
+
+from repro.lang import wait_notify_allowed_outcomes, wait_notify_outcome_allowed
+from repro.litmus.catalogue import fig13_wait_notify
+
+from conftest import print_rows, run_once
+
+
+def test_fig13_uncorrected_admits_both_bad_executions(benchmark):
+    program = fig13_wait_notify().program
+    outcomes = run_once(benchmark, wait_notify_allowed_outcomes, program, False)
+    stale = any(o.get("0:r0") == 0 for o in outcomes)
+    stuck = any("0:r0" not in o and o.get("1:r1") == 0 for o in outcomes)
+    assert stale and stuck
+    print_rows(
+        "Fig. 13 without critical-section synchronisation (uncorrected spec)",
+        ["Fig. 13b (woken waiter reads 0): allowed", "Fig. 13c (waiter stuck after notify): allowed"],
+    )
+
+
+def test_fig13_corrected_forbids_both(benchmark):
+    program = fig13_wait_notify().program
+    outcomes = run_once(benchmark, wait_notify_allowed_outcomes, program, True)
+    assert all(o.get("0:r0") == 42 for o in outcomes if "0:r0" in o)
+    assert all("0:r0" in o for o in outcomes)
+    assert not wait_notify_outcome_allowed(program, {"0:r0": 0}, corrected=True)
+    print_rows(
+        "Fig. 13 with the §7 additional-synchronizes-with edges",
+        ["the waiter always terminates and reads 42 " f"(outcomes: {sorted(tuple(sorted(o.items())) for o in outcomes)})"],
+    )

@@ -1,0 +1,32 @@
+"""Fig. 1/2 — message passing through a SeqCst flag (allowed / forbidden outcomes)."""
+
+from repro.core import FINAL_MODEL
+from repro.lang import allowed_outcomes, outcome_allowed, sc_outcomes
+from repro.litmus.catalogue import fig1_message_passing, fig1_relaxed_flag
+
+from conftest import print_rows, run_once
+
+
+def test_fig1_allowed_outcomes(benchmark):
+    program = fig1_message_passing().program
+    outcomes = run_once(benchmark, allowed_outcomes, program, FINAL_MODEL)
+    keyed = {tuple(sorted(o.items())) for o in outcomes}
+    assert (("1:r0", 5), ("1:r1", 3)) in keyed
+    assert (("1:r0", 0),) in keyed
+    assert (("1:r0", 5), ("1:r1", 0)) not in keyed
+    print_rows(
+        "Fig. 1: outcomes of message passing (final model)",
+        [dict(o) for o in sorted(outcomes, key=lambda o: sorted(o.items()))],
+    )
+
+
+def test_fig1_relaxed_flag_allows_stale_read(benchmark):
+    program = fig1_relaxed_flag().program
+    stale = {"1:r0": 5, "1:r1": 0}
+    observed = run_once(benchmark, outcome_allowed, program, stale, FINAL_MODEL)
+    assert observed
+    assert all(dict(o) != stale for o in sc_outcomes(program))
+    print_rows(
+        "Fig. 1 (non-atomic flag): the relaxed outcome appears",
+        [f"{stale} allowed = {observed} (never SC)"],
+    )

@@ -1,0 +1,49 @@
+"""Fig. 5/6 — the ARMv8 compilation-scheme violation of the original model (§3.1)."""
+
+from repro.armv8 import arm_operational_outcomes, arm_outcome_allowed
+from repro.compile import compile_program, find_compilation_violation
+from repro.core import ARMV8_FIX_MODEL, FINAL_MODEL, ORIGINAL_MODEL
+from repro.lang import outcome_allowed
+from repro.litmus.catalogue import fig6_armv8_violation
+
+from conftest import print_rows, run_once
+
+OUTCOME = {"0:r1": 1, "1:r2": 1}
+
+
+def test_fig6_forbidden_by_original_model(benchmark):
+    program = fig6_armv8_violation().program
+    allowed = run_once(benchmark, outcome_allowed, program, OUTCOME, ORIGINAL_MODEL)
+    assert not allowed
+    print_rows("Fig. 6 under the ES2019 model", [f"{OUTCOME}: forbidden"])
+
+
+def test_fig6_allowed_by_fixed_models(benchmark):
+    program = fig6_armv8_violation().program
+    allowed = run_once(benchmark, outcome_allowed, program, OUTCOME, FINAL_MODEL)
+    assert allowed
+    assert outcome_allowed(program, OUTCOME, ARMV8_FIX_MODEL)
+    print_rows("Fig. 6 under the corrected models", [f"{OUTCOME}: allowed"])
+
+
+def test_fig6_allowed_by_armv8_for_compiled_program(benchmark):
+    compiled = compile_program(fig6_armv8_violation().program)
+    allowed = run_once(benchmark, arm_outcome_allowed, compiled.arm, OUTCOME)
+    assert allowed
+    operational = arm_operational_outcomes(compiled.arm)
+    assert any(all(o.get(k) == v for k, v in OUTCOME.items()) for o in operational)
+    print_rows(
+        "Fig. 6b compiled to ARMv8 (ldar/stlr scheme)",
+        ["axiomatic model: allowed", "operational (Flat-substitute) model: allowed"],
+    )
+
+
+def test_fig6_is_a_compilation_counterexample(benchmark):
+    program = fig6_armv8_violation().program
+    violation = run_once(benchmark, find_compilation_violation, program, ORIGINAL_MODEL)
+    assert violation is not None
+    assert violation.event_count == 6 and violation.byte_location_count == 2
+    print_rows(
+        "Compilation counter-example against the ES2019 model",
+        [f"{violation.event_count} events, {violation.byte_location_count} byte locations (paper: 6 / 2)"],
+    )

@@ -1,0 +1,31 @@
+"""Fig. 7/8 — the SC-DRF violation of the original model and its repair (§3.2)."""
+
+from repro.core import FINAL_MODEL, ORIGINAL_MODEL
+from repro.lang import non_sc_outcomes, program_is_data_race_free
+from repro.litmus.catalogue import fig8_sc_drf_violation
+
+from conftest import print_rows, run_once
+
+
+def test_fig8_is_data_race_free(benchmark):
+    program = fig8_sc_drf_violation().program
+    drf = run_once(benchmark, program_is_data_race_free, program, ORIGINAL_MODEL)
+    assert drf
+    print_rows("Fig. 8 data-race freedom", ["data-race-free under the Fig. 7 definition"])
+
+
+def test_fig8_non_sc_outcome_under_original_model(benchmark):
+    program = fig8_sc_drf_violation().program
+    weird = run_once(benchmark, non_sc_outcomes, program, ORIGINAL_MODEL)
+    assert {"1:r0": 1, "1:r1": 2} in weird
+    print_rows(
+        "Fig. 8 under the ES2019 model",
+        [f"non-SC outcomes allowed: {weird} (SC-DRF violated)"],
+    )
+
+
+def test_fig8_sc_drf_restored_by_final_model(benchmark):
+    program = fig8_sc_drf_violation().program
+    weird = run_once(benchmark, non_sc_outcomes, program, FINAL_MODEL)
+    assert weird == []
+    print_rows("Fig. 8 under the corrected model", ["no non-SC outcome (SC-DRF restored)"])

@@ -1,0 +1,45 @@
+"""Theorem 6.3 / Fig. 12 — uni-size compilation to x86-TSO, POWER, RISC-V, ARMv7, ARMv8."""
+
+from repro.core import FINAL_MODEL, check_unisize_reduction, exists_valid_total_order
+from repro.imm import check_unisize_compilation
+from repro.lang import ground_executions
+from repro.litmus.catalogue import (
+    fig1_message_passing,
+    load_buffering,
+    message_passing,
+    store_buffering,
+    two_plus_two_w,
+)
+
+from conftest import print_rows, run_once
+
+PROGRAMS = [
+    fig1_message_passing().program,
+    store_buffering(True).program,
+    store_buffering(False).program,
+    load_buffering(True).program,
+    message_passing(True, False).program,
+    two_plus_two_w(True).program,
+]
+
+
+def test_thm63_unisize_compilation_all_targets(benchmark):
+    report = run_once(benchmark, check_unisize_compilation, PROGRAMS, FINAL_MODEL)
+    assert report.correct
+    assert set(report.per_architecture) == {"x86-tso", "power", "riscv", "armv7", "armv8"}
+    print_rows("Theorem 6.3: uni-size compilation (bounded)", report.summary_lines())
+
+
+def test_fig12_reduction_theorem(benchmark):
+    def gather():
+        executions = []
+        for program in PROGRAMS[:3]:
+            for ground in ground_executions(program):
+                tot = exists_valid_total_order(ground.execution, FINAL_MODEL)
+                witness = tot if tot is not None else tuple(sorted(ground.execution.eids))
+                executions.append(ground.execution.with_witness(tot=witness))
+        return check_unisize_reduction(executions, FINAL_MODEL)
+
+    report = run_once(benchmark, gather)
+    assert report.holds
+    print_rows("Fig. 12: mixed-size / uni-size reduction (bounded)", [report.summary()])

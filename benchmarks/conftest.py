@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one row/figure of the paper's evaluation (see
+DESIGN.md's per-experiment index) and asserts the qualitative result — who
+wins, what is allowed/forbidden — while pytest-benchmark records the cost of
+the underlying model-checking run.  Each benchmark runs its workload once
+(``rounds=1``): the workloads are exhaustive enumerations, so repeated
+timing adds nothing but wall-clock.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with a single round and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_rows(title, rows):
+    """Print a small result table under a header (the 'regenerated figure')."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   ", row)

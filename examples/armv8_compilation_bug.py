@@ -1,0 +1,64 @@
+"""Reproduce the paper's headline finding: the ARMv8 compilation-scheme violation (§3.1).
+
+The script follows the Fig. 6 story end to end:
+
+1. the JavaScript program whose outcome ``r1 = 1 ∧ r2 = 1`` the ES2019
+   (original) memory model forbids;
+2. its compilation to ARMv8 under the V8 scheme (``Atomics`` → ``ldar``/
+   ``stlr``, plain accesses → ``ldr``/``str``);
+3. evidence that ARMv8 allows the outcome — from both the mixed-size
+   axiomatic model and the Flat-style operational model (the paper's
+   hardware observation plays this role);
+4. the repaired (TC39-adopted) model allowing the outcome, and the bounded
+   compilation-correctness check passing for it (§5.3).
+
+Run with:  python examples/armv8_compilation_bug.py
+"""
+
+from repro.armv8 import arm_operational_outcomes, arm_outcome_allowed
+from repro.compile import check_program_compilation, compile_program, find_compilation_violation
+from repro.core import ARMV8_FIX_MODEL, FINAL_MODEL, ORIGINAL_MODEL
+from repro.lang import outcome_allowed
+from repro.litmus.catalogue import fig6_armv8_violation
+
+
+def main() -> None:
+    test = fig6_armv8_violation()
+    program = test.program
+    outcome = {"0:r1": 1, "1:r2": 1}
+
+    print(program.describe())
+    print(f"\nQuestioned outcome: {outcome}")
+
+    print("\n[1] JavaScript model verdicts")
+    print("    ES2019 (original) model :", "allowed" if outcome_allowed(program, outcome, ORIGINAL_MODEL) else "forbidden")
+    print("    ARMv8-fix model         :", "allowed" if outcome_allowed(program, outcome, ARMV8_FIX_MODEL) else "forbidden")
+    print("    final (TC39) model      :", "allowed" if outcome_allowed(program, outcome, FINAL_MODEL) else "forbidden")
+
+    print("\n[2] Compilation to ARMv8 (V8 scheme)")
+    compiled = compile_program(program)
+    for tid, thread in enumerate(compiled.arm.threads):
+        mnemonics = ", ".join(
+            getattr(i, "mnemonic", lambda: "ctrl")() for i in thread.instructions
+        )
+        print(f"    Thread {tid}: {mnemonics}")
+
+    print("\n[3] Does ARMv8 allow the compiled outcome?")
+    arm_spec = {"0:r1": 1, "1:r2": 1}
+    print("    axiomatic model   :", arm_outcome_allowed(compiled.arm, arm_spec))
+    operational = arm_operational_outcomes(compiled.arm)
+    print("    operational model :", any(
+        all(o.get(k) == v for k, v in arm_spec.items()) for o in operational
+    ))
+
+    print("\n[4] Compilation-scheme correctness (bounded check, §5.3)")
+    violation = find_compilation_violation(program, ORIGINAL_MODEL)
+    print("    against the original model :",
+          f"VIOLATED — counter-example with {violation.event_count} events, "
+          f"{violation.byte_location_count} byte locations" if violation else "correct")
+    result = check_program_compilation(program, FINAL_MODEL)
+    print("    against the final model    :", result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that editable installs work on environments without the ``wheel``
+package (offline CI containers), where pip falls back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

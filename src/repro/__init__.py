@@ -1,0 +1,33 @@
+"""repro — a reproduction of "Repairing and Mechanising the JavaScript Relaxed Memory Model".
+
+The package is organised as in DESIGN.md:
+
+* :mod:`repro.core`    — the JavaScript axiomatic memory model (original,
+  corrected, uni-size) and its meta-theory;
+* :mod:`repro.lang`    — the litmus-program fragment, its thread-local
+  semantics, candidate-execution enumeration and the SC oracle;
+* :mod:`repro.armv8`   — the mixed-size ARMv8 axiomatic model and a
+  Flat-style operational model used to validate it;
+* :mod:`repro.compile` — the JS → ARMv8 compilation scheme, the translation
+  relation on executions and the bounded correctness checker;
+* :mod:`repro.search`  — the Alloy-substitute bounded counter-example search
+  (ARMv8-compilation and SC-DRF violations, deadness);
+* :mod:`repro.imm`     — the uni-size IMM-style intermediate model and the
+  x86-TSO / POWER / RISC-V / ARMv7 / ARMv8 targets;
+* :mod:`repro.litmus`  — the litmus-test catalogue, generator and runner.
+"""
+
+__version__ = "1.0.0"
+
+from . import armv8, compile, core, imm, lang, litmus, search
+
+__all__ = [
+    "armv8",
+    "compile",
+    "core",
+    "imm",
+    "lang",
+    "litmus",
+    "search",
+    "__version__",
+]

@@ -1,0 +1,635 @@
+"""The mixed-size ARMv8 axiomatic concurrency model (§4).
+
+This is a byte-wise generalisation of ARM's reference axiomatic model
+(Deacon's ``aarch64.cat``, as simplified by Pulte et al. [2018]) in the
+direction the paper describes: accesses are ranges of bytes, ``reads-from``
+and the coherence order are per-byte relations, and the event-level
+relations the reference model's axioms consult (``rfe``, ``fre``, ``coe``,
+``po-loc``) are obtained by projecting the byte-wise relations.
+
+The three axioms of the reference model keep their shape:
+
+* **internal** ("sc per location"), checked per byte:
+  ``acyclic(po-loc_k ∪ co_k ∪ fr_k ∪ rf_k)`` for every byte ``k``;
+* **atomic**: no write by another thread intervenes, on any byte, between a
+  successful exclusive pair (``rmw ∩ (fre; coe) = ∅``);
+* **external**: ``acyclic(obs ∪ dob ∪ aob ∪ bob)`` — the ordered-before
+  acyclicity over observed-by, dependency-ordered-before, atomic-ordered-
+  before and barrier-ordered-before.
+
+Where the architecture's mixed-size behaviour is still under discussion the
+paper (and we) choose the weaker reading, so the model may admit behaviours
+a future architecture text forbids; what matters for compilation-scheme
+correctness is that it is not *stronger* than the hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.relations import Relation
+from .events import ArmEvent, ArmEventKind, BarrierKind, make_arm_init
+from .program import (
+    ArmEventTemplate,
+    ArmLocalPath,
+    ArmProgram,
+    ArmTemplateKey,
+    arm_program_paths,
+)
+
+ArmRbfTriple = Tuple[int, int, int]
+ArmOutcome = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ArmExecution:
+    """A complete ARMv8 candidate execution with its execution witness.
+
+    ``rbf`` is the byte-wise reads-from; ``co_by_byte`` maps each byte
+    location to the coherence order (a tuple of writer eids, initial write
+    first) of the writes covering it.
+    """
+
+    events: Tuple[ArmEvent, ...]
+    po: Relation
+    addr: Relation = field(default_factory=Relation)
+    data: Relation = field(default_factory=Relation)
+    ctrl: Relation = field(default_factory=Relation)
+    rmw: Relation = field(default_factory=Relation)
+    rbf: FrozenSet[ArmRbfTriple] = frozenset()
+    co_by_byte: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+
+    # -- lookups -------------------------------------------------------------
+
+    def event(self, eid: int) -> ArmEvent:
+        for event in self.events:
+            if event.eid == eid:
+                return event
+        raise KeyError(f"no ARM event with eid {eid}")
+
+    def memory_events(self) -> Tuple[ArmEvent, ...]:
+        return tuple(e for e in self.events if e.is_memory)
+
+    def reads(self) -> Tuple[ArmEvent, ...]:
+        return tuple(e for e in self.events if e.is_read)
+
+    def writes(self) -> Tuple[ArmEvent, ...]:
+        return tuple(e for e in self.events if e.is_write)
+
+    def coherence(self) -> Dict[int, Tuple[int, ...]]:
+        return dict(self.co_by_byte)
+
+    # -- byte-wise relations ----------------------------------------------------
+
+    def rf_at(self, k: int) -> Relation:
+        """Reads-from restricted to byte ``k``."""
+        return Relation({(w, r) for (kk, w, r) in self.rbf if kk == k})
+
+    def co_at(self, k: int) -> Relation:
+        """Coherence order restricted to byte ``k``."""
+        order = self.coherence().get(k, ())
+        return Relation.from_total_order(order)
+
+    def fr_at(self, k: int) -> Relation:
+        """From-read at byte ``k``: the read is before every coherence-later write."""
+        co = self.co_at(k)
+        pairs = set()
+        for (kk, w, r) in self.rbf:
+            if kk != k:
+                continue
+            for (_w, later) in co:
+                if _w == w:
+                    pairs.add((r, later))
+        return pairs and Relation(pairs) or Relation()
+
+    def bytes_accessed(self) -> FrozenSet[int]:
+        locations: Set[int] = set()
+        for event in self.memory_events():
+            locations.update(event.footprint)
+        return frozenset(locations)
+
+    # -- event-level projections -------------------------------------------------
+
+    def reads_from(self) -> Relation:
+        return Relation({(w, r) for (_k, w, r) in self.rbf})
+
+    def _split_internal(self, relation: Relation) -> Tuple[Relation, Relation]:
+        internal = []
+        external = []
+        for (a, b) in relation:
+            if self.event(a).tid == self.event(b).tid:
+                internal.append((a, b))
+            else:
+                external.append((a, b))
+        return Relation(internal), Relation(external)
+
+    def rf_internal_external(self) -> Tuple[Relation, Relation]:
+        return self._split_internal(self.reads_from())
+
+    def coherence_relation(self) -> Relation:
+        pairs = set()
+        for _k, order in self.co_by_byte:
+            pairs.update(Relation.from_total_order(order).pairs)
+        return Relation(pairs)
+
+    def from_read_relation(self) -> Relation:
+        pairs = set()
+        for k in self.bytes_accessed():
+            pairs.update(self.fr_at(k).pairs)
+        return Relation(pairs)
+
+    # -- reference-model relations -------------------------------------------------
+
+    def obs(self) -> Relation:
+        """``obs = rfe ∪ fre ∪ coe`` (external observations)."""
+        _rfi, rfe = self.rf_internal_external()
+        _coi, coe = self._split_internal(self.coherence_relation())
+        _fri, fre = self._split_internal(self.from_read_relation())
+        return rfe.union(fre, coe)
+
+    def _selector(self, predicate) -> FrozenSet[int]:
+        return frozenset(e.eid for e in self.events if predicate(e))
+
+    def dob(self) -> Relation:
+        """Dependency-ordered-before."""
+        writes = self._selector(lambda e: e.is_write)
+        reads = self._selector(lambda e: e.is_read)
+        isb = self._selector(lambda e: e.is_fence and e.barrier is BarrierKind.ISB)
+        rfi, _rfe = self.rf_internal_external()
+        dep = self.addr.union(self.data)
+
+        parts = [
+            self.addr,
+            self.data,
+            self.ctrl.restrict(codomain=writes),
+            self.ctrl.compose(Relation.identity(isb)).compose(self.po).restrict(
+                codomain=reads
+            ),
+            self.addr.compose(self.po).restrict(codomain=writes),
+            dep.compose(rfi),
+        ]
+        return Relation().union(*parts)
+
+    def aob(self) -> Relation:
+        """Atomic-ordered-before: the exclusive pair plus its forwarding edge."""
+        rfi, _rfe = self.rf_internal_external()
+        exclusive_writes = self._selector(lambda e: e.is_write and e.exclusive)
+        acquires = self._selector(lambda e: e.is_read and e.acquire)
+        forwarded = (
+            Relation.identity(exclusive_writes)
+            .compose(rfi)
+            .restrict(codomain=acquires)
+        )
+        return self.rmw.union(forwarded)
+
+    def bob(self) -> Relation:
+        """Barrier-ordered-before."""
+        memory = self._selector(lambda e: e.is_memory)
+        reads = self._selector(lambda e: e.is_read)
+        writes = self._selector(lambda e: e.is_write)
+        acquires = self._selector(lambda e: e.is_acquire)
+        releases = self._selector(lambda e: e.is_release)
+        dmb_full = self._selector(
+            lambda e: e.is_fence and e.barrier is BarrierKind.FULL
+        )
+        dmb_ld = self._selector(lambda e: e.is_fence and e.barrier is BarrierKind.LD)
+        dmb_st = self._selector(lambda e: e.is_fence and e.barrier is BarrierKind.ST)
+        po = self.po
+
+        def chain(dom, mids, cod) -> Relation:
+            first = po.restrict(domain=dom, codomain=mids)
+            second = po.restrict(domain=mids, codomain=cod)
+            return first.compose(second)
+
+        parts = [
+            chain(memory, dmb_full, memory),
+            chain(reads, dmb_ld, memory),
+            chain(writes, dmb_st, writes),
+            po.restrict(domain=releases, codomain=acquires),
+            po.restrict(domain=acquires, codomain=memory),
+            po.restrict(domain=memory, codomain=releases),
+        ]
+        return Relation().union(*parts)
+
+    def ordered_before(self) -> Relation:
+        """``ob = obs ∪ dob ∪ aob ∪ bob`` (external visibility requirement)."""
+        return self.obs().union(self.dob(), self.aob(), self.bob())
+
+    # -- rendering ----------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = ["ArmExecution:"]
+        for event in sorted(self.events, key=lambda e: (e.tid, e.eid)):
+            lines.append(f"  {event.describe()}  (tid={event.tid})")
+        lines.append(f"  po:  {sorted(self.po.pairs)}")
+        lines.append(f"  rbf: {sorted(self.rbf)}")
+        lines.append(f"  co:  {dict(self.co_by_byte)}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# validity
+# ---------------------------------------------------------------------------
+
+
+def arm_internal_consistent(execution: ArmExecution) -> bool:
+    """The per-byte SC-per-location ("internal visibility") requirement."""
+    for k in execution.bytes_accessed():
+        accessors = frozenset(
+            e.eid for e in execution.memory_events() if k in e.footprint
+        )
+        po_loc = execution.po.restrict(domain=accessors, codomain=accessors)
+        combined = po_loc.union(
+            execution.co_at(k), execution.fr_at(k), execution.rf_at(k)
+        )
+        if not combined.is_acyclic():
+            return False
+    return True
+
+
+def arm_atomicity_holds(execution: ArmExecution) -> bool:
+    """No foreign write intervenes inside a successful exclusive pair."""
+    for (lr, sw) in execution.rmw:
+        load = execution.event(lr)
+        store = execution.event(sw)
+        for k in set(load.footprint) & set(store.footprint):
+            fr_k = execution.fr_at(k)
+            co_k = execution.co_at(k)
+            for (_r, intervener) in fr_k:
+                if _r != lr:
+                    continue
+                other = execution.event(intervener)
+                if other.tid == load.tid:
+                    continue
+                if (intervener, sw) in co_k:
+                    return False
+    return True
+
+
+def arm_external_consistent(execution: ArmExecution) -> bool:
+    """The ordered-before acyclicity (external visibility requirement)."""
+    return execution.ordered_before().is_acyclic()
+
+
+def arm_is_valid(execution: ArmExecution) -> bool:
+    """Is the execution allowed by the mixed-size ARMv8 axiomatic model?"""
+    return (
+        arm_internal_consistent(execution)
+        and arm_atomicity_holds(execution)
+        and arm_external_consistent(execution)
+    )
+
+
+def arm_violations(execution: ArmExecution) -> List[str]:
+    """The names of the violated axioms (diagnostics)."""
+    violations = []
+    if not arm_internal_consistent(execution):
+        violations.append("internal")
+    if not arm_atomicity_holds(execution):
+        violations.append("atomic")
+    if not arm_external_consistent(execution):
+        violations.append("external")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# grounding ARM programs into candidate executions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArmPreExecution:
+    """One path combination with event identifiers and static relations."""
+
+    program: ArmProgram
+    paths: Tuple[ArmLocalPath, ...]
+    init_event: ArmEvent
+    templates: Tuple[ArmEventTemplate, ...]
+    eid_of: Dict[ArmTemplateKey, int]
+    po: Relation
+    addr: Relation
+    data: Relation
+    ctrl: Relation
+    rmw: Relation
+
+
+@dataclass(frozen=True)
+class ArmGroundExecution:
+    """A concrete ARM execution together with its final register values.
+
+    ``pre`` points back to the pre-execution it was grounded from; runs of
+    the operational model reconstruct their execution directly from the
+    trace and leave it ``None``.
+    """
+
+    execution: ArmExecution
+    outcome: ArmOutcome
+    pre: Optional[ArmPreExecution] = None
+
+
+def arm_pre_executions(program: ArmProgram) -> Iterator[ArmPreExecution]:
+    """One pre-execution per combination of per-thread control-flow paths."""
+    for paths in arm_program_paths(program):
+        init = make_arm_init(program.memory_size, eid=0)
+        next_eid = 1
+        eid_of: Dict[ArmTemplateKey, int] = {}
+        templates: List[ArmEventTemplate] = []
+        po_pairs: List[Tuple[int, int]] = []
+        data_pairs: List[Tuple[int, int]] = []
+        ctrl_pairs: List[Tuple[int, int]] = []
+        rmw_pairs: List[Tuple[int, int]] = []
+        for path in paths:
+            thread_eids: List[int] = []
+            for template in path.templates:
+                templates.append(template)
+                eid_of[template.key] = next_eid
+                thread_eids.append(next_eid)
+                next_eid += 1
+            for i, a in enumerate(thread_eids):
+                for b in thread_eids[i + 1:]:
+                    po_pairs.append((a, b))
+        for template in templates:
+            eid = eid_of[template.key]
+            for source in template.data_sources:
+                data_pairs.append((eid_of[source], eid))
+            for source in template.ctrl_sources:
+                ctrl_pairs.append((eid_of[source], eid))
+            if template.rmw_partner is not None:
+                rmw_pairs.append((eid_of[template.rmw_partner], eid))
+        yield ArmPreExecution(
+            program=program,
+            paths=paths,
+            init_event=init,
+            templates=tuple(templates),
+            eid_of=eid_of,
+            po=Relation(po_pairs),
+            addr=Relation(),
+            data=Relation(data_pairs),
+            ctrl=Relation(ctrl_pairs),
+            rmw=Relation(rmw_pairs),
+        )
+
+
+def _arm_writers_by_byte(pre: ArmPreExecution) -> Dict[int, List[int]]:
+    writers: Dict[int, List[int]] = {}
+    for k in pre.init_event.footprint:
+        writers.setdefault(k, []).append(pre.init_event.eid)
+    for template in pre.templates:
+        if not template.is_write:
+            continue
+        eid = pre.eid_of[template.key]
+        for k in template.footprint():
+            writers.setdefault(k, []).append(eid)
+    return writers
+
+
+def _arm_resolve_values(
+    pre: ArmPreExecution, assignment: Dict[Tuple[int, int], int]
+) -> Optional[Tuple[Dict[ArmTemplateKey, Tuple[int, ...]], Dict[ArmTemplateKey, Tuple[int, ...]]]]:
+    """Resolve read/write byte values; ``None`` on cyclic value dependencies."""
+    write_bytes: Dict[int, Tuple[int, ...]] = {
+        pre.init_event.eid: pre.init_event.data
+    }
+    write_start: Dict[int, int] = {pre.init_event.eid: pre.init_event.addr}
+    read_bytes: Dict[ArmTemplateKey, Tuple[int, ...]] = {}
+    read_values: Dict[ArmTemplateKey, int] = {}
+    out_bytes: Dict[ArmTemplateKey, Tuple[int, ...]] = {}
+
+    templates = {t.key: t for t in pre.templates if t.is_memory}
+    for template in templates.values():
+        if template.is_write:
+            write_start[pre.eid_of[template.key]] = template.addr
+
+    pending = set(templates)
+    progress = True
+    while pending and progress:
+        progress = False
+        for key in list(pending):
+            template = templates[key]
+            eid = pre.eid_of[key]
+            if template.is_read and key not in read_bytes:
+                data: List[int] = []
+                complete = True
+                for k in template.footprint():
+                    writer = assignment[(k, eid)]
+                    if writer not in write_bytes:
+                        complete = False
+                        break
+                    data.append(write_bytes[writer][k - write_start[writer]])
+                if complete:
+                    resolved = tuple(data)
+                    read_bytes[key] = resolved
+                    read_values[key] = int.from_bytes(bytes(resolved), "little")
+                    progress = True
+            if template.is_write and key not in out_bytes:
+                spec = template.write_spec
+                assert spec is not None
+                value: Optional[int] = None
+                if spec.kind == "const":
+                    value = spec.payload
+                elif spec.kind == "copy":
+                    assert spec.source is not None
+                    if spec.source in read_values:
+                        value = read_values[spec.source] + spec.add_immediate
+                if value is not None:
+                    mask = (1 << (8 * template.size)) - 1
+                    out_bytes[key] = tuple(
+                        (value & mask).to_bytes(template.size, "little")
+                    )
+                    write_bytes[eid] = out_bytes[key]
+                    progress = True
+            done_r = (not template.is_read) or key in read_bytes
+            done_w = (not template.is_write) or key in out_bytes
+            if done_r and done_w:
+                pending.discard(key)
+    if pending:
+        return None
+    return read_bytes, out_bytes
+
+
+def _arm_constraints_ok(
+    pre: ArmPreExecution, read_bytes: Dict[ArmTemplateKey, Tuple[int, ...]]
+) -> bool:
+    for path in pre.paths:
+        for constraint in path.constraints:
+            data = read_bytes[constraint.source]
+            value = int.from_bytes(bytes(data), "little")
+            if constraint.equal and value != constraint.constant:
+                return False
+            if not constraint.equal and value == constraint.constant:
+                return False
+    return True
+
+
+def _arm_build_events(
+    pre: ArmPreExecution,
+    read_bytes: Dict[ArmTemplateKey, Tuple[int, ...]],
+    out_bytes: Dict[ArmTemplateKey, Tuple[int, ...]],
+) -> List[ArmEvent]:
+    events: List[ArmEvent] = [pre.init_event]
+    for template in pre.templates:
+        eid = pre.eid_of[template.key]
+        if template.kind is ArmEventKind.FENCE:
+            events.append(
+                ArmEvent(
+                    eid=eid,
+                    tid=template.tid,
+                    kind=ArmEventKind.FENCE,
+                    barrier=template.barrier,
+                )
+            )
+            continue
+        data = (
+            read_bytes[template.key]
+            if template.is_read
+            else out_bytes[template.key]
+        )
+        events.append(
+            ArmEvent(
+                eid=eid,
+                tid=template.tid,
+                kind=template.kind,
+                addr=template.addr,
+                data=tuple(data),
+                acquire=template.acquire,
+                release=template.release,
+                exclusive=template.exclusive,
+            )
+        )
+    return events
+
+
+def _coherence_choices(
+    pre: ArmPreExecution, group_coherence: bool
+) -> Iterator[Dict[int, Tuple[int, ...]]]:
+    """Enumerate coherence orders, optionally sharing one order per writer-set group.
+
+    With ``group_coherence=True`` every byte written by the same set of
+    events uses the same order; this loses some per-byte coherence diversity
+    (only relevant to tearing behaviours) but keeps the enumeration small.
+    """
+    writers = _arm_writers_by_byte(pre)
+    init_eid = pre.init_event.eid
+    if group_coherence:
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for k, ws in writers.items():
+            groups.setdefault(tuple(sorted(ws)), []).append(k)
+        group_list = list(groups.items())
+        per_group_orders = []
+        for ws, _bytes in group_list:
+            others = [w for w in ws if w != init_eid]
+            per_group_orders.append(
+                [(init_eid,) + perm for perm in itertools.permutations(others)]
+            )
+        for combo in itertools.product(*per_group_orders):
+            choice: Dict[int, Tuple[int, ...]] = {}
+            for (ws, byte_locations), order in zip(group_list, combo):
+                for k in byte_locations:
+                    choice[k] = tuple(w for w in order if w in ws)
+            yield choice
+    else:
+        byte_list = sorted(writers)
+        per_byte_orders = []
+        for k in byte_list:
+            others = [w for w in writers[k] if w != init_eid]
+            per_byte_orders.append(
+                [(init_eid,) + perm for perm in itertools.permutations(others)]
+            )
+        for combo in itertools.product(*per_byte_orders):
+            yield dict(zip(byte_list, combo))
+
+
+def _arm_outcome(
+    pre: ArmPreExecution, read_bytes: Dict[ArmTemplateKey, Tuple[int, ...]]
+) -> ArmOutcome:
+    outcome: ArmOutcome = {}
+    for path in pre.paths:
+        for register, key in path.registers:
+            if key in read_bytes:
+                outcome[f"{path.tid}:{register}"] = int.from_bytes(
+                    bytes(read_bytes[key]), "little"
+                )
+    return outcome
+
+
+def arm_ground_executions(
+    program: ArmProgram,
+    group_coherence: bool = True,
+) -> Iterator[ArmGroundExecution]:
+    """Every concrete candidate execution (rbf and coherence chosen) of the program."""
+    for pre in arm_pre_executions(program):
+        writers = _arm_writers_by_byte(pre)
+        read_slots: List[Tuple[int, int]] = []
+        slot_choices: List[List[int]] = []
+        for template in pre.templates:
+            if not template.is_read:
+                continue
+            eid = pre.eid_of[template.key]
+            for k in template.footprint():
+                candidates = [w for w in writers.get(k, []) if w != eid]
+                read_slots.append((k, eid))
+                slot_choices.append(candidates)
+        if any(not c for c in slot_choices):
+            continue
+        for combo in itertools.product(*slot_choices):
+            assignment = dict(zip(read_slots, combo))
+            resolved = _arm_resolve_values(pre, assignment)
+            if resolved is None:
+                continue
+            read_bytes, out_bytes = resolved
+            if not _arm_constraints_ok(pre, read_bytes):
+                continue
+            events = _arm_build_events(pre, read_bytes, out_bytes)
+            rbf = frozenset(
+                (k, writer, reader) for ((k, reader), writer) in assignment.items()
+            )
+            outcome = _arm_outcome(pre, read_bytes)
+            for coherence in _coherence_choices(pre, group_coherence):
+                execution = ArmExecution(
+                    events=tuple(events),
+                    po=pre.po,
+                    addr=pre.addr,
+                    data=pre.data,
+                    ctrl=pre.ctrl,
+                    rmw=pre.rmw,
+                    rbf=rbf,
+                    co_by_byte=tuple(sorted(coherence.items())),
+                )
+                yield ArmGroundExecution(execution=execution, outcome=outcome, pre=pre)
+
+
+def arm_allowed_executions(
+    program: ArmProgram, group_coherence: bool = True
+) -> Iterator[ArmGroundExecution]:
+    """The model-allowed executions of an ARM program."""
+    for ground in arm_ground_executions(program, group_coherence=group_coherence):
+        if arm_is_valid(ground.execution):
+            yield ground
+
+
+def arm_allowed_outcomes(
+    program: ArmProgram, group_coherence: bool = True
+) -> List[ArmOutcome]:
+    """The distinct register outcomes allowed by the axiomatic model."""
+    seen = set()
+    outcomes: List[ArmOutcome] = []
+    for ground in arm_allowed_executions(program, group_coherence=group_coherence):
+        key = tuple(sorted(ground.outcome.items()))
+        if key not in seen:
+            seen.add(key)
+            outcomes.append(ground.outcome)
+    return outcomes
+
+
+def arm_outcome_allowed(
+    program: ArmProgram, spec: Mapping[str, int], group_coherence: bool = True
+) -> bool:
+    """Is some allowed execution's outcome consistent with ``spec``?"""
+    for ground in arm_ground_executions(program, group_coherence=group_coherence):
+        if any(ground.outcome.get(k) != v for k, v in spec.items()):
+            continue
+        if arm_is_valid(ground.execution):
+            return True
+    return False

@@ -1,0 +1,153 @@
+"""Events of the mixed-size ARMv8 axiomatic model (§4).
+
+ARMv8 candidate executions are made of memory read/write events and barrier
+events.  Unlike the JavaScript events of :mod:`repro.core.events`, ARM
+events carry the architectural access attributes that the axiomatic model
+consults: acquire (``ldar``/``ldaxr``), release (``stlr``/``stlxr``) and
+exclusive (``ldxr``/``stxr`` families), plus the barrier kind for ``dmb``
+events.  Accesses are byte-ranged, exactly as in the JavaScript model —
+this is the mixed-size generalisation of ARM's reference model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+
+class ArmEventKind(enum.Enum):
+    """The kind of an ARMv8 event."""
+
+    READ = "R"
+    WRITE = "W"
+    FENCE = "F"
+
+
+class BarrierKind(enum.Enum):
+    """The flavour of a ``dmb`` barrier event."""
+
+    FULL = "dmb.sy"
+    LD = "dmb.ld"
+    ST = "dmb.st"
+    ISB = "isb"
+
+
+@dataclass(frozen=True)
+class ArmEvent:
+    """One event of an ARMv8 candidate execution."""
+
+    eid: int
+    tid: int
+    kind: ArmEventKind
+    addr: int = 0
+    data: Tuple[int, ...] = ()
+    acquire: bool = False
+    release: bool = False
+    exclusive: bool = False
+    barrier: Optional[BarrierKind] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ArmEventKind.FENCE:
+            if self.barrier is None:
+                raise ValueError(f"event {self.eid}: fence without a barrier kind")
+        else:
+            if not self.data:
+                raise ValueError(f"event {self.eid}: memory event without data")
+            for byte in self.data:
+                if not 0 <= byte <= 0xFF:
+                    raise ValueError(f"event {self.eid}: byte {byte} out of range")
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is ArmEventKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is ArmEventKind.WRITE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is not ArmEventKind.FENCE
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind is ArmEventKind.FENCE
+
+    @property
+    def is_acquire(self) -> bool:
+        """``A`` in the reference model: a load-acquire."""
+        return self.is_read and self.acquire
+
+    @property
+    def is_release(self) -> bool:
+        """``L`` in the reference model: a store-release."""
+        return self.is_write and self.release
+
+    @property
+    def is_init(self) -> bool:
+        """The initialising write uses thread identifier ``-1``."""
+        return self.is_write and self.tid == -1
+
+    # -- footprint -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def footprint(self) -> range:
+        """The byte locations accessed."""
+        if not self.is_memory:
+            return range(0)
+        return range(self.addr, self.addr + self.size)
+
+    def overlaps(self, other: "ArmEvent") -> bool:
+        """Do the two events access at least one common byte?"""
+        if not (self.is_memory and other.is_memory):
+            return False
+        a, b = self.footprint, other.footprint
+        return a.start < b.stop and b.start < a.stop
+
+    def byte(self, location: int) -> int:
+        """The byte value read/written at absolute ``location``."""
+        if location not in self.footprint:
+            raise KeyError(f"event {self.eid} does not access byte {location}")
+        return self.data[location - self.addr]
+
+    def value(self) -> int:
+        """The access value as a little-endian unsigned integer."""
+        return int.from_bytes(bytes(self.data), "little")
+
+    def describe(self) -> str:
+        """Compact rendering in the style of the paper's Fig. 6b."""
+        name = self.label or f"e{self.eid}"
+        if self.is_fence:
+            return f"{name}: {self.barrier.value}"
+        flags = ""
+        if self.is_read:
+            flags = "acq" if self.acquire else ""
+        else:
+            flags = "rel" if self.release else ""
+        if self.exclusive:
+            flags += "x"
+        lo, hi = self.footprint.start, self.footprint.stop - 1
+        kind = "R" if self.is_read else "W"
+        return f"{name}: {kind}{flags} [{lo}..{hi}]={self.value()}"
+
+
+def make_arm_init(size: int, eid: int = 0) -> ArmEvent:
+    """The initial write covering the whole (zeroed) memory."""
+    if size <= 0:
+        raise ValueError("memory size must be positive")
+    return ArmEvent(
+        eid=eid,
+        tid=-1,
+        kind=ArmEventKind.WRITE,
+        addr=0,
+        data=(0,) * size,
+        label="init",
+    )

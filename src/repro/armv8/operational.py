@@ -1,0 +1,528 @@
+"""A Flat-style operational ARMv8 model (the paper's validation oracle, §4.1).
+
+The paper validates its mixed-size axiomatic model against *Flat* — an
+operational, multi-copy-atomic, extensively tested model of ARMv8 — by
+running a large litmus corpus through Flat and checking that every
+operational-allowed execution is also allowed axiomatically.
+
+Flat itself (a Sail/Lem artefact) is not available here, so this module
+provides the closest laptop-scale substitute: a **multi-copy-atomic,
+out-of-order-commit operational simulator** over a single flat byte
+memory.  Instructions of each thread may commit out of program order except
+where the architecture orders them:
+
+* overlapping accesses of one thread commit in program order (per-location
+  coherence; slightly stronger than the architecture for read/read pairs),
+* a load-acquire commits before any program-order-later access,
+* a store-release commits after every program-order-earlier access,
+* ``dmb`` barriers order the appropriate earlier/later classes,
+* register dependencies (data/control) commit producers before consumers
+  (control-dependent *loads* are therefore not speculated — again slightly
+  stronger than the architecture),
+* a store-exclusive succeeds only if no other thread wrote to its footprint
+  since the paired load-exclusive committed.
+
+Because every strengthening makes the operational model allow *fewer*
+behaviours, it remains a sound oracle for the §4.1 validation direction:
+every execution this model produces must be allowed by the axiomatic model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.relations import Relation
+from .axiomatic import ArmExecution, ArmGroundExecution, ArmOutcome
+from .events import ArmEvent, ArmEventKind, BarrierKind, make_arm_init
+from .program import (
+    ArmBarrier,
+    ArmCtrl,
+    ArmInstruction,
+    ArmLoad,
+    ArmProgram,
+    ArmRegister,
+    ArmStore,
+    ArmThread,
+)
+
+
+class OperationalBudgetExceeded(RuntimeError):
+    """Raised when the interleaving search exceeds its state budget."""
+
+
+@dataclass(frozen=True)
+class FlatSlot:
+    """One flattened instruction occurrence of a thread."""
+
+    index: int
+    kind: str  # "load" | "store" | "fence"
+    addr: int = 0
+    size: int = 0
+    acquire: bool = False
+    release: bool = False
+    exclusive: bool = False
+    barrier: Optional[BarrierKind] = None
+    dest: Optional[str] = None
+    src_reg: Optional[str] = None
+    src_const: int = 0
+    add_immediate: int = 0
+    ctrl_conditions: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in ("load", "store")
+
+    def footprint(self) -> range:
+        return range(self.addr, self.addr + self.size) if self.is_memory else range(0)
+
+
+def flatten_thread(thread: ArmThread) -> List[FlatSlot]:
+    """Flatten nested control blocks into a linear list of guarded slots."""
+    slots: List[FlatSlot] = []
+
+    def walk(instructions: Sequence[ArmInstruction], conds: Tuple[Tuple[str, int], ...]):
+        for instr in instructions:
+            if isinstance(instr, ArmLoad):
+                slots.append(
+                    FlatSlot(
+                        index=len(slots),
+                        kind="load",
+                        addr=instr.addr,
+                        size=instr.size,
+                        acquire=instr.acquire,
+                        exclusive=instr.exclusive,
+                        dest=instr.dest.name,
+                        ctrl_conditions=conds,
+                    )
+                )
+            elif isinstance(instr, ArmStore):
+                src_reg = instr.src.name if isinstance(instr.src, ArmRegister) else None
+                src_const = 0 if src_reg else int(instr.src)
+                slots.append(
+                    FlatSlot(
+                        index=len(slots),
+                        kind="store",
+                        addr=instr.addr,
+                        size=instr.size,
+                        release=instr.release,
+                        exclusive=instr.exclusive,
+                        src_reg=src_reg,
+                        src_const=src_const,
+                        add_immediate=instr.add_immediate,
+                        ctrl_conditions=conds,
+                    )
+                )
+            elif isinstance(instr, ArmBarrier):
+                slots.append(
+                    FlatSlot(
+                        index=len(slots),
+                        kind="fence",
+                        barrier=instr.kind,
+                        ctrl_conditions=conds,
+                    )
+                )
+            elif isinstance(instr, ArmCtrl):
+                walk(instr.body, conds + ((instr.register.name, instr.constant),))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unsupported instruction {instr!r}")
+
+    walk(thread.instructions, ())
+    return slots
+
+
+def _defining_slot(slots: Sequence[FlatSlot], index: int, register: str) -> Optional[int]:
+    """The most recent slot before ``index`` that defines ``register``."""
+    for j in range(index - 1, -1, -1):
+        if slots[j].kind == "load" and slots[j].dest == register:
+            return j
+    return None
+
+
+PENDING = 0
+COMMITTED = 1
+SKIPPED = 2
+
+
+@dataclass
+class _ThreadState:
+    slots: List[FlatSlot]
+    status: List[int]
+    registers: Dict[str, int] = field(default_factory=dict)
+
+    def clone(self) -> "_ThreadState":
+        return _ThreadState(
+            slots=self.slots,
+            status=list(self.status),
+            registers=dict(self.registers),
+        )
+
+
+@dataclass
+class _MachineState:
+    memory: List[int]
+    last_writer: List[Tuple[int, int]]  # per byte: (tid, slot) of last committed write
+    threads: List[_ThreadState]
+    trace: List[Tuple[int, int]] = field(default_factory=list)
+    rbf_record: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    co_record: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    def clone(self) -> "_MachineState":
+        return _MachineState(
+            memory=list(self.memory),
+            last_writer=list(self.last_writer),
+            threads=[t.clone() for t in self.threads],
+            trace=list(self.trace),
+            rbf_record={k: dict(v) for k, v in self.rbf_record.items()},
+            co_record={k: list(v) for k, v in self.co_record.items()},
+        )
+
+
+_INIT_WRITER = (-1, -1)
+
+
+def _initial_state(program: ArmProgram) -> _MachineState:
+    threads = []
+    for thread in program.threads:
+        slots = flatten_thread(thread)
+        threads.append(_ThreadState(slots=slots, status=[PENDING] * len(slots)))
+    return _MachineState(
+        memory=[0] * program.memory_size,
+        last_writer=[_INIT_WRITER] * program.memory_size,
+        threads=threads,
+        co_record={k: [_INIT_WRITER] for k in range(program.memory_size)},
+    )
+
+
+def _must_precede(earlier: FlatSlot, later: FlatSlot) -> bool:
+    """Does the architecture force ``earlier`` to commit before ``later``?"""
+    # Overlapping accesses commit in program order (per-location coherence).
+    if earlier.is_memory and later.is_memory:
+        a, b = earlier.footprint(), later.footprint()
+        if a.start < b.stop and b.start < a.stop:
+            return True
+    # Acquire orders everything after it.
+    if earlier.kind == "load" and earlier.acquire and later.is_memory:
+        return True
+    # Release waits for everything before it.
+    if later.kind == "store" and later.release and earlier.is_memory:
+        return True
+    # A release store is ordered before a later acquire load ([L]; po; [A]).
+    if (
+        earlier.kind == "store"
+        and earlier.release
+        and later.kind == "load"
+        and later.acquire
+    ):
+        return True
+    # Barriers.
+    if earlier.kind == "fence":
+        if earlier.barrier is BarrierKind.FULL and later.is_memory:
+            return True
+        if earlier.barrier is BarrierKind.LD and later.is_memory:
+            return True
+        if earlier.barrier is BarrierKind.ST and later.kind == "store":
+            return True
+    if later.kind == "fence":
+        if later.barrier is BarrierKind.FULL and earlier.is_memory:
+            return True
+        if later.barrier is BarrierKind.LD and earlier.kind == "load":
+            return True
+        if later.barrier is BarrierKind.ST and earlier.kind == "store":
+            return True
+    # A store-exclusive follows its load-exclusive.
+    if later.kind == "store" and later.exclusive and earlier.kind == "load" and earlier.exclusive:
+        return True
+    return False
+
+
+def _slot_readiness(state: _MachineState, tid: int, index: int) -> str:
+    """Classify a pending slot as ``ready``, ``blocked`` or ``skip``."""
+    thread = state.threads[tid]
+    slot = thread.slots[index]
+
+    # Control conditions must be resolved before the slot can run or be skipped.
+    for register, constant in slot.ctrl_conditions:
+        definer = _defining_slot(thread.slots, index, register)
+        if definer is None or thread.status[definer] != COMMITTED:
+            return "blocked"
+        if thread.registers.get(register) != constant:
+            return "skip"
+
+    # Data source must be available.
+    if slot.src_reg is not None:
+        definer = _defining_slot(thread.slots, index, slot.src_reg)
+        if definer is None or thread.status[definer] != COMMITTED:
+            return "blocked"
+
+    # Program-order commit constraints.
+    for j in range(index):
+        if thread.status[j] == COMMITTED:
+            continue
+        if thread.status[j] == SKIPPED:
+            continue
+        earlier = thread.slots[j]
+        if _must_precede(earlier, slot):
+            return "blocked"
+        # An unresolved earlier branch could still skip or keep the earlier
+        # slot; being conservative, overlapping or ordering-relevant earlier
+        # slots already returned "blocked" above, others may be bypassed.
+    return "ready"
+
+
+def _resolve_skips(state: _MachineState) -> None:
+    """Mark slots whose control condition is resolved false as skipped."""
+    changed = True
+    while changed:
+        changed = False
+        for tid, thread in enumerate(state.threads):
+            for index, status in enumerate(thread.status):
+                if status != PENDING:
+                    continue
+                if _slot_readiness(state, tid, index) == "skip":
+                    thread.status[index] = SKIPPED
+                    changed = True
+
+
+def _commit(state: _MachineState, tid: int, index: int) -> Optional[_MachineState]:
+    """Commit one ready slot, returning the successor state (or ``None``)."""
+    new_state = state.clone()
+    thread = new_state.threads[tid]
+    slot = thread.slots[index]
+
+    if slot.kind == "fence":
+        thread.status[index] = COMMITTED
+        new_state.trace.append((tid, index))
+        _resolve_skips(new_state)
+        return new_state
+
+    footprint = slot.footprint()
+    if slot.kind == "load":
+        data = tuple(new_state.memory[k] for k in footprint)
+        value = int.from_bytes(bytes(data), "little")
+        thread.registers[slot.dest] = value
+        new_state.rbf_record[(tid, index)] = {
+            k: new_state.last_writer[k] for k in footprint
+        }
+    else:  # store
+        if slot.exclusive:
+            # Find the paired load-exclusive (the most recent committed one).
+            paired = None
+            for j in range(index - 1, -1, -1):
+                candidate = thread.slots[j]
+                if candidate.kind == "load" and candidate.exclusive:
+                    paired = j
+                    break
+            if paired is None or thread.status[paired] != COMMITTED:
+                return None
+            snapshot = dict(
+                new_state.rbf_record.get((tid, paired), {})
+            )
+            for k in footprint:
+                current = new_state.last_writer[k]
+                if current == snapshot.get(k) or current[0] == tid:
+                    continue
+                return None  # another thread intervened: the exclusive fails
+        if slot.src_reg is not None:
+            value = thread.registers[slot.src_reg] + slot.add_immediate
+        else:
+            value = slot.src_const
+        mask = (1 << (8 * slot.size)) - 1
+        data = tuple((value & mask).to_bytes(slot.size, "little"))
+        for k, byte in zip(footprint, data):
+            new_state.memory[k] = byte
+            new_state.last_writer[k] = (tid, index)
+            new_state.co_record.setdefault(k, []).append((tid, index))
+
+    thread.status[index] = COMMITTED
+    new_state.trace.append((tid, index))
+    _resolve_skips(new_state)
+    return new_state
+
+
+def _is_final(state: _MachineState) -> bool:
+    return all(
+        all(status != PENDING for status in thread.status) for thread in state.threads
+    )
+
+
+def _ready_slots(state: _MachineState) -> List[Tuple[int, int]]:
+    ready = []
+    for tid, thread in enumerate(state.threads):
+        for index, status in enumerate(thread.status):
+            if status == PENDING and _slot_readiness(state, tid, index) == "ready":
+                ready.append((tid, index))
+    return ready
+
+
+# ---------------------------------------------------------------------------
+# turning finished states into candidate executions
+# ---------------------------------------------------------------------------
+
+
+def _execution_from_state(program: ArmProgram, state: _MachineState) -> ArmExecution:
+    """Reconstruct the candidate execution witnessed by one operational run."""
+    init = make_arm_init(program.memory_size, eid=0)
+    eid_of: Dict[Tuple[int, int], int] = {_INIT_WRITER: 0}
+    events: List[ArmEvent] = [init]
+    next_eid = 1
+    committed: Dict[int, List[int]] = {}
+    for tid, thread in enumerate(state.threads):
+        committed[tid] = [
+            i for i, status in enumerate(thread.status) if status == COMMITTED
+        ]
+    for tid in sorted(committed):
+        thread = state.threads[tid]
+        for index in committed[tid]:
+            slot = thread.slots[index]
+            eid = next_eid
+            next_eid += 1
+            eid_of[(tid, index)] = eid
+            if slot.kind == "fence":
+                events.append(
+                    ArmEvent(eid=eid, tid=tid, kind=ArmEventKind.FENCE, barrier=slot.barrier)
+                )
+                continue
+            if slot.kind == "load":
+                value = thread.registers.get(slot.dest, 0)
+                kind = ArmEventKind.READ
+            else:
+                if slot.src_reg is not None:
+                    value = thread.registers[slot.src_reg] + slot.add_immediate
+                else:
+                    value = slot.src_const
+                kind = ArmEventKind.WRITE
+            mask = (1 << (8 * slot.size)) - 1
+            data = tuple((value & mask).to_bytes(slot.size, "little"))
+            events.append(
+                ArmEvent(
+                    eid=eid,
+                    tid=tid,
+                    kind=kind,
+                    addr=slot.addr,
+                    data=data,
+                    acquire=slot.acquire,
+                    release=slot.release,
+                    exclusive=slot.exclusive,
+                )
+            )
+
+    po_pairs = []
+    data_pairs = []
+    ctrl_pairs = []
+    rmw_pairs = []
+    for tid, indices in committed.items():
+        thread = state.threads[tid]
+        for a, b in itertools.combinations(indices, 2):
+            po_pairs.append((eid_of[(tid, a)], eid_of[(tid, b)]))
+        for index in indices:
+            slot = thread.slots[index]
+            if slot.src_reg is not None:
+                definer = _defining_slot(thread.slots, index, slot.src_reg)
+                if definer is not None and (tid, definer) in eid_of:
+                    data_pairs.append((eid_of[(tid, definer)], eid_of[(tid, index)]))
+            for register, _constant in slot.ctrl_conditions:
+                definer = _defining_slot(thread.slots, index, register)
+                if definer is not None and (tid, definer) in eid_of:
+                    ctrl_pairs.append((eid_of[(tid, definer)], eid_of[(tid, index)]))
+            if slot.kind == "store" and slot.exclusive:
+                for j in range(index - 1, -1, -1):
+                    if thread.slots[j].kind == "load" and thread.slots[j].exclusive:
+                        if (tid, j) in eid_of:
+                            rmw_pairs.append((eid_of[(tid, j)], eid_of[(tid, index)]))
+                        break
+
+    rbf = set()
+    for (tid, index), byte_writers in state.rbf_record.items():
+        if state.threads[tid].status[index] != COMMITTED:
+            continue
+        reader = eid_of[(tid, index)]
+        for k, writer in byte_writers.items():
+            rbf.add((k, eid_of[writer], reader))
+
+    co_by_byte = []
+    for k, writers in state.co_record.items():
+        order = tuple(eid_of[w] for w in writers if w in eid_of)
+        if len(order) > 1:
+            co_by_byte.append((k, order))
+        elif order:
+            co_by_byte.append((k, order))
+
+    return ArmExecution(
+        events=tuple(events),
+        po=Relation(po_pairs),
+        data=Relation(data_pairs),
+        ctrl=Relation(ctrl_pairs),
+        rmw=Relation(rmw_pairs),
+        rbf=frozenset(rbf),
+        co_by_byte=tuple(sorted(co_by_byte)),
+    )
+
+
+def _outcome_from_state(state: _MachineState) -> ArmOutcome:
+    outcome: ArmOutcome = {}
+    for tid, thread in enumerate(state.threads):
+        for register, value in thread.registers.items():
+            outcome[f"{tid}:{register}"] = value
+    return outcome
+
+
+def arm_operational_runs(
+    program: ArmProgram, max_states: int = 200_000
+) -> Iterator[ArmGroundExecution]:
+    """Enumerate every operational run, yielding its candidate execution.
+
+    Raises :class:`OperationalBudgetExceeded` when the interleaving search
+    visits more states than ``max_states``.
+    """
+    initial = _initial_state(program)
+    _resolve_skips(initial)
+    stack = [initial]
+    visited = 0
+    while stack:
+        state = stack.pop()
+        visited += 1
+        if visited > max_states:
+            raise OperationalBudgetExceeded(
+                f"operational search for {program.name!r} exceeded {max_states} states"
+            )
+        if _is_final(state):
+            yield ArmGroundExecution(
+                execution=_execution_from_state(program, state),
+                outcome=_outcome_from_state(state),
+            )
+            continue
+        ready = _ready_slots(state)
+        if not ready:
+            # A store-exclusive that can never succeed, or a genuine deadlock;
+            # this run simply has no completed execution.
+            continue
+        for tid, index in ready:
+            successor = _commit(state, tid, index)
+            if successor is not None:
+                stack.append(successor)
+
+
+def arm_operational_outcomes(
+    program: ArmProgram, max_states: int = 200_000
+) -> List[ArmOutcome]:
+    """The distinct final register assignments reachable operationally."""
+    seen = set()
+    outcomes: List[ArmOutcome] = []
+    for run in arm_operational_runs(program, max_states=max_states):
+        key = tuple(sorted(run.outcome.items()))
+        if key not in seen:
+            seen.add(key)
+            outcomes.append(run.outcome)
+    return outcomes
+
+
+def arm_operational_executions(
+    program: ArmProgram, max_states: int = 200_000
+) -> Iterator[ArmExecution]:
+    """The candidate executions witnessed by the operational runs."""
+    for run in arm_operational_runs(program, max_states=max_states):
+        yield run.execution

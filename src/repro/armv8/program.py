@@ -1,0 +1,341 @@
+"""ARMv8 litmus programs and their thread-local semantics.
+
+The compilation scheme of §5.1 maps the JavaScript fragment onto a small
+set of AArch64 instructions: ``ldr``/``str`` (plain accesses), ``ldar``/
+``stlr`` (acquire/release, the C++ SC-atomics scheme), the exclusive pairs
+``ldaxr``/``stlxr`` (read-modify-writes) and ``dmb`` barriers.  This module
+defines an instruction-level AST for that target fragment and a symbolic
+thread-local semantics producing event templates, program order and the
+dependency relations (``data``, ``ctrl``) that the axiomatic model needs.
+
+Addresses are compile-time constants in the fragment (typed-array indices
+are literals), so there are no address dependencies; the ``addr`` relation
+is kept for completeness and is always empty here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .events import ArmEvent, ArmEventKind, BarrierKind, make_arm_init
+
+
+@dataclass(frozen=True)
+class ArmRegister:
+    """A general-purpose register (``W0``, ``X1``, …)."""
+
+    name: str
+
+
+class ArmInstruction:
+    """Base class of the supported AArch64 instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ArmLoad(ArmInstruction):
+    """``ldr`` / ``ldar`` / ``ldxr`` / ``ldaxr``: load ``size`` bytes from ``addr``."""
+
+    dest: ArmRegister
+    addr: int
+    size: int
+    acquire: bool = False
+    exclusive: bool = False
+
+    def mnemonic(self) -> str:
+        if self.acquire and self.exclusive:
+            return "ldaxr"
+        if self.acquire:
+            return "ldar"
+        if self.exclusive:
+            return "ldxr"
+        return "ldr"
+
+
+@dataclass(frozen=True)
+class ArmStore(ArmInstruction):
+    """``str`` / ``stlr`` / ``stxr`` / ``stlxr``: store ``size`` bytes to ``addr``.
+
+    ``src`` is either a literal value or a register (creating a data
+    dependency on the instruction that defined the register).
+    """
+
+    src: Union[int, ArmRegister]
+    addr: int
+    size: int
+    release: bool = False
+    exclusive: bool = False
+    add_immediate: int = 0
+
+    def mnemonic(self) -> str:
+        if self.release and self.exclusive:
+            return "stlxr"
+        if self.release:
+            return "stlr"
+        if self.exclusive:
+            return "stxr"
+        return "str"
+
+
+@dataclass(frozen=True)
+class ArmBarrier(ArmInstruction):
+    """A ``dmb`` or ``isb`` barrier."""
+
+    kind: BarrierKind
+
+
+@dataclass(frozen=True)
+class ArmCtrl(ArmInstruction):
+    """A conditional block guarded by ``register == constant``.
+
+    This models the compare-and-branch sequence the JIT emits for the
+    fragment's ``if (r == c) { … }``: every event inside the block carries a
+    control dependency on the load that defined ``register``.
+    """
+
+    register: ArmRegister
+    constant: int
+    body: Tuple[ArmInstruction, ...]
+
+
+@dataclass(frozen=True)
+class ArmThread:
+    """One hardware thread of an ARM litmus test."""
+
+    instructions: Tuple[ArmInstruction, ...]
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ArmProgram:
+    """An ARM litmus test: threads over a single shared byte-addressed memory."""
+
+    name: str
+    threads: Tuple[ArmThread, ...]
+    memory_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.memory_size <= 0:
+            raise ValueError("memory size must be positive")
+        if not self.threads:
+            raise ValueError("a program needs at least one thread")
+
+
+# ---------------------------------------------------------------------------
+# thread-local semantics
+# ---------------------------------------------------------------------------
+
+ArmTemplateKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ArmWriteSpec:
+    """How a store's bytes are computed (mirrors the JS-side WriteValue)."""
+
+    kind: str  # "const" | "copy"
+    payload: int = 0
+    source: Optional[ArmTemplateKey] = None
+    add_immediate: int = 0
+
+
+@dataclass(frozen=True)
+class ArmEventTemplate:
+    """A symbolic ARM event: the access shape with the read value left open."""
+
+    key: ArmTemplateKey
+    kind: ArmEventKind
+    addr: int = 0
+    size: int = 0
+    acquire: bool = False
+    release: bool = False
+    exclusive: bool = False
+    barrier: Optional[BarrierKind] = None
+    dest: Optional[str] = None
+    write_spec: Optional[ArmWriteSpec] = None
+    ctrl_sources: Tuple[ArmTemplateKey, ...] = ()
+    data_sources: Tuple[ArmTemplateKey, ...] = ()
+    rmw_partner: Optional[ArmTemplateKey] = None  # set on store-exclusives
+
+    @property
+    def tid(self) -> int:
+        return self.key[0]
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is not ArmEventKind.FENCE
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is ArmEventKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is ArmEventKind.WRITE
+
+    def footprint(self) -> range:
+        return range(self.addr, self.addr + self.size)
+
+
+@dataclass(frozen=True)
+class ArmPathConstraint:
+    """The value read by ``source`` compared against ``constant``."""
+
+    source: ArmTemplateKey
+    equal: bool
+    constant: int
+
+
+@dataclass(frozen=True)
+class ArmLocalPath:
+    """One control-flow path of one ARM thread."""
+
+    tid: int
+    templates: Tuple[ArmEventTemplate, ...]
+    constraints: Tuple[ArmPathConstraint, ...]
+    registers: Tuple[Tuple[str, ArmTemplateKey], ...]
+
+
+class _ArmPathBuilder:
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.templates: List[ArmEventTemplate] = []
+        self.constraints: List[ArmPathConstraint] = []
+        self.registers: Dict[str, ArmTemplateKey] = {}
+        self.last_load_exclusive: Optional[ArmTemplateKey] = None
+
+    def snapshot(self) -> "_ArmPathBuilder":
+        clone = _ArmPathBuilder(self.tid)
+        clone.templates = list(self.templates)
+        clone.constraints = list(self.constraints)
+        clone.registers = dict(self.registers)
+        clone.last_load_exclusive = self.last_load_exclusive
+        return clone
+
+    def next_key(self) -> ArmTemplateKey:
+        return (self.tid, len(self.templates))
+
+    def finish(self) -> ArmLocalPath:
+        return ArmLocalPath(
+            tid=self.tid,
+            templates=tuple(self.templates),
+            constraints=tuple(self.constraints),
+            registers=tuple(sorted(self.registers.items())),
+        )
+
+
+def _explore(
+    builder: _ArmPathBuilder,
+    instructions: Sequence[ArmInstruction],
+    ctrl_sources: Tuple[ArmTemplateKey, ...],
+) -> Iterator[_ArmPathBuilder]:
+    if not instructions:
+        yield builder
+        return
+    instr, rest = instructions[0], instructions[1:]
+
+    if isinstance(instr, ArmLoad):
+        key = builder.next_key()
+        builder.templates.append(
+            ArmEventTemplate(
+                key=key,
+                kind=ArmEventKind.READ,
+                addr=instr.addr,
+                size=instr.size,
+                acquire=instr.acquire,
+                exclusive=instr.exclusive,
+                dest=instr.dest.name,
+                ctrl_sources=ctrl_sources,
+            )
+        )
+        builder.registers[instr.dest.name] = key
+        if instr.exclusive:
+            builder.last_load_exclusive = key
+        yield from _explore(builder, rest, ctrl_sources)
+        return
+
+    if isinstance(instr, ArmStore):
+        key = builder.next_key()
+        if isinstance(instr.src, ArmRegister):
+            source = builder.registers.get(instr.src.name)
+            if source is None:
+                raise ValueError(
+                    f"thread {builder.tid}: store from undefined register "
+                    f"{instr.src.name!r}"
+                )
+            spec = ArmWriteSpec(
+                kind="copy", source=source, add_immediate=instr.add_immediate
+            )
+            data_sources: Tuple[ArmTemplateKey, ...] = (source,)
+        else:
+            spec = ArmWriteSpec(kind="const", payload=int(instr.src))
+            data_sources = ()
+        partner = builder.last_load_exclusive if instr.exclusive else None
+        builder.templates.append(
+            ArmEventTemplate(
+                key=key,
+                kind=ArmEventKind.WRITE,
+                addr=instr.addr,
+                size=instr.size,
+                release=instr.release,
+                exclusive=instr.exclusive,
+                write_spec=spec,
+                ctrl_sources=ctrl_sources,
+                data_sources=data_sources,
+                rmw_partner=partner,
+            )
+        )
+        yield from _explore(builder, rest, ctrl_sources)
+        return
+
+    if isinstance(instr, ArmBarrier):
+        key = builder.next_key()
+        builder.templates.append(
+            ArmEventTemplate(
+                key=key,
+                kind=ArmEventKind.FENCE,
+                barrier=instr.kind,
+                ctrl_sources=ctrl_sources,
+            )
+        )
+        yield from _explore(builder, rest, ctrl_sources)
+        return
+
+    if isinstance(instr, ArmCtrl):
+        source = builder.registers.get(instr.register.name)
+        if source is None:
+            raise ValueError(
+                f"thread {builder.tid}: branch on undefined register "
+                f"{instr.register.name!r}"
+            )
+        taken = builder.snapshot()
+        taken.constraints.append(
+            ArmPathConstraint(source=source, equal=True, constant=instr.constant)
+        )
+        inner_sources = tuple(dict.fromkeys(ctrl_sources + (source,)))
+        for done in _explore(taken, instr.body, inner_sources):
+            yield from _explore(done, rest, ctrl_sources)
+        builder.constraints.append(
+            ArmPathConstraint(source=source, equal=False, constant=instr.constant)
+        )
+        yield from _explore(builder, rest, ctrl_sources)
+        return
+
+    raise ValueError(f"unsupported ARM instruction: {instr!r}")
+
+
+def arm_thread_paths(thread: ArmThread, tid: int) -> List[ArmLocalPath]:
+    """All control-flow paths of one ARM thread."""
+    return [
+        b.finish() for b in _explore(_ArmPathBuilder(tid), thread.instructions, ())
+    ]
+
+
+def arm_program_paths(program: ArmProgram) -> Iterator[Tuple[ArmLocalPath, ...]]:
+    """All combinations of per-thread paths of an ARM program."""
+    per_thread = [
+        arm_thread_paths(thread, tid) for tid, thread in enumerate(program.threads)
+    ]
+    yield from itertools.product(*per_thread)

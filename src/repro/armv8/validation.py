@@ -1,0 +1,111 @@
+"""§4.1 — validating the axiomatic ARMv8 model against the operational model.
+
+The paper instruments Flat to emit, for every allowed outcome of every
+litmus test in an 11,587-test corpus, the candidate execution of the
+operational trace, and checks that the axiomatic model allows each one
+(soundness of the axiomatic model with respect to the operational one).
+
+:func:`validate_program` and :func:`validate_corpus` perform the same check
+with our operational substitute: every execution the operational model
+produces must be valid in the mixed-size axiomatic model.  A failure means
+the axiomatic model is *stronger* than the operational one somewhere — the
+situation the paper's validation is designed to rule out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from .axiomatic import ArmExecution, arm_is_valid, arm_violations
+from .operational import arm_operational_runs
+from .program import ArmProgram
+
+
+@dataclass
+class ProgramValidation:
+    """The validation verdict for one litmus test."""
+
+    program: str
+    executions: int = 0
+    outcomes: int = 0
+    failures: List[ArmExecution] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class CorpusValidation:
+    """Aggregated §4.1-style statistics over a corpus of litmus tests."""
+
+    programs: int = 0
+    mixed_size_programs: int = 0
+    executions: int = 0
+    failures: int = 0
+    per_program: List[ProgramValidation] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        """True iff every operational execution was axiomatically allowed."""
+        return self.failures == 0
+
+    def summary(self) -> str:
+        kind = "sound" if self.sound else f"UNSOUND ({self.failures} failures)"
+        return (
+            f"ARMv8 axiomatic-vs-operational validation: {kind} — "
+            f"{self.programs} tests ({self.mixed_size_programs} mixed-size), "
+            f"{self.executions} operational executions checked"
+        )
+
+
+def is_mixed_size_program(program: ArmProgram) -> bool:
+    """Does the program issue accesses of more than one width or misaligned overlaps?"""
+    sizes = set()
+    footprints = []
+    from .operational import flatten_thread
+
+    for thread in program.threads:
+        for slot in flatten_thread(thread):
+            if slot.is_memory:
+                sizes.add(slot.size)
+                footprints.append(slot.footprint())
+    if len(sizes) > 1:
+        return True
+    for i, a in enumerate(footprints):
+        for b in footprints[i + 1:]:
+            if a.start < b.stop and b.start < a.stop and (a.start, a.stop) != (b.start, b.stop):
+                return True
+    return False
+
+
+def validate_program(
+    program: ArmProgram, max_states: int = 200_000
+) -> ProgramValidation:
+    """Check that every operational execution of ``program`` is axiomatically allowed."""
+    result = ProgramValidation(program=program.name)
+    seen_outcomes = set()
+    for run in arm_operational_runs(program, max_states=max_states):
+        result.executions += 1
+        seen_outcomes.add(tuple(sorted(run.outcome.items())))
+        if not arm_is_valid(run.execution):
+            result.failures.append(run.execution)
+    result.outcomes = len(seen_outcomes)
+    return result
+
+
+def validate_corpus(
+    programs: Iterable[ArmProgram], max_states: int = 200_000
+) -> CorpusValidation:
+    """Run the §4.1 validation over a corpus of ARM litmus tests."""
+    corpus = CorpusValidation()
+    for program in programs:
+        verdict = validate_program(program, max_states=max_states)
+        corpus.programs += 1
+        if is_mixed_size_program(program):
+            corpus.mixed_size_programs += 1
+        corpus.executions += verdict.executions
+        corpus.failures += len(verdict.failures)
+        corpus.per_program.append(verdict)
+    return corpus

@@ -1,0 +1,34 @@
+"""JavaScript → ARMv8 compilation: scheme, execution translation, correctness."""
+
+from .scheme import (
+    CompilationError,
+    CompiledProgram,
+    MemoryLayout,
+    compile_program,
+)
+from .translation import TranslatedExecution, translate_arm_execution
+from .totorder import construct_total_order, release_acquire_obs, witnessed_execution
+from .correctness import (
+    CompilationCheckResult,
+    CompilationCounterExample,
+    check_corpus_compilation,
+    check_program_compilation,
+    find_compilation_violation,
+)
+
+__all__ = [
+    "CompilationError",
+    "CompiledProgram",
+    "MemoryLayout",
+    "compile_program",
+    "TranslatedExecution",
+    "translate_arm_execution",
+    "construct_total_order",
+    "release_acquire_obs",
+    "witnessed_execution",
+    "CompilationCheckResult",
+    "CompilationCounterExample",
+    "check_corpus_compilation",
+    "check_program_compilation",
+    "find_compilation_violation",
+]

@@ -1,0 +1,179 @@
+"""Bounded compilation-scheme correctness checking (§5.3, Thm 6.2).
+
+Compilation correctness says: every behaviour an ARMv8 machine can exhibit
+for the compiled program is allowed by the JavaScript memory model for the
+source program.  The paper proves this in Coq for the *corrected* model and
+shows with Alloy that the *original* model falsifies it (Fig. 6).
+
+:func:`check_program_compilation` performs the per-program bounded check:
+it enumerates the ARMv8-allowed executions of the compiled program (with
+the axiomatic model by default, or the operational model), translates each
+back to a JavaScript candidate execution, constructs the ``tot`` witness of
+§5.3, and asks whether the result is valid.  If the constructed witness
+fails, an exhaustive search over all total orders decides whether the
+construction or the compilation scheme itself is at fault — the latter is a
+genuine counter-example (and is what the §5 search reports against the
+original model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..armv8.axiomatic import ArmExecution, arm_allowed_executions
+from ..armv8.operational import arm_operational_runs
+from ..core.execution import CandidateExecution
+from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order, is_valid
+from ..lang.ast import Program
+from .scheme import CompiledProgram, compile_program
+from .totorder import construct_total_order
+from .translation import TranslatedExecution, translate_arm_execution
+
+
+@dataclass(frozen=True)
+class CompilationCounterExample:
+    """An ARM-allowed execution whose JavaScript translation is invalid for every ``tot``."""
+
+    program: Program
+    arm_execution: ArmExecution
+    js_execution: CandidateExecution
+
+    @property
+    def event_count(self) -> int:
+        """Number of JavaScript access events (the paper's counting excludes Init)."""
+        return sum(1 for e in self.js_execution.events if not e.is_init)
+
+    @property
+    def byte_location_count(self) -> int:
+        """Number of distinct byte footprints accessed (excluding Init)."""
+        footprints = {
+            (e.block, e.footprint.start, e.footprint.stop)
+            for e in self.js_execution.events
+            if not e.is_init
+        }
+        return len(footprints)
+
+
+@dataclass
+class CompilationCheckResult:
+    """The outcome of the bounded compilation check for one program."""
+
+    program: str
+    model: str
+    arm_executions: int = 0
+    valid_with_construction: int = 0
+    valid_with_search: int = 0
+    counterexamples: List[CompilationCounterExample] = field(default_factory=list)
+    construction_failures: int = 0
+
+    @property
+    def correct(self) -> bool:
+        """True iff no ARM-allowed behaviour falls outside the JS model."""
+        return not self.counterexamples
+
+    @property
+    def construction_complete(self) -> bool:
+        """True iff the §5.3 ``tot`` construction witnessed every valid case."""
+        return self.construction_failures == 0 and self.correct
+
+    def summary(self) -> str:
+        status = "correct" if self.correct else (
+            f"VIOLATED ({len(self.counterexamples)} counter-examples)"
+        )
+        return (
+            f"compilation of {self.program} under {self.model}: {status} "
+            f"[{self.arm_executions} ARM executions, "
+            f"{self.valid_with_construction} witnessed by the §5.3 construction, "
+            f"{self.construction_failures} needing a fallback search]"
+        )
+
+
+def _arm_executions(
+    compiled: CompiledProgram, use_operational: bool, group_coherence: bool
+) -> Iterator[ArmExecution]:
+    if use_operational:
+        for run in arm_operational_runs(compiled.arm):
+            yield run.execution
+    else:
+        for ground in arm_allowed_executions(
+            compiled.arm, group_coherence=group_coherence
+        ):
+            yield ground.execution
+
+
+def check_program_compilation(
+    program: Program,
+    model: JsModel = FINAL_MODEL,
+    use_operational: bool = False,
+    group_coherence: bool = True,
+    max_counterexamples: int = 3,
+) -> CompilationCheckResult:
+    """Bounded compilation-correctness check for one JavaScript program."""
+    compiled = compile_program(program)
+    result = CompilationCheckResult(program=program.name, model=model.name)
+    for arm_execution in _arm_executions(compiled, use_operational, group_coherence):
+        result.arm_executions += 1
+        try:
+            translated = translate_arm_execution(compiled, arm_execution)
+        except ValueError:
+            # Executions that do not translate (e.g. an RMW reading from its
+            # own store half) have no JavaScript counterpart to compare with.
+            continue
+        tot = construct_total_order(translated, arm_execution)
+        if tot is not None and is_valid(
+            translated.execution.with_witness(tot=tot), model
+        ):
+            result.valid_with_construction += 1
+            continue
+        # The constructed witness failed: fall back to the exhaustive search.
+        result.construction_failures += 1
+        witness = exists_valid_total_order(translated.execution, model)
+        if witness is not None:
+            result.valid_with_search += 1
+            continue
+        result.counterexamples.append(
+            CompilationCounterExample(
+                program=program,
+                arm_execution=arm_execution,
+                js_execution=translated.execution,
+            )
+        )
+        if len(result.counterexamples) >= max_counterexamples:
+            break
+    return result
+
+
+def check_corpus_compilation(
+    programs: Iterable[Program],
+    model: JsModel = FINAL_MODEL,
+    use_operational: bool = False,
+    group_coherence: bool = True,
+) -> List[CompilationCheckResult]:
+    """Run the bounded check over a corpus of source programs."""
+    return [
+        check_program_compilation(
+            program,
+            model=model,
+            use_operational=use_operational,
+            group_coherence=group_coherence,
+        )
+        for program in programs
+    ]
+
+
+def find_compilation_violation(
+    program: Program,
+    model: JsModel,
+    use_operational: bool = False,
+    group_coherence: bool = True,
+) -> Optional[CompilationCounterExample]:
+    """The first compilation counter-example for ``program`` under ``model``, if any."""
+    result = check_program_compilation(
+        program,
+        model=model,
+        use_operational=use_operational,
+        group_coherence=group_coherence,
+        max_counterexamples=1,
+    )
+    return result.counterexamples[0] if result.counterexamples else None

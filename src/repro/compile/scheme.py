@@ -1,0 +1,220 @@
+"""The JavaScript → ARMv8 compilation scheme (§5.1, Thm 6.2).
+
+The scheme is the one implemented by V8 and assumed throughout the paper:
+
+===============================  =========================
+JavaScript                       AArch64
+===============================  =========================
+``Atomics.load``                 ``ldar``
+``Atomics.store``                ``stlr``
+``r = x[k]``                     ``ldr``
+``x[k] = v``                     ``str``
+``Atomics.exchange`` / ``add``   ``ldaxr`` ; ``stlxr``
+``if (r == c) { … }``            compare-and-branch (ctrl)
+===============================  =========================
+
+DataView (unaligned) accesses and ``Atomics.wait``/``notify`` are outside
+the scope of the mechanised compilation proof (§6.2) and are rejected here
+with :class:`CompilationError`.
+
+Multiple SharedArrayBuffers are laid out at disjoint offsets of the single
+flat ARM memory; the layout is recorded so executions can be translated
+back (see :mod:`repro.compile.translation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..armv8.program import (
+    ArmCtrl,
+    ArmInstruction,
+    ArmLoad,
+    ArmProgram,
+    ArmRegister,
+    ArmStore,
+    ArmThread,
+)
+from ..lang.ast import (
+    AtomicAdd,
+    DataViewAccess,
+    Exchange,
+    IfEq,
+    Load,
+    Notify,
+    Program,
+    Register,
+    Statement,
+    Store,
+    TypedAccess,
+    Wait,
+)
+
+
+class CompilationError(ValueError):
+    """Raised for programs outside the compiled fragment."""
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Placement of each SharedArrayBuffer within the flat ARM memory."""
+
+    offsets: Tuple[Tuple[str, int], ...]
+    total_size: int
+
+    def offset_of(self, block: str) -> int:
+        for name, offset in self.offsets:
+            if name == block:
+                return offset
+        raise KeyError(f"unknown block {block!r}")
+
+    def block_of(self, address: int) -> Tuple[str, int]:
+        """The (block, block-relative byte) containing an absolute ARM address."""
+        best = None
+        for name, offset in self.offsets:
+            if offset <= address and (best is None or offset > best[1]):
+                best = (name, offset)
+        if best is None:
+            raise KeyError(f"address {address} below every block")
+        return best[0], address - best[1]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """The result of compiling a JavaScript litmus program to ARMv8."""
+
+    source: Program
+    arm: ArmProgram
+    layout: MemoryLayout
+
+
+def _layout(program: Program) -> MemoryLayout:
+    offsets = []
+    total = 0
+    for buffer in program.buffers:
+        offsets.append((buffer.block, total))
+        total += buffer.byte_length
+    return MemoryLayout(offsets=tuple(offsets), total_size=total)
+
+
+def _compile_access(access, layout: MemoryLayout) -> Tuple[int, int]:
+    """The (absolute ARM address, size) of a JS access."""
+    if isinstance(access, DataViewAccess):
+        raise CompilationError(
+            "DataView (possibly unaligned) accesses are outside the compiled "
+            "fragment of the mechanised proof (§6.2)"
+        )
+    if not isinstance(access, TypedAccess):
+        raise CompilationError(f"unsupported access {access!r}")
+    rng = access.byte_range()
+    return layout.offset_of(access.block) + rng.start, access.width
+
+
+def _compile_value(value):
+    if isinstance(value, Register):
+        return ArmRegister(value.name)
+    return int(value)
+
+
+def _compile_statements(
+    statements: Sequence[Statement], layout: MemoryLayout
+) -> List[ArmInstruction]:
+    instructions: List[ArmInstruction] = []
+    for stmt in statements:
+        if isinstance(stmt, Store):
+            addr, size = _compile_access(stmt.access, layout)
+            instructions.append(
+                ArmStore(
+                    src=_compile_value(stmt.value),
+                    addr=addr,
+                    size=size,
+                    release=stmt.atomic,
+                )
+            )
+        elif isinstance(stmt, Load):
+            addr, size = _compile_access(stmt.access, layout)
+            instructions.append(
+                ArmLoad(
+                    dest=ArmRegister(stmt.dest.name),
+                    addr=addr,
+                    size=size,
+                    acquire=stmt.atomic,
+                )
+            )
+        elif isinstance(stmt, Exchange):
+            addr, size = _compile_access(stmt.access, layout)
+            instructions.append(
+                ArmLoad(
+                    dest=ArmRegister(stmt.dest.name),
+                    addr=addr,
+                    size=size,
+                    acquire=True,
+                    exclusive=True,
+                )
+            )
+            instructions.append(
+                ArmStore(
+                    src=_compile_value(stmt.value),
+                    addr=addr,
+                    size=size,
+                    release=True,
+                    exclusive=True,
+                )
+            )
+        elif isinstance(stmt, AtomicAdd):
+            addr, size = _compile_access(stmt.access, layout)
+            instructions.append(
+                ArmLoad(
+                    dest=ArmRegister(stmt.dest.name),
+                    addr=addr,
+                    size=size,
+                    acquire=True,
+                    exclusive=True,
+                )
+            )
+            instructions.append(
+                ArmStore(
+                    src=ArmRegister(stmt.dest.name),
+                    addr=addr,
+                    size=size,
+                    release=True,
+                    exclusive=True,
+                    add_immediate=stmt.value,
+                )
+            )
+        elif isinstance(stmt, IfEq):
+            if stmt.otherwise:
+                raise CompilationError(
+                    "else-branches are outside the litmus fragment compiled here"
+                )
+            body = _compile_statements(stmt.then, layout)
+            instructions.append(
+                ArmCtrl(
+                    register=ArmRegister(stmt.register.name),
+                    constant=stmt.constant,
+                    body=tuple(body),
+                )
+            )
+        elif isinstance(stmt, (Wait, Notify)):
+            raise CompilationError(
+                "Atomics.wait/notify are outside the compiled memory-access fragment"
+            )
+        else:
+            raise CompilationError(f"unsupported statement {stmt!r}")
+    return instructions
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile a JavaScript litmus program to ARMv8 under the V8 scheme."""
+    layout = _layout(program)
+    threads = []
+    for thread in program.threads:
+        instructions = _compile_statements(thread.statements, layout)
+        threads.append(ArmThread(tuple(instructions), name=thread.name))
+    arm = ArmProgram(
+        name=f"{program.name}-armv8",
+        threads=tuple(threads),
+        memory_size=layout.total_size,
+    )
+    return CompiledProgram(source=program, arm=arm, layout=layout)

@@ -1,0 +1,72 @@
+"""Constructing the JavaScript ``total-order`` witness from an ARM execution (§5.3).
+
+The compilation-correctness proof must, for every ARMv8-allowed execution,
+exhibit a ``total-order`` making the translated JavaScript execution valid.
+The paper model-checks (and then mechanises) the construction
+
+    ``tot := some linear extension of  sb ∪ (obs ∩ (L ∪ A)²)``
+
+where ``obs`` is ARM's observed-before relation and ``L``/``A`` are the
+release writes / acquire reads — i.e. precisely the events that compile
+JavaScript SeqCst accesses.  This module implements that construction on
+translated executions, additionally seeding the extension with the
+JavaScript-side ``happens-before``-generating edges (``Init`` before every
+overlapping access and ``asw``), which the JavaScript model requires of any
+valid ``tot`` via Happens-Before Consistency (1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..armv8.axiomatic import ArmExecution
+from ..core.execution import CandidateExecution
+from ..core.relations import Relation, some_linear_extension
+from .translation import TranslatedExecution
+
+
+def release_acquire_obs(arm_execution: ArmExecution) -> Relation:
+    """``obs ∩ (L ∪ A)²``: observations between release writes and acquire reads."""
+    special = frozenset(
+        e.eid
+        for e in arm_execution.events
+        if e.is_memory and (e.is_release or e.is_acquire)
+    )
+    return arm_execution.obs().restrict(domain=special, codomain=special)
+
+
+def construct_total_order(
+    translated: TranslatedExecution, arm_execution: ArmExecution
+) -> Optional[Tuple[int, ...]]:
+    """The §5.3 ``tot`` construction; ``None`` if the seed order is cyclic.
+
+    For ARM-valid executions the seed is acyclic (it is contained in ARM's
+    ordered-before plus intra-thread order), so a linear extension exists;
+    a ``None`` result on an ARM-valid input would itself falsify the
+    construction and is reported by the correctness checker.
+    """
+    execution = translated.execution
+    mapping = translated.js_eid_of_arm
+
+    mapped_obs_pairs = []
+    for (a, b) in release_acquire_obs(arm_execution):
+        if a in mapping and b in mapping and mapping[a] != mapping[b]:
+            mapped_obs_pairs.append((mapping[a], mapping[b]))
+
+    seed = execution.sb.union(
+        Relation(mapped_obs_pairs),
+        execution.asw,
+        execution.init_overlap(),
+    )
+    eids = sorted(execution.eids)
+    return some_linear_extension(eids, seed)
+
+
+def witnessed_execution(
+    translated: TranslatedExecution, arm_execution: ArmExecution
+) -> Optional[CandidateExecution]:
+    """The translated execution equipped with the constructed ``tot`` witness."""
+    tot = construct_total_order(translated, arm_execution)
+    if tot is None:
+        return None
+    return translated.execution.with_witness(tot=tot)

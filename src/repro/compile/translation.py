@@ -1,0 +1,161 @@
+"""The translation relation between ARMv8 and JavaScript candidate executions (§5.1).
+
+A counter-example to compilation correctness is an ARMv8-allowed execution
+of a compiled program whose corresponding JavaScript execution is invalid.
+"Corresponding" is made precise by a *translation relation* which
+
+* maps events according to the compilation scheme (``Racq ↔ RSC``,
+  ``Wrel ↔ WSC``, plain accesses ↔ ``Unordered``, an exclusive pair ↔ one
+  JavaScript RMW event),
+* preserves program structure (``po`` ↔ ``sequenced-before``), and
+* preserves the observable behaviour (``reads-byte-from``).
+
+:func:`translate_arm_execution` applies the relation in the direction the
+correctness argument needs: from an ARM execution back to the JavaScript
+candidate execution it witnesses (without a ``total-order``; that witness
+is constructed separately, see :mod:`repro.compile.totorder`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..armv8.axiomatic import ArmExecution
+from ..armv8.events import ArmEvent
+from ..core.events import Event, INIT, SEQCST, UNORDERED, make_init_event
+from ..core.execution import CandidateExecution
+from ..core.relations import Relation
+from .scheme import CompiledProgram, MemoryLayout
+
+# Typed-array accesses of at most four bytes are tear-free (§6.4).
+_TEARFREE_MAX_WIDTH = 4
+
+
+@dataclass(frozen=True)
+class TranslatedExecution:
+    """A JavaScript candidate execution obtained from an ARM execution.
+
+    ``js_eid_of_arm`` records the event mapping (both halves of an exclusive
+    pair map to the single JavaScript RMW event).
+    """
+
+    execution: CandidateExecution
+    js_eid_of_arm: Dict[int, int]
+
+
+def _arm_mode(event: ArmEvent):
+    """The JavaScript mode an ARM event translates back to."""
+    if event.is_read:
+        return SEQCST if event.acquire else UNORDERED
+    return SEQCST if event.release else UNORDERED
+
+
+def translate_arm_execution(
+    compiled: CompiledProgram, arm_execution: ArmExecution
+) -> TranslatedExecution:
+    """Translate an ARM execution of the compiled program back to JavaScript.
+
+    The ARM execution must come from ``compiled.arm`` (single init event,
+    exclusive accesses only in ``ldaxr``/``stlxr`` pairs); violations raise
+    ``ValueError``.
+    """
+    layout = compiled.layout
+    source = compiled.source
+
+    # JavaScript-side init events: one per SharedArrayBuffer.
+    events: List[Event] = []
+    next_eid = 0
+    init_of_block: Dict[str, int] = {}
+    for buffer in source.buffers:
+        events.append(make_init_event(buffer.block, buffer.byte_length, eid=next_eid))
+        init_of_block[buffer.block] = next_eid
+        next_eid += 1
+
+    arm_init = [e for e in arm_execution.events if e.is_init]
+    if len(arm_init) != 1:
+        raise ValueError("expected exactly one ARM initialising write")
+    arm_init_eid = arm_init[0].eid
+
+    # Pair up exclusives into RMW events.
+    partner_of: Dict[int, int] = {}
+    for (lr, sw) in arm_execution.rmw:
+        partner_of[lr] = sw
+        partner_of[sw] = lr
+
+    js_eid_of_arm: Dict[int, int] = {}
+    merged_store_of: Dict[int, int] = {}
+    memory_events = [
+        e for e in arm_execution.events if e.is_memory and not e.is_init
+    ]
+    for event in sorted(memory_events, key=lambda e: e.eid):
+        if event.eid in js_eid_of_arm:
+            continue
+        block, index = layout.block_of(event.addr)
+        if event.exclusive and event.eid in partner_of:
+            if event.is_write:
+                continue  # handled together with its load half
+            store = arm_execution.event(partner_of[event.eid])
+            js_event = Event(
+                eid=next_eid,
+                tid=event.tid,
+                ord=SEQCST,
+                block=block,
+                index=index,
+                reads=event.data,
+                writes=store.data,
+                tearfree=len(event.data) <= _TEARFREE_MAX_WIDTH,
+            )
+            js_eid_of_arm[event.eid] = next_eid
+            js_eid_of_arm[store.eid] = next_eid
+            merged_store_of[store.eid] = next_eid
+        else:
+            js_event = Event(
+                eid=next_eid,
+                tid=event.tid,
+                ord=_arm_mode(event),
+                block=block,
+                index=index,
+                reads=event.data if event.is_read else (),
+                writes=event.data if event.is_write else (),
+                tearfree=event.size <= _TEARFREE_MAX_WIDTH,
+            )
+            js_eid_of_arm[event.eid] = next_eid
+        events.append(js_event)
+        next_eid += 1
+
+    # The ARM init event corresponds to whichever JS init event covers the byte.
+    def js_writer_for(arm_writer: int, arm_byte: int) -> Tuple[int, int]:
+        """Map an ARM (writer, byte) pair to the JS (writer, byte) pair."""
+        block, local = layout.block_of(arm_byte)
+        if arm_writer == arm_init_eid:
+            return init_of_block[block], local
+        return js_eid_of_arm[arm_writer], local
+
+    # sequenced-before: program order among translated events (merged RMW
+    # halves collapse onto a single JS event, so duplicate pairs disappear).
+    sb_pairs: Set[Tuple[int, int]] = set()
+    for (a, b) in arm_execution.po:
+        if a not in js_eid_of_arm or b not in js_eid_of_arm:
+            continue
+        ja, jb = js_eid_of_arm[a], js_eid_of_arm[b]
+        if ja != jb:
+            sb_pairs.add((ja, jb))
+
+    rbf: Set[Tuple[int, int, int]] = set()
+    for (k, w, r) in arm_execution.rbf:
+        if r not in js_eid_of_arm:
+            continue
+        reader = js_eid_of_arm[r]
+        writer, local = js_writer_for(w, k)
+        if writer == reader:
+            # A store-exclusive forwarding to its own load half would make a
+            # JavaScript RMW read from itself, which well-formedness forbids
+            # (the EMME issue); such ARM executions do not translate.
+            raise ValueError("RMW reads from its own store half")
+        rbf.add((local, writer, reader))
+
+    execution = CandidateExecution.build(
+        events=events, sb=sb_pairs, asw=(), rbf=rbf
+    )
+    return TranslatedExecution(execution=execution, js_eid_of_arm=js_eid_of_arm)

@@ -1,0 +1,90 @@
+"""The JavaScript (ECMAScript) relaxed memory model — the paper's core contribution.
+
+This subpackage contains the axiomatic model itself: events, candidate
+executions, derived relations, the validity rules of the original (ES2019)
+model and of the corrected model adopted by TC39, the data-race and
+sequential-consistency predicates, the uni-size model, and bounded checks of
+the paper's mechanised theorems.
+"""
+
+from .events import (
+    AccessMode,
+    Event,
+    EventSet,
+    INIT,
+    SEQCST,
+    UNORDERED,
+    make_init_event,
+    overlap,
+    ranges_equal,
+    ranges_intersect,
+)
+from .execution import CandidateExecution, MalformedExecutionError, RbfTriple
+from .relations import Relation, linear_extensions, some_linear_extension, topological_sort
+from .js_model import (
+    ALL_MODELS,
+    ARMV8_FIX_MODEL,
+    FINAL_MODEL,
+    FINAL_MODEL_STRONG_TEAR,
+    JsModel,
+    ORIGINAL_MODEL,
+    ScAtomicsRule,
+    exists_valid_total_order,
+    invalid_for_all_total_orders,
+    is_valid,
+    validity_violations,
+)
+from .data_race import data_races, is_data_race, is_race_free_execution
+from .sc import is_sequentially_consistent, sc_witness
+from .unisize import (
+    reduction_agrees,
+    reduction_applicable,
+    same_location,
+    unisize_exists_valid_total_order,
+    unisize_is_valid,
+)
+from .theorems import TheoremCheckReport, check_internal_sc_drf, check_unisize_reduction
+
+__all__ = [
+    "AccessMode",
+    "Event",
+    "EventSet",
+    "INIT",
+    "SEQCST",
+    "UNORDERED",
+    "make_init_event",
+    "overlap",
+    "ranges_equal",
+    "ranges_intersect",
+    "CandidateExecution",
+    "MalformedExecutionError",
+    "RbfTriple",
+    "Relation",
+    "linear_extensions",
+    "some_linear_extension",
+    "topological_sort",
+    "ALL_MODELS",
+    "ARMV8_FIX_MODEL",
+    "FINAL_MODEL",
+    "FINAL_MODEL_STRONG_TEAR",
+    "JsModel",
+    "ORIGINAL_MODEL",
+    "ScAtomicsRule",
+    "exists_valid_total_order",
+    "invalid_for_all_total_orders",
+    "is_valid",
+    "validity_violations",
+    "data_races",
+    "is_data_race",
+    "is_race_free_execution",
+    "is_sequentially_consistent",
+    "sc_witness",
+    "reduction_agrees",
+    "reduction_applicable",
+    "same_location",
+    "unisize_exists_valid_total_order",
+    "unisize_is_valid",
+    "TheoremCheckReport",
+    "check_internal_sc_drf",
+    "check_unisize_reduction",
+]

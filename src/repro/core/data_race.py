@@ -1,0 +1,62 @@
+"""Data races and data-race freedom (Fig. 7 of the paper).
+
+Two events of a candidate execution race if they overlap, at least one of
+them writes, they are not both same-range SeqCst atomics, and they are
+unordered by ``happens-before``.  A *program* is data-race-free when no
+model-allowed execution of it contains a data-race; that program-level
+notion lives in :mod:`repro.lang.enumeration` — this module provides the
+execution-level predicates it builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .events import Event, SEQCST, ranges_equal
+from .execution import CandidateExecution
+from .js_model import FINAL_MODEL, JsModel
+from .relations import Relation
+
+
+def is_data_race(
+    a: Event, b: Event, hb: Relation
+) -> bool:
+    """The Fig. 7 data-race predicate for two events under ``happens-before``.
+
+    ``(A.ord = Un ∨ B.ord = Un ∨ range(A) ≠ range(B)) ∧ overlap(A,B) ∧
+    (write(A) ∨ write(B)) ∧ ¬(A hb B ∨ B hb A)``
+    """
+    if a.eid == b.eid:
+        return False
+    if not a.overlaps(b):
+        return False
+    if not (a.is_write or b.is_write):
+        return False
+    same_range = a.block == b.block and ranges_equal(a.footprint, b.footprint)
+    both_sc_same_range = a.ord is SEQCST and b.ord is SEQCST and same_range
+    if both_sc_same_range:
+        return False
+    if (a.eid, b.eid) in hb or (b.eid, a.eid) in hb:
+        return False
+    return True
+
+
+def data_races(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> List[Tuple[int, int]]:
+    """All racing event pairs of the execution (each pair reported once)."""
+    hb = model.happens_before(execution)
+    races: List[Tuple[int, int]] = []
+    events = sorted(execution.events, key=lambda e: e.eid)
+    for i, a in enumerate(events):
+        for b in events[i + 1:]:
+            if is_data_race(a, b, hb):
+                races.append((a.eid, b.eid))
+    return races
+
+
+def is_race_free_execution(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> bool:
+    """True iff the execution contains no data-race."""
+    return not data_races(execution, model)

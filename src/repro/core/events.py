@@ -1,0 +1,298 @@
+"""Shared-memory events of the JavaScript memory model.
+
+The ECMAScript memory model (§2.2 of Watt et al., PLDI 2020; Fig. 3) works
+over *events*: shared-memory reads, writes and read-modify-writes produced
+by the thread-local semantics.  Each event carries
+
+* ``ord``      — its mode: ``Init`` (the distinguished initialising write),
+                 ``Unordered`` (non-atomic) or ``SeqCst`` (atomic);
+* ``block``    — the identity of the SharedArrayBuffer accessed;
+* ``index``    — the starting byte offset within the block;
+* ``reads``    — the list of byte values read (empty for pure writes);
+* ``writes``   — the list of byte values written (empty for pure reads);
+* ``tearfree`` — whether the event is guaranteed not to tear.
+
+The model is *mixed-size*: two events may overlap without having the same
+footprint, which is what distinguishes it from C/C++11-style models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+
+class AccessMode(enum.Enum):
+    """The ordering mode of a shared-memory event (``mode`` in Fig. 3)."""
+
+    INIT = "Init"
+    UNORDERED = "Unordered"
+    SEQCST = "SeqCst"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessMode.{self.name}"
+
+    @property
+    def short(self) -> str:
+        """The abbreviation used in the paper's execution diagrams."""
+        return {"Init": "I", "Unordered": "Un", "SeqCst": "SC"}[self.value]
+
+
+INIT = AccessMode.INIT
+UNORDERED = AccessMode.UNORDERED
+SEQCST = AccessMode.SEQCST
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single shared-memory event of a JavaScript candidate execution.
+
+    ``eid`` is a unique identifier within one candidate execution and
+    ``tid`` identifies the issuing agent (thread); the ``Init`` event uses
+    ``tid = -1``.  ``label`` is an optional human-readable name used when
+    rendering executions (``a``, ``b``, … in the paper's figures).
+    """
+
+    eid: int
+    tid: int
+    ord: AccessMode
+    block: str
+    index: int
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    tearfree: bool = True
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"event {self.eid}: negative index {self.index}")
+        if not self.reads and not self.writes:
+            raise ValueError(
+                f"event {self.eid}: must read or write at least one byte"
+            )
+        for byte in tuple(self.reads) + tuple(self.writes):
+            if not 0 <= byte <= 0xFF:
+                raise ValueError(
+                    f"event {self.eid}: byte value {byte} out of range"
+                )
+        if self.ord is INIT and self.reads:
+            raise ValueError(f"event {self.eid}: Init events cannot read")
+
+    # -- footprint ---------------------------------------------------------
+
+    @property
+    def range_r(self) -> range:
+        """``ranger(E)``: the byte locations read by this event."""
+        return range(self.index, self.index + len(self.reads))
+
+    @property
+    def range_w(self) -> range:
+        """``rangew(E)``: the byte locations written by this event."""
+        return range(self.index, self.index + len(self.writes))
+
+    @property
+    def footprint(self) -> range:
+        """``range(E) = ranger(E) ∪ rangew(E)``.
+
+        For every event produced by the thread-local semantics the read and
+        write ranges coincide or one of them is empty, so the union is
+        itself a contiguous range.
+        """
+        return range(
+            self.index, self.index + max(len(self.reads), len(self.writes))
+        )
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        """True iff the event reads at least one byte."""
+        return bool(self.reads)
+
+    @property
+    def is_write(self) -> bool:
+        """``write(E)`` of Fig. 3: true iff the event writes at least one byte."""
+        return bool(self.writes)
+
+    @property
+    def is_rmw(self) -> bool:
+        """True iff the event both reads and writes (a read-modify-write)."""
+        return bool(self.reads) and bool(self.writes)
+
+    @property
+    def is_init(self) -> bool:
+        """True iff this is the distinguished initialising write."""
+        return self.ord is INIT
+
+    @property
+    def is_seqcst(self) -> bool:
+        """True iff the event is a sequentially-consistent atomic."""
+        return self.ord is SEQCST
+
+    @property
+    def is_unordered(self) -> bool:
+        """True iff the event is a non-atomic (Unordered) access."""
+        return self.ord is UNORDERED
+
+    # -- byte-level accessors ------------------------------------------------
+
+    def read_byte(self, location: int) -> int:
+        """The byte value this event reads at absolute byte ``location``."""
+        if location not in self.range_r:
+            raise KeyError(
+                f"event {self.eid} does not read byte location {location}"
+            )
+        return self.reads[location - self.index]
+
+    def written_byte(self, location: int) -> int:
+        """The byte value this event writes at absolute byte ``location``."""
+        if location not in self.range_w:
+            raise KeyError(
+                f"event {self.eid} does not write byte location {location}"
+            )
+        return self.writes[location - self.index]
+
+    def overlaps(self, other: "Event") -> bool:
+        """``overlap(E1, E2)``: same block and intersecting footprints."""
+        if self.block != other.block:
+            return False
+        return ranges_intersect(self.footprint, other.footprint)
+
+    def same_range_w_as_r(self, reader: "Event") -> bool:
+        """``rangew(self) = ranger(reader)`` (and same block)."""
+        return self.block == reader.block and ranges_equal(
+            self.range_w, reader.range_r
+        )
+
+    def same_footprint(self, other: "Event") -> bool:
+        """Equal blocks and equal footprints (``range(E1) = range(E2)``)."""
+        return self.block == other.block and ranges_equal(
+            self.footprint, other.footprint
+        )
+
+    # -- convenience ---------------------------------------------------------
+
+    def with_values(
+        self,
+        reads: Optional[Tuple[int, ...]] = None,
+        writes: Optional[Tuple[int, ...]] = None,
+    ) -> "Event":
+        """A copy of this event with the byte values replaced."""
+        new_reads = self.reads if reads is None else tuple(reads)
+        new_writes = self.writes if writes is None else tuple(writes)
+        return replace(self, reads=new_reads, writes=new_writes)
+
+    def describe(self) -> str:
+        """A compact rendering in the style of the paper's diagrams."""
+        name = self.label or f"e{self.eid}"
+        parts = []
+        if self.is_read:
+            lo, hi = self.range_r.start, self.range_r.stop - 1
+            value = int.from_bytes(bytes(self.reads), "little")
+            parts.append(f"R{self.ord.short} {self.block}[{lo}..{hi}]={value}")
+        if self.is_write:
+            lo, hi = self.range_w.start, self.range_w.stop - 1
+            value = int.from_bytes(bytes(self.writes), "little")
+            parts.append(f"W{self.ord.short} {self.block}[{lo}..{hi}]={value}")
+        return f"{name}: " + " / ".join(parts)
+
+
+def ranges_intersect(a: range, b: range) -> bool:
+    """True iff the two (step-1) ranges share at least one location."""
+    return a.start < b.stop and b.start < a.stop and len(a) > 0 and len(b) > 0
+
+
+def ranges_equal(a: range, b: range) -> bool:
+    """True iff the two (step-1) ranges denote the same set of locations."""
+    if len(a) == 0 and len(b) == 0:
+        return True
+    return a.start == b.start and a.stop == b.stop
+
+
+def overlap(a: Event, b: Event) -> bool:
+    """``overlap(E1, E2)`` of Fig. 3."""
+    return a.overlaps(b)
+
+
+def make_init_event(
+    block: str, size: int, eid: int = 0, value: int = 0
+) -> Event:
+    """The distinguished initialising write covering a whole buffer.
+
+    The JavaScript specification zero-initialises every SharedArrayBuffer;
+    the memory model represents this as a single ``Init``-mode write ranging
+    over the entire buffer (see the ``WI b[0..1024]=0`` event of Fig. 2).
+    """
+    if size <= 0:
+        raise ValueError("buffer size must be positive")
+    if not 0 <= value <= 0xFF:
+        raise ValueError("init byte value out of range")
+    return Event(
+        eid=eid,
+        tid=-1,
+        ord=INIT,
+        block=block,
+        index=0,
+        reads=(),
+        writes=(value,) * size,
+        tearfree=True,
+        label="init",
+    )
+
+
+@dataclass(frozen=True)
+class EventSet:
+    """A finite set of events keyed by ``eid`` with convenience selectors."""
+
+    events: Tuple[Event, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        eids = [e.eid for e in self.events]
+        if len(eids) != len(set(eids)):
+            raise ValueError("duplicate event identifiers in EventSet")
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def by_eid(self, eid: int) -> Event:
+        """Look an event up by identifier."""
+        for event in self.events:
+            if event.eid == eid:
+                return event
+        raise KeyError(f"no event with eid {eid}")
+
+    @property
+    def eids(self) -> FrozenSet[int]:
+        """The set of event identifiers."""
+        return frozenset(e.eid for e in self.events)
+
+    def reads(self) -> Tuple[Event, ...]:
+        """All events that read."""
+        return tuple(e for e in self.events if e.is_read)
+
+    def writes(self) -> Tuple[Event, ...]:
+        """All events that write."""
+        return tuple(e for e in self.events if e.is_write)
+
+    def inits(self) -> Tuple[Event, ...]:
+        """All initialising writes."""
+        return tuple(e for e in self.events if e.is_init)
+
+    def on_thread(self, tid: int) -> Tuple[Event, ...]:
+        """All events issued by thread ``tid``."""
+        return tuple(e for e in self.events if e.tid == tid)
+
+    def writers_of_byte(self, block: str, location: int) -> Tuple[Event, ...]:
+        """All events writing the given absolute byte location."""
+        return tuple(
+            e
+            for e in self.events
+            if e.block == block and location in e.range_w
+        )

@@ -1,0 +1,309 @@
+"""JavaScript candidate executions and their derived relations.
+
+This module implements Fig. 3 of Watt et al. (PLDI 2020): the
+``candidate_execution`` record and the derived relations ``reads-from``
+(``rf``), ``synchronizes-with`` (``sw``) and ``happens-before`` (``hb``),
+including both the *original* (ES2019) definition of ``sw`` — with its
+special case for ``Init`` events — and the *simplified* definition adopted
+in the corrected model.
+
+A candidate execution contains
+
+* ``events``                         — all events of the execution,
+* ``sequenced_before`` (``sb``)      — intra-thread control-flow order,
+* ``additional_synchronizes_with``   — ``asw``: thread creation / join and,
+                                       after §7, wait/notify critical-section
+                                       ordering,
+* ``reads_byte_from`` (``rbf``)      — the byte-wise justification of reads,
+* ``total_order`` (``tot``)          — a strict total order over all events.
+
+``rbf`` and ``tot`` are the *execution witness*: they are existentially
+quantified by the model, while the first three components are fixed by the
+thread-local semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .events import Event, EventSet, AccessMode, INIT, SEQCST, UNORDERED
+from .relations import Relation
+
+RbfTriple = Tuple[int, int, int]
+"""A ``reads-byte-from`` entry ``(byte location, writer eid, reader eid)``."""
+
+
+class MalformedExecutionError(ValueError):
+    """Raised when a candidate execution violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class CandidateExecution:
+    """A JavaScript candidate execution (Fig. 3).
+
+    All relations are stored over event identifiers (``eid``).  ``tot`` is
+    stored as an explicit ordering tuple; :meth:`total_order` exposes it as
+    a relation.  ``tot`` may be ``None`` while a witness is being searched
+    for (e.g. during enumeration); validity checks require it.
+    """
+
+    events: EventSet
+    sb: Relation = field(default_factory=Relation)
+    asw: Relation = field(default_factory=Relation)
+    rbf: FrozenSet[RbfTriple] = frozenset()
+    tot: Optional[Tuple[int, ...]] = None
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def build(
+        events: Iterable[Event],
+        sb: Iterable[Tuple[int, int]] = (),
+        asw: Iterable[Tuple[int, int]] = (),
+        rbf: Iterable[RbfTriple] = (),
+        tot: Optional[Sequence[int]] = None,
+    ) -> "CandidateExecution":
+        """Convenience constructor from plain iterables."""
+        return CandidateExecution(
+            events=EventSet(tuple(events)),
+            sb=Relation(sb),
+            asw=Relation(asw),
+            rbf=frozenset(rbf),
+            tot=tuple(tot) if tot is not None else None,
+        )
+
+    def with_witness(
+        self,
+        rbf: Optional[Iterable[RbfTriple]] = None,
+        tot: Optional[Sequence[int]] = None,
+    ) -> "CandidateExecution":
+        """A copy of this execution with a (possibly partial) new witness."""
+        return replace(
+            self,
+            rbf=frozenset(rbf) if rbf is not None else self.rbf,
+            tot=tuple(tot) if tot is not None else self.tot,
+        )
+
+    # -- basic lookups -------------------------------------------------------
+
+    def event(self, eid: int) -> Event:
+        """The event with identifier ``eid``."""
+        return self.events.by_eid(eid)
+
+    @property
+    def eids(self) -> FrozenSet[int]:
+        """All event identifiers."""
+        return self.events.eids
+
+    def threads(self) -> Tuple[int, ...]:
+        """The thread identifiers occurring in the execution (excluding Init)."""
+        return tuple(sorted({e.tid for e in self.events if e.tid >= 0}))
+
+    # -- witness relations -----------------------------------------------------
+
+    def total_order(self) -> Relation:
+        """``tot`` as a strict-total-order relation over event identifiers."""
+        if self.tot is None:
+            raise MalformedExecutionError("execution has no total-order witness")
+        return Relation.from_total_order(self.tot)
+
+    def tot_index(self) -> Dict[int, int]:
+        """Position of each event identifier within ``tot``."""
+        if self.tot is None:
+            raise MalformedExecutionError("execution has no total-order witness")
+        return {eid: i for i, eid in enumerate(self.tot)}
+
+    def tot_before(self, a: int, b: int) -> bool:
+        """True iff event ``a`` precedes event ``b`` in ``tot``."""
+        index = self.tot_index()
+        return index[a] < index[b]
+
+    # -- derived relations (Fig. 3) --------------------------------------------
+
+    def reads_from(self) -> Relation:
+        """``rf ≜ {⟨A,B⟩ | ∃k. ⟨k,A,B⟩ ∈ rbf}`` (writer on the left)."""
+        return Relation({(w, r) for (_k, w, r) in self.rbf})
+
+    def synchronizes_with(self, simplified: bool = False) -> Relation:
+        """``sw`` — the synchronisation edges created by SeqCst atomics.
+
+        With ``simplified=False`` this is the original ES2019 definition
+        (Fig. 3), which includes the special case for reads that read only
+        from ``Init`` events.  With ``simplified=True`` it is the corrected
+        model's simplified definition (§3.2): a SeqCst read synchronises
+        with a same-range SeqCst write it reads from, plus ``asw``.
+        """
+        rf = self.reads_from()
+        pairs: Set[Tuple[int, int]] = set()
+        writers_of: Dict[int, List[int]] = {}
+        for (w, r) in rf:
+            writers_of.setdefault(r, []).append(w)
+        for (w_eid, r_eid) in rf:
+            writer = self.event(w_eid)
+            reader = self.event(r_eid)
+            if reader.ord is not SEQCST:
+                continue
+            same_range_sc = (
+                writer.same_range_w_as_r(reader) and writer.ord is SEQCST
+            )
+            if simplified:
+                if same_range_sc:
+                    pairs.add((w_eid, r_eid))
+            else:
+                only_init = all(
+                    self.event(other).ord is INIT
+                    for other in writers_of.get(r_eid, ())
+                )
+                if same_range_sc or only_init:
+                    pairs.add((w_eid, r_eid))
+        return Relation(pairs).union(self.asw)
+
+    def init_overlap(self) -> Relation:
+        """``{⟨A,B⟩ | A.ord = Init ∧ overlap(A,B)}`` — Init precedes everything it overlaps."""
+        pairs = set()
+        for init in self.events.inits():
+            for other in self.events:
+                if other.eid == init.eid:
+                    continue
+                if init.overlaps(other):
+                    pairs.add((init.eid, other.eid))
+        return Relation(pairs)
+
+    def happens_before(self, simplified_sw: bool = False) -> Relation:
+        """``hb ≜ (sb ∪ sw ∪ init-overlap)⁺``."""
+        base = self.sb.union(
+            self.synchronizes_with(simplified=simplified_sw), self.init_overlap()
+        )
+        return base.transitive_closure()
+
+    # -- well-formedness --------------------------------------------------------
+
+    def check_well_formed(self, require_tot: bool = True) -> None:
+        """Raise :class:`MalformedExecutionError` if structurally ill-formed.
+
+        Well-formedness captures the conditions the specification places on
+        candidate executions before the memory-model axioms apply:
+
+        * ``sb`` relates only events of the same thread and is a strict
+          partial order (per thread it is total in practice);
+        * every ``rbf`` triple associates a read with a write covering the
+          byte, with matching byte values, and no event reads from itself
+          (the RMW self-read issue identified by EMME);
+        * every byte of every read is justified by exactly one write;
+        * ``tot`` (when present) is a strict total order over all events.
+        """
+        eids = self.eids
+        for (a, b) in self.sb:
+            if a not in eids or b not in eids:
+                raise MalformedExecutionError(f"sb mentions unknown event: {(a, b)}")
+            if self.event(a).tid != self.event(b).tid:
+                raise MalformedExecutionError(
+                    f"sb relates events of different threads: {(a, b)}"
+                )
+        if not self.sb.is_acyclic():
+            raise MalformedExecutionError("sb is cyclic")
+        for (a, b) in self.asw:
+            if a not in eids or b not in eids:
+                raise MalformedExecutionError(f"asw mentions unknown event: {(a, b)}")
+
+        justified: Dict[Tuple[int, int], int] = {}
+        for (k, w_eid, r_eid) in self.rbf:
+            if w_eid not in eids or r_eid not in eids:
+                raise MalformedExecutionError(
+                    f"rbf mentions unknown event: {(k, w_eid, r_eid)}"
+                )
+            if w_eid == r_eid:
+                raise MalformedExecutionError(
+                    f"event {r_eid} reads byte {k} from itself"
+                )
+            writer = self.event(w_eid)
+            reader = self.event(r_eid)
+            if writer.block != reader.block:
+                raise MalformedExecutionError(
+                    f"rbf crosses blocks: {(k, w_eid, r_eid)}"
+                )
+            if k not in writer.range_w:
+                raise MalformedExecutionError(
+                    f"event {w_eid} does not write byte {k}"
+                )
+            if k not in reader.range_r:
+                raise MalformedExecutionError(
+                    f"event {r_eid} does not read byte {k}"
+                )
+            if writer.written_byte(k) != reader.read_byte(k):
+                raise MalformedExecutionError(
+                    f"byte value mismatch at {(k, w_eid, r_eid)}: "
+                    f"write {writer.written_byte(k)} vs read {reader.read_byte(k)}"
+                )
+            key = (k, r_eid)
+            if key in justified:
+                raise MalformedExecutionError(
+                    f"byte {k} of event {r_eid} justified by multiple writes"
+                )
+            justified[key] = w_eid
+
+        for reader in self.events.reads():
+            for k in reader.range_r:
+                if (k, reader.eid) not in justified:
+                    raise MalformedExecutionError(
+                        f"byte {k} of read event {reader.eid} has no justification"
+                    )
+
+        if self.tot is not None:
+            if set(self.tot) != set(eids) or len(self.tot) != len(eids):
+                raise MalformedExecutionError(
+                    "tot is not a permutation of the event identifiers"
+                )
+        elif require_tot:
+            raise MalformedExecutionError("execution has no total-order witness")
+
+    def is_well_formed(self, require_tot: bool = True) -> bool:
+        """Boolean form of :meth:`check_well_formed`."""
+        try:
+            self.check_well_formed(require_tot=require_tot)
+        except MalformedExecutionError:
+            return False
+        return True
+
+    # -- misc queries -------------------------------------------------------------
+
+    def rf_inverse_functional(self) -> bool:
+        """True iff no read reads (bytes) from more than one write.
+
+        ``rf⁻¹`` being functional is the key premise of the mixed-size →
+        uni-size reduction of §6.3/§6.4.
+        """
+        writers_of: Dict[int, Set[int]] = {}
+        for (_k, w, r) in self.rbf:
+            writers_of.setdefault(r, set()).add(w)
+        return all(len(ws) <= 1 for ws in writers_of.values())
+
+    def has_partial_overlaps(self) -> bool:
+        """True iff some pair of overlapping events has unequal footprints."""
+        events = list(self.events)
+        for i, a in enumerate(events):
+            for b in events[i + 1:]:
+                if a.is_init or b.is_init:
+                    continue
+                if a.overlaps(b) and not a.same_footprint(b):
+                    return True
+        return False
+
+    def describe(self) -> str:
+        """A multi-line human-readable rendering of the execution."""
+        lines = ["CandidateExecution:"]
+        for event in sorted(self.events, key=lambda e: (e.tid, e.eid)):
+            lines.append(f"  {event.describe()}  (tid={event.tid})")
+        lines.append(f"  sb:  {sorted(self.sb.pairs)}")
+        lines.append(f"  asw: {sorted(self.asw.pairs)}")
+        lines.append(f"  rbf: {sorted(self.rbf)}")
+        lines.append(f"  tot: {self.tot}")
+        return "\n".join(lines)
+
+
+def project_outcome(
+    execution: CandidateExecution, registers: Dict[str, int]
+) -> Dict[str, int]:
+    """Helper used by the litmus runner: pair an execution with its outcome."""
+    return dict(registers)

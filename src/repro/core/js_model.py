@@ -1,0 +1,373 @@
+"""Validity of JavaScript candidate executions — original and corrected models.
+
+This module implements Fig. 4 (the ES2019 model), the two repairs of §3
+(the ARMv8-compilation fix and the SC-DRF fix), the combined final rule of
+Fig. 10, the simplified ``synchronizes-with`` of §3.2, and the strengthened
+*Tear-Free Reads* condition of §6.4.
+
+A model variant is described by a :class:`JsModel` value; the named presets
+
+* :data:`ORIGINAL_MODEL`   — ES2019, 10th edition (Fig. 4),
+* :data:`ARMV8_FIX_MODEL`  — the "second attempt" SC-atomics rule of §3.1,
+* :data:`FINAL_MODEL`      — the combined rule of Fig. 10 adopted by TC39,
+* :data:`FINAL_MODEL_STRONG_TEAR` — Fig. 10 plus strong Tear-Free Reads,
+
+are the ones exercised throughout the test-suite and benchmarks.
+
+The central entry points are :func:`is_valid` (check one candidate execution
+with a complete witness) and :func:`exists_valid_total_order` (search for a
+witnessing ``total-order``, given the events and ``reads-byte-from``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .events import Event, SEQCST, INIT, ranges_equal
+from .execution import CandidateExecution
+from .relations import Relation, linear_extensions
+
+
+class ScAtomicsRule(enum.Enum):
+    """Which *Sequentially Consistent Atomics* condition is enforced."""
+
+    ORIGINAL = "original"          # Fig. 4 ("first attempt")
+    ARMV8_FIX = "armv8-fix"        # §3.1 ("second attempt")
+    FINAL = "final"                # Fig. 10 (combined, adopted by TC39)
+
+
+@dataclass(frozen=True)
+class JsModel:
+    """A configuration of the JavaScript memory model.
+
+    ``sc_atomics``      — which SC-atomics rule to apply;
+    ``simplified_sw``   — use the simplified ``synchronizes-with`` (§3.2);
+    ``strong_tearfree`` — use the strengthened Tear-Free Reads rule (§6.4).
+    """
+
+    name: str
+    sc_atomics: ScAtomicsRule
+    simplified_sw: bool = False
+    strong_tearfree: bool = False
+
+    def happens_before(self, execution: CandidateExecution) -> Relation:
+        """``hb`` computed with this model's ``synchronizes-with``."""
+        return execution.happens_before(simplified_sw=self.simplified_sw)
+
+    def synchronizes_with(self, execution: CandidateExecution) -> Relation:
+        """``sw`` computed with this model's definition."""
+        return execution.synchronizes_with(simplified=self.simplified_sw)
+
+
+ORIGINAL_MODEL = JsModel(
+    name="es2019-original",
+    sc_atomics=ScAtomicsRule.ORIGINAL,
+    simplified_sw=False,
+    strong_tearfree=False,
+)
+
+ARMV8_FIX_MODEL = JsModel(
+    name="armv8-fix-only",
+    sc_atomics=ScAtomicsRule.ARMV8_FIX,
+    simplified_sw=False,
+    strong_tearfree=False,
+)
+
+FINAL_MODEL = JsModel(
+    name="final-tc39",
+    sc_atomics=ScAtomicsRule.FINAL,
+    simplified_sw=True,
+    strong_tearfree=False,
+)
+
+FINAL_MODEL_STRONG_TEAR = replace(
+    FINAL_MODEL, name="final-tc39-strong-tearfree", strong_tearfree=True
+)
+
+ALL_MODELS: Tuple[JsModel, ...] = (
+    ORIGINAL_MODEL,
+    ARMV8_FIX_MODEL,
+    FINAL_MODEL,
+    FINAL_MODEL_STRONG_TEAR,
+)
+
+
+# ---------------------------------------------------------------------------
+# individual validity conditions
+# ---------------------------------------------------------------------------
+
+
+def happens_before_consistency_1(
+    execution: CandidateExecution, hb: Relation
+) -> bool:
+    """Fig. 4 rule (1): ``happens-before ⊆ total-order``."""
+    tot = execution.total_order()
+    return tot.contains_relation(hb)
+
+
+def happens_before_consistency_2(
+    execution: CandidateExecution, hb: Relation
+) -> bool:
+    """Fig. 4 rule (2): a read never happens-before a write it reads from."""
+    for (w_eid, r_eid) in execution.reads_from():
+        if (r_eid, w_eid) in hb:
+            return False
+    return True
+
+
+def happens_before_consistency_3(
+    execution: CandidateExecution, hb: Relation
+) -> bool:
+    """Fig. 4 rule (3): no read observes a byte hidden by a newer hb-write.
+
+    For every ``⟨k, Ew, Er⟩ ∈ reads-byte-from`` there must be no write
+    ``E'w`` with ``Ew hb E'w hb Er`` that also writes byte ``k``.
+    """
+    for (k, w_eid, r_eid) in execution.rbf:
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid):
+                continue
+            if not candidate.is_write or k not in candidate.range_w:
+                continue
+            if (w_eid, candidate.eid) in hb and (candidate.eid, r_eid) in hb:
+                return False
+    return True
+
+
+def tear_free_reads(execution: CandidateExecution, strong: bool = False) -> bool:
+    """The *Tear-Free Reads* rule (Fig. 4), optionally strengthened (§6.4).
+
+    A tear-free read may read from at most one tear-free write of identical
+    range.  The strong variant additionally counts ``Init`` writes, closing
+    the Fig. 14 loophole where an aligned tear-free read mixes bytes of the
+    initialising write with bytes of a tear-free write.
+    """
+    rf = execution.reads_from()
+    for reader in execution.events.reads():
+        if not reader.tearfree:
+            continue
+        matching = set()
+        for (w_eid, r_eid) in rf:
+            if r_eid != reader.eid:
+                continue
+            writer = execution.event(w_eid)
+            if not writer.tearfree:
+                continue
+            same_range = writer.same_range_w_as_r(reader)
+            if same_range or (strong and writer.ord is INIT):
+                matching.add(w_eid)
+        if len(matching) > 1:
+            return False
+    return True
+
+
+def _is_seqcst_write(event: Event) -> bool:
+    return event.is_write and event.ord is SEQCST
+
+
+def sc_atomics_original(
+    execution: CandidateExecution, sw: Relation
+) -> bool:
+    """Fig. 4 *Sequentially Consistent Atomics* ("first attempt").
+
+    Forbids any write with the read's range from appearing tot-between a
+    synchronising write/read pair — including non-SeqCst writes, which is
+    precisely what breaks the ARMv8 compilation scheme (§3.1, Fig. 5).
+    """
+    return _sc_atomics_between(execution, sw, require_seqcst_intervener=False)
+
+
+def sc_atomics_armv8_fix(
+    execution: CandidateExecution, sw: Relation
+) -> bool:
+    """§3.1 *SC Atomics (second attempt)*: the intervener must be SeqCst."""
+    return _sc_atomics_between(execution, sw, require_seqcst_intervener=True)
+
+
+def _sc_atomics_between(
+    execution: CandidateExecution,
+    sw: Relation,
+    require_seqcst_intervener: bool,
+) -> bool:
+    index = execution.tot_index()
+    for (w_eid, r_eid) in sw:
+        writer = execution.event(w_eid)
+        reader = execution.event(r_eid)
+        if not reader.is_read:
+            # asw edges may relate non-read events; the range condition is
+            # then vacuously unsatisfiable (a write range is never empty).
+            continue
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid):
+                continue
+            if not candidate.is_write:
+                continue
+            if require_seqcst_intervener and candidate.ord is not SEQCST:
+                continue
+            if not (
+                candidate.block == reader.block
+                and ranges_equal(candidate.range_w, reader.range_r)
+            ):
+                continue
+            if index[w_eid] < index[candidate.eid] < index[r_eid]:
+                return False
+    return True
+
+
+def sc_atomics_final(
+    execution: CandidateExecution, sw: Relation, hb: Relation
+) -> bool:
+    """Fig. 10: the combined *Sequentially Consistent Atomics* rule.
+
+    For every ``Ew reads-from Er`` with ``Ew happens-before Er``, there is no
+    SeqCst write ``E'w`` tot-between them such that one of the three listed
+    range/ordering side-conditions holds.  The rule simultaneously
+
+    * weakens Fig. 4 (the intervener must be SeqCst — the ARMv8 fix), and
+    * strengthens it (the two extra disjuncts forbid the Fig. 9 SC-DRF
+      violation shapes).
+    """
+    index = execution.tot_index()
+    rf = execution.reads_from()
+    for (w_eid, r_eid) in rf:
+        if (w_eid, r_eid) not in hb:
+            continue
+        writer = execution.event(w_eid)
+        reader = execution.event(r_eid)
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid):
+                continue
+            if not _is_seqcst_write(candidate):
+                continue
+            if not (index[w_eid] < index[candidate.eid] < index[r_eid]):
+                continue
+            if candidate.block != reader.block:
+                continue
+            same_range_as_read = ranges_equal(candidate.range_w, reader.range_r)
+            same_range_as_write = (
+                candidate.block == writer.block
+                and ranges_equal(candidate.range_w, writer.range_w)
+            )
+            first = same_range_as_read and (w_eid, r_eid) in sw
+            second = (
+                same_range_as_write
+                and writer.ord is SEQCST
+                and (candidate.eid, r_eid) in hb
+            )
+            third = (
+                same_range_as_read
+                and (w_eid, candidate.eid) in hb
+                and reader.ord is SEQCST
+            )
+            if first or second or third:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# whole-execution validity
+# ---------------------------------------------------------------------------
+
+
+def is_valid(
+    execution: CandidateExecution,
+    model: JsModel = FINAL_MODEL,
+    check_well_formed: bool = True,
+) -> bool:
+    """Is the candidate execution valid under ``model``?
+
+    The execution must carry a complete witness (``rbf`` and ``tot``).
+    """
+    if check_well_formed and not execution.is_well_formed(require_tot=True):
+        return False
+    hb = model.happens_before(execution)
+    sw = model.synchronizes_with(execution)
+    if not happens_before_consistency_1(execution, hb):
+        return False
+    if not happens_before_consistency_2(execution, hb):
+        return False
+    if not happens_before_consistency_3(execution, hb):
+        return False
+    if not tear_free_reads(execution, strong=model.strong_tearfree):
+        return False
+    if model.sc_atomics is ScAtomicsRule.ORIGINAL:
+        return sc_atomics_original(execution, sw)
+    if model.sc_atomics is ScAtomicsRule.ARMV8_FIX:
+        return sc_atomics_armv8_fix(execution, sw)
+    return sc_atomics_final(execution, sw, hb)
+
+
+def validity_violations(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> List[str]:
+    """The names of the validity rules the execution violates (for diagnostics)."""
+    violations: List[str] = []
+    if not execution.is_well_formed(require_tot=True):
+        return ["well-formedness"]
+    hb = model.happens_before(execution)
+    sw = model.synchronizes_with(execution)
+    if not happens_before_consistency_1(execution, hb):
+        violations.append("happens-before-consistency-1")
+    if not happens_before_consistency_2(execution, hb):
+        violations.append("happens-before-consistency-2")
+    if not happens_before_consistency_3(execution, hb):
+        violations.append("happens-before-consistency-3")
+    if not tear_free_reads(execution, strong=model.strong_tearfree):
+        violations.append("tear-free-reads")
+    if model.sc_atomics is ScAtomicsRule.ORIGINAL:
+        ok = sc_atomics_original(execution, sw)
+    elif model.sc_atomics is ScAtomicsRule.ARMV8_FIX:
+        ok = sc_atomics_armv8_fix(execution, sw)
+    else:
+        ok = sc_atomics_final(execution, sw, hb)
+    if not ok:
+        violations.append("sequentially-consistent-atomics")
+    return violations
+
+
+def candidate_total_orders(
+    execution: CandidateExecution, model: JsModel
+) -> Iterator[Tuple[int, ...]]:
+    """Enumerate the total orders that could possibly witness validity.
+
+    By *Happens-Before Consistency (1)* every valid ``tot`` is a linear
+    extension of ``hb``, so it suffices to enumerate those (and none exist
+    when ``hb`` is cyclic).
+    """
+    hb = model.happens_before(execution)
+    eids = sorted(execution.eids)
+    if not hb.is_acyclic():
+        return
+    yield from linear_extensions(eids, hb)
+
+
+def exists_valid_total_order(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> Optional[Tuple[int, ...]]:
+    """Search for a ``total-order`` witness making the execution valid.
+
+    Returns a witnessing order, or ``None`` if no total order makes the
+    (events, sb, asw, rbf) quadruple valid under ``model``.  This realises
+    the existential quantification over the execution witness in §2.3.
+    """
+    if not execution.is_well_formed(require_tot=False):
+        return None
+    for tot in candidate_total_orders(execution, model):
+        candidate = execution.with_witness(tot=tot)
+        if is_valid(candidate, model, check_well_formed=False):
+            return tot
+    return None
+
+
+def invalid_for_all_total_orders(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> bool:
+    """True iff *no* choice of ``tot`` makes the execution valid.
+
+    This is the exact (semantic) form of the *deadness* requirement of §5.2:
+    a counter-example execution is only meaningful if its invalidity cannot
+    be repaired by permuting the total order.
+    """
+    return exists_valid_total_order(execution, model) is None

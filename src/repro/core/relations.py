@@ -1,0 +1,375 @@
+"""Finite binary relations and order-theoretic helpers.
+
+The axiomatic memory models in this package (the JavaScript model of
+ECMAScript 2019 / the corrected model of Watt et al. [PLDI 2020], the
+mixed-size ARMv8 model, IMM and the per-architecture models) are all stated
+as constraints over finite binary relations between events.  This module
+provides a small relation-algebra toolkit in the style used by ``herd``'s
+``cat`` language and by the paper's Alloy/Coq developments:
+
+* union, intersection, difference, composition, inverse,
+* (reflexive) transitive closure,
+* restriction to domains / ranges,
+* acyclicity and irreflexivity checks,
+* linear extensions (Szpilrajn-style enumeration with pruning), used to
+  search for a witnessing ``total-order`` component of a JavaScript
+  candidate execution.
+
+Relations are immutable value objects over arbitrary hashable elements
+(in practice: integer event identifiers).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+Element = Hashable
+Pair = Tuple[Element, Element]
+
+
+class Relation:
+    """An immutable finite binary relation (a set of ordered pairs)."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()):
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The underlying set of ordered pairs."""
+        return self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        pairs = sorted(self._pairs, key=repr)
+        return f"Relation({pairs!r})"
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Relation":
+        """The empty relation."""
+        return _EMPTY
+
+    @staticmethod
+    def identity(elements: Iterable[Element]) -> "Relation":
+        """The identity relation over ``elements``."""
+        return Relation((e, e) for e in elements)
+
+    @staticmethod
+    def full(elements: Iterable[Element]) -> "Relation":
+        """The complete relation ``elements × elements``."""
+        elems = list(elements)
+        return Relation((a, b) for a in elems for b in elems)
+
+    @staticmethod
+    def from_total_order(ordering: Sequence[Element]) -> "Relation":
+        """The strict total order induced by the sequence ``ordering``.
+
+        ``ordering[i]`` is related to ``ordering[j]`` for every ``i < j``.
+        """
+        pairs = []
+        for i, a in enumerate(ordering):
+            for b in ordering[i + 1:]:
+                pairs.append((a, b))
+        return Relation(pairs)
+
+    # -- boolean algebra ---------------------------------------------------
+
+    def union(self, *others: "Relation") -> "Relation":
+        """Set union with one or more relations."""
+        pairs: Set[Pair] = set(self._pairs)
+        for other in others:
+            pairs |= other._pairs
+        return Relation(pairs)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection with ``other``."""
+        return Relation(self._pairs & other._pairs)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``self \\ other``."""
+        return Relation(self._pairs - other._pairs)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    # -- relational algebra ------------------------------------------------
+
+    def inverse(self) -> "Relation":
+        """The converse relation (``rel⁻¹``)."""
+        return Relation((b, a) for (a, b) in self._pairs)
+
+    def compose(self, other: "Relation") -> "Relation":
+        """Relational composition ``self ; other``.
+
+        ``(a, c)`` is in the result iff there is some ``b`` with
+        ``(a, b) ∈ self`` and ``(b, c) ∈ other``.
+        """
+        by_source: Dict[Element, List[Element]] = {}
+        for (b, c) in other._pairs:
+            by_source.setdefault(b, []).append(c)
+        pairs = set()
+        for (a, b) in self._pairs:
+            for c in by_source.get(b, ()):
+                pairs.add((a, c))
+        return Relation(pairs)
+
+    def transitive_closure(self) -> "Relation":
+        """The (strict) transitive closure ``rel⁺``."""
+        succ: Dict[Element, Set[Element]] = {}
+        for (a, b) in self._pairs:
+            succ.setdefault(a, set()).add(b)
+        closure: Set[Pair] = set()
+        for start in succ:
+            seen: Set[Element] = set()
+            stack = list(succ.get(start, ()))
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(succ.get(node, ()))
+            closure.update((start, node) for node in seen)
+        return Relation(closure)
+
+    def reflexive_transitive_closure(
+        self, elements: Iterable[Element]
+    ) -> "Relation":
+        """``rel*`` over the given carrier set."""
+        return self.transitive_closure().union(Relation.identity(elements))
+
+    def restrict(
+        self,
+        domain: Optional[Iterable[Element]] = None,
+        codomain: Optional[Iterable[Element]] = None,
+    ) -> "Relation":
+        """Restrict the relation to pairs whose endpoints lie in the sets."""
+        dom = set(domain) if domain is not None else None
+        cod = set(codomain) if codomain is not None else None
+        pairs = []
+        for (a, b) in self._pairs:
+            if dom is not None and a not in dom:
+                continue
+            if cod is not None and b not in cod:
+                continue
+            pairs.append((a, b))
+        return Relation(pairs)
+
+    def filter(self, predicate: Callable[[Element, Element], bool]) -> "Relation":
+        """Keep only the pairs satisfying ``predicate``."""
+        return Relation((a, b) for (a, b) in self._pairs if predicate(a, b))
+
+    def map(self, mapping: Callable[[Element], Element]) -> "Relation":
+        """Apply ``mapping`` to both components of every pair."""
+        return Relation((mapping(a), mapping(b)) for (a, b) in self._pairs)
+
+    # -- queries -----------------------------------------------------------
+
+    def domain(self) -> FrozenSet[Element]:
+        """The set of left components."""
+        return frozenset(a for (a, _b) in self._pairs)
+
+    def codomain(self) -> FrozenSet[Element]:
+        """The set of right components."""
+        return frozenset(b for (_a, b) in self._pairs)
+
+    def elements(self) -> FrozenSet[Element]:
+        """All elements mentioned in the relation."""
+        return self.domain() | self.codomain()
+
+    def successors(self, element: Element) -> FrozenSet[Element]:
+        """All ``b`` with ``(element, b)`` in the relation."""
+        return frozenset(b for (a, b) in self._pairs if a == element)
+
+    def predecessors(self, element: Element) -> FrozenSet[Element]:
+        """All ``a`` with ``(a, element)`` in the relation."""
+        return frozenset(a for (a, b) in self._pairs if b == element)
+
+    def is_irreflexive(self) -> bool:
+        """True iff no element is related to itself."""
+        return all(a != b for (a, b) in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation, viewed as a directed graph, has no cycle."""
+        succ: Dict[Element, Set[Element]] = {}
+        for (a, b) in self._pairs:
+            succ.setdefault(a, set()).add(b)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[Element, int] = {}
+
+        for start in list(succ):
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[Element, Iterator[Element]]] = [
+                (start, iter(succ.get(start, ())))
+            ]
+            colour[start] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = colour.get(child, WHITE)
+                    if state == GREY:
+                        return False
+                    if state == WHITE:
+                        colour[child] = GREY
+                        stack.append((child, iter(succ.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return True
+
+    def is_transitive(self) -> bool:
+        """True iff the relation is transitively closed."""
+        return self.transitive_closure().pairs <= self._pairs
+
+    def is_strict_total_order_over(self, elements: Iterable[Element]) -> bool:
+        """True iff the relation is a strict total order over ``elements``."""
+        elems = list(elements)
+        if not self.is_irreflexive():
+            return False
+        if not self.is_transitive():
+            return False
+        for a, b in itertools.combinations(elems, 2):
+            if (a, b) not in self._pairs and (b, a) not in self._pairs:
+                return False
+        return True
+
+    def is_functional(self) -> bool:
+        """True iff every left component is related to at most one element."""
+        seen: Dict[Element, Element] = {}
+        for (a, b) in self._pairs:
+            if a in seen and seen[a] != b:
+                return False
+            seen[a] = b
+        return True
+
+    def contains_relation(self, other: "Relation") -> bool:
+        """True iff ``other ⊆ self``."""
+        return other._pairs <= self._pairs
+
+
+_EMPTY = Relation(())
+
+
+# ---------------------------------------------------------------------------
+# order-theoretic helpers
+# ---------------------------------------------------------------------------
+
+
+def topological_sort(
+    elements: Sequence[Element], order: Relation
+) -> Optional[List[Element]]:
+    """Return one linear extension of ``order`` over ``elements``.
+
+    Returns ``None`` if ``order`` (restricted to ``elements``) is cyclic.
+    """
+    elems = list(elements)
+    elem_set = set(elems)
+    indegree: Dict[Element, int] = {e: 0 for e in elems}
+    succ: Dict[Element, List[Element]] = {e: [] for e in elems}
+    for (a, b) in order:
+        if a in elem_set and b in elem_set and a != b:
+            succ[a].append(b)
+            indegree[b] += 1
+    ready = [e for e in elems if indegree[e] == 0]
+    result: List[Element] = []
+    while ready:
+        node = ready.pop()
+        result.append(node)
+        for child in succ[node]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+    if len(result) != len(elems):
+        return None
+    return result
+
+
+def linear_extensions(
+    elements: Sequence[Element], order: Relation
+) -> Iterator[Tuple[Element, ...]]:
+    """Enumerate every linear extension of ``order`` over ``elements``.
+
+    A linear extension is a total ordering of ``elements`` compatible with
+    the (acyclic) partial order ``order``.  The enumeration is a standard
+    backtracking search; candidate executions in this package are small
+    (litmus-test sized) so exhaustive enumeration is feasible, as in the
+    paper's Alloy bounded search.
+    """
+    elems = list(elements)
+    elem_set = set(elems)
+    preds: Dict[Element, Set[Element]] = {e: set() for e in elems}
+    for (a, b) in order:
+        if a in elem_set and b in elem_set and a != b:
+            preds[b].add(a)
+
+    def backtrack(placed: List[Element], remaining: Set[Element]):
+        if not remaining:
+            yield tuple(placed)
+            return
+        placed_set = set(placed)
+        # Deterministic iteration order keeps the search reproducible.
+        for candidate in sorted(remaining, key=repr):
+            if preds[candidate] <= placed_set:
+                placed.append(candidate)
+                remaining.remove(candidate)
+                yield from backtrack(placed, remaining)
+                remaining.add(candidate)
+                placed.pop()
+
+    yield from backtrack([], set(elems))
+
+
+def some_linear_extension(
+    elements: Sequence[Element], order: Relation
+) -> Optional[Tuple[Element, ...]]:
+    """Return an arbitrary linear extension, or ``None`` if ``order`` is cyclic."""
+    result = topological_sort(elements, order)
+    if result is None:
+        return None
+    return tuple(result)
+
+
+def strict_total_orders(elements: Sequence[Element]) -> Iterator[Tuple[Element, ...]]:
+    """Enumerate every strict total order (as an ordered tuple) over ``elements``."""
+    yield from itertools.permutations(elements)

@@ -1,0 +1,76 @@
+"""Sequential consistency of candidate executions.
+
+The SC-DRF property of §3.2 says that data-race-free programs only exhibit
+results "corresponding to a sequential interleaving of [their] accesses"
+(Lamport's definition of sequential consistency).  This module gives the
+execution-level notion used by the paper's internal SC-DRF theorem
+(Theorem 6.1): a candidate execution is *sequentially consistent* if there
+is an interleaving of all its events — compatible with ``sequenced-before``,
+``additional-synchronizes-with`` and the Init event coming first — in which
+every read reads, byte by byte, the value left by the most recent preceding
+write of that byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from .events import Event
+from .execution import CandidateExecution
+from .relations import Relation, linear_extensions
+
+
+def _interleaving_base(execution: CandidateExecution) -> Relation:
+    """The order any SC interleaving must respect: ``sb ∪ asw ∪ init-overlap``."""
+    return execution.sb.union(execution.asw, execution.init_overlap())
+
+
+def _reads_explained_by(
+    execution: CandidateExecution, interleaving: Sequence[int]
+) -> bool:
+    """Does the interleaving explain every read's byte values?
+
+    Memory is replayed along the interleaving; each read must observe, for
+    every byte it covers, exactly the latest value written to that byte so
+    far (and some write must have covered the byte — the Init event ensures
+    this for well-formed program executions).
+    """
+    memory: Dict[Tuple[str, int], int] = {}
+    for eid in interleaving:
+        event = execution.event(eid)
+        if event.is_read:
+            for k in event.range_r:
+                current = memory.get((event.block, k))
+                if current is None or current != event.read_byte(k):
+                    return False
+        if event.is_write:
+            for k in event.range_w:
+                memory[(event.block, k)] = event.written_byte(k)
+    return True
+
+
+def sc_interleavings(
+    execution: CandidateExecution,
+) -> Iterator[Tuple[int, ...]]:
+    """Enumerate the interleavings witnessing sequential consistency."""
+    base = _interleaving_base(execution)
+    eids = sorted(execution.eids)
+    if not base.is_acyclic():
+        return
+    for interleaving in linear_extensions(eids, base):
+        if _reads_explained_by(execution, interleaving):
+            yield interleaving
+
+
+def is_sequentially_consistent(execution: CandidateExecution) -> bool:
+    """True iff some interleaving of the events explains all read values."""
+    for _ in sc_interleavings(execution):
+        return True
+    return False
+
+
+def sc_witness(execution: CandidateExecution) -> Optional[Tuple[int, ...]]:
+    """A witnessing interleaving, or ``None`` if the execution is not SC."""
+    for interleaving in sc_interleavings(execution):
+        return interleaving
+    return None

@@ -1,0 +1,115 @@
+"""Bounded checks of the paper's mechanised theorems.
+
+The paper proves Theorems 6.1–6.3 in Coq.  We cannot re-run a proof
+assistant here, so — exactly as the paper itself does in §5.3 before the
+Coq proof — we *model-check the theorem statements up to a bound*: the
+functions in this module take a stream of candidate executions (produced by
+the litmus-program enumerator of :mod:`repro.lang.enumeration` or by the
+shape generator of :mod:`repro.search.shapes`) and verify the theorem on
+every instance, reporting any counter-example found.
+
+* :func:`check_internal_sc_drf`   — Theorem 6.1: every valid, race-free
+  execution of the revised model is sequentially consistent.
+* :func:`check_unisize_reduction` — §6.3: validity of mixed-size executions
+  with no partial overlaps and no tearing coincides with uni-size validity.
+
+Compilation-scheme correctness (Theorems 6.2 and 6.3) lives in
+:mod:`repro.compile.correctness` and :mod:`repro.imm.compilation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from .data_race import is_race_free_execution
+from .execution import CandidateExecution
+from .js_model import FINAL_MODEL, JsModel, is_valid
+from .sc import is_sequentially_consistent
+from .unisize import reduction_agrees, reduction_applicable
+
+
+@dataclass
+class TheoremCheckReport:
+    """The result of a bounded theorem check.
+
+    ``checked``       — number of executions inspected,
+    ``relevant``      — number satisfying the theorem's premises,
+    ``counterexamples`` — executions violating the conclusion.
+    """
+
+    theorem: str
+    checked: int = 0
+    relevant: int = 0
+    counterexamples: List[CandidateExecution] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        """True iff no counter-example was found within the bound."""
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        status = "holds" if self.holds else (
+            f"FAILS ({len(self.counterexamples)} counter-examples)"
+        )
+        return (
+            f"{self.theorem}: {status} "
+            f"[checked {self.checked} executions, {self.relevant} relevant]"
+        )
+
+
+def check_internal_sc_drf(
+    executions: Iterable[CandidateExecution],
+    model: JsModel = FINAL_MODEL,
+    max_counterexamples: int = 5,
+) -> TheoremCheckReport:
+    """Bounded check of Theorem 6.1 (``internal_sc_drf``).
+
+    Every execution supplied that is (a) well formed, (b) valid under
+    ``model`` and (c) free of data races must be sequentially consistent.
+    The *model-internal* qualifier of §3.2 is reflected in premise (c)
+    applying to the execution itself, not only to SC executions of its
+    program.
+    """
+    report = TheoremCheckReport(theorem=f"internal SC-DRF under {model.name}")
+    for execution in executions:
+        report.checked += 1
+        if not execution.is_well_formed(require_tot=True):
+            continue
+        if not is_valid(execution, model):
+            continue
+        if not is_race_free_execution(execution, model):
+            continue
+        report.relevant += 1
+        if not is_sequentially_consistent(execution):
+            report.counterexamples.append(execution)
+            if len(report.counterexamples) >= max_counterexamples:
+                break
+    return report
+
+
+def check_unisize_reduction(
+    executions: Iterable[CandidateExecution],
+    model: JsModel = FINAL_MODEL,
+    max_counterexamples: int = 5,
+) -> TheoremCheckReport:
+    """Bounded check of the mixed-size → uni-size reduction (§6.3).
+
+    For every execution with no partial overlaps and functional ``rf⁻¹``,
+    validity under the mixed-size corrected model must coincide with
+    validity under the uni-size model of Fig. 12.
+    """
+    report = TheoremCheckReport(theorem="mixed-size/uni-size reduction")
+    for execution in executions:
+        report.checked += 1
+        if not execution.is_well_formed(require_tot=True):
+            continue
+        if not reduction_applicable(execution):
+            continue
+        report.relevant += 1
+        if not reduction_agrees(execution, model):
+            report.counterexamples.append(execution)
+            if len(report.counterexamples) >= max_counterexamples:
+                break
+    return report

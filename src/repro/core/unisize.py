@@ -1,0 +1,174 @@
+"""The uni-size JavaScript model (Fig. 12) and the mixed-size → uni-size reduction.
+
+§6.3 of the paper defines a more standard, non-mixed-size ("uni-size") model
+for JavaScript: disjoint byte ranges are treated as distinct abstract
+locations, ``reads-byte-from`` collapses to an event-level ``reads-from``,
+and the range comparisons of the validity rules become a ``same-location``
+predicate.  The Tear-Free Reads rule is trivially true and disappears.
+
+The reduction theorem mechanised in the paper states that for mixed-size
+executions with *no partial overlaps* and *no tearing* (``rf⁻¹`` functional)
+validity in the mixed-size model coincides with validity in the uni-size
+model.  :func:`reduction_agrees` performs this check for one execution and
+is exercised over enumerated executions by :mod:`repro.core.theorems`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .events import Event, SEQCST, ranges_equal
+from .execution import CandidateExecution
+from .js_model import FINAL_MODEL, JsModel, is_valid
+from .relations import Relation, linear_extensions
+
+
+def same_location(a: Event, b: Event) -> bool:
+    """The uni-size ``same-location`` predicate: identical footprints.
+
+    In the uni-size reading of an execution every access footprint is an
+    abstract location, so two events are at the same location exactly when
+    their (block, footprint) coincide.
+    """
+    return a.block == b.block and ranges_equal(a.footprint, b.footprint)
+
+
+def is_unisize_compatible(execution: CandidateExecution) -> bool:
+    """Can the execution be read as a uni-size execution at all?
+
+    Requires that overlapping non-Init events always have identical
+    footprints (no partial overlaps).  The Init event is exempt: the
+    reduction treats it as a family of per-location initialising writes.
+    """
+    return not execution.has_partial_overlaps()
+
+
+# ---------------------------------------------------------------------------
+# uni-size derived relations
+# ---------------------------------------------------------------------------
+
+
+def unisize_synchronizes_with(execution: CandidateExecution) -> Relation:
+    """Uni-size ``sw``: same-location SeqCst write/read pairs in ``rf``, plus ``asw``."""
+    rf = execution.reads_from()
+    pairs = set()
+    for (w_eid, r_eid) in rf:
+        writer = execution.event(w_eid)
+        reader = execution.event(r_eid)
+        if writer.ord is SEQCST and reader.ord is SEQCST and same_location(writer, reader):
+            pairs.add((w_eid, r_eid))
+    return Relation(pairs).union(execution.asw)
+
+
+def unisize_happens_before(execution: CandidateExecution) -> Relation:
+    """Uni-size ``hb``: ``(sb ∪ sw ∪ init-overlap)⁺`` with the uni-size ``sw``."""
+    base = execution.sb.union(
+        unisize_synchronizes_with(execution), execution.init_overlap()
+    )
+    return base.transitive_closure()
+
+
+# ---------------------------------------------------------------------------
+# uni-size validity (Fig. 12)
+# ---------------------------------------------------------------------------
+
+
+def unisize_is_valid(
+    execution: CandidateExecution, check_well_formed: bool = True
+) -> bool:
+    """Validity of an execution under the uni-size model of Fig. 12."""
+    if check_well_formed and not execution.is_well_formed(require_tot=True):
+        return False
+    hb = unisize_happens_before(execution)
+    sw = unisize_synchronizes_with(execution)
+    rf = execution.reads_from()
+    tot = execution.total_order()
+    index = execution.tot_index()
+
+    # Happens-Before Consistency (1)
+    if not tot.contains_relation(hb):
+        return False
+    # Happens-Before Consistency (2)
+    for (w_eid, r_eid) in rf:
+        if (r_eid, w_eid) in hb:
+            return False
+    # Happens-Before Consistency (3)
+    for (w_eid, r_eid) in rf:
+        reader = execution.event(r_eid)
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid) or not candidate.is_write:
+                continue
+            if not same_location(candidate, reader):
+                continue
+            if (w_eid, candidate.eid) in hb and (candidate.eid, r_eid) in hb:
+                return False
+    # Sequentially Consistent Atomics (final, uni-size reading)
+    for (w_eid, r_eid) in rf:
+        if (w_eid, r_eid) not in hb:
+            continue
+        writer = execution.event(w_eid)
+        reader = execution.event(r_eid)
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid):
+                continue
+            if not candidate.is_write or candidate.ord is not SEQCST:
+                continue
+            if not (index[w_eid] < index[candidate.eid] < index[r_eid]):
+                continue
+            first = same_location(candidate, reader) and (w_eid, r_eid) in sw
+            second = (
+                same_location(writer, candidate)
+                and writer.ord is SEQCST
+                and (candidate.eid, r_eid) in hb
+            )
+            third = (
+                same_location(candidate, reader)
+                and (w_eid, candidate.eid) in hb
+                and reader.ord is SEQCST
+            )
+            if first or second or third:
+                return False
+    return True
+
+
+def unisize_exists_valid_total_order(
+    execution: CandidateExecution,
+) -> Optional[Tuple[int, ...]]:
+    """Search for a ``tot`` witness under the uni-size model."""
+    if not execution.is_well_formed(require_tot=False):
+        return None
+    hb = unisize_happens_before(execution)
+    if not hb.is_acyclic():
+        return None
+    for tot in linear_extensions(sorted(execution.eids), hb):
+        candidate = execution.with_witness(tot=tot)
+        if unisize_is_valid(candidate, check_well_formed=False):
+            return tot
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the reduction theorem (§6.3 / §6.4)
+# ---------------------------------------------------------------------------
+
+
+def reduction_applicable(execution: CandidateExecution) -> bool:
+    """The reduction's premises: no partial overlaps and no tearing."""
+    return is_unisize_compatible(execution) and execution.rf_inverse_functional()
+
+
+def reduction_agrees(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> bool:
+    """Check the reduction theorem on one execution carrying a full witness.
+
+    For executions satisfying :func:`reduction_applicable`, validity under
+    the mixed-size (corrected) model and under the uni-size model must
+    coincide.  Returns ``True`` when the theorem holds on this instance
+    (vacuously ``True`` when the premises fail).
+    """
+    if not reduction_applicable(execution):
+        return True
+    mixed = is_valid(execution, model)
+    uni = unisize_is_valid(execution)
+    return mixed == uni

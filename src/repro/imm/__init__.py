@@ -1,0 +1,45 @@
+"""Uni-size compilation targets (§6.3): IMM-style intermediate model and architectures."""
+
+from .model import (
+    UniExecution,
+    UniSizeError,
+    coherence_orders,
+    imm_consistent,
+    is_unisize_execution,
+    no_thin_air,
+    rmw_atomicity,
+    sc_per_location,
+    uni_executions,
+)
+from .x86 import x86_consistent
+from .power import power_consistent
+from .riscv import riscv_consistent
+from .armv7 import armv7_consistent
+from .armv8_unisize import armv8_unisize_consistent
+from .compilation import (
+    ARCHITECTURES,
+    ArchitectureCheckResult,
+    UniSizeCompilationReport,
+    check_unisize_compilation,
+)
+
+__all__ = [
+    "UniExecution",
+    "UniSizeError",
+    "coherence_orders",
+    "imm_consistent",
+    "is_unisize_execution",
+    "no_thin_air",
+    "rmw_atomicity",
+    "sc_per_location",
+    "uni_executions",
+    "x86_consistent",
+    "power_consistent",
+    "riscv_consistent",
+    "armv7_consistent",
+    "armv8_unisize_consistent",
+    "ARCHITECTURES",
+    "ArchitectureCheckResult",
+    "UniSizeCompilationReport",
+    "check_unisize_compilation",
+]

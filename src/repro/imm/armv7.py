@@ -1,0 +1,51 @@
+"""ARMv7 as a compilation target for the uni-size JavaScript model (§6.3).
+
+Compilation mapping (the fully fenced C++ SC scheme on ARMv7):
+
+* ``Atomics.store`` → ``dmb; str; dmb``,
+* ``Atomics.load``  → ``ldr; dmb`` with a leading ``dmb`` contributed by the
+  surrounding SeqCst accesses (the classic "dmb everywhere" scheme),
+* non-atomic accesses → plain ``ldr``/``str``,
+* RMWs → ``dmb; ldrex/strex loop; dmb``.
+
+As for POWER we model a *weakening* of the architecture: only the orderings
+the mapping's ``dmb`` barriers restore are preserved, and the global axiom
+requires acyclicity of those orderings together with external
+communication.  ARMv7 (non-multi-copy-atomic, like POWER) shares the model
+shape with :mod:`repro.imm.power`; the two differ in the fence placement
+the respective mappings generate.
+"""
+
+from __future__ import annotations
+
+from ..core.events import SEQCST
+from ..core.relations import Relation
+from .model import UniExecution, no_thin_air, rmw_atomicity, sc_per_location
+
+
+def _dmb_order(uni: UniExecution) -> Relation:
+    """Orderings restored by the surrounding ``dmb`` barriers of SeqCst accesses."""
+    pairs = []
+    for (a, b) in uni.po():
+        first, second = uni.event(a), uni.event(b)
+        # A dmb precedes every SeqCst access: earlier accesses are ordered
+        # before it.
+        if second.ord is SEQCST:
+            pairs.append((a, b))
+        # A dmb follows every SeqCst access: it is ordered before every
+        # later access of its thread.
+        if first.ord is SEQCST:
+            pairs.append((a, b))
+    return Relation(pairs)
+
+
+def armv7_consistent(uni: UniExecution) -> bool:
+    """Is the uni-size execution allowed by (this weakened) ARMv7 model?"""
+    if not sc_per_location(uni):
+        return False
+    if not rmw_atomicity(uni):
+        return False
+    if not no_thin_air(uni):
+        return False
+    global_order = _dmb_order(uni).union(uni.rfe(), uni.fre(), uni.coe())
+    return global_order.is_acyclic()

@@ -1,0 +1,49 @@
+"""Uni-size ARMv8 as a compilation target (§6.3, the "again ARMv8" of Thm 6.3).
+
+Theorem 6.3 re-proves ARMv8 compilation for the uni-size subset via IMM, in
+addition to the direct mixed-size proof of Theorem 6.2.  At the uni-size
+execution level the release/acquire mapping (``Atomics.load`` → ``ldar``,
+``Atomics.store`` → ``stlr``) restores exactly the orderings below; the
+multi-copy-atomic global axiom is the acyclicity of those orderings with
+external communication — the uni-size shadow of the ``ob`` axiom of
+:mod:`repro.armv8.axiomatic`.
+"""
+
+from __future__ import annotations
+
+from ..core.events import SEQCST
+from ..core.relations import Relation
+from .model import UniExecution, no_thin_air, rmw_atomicity, sc_per_location
+
+
+def _release_acquire_order(uni: UniExecution) -> Relation:
+    """The bob-like orderings of the ldar/stlr mapping."""
+    pairs = []
+    for (a, b) in uni.po():
+        first, second = uni.event(a), uni.event(b)
+        first_sc_read = first.ord is SEQCST and first.is_read
+        first_sc_write = first.ord is SEQCST and first.is_write
+        second_sc_read = second.ord is SEQCST and second.is_read
+        second_sc_write = second.ord is SEQCST and second.is_write
+        # [A]; po — an acquire load is ordered before everything after it.
+        if first_sc_read:
+            pairs.append((a, b))
+        # po; [L] — everything is ordered before a later release store.
+        if second_sc_write:
+            pairs.append((a, b))
+        # [L]; po; [A] — release before a later acquire.
+        if first_sc_write and second_sc_read:
+            pairs.append((a, b))
+    return Relation(pairs)
+
+
+def armv8_unisize_consistent(uni: UniExecution) -> bool:
+    """Is the uni-size execution allowed by the uni-size ARMv8 (ldar/stlr) model?"""
+    if not sc_per_location(uni):
+        return False
+    if not rmw_atomicity(uni):
+        return False
+    if not no_thin_air(uni):
+        return False
+    external = uni.rfe().union(uni.fre(), uni.coe())
+    return _release_acquire_order(uni).union(external).is_acyclic()

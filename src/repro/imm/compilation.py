@@ -1,0 +1,151 @@
+"""Bounded checking of Theorem 6.3: uni-size JavaScript compiles to every target.
+
+For each uni-size JavaScript program supplied, the checker enumerates
+
+1. the program's concrete candidate executions (the usual rbf grounding),
+   restricted to the uni-size ones (no partial overlaps, no tearing);
+2. per execution, every per-location coherence order;
+3. per (execution, coherence) pair, asks the target architecture's model
+   whether the pair is consistent under the §6.3 compilation mapping;
+
+and verifies that every architecture-consistent pair corresponds to an
+execution the (uni-size / corrected mixed-size) JavaScript model allows —
+the per-execution obligation of Theorem 6.3.  It also records whether the
+simplified IMM-style intermediate model sits between the two, mirroring the
+paper's factoring ``architecture ⊨ IMM ⊨ JavaScript``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.execution import CandidateExecution
+from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
+from ..core.unisize import unisize_exists_valid_total_order
+from ..lang.ast import Program
+from ..lang.enumeration import ground_executions
+from .armv7 import armv7_consistent
+from .armv8_unisize import armv8_unisize_consistent
+from .model import UniExecution, imm_consistent, is_unisize_execution, uni_executions
+from .power import power_consistent
+from .riscv import riscv_consistent
+from .x86 import x86_consistent
+
+ArchitectureModel = Callable[[UniExecution], bool]
+
+ARCHITECTURES: Dict[str, ArchitectureModel] = {
+    "x86-tso": x86_consistent,
+    "power": power_consistent,
+    "riscv": riscv_consistent,
+    "armv7": armv7_consistent,
+    "armv8": armv8_unisize_consistent,
+}
+
+
+@dataclass
+class ArchitectureCheckResult:
+    """Per-architecture statistics of the bounded Thm 6.3 check."""
+
+    architecture: str
+    executions_checked: int = 0
+    architecture_allowed: int = 0
+    imm_allowed: int = 0
+    js_allowed: int = 0
+    counterexamples: List[CandidateExecution] = field(default_factory=list)
+    imm_gaps: int = 0
+
+    @property
+    def correct(self) -> bool:
+        """True iff every architecture-allowed execution is JavaScript-allowed."""
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        status = "correct" if self.correct else (
+            f"VIOLATED ({len(self.counterexamples)})"
+        )
+        return (
+            f"{self.architecture}: {status} — "
+            f"{self.architecture_allowed}/{self.executions_checked} target-allowed, "
+            f"{self.imm_allowed} IMM-allowed, {self.js_allowed} JS-allowed"
+        )
+
+
+@dataclass
+class UniSizeCompilationReport:
+    """The Thm 6.3 bounded check over a set of programs."""
+
+    model: str
+    programs: int = 0
+    skipped_mixed_size: int = 0
+    per_architecture: Dict[str, ArchitectureCheckResult] = field(default_factory=dict)
+
+    @property
+    def correct(self) -> bool:
+        return all(result.correct for result in self.per_architecture.values())
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"uni-size compilation check under {self.model}: "
+            f"{self.programs} programs ({self.skipped_mixed_size} mixed-size executions skipped)"
+        ]
+        lines.extend(
+            self.per_architecture[arch].summary() for arch in sorted(self.per_architecture)
+        )
+        return lines
+
+
+def check_unisize_compilation(
+    programs: Iterable[Program],
+    model: JsModel = FINAL_MODEL,
+    architectures: Optional[Iterable[str]] = None,
+    use_unisize_js_model: bool = True,
+) -> UniSizeCompilationReport:
+    """Run the bounded Theorem 6.3 check over ``programs``.
+
+    ``use_unisize_js_model`` selects the Fig. 12 uni-size validity for the
+    JavaScript side (the theorem's statement); setting it to ``False``
+    checks against the mixed-size corrected model instead, which by the
+    §6.3 reduction must agree on these executions.
+    """
+    selected = dict(ARCHITECTURES)
+    if architectures is not None:
+        selected = {name: ARCHITECTURES[name] for name in architectures}
+    report = UniSizeCompilationReport(model=model.name)
+    for name in selected:
+        report.per_architecture[name] = ArchitectureCheckResult(architecture=name)
+
+    for program in programs:
+        report.programs += 1
+        for ground in ground_executions(program):
+            execution = ground.execution
+            if not is_unisize_execution(execution):
+                report.skipped_mixed_size += 1
+                continue
+            js_allowed: Optional[bool] = None
+            for uni in uni_executions(execution):
+                imm_ok = imm_consistent(uni)
+                for name, arch_model in selected.items():
+                    result = report.per_architecture[name]
+                    result.executions_checked += 1
+                    if not arch_model(uni):
+                        continue
+                    result.architecture_allowed += 1
+                    if imm_ok:
+                        result.imm_allowed += 1
+                    else:
+                        result.imm_gaps += 1
+                    if js_allowed is None:
+                        if use_unisize_js_model:
+                            js_allowed = (
+                                unisize_exists_valid_total_order(execution) is not None
+                            )
+                        else:
+                            js_allowed = (
+                                exists_valid_total_order(execution, model) is not None
+                            )
+                    if js_allowed:
+                        result.js_allowed += 1
+                    else:
+                        result.counterexamples.append(execution)
+    return report

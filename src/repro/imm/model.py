@@ -1,0 +1,264 @@
+"""Uni-size executions and the IMM-style intermediate model (§6.3).
+
+§6.3 of the paper proves, in Coq and via the IMM framework of Podkopaev et
+al., that the *uni-size* subset of the corrected JavaScript model compiles
+correctly to x86-TSO, POWER, RISC-V, ARMv7 and ARMv8.  Reproducing the IMM
+Coq development is out of scope; what this package reproduces is the
+*statement* being proved, checked in a bounded fashion:
+
+    for every uni-size JavaScript program within the bound, every execution
+    allowed by the target architecture's model (under the standard
+    compilation mapping) is allowed by the uni-size JavaScript model.
+
+To keep the many target models comparable they all operate on the same
+structure, :class:`UniExecution`: a uni-size view of a JavaScript candidate
+execution (each distinct access footprint is an abstract location) equipped
+with an explicit per-location coherence order.  The compilation mappings
+(§6.3: ``SeqCst`` → fenced/ordered accesses, ``Unordered`` → plain
+accesses) are folded into the target models as ordering guarantees attached
+to the SeqCst events — e.g. the trailing ``MFENCE`` of the x86 mapping
+appears as ``W_sc ; po`` edges in the x86 global-happens-before.  This
+avoids duplicating a per-architecture instruction layer while exercising
+exactly the per-execution obligations of Theorem 6.3.
+
+The module also defines :func:`imm_consistent`, a simplified IMM-style
+intermediate consistency predicate (coherence, atomicity, no-thin-air on
+``po ∪ rf``, and a partial-SC acyclicity over SeqCst events); the paper's
+factoring "architecture ⊨ IMM ⊨ JS" is mirrored by the bounded checks in
+:mod:`repro.imm.compilation`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..core.events import Event, SEQCST
+from ..core.execution import CandidateExecution
+from ..core.relations import Relation
+
+Location = Tuple[str, int, int]
+"""An abstract uni-size location: (block, first byte, end byte)."""
+
+
+@dataclass(frozen=True)
+class UniExecution:
+    """A uni-size execution: events at abstract locations, with rf and co.
+
+    ``execution`` is the underlying JavaScript candidate execution (used to
+    recover modes and thread identifiers); ``co`` maps every location to the
+    coherence order of the writes at that location (Init first).
+    """
+
+    execution: CandidateExecution
+    co: Tuple[Tuple[Location, Tuple[int, ...]], ...]
+
+    # -- basic views ----------------------------------------------------------
+
+    def event(self, eid: int) -> Event:
+        return self.execution.event(eid)
+
+    def events(self) -> Tuple[Event, ...]:
+        return tuple(self.execution.events)
+
+    def location_of(self, event: Event) -> Location:
+        footprint = event.footprint
+        return (event.block, footprint.start, footprint.stop)
+
+    def po(self) -> Relation:
+        return self.execution.sb
+
+    def rf(self) -> Relation:
+        return self.execution.reads_from()
+
+    def co_relation(self) -> Relation:
+        pairs = set()
+        for _loc, order in self.co:
+            pairs.update(Relation.from_total_order(order).pairs)
+        return Relation(pairs)
+
+    def fr(self) -> Relation:
+        """From-read: a read is before every coherence-successor of its source."""
+        co = self.co_relation()
+        pairs = set()
+        for (w, r) in self.rf():
+            for (_w, later) in co:
+                if _w == w and later != r:
+                    pairs.add((r, later))
+        return Relation(pairs)
+
+    def same_location(self) -> Relation:
+        events = self.events()
+        pairs = set()
+        for a in events:
+            for b in events:
+                if a.eid != b.eid and self.location_of(a) == self.location_of(b):
+                    pairs.add((a.eid, b.eid))
+        return Relation(pairs)
+
+    def _split(self, relation: Relation) -> Tuple[Relation, Relation]:
+        internal, external = [], []
+        for (a, b) in relation:
+            if self.event(a).tid == self.event(b).tid:
+                internal.append((a, b))
+            else:
+                external.append((a, b))
+        return Relation(internal), Relation(external)
+
+    def rfe(self) -> Relation:
+        return self._split(self.rf())[1]
+
+    def fre(self) -> Relation:
+        return self._split(self.fr())[1]
+
+    def coe(self) -> Relation:
+        return self._split(self.co_relation())[1]
+
+    def eco(self) -> Relation:
+        """Extended communication: ``(rf ∪ co ∪ fr)⁺``."""
+        return self.rf().union(self.co_relation(), self.fr()).transitive_closure()
+
+    # -- selectors -------------------------------------------------------------
+
+    def seqcst_events(self) -> FrozenSet[int]:
+        return frozenset(e.eid for e in self.events() if e.ord is SEQCST)
+
+    def reads(self) -> FrozenSet[int]:
+        return frozenset(e.eid for e in self.events() if e.is_read)
+
+    def writes(self) -> FrozenSet[int]:
+        return frozenset(e.eid for e in self.events() if e.is_write)
+
+    def rmws(self) -> FrozenSet[int]:
+        return frozenset(e.eid for e in self.events() if e.is_rmw)
+
+    def po_loc(self) -> Relation:
+        same = self.same_location()
+        return self.po().intersection(
+            same.union(self._init_overlap_pairs())
+        )
+
+    def _init_overlap_pairs(self) -> Relation:
+        # The Init event covers every location, so po-loc (and coherence)
+        # treat it as overlapping everything; po never relates it anyway.
+        return Relation()
+
+
+class UniSizeError(ValueError):
+    """Raised when an execution cannot be viewed as uni-size."""
+
+
+def is_unisize_execution(execution: CandidateExecution) -> bool:
+    """No partial overlaps and no torn reads (``rf⁻¹`` functional)."""
+    return (not execution.has_partial_overlaps()) and execution.rf_inverse_functional()
+
+
+def coherence_orders(
+    execution: CandidateExecution,
+) -> Iterator[Tuple[Tuple[Location, Tuple[int, ...]], ...]]:
+    """Enumerate per-location coherence orders for a uni-size execution.
+
+    The Init event is coherence-first at every location (it is the
+    initialising write of the whole buffer); the remaining writes at each
+    location are permuted freely.
+    """
+    if not is_unisize_execution(execution):
+        raise UniSizeError("execution has partial overlaps or torn reads")
+    by_location: Dict[Location, List[int]] = {}
+    init_eids = [e.eid for e in execution.events if e.is_init]
+    for event in execution.events:
+        if not event.is_write or event.is_init:
+            continue
+        footprint = event.footprint
+        by_location.setdefault(
+            (event.block, footprint.start, footprint.stop), []
+        ).append(event.eid)
+    # Locations only ever read still need the Init write as their sole writer.
+    for event in execution.events:
+        if event.is_read and not event.is_write:
+            footprint = event.footprint
+            by_location.setdefault(
+                (event.block, footprint.start, footprint.stop), []
+            )
+    locations = sorted(by_location)
+    init_of_block = {execution.event(e).block: e for e in init_eids}
+    per_location = []
+    for location in locations:
+        init_eid = init_of_block[location[0]]
+        writers = by_location[location]
+        per_location.append(
+            [
+                ((init_eid,) + perm)
+                for perm in itertools.permutations(sorted(writers))
+            ]
+        )
+    for combo in itertools.product(*per_location):
+        yield tuple(zip(locations, combo))
+
+
+def uni_executions(execution: CandidateExecution) -> Iterator[UniExecution]:
+    """All uni-size executions (coherence choices) over one candidate execution."""
+    for co in coherence_orders(execution):
+        yield UniExecution(execution=execution, co=co)
+
+
+# ---------------------------------------------------------------------------
+# shared consistency building blocks
+# ---------------------------------------------------------------------------
+
+
+def sc_per_location(uni: UniExecution) -> bool:
+    """Coherence: acyclic(po-loc ∪ rf ∪ co ∪ fr) — common to every target model."""
+    combined = uni.po_loc().union(uni.rf(), uni.co_relation(), uni.fr())
+    return combined.is_acyclic()
+
+
+def rmw_atomicity(uni: UniExecution) -> bool:
+    """No foreign write intervenes between an RMW's read source and the RMW itself."""
+    co = uni.co_relation()
+    fr = uni.fr()
+    for rmw in uni.rmws():
+        event = uni.event(rmw)
+        for (r, intervener) in fr:
+            if r != rmw:
+                continue
+            other = uni.event(intervener)
+            if other.tid == event.tid:
+                continue
+            if (intervener, rmw) in co:
+                return False
+    return True
+
+
+def no_thin_air(uni: UniExecution) -> bool:
+    """A conservative out-of-thin-air guard: acyclic(po ∪ rf).
+
+    The litmus fragment carries its dependencies inside ``po``, so this is
+    the standard (load-buffering-forbidding) approximation IMM uses for its
+    intermediate layer.
+    """
+    return uni.po().union(uni.rf()).is_acyclic()
+
+
+def imm_consistent(uni: UniExecution) -> bool:
+    """The simplified IMM-style intermediate consistency predicate.
+
+    * coherence (SC per location),
+    * RMW atomicity,
+    * no-thin-air on ``po ∪ rf``,
+    * partial SC: the SeqCst events are ordered consistently with
+      ``po ∪ rf ∪ co ∪ fr`` restricted to SeqCst endpoints (the ``psc``
+      acyclicity of IMM/RC11, specialised to the fragment's single atomic
+      mode).
+    """
+    if not sc_per_location(uni):
+        return False
+    if not rmw_atomicity(uni):
+        return False
+    if not no_thin_air(uni):
+        return False
+    sc = uni.seqcst_events()
+    communication = uni.po().union(uni.rf(), uni.co_relation(), uni.fr())
+    psc = communication.restrict(domain=sc, codomain=sc)
+    return psc.is_acyclic()

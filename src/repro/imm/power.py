@@ -1,0 +1,53 @@
+"""POWER as a compilation target for the uni-size JavaScript model (§6.3).
+
+Compilation mapping (the "leading sync" C++ SC scheme):
+
+* ``Atomics.store`` → ``sync; st``,
+* ``Atomics.load``  → ``sync; ld; cmp; bc; isync`` (ctrl-isync tail),
+* non-atomic accesses → plain ``ld``/``st``,
+* RMWs → ``sync; larx/stcx loop; isync``.
+
+The model here is deliberately a *weakening* of the full herd POWER model:
+preserved program order keeps only the orderings the mapping's fences
+restore (``sync`` before a SeqCst access orders all earlier accesses before
+it; the ctrl-isync tail orders a SeqCst load before everything after it;
+plain accesses are unordered), and the global axiom requires acyclicity of
+those fence orderings together with external communication.  Using a
+weaker-than-real target can only make the compilation check harder, never
+easier, so a pass remains meaningful (§4's "no stronger than Flat"
+argument, transposed)."""
+
+from __future__ import annotations
+
+from ..core.events import SEQCST
+from ..core.relations import Relation
+from .model import UniExecution, no_thin_air, rmw_atomicity, sc_per_location
+
+
+def _fence_order(uni: UniExecution) -> Relation:
+    """Orderings restored by the mapping's sync / ctrl-isync fences."""
+    pairs = []
+    for (a, b) in uni.po():
+        first, second = uni.event(a), uni.event(b)
+        # The leading sync of a SeqCst access orders every earlier access
+        # of the thread before it (and, being cumulative, before whatever
+        # observes it).
+        if second.ord is SEQCST:
+            pairs.append((a, b))
+        # The ctrl-isync tail of a SeqCst load orders it before all later
+        # accesses; a SeqCst RMW's trailing isync does the same.
+        if first.ord is SEQCST and first.is_read:
+            pairs.append((a, b))
+    return Relation(pairs)
+
+
+def power_consistent(uni: UniExecution) -> bool:
+    """Is the uni-size execution allowed by (this weakened) POWER model?"""
+    if not sc_per_location(uni):
+        return False
+    if not rmw_atomicity(uni):
+        return False
+    if not no_thin_air(uni):
+        return False
+    global_order = _fence_order(uni).union(uni.rfe(), uni.fre(), uni.coe())
+    return global_order.is_acyclic()

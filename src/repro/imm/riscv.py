@@ -1,0 +1,51 @@
+"""RISC-V (RVWMO) as a compilation target for the uni-size JavaScript model (§6.3).
+
+Compilation mapping (the fence-based scheme, equivalent in strength to the
+``.aq``/``.rl`` annotated one for this fragment):
+
+* ``Atomics.store`` → ``fence rw,w; sw; fence rw,rw``,
+* ``Atomics.load``  → ``lw; fence r,rw`` with the global ordering provided
+  by the stores' trailing full fences,
+* non-atomic accesses → plain ``lw``/``sw``,
+* RMWs → ``amoswap.aqrl`` (sequentially consistent AMO).
+
+RVWMO's preserved program order also keeps same-address ordering and
+syntactic dependencies; the fragment's dependencies are inside ``po``
+already, and same-address ordering is subsumed by the coherence axiom, so
+the model below keeps only the fence-restored orderings — again a
+weakening, which is the safe direction for a compilation check.
+"""
+
+from __future__ import annotations
+
+from ..core.events import SEQCST
+from ..core.relations import Relation
+from .model import UniExecution, no_thin_air, rmw_atomicity, sc_per_location
+
+
+def _fence_order(uni: UniExecution) -> Relation:
+    """Orderings restored by the mapping's RISC-V fences."""
+    pairs = []
+    for (a, b) in uni.po():
+        first, second = uni.event(a), uni.event(b)
+        # fence rw,w before a SeqCst store orders earlier accesses before it;
+        # the AMO's .aq/.rl gives an RMW both directions.
+        if second.ord is SEQCST and (second.is_write or second.is_rmw):
+            pairs.append((a, b))
+        # fence r,rw / fence rw,rw after a SeqCst load or store orders it
+        # before later accesses.
+        if first.ord is SEQCST:
+            pairs.append((a, b))
+    return Relation(pairs)
+
+
+def riscv_consistent(uni: UniExecution) -> bool:
+    """Is the uni-size execution allowed by (this weakened) RVWMO model?"""
+    if not sc_per_location(uni):
+        return False
+    if not rmw_atomicity(uni):
+        return False
+    if not no_thin_air(uni):
+        return False
+    global_order = _fence_order(uni).union(uni.rfe(), uni.fre(), uni.coe())
+    return global_order.is_acyclic()

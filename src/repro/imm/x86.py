@@ -1,0 +1,62 @@
+"""x86-TSO as a compilation target for the uni-size JavaScript model (§6.3).
+
+Compilation mapping (the standard one, shared with C++ SC atomics):
+
+* ``Atomics.store`` → ``MOV`` followed by ``MFENCE``,
+* ``Atomics.load``  → plain ``MOV``,
+* non-atomic accesses → plain ``MOV``,
+* ``Atomics.exchange``/``add`` → ``LOCK``-prefixed RMW.
+
+The model is the usual axiomatic TSO: coherence per location plus
+acyclicity of the global happens-before built from preserved program order
+(everything except write-to-read), the fences implied by the mapping
+(trailing ``MFENCE`` on SeqCst stores, implicitly fenced locked RMWs),
+external reads-from, from-read and coherence.
+"""
+
+from __future__ import annotations
+
+from ..core.events import SEQCST
+from ..core.relations import Relation
+from .model import UniExecution, rmw_atomicity, sc_per_location
+
+
+def _preserved_program_order(uni: UniExecution) -> Relation:
+    """TSO ppo: program order minus write→read pairs (store buffering)."""
+    pairs = []
+    for (a, b) in uni.po():
+        first, second = uni.event(a), uni.event(b)
+        if first.is_write and not first.is_rmw and second.is_read and not second.is_write:
+            continue
+        pairs.append((a, b))
+    return Relation(pairs)
+
+
+def _implied_fences(uni: UniExecution) -> Relation:
+    """Orderings restored by the mapping's MFENCEs and locked RMWs.
+
+    A SeqCst store carries a trailing ``MFENCE``, so it is globally ordered
+    before every later access of its thread; locked RMWs are fully fenced
+    in both directions.
+    """
+    pairs = []
+    for (a, b) in uni.po():
+        first, second = uni.event(a), uni.event(b)
+        if first.is_write and first.ord is SEQCST:
+            pairs.append((a, b))
+        if second.is_rmw or first.is_rmw:
+            pairs.append((a, b))
+    return Relation(pairs)
+
+
+def x86_consistent(uni: UniExecution) -> bool:
+    """Is the uni-size execution allowed by x86-TSO under the mapping?"""
+    if not sc_per_location(uni):
+        return False
+    if not rmw_atomicity(uni):
+        return False
+    ghb = (
+        _preserved_program_order(uni)
+        .union(_implied_fences(uni), uni.rfe(), uni.fr(), uni.co_relation())
+    )
+    return ghb.is_acyclic()

@@ -1,0 +1,313 @@
+"""Abstract syntax of the JavaScript litmus-test fragment.
+
+The paper works with a restricted fragment of JavaScript (§3): a fixed
+number of threads, each performing shared-memory accesses and simple
+control flow over an already-initialised SharedArrayBuffer.  The AST here
+covers exactly that fragment:
+
+* non-atomic loads and stores through typed arrays (``x[i]``, ``x[i] = v``),
+* SeqCst atomics (``Atomics.load``, ``Atomics.store``),
+* read-modify-writes (``Atomics.exchange``, ``Atomics.add``),
+* unaligned non-atomic DataView accesses,
+* equality-guarded conditionals (``if (r == c) { … }``),
+* thread-suspension (``Atomics.wait`` / ``Atomics.notify``, §7).
+
+Statements are immutable so thread continuations can be hashed by the
+interpreter and enumerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from .memory import DataViewAccessor, SharedArrayBuffer, TypedArrayView
+
+
+@dataclass(frozen=True)
+class Register:
+    """A thread-local register (``r0``, ``r1``, …)."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Register({self.name!r})"
+
+
+Value = Union[int, Register]
+"""A source operand: a literal or the current value of a register."""
+
+
+@dataclass(frozen=True)
+class TypedAccess:
+    """An access of one element of a typed array: ``view[index]``."""
+
+    view: TypedArrayView
+    index: int
+
+    @property
+    def block(self) -> str:
+        return self.view.block
+
+    def byte_range(self) -> range:
+        return self.view.byte_range(self.index)
+
+    @property
+    def width(self) -> int:
+        return self.view.width
+
+    @property
+    def tearfree(self) -> bool:
+        return self.view.tearfree
+
+    @property
+    def supports_atomics(self) -> bool:
+        return self.view.supports_atomics
+
+    def encode(self, value: int) -> Tuple[int, ...]:
+        return self.view.encode(value)
+
+    def decode(self, data: Tuple[int, ...]) -> int:
+        return self.view.decode(data)
+
+    def describe(self) -> str:
+        return f"{self.view.name}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class DataViewAccess:
+    """An unaligned DataView access of ``width`` bytes at ``byte_offset``."""
+
+    view: DataViewAccessor
+    byte_offset: int
+    width: int
+
+    @property
+    def block(self) -> str:
+        return self.view.block
+
+    def byte_range(self) -> range:
+        return self.view.byte_range(self.byte_offset, self.width)
+
+    @property
+    def tearfree(self) -> bool:
+        return False
+
+    @property
+    def supports_atomics(self) -> bool:
+        return False
+
+    def encode(self, value: int) -> Tuple[int, ...]:
+        return self.view.encode(value, self.width)
+
+    def decode(self, data: Tuple[int, ...]) -> int:
+        return self.view.decode(data)
+
+    def describe(self) -> str:
+        hi = self.byte_offset + self.width - 1
+        return f"{self.view.name}.bytes[{self.byte_offset}..{hi}]"
+
+
+Access = Union[TypedAccess, DataViewAccess]
+
+
+class Statement:
+    """Base class of all litmus-fragment statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """``access = value`` or ``Atomics.store(access, value)``."""
+
+    access: Access
+    value: Value
+    atomic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.atomic and not self.access.supports_atomics:
+            raise ValueError("atomic store through a non-atomic view")
+
+    def describe(self) -> str:
+        value = self.value.name if isinstance(self.value, Register) else self.value
+        if self.atomic:
+            return f"Atomics.store({self.access.describe()}, {value})"
+        return f"{self.access.describe()} = {value}"
+
+
+@dataclass(frozen=True)
+class Load(Statement):
+    """``dest = access`` or ``dest = Atomics.load(access)``."""
+
+    dest: Register
+    access: Access
+    atomic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.atomic and not self.access.supports_atomics:
+            raise ValueError("atomic load through a non-atomic view")
+
+    def describe(self) -> str:
+        if self.atomic:
+            return f"{self.dest.name} = Atomics.load({self.access.describe()})"
+        return f"{self.dest.name} = {self.access.describe()}"
+
+
+@dataclass(frozen=True)
+class Exchange(Statement):
+    """``dest = Atomics.exchange(access, value)`` — a SeqCst read-modify-write."""
+
+    dest: Register
+    access: Access
+    value: Value
+
+    def __post_init__(self) -> None:
+        if not self.access.supports_atomics:
+            raise ValueError("Atomics.exchange through a non-atomic view")
+
+    def describe(self) -> str:
+        value = self.value.name if isinstance(self.value, Register) else self.value
+        return f"{self.dest.name} = Atomics.exchange({self.access.describe()}, {value})"
+
+
+@dataclass(frozen=True)
+class AtomicAdd(Statement):
+    """``dest = Atomics.add(access, value)`` — a SeqCst fetch-and-add."""
+
+    dest: Register
+    access: Access
+    value: int
+
+    def __post_init__(self) -> None:
+        if not self.access.supports_atomics:
+            raise ValueError("Atomics.add through a non-atomic view")
+
+    def describe(self) -> str:
+        return f"{self.dest.name} = Atomics.add({self.access.describe()}, {self.value})"
+
+
+@dataclass(frozen=True)
+class IfEq(Statement):
+    """``if (register == constant) { then } else { otherwise }``."""
+
+    register: Register
+    constant: int
+    then: Tuple[Statement, ...] = ()
+    otherwise: Tuple[Statement, ...] = ()
+
+    def describe(self) -> str:
+        return f"if ({self.register.name} == {self.constant}) {{ … }}"
+
+
+@dataclass(frozen=True)
+class Wait(Statement):
+    """``Atomics.wait(access, expected)`` — §7 thread suspension.
+
+    Performs a SeqCst read of the location inside the wait-queue critical
+    section; suspends the agent if the value read equals ``expected``.  The
+    (string) result of the real API is ignored in this fragment.
+    """
+
+    access: Access
+    expected: int
+
+    def __post_init__(self) -> None:
+        if not self.access.supports_atomics:
+            raise ValueError("Atomics.wait through a non-atomic view")
+
+    def describe(self) -> str:
+        return f"Atomics.wait({self.access.describe()}, {self.expected})"
+
+
+@dataclass(frozen=True)
+class Notify(Statement):
+    """``dest = Atomics.notify(access)`` — wake all waiters on the location."""
+
+    access: Access
+    dest: Optional[Register] = None
+
+    def __post_init__(self) -> None:
+        if not self.access.supports_atomics:
+            raise ValueError("Atomics.notify through a non-atomic view")
+
+    def describe(self) -> str:
+        prefix = f"{self.dest.name} = " if self.dest else ""
+        return f"{prefix}Atomics.notify({self.access.describe()})"
+
+
+@dataclass(frozen=True)
+class Thread:
+    """One Web Worker of a litmus test: a straight-line statement list."""
+
+    statements: Tuple[Statement, ...]
+    name: Optional[str] = None
+
+    def describe(self) -> str:
+        return "; ".join(s.describe() for s in self.statements)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete litmus program of the restricted fragment.
+
+    ``buffers`` are the SharedArrayBuffers (each contributes one ``Init``
+    event ranging over the whole buffer); ``threads`` are the agents.
+    Register names are qualified per thread in outcomes: ``"0:r0"`` is
+    register ``r0`` of thread 0 (the litmus-tool convention).
+    """
+
+    name: str
+    buffers: Tuple[SharedArrayBuffer, ...]
+    threads: Tuple[Thread, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.buffers:
+            raise ValueError("a program needs at least one SharedArrayBuffer")
+        if not self.threads:
+            raise ValueError("a program needs at least one thread")
+        names = [b.name for b in self.buffers]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate buffer names")
+
+    @property
+    def thread_count(self) -> int:
+        return len(self.threads)
+
+    def qualified(self, tid: int, register: Register) -> str:
+        """The outcome key for ``register`` of thread ``tid``."""
+        return f"{tid}:{register.name}"
+
+    def describe(self) -> str:
+        lines = [f"program {self.name}"]
+        for buffer in self.buffers:
+            lines.append(f"  {buffer.name} = new SharedArrayBuffer({buffer.byte_length})")
+        for tid, thread in enumerate(self.threads):
+            title = thread.name or f"Thread {tid}"
+            lines.append(f"  {title}: {thread.describe()}")
+        return "\n".join(lines)
+
+    def uses_wait_notify(self) -> bool:
+        """True iff any thread suspends or notifies (needs the §7 semantics)."""
+
+        def scan(statements: Sequence[Statement]) -> bool:
+            for stmt in statements:
+                if isinstance(stmt, (Wait, Notify)):
+                    return True
+                if isinstance(stmt, IfEq) and (
+                    scan(stmt.then) or scan(stmt.otherwise)
+                ):
+                    return True
+            return False
+
+        return any(scan(thread.statements) for thread in self.threads)
+
+
+Outcome = Dict[str, int]
+"""A program outcome: the final value of each assigned, qualified register."""
+
+
+def outcome_matches(outcome: Outcome, spec: Outcome) -> bool:
+    """True iff ``spec`` is a sub-assignment of ``outcome``."""
+    return all(outcome.get(key) == value for key, value in spec.items())

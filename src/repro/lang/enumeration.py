@@ -1,0 +1,486 @@
+"""Enumerating candidate executions and allowed behaviours of litmus programs.
+
+Given a :class:`~repro.lang.ast.Program`, this module ties the two layers of
+§2.1 together:
+
+1. the thread-local semantics (:mod:`repro.lang.thread_semantics`) provides
+   the control-flow paths and symbolic events;
+2. for every path combination we enumerate the ``reads-byte-from``
+   justifications (each byte of each read is assigned a covering write),
+   resolve the symbolic values, discard assignments that contradict the
+   branch conditions actually taken, and
+3. ask the axiomatic model (:mod:`repro.core.js_model`) whether some
+   ``total-order`` witness makes the resulting candidate execution valid.
+
+An *outcome* (final register values) is **allowed** when at least one valid
+candidate execution produces it — exactly the observability criterion of the
+specification.  The same machinery supports the program-level notions used
+by §3.2: data-race freedom and the SC-DRF comparison against the sequential
+interleaving oracle of :mod:`repro.lang.interpreter`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.events import Event, make_init_event
+from ..core.execution import CandidateExecution, RbfTriple
+from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
+from ..core.data_race import data_races
+from ..core.relations import Relation
+from .ast import Outcome, Program, outcome_matches
+from .interpreter import sc_outcomes
+from .thread_semantics import (
+    EventTemplate,
+    LocalPath,
+    TemplateKey,
+    program_paths,
+)
+
+
+class EnumerationBudgetExceeded(RuntimeError):
+    """Raised when a program's candidate-execution space exceeds the budget."""
+
+
+@dataclass(frozen=True)
+class PreExecution:
+    """A path combination with event identifiers assigned, values still symbolic."""
+
+    program: Program
+    paths: Tuple[LocalPath, ...]
+    init_events: Tuple[Event, ...]
+    templates: Tuple[EventTemplate, ...]
+    eid_of: Dict[TemplateKey, int]
+    sb: Relation
+    asw: Relation
+
+    def memory_templates(self) -> Tuple[EventTemplate, ...]:
+        return tuple(t for t in self.templates if t.is_memory_event)
+
+
+@dataclass(frozen=True)
+class GroundExecution:
+    """A fully concrete candidate execution (no ``tot`` yet) plus its outcome."""
+
+    execution: CandidateExecution
+    outcome: Outcome
+    pre: PreExecution
+
+
+def build_pre_execution(
+    program: Program,
+    paths: Sequence[LocalPath],
+    extra_asw: Sequence[Tuple[int, int]] = (),
+) -> PreExecution:
+    """Assign event identifiers to one combination of per-thread paths.
+
+    ``extra_asw`` gives additional-synchronizes-with edges *by event
+    identifier*; event identifiers are assigned deterministically (Init
+    events of the buffers first, then each thread's memory events in
+    program order), so callers such as the wait/notify semantics can
+    compute them with :func:`eid_assignment`.
+    """
+    init_events = []
+    next_eid = 0
+    for buffer in program.buffers:
+        init_events.append(
+            make_init_event(buffer.block, buffer.byte_length, eid=next_eid)
+        )
+        next_eid += 1
+
+    eid_of: Dict[TemplateKey, int] = {}
+    templates: List[EventTemplate] = []
+    sb_pairs: List[Tuple[int, int]] = []
+    for path in paths:
+        thread_eids: List[int] = []
+        for template in path.templates:
+            templates.append(template)
+            if not template.is_memory_event:
+                continue
+            eid_of[template.key] = next_eid
+            thread_eids.append(next_eid)
+            next_eid += 1
+        for i, a in enumerate(thread_eids):
+            for b in thread_eids[i + 1:]:
+                sb_pairs.append((a, b))
+
+    return PreExecution(
+        program=program,
+        paths=tuple(paths),
+        init_events=tuple(init_events),
+        templates=tuple(templates),
+        eid_of=eid_of,
+        sb=Relation(sb_pairs),
+        asw=Relation(extra_asw),
+    )
+
+
+def pre_executions(
+    program: Program, extra_asw: Sequence[Tuple[int, int]] = ()
+) -> Iterator[PreExecution]:
+    """One :class:`PreExecution` per combination of per-thread control-flow paths."""
+    for paths in program_paths(program):
+        yield build_pre_execution(program, paths, extra_asw=extra_asw)
+
+
+# ---------------------------------------------------------------------------
+# grounding: reads-byte-from enumeration and value resolution
+# ---------------------------------------------------------------------------
+
+
+def _writers_by_byte(pre: PreExecution) -> Dict[Tuple[str, int], List[int]]:
+    """Map each (block, byte location) to the eids of the events writing it."""
+    writers: Dict[Tuple[str, int], List[int]] = {}
+    for init in pre.init_events:
+        for k in init.range_w:
+            writers.setdefault((init.block, k), []).append(init.eid)
+    for template in pre.memory_templates():
+        if not template.writes_memory:
+            continue
+        eid = pre.eid_of[template.key]
+        for k in template.byte_range():
+            writers.setdefault((template.block, k), []).append(eid)
+    return writers
+
+
+def _resolve_values(
+    pre: PreExecution, assignment: Dict[Tuple[str, int, int], int]
+) -> Optional[Tuple[Dict[TemplateKey, Tuple[int, ...]], Dict[TemplateKey, Tuple[int, ...]]]]:
+    """Resolve read and write byte values under a writer assignment.
+
+    ``assignment`` maps ``(block, byte location, reader eid)`` to the writer
+    eid chosen for that byte.  Returns ``(read_bytes, write_bytes)`` keyed by
+    template key, or ``None`` if the value dependencies are cyclic (a store
+    whose value depends on a load that reads from it — the out-of-thin-air
+    corner we simply refuse to ground, mirroring §1.3).
+    """
+    write_bytes: Dict[int, Tuple[int, ...]] = {
+        init.eid: init.writes for init in pre.init_events
+    }
+    write_start: Dict[int, int] = {init.eid: init.index for init in pre.init_events}
+    read_bytes: Dict[TemplateKey, Tuple[int, ...]] = {}
+    read_values: Dict[TemplateKey, int] = {}
+    template_write_bytes: Dict[TemplateKey, Tuple[int, ...]] = {}
+
+    templates = {t.key: t for t in pre.memory_templates()}
+    for template in templates.values():
+        if template.writes_memory:
+            eid = pre.eid_of[template.key]
+            write_start[eid] = template.byte_range().start
+
+    pending = set(templates)
+    progress = True
+    while pending and progress:
+        progress = False
+        for key in list(pending):
+            template = templates[key]
+            eid = pre.eid_of[key]
+
+            # Resolve this template's read value if possible.
+            if template.reads_memory and key not in read_bytes:
+                data: List[Optional[int]] = []
+                complete = True
+                for k in template.byte_range():
+                    writer_eid = assignment[(template.block, k, eid)]
+                    if writer_eid not in write_bytes:
+                        complete = False
+                        break
+                    writer_data = write_bytes[writer_eid]
+                    data.append(writer_data[k - write_start[writer_eid]])
+                if complete:
+                    resolved = tuple(int(b) for b in data)  # type: ignore[arg-type]
+                    read_bytes[key] = resolved
+                    read_values[key] = template.decode(resolved)
+                    progress = True
+
+            # Resolve this template's written bytes if possible.
+            if template.writes_memory and key not in template_write_bytes:
+                spec = template.write_value
+                assert spec is not None
+                resolved_bytes: Optional[Tuple[int, ...]] = None
+                if spec.kind == "const":
+                    resolved_bytes = template.encode(spec.payload)
+                elif spec.kind == "copy":
+                    assert spec.source is not None
+                    if spec.source in read_values:
+                        resolved_bytes = template.encode(read_values[spec.source])
+                elif spec.kind == "add-read":
+                    if key in read_values:
+                        resolved_bytes = template.encode(
+                            read_values[key] + spec.payload
+                        )
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown write value kind {spec.kind!r}")
+                if resolved_bytes is not None:
+                    template_write_bytes[key] = resolved_bytes
+                    write_bytes[eid] = resolved_bytes
+                    progress = True
+
+            reads_done = (not template.reads_memory) or key in read_bytes
+            writes_done = (not template.writes_memory) or key in template_write_bytes
+            if reads_done and writes_done:
+                pending.discard(key)
+
+    if pending:
+        return None
+    return read_bytes, template_write_bytes
+
+
+def _constraints_satisfied(
+    pre: PreExecution, read_bytes: Dict[TemplateKey, Tuple[int, ...]]
+) -> bool:
+    """Check every branch condition of every chosen path."""
+    templates = {t.key: t for t in pre.templates}
+    for path in pre.paths:
+        for constraint in path.constraints:
+            template = templates[constraint.source]
+            value = template.decode(read_bytes[constraint.source])
+            if constraint.equal and value != constraint.constant:
+                return False
+            if not constraint.equal and value == constraint.constant:
+                return False
+    return True
+
+
+def _build_outcome(
+    pre: PreExecution, read_bytes: Dict[TemplateKey, Tuple[int, ...]]
+) -> Outcome:
+    """The final register values along the chosen paths."""
+    templates = {t.key: t for t in pre.templates}
+    outcome: Outcome = {}
+    for path in pre.paths:
+        for register, binding in path.registers:
+            tag, payload = binding
+            key = f"{path.tid}:{register}"
+            if tag == "const":
+                outcome[key] = payload  # type: ignore[assignment]
+            else:
+                template = templates[payload]  # type: ignore[index]
+                outcome[key] = template.decode(read_bytes[payload])  # type: ignore[index]
+    return outcome
+
+
+def _build_execution(
+    pre: PreExecution,
+    assignment: Dict[Tuple[str, int, int], int],
+    read_bytes: Dict[TemplateKey, Tuple[int, ...]],
+    write_bytes: Dict[TemplateKey, Tuple[int, ...]],
+) -> CandidateExecution:
+    """Assemble the concrete candidate execution (without a ``tot`` witness)."""
+    events: List[Event] = list(pre.init_events)
+    rbf: Set[RbfTriple] = set()
+    for template in pre.memory_templates():
+        eid = pre.eid_of[template.key]
+        byte_range = template.byte_range()
+        reads = read_bytes.get(template.key, ()) if template.reads_memory else ()
+        writes = write_bytes.get(template.key, ()) if template.writes_memory else ()
+        events.append(
+            Event(
+                eid=eid,
+                tid=template.tid,
+                ord=template.mode,
+                block=template.block,
+                index=byte_range.start,
+                reads=tuple(reads),
+                writes=tuple(writes),
+                tearfree=template.tearfree,
+            )
+        )
+        if template.reads_memory:
+            for k in byte_range:
+                rbf.add((k, assignment[(template.block, k, eid)], eid))
+    return CandidateExecution.build(
+        events=events, sb=pre.sb.pairs, asw=pre.asw.pairs, rbf=rbf
+    )
+
+
+def ground_candidates(
+    pre: PreExecution,
+    max_assignments: Optional[int] = None,
+) -> Iterator[GroundExecution]:
+    """Ground one :class:`PreExecution`: enumerate ``reads-byte-from`` choices.
+
+    Every assignment of a covering write to each byte of each read is tried;
+    assignments whose resolved values contradict the branch conditions taken
+    are discarded.
+    """
+    writers = _writers_by_byte(pre)
+    read_slots: List[Tuple[str, int, int]] = []
+    slot_choices: List[List[int]] = []
+    for template in pre.memory_templates():
+        if not template.reads_memory:
+            continue
+        eid = pre.eid_of[template.key]
+        for k in template.byte_range():
+            candidates = [
+                w for w in writers.get((template.block, k), []) if w != eid
+            ]
+            read_slots.append((template.block, k, eid))
+            slot_choices.append(candidates)
+
+    if any(not choices for choices in slot_choices):
+        # Some read byte has no possible writer: the path is infeasible.
+        return
+
+    produced = 0
+    for combo in itertools.product(*slot_choices):
+        produced += 1
+        if max_assignments is not None and produced > max_assignments:
+            raise EnumerationBudgetExceeded(
+                f"program {pre.program.name!r} exceeded the assignment budget "
+                f"of {max_assignments}"
+            )
+        assignment = dict(zip(read_slots, combo))
+        resolved = _resolve_values(pre, assignment)
+        if resolved is None:
+            continue
+        read_bytes, write_bytes = resolved
+        if not _constraints_satisfied(pre, read_bytes):
+            continue
+        execution = _build_execution(pre, assignment, read_bytes, write_bytes)
+        if not execution.is_well_formed(require_tot=False):
+            continue
+        outcome = _build_outcome(pre, read_bytes)
+        yield GroundExecution(execution=execution, outcome=outcome, pre=pre)
+
+
+def ground_executions(
+    program: Program,
+    extra_asw: Sequence[Tuple[int, int]] = (),
+    max_assignments: Optional[int] = None,
+) -> Iterator[GroundExecution]:
+    """Every concrete candidate execution (without ``tot``) of the program."""
+    for pre in pre_executions(program, extra_asw=extra_asw):
+        yield from ground_candidates(pre, max_assignments=max_assignments)
+
+
+# ---------------------------------------------------------------------------
+# allowed behaviours
+# ---------------------------------------------------------------------------
+
+
+def allowed_executions(
+    program: Program,
+    model: JsModel = FINAL_MODEL,
+    extra_asw: Sequence[Tuple[int, int]] = (),
+    max_assignments: Optional[int] = None,
+) -> Iterator[Tuple[CandidateExecution, Outcome]]:
+    """Every model-allowed execution (with a ``tot`` witness) and its outcome."""
+    for ground in ground_executions(
+        program, extra_asw=extra_asw, max_assignments=max_assignments
+    ):
+        tot = exists_valid_total_order(ground.execution, model)
+        if tot is not None:
+            yield ground.execution.with_witness(tot=tot), ground.outcome
+
+
+def allowed_outcomes(
+    program: Program,
+    model: JsModel = FINAL_MODEL,
+    extra_asw: Sequence[Tuple[int, int]] = (),
+    max_assignments: Optional[int] = None,
+) -> List[Outcome]:
+    """The set of outcomes observable under ``model`` (deduplicated).
+
+    Executions whose outcome has already been shown allowed are skipped
+    without a validity search, which keeps the enumeration tractable.
+    """
+    found: List[Outcome] = []
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    for ground in ground_executions(
+        program, extra_asw=extra_asw, max_assignments=max_assignments
+    ):
+        key = tuple(sorted(ground.outcome.items()))
+        if key in seen:
+            continue
+        tot = exists_valid_total_order(ground.execution, model)
+        if tot is not None:
+            seen.add(key)
+            found.append(ground.outcome)
+    return found
+
+
+def outcome_allowed(
+    program: Program,
+    spec: Outcome,
+    model: JsModel = FINAL_MODEL,
+    extra_asw: Sequence[Tuple[int, int]] = (),
+    max_assignments: Optional[int] = None,
+) -> bool:
+    """Is some allowed execution's outcome consistent with ``spec``?
+
+    ``spec`` is a partial assignment of qualified registers (``"1:r0": 5``);
+    it matches any outcome extending it.
+    """
+    for ground in ground_executions(
+        program, extra_asw=extra_asw, max_assignments=max_assignments
+    ):
+        if not outcome_matches(ground.outcome, spec):
+            continue
+        if exists_valid_total_order(ground.execution, model) is not None:
+            return True
+    return False
+
+
+def outcome_forbidden(
+    program: Program,
+    spec: Outcome,
+    model: JsModel = FINAL_MODEL,
+    **kwargs,
+) -> bool:
+    """Convenience negation of :func:`outcome_allowed`."""
+    return not outcome_allowed(program, spec, model, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# program-level properties (§3.2)
+# ---------------------------------------------------------------------------
+
+
+def program_is_data_race_free(
+    program: Program,
+    model: JsModel = FINAL_MODEL,
+    max_assignments: Optional[int] = None,
+) -> bool:
+    """Is the program data-race-free (no allowed execution has a race)?
+
+    This is JavaScript's (model-internal) notion of DRF: quantification over
+    *every* execution allowed by the model, not only the SC ones.
+    """
+    for execution, _outcome in allowed_executions(
+        program, model, max_assignments=max_assignments
+    ):
+        if data_races(execution, model):
+            return False
+    return True
+
+
+def non_sc_outcomes(
+    program: Program,
+    model: JsModel = FINAL_MODEL,
+    max_assignments: Optional[int] = None,
+) -> List[Outcome]:
+    """Allowed outcomes that no sequential interleaving of the program explains."""
+    sc = {tuple(sorted(o.items())) for o in sc_outcomes(program)}
+    weird = []
+    for outcome in allowed_outcomes(program, model, max_assignments=max_assignments):
+        if tuple(sorted(outcome.items())) not in sc:
+            weird.append(outcome)
+    return weird
+
+
+def program_satisfies_sc_drf(
+    program: Program,
+    model: JsModel = FINAL_MODEL,
+    max_assignments: Optional[int] = None,
+) -> bool:
+    """The SC-DRF guarantee for one program: DRF ⟹ only SC outcomes.
+
+    Returns ``True`` either when the program has a data race (the guarantee
+    is vacuous) or when all allowed outcomes are sequentially consistent.
+    """
+    if not program_is_data_race_free(program, model, max_assignments=max_assignments):
+        return True
+    return not non_sc_outcomes(program, model, max_assignments=max_assignments)

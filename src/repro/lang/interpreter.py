@@ -1,0 +1,217 @@
+"""A sequentially consistent reference interpreter (the SC oracle).
+
+SC-DRF (§3.2) compares the outcomes the memory model allows against the
+outcomes obtainable from "a sequential interleaving of the program's
+accesses".  This module provides that oracle: it exhaustively interleaves
+whole statements of the litmus fragment against a concrete, strongly
+consistent memory and collects every reachable final register assignment.
+
+``Atomics.wait`` / ``Atomics.notify`` are interpreted with a per-location
+wait queue, which also makes this interpreter the reference for the
+intuitive behaviour of the §7 examples (Fig. 13): interleavings in which a
+waiter suspends and is never notified are reported as *stuck*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .ast import (
+    AtomicAdd,
+    Exchange,
+    IfEq,
+    Load,
+    Notify,
+    Outcome,
+    Program,
+    Register,
+    Statement,
+    Store,
+    Wait,
+)
+
+_Memory = Tuple[Tuple[str, Tuple[int, ...]], ...]
+_Registers = Tuple[Tuple[str, int], ...]
+_Continuation = Tuple[Statement, ...]
+_WaitKey = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class _State:
+    """One interpreter state: memory, per-thread continuations, registers, waiters."""
+
+    memory: _Memory
+    continuations: Tuple[_Continuation, ...]
+    registers: Tuple[_Registers, ...]
+    waiting: Tuple[Optional[_WaitKey], ...]
+
+
+@dataclass(frozen=True)
+class InterpreterResult:
+    """The outcomes of exhaustive SC interpretation of a program."""
+
+    outcomes: Tuple[Outcome, ...]
+    stuck_outcomes: Tuple[Outcome, ...]
+
+    def all_outcomes(self) -> Tuple[Outcome, ...]:
+        """Terminated and stuck outcomes together."""
+        return self.outcomes + self.stuck_outcomes
+
+
+def _initial_state(program: Program) -> _State:
+    memory = tuple(
+        (buffer.block, (0,) * buffer.byte_length) for buffer in program.buffers
+    )
+    continuations = tuple(tuple(t.statements) for t in program.threads)
+    registers = tuple(() for _ in program.threads)
+    waiting = tuple(None for _ in program.threads)
+    return _State(memory, continuations, registers, waiting)
+
+
+def _memory_dict(memory: _Memory) -> Dict[str, List[int]]:
+    return {block: list(data) for block, data in memory}
+
+
+def _memory_tuple(memory: Dict[str, List[int]]) -> _Memory:
+    return tuple(sorted((block, tuple(data)) for block, data in memory.items()))
+
+
+def _registers_dict(registers: _Registers) -> Dict[str, int]:
+    return dict(registers)
+
+
+def _registers_tuple(registers: Dict[str, int]) -> _Registers:
+    return tuple(sorted(registers.items()))
+
+
+def _read(memory: Dict[str, List[int]], block: str, rng: range) -> Tuple[int, ...]:
+    return tuple(memory[block][k] for k in rng)
+
+
+def _write(
+    memory: Dict[str, List[int]], block: str, rng: range, data: Tuple[int, ...]
+) -> None:
+    for k, byte in zip(rng, data):
+        memory[block][k] = byte
+
+
+def _operand_value(value, registers: Dict[str, int]) -> int:
+    if isinstance(value, Register):
+        if value.name not in registers:
+            raise KeyError(f"register {value.name!r} used before assignment")
+        return registers[value.name]
+    return int(value)
+
+
+def _step_thread(
+    program: Program, state: _State, tid: int
+) -> _State:
+    """Execute the next statement of thread ``tid`` atomically."""
+    memory = _memory_dict(state.memory)
+    registers = [_registers_dict(r) for r in state.registers]
+    continuations = [list(c) for c in state.continuations]
+    waiting = list(state.waiting)
+
+    stmt = continuations[tid].pop(0)
+    regs = registers[tid]
+
+    if isinstance(stmt, Store):
+        rng = stmt.access.byte_range()
+        value = _operand_value(stmt.value, regs)
+        _write(memory, stmt.access.block, rng, stmt.access.encode(value))
+    elif isinstance(stmt, Load):
+        rng = stmt.access.byte_range()
+        data = _read(memory, stmt.access.block, rng)
+        regs[stmt.dest.name] = stmt.access.decode(data)
+    elif isinstance(stmt, Exchange):
+        rng = stmt.access.byte_range()
+        # The operand is evaluated before the register is overwritten.
+        value = _operand_value(stmt.value, regs)
+        data = _read(memory, stmt.access.block, rng)
+        regs[stmt.dest.name] = stmt.access.decode(data)
+        _write(memory, stmt.access.block, rng, stmt.access.encode(value))
+    elif isinstance(stmt, AtomicAdd):
+        rng = stmt.access.byte_range()
+        data = _read(memory, stmt.access.block, rng)
+        old = stmt.access.decode(data)
+        regs[stmt.dest.name] = old
+        _write(memory, stmt.access.block, rng, stmt.access.encode(old + stmt.value))
+    elif isinstance(stmt, IfEq):
+        if stmt.register.name not in regs:
+            raise KeyError(
+                f"thread {tid}: branch on unassigned register {stmt.register.name!r}"
+            )
+        branch = stmt.then if regs[stmt.register.name] == stmt.constant else stmt.otherwise
+        continuations[tid] = list(branch) + continuations[tid]
+    elif isinstance(stmt, Wait):
+        rng = stmt.access.byte_range()
+        data = _read(memory, stmt.access.block, rng)
+        if stmt.access.decode(data) == stmt.expected:
+            waiting[tid] = (stmt.access.block, rng.start, rng.stop)
+    elif isinstance(stmt, Notify):
+        rng = stmt.access.byte_range()
+        key = (stmt.access.block, rng.start, rng.stop)
+        woken = 0
+        for other in range(len(waiting)):
+            if waiting[other] == key:
+                waiting[other] = None
+                woken += 1
+        if stmt.dest is not None:
+            regs[stmt.dest.name] = woken
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unsupported statement {stmt!r}")
+
+    return _State(
+        memory=_memory_tuple(memory),
+        continuations=tuple(tuple(c) for c in continuations),
+        registers=tuple(_registers_tuple(r) for r in registers),
+        waiting=tuple(waiting),
+    )
+
+
+def _qualified_outcome(program: Program, state: _State) -> Outcome:
+    outcome: Outcome = {}
+    for tid in range(program.thread_count):
+        for name, value in state.registers[tid]:
+            outcome[f"{tid}:{name}"] = value
+    return outcome
+
+
+def interpret(program: Program) -> InterpreterResult:
+    """Exhaustively enumerate sequentially consistent behaviours of ``program``."""
+    initial = _initial_state(program)
+    seen: Set[_State] = set()
+    outcomes: Dict[Tuple[Tuple[str, int], ...], Outcome] = {}
+    stuck: Dict[Tuple[Tuple[str, int], ...], Outcome] = {}
+
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        runnable = [
+            tid
+            for tid in range(program.thread_count)
+            if state.continuations[tid] and state.waiting[tid] is None
+        ]
+        if not runnable:
+            outcome = _qualified_outcome(program, state)
+            key = tuple(sorted(outcome.items()))
+            if any(state.continuations[t] for t in range(program.thread_count)):
+                stuck[key] = outcome
+            else:
+                outcomes[key] = outcome
+            continue
+        for tid in runnable:
+            stack.append(_step_thread(program, state, tid))
+
+    return InterpreterResult(
+        outcomes=tuple(outcomes.values()), stuck_outcomes=tuple(stuck.values())
+    )
+
+
+def sc_outcomes(program: Program) -> Tuple[Outcome, ...]:
+    """The terminated outcomes of every sequential interleaving of ``program``."""
+    return interpret(program).outcomes

@@ -1,0 +1,218 @@
+"""SharedArrayBuffers, typed arrays and DataViews.
+
+JavaScript programs never access a SharedArrayBuffer directly: they go
+through a *typed array* (a fixed element width, aligned, tear-free for the
+integer widths up to 32 bits) or a *DataView* (byte-addressed, possibly
+unaligned, never tear-free, non-atomic only).  §2 of the paper describes
+both; this module models exactly the part of their semantics the memory
+model sees — how an access maps to a block, a starting byte index, a byte
+width and a tear-free flag, and how element values convert to and from
+little-endian bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SharedArrayBuffer:
+    """A zero-initialised linear buffer of bytes shared between agents."""
+
+    name: str
+    byte_length: int
+
+    def __post_init__(self) -> None:
+        if self.byte_length <= 0:
+            raise ValueError("SharedArrayBuffer length must be positive")
+
+    @property
+    def block(self) -> str:
+        """The abstract block address used by memory-model events."""
+        return self.name
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """An element type of a typed array (Int8, Uint16, Int32, …)."""
+
+    name: str
+    width: int
+    signed: bool
+
+    def to_bytes(self, value: int) -> Tuple[int, ...]:
+        """Encode ``value`` as little-endian bytes, wrapping modulo 2^(8·width)."""
+        mask = (1 << (8 * self.width)) - 1
+        return tuple((value & mask).to_bytes(self.width, "little"))
+
+    def from_bytes(self, data: Tuple[int, ...]) -> int:
+        """Decode little-endian bytes into an element value."""
+        if len(data) != self.width:
+            raise ValueError(
+                f"{self.name}: expected {self.width} bytes, got {len(data)}"
+            )
+        return int.from_bytes(bytes(data), "little", signed=self.signed)
+
+
+INT8 = ElementType("Int8", 1, signed=True)
+UINT8 = ElementType("Uint8", 1, signed=False)
+INT16 = ElementType("Int16", 2, signed=True)
+UINT16 = ElementType("Uint16", 2, signed=False)
+INT32 = ElementType("Int32", 4, signed=True)
+UINT32 = ElementType("Uint32", 4, signed=False)
+BIGINT64 = ElementType("BigInt64", 8, signed=True)
+BIGUINT64 = ElementType("BigUint64", 8, signed=False)
+
+ELEMENT_TYPES = {
+    t.name: t
+    for t in (INT8, UINT8, INT16, UINT16, INT32, UINT32, BIGINT64, BIGUINT64)
+}
+
+# Integer typed arrays of width ≤ 4 bytes are guaranteed tear-free by the
+# JavaScript sequential semantics (§6.4); 64-bit accesses may tear.
+_TEARFREE_MAX_WIDTH = 4
+
+
+@dataclass(frozen=True)
+class TypedArrayView:
+    """A typed-array wrapper around a SharedArrayBuffer.
+
+    ``name`` identifies the view in programs (``x``, ``b``, …);
+    ``byte_offset`` allows several views with different alignment over the
+    same buffer, which is how mixed-size and partially overlapping accesses
+    arise.
+    """
+
+    name: str
+    buffer: SharedArrayBuffer
+    element: ElementType
+    byte_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.byte_offset < 0:
+            raise ValueError("byte offset must be non-negative")
+        if self.byte_offset % self.element.width != 0:
+            raise ValueError(
+                "typed array byte offset must be element-aligned "
+                f"({self.byte_offset} % {self.element.width} != 0)"
+            )
+        if self.byte_offset >= self.buffer.byte_length:
+            raise ValueError("typed array byte offset beyond buffer end")
+
+    @property
+    def block(self) -> str:
+        """The block accessed by this view."""
+        return self.buffer.block
+
+    @property
+    def width(self) -> int:
+        """The byte width of one element."""
+        return self.element.width
+
+    @property
+    def length(self) -> int:
+        """The number of whole elements addressable through this view."""
+        return (self.buffer.byte_length - self.byte_offset) // self.element.width
+
+    @property
+    def tearfree(self) -> bool:
+        """Whether accesses through this view are guaranteed tear-free."""
+        return self.element.width <= _TEARFREE_MAX_WIDTH
+
+    @property
+    def supports_atomics(self) -> bool:
+        """Atomics operations require an integer typed array."""
+        return True
+
+    def byte_index(self, index: int) -> int:
+        """The absolute starting byte of element ``index`` within the block."""
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"index {index} out of bounds for view {self.name!r} "
+                f"of length {self.length}"
+            )
+        return self.byte_offset + index * self.element.width
+
+    def byte_range(self, index: int) -> range:
+        """The byte footprint of element ``index``."""
+        start = self.byte_index(index)
+        return range(start, start + self.element.width)
+
+    def encode(self, value: int) -> Tuple[int, ...]:
+        """Encode an element value as bytes."""
+        return self.element.to_bytes(value)
+
+    def decode(self, data: Tuple[int, ...]) -> int:
+        """Decode bytes into an element value."""
+        return self.element.from_bytes(data)
+
+
+@dataclass(frozen=True)
+class DataViewAccessor:
+    """A DataView over a SharedArrayBuffer: unaligned, non-atomic, tearing.
+
+    DataView accesses specify an explicit byte offset and width per access;
+    they are the only way JavaScript produces unaligned shared-memory
+    accesses (§2), and they are never tear-free.
+    """
+
+    name: str
+    buffer: SharedArrayBuffer
+
+    @property
+    def block(self) -> str:
+        """The block accessed by this view."""
+        return self.buffer.block
+
+    @property
+    def tearfree(self) -> bool:
+        """DataView accesses are never tear-free."""
+        return False
+
+    @property
+    def supports_atomics(self) -> bool:
+        """DataViews offer no atomic operations."""
+        return False
+
+    def byte_range(self, byte_offset: int, width: int) -> range:
+        """The footprint of an access of ``width`` bytes at ``byte_offset``."""
+        if width <= 0:
+            raise ValueError("access width must be positive")
+        if byte_offset < 0 or byte_offset + width > self.buffer.byte_length:
+            raise IndexError(
+                f"DataView access [{byte_offset}, {byte_offset + width}) out of "
+                f"bounds for buffer of {self.buffer.byte_length} bytes"
+            )
+        return range(byte_offset, byte_offset + width)
+
+    def encode(self, value: int, width: int) -> Tuple[int, ...]:
+        """Encode an unsigned value as ``width`` little-endian bytes."""
+        mask = (1 << (8 * width)) - 1
+        return tuple((value & mask).to_bytes(width, "little"))
+
+    def decode(self, data: Tuple[int, ...]) -> int:
+        """Decode little-endian bytes as an unsigned value."""
+        return int.from_bytes(bytes(data), "little", signed=False)
+
+
+def new_shared_array_buffer(name: str, byte_length: int) -> SharedArrayBuffer:
+    """``new SharedArrayBuffer(byte_length)``."""
+    return SharedArrayBuffer(name=name, byte_length=byte_length)
+
+
+def new_typed_array(
+    name: str,
+    buffer: SharedArrayBuffer,
+    element: ElementType = INT32,
+    byte_offset: int = 0,
+) -> TypedArrayView:
+    """``new Int32Array(buffer)`` and friends."""
+    return TypedArrayView(
+        name=name, buffer=buffer, element=element, byte_offset=byte_offset
+    )
+
+
+def new_data_view(name: str, buffer: SharedArrayBuffer) -> DataViewAccessor:
+    """``new DataView(buffer)``."""
+    return DataViewAccessor(name=name, buffer=buffer)

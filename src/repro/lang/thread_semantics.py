@@ -1,0 +1,330 @@
+"""The thread-local semantics of the litmus fragment.
+
+§2.1 of the paper: a JavaScript program's semantics is defined in two
+layers.  The *thread-local semantics* runs each agent, choosing read values
+arbitrarily and emitting an event for every shared-memory access; the
+axiomatic memory model then decides which of the resulting candidate
+executions are valid.
+
+This module implements the first layer symbolically.  For each thread it
+enumerates the *control-flow paths* the thread can take.  Each path yields
+
+* an ordered list of :class:`EventTemplate` — the accesses performed, with
+  read values left symbolic,
+* *path constraints* — equalities/disequalities on the (symbolic) values
+  read, arising from ``if (r == c)`` branches, and
+* final register bindings — either literals or references to read events.
+
+:mod:`repro.lang.enumeration` later grounds the symbolic read values by
+choosing a ``reads-byte-from`` relation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.events import AccessMode, SEQCST, UNORDERED
+from .ast import (
+    Access,
+    AtomicAdd,
+    Exchange,
+    IfEq,
+    Load,
+    Notify,
+    Program,
+    Register,
+    Statement,
+    Store,
+    Thread,
+    Wait,
+)
+
+TemplateKey = Tuple[int, int]
+"""Identifies an event template: ``(thread id, position within the path)``."""
+
+
+@dataclass(frozen=True)
+class WriteValue:
+    """How the bytes written by a template are computed.
+
+    ``kind`` is one of:
+
+    * ``"const"``    — a literal (``payload`` is the value);
+    * ``"copy"``     — the value read by another template (``source`` key),
+      e.g. ``y[0] = r`` where ``r`` was loaded;
+    * ``"add-read"`` — this template's own read value plus ``payload``
+      (``Atomics.add``).
+    """
+
+    kind: str
+    payload: int = 0
+    source: Optional[TemplateKey] = None
+
+
+@dataclass(frozen=True)
+class EventTemplate:
+    """A shared-memory access of one control-flow path, values still symbolic."""
+
+    key: TemplateKey
+    kind: str  # "read" | "write" | "rmw" | "notify"
+    mode: AccessMode
+    access: Optional[Access]
+    dest: Optional[str] = None
+    write_value: Optional[WriteValue] = None
+    wait_expected: Optional[int] = None
+
+    @property
+    def tid(self) -> int:
+        return self.key[0]
+
+    @property
+    def is_memory_event(self) -> bool:
+        """Notify markers produce no memory event."""
+        return self.kind != "notify"
+
+    @property
+    def reads_memory(self) -> bool:
+        return self.kind in ("read", "rmw")
+
+    @property
+    def writes_memory(self) -> bool:
+        return self.kind in ("write", "rmw")
+
+    @property
+    def block(self) -> str:
+        assert self.access is not None
+        return self.access.block
+
+    def byte_range(self) -> range:
+        assert self.access is not None
+        return self.access.byte_range()
+
+    @property
+    def tearfree(self) -> bool:
+        assert self.access is not None
+        return self.access.tearfree
+
+    def decode(self, data: Tuple[int, ...]) -> int:
+        assert self.access is not None
+        return self.access.decode(data)
+
+    def encode(self, value: int) -> Tuple[int, ...]:
+        assert self.access is not None
+        return self.access.encode(value)
+
+
+@dataclass(frozen=True)
+class PathConstraint:
+    """A branch condition: the value read by ``source`` compared to ``constant``."""
+
+    source: TemplateKey
+    equal: bool
+    constant: int
+
+
+RegisterBinding = Union[Tuple[str, int], Tuple[str, TemplateKey]]
+"""Either ``("const", value)`` or ``("event", template key)``."""
+
+
+@dataclass(frozen=True)
+class LocalPath:
+    """One control-flow path of one thread."""
+
+    tid: int
+    templates: Tuple[EventTemplate, ...]
+    constraints: Tuple[PathConstraint, ...]
+    registers: Tuple[Tuple[str, RegisterBinding], ...]
+
+    def register_map(self) -> Dict[str, RegisterBinding]:
+        return dict(self.registers)
+
+
+class _PathBuilder:
+    """Mutable state while exploring one thread's control flow."""
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.templates: List[EventTemplate] = []
+        self.constraints: List[PathConstraint] = []
+        self.registers: Dict[str, RegisterBinding] = {}
+
+    def snapshot(self) -> "_PathBuilder":
+        clone = _PathBuilder(self.tid)
+        clone.templates = list(self.templates)
+        clone.constraints = list(self.constraints)
+        clone.registers = dict(self.registers)
+        return clone
+
+    def next_key(self) -> TemplateKey:
+        return (self.tid, len(self.templates))
+
+    def finish(self) -> LocalPath:
+        return LocalPath(
+            tid=self.tid,
+            templates=tuple(self.templates),
+            constraints=tuple(self.constraints),
+            registers=tuple(sorted(self.registers.items())),
+        )
+
+
+class ThreadSemanticsError(ValueError):
+    """Raised when a program steps outside the supported fragment."""
+
+
+def _resolve_operand(
+    builder: _PathBuilder, value: Union[int, Register]
+) -> WriteValue:
+    """Turn a source operand into a :class:`WriteValue`."""
+    if isinstance(value, int):
+        return WriteValue(kind="const", payload=value)
+    binding = builder.registers.get(value.name)
+    if binding is None:
+        raise ThreadSemanticsError(
+            f"thread {builder.tid}: register {value.name!r} used before assignment"
+        )
+    tag, payload = binding
+    if tag == "const":
+        return WriteValue(kind="const", payload=payload)  # type: ignore[arg-type]
+    return WriteValue(kind="copy", source=payload)  # type: ignore[arg-type]
+
+
+def _explore(
+    builder: _PathBuilder, statements: Sequence[Statement]
+) -> Iterator[_PathBuilder]:
+    """Explore the statements, yielding a builder per complete path."""
+    if not statements:
+        yield builder
+        return
+    stmt, rest = statements[0], statements[1:]
+
+    if isinstance(stmt, Store):
+        write_value = _resolve_operand(builder, stmt.value)
+        builder.templates.append(
+            EventTemplate(
+                key=builder.next_key(),
+                kind="write",
+                mode=SEQCST if stmt.atomic else UNORDERED,
+                access=stmt.access,
+                write_value=write_value,
+            )
+        )
+        yield from _explore(builder, rest)
+        return
+
+    if isinstance(stmt, Load):
+        key = builder.next_key()
+        builder.templates.append(
+            EventTemplate(
+                key=key,
+                kind="read",
+                mode=SEQCST if stmt.atomic else UNORDERED,
+                access=stmt.access,
+                dest=stmt.dest.name,
+            )
+        )
+        builder.registers[stmt.dest.name] = ("event", key)
+        yield from _explore(builder, rest)
+        return
+
+    if isinstance(stmt, Exchange):
+        key = builder.next_key()
+        write_value = _resolve_operand(builder, stmt.value)
+        builder.templates.append(
+            EventTemplate(
+                key=key,
+                kind="rmw",
+                mode=SEQCST,
+                access=stmt.access,
+                dest=stmt.dest.name,
+                write_value=write_value,
+            )
+        )
+        builder.registers[stmt.dest.name] = ("event", key)
+        yield from _explore(builder, rest)
+        return
+
+    if isinstance(stmt, AtomicAdd):
+        key = builder.next_key()
+        builder.templates.append(
+            EventTemplate(
+                key=key,
+                kind="rmw",
+                mode=SEQCST,
+                access=stmt.access,
+                dest=stmt.dest.name,
+                write_value=WriteValue(kind="add-read", payload=stmt.value),
+            )
+        )
+        builder.registers[stmt.dest.name] = ("event", key)
+        yield from _explore(builder, rest)
+        return
+
+    if isinstance(stmt, IfEq):
+        binding = builder.registers.get(stmt.register.name)
+        if binding is None:
+            raise ThreadSemanticsError(
+                f"thread {builder.tid}: branch on unassigned register "
+                f"{stmt.register.name!r}"
+            )
+        tag, payload = binding
+        if tag == "const":
+            branch = stmt.then if payload == stmt.constant else stmt.otherwise
+            yield from _explore(builder, tuple(branch) + tuple(rest))
+            return
+        # Symbolic: fork on the comparison outcome.
+        taken = builder.snapshot()
+        taken.constraints.append(
+            PathConstraint(source=payload, equal=True, constant=stmt.constant)
+        )
+        yield from _explore(taken, tuple(stmt.then) + tuple(rest))
+        builder.constraints.append(
+            PathConstraint(source=payload, equal=False, constant=stmt.constant)
+        )
+        yield from _explore(builder, tuple(stmt.otherwise) + tuple(rest))
+        return
+
+    if isinstance(stmt, Wait):
+        key = builder.next_key()
+        builder.templates.append(
+            EventTemplate(
+                key=key,
+                kind="read",
+                mode=SEQCST,
+                access=stmt.access,
+                wait_expected=stmt.expected,
+            )
+        )
+        yield from _explore(builder, rest)
+        return
+
+    if isinstance(stmt, Notify):
+        key = builder.next_key()
+        builder.templates.append(
+            EventTemplate(
+                key=key,
+                kind="notify",
+                mode=SEQCST,
+                access=stmt.access,
+                dest=stmt.dest.name if stmt.dest else None,
+            )
+        )
+        yield from _explore(builder, rest)
+        return
+
+    raise ThreadSemanticsError(f"unsupported statement: {stmt!r}")
+
+
+def thread_paths(thread: Thread, tid: int) -> List[LocalPath]:
+    """All control-flow paths of one thread."""
+    builders = _explore(_PathBuilder(tid), thread.statements)
+    return [b.finish() for b in builders]
+
+
+def program_paths(program: Program) -> Iterator[Tuple[LocalPath, ...]]:
+    """All combinations of per-thread control-flow paths of a program."""
+    per_thread = [
+        thread_paths(thread, tid) for tid, thread in enumerate(program.threads)
+    ]
+    yield from itertools.product(*per_thread)

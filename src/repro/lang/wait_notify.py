@@ -1,0 +1,373 @@
+"""Atomics.wait / Atomics.notify — the §7 thread-suspension semantics.
+
+``Atomics.wait`` reads a location inside a wait-queue *critical section* and
+suspends the agent if the value read equals the expected value;
+``Atomics.notify`` wakes every agent suspended on the location and returns
+the number woken.  The ES2019 specification interleaves these critical
+sections in the thread-local semantics but never tells the axiomatic memory
+model about that interleaving; the paper's correction is that **entering the
+critical section synchronizes with all previous exits**, contributing
+``additional-synchronizes-with`` edges to the candidate execution.
+
+This module enumerates the wait/notify *scenarios* of a program (which
+waiters suspend, in which order the critical sections are entered, who wakes
+whom and what each notify returns), builds the corresponding candidate
+pre-executions — with the corrective ``asw`` edges (``corrected=True``) or
+without them (``corrected=False``, the uncorrected specification) — and
+hands them to the usual candidate-execution enumeration.
+
+The two Fig. 13 executions are the acceptance tests: both are allowed by
+the uncorrected model and forbidden once the critical-section edges are
+added.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.execution import CandidateExecution
+from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
+from .ast import Outcome, Program, outcome_matches
+from .enumeration import GroundExecution, build_pre_execution, ground_candidates
+from .thread_semantics import (
+    EventTemplate,
+    LocalPath,
+    PathConstraint,
+    TemplateKey,
+    program_paths,
+)
+
+
+@dataclass(frozen=True)
+class CsOp:
+    """One critical-section operation: a wait entry or a notify."""
+
+    kind: str  # "wait" | "notify"
+    key: TemplateKey
+    template: EventTemplate
+
+    @property
+    def tid(self) -> int:
+        return self.key[0]
+
+    @property
+    def position(self) -> int:
+        return self.key[1]
+
+    def location(self) -> Tuple[str, int, int]:
+        rng = self.template.byte_range()
+        return (self.template.block, rng.start, rng.stop)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully resolved wait/notify scenario for a path combination.
+
+    ``suspends``      — which waits observed their expected value and slept;
+    ``stuck``         — wait operations that were never notified (their
+                        thread suspends forever);
+    ``notify_counts`` — the value returned by each notify;
+    ``cs_sync``       — ordered pairs of (exit op, entry op) of the
+                        critical-section order, used to generate ``asw``.
+    """
+
+    suspends: Tuple[Tuple[TemplateKey, bool], ...]
+    stuck: Tuple[TemplateKey, ...]
+    notify_counts: Tuple[Tuple[TemplateKey, int], ...]
+    cs_sync: Tuple[Tuple[CsOp, str, CsOp, str], ...]
+    wake_sync: Tuple[Tuple[CsOp, TemplateKey], ...]
+
+
+def _cs_ops(paths: Sequence[LocalPath]) -> List[CsOp]:
+    """The critical-section operations of a path combination, per thread order."""
+    ops: List[CsOp] = []
+    for path in paths:
+        for template in path.templates:
+            if template.wait_expected is not None:
+                ops.append(CsOp(kind="wait", key=template.key, template=template))
+            elif template.kind == "notify":
+                ops.append(CsOp(kind="notify", key=template.key, template=template))
+    return ops
+
+
+def _interleavings(ops: Sequence[CsOp]) -> Iterator[Tuple[CsOp, ...]]:
+    """All interleavings of the critical-section operations respecting program order."""
+    by_thread: Dict[int, List[CsOp]] = {}
+    for op in ops:
+        by_thread.setdefault(op.tid, []).append(op)
+    for thread_ops in by_thread.values():
+        thread_ops.sort(key=lambda op: op.position)
+
+    def backtrack(state: Dict[int, int], acc: List[CsOp]):
+        if all(state[tid] == len(thread_ops) for tid, thread_ops in by_thread.items()):
+            yield tuple(acc)
+            return
+        for tid, thread_ops in by_thread.items():
+            idx = state[tid]
+            if idx < len(thread_ops):
+                state[tid] += 1
+                acc.append(thread_ops[idx])
+                yield from backtrack(state, acc)
+                acc.pop()
+                state[tid] -= 1
+
+    yield from backtrack({tid: 0 for tid in by_thread}, [])
+
+
+def _scenarios(paths: Sequence[LocalPath]) -> Iterator[Scenario]:
+    """Enumerate the wait/notify scenarios of one path combination."""
+    ops = _cs_ops(paths)
+    waits = [op for op in ops if op.kind == "wait"]
+    if not ops:
+        yield Scenario(
+            suspends=(), stuck=(), notify_counts=(), cs_sync=(), wake_sync=()
+        )
+        return
+
+    for suspend_choice in itertools.product([False, True], repeat=len(waits)):
+        suspends = {op.key: choice for op, choice in zip(waits, suspend_choice)}
+        for order in _interleavings(ops):
+            scenario = _simulate(order, suspends)
+            if scenario is not None:
+                yield scenario
+
+
+def _simulate(
+    order: Sequence[CsOp], suspends: Dict[TemplateKey, bool]
+) -> Optional[Scenario]:
+    """Replay one critical-section order; ``None`` if it is not realisable."""
+    queue: Dict[Tuple[str, int, int], List[CsOp]] = {}
+    waiting: Set[int] = set()
+    skipped: Set[int] = set()
+    notify_counts: Dict[TemplateKey, int] = {}
+    # The effective sequence of (exit-providing op, entry-providing op) info:
+    # each element is (op, entry_key) where entry_key is the template key at
+    # which the op's thread (re-)enters the critical section.
+    happenings: List[Tuple[CsOp, str]] = []  # (op, "entry" | "wake")
+    wake_sync: List[Tuple[CsOp, TemplateKey]] = []
+
+    for op in order:
+        if op.tid in waiting:
+            # The thread is suspended: this operation can only happen after a
+            # wake, which another interleaving covers — unless the thread is
+            # never woken, in which case the operation simply never happens.
+            skipped.add(op.tid)
+            continue
+        if op.kind == "wait":
+            happenings.append((op, "entry"))
+            if suspends[op.key]:
+                queue.setdefault(op.location(), []).append(op)
+                waiting.add(op.tid)
+        else:  # notify
+            happenings.append((op, "entry"))
+            woken = queue.pop(op.location(), [])
+            notify_counts[op.key] = len(woken)
+            for waiter in woken:
+                if waiter.tid in skipped:
+                    # A skipped operation would have had to run before this
+                    # wake; that behaviour belongs to another interleaving.
+                    return None
+                waiting.discard(waiter.tid)
+                happenings.append((waiter, "wake"))
+                wake_sync.append((op, waiter.key))
+
+    stuck = tuple(
+        sorted(waiter.key for waiters in queue.values() for waiter in waiters)
+    )
+
+    # Synchronisation pairs: every critical-section entry (or wake re-entry)
+    # synchronises with all previous exits by other threads.  The kind of
+    # each happening ("entry" vs "wake") is kept so the asw anchors can
+    # distinguish a wait's initial entry (the wait read itself) from its
+    # wake re-entry (the events after the wait).
+    cs_sync: List[Tuple[CsOp, str, CsOp, str]] = []
+    for i, (later_op, later_kind) in enumerate(happenings):
+        for (earlier_op, earlier_kind) in happenings[:i]:
+            if earlier_op.tid != later_op.tid:
+                cs_sync.append((earlier_op, earlier_kind, later_op, later_kind))
+
+    return Scenario(
+        suspends=tuple(sorted(suspends.items())),
+        stuck=stuck,
+        notify_counts=tuple(sorted(notify_counts.items())),
+        cs_sync=tuple(cs_sync),
+        wake_sync=tuple(wake_sync),
+    )
+
+
+def _truncate_path(path: LocalPath, stuck: Set[TemplateKey]) -> LocalPath:
+    """Drop the statements a permanently suspended thread never executes."""
+    stuck_here = [key for key in stuck if key[0] == path.tid]
+    if not stuck_here:
+        return path
+    cutoff = min(position for (_tid, position) in stuck_here)
+    kept: List[EventTemplate] = [
+        template for template in path.templates if template.key[1] <= cutoff
+    ]
+    kept_keys = {t.key for t in kept}
+    registers = tuple(
+        (name, binding)
+        for name, binding in path.registers
+        if binding[0] == "const" or binding[1] in kept_keys
+    )
+    constraints = tuple(c for c in path.constraints if c.source in kept_keys)
+    return LocalPath(
+        tid=path.tid,
+        templates=tuple(kept),
+        constraints=constraints,
+        registers=registers,
+    )
+
+
+def _apply_scenario(
+    paths: Sequence[LocalPath], scenario: Scenario
+) -> Tuple[LocalPath, ...]:
+    """Specialise the paths to one scenario: truncation, constraints, counts."""
+    stuck = set(scenario.stuck)
+    suspends = dict(scenario.suspends)
+    notify_counts = dict(scenario.notify_counts)
+
+    new_paths: List[LocalPath] = []
+    for path in paths:
+        path = _truncate_path(path, stuck)
+        extra_constraints: List[PathConstraint] = []
+        registers = dict(path.registers)
+        for template in path.templates:
+            if template.wait_expected is not None and template.key in suspends:
+                extra_constraints.append(
+                    PathConstraint(
+                        source=template.key,
+                        equal=suspends[template.key],
+                        constant=template.wait_expected,
+                    )
+                )
+            if template.kind == "notify" and template.dest is not None:
+                count = notify_counts.get(template.key)
+                if count is not None:
+                    registers[template.dest] = ("const", count)
+        new_paths.append(
+            LocalPath(
+                tid=path.tid,
+                templates=path.templates,
+                constraints=path.constraints + tuple(extra_constraints),
+                registers=tuple(sorted(registers.items())),
+            )
+        )
+    return tuple(new_paths)
+
+
+def _anchor_eids(
+    pre_eids: Dict[TemplateKey, int],
+    paths: Sequence[LocalPath],
+) -> Tuple[Dict[int, List[Tuple[int, int]]], Dict[TemplateKey, int]]:
+    """Per-thread (position, eid) lists of memory events, plus key → eid."""
+    per_thread: Dict[int, List[Tuple[int, int]]] = {}
+    for path in paths:
+        events = [
+            (template.key[1], pre_eids[template.key])
+            for template in path.templates
+            if template.is_memory_event and template.key in pre_eids
+        ]
+        per_thread[path.tid] = sorted(events)
+    return per_thread, dict(pre_eids)
+
+
+def _asw_edges(
+    scenario: Scenario,
+    pre_eids: Dict[TemplateKey, int],
+    paths: Sequence[LocalPath],
+) -> List[Tuple[int, int]]:
+    """The additional-synchronizes-with edges of the corrected §7 semantics."""
+    per_thread, _ = _anchor_eids(pre_eids, paths)
+
+    def last_event_at_or_before(tid: int, position: int) -> Optional[int]:
+        candidates = [eid for pos, eid in per_thread.get(tid, []) if pos <= position]
+        return candidates[-1] if candidates else None
+
+    def first_event_at_or_after(tid: int, position: int) -> Optional[int]:
+        candidates = [eid for pos, eid in per_thread.get(tid, []) if pos >= position]
+        return candidates[0] if candidates else None
+
+    def exit_anchor(op: CsOp, kind: str) -> Optional[int]:
+        if op.kind == "wait":
+            return pre_eids.get(op.key)
+        return last_event_at_or_before(op.tid, op.position)
+
+    def entry_anchor(op: CsOp, kind: str) -> Optional[int]:
+        if op.kind == "wait":
+            if kind == "wake":
+                # The wake re-entry happens after the wait read: it orders
+                # previous exits before the thread's subsequent events only.
+                return first_event_at_or_after(op.tid, op.position + 1)
+            return pre_eids.get(op.key)
+        return first_event_at_or_after(op.tid, op.position)
+
+    edges: List[Tuple[int, int]] = []
+    for earlier, earlier_kind, later, later_kind in scenario.cs_sync:
+        src = exit_anchor(earlier, earlier_kind)
+        dst = entry_anchor(later, later_kind)
+        if src is not None and dst is not None and src != dst:
+            edges.append((src, dst))
+    # A notify's wake synchronises the notifier with everything the woken
+    # thread does after its wait.
+    for notifier, wait_key in scenario.wake_sync:
+        src = exit_anchor(notifier, "entry")
+        wait_tid, wait_pos = wait_key
+        dst = first_event_at_or_after(wait_tid, wait_pos + 1)
+        if src is not None and dst is not None and src != dst:
+            edges.append((src, dst))
+    return edges
+
+
+def wait_notify_ground_executions(
+    program: Program, corrected: bool = True
+) -> Iterator[GroundExecution]:
+    """Concrete candidate executions of a wait/notify program.
+
+    With ``corrected=True`` the critical-section ordering contributes
+    ``additional-synchronizes-with`` edges; with ``corrected=False`` it does
+    not (the uncorrected ES2019 reading).
+    """
+    for paths in program_paths(program):
+        for scenario in _scenarios(paths):
+            specialised = _apply_scenario(paths, scenario)
+            pre = build_pre_execution(program, specialised)
+            if corrected:
+                edges = _asw_edges(scenario, pre.eid_of, specialised)
+                pre = build_pre_execution(program, specialised, extra_asw=edges)
+            yield from ground_candidates(pre)
+
+
+def wait_notify_allowed_outcomes(
+    program: Program,
+    corrected: bool = True,
+    model: JsModel = FINAL_MODEL,
+) -> List[Outcome]:
+    """The outcomes allowed by ``model`` under the chosen §7 semantics."""
+    found: List[Outcome] = []
+    seen = set()
+    for ground in wait_notify_ground_executions(program, corrected=corrected):
+        key = tuple(sorted(ground.outcome.items()))
+        if key in seen:
+            continue
+        if exists_valid_total_order(ground.execution, model) is not None:
+            seen.add(key)
+            found.append(ground.outcome)
+    return found
+
+
+def wait_notify_outcome_allowed(
+    program: Program,
+    spec: Outcome,
+    corrected: bool = True,
+    model: JsModel = FINAL_MODEL,
+) -> bool:
+    """Is an outcome matching ``spec`` observable under the chosen semantics?"""
+    for ground in wait_notify_ground_executions(program, corrected=corrected):
+        if not outcome_matches(ground.outcome, spec):
+            continue
+        if exists_valid_total_order(ground.execution, model) is not None:
+            return True
+    return False

@@ -1,0 +1,51 @@
+"""Litmus tests: the paper's figures, classic shapes, a diy-style generator and a runner."""
+
+from .catalogue import (
+    ARMV8_FIX,
+    Expectation,
+    FINAL,
+    LitmusTest,
+    ORIGINAL,
+    SC,
+    STRONG_TEAR,
+    all_tests,
+    by_name,
+    classic_tests,
+    mixed_size_tests,
+    paper_tests,
+)
+from .generator import GeneratorConfig, generate_arm_corpus, generate_js_corpus
+from .runner import (
+    ExpectationResult,
+    TestResult,
+    check_expectation,
+    outcomes_under,
+    run_test,
+    run_tests,
+    spec_allowed,
+)
+
+__all__ = [
+    "ARMV8_FIX",
+    "Expectation",
+    "FINAL",
+    "LitmusTest",
+    "ORIGINAL",
+    "SC",
+    "STRONG_TEAR",
+    "all_tests",
+    "by_name",
+    "classic_tests",
+    "mixed_size_tests",
+    "paper_tests",
+    "ExpectationResult",
+    "TestResult",
+    "check_expectation",
+    "outcomes_under",
+    "run_test",
+    "run_tests",
+    "spec_allowed",
+    "GeneratorConfig",
+    "generate_arm_corpus",
+    "generate_js_corpus",
+]

@@ -1,0 +1,700 @@
+"""The litmus-test catalogue: every program figure of the paper plus classics.
+
+Each :class:`LitmusTest` bundles a program of the restricted fragment with
+its expected verdicts under the various models (the original ES2019 model,
+the corrected/final model, the strong-tear-free variant, and the sequential
+consistency oracle).  The catalogue contains
+
+* the paper's own programs — Fig. 1 (message passing), Fig. 6 (the ARMv8
+  compilation-scheme violation), Fig. 8 (the SC-DRF violation), Fig. 13
+  (wait/notify) and Fig. 14 (Init-event tearing) — and
+* the classic litmus shapes (SB, MP, LB, R, 2+2W, CoRR) in SeqCst and
+  Unordered variants, plus mixed-size variants using differently-sized
+  typed-array views of the same buffer.
+
+Buffers are kept small (8–16 bytes instead of the figures' 1 KiB); the
+number of trailing untouched bytes does not affect any verdict and small
+buffers keep exhaustive enumeration fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..lang.ast import (
+    Exchange,
+    IfEq,
+    Load,
+    Notify,
+    Program,
+    Register,
+    Store,
+    Thread,
+    TypedAccess,
+    Wait,
+)
+from ..lang.memory import (
+    INT16,
+    INT32,
+    INT8,
+    UINT16,
+    UINT8,
+    new_shared_array_buffer,
+    new_typed_array,
+)
+
+# Model keys used in expectations.
+ORIGINAL = "original"
+ARMV8_FIX = "armv8-fix"
+FINAL = "final"
+STRONG_TEAR = "strong-tear"
+SC = "sc"
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One expected verdict: is ``spec`` observable under ``model``?"""
+
+    model: str
+    spec: Tuple[Tuple[str, int], ...]
+    allowed: bool
+    note: str = ""
+
+    @property
+    def spec_dict(self) -> Dict[str, int]:
+        return dict(self.spec)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus program with its expected verdicts."""
+
+    name: str
+    program: Program
+    expectations: Tuple[Expectation, ...]
+    source: str = ""
+    tags: Tuple[str, ...] = ()
+    corrected_wait_notify: Optional[bool] = None
+
+    @property
+    def mixed_size(self) -> bool:
+        return "mixed-size" in self.tags
+
+    def expectations_for(self, model: str) -> Tuple[Expectation, ...]:
+        return tuple(e for e in self.expectations if e.model == model)
+
+
+def _expect(model: str, spec: Mapping[str, int], allowed: bool, note: str = "") -> Expectation:
+    return Expectation(
+        model=model, spec=tuple(sorted(spec.items())), allowed=allowed, note=note
+    )
+
+
+# ---------------------------------------------------------------------------
+# the paper's figures
+# ---------------------------------------------------------------------------
+
+
+def fig1_message_passing() -> LitmusTest:
+    """Fig. 1: message passing with an atomic flag."""
+    sab = new_shared_array_buffer("b", 8)
+    x = new_typed_array("x", sab, INT32)
+    msg = TypedAccess(x, 0)
+    flag = TypedAccess(x, 1)
+    program = Program(
+        name="fig1-message-passing",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(msg, 3), Store(flag, 5, atomic=True))),
+            Thread(
+                (
+                    Load(Register("r0"), flag, atomic=True),
+                    IfEq(Register("r0"), 5, then=(Load(Register("r1"), msg),)),
+                )
+            ),
+        ),
+        description="Fig. 1 of the paper: message passing through a SeqCst flag.",
+    )
+    return LitmusTest(
+        name="fig1-message-passing",
+        program=program,
+        source="Fig. 1 / Fig. 2",
+        tags=("paper", "message-passing"),
+        expectations=(
+            _expect(FINAL, {"1:r0": 5, "1:r1": 3}, True, "message received"),
+            _expect(FINAL, {"1:r0": 0}, True, "flag not yet set"),
+            _expect(FINAL, {"1:r0": 5, "1:r1": 0}, False, "flag without message"),
+            _expect(ORIGINAL, {"1:r0": 5, "1:r1": 0}, False, "flag without message"),
+            _expect(SC, {"1:r0": 5, "1:r1": 3}, True),
+            _expect(SC, {"1:r0": 5, "1:r1": 0}, False),
+        ),
+    )
+
+
+def fig1_relaxed_flag() -> LitmusTest:
+    """Fig. 1 with a non-atomic flag: the relaxed outcome becomes observable."""
+    sab = new_shared_array_buffer("b", 8)
+    x = new_typed_array("x", sab, INT32)
+    msg = TypedAccess(x, 0)
+    flag = TypedAccess(x, 1)
+    program = Program(
+        name="fig1-relaxed-flag",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(msg, 3), Store(flag, 5))),
+            Thread(
+                (
+                    Load(Register("r0"), flag),
+                    IfEq(Register("r0"), 5, then=(Load(Register("r1"), msg),)),
+                )
+            ),
+        ),
+        description="Fig. 1 with both flag accesses non-atomic.",
+    )
+    return LitmusTest(
+        name="fig1-relaxed-flag",
+        program=program,
+        source="§2 (discussion of Fig. 1)",
+        tags=("paper", "message-passing", "relaxed"),
+        expectations=(
+            _expect(FINAL, {"1:r0": 5, "1:r1": 0}, True, "relaxed behaviour"),
+            _expect(FINAL, {"1:r0": 5, "1:r1": 3}, True),
+            _expect(SC, {"1:r0": 5, "1:r1": 0}, False),
+        ),
+    )
+
+
+def fig6_armv8_violation() -> LitmusTest:
+    """Fig. 6: the program whose compiled ARMv8 behaviour the original model forbids."""
+    sab = new_shared_array_buffer("b", 8)
+    b = new_typed_array("b", sab, INT32)
+    loc0 = TypedAccess(b, 0)
+    loc1 = TypedAccess(b, 1)
+    program = Program(
+        name="fig6-armv8-violation",
+        buffers=(sab,),
+        threads=(
+            Thread(
+                (
+                    Store(loc0, 1, atomic=True),
+                    Load(Register("r1"), loc1, atomic=True),
+                )
+            ),
+            Thread(
+                (
+                    Store(loc1, 1, atomic=True),
+                    Store(loc1, 2, atomic=True),
+                    Store(loc0, 2),
+                    Load(Register("r2"), loc0, atomic=True),
+                )
+            ),
+        ),
+        description=(
+            "Fig. 6: forbidden by the original JS model, allowed by ARMv8 "
+            "under the C++ SC-atomics compilation scheme."
+        ),
+    )
+    outcome = {"0:r1": 1, "1:r2": 1}
+    return LitmusTest(
+        name="fig6-armv8-violation",
+        program=program,
+        source="Fig. 6",
+        tags=("paper", "armv8", "counter-example"),
+        expectations=(
+            _expect(ORIGINAL, outcome, False, "original model forbids the ARM behaviour"),
+            _expect(ARMV8_FIX, outcome, True, "weakened SC-atomics rule allows it"),
+            _expect(FINAL, outcome, True, "final model allows it"),
+            _expect(SC, outcome, False, "not a sequential interleaving"),
+        ),
+    )
+
+
+def fig8_sc_drf_violation() -> LitmusTest:
+    """Fig. 8: a data-race-free program with a non-SC behaviour (original model)."""
+    sab = new_shared_array_buffer("b", 4)
+    b = new_typed_array("b", sab, INT32)
+    loc0 = TypedAccess(b, 0)
+    program = Program(
+        name="fig8-sc-drf-violation",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(loc0, 1, atomic=True),)),
+            Thread(
+                (
+                    Store(loc0, 2, atomic=True),
+                    Load(Register("r0"), loc0, atomic=True),
+                    IfEq(Register("r0"), 1, then=(Load(Register("r1"), loc0),)),
+                )
+            ),
+        ),
+        description=(
+            "Fig. 8: 4 events, 1 location.  Data-race-free, yet the original "
+            "model allows the non-atomic load to read 2."
+        ),
+    )
+    outcome = {"1:r0": 1, "1:r1": 2}
+    return LitmusTest(
+        name="fig8-sc-drf-violation",
+        program=program,
+        source="Fig. 8",
+        tags=("paper", "sc-drf", "counter-example"),
+        expectations=(
+            _expect(ORIGINAL, outcome, True, "SC-DRF violation of the original model"),
+            _expect(FINAL, outcome, False, "revised rule restores SC-DRF"),
+            _expect(SC, outcome, False, "not a sequential interleaving"),
+        ),
+    )
+
+
+def fig13_wait_notify() -> LitmusTest:
+    """Fig. 13: wait/notify synchronisation."""
+    sab = new_shared_array_buffer("x", 4)
+    x = new_typed_array("x", sab, INT32)
+    loc0 = TypedAccess(x, 0)
+    program = Program(
+        name="fig13-wait-notify",
+        buffers=(sab,),
+        threads=(
+            Thread(
+                (
+                    Wait(loc0, 0),
+                    Load(Register("r0"), loc0, atomic=True),
+                )
+            ),
+            Thread(
+                (
+                    Store(loc0, 42, atomic=True),
+                    Notify(loc0, dest=Register("r1")),
+                )
+            ),
+        ),
+        description="Fig. 13a: Atomics.wait / Atomics.notify message passing.",
+    )
+    return LitmusTest(
+        name="fig13-wait-notify",
+        program=program,
+        source="Fig. 13",
+        tags=("paper", "wait-notify"),
+        corrected_wait_notify=True,
+        expectations=(
+            # With the corrective critical-section asw edges the waiter
+            # always observes 42 (Fig. 13b/13c both forbidden).
+            _expect(FINAL, {"0:r0": 0}, False, "Fig. 13b forbidden when corrected"),
+            _expect(FINAL, {"0:r0": 42}, True),
+        ),
+    )
+
+
+def fig14_init_tearing() -> LitmusTest:
+    """Fig. 14: a tear-free 16-bit load mixing bytes of Init and a 16-bit store."""
+    sab = new_shared_array_buffer("b", 4)
+    b = new_typed_array("b", sab, UINT16)
+    loc0 = TypedAccess(b, 0)
+    program = Program(
+        name="fig14-init-tearing",
+        buffers=(sab,),
+        threads=(
+            Thread((Load(Register("r"), loc0),)),
+            Thread((Store(loc0, 0x0101),)),
+        ),
+        description=(
+            "Fig. 14: the 16-bit load may read one byte from Init and one "
+            "from the 16-bit store under the current Tear-Free Reads rule."
+        ),
+    )
+    torn = {"0:r": 0x0001}
+    other_torn = {"0:r": 0x0100}
+    return LitmusTest(
+        name="fig14-init-tearing",
+        program=program,
+        source="Fig. 14",
+        tags=("paper", "tearing", "mixed-size"),
+        expectations=(
+            _expect(FINAL, torn, True, "tearing with Init allowed by the current rule"),
+            _expect(FINAL, other_torn, True, "the other torn value"),
+            _expect(STRONG_TEAR, torn, False, "strong Tear-Free Reads forbids it"),
+            _expect(STRONG_TEAR, other_torn, False),
+            _expect(STRONG_TEAR, {"0:r": 0x0101}, True),
+            _expect(STRONG_TEAR, {"0:r": 0}, True),
+            _expect(SC, torn, False),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# classic litmus shapes (SeqCst and Unordered variants)
+# ---------------------------------------------------------------------------
+
+
+def _two_locations(name: str = "b", bytes_: int = 8):
+    sab = new_shared_array_buffer(name, bytes_)
+    view = new_typed_array(name, sab, INT32)
+    return sab, TypedAccess(view, 0), TypedAccess(view, 1)
+
+
+def store_buffering(atomic: bool) -> LitmusTest:
+    """SB: both threads store then load the other location."""
+    kind = "sc" if atomic else "un"
+    sab, x, y = _two_locations()
+    program = Program(
+        name=f"sb-{kind}",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(x, 1, atomic=atomic), Load(Register("r0"), y, atomic=atomic))),
+            Thread((Store(y, 1, atomic=atomic), Load(Register("r1"), x, atomic=atomic))),
+        ),
+        description="Store buffering (Dekker).",
+    )
+    both_zero = {"0:r0": 0, "1:r1": 0}
+    expectations = [
+        _expect(SC, both_zero, False),
+        _expect(FINAL, both_zero, not atomic),
+        _expect(ORIGINAL, both_zero, not atomic),
+    ]
+    return LitmusTest(
+        name=f"sb-{kind}",
+        program=program,
+        source="classic",
+        tags=("classic", "sb") + (("seqcst",) if atomic else ("unordered",)),
+        expectations=tuple(expectations),
+    )
+
+
+def message_passing(atomic_flag: bool, atomic_data: bool) -> LitmusTest:
+    """MP with configurable access modes on data and flag."""
+    kind = f"{'sc' if atomic_data else 'un'}-{'sc' if atomic_flag else 'un'}"
+    sab, data, flag = _two_locations()
+    program = Program(
+        name=f"mp-{kind}",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(data, 1, atomic=atomic_data), Store(flag, 1, atomic=atomic_flag))),
+            Thread(
+                (
+                    Load(Register("r0"), flag, atomic=atomic_flag),
+                    Load(Register("r1"), data, atomic=atomic_data),
+                )
+            ),
+        ),
+        description="Message passing.",
+    )
+    stale = {"1:r0": 1, "1:r1": 0}
+    # The stale read is forbidden exactly when the flag is written and read
+    # with SeqCst accesses: their synchronizes-with edge puts the data write
+    # happens-before the data read, whatever the data access mode is.
+    expectations = [
+        _expect(SC, stale, False),
+        _expect(FINAL, stale, not atomic_flag),
+    ]
+    return LitmusTest(
+        name=f"mp-{kind}",
+        program=program,
+        source="classic",
+        tags=("classic", "mp"),
+        expectations=tuple(expectations),
+    )
+
+
+def load_buffering(atomic: bool) -> LitmusTest:
+    """LB: both threads load one location then store the other."""
+    kind = "sc" if atomic else "un"
+    sab, x, y = _two_locations()
+    program = Program(
+        name=f"lb-{kind}",
+        buffers=(sab,),
+        threads=(
+            Thread((Load(Register("r0"), x, atomic=atomic), Store(y, 1, atomic=atomic))),
+            Thread((Load(Register("r1"), y, atomic=atomic), Store(x, 1, atomic=atomic))),
+        ),
+        description="Load buffering.",
+    )
+    both_one = {"0:r0": 1, "1:r1": 1}
+    expectations = [
+        _expect(SC, both_one, False),
+        _expect(FINAL, both_one, not atomic),
+    ]
+    return LitmusTest(
+        name=f"lb-{kind}",
+        program=program,
+        source="classic",
+        tags=("classic", "lb"),
+        expectations=tuple(expectations),
+    )
+
+
+def coherence_corr(atomic: bool) -> LitmusTest:
+    """CoRR: two reads of the same location must not observe writes out of order.
+
+    With SeqCst accesses the reordered observation is forbidden; with
+    Unordered accesses JavaScript (which has no per-location coherence for
+    non-atomics) allows it.
+    """
+    kind = "sc" if atomic else "un"
+    sab = new_shared_array_buffer("b", 4)
+    view = new_typed_array("b", sab, INT32)
+    x = TypedAccess(view, 0)
+    program = Program(
+        name=f"corr-{kind}",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(x, 1, atomic=atomic),)),
+            Thread(
+                (
+                    Load(Register("r0"), x, atomic=atomic),
+                    Load(Register("r1"), x, atomic=atomic),
+                )
+            ),
+        ),
+        description="Coherence of two reads of one location.",
+    )
+    reordered = {"1:r0": 1, "1:r1": 0}
+    expectations = [
+        _expect(SC, reordered, False),
+        _expect(FINAL, reordered, not atomic),
+    ]
+    return LitmusTest(
+        name=f"corr-{kind}",
+        program=program,
+        source="classic",
+        tags=("classic", "coherence"),
+        expectations=tuple(expectations),
+    )
+
+
+def two_plus_two_w(atomic: bool) -> LitmusTest:
+    """2+2W: write/write on two locations in opposite orders, then read back."""
+    kind = "sc" if atomic else "un"
+    sab, x, y = _two_locations()
+    program = Program(
+        name=f"2+2w-{kind}",
+        buffers=(sab,),
+        threads=(
+            Thread(
+                (
+                    Store(x, 1, atomic=atomic),
+                    Store(y, 2, atomic=atomic),
+                    Load(Register("r0"), y, atomic=atomic),
+                )
+            ),
+            Thread(
+                (
+                    Store(y, 1, atomic=atomic),
+                    Store(x, 2, atomic=atomic),
+                    Load(Register("r1"), x, atomic=atomic),
+                )
+            ),
+        ),
+        description="2+2W with read-back of the locally overwritten location.",
+    )
+    stale = {"0:r0": 1, "1:r1": 1}
+    expectations = [
+        _expect(SC, stale, False),
+        _expect(FINAL, stale, not atomic),
+    ]
+    return LitmusTest(
+        name=f"2+2w-{kind}",
+        program=program,
+        source="classic",
+        tags=("classic", "2+2w"),
+        expectations=tuple(expectations),
+    )
+
+
+def rmw_exchange_mutex() -> LitmusTest:
+    """Two exchanges on the same location can never both observe the initial value… twice."""
+    sab = new_shared_array_buffer("b", 4)
+    view = new_typed_array("b", sab, INT32)
+    x = TypedAccess(view, 0)
+    program = Program(
+        name="rmw-exchange",
+        buffers=(sab,),
+        threads=(
+            Thread((Exchange(Register("r0"), x, 1),)),
+            Thread((Exchange(Register("r1"), x, 2),)),
+        ),
+        description="Competing Atomics.exchange: exactly one of them observes the initial value.",
+    )
+    both_zero = {"0:r0": 0, "1:r1": 0}
+    first_wins = {"0:r0": 0, "1:r1": 1}
+    second_wins = {"0:r0": 2, "1:r1": 0}
+    swap = {"0:r0": 2, "1:r1": 1}
+    expectations = [
+        _expect(SC, both_zero, False, "one exchange must observe the other"),
+        _expect(FINAL, both_zero, False),
+        _expect(SC, first_wins, True),
+        _expect(FINAL, first_wins, True),
+        _expect(SC, second_wins, True),
+        _expect(FINAL, second_wins, True),
+        _expect(SC, swap, False),
+        _expect(FINAL, swap, False, "exchanges cannot mutually read each other"),
+    ]
+    return LitmusTest(
+        name="rmw-exchange",
+        program=program,
+        source="classic",
+        tags=("classic", "rmw"),
+        expectations=tuple(expectations),
+    )
+
+
+# ---------------------------------------------------------------------------
+# mixed-size tests
+# ---------------------------------------------------------------------------
+
+
+def mixed_size_overlap() -> LitmusTest:
+    """A 32-bit store racing with a 16-bit load of its lower half."""
+    sab = new_shared_array_buffer("b", 4)
+    wide = new_typed_array("w", sab, INT32)
+    narrow = new_typed_array("n", sab, UINT16)
+    program = Program(
+        name="mixed-size-overlap",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(TypedAccess(wide, 0), 0x00020001),)),
+            Thread((Load(Register("r0"), TypedAccess(narrow, 0)),)),
+        ),
+        description="A 16-bit load overlapping the low half of a 32-bit store.",
+    )
+    expectations = [
+        _expect(FINAL, {"1:r0": 1}, True, "sees the store's low half"),
+        _expect(FINAL, {"1:r0": 0}, True, "sees the initial zeros"),
+        _expect(SC, {"1:r0": 1}, True),
+        _expect(SC, {"1:r0": 0}, True),
+    ]
+    return LitmusTest(
+        name="mixed-size-overlap",
+        program=program,
+        source="§2 (mixed-size accesses)",
+        tags=("mixed-size",),
+        expectations=tuple(expectations),
+    )
+
+
+def mixed_size_tearing_halves() -> LitmusTest:
+    """Two 16-bit stores observed by one 32-bit load: byte mixing is possible."""
+    sab = new_shared_array_buffer("b", 4)
+    wide = new_typed_array("w", sab, INT32)
+    narrow = new_typed_array("n", sab, UINT16)
+    program = Program(
+        name="mixed-size-halves",
+        buffers=(sab,),
+        threads=(
+            Thread(
+                (
+                    Store(TypedAccess(narrow, 0), 0x0001),
+                    Store(TypedAccess(narrow, 1), 0x0002),
+                )
+            ),
+            Thread((Load(Register("r0"), TypedAccess(wide, 0)),)),
+        ),
+        description="A 32-bit load covering two 16-bit stores.",
+    )
+    expectations = [
+        _expect(FINAL, {"1:r0": 0x00020001}, True, "both halves observed"),
+        _expect(FINAL, {"1:r0": 0x00020000}, True, "only the second half observed"),
+        _expect(FINAL, {"1:r0": 0x00000001}, True, "only the first half observed"),
+        _expect(SC, {"1:r0": 0x00020000}, False, "SC order writes the low half first"),
+    ]
+    return LitmusTest(
+        name="mixed-size-halves",
+        program=program,
+        source="§2 (mixed-size accesses)",
+        tags=("mixed-size", "tearing"),
+        expectations=tuple(expectations),
+    )
+
+
+def mixed_size_sc_no_sync() -> LitmusTest:
+    """SeqCst accesses of different sizes do not synchronise (sw needs equal ranges)."""
+    sab = new_shared_array_buffer("b", 8)
+    wide = new_typed_array("w", sab, INT32)
+    byte = new_typed_array("c", sab, UINT8)
+    data = TypedAccess(wide, 1)
+    flag_wide = TypedAccess(wide, 0)
+    flag_byte = TypedAccess(byte, 0)
+    program = Program(
+        name="mixed-size-sc-no-sync",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(data, 7), Store(flag_wide, 1, atomic=True))),
+            Thread(
+                (
+                    Load(Register("r0"), flag_byte, atomic=True),
+                    Load(Register("r1"), data),
+                )
+            ),
+        ),
+        description=(
+            "Message passing where the flag is written as 32 bits but read "
+            "as 8 bits: the differently-sized SeqCst pair does not create "
+            "a synchronizes-with edge, so the stale read remains allowed."
+        ),
+    )
+    stale = {"1:r0": 1, "1:r1": 0}
+    expectations = [
+        _expect(FINAL, stale, True, "no sw edge between differently-sized atomics"),
+        _expect(SC, stale, False),
+    ]
+    return LitmusTest(
+        name="mixed-size-sc-no-sync",
+        program=program,
+        source="§2.2 (synchronizes-with requires equal ranges)",
+        tags=("mixed-size", "mp"),
+        expectations=tuple(expectations),
+    )
+
+
+# ---------------------------------------------------------------------------
+# catalogue assembly
+# ---------------------------------------------------------------------------
+
+
+def paper_tests() -> List[LitmusTest]:
+    """The tests corresponding to the paper's own figures."""
+    return [
+        fig1_message_passing(),
+        fig1_relaxed_flag(),
+        fig6_armv8_violation(),
+        fig8_sc_drf_violation(),
+        fig13_wait_notify(),
+        fig14_init_tearing(),
+    ]
+
+
+def classic_tests() -> List[LitmusTest]:
+    """The classic uni-size litmus shapes in SeqCst and Unordered variants."""
+    tests: List[LitmusTest] = []
+    for atomic in (True, False):
+        tests.append(store_buffering(atomic))
+        tests.append(load_buffering(atomic))
+        tests.append(coherence_corr(atomic))
+        tests.append(two_plus_two_w(atomic))
+    tests.append(message_passing(atomic_flag=True, atomic_data=True))
+    tests.append(message_passing(atomic_flag=True, atomic_data=False))
+    tests.append(message_passing(atomic_flag=False, atomic_data=False))
+    tests.append(rmw_exchange_mutex())
+    return tests
+
+
+def mixed_size_tests() -> List[LitmusTest]:
+    """Litmus tests that exercise partially overlapping / differently sized accesses."""
+    return [
+        mixed_size_overlap(),
+        mixed_size_tearing_halves(),
+        mixed_size_sc_no_sync(),
+    ]
+
+
+def all_tests() -> List[LitmusTest]:
+    """The complete catalogue."""
+    return paper_tests() + classic_tests() + mixed_size_tests()
+
+
+def by_name(name: str) -> LitmusTest:
+    """Look a catalogue test up by name."""
+    for test in all_tests():
+        if test.name == name:
+            return test
+    raise KeyError(f"no litmus test named {name!r}")

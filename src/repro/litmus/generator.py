@@ -1,0 +1,216 @@
+"""A diy-style litmus-test generator (the §4.1 corpus substitute).
+
+The paper's validation corpus (11,587 tests) was largely generated with
+``diy``, which synthesises litmus tests from cycles of candidate
+relaxations.  This module provides a laptop-scale substitute: a systematic
+enumerator of two-threaded ARMv8 litmus tests over two 32-bit locations —
+every combination of access direction (read/write), access ordering
+attribute (plain, acquire/release) per slot — plus mixed-size variants in
+which one thread accesses a location with two half-width accesses, the
+shapes the mixed-size extension of the model is about.
+
+The same shapes are also exposed as JavaScript programs (SeqCst /
+Unordered accesses through 32- and 16-bit typed arrays) so the compilation
+benchmarks can sweep over a uniform corpus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..armv8.program import (
+    ArmLoad,
+    ArmProgram,
+    ArmRegister,
+    ArmStore,
+    ArmThread,
+)
+from ..lang.ast import Load, Program, Register, Store, Thread, TypedAccess
+from ..lang.memory import INT16, INT32, new_shared_array_buffer, new_typed_array
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Bounds of the generated corpus."""
+
+    locations: int = 2
+    accesses_per_thread: int = 2
+    include_mixed_size: bool = True
+    max_tests: Optional[int] = None
+
+
+_ARM_SLOT_KINDS = (
+    ("load", False),
+    ("load", True),   # acquire
+    ("store", False),
+    ("store", True),  # release
+)
+
+
+def _arm_slot(kind: Tuple[str, bool], location: int, register_index: int, value: int):
+    direction, ordered = kind
+    addr = 4 * location
+    if direction == "load":
+        return ArmLoad(ArmRegister(f"r{register_index}"), addr, 4, acquire=ordered)
+    return ArmStore(value, addr, 4, release=ordered)
+
+
+def generate_arm_corpus(config: GeneratorConfig = GeneratorConfig()) -> Iterator[ArmProgram]:
+    """Enumerate two-threaded ARMv8 litmus tests within the configured bounds.
+
+    Tests whose threads perform no inter-thread communication (e.g. all
+    loads) are still generated — the §4.1 validation is about executions,
+    not interesting outcomes — but single-location duplicates produced by
+    symmetric thread swaps are removed.
+    """
+    memory_size = 4 * config.locations
+    slot_options = []
+    for kind in _ARM_SLOT_KINDS:
+        for location in range(config.locations):
+            slot_options.append((kind, location))
+
+    def build_thread(slots, tid: int) -> ArmThread:
+        instructions = []
+        register_index = 0
+        for value, (kind, location) in enumerate(slots, start=1):
+            instructions.append(
+                _arm_slot(kind, location, register_index, value + tid * 10)
+            )
+            if kind[0] == "load":
+                register_index += 1
+        return ArmThread(tuple(instructions))
+
+    produced = 0
+    seen = set()
+    thread_shapes = list(
+        itertools.product(slot_options, repeat=config.accesses_per_thread)
+    )
+    for index_pair in itertools.combinations_with_replacement(
+        range(len(thread_shapes)), 2
+    ):
+        shapes = tuple(thread_shapes[i] for i in index_pair)
+        key = tuple(sorted(shapes))
+        if key in seen:
+            continue
+        seen.add(key)
+        program = ArmProgram(
+            name=f"gen-arm-{produced}",
+            threads=tuple(build_thread(shape, tid) for tid, shape in enumerate(shapes)),
+            memory_size=memory_size,
+        )
+        yield program
+        produced += 1
+        if config.max_tests is not None and produced >= config.max_tests:
+            return
+
+    if not config.include_mixed_size:
+        return
+
+    # Mixed-size variants: thread 0 works on location 0 with a 32-bit access,
+    # thread 1 with two 16-bit halves, in every read/write combination.
+    for wide_kind, half_kinds in itertools.product(
+        _ARM_SLOT_KINDS, itertools.product(_ARM_SLOT_KINDS, repeat=2)
+    ):
+        wide_direction, wide_ordered = wide_kind
+        wide = (
+            ArmLoad(ArmRegister("r0"), 0, 4, acquire=wide_ordered)
+            if wide_direction == "load"
+            else ArmStore(0x01020304, 0, 4, release=wide_ordered)
+        )
+        halves = []
+        register_index = 0
+        for half_index, (direction, ordered) in enumerate(half_kinds):
+            addr = 2 * half_index
+            if direction == "load":
+                halves.append(
+                    ArmLoad(ArmRegister(f"s{register_index}"), addr, 2, acquire=ordered)
+                )
+                register_index += 1
+            else:
+                halves.append(ArmStore(0x11 + half_index, addr, 2, release=ordered))
+        program = ArmProgram(
+            name=f"gen-arm-mixed-{produced}",
+            threads=(ArmThread((wide,)), ArmThread(tuple(halves))),
+            memory_size=memory_size,
+        )
+        yield program
+        produced += 1
+        if config.max_tests is not None and produced >= config.max_tests:
+            return
+
+
+def generate_js_corpus(config: GeneratorConfig = GeneratorConfig()) -> Iterator[Program]:
+    """Enumerate two-threaded JavaScript litmus programs (SeqCst/Unordered).
+
+    The shapes mirror :func:`generate_arm_corpus` on the source side and are
+    used by the compilation-correctness sweeps.
+    """
+    buffer = new_shared_array_buffer("b", 4 * config.locations)
+    wide = new_typed_array("b", buffer, INT32)
+    narrow = new_typed_array("h", buffer, INT16)
+
+    slot_options = []
+    for atomic in (True, False):
+        for direction in ("load", "store"):
+            for location in range(config.locations):
+                slot_options.append((direction, atomic, location))
+
+    def build_thread(slots, tid: int) -> Thread:
+        statements = []
+        register_index = 0
+        for value, (direction, atomic, location) in enumerate(slots, start=1):
+            access = TypedAccess(wide, location)
+            if direction == "load":
+                statements.append(
+                    Load(Register(f"r{register_index}"), access, atomic=atomic)
+                )
+                register_index += 1
+            else:
+                statements.append(Store(access, value + tid * 10, atomic=atomic))
+        return Thread(tuple(statements))
+
+    produced = 0
+    seen = set()
+    thread_shapes = list(
+        itertools.product(slot_options, repeat=config.accesses_per_thread)
+    )
+    for index_pair in itertools.combinations_with_replacement(
+        range(len(thread_shapes)), 2
+    ):
+        shapes = tuple(thread_shapes[i] for i in index_pair)
+        key = tuple(sorted(shapes))
+        if key in seen:
+            continue
+        seen.add(key)
+        yield Program(
+            name=f"gen-js-{produced}",
+            buffers=(buffer,),
+            threads=tuple(build_thread(shape, tid) for tid, shape in enumerate(shapes)),
+            description="generated by the diy-style corpus generator",
+        )
+        produced += 1
+        if config.max_tests is not None and produced >= config.max_tests:
+            return
+
+    if not config.include_mixed_size:
+        return
+
+    for wide_atomic, half_modes in itertools.product(
+        (True, False), itertools.product((True, False), repeat=2)
+    ):
+        statements0 = (Store(TypedAccess(wide, 0), 0x01020304, atomic=wide_atomic),)
+        statements1 = tuple(
+            Load(Register(f"s{i}"), TypedAccess(narrow, i), atomic=mode)
+            for i, mode in enumerate(half_modes)
+        )
+        yield Program(
+            name=f"gen-js-mixed-{produced}",
+            buffers=(buffer,),
+            threads=(Thread(statements0), Thread(statements1)),
+            description="mixed-size variant generated by the corpus generator",
+        )
+        produced += 1
+        if config.max_tests is not None and produced >= config.max_tests:
+            return

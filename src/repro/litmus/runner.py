@@ -1,0 +1,114 @@
+"""Running litmus tests against the JavaScript models and the SC oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.js_model import (
+    ARMV8_FIX_MODEL,
+    FINAL_MODEL,
+    FINAL_MODEL_STRONG_TEAR,
+    JsModel,
+    ORIGINAL_MODEL,
+)
+from ..lang.ast import Outcome, Program, outcome_matches
+from ..lang.enumeration import allowed_outcomes, outcome_allowed
+from ..lang.interpreter import sc_outcomes
+from ..lang.wait_notify import wait_notify_outcome_allowed
+from .catalogue import (
+    ARMV8_FIX,
+    Expectation,
+    FINAL,
+    LitmusTest,
+    ORIGINAL,
+    SC,
+    STRONG_TEAR,
+)
+
+MODEL_BY_KEY: Dict[str, JsModel] = {
+    ORIGINAL: ORIGINAL_MODEL,
+    ARMV8_FIX: ARMV8_FIX_MODEL,
+    FINAL: FINAL_MODEL,
+    STRONG_TEAR: FINAL_MODEL_STRONG_TEAR,
+}
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    """The verdict of checking one expectation."""
+
+    test: str
+    expectation: Expectation
+    observed_allowed: bool
+
+    @property
+    def passed(self) -> bool:
+        return self.observed_allowed == self.expectation.allowed
+
+    def describe(self) -> str:
+        status = "ok" if self.passed else "MISMATCH"
+        verdict = "allowed" if self.observed_allowed else "forbidden"
+        wanted = "allowed" if self.expectation.allowed else "forbidden"
+        return (
+            f"[{status}] {self.test} / {self.expectation.model}: "
+            f"{dict(self.expectation.spec)} observed {verdict}, expected {wanted}"
+        )
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """All expectation results of one litmus test."""
+
+    test: LitmusTest
+    results: Tuple[ExpectationResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+
+def spec_allowed(
+    test: LitmusTest, spec: Dict[str, int], model_key: str
+) -> bool:
+    """Is ``spec`` observable for ``test`` under the model named ``model_key``?"""
+    program = test.program
+    if model_key == SC:
+        return any(outcome_matches(o, spec) for o in sc_outcomes(program))
+    model = MODEL_BY_KEY[model_key]
+    if program.uses_wait_notify():
+        corrected = test.corrected_wait_notify
+        if corrected is None:
+            corrected = True
+        return wait_notify_outcome_allowed(program, spec, corrected=corrected, model=model)
+    return outcome_allowed(program, spec, model)
+
+
+def check_expectation(test: LitmusTest, expectation: Expectation) -> ExpectationResult:
+    """Evaluate a single expected verdict."""
+    observed = spec_allowed(test, expectation.spec_dict, expectation.model)
+    return ExpectationResult(
+        test=test.name, expectation=expectation, observed_allowed=observed
+    )
+
+
+def run_test(test: LitmusTest) -> TestResult:
+    """Evaluate every expectation of a litmus test."""
+    return TestResult(
+        test=test,
+        results=tuple(check_expectation(test, e) for e in test.expectations),
+    )
+
+
+def run_tests(tests: List[LitmusTest]) -> List[TestResult]:
+    """Evaluate a batch of litmus tests."""
+    return [run_test(test) for test in tests]
+
+
+def outcomes_under(
+    program: Program, model_key: str = FINAL
+) -> List[Outcome]:
+    """All outcomes of ``program`` under the named model (or the SC oracle)."""
+    if model_key == SC:
+        return list(sc_outcomes(program))
+    return allowed_outcomes(program, MODEL_BY_KEY[model_key])

@@ -1,0 +1,25 @@
+"""The Alloy-substitute bounded searches of §5: shapes, deadness, counter-examples."""
+
+from .shapes import AccessSpec, SearchBounds, count_accesses, generate_programs
+from .deadness import semantically_dead, syntactically_dead
+from .counterexamples import (
+    ScDrfCounterExample,
+    SearchReport,
+    confirm_program_compilation_violation,
+    search_compilation_violation,
+    search_sc_drf_violation,
+)
+
+__all__ = [
+    "AccessSpec",
+    "SearchBounds",
+    "count_accesses",
+    "generate_programs",
+    "semantically_dead",
+    "syntactically_dead",
+    "ScDrfCounterExample",
+    "SearchReport",
+    "confirm_program_compilation_violation",
+    "search_compilation_violation",
+    "search_sc_drf_violation",
+]

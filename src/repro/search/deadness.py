@@ -1,0 +1,111 @@
+"""Deadness of counter-example executions (§5.2, Fig. 11).
+
+A naive search for compilation-scheme counter-examples finds *spurious*
+witnesses: JavaScript executions that are invalid only because the search
+picked a bad ``total-order``, and which become valid again under a
+different ``tot``.  Fig. 11 is the canonical example.  Wickerson et al.
+call the executions worth reporting *dead*: ones whose invalidity cannot be
+repaired by permuting ``tot``.
+
+Alloy cannot afford the inner ``∀ tot`` quantification, so the paper uses a
+*syntactic* approximation.  Our explicit-state substitute can afford the
+exact check for litmus-sized executions, so this module provides both:
+
+* :func:`semantically_dead` — invalid for **every** total order (exact);
+* :func:`syntactically_dead` — a cheap sufficient condition in the spirit
+  of the paper's criterion: the execution is invalid under the given
+  witness and every ``tot`` edge contributing to the violated SC-atomics
+  instances is already forced by ``happens-before`` (so no permutation can
+  remove it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.events import SEQCST, ranges_equal
+from ..core.execution import CandidateExecution
+from ..core.js_model import (
+    FINAL_MODEL,
+    JsModel,
+    ORIGINAL_MODEL,
+    ScAtomicsRule,
+    invalid_for_all_total_orders,
+    is_valid,
+    validity_violations,
+)
+
+
+def semantically_dead(
+    execution: CandidateExecution, model: JsModel = ORIGINAL_MODEL
+) -> bool:
+    """Exact deadness: no choice of ``total-order`` makes the execution valid."""
+    return invalid_for_all_total_orders(execution, model)
+
+
+def _sc_atomics_blocked_by_hb(
+    execution: CandidateExecution, model: JsModel
+) -> bool:
+    """Is some SC-atomics violation forced by ``happens-before`` alone?
+
+    We look for a synchronising (or reads-from, for the final rule) pair
+    ``(Ew, Er)`` and an intervening write ``E'w`` whose position between the
+    pair is already implied by ``hb`` — i.e. ``Ew hb E'w hb Er``.  Since any
+    valid ``tot`` must extend ``hb`` (Happens-Before Consistency 1), such a
+    violation survives every permutation of ``tot``.
+    """
+    hb = model.happens_before(execution)
+    sw = model.synchronizes_with(execution)
+    rf = execution.reads_from()
+    if model.sc_atomics is ScAtomicsRule.FINAL:
+        pairs = [(w, r) for (w, r) in rf if (w, r) in hb]
+    else:
+        pairs = list(sw)
+    for (w_eid, r_eid) in pairs:
+        reader = execution.event(r_eid)
+        if not reader.is_read:
+            continue
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid) or not candidate.is_write:
+                continue
+            if model.sc_atomics is not ScAtomicsRule.ORIGINAL and candidate.ord is not SEQCST:
+                continue
+            if candidate.block != reader.block or not ranges_equal(
+                candidate.range_w, reader.range_r
+            ):
+                continue
+            if (w_eid, candidate.eid) in hb and (candidate.eid, r_eid) in hb:
+                return True
+    return False
+
+
+def syntactically_dead(
+    execution: CandidateExecution, model: JsModel = ORIGINAL_MODEL
+) -> bool:
+    """A sufficient syntactic condition for deadness.
+
+    The execution is declared dead when it violates a rule that does not
+    mention ``tot`` at all (Happens-Before Consistency 2/3 or Tear-Free
+    Reads), or when an SC-atomics violation is forced by ``happens-before``
+    (see :func:`_sc_atomics_blocked_by_hb`).  Like the paper's criterion
+    this may reject some genuinely dead executions, but it never accepts a
+    live one.
+    """
+    if execution.tot is None:
+        return False
+    violations = validity_violations(execution, model)
+    if not violations:
+        return False
+    tot_free = {
+        "happens-before-consistency-2",
+        "happens-before-consistency-3",
+        "tear-free-reads",
+        "well-formedness",
+    }
+    if any(v in tot_free for v in violations):
+        return True
+    if "sequentially-consistent-atomics" in violations or (
+        "happens-before-consistency-1" in violations
+    ):
+        return _sc_atomics_blocked_by_hb(execution, model)
+    return False

@@ -1,0 +1,176 @@
+"""Bounded generation of litmus programs for the counter-example searches (§5).
+
+The paper's searches run in Alloy over candidate-execution shapes up to a
+bound (8 events, 20 locations).  Our explicit-state substitute enumerates
+*programs* of the restricted fragment instead: every program over a bounded
+number of threads, accesses per thread, locations and written values,
+optionally ending a thread with the "guarded observer" pattern
+(``r = Atomics.load(x); if (r == c) { r' = x[...] }``) that the SC-DRF
+counter-example (Fig. 8) needs.
+
+Programs are produced in order of increasing access count, so a search that
+stops at its first hit reports a minimum-size counter-example, exactly like
+the paper's incremental Alloy bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..lang.ast import IfEq, Load, Program, Register, Statement, Store, Thread, TypedAccess
+from ..lang.memory import INT32, new_shared_array_buffer, new_typed_array
+
+
+@dataclass(frozen=True)
+class SearchBounds:
+    """The bounds of a program-shape enumeration.
+
+    ``max_total_accesses`` bounds the number of memory events (excluding the
+    Init event) — the analogue of Alloy's event bound;
+    ``locations`` is how many distinct 32-bit locations are available;
+    ``guarded_observer`` additionally appends a conditional non-atomic read
+    to threads ending in an atomic load.
+    """
+
+    threads: int = 2
+    max_accesses_per_thread: int = 2
+    max_total_accesses: int = 4
+    locations: int = 1
+    values: Tuple[int, ...] = (1, 2)
+    allow_unordered: bool = True
+    guarded_observer: bool = True
+    max_programs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One access of a generated thread."""
+
+    kind: str  # "store" | "load"
+    location: int
+    atomic: bool
+    value: int = 0  # stores only
+
+
+def _access_options(bounds: SearchBounds) -> List[AccessSpec]:
+    options: List[AccessSpec] = []
+    modes = (True, False) if bounds.allow_unordered else (True,)
+    for location in range(bounds.locations):
+        for atomic in modes:
+            for value in bounds.values:
+                options.append(AccessSpec("store", location, atomic, value))
+            options.append(AccessSpec("load", location, atomic))
+    return options
+
+
+def _thread_shapes(
+    bounds: SearchBounds,
+) -> List[Tuple[Tuple[AccessSpec, ...], Optional[Tuple[int, int]]]]:
+    """All per-thread access sequences, optionally with a guarded observer.
+
+    The second component, when present, is ``(guard value, observed
+    location)``: the thread ends with ``if (r == guard) { r' = x[loc] }``
+    where ``r`` is the result of the thread's final (atomic) load.
+    """
+    options = _access_options(bounds)
+    shapes: List[Tuple[Tuple[AccessSpec, ...], Optional[Tuple[int, int]]]] = []
+    for length in range(1, bounds.max_accesses_per_thread + 1):
+        for combo in itertools.product(options, repeat=length):
+            shapes.append((combo, None))
+            if (
+                bounds.guarded_observer
+                and combo[-1].kind == "load"
+                and combo[-1].atomic
+            ):
+                for guard in bounds.values:
+                    for location in range(bounds.locations):
+                        shapes.append((combo, (guard, location)))
+    return shapes
+
+
+def _shape_size(shape) -> int:
+    accesses, observer = shape
+    return len(accesses) + (1 if observer else 0)
+
+
+def _build_thread(
+    shape, view, register_prefix: str
+) -> Thread:
+    accesses, observer = shape
+    statements: List[Statement] = []
+    register_index = 0
+    last_load_register: Optional[Register] = None
+    for spec in accesses:
+        target = TypedAccess(view, spec.location)
+        if spec.kind == "store":
+            statements.append(Store(target, spec.value, atomic=spec.atomic))
+        else:
+            register = Register(f"{register_prefix}{register_index}")
+            register_index += 1
+            statements.append(Load(register, target, atomic=spec.atomic))
+            last_load_register = register
+    if observer is not None and last_load_register is not None:
+        guard, location = observer
+        register = Register(f"{register_prefix}{register_index}")
+        statements.append(
+            IfEq(
+                last_load_register,
+                guard,
+                then=(Load(register, TypedAccess(view, location)),),
+            )
+        )
+    return Thread(tuple(statements))
+
+
+def generate_programs(bounds: SearchBounds) -> Iterator[Program]:
+    """Enumerate programs within ``bounds``, smallest (fewest accesses) first."""
+    buffer = new_shared_array_buffer("b", 4 * bounds.locations)
+    view = new_typed_array("b", buffer, INT32)
+    shapes = _thread_shapes(bounds)
+    combos = itertools.product(range(len(shapes)), repeat=bounds.threads)
+
+    # Canonical form: thread shapes in non-decreasing index order removes the
+    # symmetric duplicates obtained by permuting threads.
+    sized: List[Tuple[int, Tuple[int, ...]]] = []
+    for combo in combos:
+        if list(combo) != sorted(combo):
+            continue
+        total = sum(_shape_size(shapes[i]) for i in combo)
+        if total > bounds.max_total_accesses:
+            continue
+        sized.append((total, combo))
+    sized.sort()
+
+    produced = 0
+    for index, (_total, combo) in enumerate(sized):
+        threads = tuple(
+            _build_thread(shapes[i], view, register_prefix="r") for i in combo
+        )
+        if any(not t.statements for t in threads):
+            continue
+        yield Program(
+            name=f"shape-{index}",
+            buffers=(buffer,),
+            threads=threads,
+            description="generated by the bounded shape search",
+        )
+        produced += 1
+        if bounds.max_programs is not None and produced >= bounds.max_programs:
+            return
+
+
+def count_accesses(program: Program) -> int:
+    """The number of memory accesses of a generated program (excluding Init)."""
+
+    def count(statements: Sequence[Statement]) -> int:
+        total = 0
+        for stmt in statements:
+            if isinstance(stmt, (Load, Store)):
+                total += 1
+            elif isinstance(stmt, IfEq):
+                total += count(stmt.then) + count(stmt.otherwise)
+        return total
+
+    return sum(count(thread.statements) for thread in program.threads)

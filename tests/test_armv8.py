@@ -1,0 +1,238 @@
+"""Tests for the mixed-size ARMv8 axiomatic and operational models (§4)."""
+
+import pytest
+
+from repro.armv8 import (
+    ArmBarrier,
+    ArmCtrl,
+    ArmEvent,
+    ArmEventKind,
+    ArmLoad,
+    ArmProgram,
+    ArmRegister,
+    ArmStore,
+    ArmThread,
+    BarrierKind,
+    arm_allowed_outcomes,
+    arm_operational_outcomes,
+    arm_outcome_allowed,
+    arm_thread_paths,
+    flatten_thread,
+    is_mixed_size_program,
+    make_arm_init,
+    validate_corpus,
+    validate_program,
+)
+from repro.armv8.axiomatic import ArmExecution, arm_is_valid, arm_violations
+from repro.core.relations import Relation
+
+R = ArmRegister
+
+
+def _matches(outcomes, spec):
+    return any(all(o.get(k) == v for k, v in spec.items()) for o in outcomes)
+
+
+def mp(release_acquire: bool) -> ArmProgram:
+    return ArmProgram(
+        name="mp",
+        memory_size=8,
+        threads=(
+            ArmThread((ArmStore(1, 0, 4), ArmStore(1, 4, 4, release=release_acquire))),
+            ArmThread(
+                (ArmLoad(R("r0"), 4, 4, acquire=release_acquire), ArmLoad(R("r1"), 0, 4))
+            ),
+        ),
+    )
+
+
+def sb(with_dmb: bool) -> ArmProgram:
+    def thread(store_addr, load_addr, register):
+        instructions = [ArmStore(1, store_addr, 4)]
+        if with_dmb:
+            instructions.append(ArmBarrier(BarrierKind.FULL))
+        instructions.append(ArmLoad(R(register), load_addr, 4))
+        return ArmThread(tuple(instructions))
+
+    return ArmProgram(
+        name="sb", memory_size=8, threads=(thread(0, 4, "r0"), thread(4, 0, "r1"))
+    )
+
+
+class TestArmEvents:
+    def test_event_attributes_and_value(self):
+        event = ArmEvent(eid=1, tid=0, kind=ArmEventKind.WRITE, addr=4, data=(1, 0), release=True)
+        assert event.is_release and not event.is_acquire
+        assert event.value() == 1
+        assert list(event.footprint) == [4, 5]
+
+    def test_fence_requires_barrier_kind(self):
+        with pytest.raises(ValueError):
+            ArmEvent(eid=1, tid=0, kind=ArmEventKind.FENCE)
+
+    def test_init_event(self):
+        init = make_arm_init(8)
+        assert init.is_init and init.size == 8
+
+
+class TestArmProgramSemantics:
+    def test_ctrl_block_adds_control_dependencies(self):
+        thread = ArmThread(
+            (
+                ArmLoad(R("r0"), 0, 4, acquire=True),
+                ArmCtrl(R("r0"), 1, body=(ArmStore(1, 4, 4),)),
+            )
+        )
+        paths = arm_thread_paths(thread, 0)
+        assert len(paths) == 2
+        taken = [p for p in paths if len(p.templates) == 2][0]
+        assert taken.templates[1].ctrl_sources == (taken.templates[0].key,)
+
+    def test_store_from_register_records_data_dependency(self):
+        thread = ArmThread((ArmLoad(R("r0"), 0, 4), ArmStore(R("r0"), 4, 4)))
+        (path,) = arm_thread_paths(thread, 0)
+        assert path.templates[1].data_sources == (path.templates[0].key,)
+
+    def test_flatten_thread_guards_nested_blocks(self):
+        thread = ArmThread(
+            (
+                ArmLoad(R("r0"), 0, 4),
+                ArmCtrl(R("r0"), 1, body=(ArmStore(1, 4, 4),)),
+            )
+        )
+        slots = flatten_thread(thread)
+        assert len(slots) == 2
+        assert slots[1].ctrl_conditions == (("r0", 1),)
+
+
+class TestArmAxiomatic:
+    def test_mp_plain_allows_stale_read(self):
+        assert arm_outcome_allowed(mp(False), {"1:r0": 1, "1:r1": 0})
+
+    def test_mp_release_acquire_forbids_stale_read(self):
+        assert not arm_outcome_allowed(mp(True), {"1:r0": 1, "1:r1": 0})
+
+    def test_sb_plain_allows_both_zero(self):
+        assert arm_outcome_allowed(sb(False), {"0:r0": 0, "1:r1": 0})
+
+    def test_sb_with_dmb_forbids_both_zero(self):
+        assert not arm_outcome_allowed(sb(True), {"0:r0": 0, "1:r1": 0})
+
+    def test_coherence_within_one_thread(self):
+        program = ArmProgram(
+            name="corr",
+            memory_size=4,
+            threads=(
+                ArmThread((ArmStore(1, 0, 4),)),
+                ArmThread((ArmLoad(R("r0"), 0, 4), ArmLoad(R("r1"), 0, 4))),
+            ),
+        )
+        assert not arm_outcome_allowed(program, {"1:r0": 1, "1:r1": 0})
+
+    def test_exclusive_pair_atomicity(self):
+        program = ArmProgram(
+            name="xchg",
+            memory_size=4,
+            threads=(
+                ArmThread(
+                    (
+                        ArmLoad(R("r0"), 0, 4, acquire=True, exclusive=True),
+                        ArmStore(1, 0, 4, release=True, exclusive=True),
+                    )
+                ),
+                ArmThread(
+                    (
+                        ArmLoad(R("r1"), 0, 4, acquire=True, exclusive=True),
+                        ArmStore(2, 0, 4, release=True, exclusive=True),
+                    )
+                ),
+            ),
+        )
+        outcomes = arm_allowed_outcomes(program)
+        assert not _matches(outcomes, {"0:r0": 0, "1:r1": 0})
+
+    def test_violation_reporting_on_bad_execution(self):
+        # A single-byte coherence cycle: two writes each coherence-before the other.
+        init = make_arm_init(1)
+        w1 = ArmEvent(eid=1, tid=0, kind=ArmEventKind.WRITE, addr=0, data=(1,))
+        r1 = ArmEvent(eid=2, tid=0, kind=ArmEventKind.READ, addr=0, data=(0,))
+        execution = ArmExecution(
+            events=(init, w1, r1),
+            po=Relation([(1, 2)]),
+            rbf=frozenset({(0, 0, 2)}),
+            co_by_byte=((0, (0, 1)),),
+        )
+        assert not arm_is_valid(execution)
+        assert "internal" in arm_violations(execution)
+
+    def test_mixed_size_halves_observable(self):
+        program = ArmProgram(
+            name="mixed",
+            memory_size=4,
+            threads=(
+                ArmThread((ArmStore(0x00020001, 0, 4),)),
+                ArmThread((ArmLoad(R("r0"), 0, 2), ArmLoad(R("r1"), 2, 2))),
+            ),
+        )
+        outcomes = arm_allowed_outcomes(program)
+        assert _matches(outcomes, {"1:r0": 1, "1:r1": 2})
+        assert _matches(outcomes, {"1:r0": 0, "1:r1": 2})
+
+
+class TestArmOperationalAndValidation:
+    def test_operational_mp_plain_shows_relaxation(self):
+        outcomes = arm_operational_outcomes(mp(False))
+        assert _matches(outcomes, {"1:r0": 1, "1:r1": 0})
+
+    def test_operational_respects_release_acquire(self):
+        outcomes = arm_operational_outcomes(mp(True))
+        assert not _matches(outcomes, {"1:r0": 1, "1:r1": 0})
+
+    def test_operational_sb_with_dmb_is_sc(self):
+        outcomes = arm_operational_outcomes(sb(True))
+        assert not _matches(outcomes, {"0:r0": 0, "1:r1": 0})
+
+    @pytest.mark.parametrize("program", [mp(False), mp(True), sb(False), sb(True)], ids=lambda p: p.name + str(id(p) % 7))
+    def test_validation_soundness(self, program):
+        verdict = validate_program(program)
+        assert verdict.sound
+        assert verdict.executions > 0
+
+    def test_fig6b_operational_observes_paper_outcome_and_is_sound(self):
+        program = ArmProgram(
+            name="fig6b",
+            memory_size=8,
+            threads=(
+                ArmThread((ArmStore(1, 0, 4, release=True), ArmLoad(R("W2"), 4, 4, acquire=True))),
+                ArmThread(
+                    (
+                        ArmStore(1, 4, 4, release=True),
+                        ArmStore(2, 4, 4, release=True),
+                        ArmStore(2, 0, 4),
+                        ArmLoad(R("W4"), 0, 4, acquire=True),
+                    )
+                ),
+            ),
+        )
+        outcomes = arm_operational_outcomes(program)
+        assert _matches(outcomes, {"0:W2": 1, "1:W4": 1})
+        assert validate_program(program).sound
+
+    def test_corpus_validation_aggregates(self):
+        corpus = [mp(False), mp(True), sb(False), sb(True)]
+        result = validate_corpus(corpus)
+        assert result.sound
+        assert result.programs == 4
+        assert "sound" in result.summary()
+
+    def test_mixed_size_detection(self):
+        program = ArmProgram(
+            name="mixed",
+            memory_size=4,
+            threads=(
+                ArmThread((ArmStore(1, 0, 4),)),
+                ArmThread((ArmLoad(R("r0"), 0, 2),)),
+            ),
+        )
+        assert is_mixed_size_program(program)
+        assert not is_mixed_size_program(mp(False))

@@ -1,0 +1,260 @@
+"""Tests for compilation correctness (§5.3, Thm 6.2), the §5 searches and Thm 6.3."""
+
+import pytest
+
+from repro.compile import (
+    CompilationError,
+    check_program_compilation,
+    compile_program,
+    construct_total_order,
+    find_compilation_violation,
+    translate_arm_execution,
+)
+from repro.armv8 import ArmLoad, ArmStore, arm_allowed_executions
+from repro.core.events import SEQCST, UNORDERED
+from repro.core.js_model import FINAL_MODEL, ORIGINAL_MODEL, is_valid
+from repro.imm import (
+    armv7_consistent,
+    armv8_unisize_consistent,
+    check_unisize_compilation,
+    imm_consistent,
+    power_consistent,
+    riscv_consistent,
+    uni_executions,
+    x86_consistent,
+)
+from repro.lang.ast import Load, Program, Register, Store, Thread, TypedAccess, Wait
+from repro.lang.enumeration import ground_executions
+from repro.lang.memory import INT32, new_shared_array_buffer, new_typed_array
+from repro.litmus.catalogue import (
+    fig1_message_passing,
+    fig6_armv8_violation,
+    fig8_sc_drf_violation,
+    fig13_wait_notify,
+    load_buffering,
+    message_passing,
+    rmw_exchange_mutex,
+    store_buffering,
+)
+from repro.search import (
+    SearchBounds,
+    generate_programs,
+    search_sc_drf_violation,
+    semantically_dead,
+    syntactically_dead,
+)
+from repro.search.deadness import ORIGINAL_MODEL as _  # noqa: F401  (re-export sanity)
+from repro.core.execution import CandidateExecution
+from repro.core.events import Event, make_init_event
+
+
+class TestCompilationScheme:
+    def test_fig1_compiles_to_expected_mnemonics(self):
+        compiled = compile_program(fig1_message_passing().program)
+        thread0 = compiled.arm.threads[0].instructions
+        assert isinstance(thread0[0], ArmStore) and not thread0[0].release
+        assert isinstance(thread0[1], ArmStore) and thread0[1].release
+        thread1 = compiled.arm.threads[1].instructions
+        assert isinstance(thread1[0], ArmLoad) and thread1[0].acquire
+
+    def test_rmw_compiles_to_exclusive_pair(self):
+        compiled = compile_program(rmw_exchange_mutex().program)
+        instructions = compiled.arm.threads[0].instructions
+        assert isinstance(instructions[0], ArmLoad) and instructions[0].exclusive
+        assert isinstance(instructions[1], ArmStore) and instructions[1].exclusive
+
+    def test_wait_notify_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_program(fig13_wait_notify().program)
+
+    def test_memory_layout_round_trip(self):
+        compiled = compile_program(fig1_message_passing().program)
+        block, offset = compiled.layout.block_of(4)
+        assert block == "b" and offset == 4
+
+
+class TestTranslationAndTotConstruction:
+    def test_translated_executions_are_well_formed_and_witnessable(self):
+        compiled = compile_program(store_buffering(True).program)
+        count = 0
+        for ground in arm_allowed_executions(compiled.arm):
+            translated = translate_arm_execution(compiled, ground.execution)
+            assert translated.execution.is_well_formed(require_tot=False)
+            tot = construct_total_order(translated, ground.execution)
+            assert tot is not None
+            assert is_valid(translated.execution.with_witness(tot=tot), FINAL_MODEL)
+            count += 1
+        assert count > 0
+
+    def test_translation_preserves_modes(self):
+        compiled = compile_program(fig1_message_passing().program)
+        ground = next(iter(arm_allowed_executions(compiled.arm)))
+        translated = translate_arm_execution(compiled, ground.execution)
+        modes = {e.ord for e in translated.execution.events if not e.is_init}
+        assert SEQCST in modes and UNORDERED in modes
+
+
+class TestCompilationCorrectness:
+    def test_fig6_violates_compilation_under_original_model(self):
+        violation = find_compilation_violation(
+            fig6_armv8_violation().program, ORIGINAL_MODEL
+        )
+        assert violation is not None
+        assert violation.event_count == 6
+        assert violation.byte_location_count == 2
+
+    def test_fig6_compilation_correct_under_final_model(self):
+        result = check_program_compilation(fig6_armv8_violation().program, FINAL_MODEL)
+        assert result.correct
+        assert result.construction_complete
+
+    @pytest.mark.parametrize(
+        "test",
+        [fig1_message_passing(), store_buffering(True), fig8_sc_drf_violation(),
+         message_passing(True, False), rmw_exchange_mutex()],
+        ids=lambda t: t.name,
+    )
+    def test_catalogue_programs_compile_correctly_under_final_model(self, test):
+        result = check_program_compilation(test.program, FINAL_MODEL)
+        assert result.correct, result.summary()
+
+    def test_operational_backend_agrees_on_fig1(self):
+        result = check_program_compilation(
+            fig1_message_passing().program, FINAL_MODEL, use_operational=True
+        )
+        assert result.correct
+
+
+class TestDeadnessAndSearch:
+    def _fig11_execution(self, tot):
+        """The Fig. 11 spurious counter-example."""
+        init = make_init_event("b", 4)
+        a = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 0, 0, 0))
+        b = Event(eid=2, tid=1, ord=UNORDERED, block="b", index=0, writes=(2, 0, 0, 0))
+        c = Event(eid=3, tid=1, ord=SEQCST, block="b", index=0, reads=(1, 0, 0, 0))
+        return CandidateExecution.build(
+            events=[init, a, b, c],
+            sb=[(2, 3)],
+            rbf={(k, 1, 3) for k in range(4)},
+            tot=tot,
+        )
+
+    def test_fig11_is_invalid_but_not_dead(self):
+        execution = self._fig11_execution(tot=[0, 1, 2, 3])
+        assert not is_valid(execution, ORIGINAL_MODEL)
+        assert not semantically_dead(execution, ORIGINAL_MODEL)
+        assert not syntactically_dead(execution, ORIGINAL_MODEL)
+
+    def test_hb_forced_violation_is_dead(self):
+        # The stale-read message-passing execution violates Happens-Before
+        # Consistency (3), which does not mention tot at all: both the exact
+        # and the syntactic deadness checks classify it as dead.
+        init = make_init_event("b", 8)
+        data = Event(eid=1, tid=0, ord=UNORDERED, block="b", index=0, writes=(3, 0, 0, 0))
+        flag_w = Event(eid=2, tid=0, ord=SEQCST, block="b", index=4, writes=(1, 0, 0, 0))
+        flag_r = Event(eid=3, tid=1, ord=SEQCST, block="b", index=4, reads=(1, 0, 0, 0))
+        stale = Event(eid=4, tid=1, ord=UNORDERED, block="b", index=0, reads=(0, 0, 0, 0))
+        rbf = {(k, 0, 4) for k in range(4)} | {(k, 2, 3) for k in range(4, 8)}
+        execution = CandidateExecution.build(
+            events=[init, data, flag_w, flag_r, stale],
+            sb=[(1, 2), (3, 4)],
+            rbf=rbf,
+            tot=[0, 1, 2, 3, 4],
+        )
+        assert semantically_dead(execution, FINAL_MODEL)
+        assert syntactically_dead(execution, FINAL_MODEL)
+
+    def test_fig8_execution_is_semantically_dead_but_not_syntactically(self):
+        # The Fig. 8 SC-DRF violation (under the corrected model) is a dead
+        # counter-example, but its invalidity is a tot-dependent SC-atomics
+        # violation the syntactic approximation cannot certify — exactly the
+        # "may discard legitimate counter-examples" caveat of §5.2.
+        init = make_init_event("b", 4)
+        a = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 0, 0, 0))
+        b = Event(eid=2, tid=1, ord=SEQCST, block="b", index=0, writes=(2, 0, 0, 0))
+        c = Event(eid=3, tid=1, ord=SEQCST, block="b", index=0, reads=(1, 0, 0, 0))
+        d = Event(eid=4, tid=1, ord=UNORDERED, block="b", index=0, reads=(2, 0, 0, 0))
+        execution = CandidateExecution.build(
+            events=[init, a, b, c, d],
+            sb=[(2, 3), (2, 4), (3, 4)],
+            rbf={(k, 1, 3) for k in range(4)} | {(k, 2, 4) for k in range(4)},
+            tot=[0, 2, 1, 3, 4],
+        )
+        assert semantically_dead(execution, FINAL_MODEL)
+        assert not syntactically_dead(execution, FINAL_MODEL)
+        # The original model, by contrast, admits this execution (Fig. 8).
+        assert not semantically_dead(execution, ORIGINAL_MODEL)
+
+    def test_shape_generator_respects_bounds(self):
+        bounds = SearchBounds(
+            max_accesses_per_thread=1, max_total_accesses=2, guarded_observer=False,
+            values=(1,),
+        )
+        programs = list(generate_programs(bounds))
+        assert programs
+        from repro.search import count_accesses
+
+        assert all(count_accesses(p) <= 2 for p in programs)
+
+    def test_sc_drf_search_finds_fig8_under_original_model(self):
+        bounds = SearchBounds(
+            threads=2, max_accesses_per_thread=2, max_total_accesses=4,
+            locations=1, values=(1, 2), guarded_observer=True,
+        )
+        report = search_sc_drf_violation(bounds, ORIGINAL_MODEL)
+        assert report.found
+        assert report.counterexample.event_count == 4
+        assert report.counterexample.location_count == 1
+
+    def test_sc_drf_search_finds_nothing_under_final_model_in_small_bound(self):
+        bounds = SearchBounds(
+            threads=2, max_accesses_per_thread=2, max_total_accesses=3,
+            locations=1, values=(1, 2), guarded_observer=False,
+        )
+        report = search_sc_drf_violation(bounds, FINAL_MODEL)
+        assert not report.found
+        assert report.programs_examined > 0
+
+
+class TestUniSizeCompilation:
+    def _uni_pairs(self, program):
+        for ground in ground_executions(program):
+            execution = ground.execution
+            if execution.has_partial_overlaps() or not execution.rf_inverse_functional():
+                continue
+            yield from uni_executions(execution)
+
+    def test_architecture_models_forbid_sc_violations_for_fenced_sb(self):
+        program = store_buffering(True).program
+        models = (x86_consistent, power_consistent, riscv_consistent,
+                  armv7_consistent, armv8_unisize_consistent, imm_consistent)
+        for uni in self._uni_pairs(program):
+            # The relaxed SB outcome (both loads read the initial zero) must
+            # be rejected by every target model when both accesses are SeqCst.
+            reads = [e for e in uni.events() if e.is_read]
+            if all(int.from_bytes(bytes(r.reads), "little") == 0 for r in reads):
+                for model in models:
+                    assert not model(uni), model.__name__
+
+    def test_x86_allows_relaxed_sb_for_unordered_accesses(self):
+        program = store_buffering(False).program
+        relaxed_seen = False
+        for uni in self._uni_pairs(program):
+            reads = [e for e in uni.events() if e.is_read]
+            if all(int.from_bytes(bytes(r.reads), "little") == 0 for r in reads):
+                if x86_consistent(uni):
+                    relaxed_seen = True
+        assert relaxed_seen
+
+    def test_theorem_63_bounded_check_on_catalogue_programs(self):
+        programs = [
+            fig1_message_passing().program,
+            store_buffering(True).program,
+            load_buffering(True).program,
+            message_passing(True, False).program,
+        ]
+        report = check_unisize_compilation(programs, FINAL_MODEL)
+        assert report.correct
+        assert set(report.per_architecture) == {"x86-tso", "power", "riscv", "armv7", "armv8"}
+        for result in report.per_architecture.values():
+            assert result.architecture_allowed > 0

@@ -1,0 +1,180 @@
+"""Tests for data races, the SC oracle on executions, the uni-size model and Thm 6.1."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.data_race import data_races, is_data_race, is_race_free_execution
+from repro.core.events import Event, SEQCST, UNORDERED, make_init_event
+from repro.core.execution import CandidateExecution
+from repro.core.js_model import FINAL_MODEL, ORIGINAL_MODEL, exists_valid_total_order, is_valid
+from repro.core.sc import is_sequentially_consistent, sc_witness
+from repro.core.theorems import check_internal_sc_drf, check_unisize_reduction
+from repro.core.unisize import (
+    reduction_agrees,
+    reduction_applicable,
+    same_location,
+    unisize_is_valid,
+)
+from repro.lang.enumeration import ground_executions
+from repro.litmus.catalogue import (
+    fig1_message_passing,
+    fig8_sc_drf_violation,
+    load_buffering,
+    store_buffering,
+)
+
+
+def _bytes(value, width=4):
+    return tuple((value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+
+
+def write(eid, tid, index, value, width=4, mode=SEQCST):
+    return Event(eid=eid, tid=tid, ord=mode, block="b", index=index, writes=_bytes(value, width))
+
+
+def read(eid, tid, index, value, width=4, mode=SEQCST):
+    return Event(eid=eid, tid=tid, ord=mode, block="b", index=index, reads=_bytes(value, width))
+
+
+class TestDataRace:
+    def test_unordered_overlapping_write_read_races(self):
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=UNORDERED)
+        r0 = read(2, 1, 0, 0, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, w0, r0], rbf={(k, 0, 2) for k in range(4)}, tot=[0, 1, 2]
+        )
+        races = data_races(execution, FINAL_MODEL)
+        assert (1, 2) in races
+
+    def test_same_range_seqcst_pair_does_not_race(self):
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=SEQCST)
+        r0 = read(2, 1, 0, 1, mode=SEQCST)
+        execution = CandidateExecution.build(
+            events=[init, w0, r0], rbf={(k, 1, 2) for k in range(4)}, tot=[0, 1, 2]
+        )
+        assert is_race_free_execution(execution, FINAL_MODEL)
+
+    def test_mixed_size_seqcst_accesses_race(self):
+        # Differently-ranged SeqCst accesses still race (Fig. 7's range clause).
+        init = make_init_event("b", 4)
+        wide = write(1, 0, 0, 1, width=4, mode=SEQCST)
+        narrow = read(2, 1, 0, 1, width=2, mode=SEQCST)
+        execution = CandidateExecution.build(
+            events=[init, wide, narrow], rbf={(0, 1, 2), (1, 1, 2)}, tot=[0, 1, 2]
+        )
+        hb = FINAL_MODEL.happens_before(execution)
+        assert is_data_race(wide, narrow, hb)
+
+    def test_hb_ordered_accesses_do_not_race(self):
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=UNORDERED)
+        r0 = read(2, 0, 0, 1, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, w0, r0], sb=[(1, 2)], rbf={(k, 1, 2) for k in range(4)}, tot=[0, 1, 2]
+        )
+        assert is_race_free_execution(execution, FINAL_MODEL)
+
+
+class TestSequentialConsistencyOfExecutions:
+    def test_sc_witness_for_message_passing(self):
+        init = make_init_event("b", 8)
+        data = write(1, 0, 0, 3, mode=UNORDERED)
+        flag = write(2, 0, 4, 5, mode=SEQCST)
+        flag_r = read(3, 1, 4, 5, mode=SEQCST)
+        data_r = read(4, 1, 0, 3, mode=UNORDERED)
+        rbf = {(k, 1, 4) for k in range(4)} | {(k, 2, 3) for k in range(4, 8)}
+        execution = CandidateExecution.build(
+            events=[init, data, flag, flag_r, data_r], sb=[(1, 2), (3, 4)], rbf=rbf, tot=[0, 1, 2, 3, 4]
+        )
+        assert is_sequentially_consistent(execution)
+        witness = sc_witness(execution)
+        assert witness is not None and witness[0] == 0
+
+    def test_non_sc_execution_detected(self):
+        # Both threads read 0 although both wrote first (SB relaxed outcome).
+        init = make_init_event("b", 8)
+        w_x = write(1, 0, 0, 1, mode=UNORDERED)
+        r_y = read(2, 0, 4, 0, mode=UNORDERED)
+        w_y = write(3, 1, 4, 1, mode=UNORDERED)
+        r_x = read(4, 1, 0, 0, mode=UNORDERED)
+        rbf = {(k, 0, 2) for k in range(4, 8)} | {(k, 0, 4) for k in range(4)}
+        execution = CandidateExecution.build(
+            events=[init, w_x, r_y, w_y, r_x], sb=[(1, 2), (3, 4)], rbf=rbf, tot=[0, 1, 2, 3, 4]
+        )
+        assert not is_sequentially_consistent(execution)
+
+
+class TestUniSizeModel:
+    def test_same_location_predicate(self):
+        a = write(1, 0, 0, 1)
+        b = read(2, 1, 0, 1)
+        c = read(3, 1, 0, 1, width=2)
+        assert same_location(a, b)
+        assert not same_location(a, c)
+
+    def test_reduction_agrees_on_program_executions(self):
+        program = fig1_message_passing().program
+        checked = 0
+        for ground in ground_executions(program):
+            execution = ground.execution
+            if not reduction_applicable(execution):
+                continue
+            tot = exists_valid_total_order(execution, FINAL_MODEL)
+            if tot is None:
+                # also check agreement on some invalid executions with an arbitrary tot
+                execution = execution.with_witness(tot=sorted(execution.eids))
+            else:
+                execution = execution.with_witness(tot=tot)
+            assert reduction_agrees(execution, FINAL_MODEL)
+            checked += 1
+        assert checked > 0
+
+    def test_unisize_validity_of_simple_mp_execution(self):
+        init = make_init_event("b", 8)
+        data = write(1, 0, 0, 3, mode=UNORDERED)
+        flag = write(2, 0, 4, 5, mode=SEQCST)
+        flag_r = read(3, 1, 4, 5, mode=SEQCST)
+        stale = read(4, 1, 0, 0, mode=UNORDERED)
+        rbf = {(k, 0, 4) for k in range(4)} | {(k, 2, 3) for k in range(4, 8)}
+        execution = CandidateExecution.build(
+            events=[init, data, flag, flag_r, stale], sb=[(1, 2), (3, 4)], rbf=rbf, tot=[0, 1, 2, 3, 4]
+        )
+        assert not unisize_is_valid(execution)
+
+
+class TestBoundedTheorems:
+    def _valid_executions(self, program, model):
+        for ground in ground_executions(program):
+            tot = exists_valid_total_order(ground.execution, model)
+            if tot is not None:
+                yield ground.execution.with_witness(tot=tot)
+
+    def test_internal_sc_drf_holds_for_final_model_on_catalogue_programs(self):
+        programs = [
+            fig1_message_passing().program,
+            fig8_sc_drf_violation().program,
+            store_buffering(True).program,
+        ]
+        executions = [
+            execution
+            for program in programs
+            for execution in self._valid_executions(program, FINAL_MODEL)
+        ]
+        report = check_internal_sc_drf(executions, FINAL_MODEL)
+        assert report.holds
+        assert report.relevant > 0
+
+    def test_internal_sc_drf_fails_for_original_model_on_fig8(self):
+        program = fig8_sc_drf_violation().program
+        executions = list(self._valid_executions(program, ORIGINAL_MODEL))
+        report = check_internal_sc_drf(executions, ORIGINAL_MODEL)
+        assert not report.holds
+
+    def test_unisize_reduction_bounded_check(self):
+        program = load_buffering(False).program
+        executions = list(self._valid_executions(program, FINAL_MODEL))
+        report = check_unisize_reduction(executions, FINAL_MODEL)
+        assert report.holds
+        assert report.checked == len(executions)

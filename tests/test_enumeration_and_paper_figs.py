@@ -1,0 +1,143 @@
+"""End-to-end tests: candidate-execution enumeration and the paper's figures.
+
+These are the headline acceptance tests of the reproduction: each figure of
+the paper is a litmus test in the catalogue, and the enumeration + model
+machinery must reproduce the paper's allowed/forbidden verdicts.
+"""
+
+import pytest
+
+from repro.core.js_model import ARMV8_FIX_MODEL, FINAL_MODEL, ORIGINAL_MODEL
+from repro.lang.enumeration import (
+    allowed_outcomes,
+    ground_executions,
+    non_sc_outcomes,
+    outcome_allowed,
+    program_is_data_race_free,
+    program_satisfies_sc_drf,
+)
+from repro.lang.wait_notify import wait_notify_outcome_allowed
+from repro.litmus.catalogue import (
+    all_tests,
+    fig1_message_passing,
+    fig6_armv8_violation,
+    fig8_sc_drf_violation,
+    fig13_wait_notify,
+    fig14_init_tearing,
+    mixed_size_tearing_halves,
+    paper_tests,
+)
+from repro.litmus.runner import run_test
+
+
+class TestEnumerationBasics:
+    def test_ground_executions_are_well_formed(self):
+        program = fig1_message_passing().program
+        grounds = list(ground_executions(program))
+        assert grounds
+        for ground in grounds:
+            assert ground.execution.is_well_formed(require_tot=False)
+
+    def test_allowed_outcomes_subset_of_ground_outcomes(self):
+        program = fig1_message_passing().program
+        ground = {tuple(sorted(g.outcome.items())) for g in ground_executions(program)}
+        allowed = {tuple(sorted(o.items())) for o in allowed_outcomes(program)}
+        assert allowed <= ground
+
+
+class TestFig1MessagePassing:
+    def test_expected_verdicts(self):
+        result = run_test(fig1_message_passing())
+        assert result.passed, [r.describe() for r in result.results if not r.passed]
+
+    def test_data_race_freedom_depends_on_flag_mode(self):
+        # With an atomic flag the guarded data read is always hb-ordered
+        # after the data write, so Fig. 1 is data-race-free; making the flag
+        # non-atomic removes the synchronisation and introduces races.
+        assert program_is_data_race_free(fig1_message_passing().program)
+        from repro.litmus.catalogue import fig1_relaxed_flag
+
+        assert not program_is_data_race_free(fig1_relaxed_flag().program)
+
+
+class TestFig6ArmV8Violation:
+    """Fig. 6: forbidden by the original model, allowed once the fix is adopted."""
+
+    def test_outcome_forbidden_under_original_model(self):
+        program = fig6_armv8_violation().program
+        outcome = {"0:r1": 1, "1:r2": 1}
+        assert not outcome_allowed(program, outcome, ORIGINAL_MODEL)
+
+    def test_outcome_allowed_under_fixed_models(self):
+        program = fig6_armv8_violation().program
+        outcome = {"0:r1": 1, "1:r2": 1}
+        assert outcome_allowed(program, outcome, ARMV8_FIX_MODEL)
+        assert outcome_allowed(program, outcome, FINAL_MODEL)
+
+
+class TestFig8ScDrfViolation:
+    def test_program_is_data_race_free(self):
+        program = fig8_sc_drf_violation().program
+        assert program_is_data_race_free(program, ORIGINAL_MODEL)
+        assert program_is_data_race_free(program, FINAL_MODEL)
+
+    def test_original_model_has_non_sc_outcome(self):
+        program = fig8_sc_drf_violation().program
+        weird = non_sc_outcomes(program, ORIGINAL_MODEL)
+        assert {"1:r0": 1, "1:r1": 2} in weird
+        assert not program_satisfies_sc_drf(program, ORIGINAL_MODEL)
+
+    def test_final_model_restores_sc_drf(self):
+        program = fig8_sc_drf_violation().program
+        assert non_sc_outcomes(program, FINAL_MODEL) == []
+        assert program_satisfies_sc_drf(program, FINAL_MODEL)
+
+
+class TestFig13WaitNotify:
+    def test_corrected_semantics_forbids_stale_read_and_stuck_waiter(self):
+        program = fig13_wait_notify().program
+        assert not wait_notify_outcome_allowed(program, {"0:r0": 0}, corrected=True)
+        assert wait_notify_outcome_allowed(program, {"0:r0": 42}, corrected=True)
+
+    def test_uncorrected_semantics_allows_both_fig13_behaviours(self):
+        program = fig13_wait_notify().program
+        # Fig. 13b: the woken waiter still reads 0.
+        assert wait_notify_outcome_allowed(program, {"0:r0": 0}, corrected=False)
+        # Fig. 13c: the waiter suspends forever although notify already ran.
+        assert wait_notify_outcome_allowed(program, {"1:r1": 0}, corrected=False)
+
+
+class TestFig14InitTearing:
+    def test_expected_verdicts(self):
+        result = run_test(fig14_init_tearing())
+        assert result.passed, [r.describe() for r in result.results if not r.passed]
+
+
+class TestCatalogue:
+    @pytest.mark.parametrize(
+        "test", [t for t in paper_tests() if t.name != "fig6-armv8-violation"],
+        ids=lambda t: t.name,
+    )
+    def test_paper_figures(self, test):
+        result = run_test(test)
+        assert result.passed, [r.describe() for r in result.results if not r.passed]
+
+    @pytest.mark.parametrize(
+        "test",
+        [t for t in all_tests() if "classic" in t.tags or "mixed-size" in t.tags],
+        ids=lambda t: t.name,
+    )
+    def test_classic_and_mixed_size_shapes(self, test):
+        result = run_test(test)
+        assert result.passed, [r.describe() for r in result.results if not r.passed]
+
+    def test_catalogue_is_nonempty_and_named_uniquely(self):
+        names = [t.name for t in all_tests()]
+        assert len(names) == len(set(names))
+        assert len(names) >= 15
+
+    def test_mixed_size_halves_allows_byte_mixing(self):
+        test = mixed_size_tearing_halves()
+        outcomes = allowed_outcomes(test.program, FINAL_MODEL)
+        values = {o.get("1:r0") for o in outcomes}
+        assert 0x00020001 in values and 0x00020000 in values

@@ -1,0 +1,190 @@
+"""Tests for JavaScript events, candidate executions and derived relations."""
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    EventSet,
+    INIT,
+    SEQCST,
+    UNORDERED,
+    make_init_event,
+    overlap,
+    ranges_equal,
+    ranges_intersect,
+)
+from repro.core.execution import CandidateExecution, MalformedExecutionError
+from repro.core.relations import Relation
+
+
+def w(eid, tid, index, value, width=4, mode=SEQCST, block="b", tearfree=True):
+    data = tuple((value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+    return Event(eid=eid, tid=tid, ord=mode, block=block, index=index, writes=data, tearfree=tearfree)
+
+
+def r(eid, tid, index, value, width=4, mode=SEQCST, block="b", tearfree=True):
+    data = tuple((value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+    return Event(eid=eid, tid=tid, ord=mode, block=block, index=index, reads=data, tearfree=tearfree)
+
+
+class TestEvent:
+    def test_ranges(self):
+        event = w(1, 0, 4, 5)
+        assert list(event.range_w) == [4, 5, 6, 7]
+        assert list(event.range_r) == []
+        assert list(event.footprint) == [4, 5, 6, 7]
+
+    def test_classification(self):
+        write = w(1, 0, 0, 1)
+        read = r(2, 0, 0, 1)
+        assert write.is_write and not write.is_read and not write.is_rmw
+        assert read.is_read and not read.is_write
+        rmw = Event(eid=3, tid=0, ord=SEQCST, block="b", index=0, reads=(0,), writes=(1,))
+        assert rmw.is_rmw
+
+    def test_byte_accessors(self):
+        event = w(1, 0, 4, 0x0201, width=2)
+        assert event.written_byte(4) == 1
+        assert event.written_byte(5) == 2
+        with pytest.raises(KeyError):
+            event.written_byte(6)
+
+    def test_overlap_requires_same_block(self):
+        a = w(1, 0, 0, 1, block="x")
+        b = w(2, 1, 0, 1, block="y")
+        assert not overlap(a, b)
+        c = w(3, 1, 2, 1, block="x")
+        assert overlap(a, c)
+        d = w(4, 1, 4, 1, block="x")
+        assert not overlap(a, d)
+
+    def test_mixed_size_partial_overlap(self):
+        wide = w(1, 0, 0, 1, width=4)
+        narrow = r(2, 1, 2, 0, width=2)
+        assert wide.overlaps(narrow)
+        assert not wide.same_footprint(narrow)
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(ValueError):
+            Event(eid=1, tid=0, ord=SEQCST, block="b", index=0)
+        with pytest.raises(ValueError):
+            Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(300,))
+        with pytest.raises(ValueError):
+            Event(eid=1, tid=-1, ord=INIT, block="b", index=0, reads=(0,), writes=(0,))
+
+    def test_init_event_covers_buffer(self):
+        init = make_init_event("b", 16)
+        assert init.is_init
+        assert len(init.writes) == 16
+        assert list(init.range_w) == list(range(16))
+
+    def test_describe_mentions_mode_and_value(self):
+        event = w(1, 0, 0, 7, mode=UNORDERED)
+        assert "WUn" in event.describe()
+        assert "=7" in event.describe()
+
+
+class TestEventSet:
+    def test_lookup_and_selectors(self):
+        init = make_init_event("b", 8)
+        events = EventSet((init, w(1, 0, 0, 1), r(2, 1, 0, 1)))
+        assert events.by_eid(1).is_write
+        assert len(events.reads()) == 1
+        assert len(events.writes()) == 2  # init + the store
+        assert events.inits() == (init,)
+        assert events.on_thread(1)[0].eid == 2
+        assert {e.eid for e in events.writers_of_byte("b", 0)} == {0, 1}
+
+    def test_duplicate_eids_rejected(self):
+        with pytest.raises(ValueError):
+            EventSet((w(1, 0, 0, 1), r(1, 1, 0, 1)))
+
+
+def message_passing_execution(tot=None):
+    """The Fig. 2 candidate execution (message passing, both outcomes observed)."""
+    init = make_init_event("b", 8)
+    a = w(1, 0, 0, 3, mode=UNORDERED)
+    b = w(2, 0, 4, 5, mode=SEQCST)
+    c = r(3, 1, 4, 5, mode=SEQCST)
+    d = r(4, 1, 0, 3, mode=UNORDERED)
+    rbf = {(k, 1, 4) for k in range(0, 4)} | {(k, 2, 3) for k in range(4, 8)}
+    return CandidateExecution.build(
+        events=[init, a, b, c, d],
+        sb=[(1, 2), (3, 4)],
+        rbf=rbf,
+        tot=tot,
+    )
+
+
+class TestCandidateExecution:
+    def test_well_formedness(self):
+        execution = message_passing_execution(tot=[0, 1, 2, 3, 4])
+        execution.check_well_formed()
+
+    def test_missing_tot_detected(self):
+        execution = message_passing_execution()
+        assert execution.is_well_formed(require_tot=False)
+        assert not execution.is_well_formed(require_tot=True)
+
+    def test_value_mismatch_rejected(self):
+        init = make_init_event("b", 4)
+        bad = CandidateExecution.build(
+            events=[init, w(1, 0, 0, 1), r(2, 1, 0, 2)],
+            rbf={(k, 1, 2) for k in range(4)},
+            tot=[0, 1, 2],
+        )
+        with pytest.raises(MalformedExecutionError):
+            bad.check_well_formed()
+
+    def test_self_read_rejected(self):
+        init = make_init_event("b", 4)
+        rmw = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, reads=(1, 0, 0, 0), writes=(1, 0, 0, 0))
+        bad = CandidateExecution.build(
+            events=[init, rmw], rbf={(k, 1, 1) for k in range(4)}, tot=[0, 1]
+        )
+        with pytest.raises(MalformedExecutionError):
+            bad.check_well_formed()
+
+    def test_unjustified_read_byte_rejected(self):
+        init = make_init_event("b", 4)
+        bad = CandidateExecution.build(
+            events=[init, r(1, 0, 0, 0)], rbf={(0, 0, 1)}, tot=[0, 1]
+        )
+        with pytest.raises(MalformedExecutionError):
+            bad.check_well_formed()
+
+    def test_reads_from_projection(self):
+        execution = message_passing_execution(tot=[0, 1, 2, 3, 4])
+        assert execution.reads_from().pairs == {(1, 4), (2, 3)}
+
+    def test_synchronizes_with_requires_equal_ranges_and_seqcst(self):
+        execution = message_passing_execution(tot=[0, 1, 2, 3, 4])
+        sw = execution.synchronizes_with(simplified=True)
+        assert (2, 3) in sw          # SC write/read pair on the flag
+        assert (1, 4) not in sw      # unordered data accesses do not synchronise
+
+    def test_original_sw_has_init_special_case(self):
+        init = make_init_event("b", 4)
+        read = r(1, 0, 0, 0, mode=SEQCST)
+        execution = CandidateExecution.build(
+            events=[init, read], rbf={(k, 0, 1) for k in range(4)}, tot=[0, 1]
+        )
+        assert (0, 1) in execution.synchronizes_with(simplified=False)
+        assert (0, 1) not in execution.synchronizes_with(simplified=True)
+
+    def test_happens_before_contains_sb_sw_and_init_edges(self):
+        execution = message_passing_execution(tot=[0, 1, 2, 3, 4])
+        hb = execution.happens_before(simplified_sw=True)
+        assert (1, 2) in hb  # sb
+        assert (2, 3) in hb  # sw
+        assert (1, 4) in hb  # transitively through the flag
+        assert (0, 4) in hb  # init before everything overlapping
+
+    def test_partial_overlap_and_tearing_detection(self):
+        execution = message_passing_execution(tot=[0, 1, 2, 3, 4])
+        assert not execution.has_partial_overlaps()
+        assert execution.rf_inverse_functional()
+
+    def test_describe_contains_events(self):
+        text = message_passing_execution(tot=[0, 1, 2, 3, 4]).describe()
+        assert "WSC" in text and "rbf" in text

@@ -1,0 +1,188 @@
+"""Tests of the JavaScript validity rules: Fig. 4, the §3 fixes, Fig. 10, §6.4."""
+
+import pytest
+
+from repro.core.events import Event, SEQCST, UNORDERED, make_init_event
+from repro.core.execution import CandidateExecution
+from repro.core.js_model import (
+    ARMV8_FIX_MODEL,
+    FINAL_MODEL,
+    FINAL_MODEL_STRONG_TEAR,
+    ORIGINAL_MODEL,
+    exists_valid_total_order,
+    invalid_for_all_total_orders,
+    is_valid,
+    tear_free_reads,
+    validity_violations,
+)
+
+
+def _bytes(value, width=4):
+    return tuple((value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+
+
+def write(eid, tid, index, value, width=4, mode=SEQCST, tearfree=True):
+    return Event(eid=eid, tid=tid, ord=mode, block="b", index=index,
+                 writes=_bytes(value, width), tearfree=tearfree)
+
+
+def read(eid, tid, index, value, width=4, mode=SEQCST, tearfree=True):
+    return Event(eid=eid, tid=tid, ord=mode, block="b", index=index,
+                 reads=_bytes(value, width), tearfree=tearfree)
+
+
+def fig5_shape(tot):
+    """The Fig. 5 shape: WSC — WUn — RSC on the same range, sw between the ends.
+
+    The unordered write sits tot-between a synchronising SeqCst pair.
+    """
+    init = make_init_event("b", 4)
+    w_sc = write(1, 0, 0, 1, mode=SEQCST)
+    w_un = write(2, 1, 0, 2, mode=UNORDERED)
+    r_sc = read(3, 2, 0, 1, mode=SEQCST)
+    return CandidateExecution.build(
+        events=[init, w_sc, w_un, r_sc],
+        rbf={(k, 1, 3) for k in range(4)},
+        tot=tot,
+    )
+
+
+class TestScAtomicsRules:
+    def test_fig5_forbidden_by_original_rule(self):
+        execution = fig5_shape(tot=[0, 1, 2, 3])
+        assert not is_valid(execution, ORIGINAL_MODEL)
+        assert "sequentially-consistent-atomics" in validity_violations(
+            execution, ORIGINAL_MODEL
+        )
+
+    def test_fig5_allowed_after_armv8_fix(self):
+        execution = fig5_shape(tot=[0, 1, 2, 3])
+        assert is_valid(execution, ARMV8_FIX_MODEL)
+        assert is_valid(execution, FINAL_MODEL)
+
+    def test_fig5_allowed_by_original_with_other_tot(self):
+        # Moving the unordered write out of the window satisfies even the
+        # original rule: the execution is not dead.
+        execution = fig5_shape(tot=[0, 2, 1, 3])
+        assert is_valid(execution, ORIGINAL_MODEL)
+
+    def test_seqcst_intervener_still_forbidden_by_final_rule(self):
+        init = make_init_event("b", 4)
+        w1 = write(1, 0, 0, 1, mode=SEQCST)
+        w2 = write(2, 1, 0, 2, mode=SEQCST)
+        r1 = read(3, 2, 0, 1, mode=SEQCST)
+        execution = CandidateExecution.build(
+            events=[init, w1, w2, r1],
+            rbf={(k, 1, 3) for k in range(4)},
+            tot=[0, 1, 2, 3],
+        )
+        assert not is_valid(execution, FINAL_MODEL)
+        # Moving the intervening SC write out of the window (before the
+        # writer) rescues the execution: with no sb forcing it between the
+        # pair, another total order exists.
+        assert not invalid_for_all_total_orders(execution, FINAL_MODEL)
+        assert is_valid(execution.with_witness(tot=[0, 2, 1, 3]), FINAL_MODEL)
+        # The original model also forbids the original witness.
+        assert not is_valid(execution, ORIGINAL_MODEL)
+
+
+class TestHappensBeforeConsistency:
+    def test_read_cannot_happen_before_its_writer(self):
+        init = make_init_event("b", 4)
+        r0 = read(1, 0, 0, 1, mode=UNORDERED)
+        w0 = write(2, 0, 0, 1, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, r0, w0],
+            sb=[(1, 2)],              # the read precedes the write it reads from
+            rbf={(k, 2, 1) for k in range(4)},
+            tot=[0, 1, 2],
+        )
+        assert not is_valid(execution, FINAL_MODEL)
+        assert "happens-before-consistency-2" in validity_violations(
+            execution, FINAL_MODEL
+        )
+
+    def test_stale_read_hidden_by_newer_write_forbidden(self):
+        init = make_init_event("b", 8)
+        data = write(1, 0, 0, 3, mode=UNORDERED)
+        flag_w = write(2, 0, 4, 1, mode=SEQCST)
+        flag_r = read(3, 1, 4, 1, mode=SEQCST)
+        stale = read(4, 1, 0, 0, mode=UNORDERED)
+        rbf = {(k, 0, 4) for k in range(0, 4)} | {(k, 2, 3) for k in range(4, 8)}
+        execution = CandidateExecution.build(
+            events=[init, data, flag_w, flag_r, stale],
+            sb=[(1, 2), (3, 4)],
+            rbf=rbf,
+        )
+        assert exists_valid_total_order(execution, FINAL_MODEL) is None
+        assert exists_valid_total_order(execution, ORIGINAL_MODEL) is None
+
+
+class TestTearFreeReads:
+    def _torn_execution(self):
+        # The buffer is wider than the accesses, so the Init event's range
+        # differs from the access range (as in Fig. 14's 32-byte buffer).
+        init = make_init_event("b", 4)
+        store = write(1, 1, 0, 0x0101, width=2, mode=UNORDERED)
+        load = read(2, 0, 0, 0x0001, width=2, mode=UNORDERED)
+        return CandidateExecution.build(
+            events=[init, store, load],
+            rbf={(0, 1, 2), (1, 0, 2)},
+            tot=[0, 1, 2],
+        )
+
+    def test_init_tearing_allowed_by_weak_rule(self):
+        execution = self._torn_execution()
+        assert tear_free_reads(execution, strong=False)
+        assert is_valid(execution, FINAL_MODEL)
+
+    def test_init_tearing_forbidden_by_strong_rule(self):
+        execution = self._torn_execution()
+        assert not tear_free_reads(execution, strong=True)
+        assert not is_valid(execution, FINAL_MODEL_STRONG_TEAR)
+
+    def test_two_tearfree_writes_cannot_both_feed_one_read(self):
+        init = make_init_event("b", 4)
+        w1 = write(1, 1, 0, 0x0001, width=2, mode=UNORDERED)
+        w2 = write(2, 2, 0, 0x0100, width=2, mode=UNORDERED)
+        load = read(3, 0, 0, 0x0101, width=2, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, w1, w2, load],
+            rbf={(0, 1, 3), (1, 2, 3)},
+            tot=[0, 1, 2, 3],
+        )
+        assert not is_valid(execution, FINAL_MODEL)
+
+    def test_tearing_reads_are_exempt(self):
+        init = make_init_event("b", 4)
+        w1 = write(1, 1, 0, 0x0001, width=2, mode=UNORDERED)
+        w2 = write(2, 2, 0, 0x0100, width=2, mode=UNORDERED)
+        load = read(3, 0, 0, 0x0101, width=2, mode=UNORDERED, tearfree=False)
+        execution = CandidateExecution.build(
+            events=[init, w1, w2, load],
+            rbf={(0, 1, 3), (1, 2, 3)},
+            tot=[0, 1, 2, 3],
+        )
+        assert is_valid(execution, FINAL_MODEL)
+
+
+class TestWitnessSearch:
+    def test_exists_valid_total_order_finds_linear_extension_of_hb(self):
+        execution = fig5_shape(tot=None)
+        witness = exists_valid_total_order(execution, ORIGINAL_MODEL)
+        assert witness is not None
+        # Init is hb-before everything, so it must come first.
+        assert witness[0] == 0
+
+    def test_all_models_accept_simple_sequential_execution(self):
+        init = make_init_event("b", 4)
+        store = write(1, 0, 0, 1, mode=SEQCST)
+        load = read(2, 0, 0, 1, mode=SEQCST)
+        execution = CandidateExecution.build(
+            events=[init, store, load],
+            sb=[(1, 2)],
+            rbf={(k, 1, 2) for k in range(4)},
+            tot=[0, 1, 2],
+        )
+        for model in (ORIGINAL_MODEL, ARMV8_FIX_MODEL, FINAL_MODEL, FINAL_MODEL_STRONG_TEAR):
+            assert is_valid(execution, model), model.name

@@ -1,0 +1,241 @@
+"""Tests for the litmus-program fragment: memory views, AST, thread semantics, SC oracle."""
+
+import pytest
+
+from repro.lang import (
+    INT16,
+    INT32,
+    INT8,
+    UINT16,
+    Exchange,
+    IfEq,
+    Load,
+    Notify,
+    Program,
+    Register,
+    Store,
+    Thread,
+    TypedAccess,
+    Wait,
+    interpret,
+    new_data_view,
+    new_shared_array_buffer,
+    new_typed_array,
+    program_paths,
+    sc_outcomes,
+    thread_paths,
+)
+from repro.lang.ast import DataViewAccess, outcome_matches
+from repro.lang.thread_semantics import ThreadSemanticsError
+
+
+class TestMemoryViews:
+    def test_typed_array_byte_ranges(self):
+        sab = new_shared_array_buffer("b", 16)
+        view32 = new_typed_array("x", sab, INT32)
+        view16 = new_typed_array("y", sab, INT16)
+        assert list(view32.byte_range(1)) == [4, 5, 6, 7]
+        assert list(view16.byte_range(3)) == [6, 7]
+        assert view32.length == 4 and view16.length == 8
+
+    def test_typed_array_bounds_checked(self):
+        sab = new_shared_array_buffer("b", 8)
+        view = new_typed_array("x", sab, INT32)
+        with pytest.raises(IndexError):
+            view.byte_range(2)
+
+    def test_encode_decode_round_trip_signed(self):
+        sab = new_shared_array_buffer("b", 8)
+        view = new_typed_array("x", sab, INT32)
+        assert view.decode(view.encode(-5)) == -5
+        view8 = new_typed_array("c", sab, INT8)
+        assert view8.decode(view8.encode(200)) == -56  # wraps into signed range
+
+    def test_tearfree_classification(self):
+        sab = new_shared_array_buffer("b", 16)
+        assert new_typed_array("x", sab, INT32).tearfree
+        from repro.lang import BIGINT64
+
+        assert not new_typed_array("y", sab, BIGINT64).tearfree
+        assert not new_data_view("d", sab).tearfree
+
+    def test_data_view_unaligned_access(self):
+        sab = new_shared_array_buffer("b", 8)
+        dv = new_data_view("d", sab)
+        access = DataViewAccess(dv, byte_offset=1, width=4)
+        assert list(access.byte_range()) == [1, 2, 3, 4]
+        assert not access.tearfree
+        with pytest.raises(IndexError):
+            DataViewAccess(dv, byte_offset=6, width=4).byte_range()
+
+    def test_misaligned_typed_array_offset_rejected(self):
+        sab = new_shared_array_buffer("b", 8)
+        with pytest.raises(ValueError):
+            new_typed_array("x", sab, INT32, byte_offset=2)
+
+
+class TestAst:
+    def _view(self):
+        sab = new_shared_array_buffer("b", 8)
+        return sab, new_typed_array("x", sab, INT32)
+
+    def test_atomic_access_requires_atomic_capable_view(self):
+        sab = new_shared_array_buffer("b", 8)
+        dv = new_data_view("d", sab)
+        access = DataViewAccess(dv, 0, 4)
+        with pytest.raises(ValueError):
+            Store(access, 1, atomic=True)
+        with pytest.raises(ValueError):
+            Load(Register("r"), access, atomic=True)
+
+    def test_program_validation(self):
+        sab, view = self._view()
+        with pytest.raises(ValueError):
+            Program(name="empty", buffers=(), threads=(Thread(()),))
+        program = Program(
+            name="ok",
+            buffers=(sab,),
+            threads=(Thread((Store(TypedAccess(view, 0), 1),)),),
+        )
+        assert program.thread_count == 1
+        assert "SharedArrayBuffer" in program.describe()
+
+    def test_uses_wait_notify_detection(self):
+        sab, view = self._view()
+        plain = Program(
+            name="p", buffers=(sab,), threads=(Thread((Store(TypedAccess(view, 0), 1),)),)
+        )
+        waiting = Program(
+            name="w",
+            buffers=(sab,),
+            threads=(
+                Thread((IfEq(Register("r"), 0, then=(Wait(TypedAccess(view, 0), 0),)),)),
+            ),
+        )
+        assert not plain.uses_wait_notify()
+        assert waiting.uses_wait_notify()
+
+    def test_outcome_matches_is_subset_semantics(self):
+        assert outcome_matches({"0:r0": 1, "1:r1": 2}, {"0:r0": 1})
+        assert not outcome_matches({"0:r0": 1}, {"0:r0": 2})
+        assert not outcome_matches({}, {"0:r0": 0})
+
+
+class TestThreadSemantics:
+    def _setup(self):
+        sab = new_shared_array_buffer("b", 8)
+        view = new_typed_array("x", sab, INT32)
+        return view
+
+    def test_straight_line_thread_has_single_path(self):
+        view = self._setup()
+        thread = Thread((Store(TypedAccess(view, 0), 1), Load(Register("r"), TypedAccess(view, 1))))
+        paths = thread_paths(thread, 0)
+        assert len(paths) == 1
+        assert len(paths[0].templates) == 2
+        assert dict(paths[0].registers)["r"][0] == "event"
+
+    def test_conditional_forks_paths_with_constraints(self):
+        view = self._setup()
+        thread = Thread(
+            (
+                Load(Register("r"), TypedAccess(view, 0), atomic=True),
+                IfEq(Register("r"), 5, then=(Load(Register("s"), TypedAccess(view, 1)),)),
+            )
+        )
+        paths = thread_paths(thread, 0)
+        assert len(paths) == 2
+        taken = [p for p in paths if len(p.templates) == 2][0]
+        skipped = [p for p in paths if len(p.templates) == 1][0]
+        assert taken.constraints[0].equal is True
+        assert skipped.constraints[0].equal is False
+
+    def test_branch_on_unassigned_register_rejected(self):
+        view = self._setup()
+        thread = Thread((IfEq(Register("r"), 0, then=()),))
+        with pytest.raises(ThreadSemanticsError):
+            thread_paths(thread, 0)
+
+    def test_exchange_generates_rmw_template(self):
+        view = self._setup()
+        thread = Thread((Exchange(Register("r"), TypedAccess(view, 0), 7),))
+        (path,) = thread_paths(thread, 0)
+        template = path.templates[0]
+        assert template.kind == "rmw"
+        assert template.reads_memory and template.writes_memory
+
+    def test_program_paths_take_products(self):
+        view = self._setup()
+        conditional = Thread(
+            (
+                Load(Register("r"), TypedAccess(view, 0), atomic=True),
+                IfEq(Register("r"), 1, then=(Store(TypedAccess(view, 1), 2),)),
+            )
+        )
+        program = Program(
+            name="p",
+            buffers=(view.buffer,),
+            threads=(conditional, conditional),
+        )
+        assert len(list(program_paths(program))) == 4
+
+
+class TestInterpreter:
+    def test_message_passing_sc_outcomes(self):
+        sab = new_shared_array_buffer("b", 8)
+        view = new_typed_array("x", sab, INT32)
+        msg, flag = TypedAccess(view, 0), TypedAccess(view, 1)
+        program = Program(
+            name="mp",
+            buffers=(sab,),
+            threads=(
+                Thread((Store(msg, 3), Store(flag, 5, atomic=True))),
+                Thread(
+                    (
+                        Load(Register("r0"), flag, atomic=True),
+                        IfEq(Register("r0"), 5, then=(Load(Register("r1"), msg),)),
+                    )
+                ),
+            ),
+        )
+        outcomes = {tuple(sorted(o.items())) for o in sc_outcomes(program)}
+        assert (("1:r0", 5), ("1:r1", 3)) in outcomes
+        assert (("1:r0", 0),) in outcomes
+        assert (("1:r0", 5), ("1:r1", 0)) not in outcomes
+
+    def test_exchange_is_atomic_under_sc(self):
+        sab = new_shared_array_buffer("b", 4)
+        view = new_typed_array("x", sab, INT32)
+        loc = TypedAccess(view, 0)
+        program = Program(
+            name="xchg",
+            buffers=(sab,),
+            threads=(
+                Thread((Exchange(Register("r0"), loc, 1),)),
+                Thread((Exchange(Register("r1"), loc, 2),)),
+            ),
+        )
+        outcomes = {tuple(sorted(o.items())) for o in sc_outcomes(program)}
+        assert (("0:r0", 0), ("1:r1", 0)) not in outcomes
+        assert (("0:r0", 0), ("1:r1", 1)) in outcomes
+        assert (("0:r0", 2), ("1:r1", 0)) in outcomes
+
+    def test_wait_notify_interpreter_terminates_or_sticks(self):
+        sab = new_shared_array_buffer("x", 4)
+        view = new_typed_array("x", sab, INT32)
+        loc = TypedAccess(view, 0)
+        program = Program(
+            name="wn",
+            buffers=(sab,),
+            threads=(
+                Thread((Wait(loc, 0), Load(Register("r0"), loc, atomic=True))),
+                Thread((Store(loc, 42, atomic=True), Notify(loc, dest=Register("r1")))),
+            ),
+        )
+        result = interpret(program)
+        finished = {tuple(sorted(o.items())) for o in result.outcomes}
+        # Under SC interleaving the waiter always ends up reading 42.
+        assert all(dict(o)["0:r0"] == 42 for o in finished)
+        # The notify-before-wait interleaving never gets stuck under SC
+        # because the wait then observes 42 and does not suspend.
+        assert result.stuck_outcomes == ()

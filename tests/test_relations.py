@@ -1,0 +1,163 @@
+"""Unit and property-based tests for the relation-algebra toolkit."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.relations import (
+    Relation,
+    linear_extensions,
+    some_linear_extension,
+    strict_total_orders,
+    topological_sort,
+)
+
+
+def test_empty_relation_is_falsy():
+    assert not Relation.empty()
+    assert len(Relation.empty()) == 0
+
+
+def test_union_intersection_difference():
+    a = Relation([(1, 2), (2, 3)])
+    b = Relation([(2, 3), (3, 4)])
+    assert (a | b).pairs == {(1, 2), (2, 3), (3, 4)}
+    assert (a & b).pairs == {(2, 3)}
+    assert (a - b).pairs == {(1, 2)}
+
+
+def test_compose():
+    a = Relation([(1, 2), (2, 3)])
+    b = Relation([(2, 10), (3, 11)])
+    assert a.compose(b).pairs == {(1, 10), (2, 11)}
+
+
+def test_inverse():
+    a = Relation([(1, 2), (3, 4)])
+    assert a.inverse().pairs == {(2, 1), (4, 3)}
+
+
+def test_transitive_closure_chain():
+    chain = Relation([(1, 2), (2, 3), (3, 4)])
+    closure = chain.transitive_closure()
+    assert (1, 4) in closure
+    assert (1, 3) in closure
+    assert (4, 1) not in closure
+
+
+def test_transitive_closure_cycle_keeps_self_loops():
+    cycle = Relation([(1, 2), (2, 1)])
+    closure = cycle.transitive_closure()
+    assert (1, 1) in closure and (2, 2) in closure
+
+
+def test_acyclicity():
+    assert Relation([(1, 2), (2, 3)]).is_acyclic()
+    assert not Relation([(1, 2), (2, 3), (3, 1)]).is_acyclic()
+    assert not Relation([(1, 1)]).is_acyclic()
+
+
+def test_restrict_and_filter():
+    rel = Relation([(1, 2), (2, 3), (3, 4)])
+    assert rel.restrict(domain={1, 2}).pairs == {(1, 2), (2, 3)}
+    assert rel.restrict(codomain={4}).pairs == {(3, 4)}
+    assert rel.filter(lambda a, b: a + b > 5).pairs == {(3, 4)}
+
+
+def test_from_total_order():
+    rel = Relation.from_total_order([1, 2, 3])
+    assert rel.pairs == {(1, 2), (1, 3), (2, 3)}
+    assert rel.is_strict_total_order_over([1, 2, 3])
+
+
+def test_is_strict_total_order_rejects_partial():
+    rel = Relation([(1, 2)])
+    assert not rel.is_strict_total_order_over([1, 2, 3])
+
+
+def test_is_functional():
+    assert Relation([(1, 2), (3, 4)]).is_functional()
+    assert not Relation([(1, 2), (1, 3)]).is_functional()
+
+
+def test_topological_sort_respects_order():
+    order = Relation([(1, 2), (2, 3)])
+    result = topological_sort([3, 2, 1], order)
+    assert result is not None
+    assert result.index(1) < result.index(2) < result.index(3)
+
+
+def test_topological_sort_detects_cycle():
+    assert topological_sort([1, 2], Relation([(1, 2), (2, 1)])) is None
+    assert some_linear_extension([1, 2], Relation([(1, 2), (2, 1)])) is None
+
+
+def test_linear_extensions_of_empty_order_are_permutations():
+    extensions = set(linear_extensions([1, 2, 3], Relation()))
+    assert extensions == set(itertools.permutations([1, 2, 3]))
+
+
+def test_linear_extensions_respect_constraints():
+    order = Relation([(1, 2)])
+    for extension in linear_extensions([1, 2, 3], order):
+        assert extension.index(1) < extension.index(2)
+
+
+def test_strict_total_orders_count():
+    assert len(list(strict_total_orders([1, 2, 3]))) == 6
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+small_relations = st.sets(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12
+).map(Relation)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_relations)
+def test_transitive_closure_is_transitive(rel):
+    closure = rel.transitive_closure()
+    assert closure.is_transitive()
+    assert closure.contains_relation(rel)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_relations, small_relations)
+def test_union_is_commutative_and_contains_both(a, b):
+    union = a | b
+    assert union == b | a
+    assert union.contains_relation(a) and union.contains_relation(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_relations)
+def test_inverse_is_involutive(rel):
+    assert rel.inverse().inverse() == rel
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.permutations(list(range(5))))
+def test_total_order_relation_round_trip(order):
+    rel = Relation.from_total_order(order)
+    assert rel.is_strict_total_order_over(order)
+    assert rel.is_acyclic()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_relations)
+def test_linear_extension_exists_iff_acyclic(rel):
+    # Self-loops are ignored when extending (a strict order cannot contain
+    # them), so the acyclicity that matters is that of the irreflexive part.
+    elements = sorted(set(range(6)) | set(rel.elements()))
+    extension = some_linear_extension(elements, rel)
+    irreflexive = Relation([p for p in rel if p[0] != p[1]])
+    if irreflexive.is_acyclic():
+        assert extension is not None
+        order = Relation.from_total_order(extension)
+        assert order.contains_relation(irreflexive)
+    else:
+        assert extension is None

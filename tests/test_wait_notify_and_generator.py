@@ -1,0 +1,98 @@
+"""Tests for the §7 wait/notify semantics and the diy-style corpus generator."""
+
+import pytest
+
+from repro.armv8 import validate_corpus
+from repro.compile import check_program_compilation
+from repro.core.js_model import FINAL_MODEL
+from repro.lang.ast import Load, Notify, Program, Register, Store, Thread, TypedAccess, Wait
+from repro.lang.memory import INT32, new_shared_array_buffer, new_typed_array
+from repro.lang.wait_notify import (
+    wait_notify_allowed_outcomes,
+    wait_notify_outcome_allowed,
+)
+from repro.litmus import GeneratorConfig, generate_arm_corpus, generate_js_corpus
+from repro.litmus.catalogue import fig13_wait_notify
+
+
+def _wait_notify_program(expected=0, store_value=42):
+    sab = new_shared_array_buffer("x", 4)
+    view = new_typed_array("x", sab, INT32)
+    loc = TypedAccess(view, 0)
+    return Program(
+        name="wn",
+        buffers=(sab,),
+        threads=(
+            Thread((Wait(loc, expected), Load(Register("r0"), loc, atomic=True))),
+            Thread((Store(loc, store_value, atomic=True), Notify(loc, dest=Register("r1")))),
+        ),
+    )
+
+
+class TestWaitNotify:
+    def test_corrected_outcomes_match_intuition(self):
+        outcomes = wait_notify_allowed_outcomes(fig13_wait_notify().program, corrected=True)
+        values = {o.get("0:r0") for o in outcomes if "0:r0" in o}
+        assert values == {42}
+        counts = {o.get("1:r1") for o in outcomes}
+        assert counts <= {0, 1}
+
+    def test_uncorrected_allows_fig13b_and_fig13c(self):
+        program = fig13_wait_notify().program
+        assert wait_notify_outcome_allowed(program, {"0:r0": 0}, corrected=False)
+        stuck_outcomes = [
+            o
+            for o in wait_notify_allowed_outcomes(program, corrected=False)
+            if "0:r0" not in o
+        ]
+        assert any(o.get("1:r1") == 0 for o in stuck_outcomes)
+
+    def test_corrected_forbids_stuck_waiter_after_notify(self):
+        program = fig13_wait_notify().program
+        stuck_outcomes = [
+            o
+            for o in wait_notify_allowed_outcomes(program, corrected=True)
+            if "0:r0" not in o
+        ]
+        assert stuck_outcomes == []
+
+    def test_non_matching_expected_value_never_suspends(self):
+        program = _wait_notify_program(expected=7)
+        outcomes = wait_notify_allowed_outcomes(program, corrected=True)
+        assert all("0:r0" in o for o in outcomes)
+
+    def test_notify_count_reflects_queue_contents(self):
+        program = _wait_notify_program()
+        outcomes = wait_notify_allowed_outcomes(program, corrected=True)
+        assert {o["1:r1"] for o in outcomes} == {0, 1}
+
+
+class TestGenerator:
+    def test_arm_corpus_is_deterministic_and_bounded(self):
+        config = GeneratorConfig(max_tests=30)
+        first = [p.name for p in generate_arm_corpus(config)]
+        second = [p.name for p in generate_arm_corpus(config)]
+        assert first == second
+        assert len(first) == 30
+
+    def test_arm_corpus_includes_mixed_size_tests(self):
+        config = GeneratorConfig(accesses_per_thread=1, max_tests=None)
+        names = [p.name for p in generate_arm_corpus(config)]
+        assert any("mixed" in name for name in names)
+
+    def test_generated_arm_corpus_validates_soundly(self):
+        corpus = list(generate_arm_corpus(GeneratorConfig(max_tests=12)))
+        result = validate_corpus(corpus)
+        assert result.sound
+        assert result.executions > 0
+
+    def test_js_corpus_programs_are_well_formed(self):
+        corpus = list(generate_js_corpus(GeneratorConfig(max_tests=10)))
+        assert len(corpus) == 10
+        for program in corpus:
+            assert program.thread_count == 2
+
+    def test_generated_js_program_compiles_correctly(self):
+        program = next(iter(generate_js_corpus(GeneratorConfig(max_tests=1))))
+        result = check_program_compilation(program, FINAL_MODEL)
+        assert result.correct
