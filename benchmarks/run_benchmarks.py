@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suite and export a ``BENCH_<date>.json`` file.
+
+This seeds (and extends) the repository's performance trajectory: each run
+writes one machine-readable snapshot next to the benchmarks, so successive
+PRs can be compared with ``pytest-benchmark compare`` or plain ``jq``.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py                 # full suite
+    python benchmarks/run_benchmarks.py --label after   # BENCH_<date>_after.json
+    python benchmarks/run_benchmarks.py bench_sec5_counterexample_search.py
+
+Any positional arguments are benchmark files (relative to ``benchmarks/``)
+to restrict the run to; with none, the whole suite runs.  Requires the
+``bench`` extra (``pip install -e .[bench]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="benchmark files to run (relative to benchmarks/); default: all",
+    )
+    parser.add_argument(
+        "--label",
+        default="",
+        help="suffix for the output file name (BENCH_<date>_<label>.json)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=str(BENCH_DIR),
+        help="directory to write the BENCH_*.json snapshot into",
+    )
+    args = parser.parse_args()
+
+    try:
+        import pytest_benchmark  # noqa: F401
+    except ImportError:
+        print(
+            "pytest-benchmark is not installed; install the bench extra:\n"
+            "    pip install -e .[bench]",
+            file=sys.stderr,
+        )
+        return 1
+
+    date = datetime.date.today().isoformat()
+    suffix = f"_{args.label}" if args.label else ""
+    output = Path(args.output_dir) / f"BENCH_{date}{suffix}.json"
+
+    targets = (
+        [str(BENCH_DIR / name) for name in args.files]
+        if args.files
+        # bench_*.py does not match pytest's default test_* collection
+        # pattern, so enumerate the files explicitly.
+        else sorted(str(p) for p in BENCH_DIR.glob("bench_*.py"))
+    )
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *targets,
+        "-q",
+        f"--benchmark-json={output}",
+    ]
+    print("+", " ".join(command))
+    result = subprocess.run(command, cwd=BENCH_DIR, env=env)
+    if result.returncode == 0:
+        print(f"benchmark snapshot written to {output}")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

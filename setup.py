@@ -1,11 +1,24 @@
-"""Legacy setup shim.
+"""Setup script (also the canonical project metadata).
 
-The canonical project metadata lives in ``pyproject.toml``; this file only
-exists so that editable installs work on environments without the ``wheel``
-package (offline CI containers), where pip falls back to the legacy
-``setup.py develop`` code path.
+Kept as an executable ``setup.py`` so that editable installs work on
+environments without the ``wheel`` package (offline CI containers), where
+pip falls back to the legacy ``setup.py develop`` code path.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-js-relaxed-memory",
+    version="0.2.0",
+    description=(
+        "Reproduction of Watt et al. (PLDI 2020): repairing and mechanising "
+        "the JavaScript relaxed memory model"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    extras_require={
+        "bench": ["pytest-benchmark"],
+        "test": ["pytest", "hypothesis"],
+    },
+)

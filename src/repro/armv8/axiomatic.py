@@ -29,7 +29,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..core.relations import Relation
+from ..core.relations import Relation, acyclic_pairs
 from .events import ArmEvent, ArmEventKind, BarrierKind, make_arm_init
 from .program import (
     ArmEventTemplate,
@@ -41,6 +41,8 @@ from .program import (
 
 ArmRbfTriple = Tuple[int, int, int]
 ArmOutcome = Dict[str, int]
+
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -60,17 +62,33 @@ class ArmExecution:
     rmw: Relation = field(default_factory=Relation)
     rbf: FrozenSet[ArmRbfTriple] = frozenset()
     co_by_byte: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    # Memoisation of derived relations.  The grounding loop seeds this with
+    # the coherence-independent entries shared by every execution of one
+    # ``reads-byte-from`` assignment (see :func:`arm_ground_executions`).
+    _cache: Dict[object, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def _memo(self, key, compute):
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = compute()
+            self._cache[key] = cached
+        return cached
 
     # -- lookups -------------------------------------------------------------
 
     def event(self, eid: int) -> ArmEvent:
-        for event in self.events:
-            if event.eid == eid:
-                return event
-        raise KeyError(f"no ARM event with eid {eid}")
+        index = self._memo("event_index", lambda: {e.eid: e for e in self.events})
+        try:
+            return index[eid]
+        except KeyError:
+            raise KeyError(f"no ARM event with eid {eid}") from None
 
     def memory_events(self) -> Tuple[ArmEvent, ...]:
-        return tuple(e for e in self.events if e.is_memory)
+        return self._memo(
+            "memory_events", lambda: tuple(e for e in self.events if e.is_memory)
+        )
 
     def reads(self) -> Tuple[ArmEvent, ...]:
         return tuple(e for e in self.events if e.is_read)
@@ -83,9 +101,64 @@ class ArmExecution:
 
     # -- byte-wise relations ----------------------------------------------------
 
+    def _rbf_at(self, k: int) -> Tuple[Tuple[int, int], ...]:
+        """The (writer, reader) pairs of byte ``k`` (coherence-independent)."""
+        by_byte = self._memo("rbf_by_byte", self._compute_rbf_by_byte)
+        return by_byte.get(k, ())
+
+    def _compute_rbf_by_byte(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        grouped: Dict[int, List[Tuple[int, int]]] = {}
+        for (k, w, r) in self.rbf:
+            grouped.setdefault(k, []).append((w, r))
+        return {k: tuple(pairs) for k, pairs in grouped.items()}
+
+    def _co_order_at(self, k: int) -> Tuple[int, ...]:
+        """The coherence order of byte ``k`` (linear scan of the small tuple)."""
+        for (kk, order) in self.co_by_byte:
+            if kk == k:
+                return order
+        return ()
+
+    def _co_pos_at(self, k: int) -> Dict[int, int]:
+        """Coherence position of each writer of byte ``k``.
+
+        Cache entries are keyed by the order itself so executions sharing a
+        cache dict (the coherence variants of one grounding) reuse them.
+        """
+        order = self._co_order_at(k)
+        key = ("co_pos", k, order)
+        positions = self._cache.get(key)
+        if positions is None:
+            positions = {w: i for i, w in enumerate(order)}
+            self._cache[key] = positions
+        return positions
+
+    def _fr_pairs_at(self, k: int) -> Tuple[Tuple[int, int], ...]:
+        """From-read edges at byte ``k`` as a plain pair tuple."""
+        return self._fr_pairs_for(k, self._co_order_at(k))
+
+    def _fr_pairs_for(
+        self, k: int, order: Tuple[int, ...]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """From-read edges at byte ``k`` under an explicit coherence order."""
+        key = ("fr_pairs", k, order)
+        pairs = self._cache.get(key)
+        if pairs is None:
+            pos = {w: i for i, w in enumerate(order)}
+            edges: List[Tuple[int, int]] = []
+            for (w, r) in self._rbf_at(k):
+                start = pos.get(w)
+                if start is None:
+                    continue
+                for later in order[start + 1:]:
+                    edges.append((r, later))
+            pairs = tuple(edges)
+            self._cache[key] = pairs
+        return pairs
+
     def rf_at(self, k: int) -> Relation:
         """Reads-from restricted to byte ``k``."""
-        return Relation({(w, r) for (kk, w, r) in self.rbf if kk == k})
+        return Relation(self._rbf_at(k))
 
     def co_at(self, k: int) -> Relation:
         """Coherence order restricted to byte ``k``."""
@@ -94,66 +167,82 @@ class ArmExecution:
 
     def fr_at(self, k: int) -> Relation:
         """From-read at byte ``k``: the read is before every coherence-later write."""
-        co = self.co_at(k)
-        pairs = set()
-        for (kk, w, r) in self.rbf:
-            if kk != k:
-                continue
-            for (_w, later) in co:
-                if _w == w:
-                    pairs.add((r, later))
-        return pairs and Relation(pairs) or Relation()
+        return Relation(self._fr_pairs_at(k))
 
     def bytes_accessed(self) -> FrozenSet[int]:
-        locations: Set[int] = set()
-        for event in self.memory_events():
-            locations.update(event.footprint)
-        return frozenset(locations)
+        def compute():
+            locations: Set[int] = set()
+            for event in self.memory_events():
+                locations.update(event.footprint)
+            return frozenset(locations)
+
+        return self._memo("bytes_accessed", compute)
 
     # -- event-level projections -------------------------------------------------
 
     def reads_from(self) -> Relation:
-        return Relation({(w, r) for (_k, w, r) in self.rbf})
+        return self._memo(
+            "rf", lambda: Relation({(w, r) for (_k, w, r) in self.rbf})
+        )
 
-    def _split_internal(self, relation: Relation) -> Tuple[Relation, Relation]:
-        internal = []
-        external = []
-        for (a, b) in relation:
+    def _split_internal_pairs(
+        self, pairs: Iterator[Tuple[int, int]]
+    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+        internal: List[Tuple[int, int]] = []
+        external: List[Tuple[int, int]] = []
+        for (a, b) in pairs:
             if self.event(a).tid == self.event(b).tid:
                 internal.append((a, b))
             else:
                 external.append((a, b))
+        return internal, external
+
+    def _split_internal(self, relation: Relation) -> Tuple[Relation, Relation]:
+        internal, external = self._split_internal_pairs(iter(relation))
         return Relation(internal), Relation(external)
 
     def rf_internal_external(self) -> Tuple[Relation, Relation]:
-        return self._split_internal(self.reads_from())
+        return self._memo(
+            "rf_split", lambda: self._split_internal(self.reads_from())
+        )
+
+    def _co_pairs(self) -> List[Tuple[int, int]]:
+        pairs: Set[Tuple[int, int]] = set()
+        for _k, order in self.co_by_byte:
+            for i, a in enumerate(order):
+                for b in order[i + 1:]:
+                    pairs.add((a, b))
+        return list(pairs)
+
+    def _fr_pairs(self) -> List[Tuple[int, int]]:
+        pairs: Set[Tuple[int, int]] = set()
+        for k in self.bytes_accessed():
+            pairs.update(self._fr_pairs_at(k))
+        return list(pairs)
 
     def coherence_relation(self) -> Relation:
-        pairs = set()
-        for _k, order in self.co_by_byte:
-            pairs.update(Relation.from_total_order(order).pairs)
-        return Relation(pairs)
+        return Relation(self._co_pairs())
 
     def from_read_relation(self) -> Relation:
-        pairs = set()
-        for k in self.bytes_accessed():
-            pairs.update(self.fr_at(k).pairs)
-        return Relation(pairs)
+        return Relation(self._fr_pairs())
 
     # -- reference-model relations -------------------------------------------------
 
     def obs(self) -> Relation:
         """``obs = rfe ∪ fre ∪ coe`` (external observations)."""
         _rfi, rfe = self.rf_internal_external()
-        _coi, coe = self._split_internal(self.coherence_relation())
-        _fri, fre = self._split_internal(self.from_read_relation())
-        return rfe.union(fre, coe)
+        _coi, coe = self._split_internal_pairs(iter(self._co_pairs()))
+        _fri, fre = self._split_internal_pairs(iter(self._fr_pairs()))
+        return Relation(set(rfe.pairs) | set(fre) | set(coe))
 
     def _selector(self, predicate) -> FrozenSet[int]:
         return frozenset(e.eid for e in self.events if predicate(e))
 
     def dob(self) -> Relation:
         """Dependency-ordered-before."""
+        return self._memo("dob", self._compute_dob)
+
+    def _compute_dob(self) -> Relation:
         writes = self._selector(lambda e: e.is_write)
         reads = self._selector(lambda e: e.is_read)
         isb = self._selector(lambda e: e.is_fence and e.barrier is BarrierKind.ISB)
@@ -174,6 +263,9 @@ class ArmExecution:
 
     def aob(self) -> Relation:
         """Atomic-ordered-before: the exclusive pair plus its forwarding edge."""
+        return self._memo("aob", self._compute_aob)
+
+    def _compute_aob(self) -> Relation:
         rfi, _rfe = self.rf_internal_external()
         exclusive_writes = self._selector(lambda e: e.is_write and e.exclusive)
         acquires = self._selector(lambda e: e.is_read and e.acquire)
@@ -186,6 +278,9 @@ class ArmExecution:
 
     def bob(self) -> Relation:
         """Barrier-ordered-before."""
+        return self._memo("bob", self._compute_bob)
+
+    def _compute_bob(self) -> Relation:
         memory = self._selector(lambda e: e.is_memory)
         reads = self._selector(lambda e: e.is_read)
         writes = self._selector(lambda e: e.is_write)
@@ -213,6 +308,19 @@ class ArmExecution:
         ]
         return Relation().union(*parts)
 
+    def _ob_fixed_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The coherence-independent part of ``ob``: ``rfe ∪ dob ∪ aob ∪ bob``."""
+
+        def compute():
+            _rfi, rfe = self.rf_internal_external()
+            pairs = set(rfe.pairs)
+            pairs.update(self.dob().pairs)
+            pairs.update(self.aob().pairs)
+            pairs.update(self.bob().pairs)
+            return tuple(pairs)
+
+        return self._memo("ob_fixed", compute)
+
     def ordered_before(self) -> Relation:
         """``ob = obs ∪ dob ∪ aob ∪ bob`` (external visibility requirement)."""
         return self.obs().union(self.dob(), self.aob(), self.bob())
@@ -234,19 +342,84 @@ class ArmExecution:
 # ---------------------------------------------------------------------------
 
 
-def arm_internal_consistent(execution: ArmExecution) -> bool:
-    """The per-byte SC-per-location ("internal visibility") requirement."""
-    for k in execution.bytes_accessed():
+def _po_loc_pairs_at(execution: ArmExecution, k: int) -> Tuple[Tuple[int, int], ...]:
+    """``po`` restricted to the accessors of byte ``k`` (coherence-independent)."""
+    pairs = execution._cache.get(("po_loc", k))
+    if pairs is None:
         accessors = frozenset(
             e.eid for e in execution.memory_events() if k in e.footprint
         )
-        po_loc = execution.po.restrict(domain=accessors, codomain=accessors)
-        combined = po_loc.union(
-            execution.co_at(k), execution.fr_at(k), execution.rf_at(k)
+        pairs = tuple(
+            (a, b) for (a, b) in execution.po if a in accessors and b in accessors
         )
-        if not combined.is_acyclic():
+        execution._cache[("po_loc", k)] = pairs
+    return pairs
+
+
+def _internal_ok_at(
+    execution: ArmExecution, k: int, order: Tuple[int, ...]
+) -> bool:
+    """The byte-``k`` SC-per-location verdict under an explicit order.
+
+    The verdict depends only on (byte, order, reads-from-at-byte) — po-loc
+    is fixed per pre-execution — so the grounding loop shares a memo across
+    *all* assignments of one pre-execution (``pre_local_memo``); outside a
+    grounding the execution's own cache serves the same role.
+    """
+    cache = execution._cache
+    memo = cache.get("pre_local_memo", cache)
+    key = ("internal", k, order, execution._rbf_at(k))
+    verdict = memo.get(key)
+    if verdict is None:
+        po_loc = _po_loc_pairs_at(execution, k)
+        co_pairs = [(a, b) for i, a in enumerate(order) for b in order[i + 1:]]
+        edges = itertools.chain(
+            po_loc,
+            co_pairs,
+            execution._fr_pairs_for(k, order),
+            execution._rbf_at(k),
+        )
+        verdict = acyclic_pairs(edges)
+        memo[key] = verdict
+    return verdict
+
+
+def arm_internal_consistent(execution: ArmExecution) -> bool:
+    """The per-byte SC-per-location ("internal visibility") requirement."""
+    for k in execution.bytes_accessed():
+        if not _internal_ok_at(execution, k, execution._co_order_at(k)):
             return False
     return True
+
+
+def _atomic_ok_at(
+    execution: ArmExecution,
+    lr: int,
+    sw: int,
+    k: int,
+    order: Tuple[int, ...],
+) -> bool:
+    """Atomicity of one exclusive pair at one byte under an explicit order."""
+    cache = execution._cache
+    memo = cache.get("pre_local_memo", cache)
+    key = ("atomic", lr, sw, k, order, execution._rbf_at(k))
+    verdict = memo.get(key)
+    if verdict is None:
+        verdict = True
+        load_tid = execution.event(lr).tid
+        pos = {w: i for i, w in enumerate(order)}
+        sw_pos = pos.get(sw)
+        for (_r, intervener) in execution._fr_pairs_for(k, order):
+            if _r != lr:
+                continue
+            if execution.event(intervener).tid == load_tid:
+                continue
+            i_pos = pos.get(intervener)
+            if i_pos is not None and sw_pos is not None and i_pos < sw_pos:
+                verdict = False
+                break
+        memo[key] = verdict
+    return verdict
 
 
 def arm_atomicity_holds(execution: ArmExecution) -> bool:
@@ -255,22 +428,23 @@ def arm_atomicity_holds(execution: ArmExecution) -> bool:
         load = execution.event(lr)
         store = execution.event(sw)
         for k in set(load.footprint) & set(store.footprint):
-            fr_k = execution.fr_at(k)
-            co_k = execution.co_at(k)
-            for (_r, intervener) in fr_k:
-                if _r != lr:
-                    continue
-                other = execution.event(intervener)
-                if other.tid == load.tid:
-                    continue
-                if (intervener, sw) in co_k:
-                    return False
+            if not _atomic_ok_at(execution, lr, sw, k, execution._co_order_at(k)):
+                return False
     return True
 
 
 def arm_external_consistent(execution: ArmExecution) -> bool:
-    """The ordered-before acyclicity (external visibility requirement)."""
-    return execution.ordered_before().is_acyclic()
+    """The ordered-before acyclicity (external visibility requirement).
+
+    The coherence-independent part of ``ob`` (``rfe ∪ dob ∪ aob ∪ bob``) is
+    cached — and shared across the coherence choices of one grounding — so
+    only ``fre``/``coe`` are recomputed per execution.
+    """
+    _coi, coe = execution._split_internal_pairs(iter(execution._co_pairs()))
+    _fri, fre = execution._split_internal_pairs(iter(execution._fr_pairs()))
+    return acyclic_pairs(
+        itertools.chain(execution._ob_fixed_pairs(), coe, fre)
+    )
 
 
 def arm_is_valid(execution: ArmExecution) -> bool:
@@ -313,6 +487,198 @@ class ArmPreExecution:
     data: Relation
     ctrl: Relation
     rmw: Relation
+
+    def _lazy(self, attr: str, compute):
+        cached = getattr(self, attr, _MISSING)
+        if cached is _MISSING:
+            cached = compute()
+            object.__setattr__(self, attr, cached)
+        return cached
+
+    def memory_templates_by_key(self) -> Dict[ArmTemplateKey, ArmEventTemplate]:
+        """The memory-event templates keyed by template key (cached)."""
+        return self._lazy(
+            "_memory_templates_by_key",
+            lambda: {t.key: t for t in self.templates if t.is_memory},
+        )
+
+    def eid_tid(self) -> Dict[int, int]:
+        """Thread of every event identifier (including the Init write)."""
+
+        def compute():
+            tids = {self.init_event.eid: self.init_event.tid}
+            for template in self.templates:
+                tids[self.eid_of[template.key]] = template.tid
+            return tids
+
+        return self._lazy("_eid_tid", compute)
+
+    def bytes_accessed(self) -> FrozenSet[int]:
+        """Byte locations touched by any event (template footprints + Init)."""
+
+        def compute():
+            locations: Set[int] = set(self.init_event.footprint)
+            for template in self.templates:
+                if template.is_memory:
+                    locations.update(template.footprint())
+            return frozenset(locations)
+
+        return self._lazy("_bytes_accessed", compute)
+
+    def po_loc_by_byte(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        """``po`` restricted to the accessors of each byte.
+
+        Footprints are fixed by the templates (grounding only fills in byte
+        *values*), so this is shared by every execution of the combination.
+        """
+
+        def compute():
+            accessors: Dict[int, Set[int]] = {k: set() for k in self.bytes_accessed()}
+            for template in self.templates:
+                if not template.is_memory:
+                    continue
+                eid = self.eid_of[template.key]
+                for k in template.footprint():
+                    accessors[k].add(eid)
+            po_pairs = tuple(self.po.pairs)
+            return {
+                k: tuple(
+                    (a, b) for (a, b) in po_pairs if a in elems and b in elems
+                )
+                for k, elems in accessors.items()
+            }
+
+        return self._lazy("_po_loc_by_byte", compute)
+
+    def exclusive_write_eids(self) -> FrozenSet[int]:
+        return self._lazy(
+            "_exclusive_write_eids",
+            lambda: frozenset(
+                self.eid_of[t.key]
+                for t in self.templates
+                if t.is_write and t.exclusive
+            ),
+        )
+
+    def acquire_read_eids(self) -> FrozenSet[int]:
+        return self._lazy(
+            "_acquire_read_eids",
+            lambda: frozenset(
+                self.eid_of[t.key]
+                for t in self.templates
+                if t.is_read and t.acquire
+            ),
+        )
+
+    def dep_by_right(self) -> Dict[int, Tuple[int, ...]]:
+        """``addr ∪ data`` grouped by right component, for ``dep ; rfi``."""
+
+        def compute():
+            grouped: Dict[int, List[int]] = {}
+            for (a, b) in self.addr.union(self.data):
+                grouped.setdefault(b, []).append(a)
+            return {b: tuple(lefts) for b, lefts in grouped.items()}
+
+        return self._lazy("_dep_by_right", compute)
+
+    def static_write_state(self) -> Tuple[Dict[int, Tuple[int, ...]], Dict[int, int]]:
+        """Byte values/starts of writes fixed before grounding (Init + const)."""
+
+        def compute():
+            write_bytes = {self.init_event.eid: self.init_event.data}
+            write_start = {self.init_event.eid: self.init_event.addr}
+            for template in self.templates:
+                if not template.is_write:
+                    continue
+                eid = self.eid_of[template.key]
+                write_start[eid] = template.addr
+                spec = template.write_spec
+                if spec is not None and spec.kind == "const":
+                    mask = (1 << (8 * template.size)) - 1
+                    write_bytes[eid] = tuple(
+                        (spec.payload & mask).to_bytes(template.size, "little")
+                    )
+            return write_bytes, write_start
+
+        return self._lazy("_static_write_state", compute)
+
+    def constraints_by_source(self) -> Dict[ArmTemplateKey, Tuple]:
+        """Branch constraints of every path, grouped by source template."""
+
+        def compute():
+            grouped: Dict[ArmTemplateKey, List] = {}
+            for path in self.paths:
+                for constraint in path.constraints:
+                    grouped.setdefault(constraint.source, []).append(constraint)
+            return {key: tuple(cs) for key, cs in grouped.items()}
+
+        return self._lazy("_constraints_by_source", compute)
+
+    def static_ob_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The rbf- and coherence-independent part of ``ordered-before``.
+
+        Covers ``bob``, the dependency parts of ``dob`` that do not involve
+        ``rfi``, and the ``rmw`` part of ``aob`` — all fixed by the chosen
+        paths.  The rbf-dependent remainder (``rfe``, ``dep ; rfi`` and the
+        exclusive-forwarding edges) is added per grounding.
+        """
+
+        def compute():
+            def selector(predicate) -> FrozenSet[int]:
+                return frozenset(
+                    self.eid_of[t.key] for t in self.templates if predicate(t)
+                )
+
+            po = self.po
+            memory = selector(lambda t: t.is_memory)
+            reads = selector(lambda t: t.is_read)
+            writes = selector(lambda t: t.is_write)
+            acquires = self.acquire_read_eids()
+            releases = selector(lambda t: t.is_write and t.release)
+            isb = selector(
+                lambda t: t.kind is ArmEventKind.FENCE
+                and t.barrier is BarrierKind.ISB
+            )
+            dmb_full = selector(
+                lambda t: t.kind is ArmEventKind.FENCE
+                and t.barrier is BarrierKind.FULL
+            )
+            dmb_ld = selector(
+                lambda t: t.kind is ArmEventKind.FENCE
+                and t.barrier is BarrierKind.LD
+            )
+            dmb_st = selector(
+                lambda t: t.kind is ArmEventKind.FENCE
+                and t.barrier is BarrierKind.ST
+            )
+
+            def chain(dom, mids, cod) -> Relation:
+                first = po.restrict(domain=dom, codomain=mids)
+                second = po.restrict(domain=mids, codomain=cod)
+                return first.compose(second)
+
+            parts = [
+                # dob minus its rfi-dependent part
+                self.addr,
+                self.data,
+                self.ctrl.restrict(codomain=writes),
+                self.ctrl.compose(Relation.identity(isb)).compose(po).restrict(
+                    codomain=reads
+                ),
+                self.addr.compose(po).restrict(codomain=writes),
+                # aob minus forwarding
+                self.rmw,
+                # bob
+                chain(memory, dmb_full, memory),
+                chain(reads, dmb_ld, memory),
+                chain(writes, dmb_st, writes),
+                po.restrict(domain=releases, codomain=acquires),
+                po.restrict(domain=acquires, codomain=memory),
+                po.restrict(domain=memory, codomain=releases),
+            ]
+            return tuple(Relation().union(*parts).pairs)
+
+        return self._lazy("_static_ob_pairs", compute)
 
 
 @dataclass(frozen=True)
@@ -388,21 +754,27 @@ def _arm_writers_by_byte(pre: ArmPreExecution) -> Dict[int, List[int]]:
 def _arm_resolve_values(
     pre: ArmPreExecution, assignment: Dict[Tuple[int, int], int]
 ) -> Optional[Tuple[Dict[ArmTemplateKey, Tuple[int, ...]], Dict[ArmTemplateKey, Tuple[int, ...]]]]:
-    """Resolve read/write byte values; ``None`` on cyclic value dependencies."""
-    write_bytes: Dict[int, Tuple[int, ...]] = {
-        pre.init_event.eid: pre.init_event.data
-    }
-    write_start: Dict[int, int] = {pre.init_event.eid: pre.init_event.addr}
+    """Resolve read/write byte values; ``None`` on cyclic value dependencies.
+
+    Starts from the per-pre static write values (Init + ``const`` stores),
+    so the fixpoint only iterates over reads and value-dependent stores.
+    """
+    static_bytes, write_start = pre.static_write_state()
+    write_bytes: Dict[int, Tuple[int, ...]] = dict(static_bytes)
     read_bytes: Dict[ArmTemplateKey, Tuple[int, ...]] = {}
     read_values: Dict[ArmTemplateKey, int] = {}
     out_bytes: Dict[ArmTemplateKey, Tuple[int, ...]] = {}
 
-    templates = {t.key: t for t in pre.templates if t.is_memory}
-    for template in templates.values():
-        if template.is_write:
-            write_start[pre.eid_of[template.key]] = template.addr
+    templates = pre.memory_templates_by_key()
+    pending = set()
+    for key, template in templates.items():
+        eid = pre.eid_of[key]
+        if template.is_write and eid in static_bytes:
+            out_bytes[key] = static_bytes[eid]
+            if not template.is_read:
+                continue
+        pending.add(key)
 
-    pending = set(templates)
     progress = True
     while pending and progress:
         progress = False
@@ -501,44 +873,40 @@ def _arm_build_events(
     return events
 
 
-def _coherence_choices(
+def _coherence_group_orders(
     pre: ArmPreExecution, group_coherence: bool
-) -> Iterator[Dict[int, Tuple[int, ...]]]:
-    """Enumerate coherence orders, optionally sharing one order per writer-set group.
+) -> List[Tuple[Tuple[int, ...], List[Tuple[int, ...]]]]:
+    """The coherence choice structure: (byte locations, candidate orders) groups.
 
     With ``group_coherence=True`` every byte written by the same set of
-    events uses the same order; this loses some per-byte coherence diversity
-    (only relevant to tearing behaviours) but keeps the enumeration small.
+    events shares one group (and hence one order); this loses some per-byte
+    coherence diversity (only relevant to tearing behaviours) but keeps the
+    enumeration small.  With ``group_coherence=False`` every byte is its
+    own group.  A full coherence choice is one order per group.
     """
     writers = _arm_writers_by_byte(pre)
     init_eid = pre.init_event.eid
+    groups: List[Tuple[Tuple[int, ...], List[int]]] = []
     if group_coherence:
-        groups: Dict[Tuple[int, ...], List[int]] = {}
+        by_writer_set: Dict[Tuple[int, ...], List[int]] = {}
         for k, ws in writers.items():
-            groups.setdefault(tuple(sorted(ws)), []).append(k)
-        group_list = list(groups.items())
-        per_group_orders = []
-        for ws, _bytes in group_list:
-            others = [w for w in ws if w != init_eid]
-            per_group_orders.append(
-                [(init_eid,) + perm for perm in itertools.permutations(others)]
-            )
-        for combo in itertools.product(*per_group_orders):
-            choice: Dict[int, Tuple[int, ...]] = {}
-            for (ws, byte_locations), order in zip(group_list, combo):
-                for k in byte_locations:
-                    choice[k] = tuple(w for w in order if w in ws)
-            yield choice
+            by_writer_set.setdefault(tuple(sorted(ws)), []).append(k)
+        groups = [
+            (tuple(byte_locations), [w for w in ws if w != init_eid])
+            for ws, byte_locations in by_writer_set.items()
+        ]
     else:
-        byte_list = sorted(writers)
-        per_byte_orders = []
-        for k in byte_list:
-            others = [w for w in writers[k] if w != init_eid]
-            per_byte_orders.append(
-                [(init_eid,) + perm for perm in itertools.permutations(others)]
-            )
-        for combo in itertools.product(*per_byte_orders):
-            yield dict(zip(byte_list, combo))
+        groups = [
+            ((k,), [w for w in writers[k] if w != init_eid])
+            for k in sorted(writers)
+        ]
+    return [
+        (
+            byte_locations,
+            [(init_eid,) + perm for perm in itertools.permutations(others)],
+        )
+        for byte_locations, others in groups
+    ]
 
 
 def _arm_outcome(
@@ -554,59 +922,337 @@ def _arm_outcome(
     return outcome
 
 
+@dataclass
+class _ArmGrounding:
+    """One reads-byte-from assignment with its shared derived state.
+
+    ``prototype`` carries the assignment's events/rbf and the shared cache
+    (no coherence chosen yet); the coherence variants are the product of
+    one order per entry of ``group_list``.
+    """
+
+    pre: ArmPreExecution
+    prototype: ArmExecution
+    outcome: ArmOutcome
+    group_list: List[Tuple[Tuple[int, ...], List[Tuple[int, ...]]]]
+
+    def execution_with(
+        self, combo: Tuple[Tuple[int, ...], ...]
+    ) -> ArmExecution:
+        """The execution choosing ``combo[i]`` for group ``i``."""
+        coherence: Dict[int, Tuple[int, ...]] = {}
+        for (byte_locations, _orders), order in zip(self.group_list, combo):
+            for k in byte_locations:
+                coherence[k] = order
+        # The ONE cache dict is shared (not copied) by every coherence
+        # variant: coherence-dependent entries are keyed by the byte's
+        # order tuple, so variants reuse rather than poison them.
+        proto = self.prototype
+        return ArmExecution(
+            events=proto.events,
+            po=proto.po,
+            addr=proto.addr,
+            data=proto.data,
+            ctrl=proto.ctrl,
+            rmw=proto.rmw,
+            rbf=proto.rbf,
+            co_by_byte=tuple(sorted(coherence.items())),
+            _cache=proto._cache,
+        )
+
+
+def _arm_assignments(
+    pre: ArmPreExecution,
+) -> Iterator[
+    Tuple[
+        Dict[Tuple[int, int], int],
+        Dict[ArmTemplateKey, Tuple[int, ...]],
+        Dict[ArmTemplateKey, Tuple[int, ...]],
+    ]
+]:
+    """Enumerate feasible reads-byte-from assignments with resolved values.
+
+    Mirrors the JS-side pruned enumeration: reads are assigned writers in
+    program order, a read's value is decoded as soon as its chosen writers'
+    bytes are known (Init, ``const`` stores, and ``copy`` stores resolved
+    from earlier reads), and the branch constraints on that read prune the
+    whole remaining subtree.  Yields ``(assignment, read_bytes, out_bytes)``
+    in exactly the order the plain product would.
+    """
+    writers = _arm_writers_by_byte(pre)
+    read_groups: List[Tuple[ArmEventTemplate, List[Tuple[int, int]], List[List[int]]]] = []
+    for template in pre.templates:
+        if not template.is_read:
+            continue
+        eid = pre.eid_of[template.key]
+        slots: List[Tuple[int, int]] = []
+        choices: List[List[int]] = []
+        for k in template.footprint():
+            candidates = [w for w in writers.get(k, []) if w != eid]
+            if not candidates:
+                return
+            slots.append((k, eid))
+            choices.append(candidates)
+        read_groups.append((template, slots, choices))
+
+    constraints = pre.constraints_by_source()
+    static_bytes, write_start = pre.static_write_state()
+    write_templates = [
+        (t, pre.eid_of[t.key]) for t in pre.templates if t.is_write
+    ]
+    assignment: Dict[Tuple[int, int], int] = {}
+
+    def propagate(
+        known: Dict[int, Tuple[int, ...]],
+        read_values: Dict[ArmTemplateKey, int],
+    ) -> Dict[int, Tuple[int, ...]]:
+        known = dict(known)
+        progress = True
+        while progress:
+            progress = False
+            for template, eid in write_templates:
+                if eid in known:
+                    continue
+                spec = template.write_spec
+                if (
+                    spec is not None
+                    and spec.kind == "copy"
+                    and spec.source in read_values
+                ):
+                    value = read_values[spec.source] + spec.add_immediate
+                    mask = (1 << (8 * template.size)) - 1
+                    known[eid] = tuple(
+                        (value & mask).to_bytes(template.size, "little")
+                    )
+                    progress = True
+        return known
+
+    def recurse(
+        group_index: int,
+        known: Dict[int, Tuple[int, ...]],
+        read_values: Dict[ArmTemplateKey, int],
+        resolved_reads: Dict[ArmTemplateKey, Tuple[int, ...]],
+    ):
+        if group_index == len(read_groups):
+            if len(resolved_reads) == len(read_groups) and all(
+                eid in known for _t, eid in write_templates
+            ):
+                out_bytes = {t.key: known[eid] for t, eid in write_templates}
+                yield assignment, resolved_reads, out_bytes
+                return
+            resolved = _arm_resolve_values(pre, assignment)
+            if resolved is None:
+                return
+            read_bytes, out_bytes = resolved
+            if not _arm_constraints_ok(pre, read_bytes):
+                return
+            yield assignment, read_bytes, out_bytes
+            return
+        template, slots, choices = read_groups[group_index]
+        template_constraints = constraints.get(template.key, ())
+        for combo in itertools.product(*choices):
+            for slot, writer_eid in zip(slots, combo):
+                assignment[slot] = writer_eid
+            next_known = known
+            next_values = read_values
+            next_resolved = resolved_reads
+            data: List[int] = []
+            complete = True
+            for (k, _eid), writer_eid in zip(slots, combo):
+                writer_data = known.get(writer_eid)
+                if writer_data is None:
+                    complete = False
+                    break
+                data.append(writer_data[k - write_start[writer_eid]])
+            if complete:
+                resolved_data = tuple(data)
+                value = int.from_bytes(bytes(resolved_data), "little")
+                violated = False
+                for constraint in template_constraints:
+                    if constraint.equal and value != constraint.constant:
+                        violated = True
+                        break
+                    if not constraint.equal and value == constraint.constant:
+                        violated = True
+                        break
+                if violated:
+                    continue
+                next_values = dict(read_values)
+                next_values[template.key] = value
+                next_resolved = dict(resolved_reads)
+                next_resolved[template.key] = resolved_data
+                next_known = propagate(known, next_values)
+            yield from recurse(
+                group_index + 1, next_known, next_values, next_resolved
+            )
+
+    yield from recurse(0, dict(static_bytes), {}, {})
+
+
+def _arm_groundings(
+    program: ArmProgram, group_coherence: bool
+) -> Iterator[_ArmGrounding]:
+    """One :class:`_ArmGrounding` per feasible reads-byte-from assignment."""
+    for pre in arm_pre_executions(program):
+        # The coherence choice structure depends only on the pre-execution's
+        # writers, never on the reads-byte-from assignment: build it once.
+        group_list = _coherence_group_orders(pre, group_coherence)
+        for assignment, read_bytes, out_bytes in _arm_assignments(pre):
+            # Deduplicate the (immutable) event tuple per value profile:
+            # different writer assignments frequently resolve to identical
+            # byte values.
+            events_memo: Dict = pre._lazy("_events_memo", dict)
+            events_key = tuple(
+                read_bytes[t.key]
+                if t.is_read
+                else out_bytes[t.key]
+                if t.is_write
+                else ()
+                for t in pre.templates
+            )
+            events = events_memo.get(events_key)
+            if events is None:
+                events = tuple(_arm_build_events(pre, read_bytes, out_bytes))
+                events_memo[events_key] = events
+            rbf = frozenset(
+                (k, writer, reader) for ((k, reader), writer) in assignment.items()
+            )
+            outcome = _arm_outcome(pre, read_bytes)
+            # Assemble the coherence-independent derived state once per
+            # reads-byte-from assignment and share it (via the execution
+            # cache) across every coherence variant.
+            tid_of = pre.eid_tid()
+            rf_pairs = {(w, r) for (_k, w, r) in rbf}
+            rfi = [(w, r) for (w, r) in rf_pairs if tid_of[w] == tid_of[r]]
+            rfe = [(w, r) for (w, r) in rf_pairs if tid_of[w] != tid_of[r]]
+            ob_fixed: List[Tuple[int, int]] = list(pre.static_ob_pairs())
+            ob_fixed.extend(rfe)
+            dep_by_right = pre.dep_by_right()
+            exclusive_writes = pre.exclusive_write_eids()
+            acquires = pre.acquire_read_eids()
+            for (b, c) in rfi:
+                for a in dep_by_right.get(b, ()):  # dep ; rfi
+                    ob_fixed.append((a, c))
+                if b in exclusive_writes and c in acquires:  # aob forwarding
+                    ob_fixed.append((b, c))
+            rbf_by_byte: Dict[int, List[Tuple[int, int]]] = {}
+            for (k, w, r) in rbf:
+                rbf_by_byte.setdefault(k, []).append((w, r))
+            shared_cache: Dict[object, object] = {
+                "event_index": {e.eid: e for e in events},
+                "bytes_accessed": pre.bytes_accessed(),
+                "rbf_by_byte": {
+                    k: tuple(pairs) for k, pairs in rbf_by_byte.items()
+                },
+                "ob_fixed": tuple(ob_fixed),
+                # Internal/atomicity verdicts are shared per PRE-execution
+                # (keyed by byte, order and rf-at-byte), not just per
+                # assignment.
+                "pre_local_memo": pre._lazy("_local_verdict_memo", dict),
+            }
+            for k, pairs in pre.po_loc_by_byte().items():
+                shared_cache[("po_loc", k)] = pairs
+            prototype = ArmExecution(
+                events=events,
+                po=pre.po,
+                addr=pre.addr,
+                data=pre.data,
+                ctrl=pre.ctrl,
+                rmw=pre.rmw,
+                rbf=rbf,
+                _cache=shared_cache,
+            )
+            yield _ArmGrounding(
+                pre=pre, prototype=prototype, outcome=outcome, group_list=group_list
+            )
+
+
 def arm_ground_executions(
     program: ArmProgram,
     group_coherence: bool = True,
 ) -> Iterator[ArmGroundExecution]:
     """Every concrete candidate execution (rbf and coherence chosen) of the program."""
-    for pre in arm_pre_executions(program):
-        writers = _arm_writers_by_byte(pre)
-        read_slots: List[Tuple[int, int]] = []
-        slot_choices: List[List[int]] = []
-        for template in pre.templates:
-            if not template.is_read:
-                continue
-            eid = pre.eid_of[template.key]
-            for k in template.footprint():
-                candidates = [w for w in writers.get(k, []) if w != eid]
-                read_slots.append((k, eid))
-                slot_choices.append(candidates)
-        if any(not c for c in slot_choices):
-            continue
-        for combo in itertools.product(*slot_choices):
-            assignment = dict(zip(read_slots, combo))
-            resolved = _arm_resolve_values(pre, assignment)
-            if resolved is None:
-                continue
-            read_bytes, out_bytes = resolved
-            if not _arm_constraints_ok(pre, read_bytes):
-                continue
-            events = _arm_build_events(pre, read_bytes, out_bytes)
-            rbf = frozenset(
-                (k, writer, reader) for ((k, reader), writer) in assignment.items()
+    for grounding in _arm_groundings(program, group_coherence):
+        for combo in itertools.product(
+            *(orders for _bytes, orders in grounding.group_list)
+        ):
+            yield ArmGroundExecution(
+                execution=grounding.execution_with(combo),
+                outcome=grounding.outcome,
+                pre=grounding.pre,
             )
-            outcome = _arm_outcome(pre, read_bytes)
-            for coherence in _coherence_choices(pre, group_coherence):
-                execution = ArmExecution(
-                    events=tuple(events),
-                    po=pre.po,
-                    addr=pre.addr,
-                    data=pre.data,
-                    ctrl=pre.ctrl,
-                    rmw=pre.rmw,
-                    rbf=rbf,
-                    co_by_byte=tuple(sorted(coherence.items())),
-                )
-                yield ArmGroundExecution(execution=execution, outcome=outcome, pre=pre)
+
+
+def _group_local_ok(
+    execution: ArmExecution,
+    byte_locations: Tuple[int, ...],
+    order: Tuple[int, ...],
+) -> bool:
+    """Do the bytes of one coherence group pass internal + atomicity?
+
+    Both axioms decompose per byte, and each byte's verdict depends only on
+    its own group's order — so an order failing here poisons *every*
+    coherence choice containing it and can be pruned before the product.
+    """
+    for k in byte_locations:
+        if not _internal_ok_at(execution, k, order):
+            return False
+    for (lr, sw) in execution.rmw:
+        load = execution.event(lr)
+        store = execution.event(sw)
+        shared = set(load.footprint) & set(store.footprint)
+        for k in byte_locations:
+            if k in shared and not _atomic_ok_at(execution, lr, sw, k, order):
+                return False
+    return True
+
+
+def _locally_consistent_orders(
+    grounding: _ArmGrounding,
+) -> Optional[List[List[Tuple[int, ...]]]]:
+    """Each group's coherence orders surviving the local axioms.
+
+    Returns ``None`` when some group has no surviving order (every
+    coherence choice of this grounding violates internal or atomicity).
+    """
+    prototype = grounding.prototype
+    filtered: List[List[Tuple[int, ...]]] = []
+    for byte_locations, orders in grounding.group_list:
+        surviving = [
+            order
+            for order in orders
+            if _group_local_ok(prototype, byte_locations, order)
+        ]
+        if not surviving:
+            return None
+        filtered.append(surviving)
+    return filtered
 
 
 def arm_allowed_executions(
     program: ArmProgram, group_coherence: bool = True
 ) -> Iterator[ArmGroundExecution]:
-    """The model-allowed executions of an ARM program."""
-    for ground in arm_ground_executions(program, group_coherence=group_coherence):
-        if arm_is_valid(ground.execution):
-            yield ground
+    """The model-allowed executions of an ARM program.
+
+    Equivalent to filtering :func:`arm_ground_executions` with
+    :func:`arm_is_valid`, but the per-group internal/atomicity verdicts
+    prune coherence orders *before* the per-group product is taken — the
+    vast majority of coherence variants die on a local verdict, so only
+    locally-consistent variants are materialised and checked against the
+    (global) external axiom.
+    """
+    for grounding in _arm_groundings(program, group_coherence):
+        filtered = _locally_consistent_orders(grounding)
+        if filtered is None:
+            continue
+        for combo in itertools.product(*filtered):
+            execution = grounding.execution_with(combo)
+            if arm_external_consistent(execution):
+                yield ArmGroundExecution(
+                    execution=execution,
+                    outcome=grounding.outcome,
+                    pre=grounding.pre,
+                )
 
 
 def arm_allowed_outcomes(
@@ -626,10 +1272,19 @@ def arm_allowed_outcomes(
 def arm_outcome_allowed(
     program: ArmProgram, spec: Mapping[str, int], group_coherence: bool = True
 ) -> bool:
-    """Is some allowed execution's outcome consistent with ``spec``?"""
-    for ground in arm_ground_executions(program, group_coherence=group_coherence):
-        if any(ground.outcome.get(k) != v for k, v in spec.items()):
+    """Is some allowed execution's outcome consistent with ``spec``?
+
+    The outcome is fixed per reads-byte-from assignment, so groundings with
+    a mismatching outcome are skipped before any coherence variant is
+    examined.
+    """
+    for grounding in _arm_groundings(program, group_coherence):
+        if any(grounding.outcome.get(k) != v for k, v in spec.items()):
             continue
-        if arm_is_valid(ground.execution):
-            return True
+        filtered = _locally_consistent_orders(grounding)
+        if filtered is None:
+            continue
+        for combo in itertools.product(*filtered):
+            if arm_external_consistent(grounding.execution_with(combo)):
+                return True
     return False

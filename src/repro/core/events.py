@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 
 class AccessMode(enum.Enum):
@@ -243,14 +243,26 @@ def make_init_event(
 
 @dataclass(frozen=True)
 class EventSet:
-    """A finite set of events keyed by ``eid`` with convenience selectors."""
+    """A finite set of events keyed by ``eid`` with convenience selectors.
+
+    The eid → event index is built once at construction, so
+    :meth:`by_eid` — a hot operation in the validity checks — is a single
+    dict lookup instead of a linear scan.
+    """
 
     events: Tuple[Event, ...] = field(default_factory=tuple)
+    _index: Dict[int, Event] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
+    _writers_by_location: Dict[int, Tuple[Event, ...]] = field(
+        default_factory=dict, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
-        eids = [e.eid for e in self.events]
-        if len(eids) != len(set(eids)):
+        index = {e.eid: e for e in self.events}
+        if len(index) != len(self.events):
             raise ValueError("duplicate event identifiers in EventSet")
+        object.__setattr__(self, "_index", index)
 
     def __iter__(self):
         return iter(self.events)
@@ -262,16 +274,16 @@ class EventSet:
         return event in self.events
 
     def by_eid(self, eid: int) -> Event:
-        """Look an event up by identifier."""
-        for event in self.events:
-            if event.eid == eid:
-                return event
-        raise KeyError(f"no event with eid {eid}")
+        """Look an event up by identifier (O(1))."""
+        try:
+            return self._index[eid]
+        except KeyError:
+            raise KeyError(f"no event with eid {eid}") from None
 
     @property
     def eids(self) -> FrozenSet[int]:
         """The set of event identifiers."""
-        return frozenset(e.eid for e in self.events)
+        return frozenset(self._index)
 
     def reads(self) -> Tuple[Event, ...]:
         """All events that read."""
@@ -296,3 +308,19 @@ class EventSet:
             for e in self.events
             if e.block == block and location in e.range_w
         )
+
+    def writers_of_location(self, location: int) -> Tuple[Event, ...]:
+        """All events writing byte ``location`` in *any* block (cached).
+
+        Used by the hot Happens-Before-Consistency (3) loop, which (like
+        the specification text) quantifies over byte locations without a
+        per-block restriction.
+        """
+        index = self._writers_by_location
+        if not index and self.events:
+            grouped: Dict[int, list] = {}
+            for e in self.events:
+                for k in e.range_w:
+                    grouped.setdefault(k, []).append(e)
+            index.update({k: tuple(es) for k, es in grouped.items()})
+        return index.get(location, ())

@@ -53,6 +53,15 @@ class CandidateExecution:
     asw: Relation = field(default_factory=Relation)
     rbf: FrozenSet[RbfTriple] = frozenset()
     tot: Optional[Tuple[int, ...]] = None
+    # Memoisation of derived relations (rf, sw, hb, init-overlap, …).  The
+    # cache is keyed by (name, parameters) and is *deliberately shared*
+    # between witness variants produced by :meth:`with_witness` that differ
+    # only in ``tot``: every cached value is either tot-independent or keyed
+    # by the tot it was computed for.  ``with_witness`` installs a fresh
+    # cache whenever ``rbf`` changes.
+    _cache: Dict[object, object] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # -- constructors --------------------------------------------------------
 
@@ -78,11 +87,18 @@ class CandidateExecution:
         rbf: Optional[Iterable[RbfTriple]] = None,
         tot: Optional[Sequence[int]] = None,
     ) -> "CandidateExecution":
-        """A copy of this execution with a (possibly partial) new witness."""
+        """A copy of this execution with a (possibly partial) new witness.
+
+        Copies that differ only in ``tot`` share this execution's derived-
+        relation cache (everything cached is tot-independent or keyed by
+        tot); a changed ``rbf`` invalidates the cache.
+        """
+        new_rbf = frozenset(rbf) if rbf is not None else self.rbf
         return replace(
             self,
-            rbf=frozenset(rbf) if rbf is not None else self.rbf,
+            rbf=new_rbf,
             tot=tuple(tot) if tot is not None else self.tot,
+            _cache=self._cache if new_rbf == self.rbf else {},
         )
 
     # -- basic lookups -------------------------------------------------------
@@ -109,10 +125,15 @@ class CandidateExecution:
         return Relation.from_total_order(self.tot)
 
     def tot_index(self) -> Dict[int, int]:
-        """Position of each event identifier within ``tot``."""
+        """Position of each event identifier within ``tot`` (memoised)."""
         if self.tot is None:
             raise MalformedExecutionError("execution has no total-order witness")
-        return {eid: i for i, eid in enumerate(self.tot)}
+        key = ("tot_index", self.tot)
+        index = self._cache.get(key)
+        if index is None:
+            index = {eid: i for i, eid in enumerate(self.tot)}
+            self._cache[key] = index
+        return index
 
     def tot_before(self, a: int, b: int) -> bool:
         """True iff event ``a`` precedes event ``b`` in ``tot``."""
@@ -122,8 +143,12 @@ class CandidateExecution:
     # -- derived relations (Fig. 3) --------------------------------------------
 
     def reads_from(self) -> Relation:
-        """``rf ≜ {⟨A,B⟩ | ∃k. ⟨k,A,B⟩ ∈ rbf}`` (writer on the left)."""
-        return Relation({(w, r) for (_k, w, r) in self.rbf})
+        """``rf ≜ {⟨A,B⟩ | ∃k. ⟨k,A,B⟩ ∈ rbf}`` (writer on the left, memoised)."""
+        rf = self._cache.get("rf")
+        if rf is None:
+            rf = Relation({(w, r) for (_k, w, r) in self.rbf})
+            self._cache["rf"] = rf
+        return rf
 
     def synchronizes_with(self, simplified: bool = False) -> Relation:
         """``sw`` — the synchronisation edges created by SeqCst atomics.
@@ -134,6 +159,10 @@ class CandidateExecution:
         model's simplified definition (§3.2): a SeqCst read synchronises
         with a same-range SeqCst write it reads from, plus ``asw``.
         """
+        key = ("sw", simplified)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         rf = self.reads_from()
         pairs: Set[Tuple[int, int]] = set()
         writers_of: Dict[int, List[int]] = {}
@@ -157,10 +186,15 @@ class CandidateExecution:
                 )
                 if same_range_sc or only_init:
                     pairs.add((w_eid, r_eid))
-        return Relation(pairs).union(self.asw)
+        sw = Relation(pairs).union(self.asw)
+        self._cache[key] = sw
+        return sw
 
     def init_overlap(self) -> Relation:
         """``{⟨A,B⟩ | A.ord = Init ∧ overlap(A,B)}`` — Init precedes everything it overlaps."""
+        cached = self._cache.get("init_overlap")
+        if cached is not None:
+            return cached
         pairs = set()
         for init in self.events.inits():
             for other in self.events:
@@ -168,14 +202,22 @@ class CandidateExecution:
                     continue
                 if init.overlaps(other):
                     pairs.add((init.eid, other.eid))
-        return Relation(pairs)
+        overlap_rel = Relation(pairs)
+        self._cache["init_overlap"] = overlap_rel
+        return overlap_rel
 
     def happens_before(self, simplified_sw: bool = False) -> Relation:
-        """``hb ≜ (sb ∪ sw ∪ init-overlap)⁺``."""
+        """``hb ≜ (sb ∪ sw ∪ init-overlap)⁺`` (memoised)."""
+        key = ("hb", simplified_sw)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         base = self.sb.union(
             self.synchronizes_with(simplified=simplified_sw), self.init_overlap()
         )
-        return base.transitive_closure()
+        hb = base.transitive_closure()
+        self._cache[key] = hb
+        return hb
 
     # -- well-formedness --------------------------------------------------------
 
@@ -259,12 +301,17 @@ class CandidateExecution:
             raise MalformedExecutionError("execution has no total-order witness")
 
     def is_well_formed(self, require_tot: bool = True) -> bool:
-        """Boolean form of :meth:`check_well_formed`."""
-        try:
-            self.check_well_formed(require_tot=require_tot)
-        except MalformedExecutionError:
-            return False
-        return True
+        """Boolean form of :meth:`check_well_formed` (memoised)."""
+        key = ("wf", require_tot, self.tot)
+        cached = self._cache.get(key)
+        if cached is None:
+            try:
+                self.check_well_formed(require_tot=require_tot)
+                cached = True
+            except MalformedExecutionError:
+                cached = False
+            self._cache[key] = cached
+        return cached
 
     # -- misc queries -------------------------------------------------------------
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .events import Event, SEQCST, INIT, ranges_equal
 from .execution import CandidateExecution
@@ -126,10 +126,8 @@ def happens_before_consistency_3(
     ``E'w`` with ``Ew hb E'w hb Er`` that also writes byte ``k``.
     """
     for (k, w_eid, r_eid) in execution.rbf:
-        for candidate in execution.events:
+        for candidate in execution.events.writers_of_location(k):
             if candidate.eid in (w_eid, r_eid):
-                continue
-            if not candidate.is_write or k not in candidate.range_w:
                 continue
             if (w_eid, candidate.eid) in hb and (candidate.eid, r_eid) in hb:
                 return False
@@ -167,6 +165,30 @@ def _is_seqcst_write(event: Event) -> bool:
     return event.is_write and event.ord is SEQCST
 
 
+# The SC-atomics rules all have the shape "no forbidden (writer, intervener,
+# reader) triple may occur in the order writer <tot intervener <tot reader",
+# and *which* triples are forbidden is tot-independent in every rule (the
+# side-conditions only consult hb/sw and static event attributes).  The
+# single source of truth for the side-conditions is
+# :func:`_sc_atomics_forbidden_triples`; the complete-witness checkers below
+# and the incremental witness search both consume its triples, so the two
+# paths cannot drift apart.
+
+
+def _sc_atomics_holds(
+    execution: CandidateExecution,
+    triples: "Dict[int, Tuple[Tuple[int, int], ...]]",
+) -> bool:
+    """Does ``tot`` realise none of the forbidden triples?"""
+    index = execution.tot_index()
+    for r_eid, pairs in triples.items():
+        r_pos = index[r_eid]
+        for (w_eid, c_eid) in pairs:
+            if index[w_eid] < index[c_eid] < r_pos:
+                return False
+    return True
+
+
 def sc_atomics_original(
     execution: CandidateExecution, sw: Relation
 ) -> bool:
@@ -176,44 +198,20 @@ def sc_atomics_original(
     synchronising write/read pair — including non-SeqCst writes, which is
     precisely what breaks the ARMv8 compilation scheme (§3.1, Fig. 5).
     """
-    return _sc_atomics_between(execution, sw, require_seqcst_intervener=False)
+    return _sc_atomics_holds(
+        execution,
+        _sc_atomics_forbidden_triples(execution, ScAtomicsRule.ORIGINAL, None, sw),
+    )
 
 
 def sc_atomics_armv8_fix(
     execution: CandidateExecution, sw: Relation
 ) -> bool:
     """§3.1 *SC Atomics (second attempt)*: the intervener must be SeqCst."""
-    return _sc_atomics_between(execution, sw, require_seqcst_intervener=True)
-
-
-def _sc_atomics_between(
-    execution: CandidateExecution,
-    sw: Relation,
-    require_seqcst_intervener: bool,
-) -> bool:
-    index = execution.tot_index()
-    for (w_eid, r_eid) in sw:
-        writer = execution.event(w_eid)
-        reader = execution.event(r_eid)
-        if not reader.is_read:
-            # asw edges may relate non-read events; the range condition is
-            # then vacuously unsatisfiable (a write range is never empty).
-            continue
-        for candidate in execution.events:
-            if candidate.eid in (w_eid, r_eid):
-                continue
-            if not candidate.is_write:
-                continue
-            if require_seqcst_intervener and candidate.ord is not SEQCST:
-                continue
-            if not (
-                candidate.block == reader.block
-                and ranges_equal(candidate.range_w, reader.range_r)
-            ):
-                continue
-            if index[w_eid] < index[candidate.eid] < index[r_eid]:
-                return False
-    return True
+    return _sc_atomics_holds(
+        execution,
+        _sc_atomics_forbidden_triples(execution, ScAtomicsRule.ARMV8_FIX, None, sw),
+    )
 
 
 def sc_atomics_final(
@@ -229,41 +227,10 @@ def sc_atomics_final(
     * strengthens it (the two extra disjuncts forbid the Fig. 9 SC-DRF
       violation shapes).
     """
-    index = execution.tot_index()
-    rf = execution.reads_from()
-    for (w_eid, r_eid) in rf:
-        if (w_eid, r_eid) not in hb:
-            continue
-        writer = execution.event(w_eid)
-        reader = execution.event(r_eid)
-        for candidate in execution.events:
-            if candidate.eid in (w_eid, r_eid):
-                continue
-            if not _is_seqcst_write(candidate):
-                continue
-            if not (index[w_eid] < index[candidate.eid] < index[r_eid]):
-                continue
-            if candidate.block != reader.block:
-                continue
-            same_range_as_read = ranges_equal(candidate.range_w, reader.range_r)
-            same_range_as_write = (
-                candidate.block == writer.block
-                and ranges_equal(candidate.range_w, writer.range_w)
-            )
-            first = same_range_as_read and (w_eid, r_eid) in sw
-            second = (
-                same_range_as_write
-                and writer.ord is SEQCST
-                and (candidate.eid, r_eid) in hb
-            )
-            third = (
-                same_range_as_read
-                and (w_eid, candidate.eid) in hb
-                and reader.ord is SEQCST
-            )
-            if first or second or third:
-                return False
-    return True
+    return _sc_atomics_holds(
+        execution,
+        _sc_atomics_forbidden_triples(execution, ScAtomicsRule.FINAL, hb, sw),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -343,6 +310,213 @@ def candidate_total_orders(
     yield from linear_extensions(eids, hb)
 
 
+# ---------------------------------------------------------------------------
+# incremental witness search
+# ---------------------------------------------------------------------------
+#
+# ``is_valid`` factors into two groups of conditions:
+#
+# * tot-independent — well-formedness, Happens-Before Consistency (2)/(3)
+#   and Tear-Free Reads only mention ``hb``/``rbf``, never ``tot``.  They
+#   are decided once per (events, sb, asw, rbf) quadruple and cached.
+# * tot-dependent — Happens-Before Consistency (1) says ``tot`` extends
+#   ``hb``; every SC-atomics rule forbids certain triples (Ew, E'w, Er)
+#   from occurring in the order Ew <tot E'w <tot Er, where *which* triples
+#   are forbidden depends only on ``hb``/``sw``/``rf`` and the events'
+#   static attributes, never on ``tot`` itself.
+#
+# The witness search therefore precomputes the forbidden triples and runs a
+# single backtracking enumeration of the linear extensions of ``hb``,
+# pruning a branch the moment placing an event would realise a forbidden
+# triple — instead of generating each complete extension and re-running the
+# whole ``is_valid`` pipeline on it.
+
+
+@dataclass(frozen=True)
+class WitnessVerdict:
+    """The cached tot-independent part of the validity check.
+
+    ``ok`` is true when every tot-independent rule passes and ``hb`` is
+    acyclic (so witnessing total orders can exist at all).  ``triples``
+    maps each reader eid to the (writer, intervener) pairs that must not
+    end up ordered ``writer <tot intervener <tot reader``.
+    """
+
+    ok: bool
+    hb: Optional[Relation] = None
+    triples: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+
+
+def _model_cache_key(model: JsModel) -> Tuple[object, ...]:
+    return ("verdict", model.sc_atomics, model.simplified_sw, model.strong_tearfree)
+
+
+def _sc_atomics_forbidden_triples(
+    execution: CandidateExecution,
+    rule: ScAtomicsRule,
+    hb: Optional[Relation],
+    sw: Relation,
+) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+    """Per-reader (writer, intervener) pairs forbidden from tot-between them.
+
+    For the original/ARMv8-fix rules the relevant pairs are the ``sw``
+    edges (``hb`` is not consulted and may be ``None``); for the final rule
+    they are the ``rf ∩ hb`` edges.  Whether an intervening write completes
+    a violation is tot-independent in every rule (the Fig. 10
+    side-conditions only consult ``hb``/``sw`` and static event
+    attributes), so the triples can be enumerated up front.  This is the
+    single definition of the SC-atomics side-conditions, consumed by both
+    the complete-witness checkers and the incremental witness search.
+    """
+    if rule is ScAtomicsRule.FINAL:
+        assert hb is not None
+        pairs = [(w, r) for (w, r) in execution.reads_from() if (w, r) in hb]
+    else:
+        pairs = list(sw)
+    triples: Dict[int, List[Tuple[int, int]]] = {}
+    for (w_eid, r_eid) in pairs:
+        reader = execution.event(r_eid)
+        if not reader.is_read:
+            # asw edges may relate non-read events; the range condition is
+            # then vacuously unsatisfiable (a write range is never empty).
+            continue
+        writer = execution.event(w_eid)
+        for candidate in execution.events:
+            if candidate.eid in (w_eid, r_eid) or not candidate.is_write:
+                continue
+            if rule is ScAtomicsRule.ORIGINAL:
+                forbidden = candidate.block == reader.block and ranges_equal(
+                    candidate.range_w, reader.range_r
+                )
+            elif rule is ScAtomicsRule.ARMV8_FIX:
+                forbidden = (
+                    candidate.ord is SEQCST
+                    and candidate.block == reader.block
+                    and ranges_equal(candidate.range_w, reader.range_r)
+                )
+            else:  # FINAL (Fig. 10)
+                if not _is_seqcst_write(candidate) or candidate.block != reader.block:
+                    forbidden = False
+                else:
+                    same_range_as_read = ranges_equal(
+                        candidate.range_w, reader.range_r
+                    )
+                    same_range_as_write = candidate.block == writer.block and (
+                        ranges_equal(candidate.range_w, writer.range_w)
+                    )
+                    first = same_range_as_read and (w_eid, r_eid) in sw
+                    second = (
+                        same_range_as_write
+                        and writer.ord is SEQCST
+                        and (candidate.eid, r_eid) in hb
+                    )
+                    third = (
+                        same_range_as_read
+                        and (w_eid, candidate.eid) in hb
+                        and reader.ord is SEQCST
+                    )
+                    forbidden = first or second or third
+            if forbidden:
+                triples.setdefault(r_eid, []).append((w_eid, candidate.eid))
+    return {r: tuple(pairs) for r, pairs in triples.items()}
+
+
+def witness_verdict(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> WitnessVerdict:
+    """The tot-independent validity verdict, cached on the execution.
+
+    ``verdict.ok`` is false exactly when *no* total order can make the
+    execution valid for a tot-independent reason: the execution violates
+    HB-Consistency (2)/(3) or Tear-Free Reads, or ``hb`` is cyclic.
+    """
+    key = _model_cache_key(model)
+    cached = execution._cache.get(key)
+    if cached is not None:
+        return cached
+    hb = model.happens_before(execution)
+    sw = model.synchronizes_with(execution)
+    if (
+        not hb.is_acyclic()
+        or not happens_before_consistency_2(execution, hb)
+        or not happens_before_consistency_3(execution, hb)
+        or not tear_free_reads(execution, strong=model.strong_tearfree)
+    ):
+        verdict = WitnessVerdict(ok=False)
+    else:
+        verdict = WitnessVerdict(
+            ok=True,
+            hb=hb,
+            triples=_sc_atomics_forbidden_triples(
+                execution, model.sc_atomics, hb, sw
+            ),
+        )
+    execution._cache[key] = verdict
+    return verdict
+
+
+def _search_witness(
+    execution: CandidateExecution, verdict: WitnessVerdict
+) -> Optional[Tuple[int, ...]]:
+    """Find one linear extension of ``hb`` realising no forbidden triple.
+
+    Backtracking over bitmasks: an event is placeable when all its hb-
+    predecessors are already placed, and — fusing the SC-atomics check into
+    the search — when placing it as reader ``Er`` does not complete a
+    forbidden triple ``Ew <tot E'w <tot Er`` among already-placed events.
+    Events placed later than ``Er`` can never complete a triple of ``Er``,
+    so pruning at placement time is exact.
+    """
+    eids = sorted(execution.eids)
+    n = len(eids)
+    idx = {eid: i for i, eid in enumerate(eids)}
+    assert verdict.hb is not None and verdict.triples is not None
+    hb = verdict.hb
+    pred_mask = [0] * n
+    for eid in eids:
+        mask = 0
+        for p in hb.predecessors(eid):
+            bit = idx.get(p)
+            if bit is not None:
+                mask |= 1 << bit
+        pred_mask[idx[eid]] = mask
+    triples: List[Tuple[Tuple[int, int], ...]] = [()] * n
+    for r_eid, pairs in verdict.triples.items():
+        triples[idx[r_eid]] = tuple((idx[w], idx[c]) for (w, c) in pairs)
+
+    pos = [-1] * n
+    order: List[int] = []
+    full = (1 << n) - 1
+
+    def backtrack(placed_mask: int) -> bool:
+        if placed_mask == full:
+            return True
+        for i in range(n):
+            bit = 1 << i
+            if placed_mask & bit or pred_mask[i] & ~placed_mask:
+                continue
+            violated = False
+            for (w, c) in triples[i]:
+                pw = pos[w]
+                pc = pos[c]
+                if pw >= 0 and pc >= 0 and pw < pc:
+                    violated = True
+                    break
+            if violated:
+                continue
+            pos[i] = len(order)
+            order.append(i)
+            if backtrack(placed_mask | bit):
+                return True
+            order.pop()
+            pos[i] = -1
+        return False
+
+    if backtrack(0):
+        return tuple(eids[i] for i in order)
+    return None
+
+
 def exists_valid_total_order(
     execution: CandidateExecution, model: JsModel = FINAL_MODEL
 ) -> Optional[Tuple[int, ...]]:
@@ -351,14 +525,19 @@ def exists_valid_total_order(
     Returns a witnessing order, or ``None`` if no total order makes the
     (events, sb, asw, rbf) quadruple valid under ``model``.  This realises
     the existential quantification over the execution witness in §2.3.
+
+    The tot-independent validity rules are checked once (and cached on the
+    execution); the SC-atomics rule is fused into the backtracking
+    enumeration of the linear extensions of ``hb``, so violating prefixes
+    are pruned as events are placed instead of after a complete order has
+    been generated and revalidated.
     """
     if not execution.is_well_formed(require_tot=False):
         return None
-    for tot in candidate_total_orders(execution, model):
-        candidate = execution.with_witness(tot=tot)
-        if is_valid(candidate, model, check_well_formed=False):
-            return tot
-    return None
+    verdict = witness_verdict(execution, model)
+    if not verdict.ok:
+        return None
+    return _search_witness(execution, verdict)
 
 
 def invalid_for_all_total_orders(
@@ -368,6 +547,7 @@ def invalid_for_all_total_orders(
 
     This is the exact (semantic) form of the *deadness* requirement of §5.2:
     a counter-example execution is only meaningful if its invalidity cannot
-    be repaired by permuting the total order.
+    be repaired by permuting the total order.  The tot-independent verdict
+    short-circuits the common case without enumerating a single order.
     """
     return exists_valid_total_order(execution, model) is None

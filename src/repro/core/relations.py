@@ -17,6 +17,16 @@ provides a small relation-algebra toolkit in the style used by ``herd``'s
 
 Relations are immutable value objects over arbitrary hashable elements
 (in practice: integer event identifiers).
+
+Representation.  Each relation is backed by a dense *bitset kernel*: the
+elements appearing in the relation are interned into a small universe, and
+the adjacency of each element is a Python-int bitmask over that universe.
+Graph-shaped operations (composition, transitive closure, acyclicity,
+transitivity) run bit-parallel on the masks, and the per-element
+``successors``/``predecessors``/``domain``/``codomain`` queries are served
+from the kernel's cached indexes in O(1) after the first call.  The
+historical frozenset-of-pairs view (:attr:`Relation.pairs`) is kept as a
+lazily materialised view, so the full pair-level API keeps working.
 """
 
 from __future__ import annotations
@@ -39,44 +49,256 @@ from typing import (
 Element = Hashable
 Pair = Tuple[Element, Element]
 
+try:  # Python >= 3.10
+    _popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - older interpreters
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class _BitKernel:
+    """Dense bitmask adjacency over an interned element universe.
+
+    ``elems[i]`` is the element at bit position ``i``; ``rows[i]`` is the
+    bitmask of successors of ``elems[i]``.  The universe covers exactly the
+    elements mentioned by the relation (domain ∪ codomain).
+    """
+
+    __slots__ = (
+        "elems",
+        "index",
+        "rows",
+        "_cols",
+        "_succ_sets",
+        "_pred_sets",
+        "_dom",
+        "_cod",
+        "_npairs",
+        "_acyclic",
+    )
+
+    def __init__(self, elems: Tuple[Element, ...], rows: List[int]):
+        self.elems = elems
+        self.index: Dict[Element, int] = {e: i for i, e in enumerate(elems)}
+        self.rows = rows
+        self._cols: Optional[List[int]] = None
+        self._succ_sets: Dict[Element, FrozenSet[Element]] = {}
+        self._pred_sets: Dict[Element, FrozenSet[Element]] = {}
+        self._dom: Optional[FrozenSet[Element]] = None
+        self._cod: Optional[FrozenSet[Element]] = None
+        self._npairs: Optional[int] = None
+        self._acyclic: Optional[bool] = None
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Pair]) -> "_BitKernel":
+        pair_list = list(pairs)
+        universe: Set[Element] = set()
+        for (a, b) in pair_list:
+            universe.add(a)
+            universe.add(b)
+        elems = tuple(sorted(universe, key=repr))
+        kernel = cls(elems, [0] * len(elems))
+        index = kernel.index
+        rows = kernel.rows
+        for (a, b) in pair_list:
+            rows[index[a]] |= 1 << index[b]
+        return kernel
+
+    # -- derived masks -----------------------------------------------------
+
+    @property
+    def cols(self) -> List[int]:
+        """Predecessor masks (the transpose of ``rows``), computed lazily."""
+        if self._cols is None:
+            n = len(self.elems)
+            cols = [0] * n
+            for i, row in enumerate(self.rows):
+                bit_i = 1 << i
+                for j in _iter_bits(row):
+                    cols[j] |= bit_i
+            self._cols = cols
+        return self._cols
+
+    def npairs(self) -> int:
+        if self._npairs is None:
+            self._npairs = sum(_popcount(row) for row in self.rows)
+        return self._npairs
+
+    def mask_to_set(self, mask: int) -> FrozenSet[Element]:
+        elems = self.elems
+        return frozenset(elems[i] for i in _iter_bits(mask))
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, a: Element, b: Element) -> bool:
+        i = self.index.get(a)
+        j = self.index.get(b)
+        if i is None or j is None:
+            return False
+        return bool(self.rows[i] >> j & 1)
+
+    def successors(self, element: Element) -> FrozenSet[Element]:
+        cached = self._succ_sets.get(element)
+        if cached is None:
+            i = self.index.get(element)
+            mask = self.rows[i] if i is not None else 0
+            cached = self.mask_to_set(mask)
+            self._succ_sets[element] = cached
+        return cached
+
+    def predecessors(self, element: Element) -> FrozenSet[Element]:
+        cached = self._pred_sets.get(element)
+        if cached is None:
+            i = self.index.get(element)
+            mask = self.cols[i] if i is not None else 0
+            cached = self.mask_to_set(mask)
+            self._pred_sets[element] = cached
+        return cached
+
+    def domain(self) -> FrozenSet[Element]:
+        if self._dom is None:
+            self._dom = frozenset(
+                self.elems[i] for i, row in enumerate(self.rows) if row
+            )
+        return self._dom
+
+    def codomain(self) -> FrozenSet[Element]:
+        if self._cod is None:
+            union = 0
+            for row in self.rows:
+                union |= row
+            self._cod = self.mask_to_set(union)
+        return self._cod
+
+    # -- bit-parallel algorithms -------------------------------------------
+
+    def closure_rows(self) -> List[int]:
+        """Rows of the strict transitive closure (bitset Floyd–Warshall)."""
+        rows = list(self.rows)
+        for k in range(len(rows)):
+            row_k = rows[k]
+            if not row_k:
+                continue
+            bit_k = 1 << k
+            for i, row_i in enumerate(rows):
+                if row_i & bit_k:
+                    rows[i] = row_i | row_k
+        return rows
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm over the bitmask adjacency (verdict memoised)."""
+        if self._acyclic is None:
+            self._acyclic = self._compute_acyclic()
+        return self._acyclic
+
+    def _compute_acyclic(self) -> bool:
+        n = len(self.elems)
+        if n == 0:
+            return True
+        rows = self.rows
+        indegree = [0] * n
+        for row in rows:
+            for j in _iter_bits(row):
+                indegree[j] += 1
+        # A self-loop is a cycle regardless of degrees.
+        for i, row in enumerate(rows):
+            if row >> i & 1:
+                return False
+        ready = [i for i in range(n) if indegree[i] == 0]
+        removed = 0
+        while ready:
+            node = ready.pop()
+            removed += 1
+            for j in _iter_bits(rows[node]):
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    ready.append(j)
+        return removed == n
+
+    def is_transitive(self) -> bool:
+        return self.closure_rows() == self.rows
+
 
 class Relation:
     """An immutable finite binary relation (a set of ordered pairs)."""
 
-    __slots__ = ("_pairs",)
+    __slots__ = ("_pairs", "_kernel", "_hash")
 
     def __init__(self, pairs: Iterable[Pair] = ()):
-        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        self._pairs: Optional[FrozenSet[Pair]] = frozenset(pairs)
+        self._kernel: Optional[_BitKernel] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _from_kernel(cls, kernel: _BitKernel) -> "Relation":
+        """Wrap a kernel without materialising the pair view."""
+        self = object.__new__(cls)
+        self._pairs = None
+        self._kernel = kernel
+        self._hash = None
+        return self
+
+    def _k(self) -> _BitKernel:
+        """This relation's bitset kernel, built on first use."""
+        if self._kernel is None:
+            assert self._pairs is not None
+            self._kernel = _BitKernel.from_pairs(self._pairs)
+        return self._kernel
 
     # -- basic protocol ----------------------------------------------------
 
     @property
     def pairs(self) -> FrozenSet[Pair]:
-        """The underlying set of ordered pairs."""
+        """The underlying set of ordered pairs (materialised lazily)."""
+        if self._pairs is None:
+            kernel = self._kernel
+            assert kernel is not None
+            elems = kernel.elems
+            self._pairs = frozenset(
+                (elems[i], elems[j])
+                for i, row in enumerate(kernel.rows)
+                for j in _iter_bits(row)
+            )
         return self._pairs
 
     def __iter__(self) -> Iterator[Pair]:
-        return iter(self._pairs)
+        return iter(self.pairs)
 
     def __len__(self) -> int:
-        return len(self._pairs)
+        if self._pairs is not None:
+            return len(self._pairs)
+        return self._k().npairs()
 
     def __bool__(self) -> bool:
-        return bool(self._pairs)
+        if self._pairs is not None:
+            return bool(self._pairs)
+        return any(self._k().rows)
 
     def __contains__(self, pair: Pair) -> bool:
-        return pair in self._pairs
+        if self._pairs is not None:
+            return pair in self._pairs
+        return self._k().contains(pair[0], pair[1])
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self._pairs == other._pairs
+        return self.pairs == other.pairs
 
     def __hash__(self) -> int:
-        return hash(self._pairs)
+        if self._hash is None:
+            self._hash = hash(self.pairs)
+        return self._hash
 
     def __repr__(self) -> str:
-        pairs = sorted(self._pairs, key=repr)
+        pairs = sorted(self.pairs, key=repr)
         return f"Relation({pairs!r})"
 
     # -- constructors ------------------------------------------------------
@@ -102,29 +324,43 @@ class Relation:
         """The strict total order induced by the sequence ``ordering``.
 
         ``ordering[i]`` is related to ``ordering[j]`` for every ``i < j``.
+        The relation is built directly in kernel form (each element's
+        successor mask is "everything later in the sequence"), so the O(n²)
+        pair set is only materialised if a caller asks for it.
         """
-        pairs = []
-        for i, a in enumerate(ordering):
-            for b in ordering[i + 1:]:
-                pairs.append((a, b))
-        return Relation(pairs)
+        elems = tuple(sorted(set(ordering), key=repr))
+        if len(elems) != len(ordering):
+            # Duplicate elements: fall back to the explicit pair view.
+            pairs = []
+            for i, a in enumerate(ordering):
+                for b in ordering[i + 1:]:
+                    pairs.append((a, b))
+            return Relation(pairs)
+        kernel = _BitKernel(elems, [0] * len(elems))
+        index = kernel.index
+        later = 0
+        for element in reversed(ordering):
+            i = index[element]
+            kernel.rows[i] = later
+            later |= 1 << i
+        return Relation._from_kernel(kernel)
 
     # -- boolean algebra ---------------------------------------------------
 
     def union(self, *others: "Relation") -> "Relation":
         """Set union with one or more relations."""
-        pairs: Set[Pair] = set(self._pairs)
+        pairs: Set[Pair] = set(self.pairs)
         for other in others:
-            pairs |= other._pairs
+            pairs |= other.pairs
         return Relation(pairs)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection with ``other``."""
-        return Relation(self._pairs & other._pairs)
+        return Relation(self.pairs & other.pairs)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference ``self \\ other``."""
-        return Relation(self._pairs - other._pairs)
+        return Relation(self.pairs - other.pairs)
 
     __or__ = union
     __and__ = intersection
@@ -134,7 +370,8 @@ class Relation:
 
     def inverse(self) -> "Relation":
         """The converse relation (``rel⁻¹``)."""
-        return Relation((b, a) for (a, b) in self._pairs)
+        kernel = self._k()
+        return Relation._from_kernel(_BitKernel(kernel.elems, list(kernel.cols)))
 
     def compose(self, other: "Relation") -> "Relation":
         """Relational composition ``self ; other``.
@@ -142,32 +379,42 @@ class Relation:
         ``(a, c)`` is in the result iff there is some ``b`` with
         ``(a, b) ∈ self`` and ``(b, c) ∈ other``.
         """
-        by_source: Dict[Element, List[Element]] = {}
-        for (b, c) in other._pairs:
-            by_source.setdefault(b, []).append(c)
-        pairs = set()
-        for (a, b) in self._pairs:
-            for c in by_source.get(b, ()):
-                pairs.add((a, c))
-        return Relation(pairs)
+        left = self._k()
+        right = other._k()
+        if not left.rows or not right.rows:
+            return _EMPTY
+        if left.elems == right.elems:
+            elems = left.elems
+            left_rows = left.rows
+            right_rows = right.rows
+        else:
+            # Re-embed both operands into the merged universe.
+            elems = tuple(sorted(set(left.elems) | set(right.elems), key=repr))
+            index = {e: i for i, e in enumerate(elems)}
+
+            def remap(kernel: _BitKernel) -> List[int]:
+                rows = [0] * len(elems)
+                for i, e in enumerate(kernel.elems):
+                    mask = 0
+                    for j in _iter_bits(kernel.rows[i]):
+                        mask |= 1 << index[kernel.elems[j]]
+                    rows[index[e]] = mask
+                return rows
+
+            left_rows = remap(left)
+            right_rows = remap(right)
+        result_rows = [0] * len(elems)
+        for i, row in enumerate(left_rows):
+            acc = 0
+            for b in _iter_bits(row):
+                acc |= right_rows[b]
+            result_rows[i] = acc
+        return Relation._from_kernel(_BitKernel(elems, result_rows))
 
     def transitive_closure(self) -> "Relation":
-        """The (strict) transitive closure ``rel⁺``."""
-        succ: Dict[Element, Set[Element]] = {}
-        for (a, b) in self._pairs:
-            succ.setdefault(a, set()).add(b)
-        closure: Set[Pair] = set()
-        for start in succ:
-            seen: Set[Element] = set()
-            stack = list(succ.get(start, ()))
-            while stack:
-                node = stack.pop()
-                if node in seen:
-                    continue
-                seen.add(node)
-                stack.extend(succ.get(node, ()))
-            closure.update((start, node) for node in seen)
-        return Relation(closure)
+        """The (strict) transitive closure ``rel⁺`` (bit-parallel)."""
+        kernel = self._k()
+        return Relation._from_kernel(_BitKernel(kernel.elems, kernel.closure_rows()))
 
     def reflexive_transitive_closure(
         self, elements: Iterable[Element]
@@ -184,7 +431,7 @@ class Relation:
         dom = set(domain) if domain is not None else None
         cod = set(codomain) if codomain is not None else None
         pairs = []
-        for (a, b) in self._pairs:
+        for (a, b) in self.pairs:
             if dom is not None and a not in dom:
                 continue
             if cod is not None and b not in cod:
@@ -194,73 +441,52 @@ class Relation:
 
     def filter(self, predicate: Callable[[Element, Element], bool]) -> "Relation":
         """Keep only the pairs satisfying ``predicate``."""
-        return Relation((a, b) for (a, b) in self._pairs if predicate(a, b))
+        return Relation((a, b) for (a, b) in self.pairs if predicate(a, b))
 
     def map(self, mapping: Callable[[Element], Element]) -> "Relation":
         """Apply ``mapping`` to both components of every pair."""
-        return Relation((mapping(a), mapping(b)) for (a, b) in self._pairs)
+        return Relation((mapping(a), mapping(b)) for (a, b) in self.pairs)
 
     # -- queries -----------------------------------------------------------
 
     def domain(self) -> FrozenSet[Element]:
-        """The set of left components."""
-        return frozenset(a for (a, _b) in self._pairs)
+        """The set of left components (cached in the kernel)."""
+        return self._k().domain()
 
     def codomain(self) -> FrozenSet[Element]:
-        """The set of right components."""
-        return frozenset(b for (_a, b) in self._pairs)
+        """The set of right components (cached in the kernel)."""
+        return self._k().codomain()
 
     def elements(self) -> FrozenSet[Element]:
-        """All elements mentioned in the relation."""
-        return self.domain() | self.codomain()
+        """All elements mentioned in the relation (domain ∪ codomain).
+
+        Kernel-derived relations (closures, compositions) may intern a
+        larger universe than their pairs mention; only endpoints of actual
+        pairs are reported.
+        """
+        kernel = self._k()
+        return kernel.domain() | kernel.codomain()
 
     def successors(self, element: Element) -> FrozenSet[Element]:
-        """All ``b`` with ``(element, b)`` in the relation."""
-        return frozenset(b for (a, b) in self._pairs if a == element)
+        """All ``b`` with ``(element, b)`` in the relation (O(1) amortised)."""
+        return self._k().successors(element)
 
     def predecessors(self, element: Element) -> FrozenSet[Element]:
-        """All ``a`` with ``(a, element)`` in the relation."""
-        return frozenset(a for (a, b) in self._pairs if b == element)
+        """All ``a`` with ``(a, element)`` in the relation (O(1) amortised)."""
+        return self._k().predecessors(element)
 
     def is_irreflexive(self) -> bool:
         """True iff no element is related to itself."""
-        return all(a != b for (a, b) in self._pairs)
+        kernel = self._k()
+        return all(not (row >> i & 1) for i, row in enumerate(kernel.rows))
 
     def is_acyclic(self) -> bool:
         """True iff the relation, viewed as a directed graph, has no cycle."""
-        succ: Dict[Element, Set[Element]] = {}
-        for (a, b) in self._pairs:
-            succ.setdefault(a, set()).add(b)
-        WHITE, GREY, BLACK = 0, 1, 2
-        colour: Dict[Element, int] = {}
-
-        for start in list(succ):
-            if colour.get(start, WHITE) != WHITE:
-                continue
-            stack: List[Tuple[Element, Iterator[Element]]] = [
-                (start, iter(succ.get(start, ())))
-            ]
-            colour[start] = GREY
-            while stack:
-                node, children = stack[-1]
-                advanced = False
-                for child in children:
-                    state = colour.get(child, WHITE)
-                    if state == GREY:
-                        return False
-                    if state == WHITE:
-                        colour[child] = GREY
-                        stack.append((child, iter(succ.get(child, ()))))
-                        advanced = True
-                        break
-                if not advanced:
-                    colour[node] = BLACK
-                    stack.pop()
-        return True
+        return self._k().is_acyclic()
 
     def is_transitive(self) -> bool:
         """True iff the relation is transitively closed."""
-        return self.transitive_closure().pairs <= self._pairs
+        return self._k().is_transitive()
 
     def is_strict_total_order_over(self, elements: Iterable[Element]) -> bool:
         """True iff the relation is a strict total order over ``elements``."""
@@ -270,22 +496,19 @@ class Relation:
         if not self.is_transitive():
             return False
         for a, b in itertools.combinations(elems, 2):
-            if (a, b) not in self._pairs and (b, a) not in self._pairs:
+            if (a, b) not in self and (b, a) not in self:
                 return False
         return True
 
     def is_functional(self) -> bool:
         """True iff every left component is related to at most one element."""
-        seen: Dict[Element, Element] = {}
-        for (a, b) in self._pairs:
-            if a in seen and seen[a] != b:
-                return False
-            seen[a] = b
-        return True
+        return all(_popcount(row) <= 1 for row in self._k().rows)
 
     def contains_relation(self, other: "Relation") -> bool:
         """True iff ``other ⊆ self``."""
-        return other._pairs <= self._pairs
+        if self._pairs is not None and other._pairs is not None:
+            return other._pairs <= self._pairs
+        return all(pair in self for pair in other.pairs)
 
 
 _EMPTY = Relation(())
@@ -294,6 +517,46 @@ _EMPTY = Relation(())
 # ---------------------------------------------------------------------------
 # order-theoretic helpers
 # ---------------------------------------------------------------------------
+
+
+def acyclic_pairs(pairs: Iterable[Pair]) -> bool:
+    """Acyclicity of a plain edge list, without building a :class:`Relation`.
+
+    Hot validity checks (e.g. the per-byte ARMv8 ``internal`` axiom) test
+    one-shot unions of small relations for cycles; this helper runs the
+    three-colour DFS directly over the edges so no interning / kernel
+    construction is paid for a single query.
+    """
+    succ: Dict[Element, List[Element]] = {}
+    for (a, b) in pairs:
+        if a == b:
+            return False
+        succ.setdefault(a, []).append(b)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Element, int] = {}
+    for start in succ:
+        if colour.get(start, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[Element, Iterator[Element]]] = [
+            (start, iter(succ.get(start, ())))
+        ]
+        colour[start] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    return False
+                if state == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, iter(succ.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return True
 
 
 def topological_sort(
@@ -371,5 +634,11 @@ def some_linear_extension(
 
 
 def strict_total_orders(elements: Sequence[Element]) -> Iterator[Tuple[Element, ...]]:
-    """Enumerate every strict total order (as an ordered tuple) over ``elements``."""
-    yield from itertools.permutations(elements)
+    """Enumerate every strict total order (as an ordered tuple) over ``elements``.
+
+    This is the degenerate case of :func:`linear_extensions` with no
+    ordering constraints; callers that know a partial order should pass it
+    to :func:`linear_extensions` directly so the backtracker can prune
+    instead of enumerating all ``n!`` permutations.
+    """
+    yield from linear_extensions(elements, _EMPTY)

@@ -15,12 +15,12 @@ is exercised over enumerated executions by :mod:`repro.core.theorems`.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .events import Event, SEQCST, ranges_equal
 from .execution import CandidateExecution
 from .js_model import FINAL_MODEL, JsModel, is_valid
-from .relations import Relation, linear_extensions
+from .relations import Relation
 
 
 def same_location(a: Event, b: Event) -> bool:
@@ -50,6 +50,9 @@ def is_unisize_compatible(execution: CandidateExecution) -> bool:
 
 def unisize_synchronizes_with(execution: CandidateExecution) -> Relation:
     """Uni-size ``sw``: same-location SeqCst write/read pairs in ``rf``, plus ``asw``."""
+    cached = execution._cache.get("unisize_sw")
+    if cached is not None:
+        return cached
     rf = execution.reads_from()
     pairs = set()
     for (w_eid, r_eid) in rf:
@@ -57,15 +60,22 @@ def unisize_synchronizes_with(execution: CandidateExecution) -> Relation:
         reader = execution.event(r_eid)
         if writer.ord is SEQCST and reader.ord is SEQCST and same_location(writer, reader):
             pairs.add((w_eid, r_eid))
-    return Relation(pairs).union(execution.asw)
+    sw = Relation(pairs).union(execution.asw)
+    execution._cache["unisize_sw"] = sw
+    return sw
 
 
 def unisize_happens_before(execution: CandidateExecution) -> Relation:
     """Uni-size ``hb``: ``(sb ∪ sw ∪ init-overlap)⁺`` with the uni-size ``sw``."""
+    cached = execution._cache.get("unisize_hb")
+    if cached is not None:
+        return cached
     base = execution.sb.union(
         unisize_synchronizes_with(execution), execution.init_overlap()
     )
-    return base.transitive_closure()
+    hb = base.transitive_closure()
+    execution._cache["unisize_hb"] = hb
+    return hb
 
 
 # ---------------------------------------------------------------------------
@@ -73,21 +83,14 @@ def unisize_happens_before(execution: CandidateExecution) -> Relation:
 # ---------------------------------------------------------------------------
 
 
-def unisize_is_valid(
-    execution: CandidateExecution, check_well_formed: bool = True
+def _unisize_hb_consistency_2_3(
+    execution: CandidateExecution, hb: Relation
 ) -> bool:
-    """Validity of an execution under the uni-size model of Fig. 12."""
-    if check_well_formed and not execution.is_well_formed(require_tot=True):
-        return False
-    hb = unisize_happens_before(execution)
-    sw = unisize_synchronizes_with(execution)
-    rf = execution.reads_from()
-    tot = execution.total_order()
-    index = execution.tot_index()
+    """Fig. 12 Happens-Before Consistency (2) and (3) — tot-independent.
 
-    # Happens-Before Consistency (1)
-    if not tot.contains_relation(hb):
-        return False
+    Shared by :func:`unisize_is_valid` and the incremental witness search.
+    """
+    rf = execution.reads_from()
     # Happens-Before Consistency (2)
     for (w_eid, r_eid) in rf:
         if (r_eid, w_eid) in hb:
@@ -102,8 +105,49 @@ def unisize_is_valid(
                 continue
             if (w_eid, candidate.eid) in hb and (candidate.eid, r_eid) in hb:
                 return False
+    return True
+
+
+def unisize_is_valid(
+    execution: CandidateExecution, check_well_formed: bool = True
+) -> bool:
+    """Validity of an execution under the uni-size model of Fig. 12.
+
+    The SC-atomics side-conditions live in
+    :func:`_unisize_forbidden_triples`, shared with the witness search; the
+    complete-witness check only adds the "does ``tot`` realise a forbidden
+    triple" test.
+    """
+    from .js_model import _sc_atomics_holds
+
+    if check_well_formed and not execution.is_well_formed(require_tot=True):
+        return False
+    hb = unisize_happens_before(execution)
+    sw = unisize_synchronizes_with(execution)
+    tot = execution.total_order()
+
+    # Happens-Before Consistency (1)
+    if not tot.contains_relation(hb):
+        return False
+    if not _unisize_hb_consistency_2_3(execution, hb):
+        return False
     # Sequentially Consistent Atomics (final, uni-size reading)
-    for (w_eid, r_eid) in rf:
+    return _sc_atomics_holds(
+        execution, _unisize_forbidden_triples(execution, hb, sw)
+    )
+
+
+def _unisize_forbidden_triples(
+    execution: CandidateExecution, hb: Relation, sw: Relation
+) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+    """Per-reader (writer, intervener) pairs of the uni-size SC rule.
+
+    Mirrors :func:`repro.core.js_model._sc_atomics_forbidden_triples`: the
+    Fig. 12 SC side-conditions only consult ``hb``/``sw`` and static event
+    attributes, so which triples are forbidden is tot-independent.
+    """
+    triples: Dict[int, List[Tuple[int, int]]] = {}
+    for (w_eid, r_eid) in execution.reads_from():
         if (w_eid, r_eid) not in hb:
             continue
         writer = execution.event(w_eid)
@@ -112,8 +156,6 @@ def unisize_is_valid(
             if candidate.eid in (w_eid, r_eid):
                 continue
             if not candidate.is_write or candidate.ord is not SEQCST:
-                continue
-            if not (index[w_eid] < index[candidate.eid] < index[r_eid]):
                 continue
             first = same_location(candidate, reader) and (w_eid, r_eid) in sw
             second = (
@@ -127,24 +169,38 @@ def unisize_is_valid(
                 and reader.ord is SEQCST
             )
             if first or second or third:
-                return False
-    return True
+                triples.setdefault(r_eid, []).append((w_eid, candidate.eid))
+    return {r: tuple(pairs) for r, pairs in triples.items()}
 
 
 def unisize_exists_valid_total_order(
     execution: CandidateExecution,
 ) -> Optional[Tuple[int, ...]]:
-    """Search for a ``tot`` witness under the uni-size model."""
+    """Search for a ``tot`` witness under the uni-size model.
+
+    Same incremental scheme as the mixed-size search: the tot-independent
+    rules are checked once, and the SC-atomics triples prune the
+    backtracking enumeration of the linear extensions of ``hb``.
+    """
+    from .js_model import WitnessVerdict, _search_witness
+
     if not execution.is_well_formed(require_tot=False):
         return None
-    hb = unisize_happens_before(execution)
-    if not hb.is_acyclic():
+    cached = execution._cache.get("unisize_verdict")
+    if cached is None:
+        hb = unisize_happens_before(execution)
+        sw = unisize_synchronizes_with(execution)
+        ok = hb.is_acyclic() and _unisize_hb_consistency_2_3(execution, hb)
+        if ok:
+            cached = WitnessVerdict(
+                ok=True, hb=hb, triples=_unisize_forbidden_triples(execution, hb, sw)
+            )
+        else:
+            cached = WitnessVerdict(ok=False)
+        execution._cache["unisize_verdict"] = cached
+    if not cached.ok:
         return None
-    for tot in linear_extensions(sorted(execution.eids), hb):
-        candidate = execution.with_witness(tot=tot)
-        if unisize_is_valid(candidate, check_well_formed=False):
-            return tot
-    return None
+    return _search_witness(execution, cached)
 
 
 # ---------------------------------------------------------------------------

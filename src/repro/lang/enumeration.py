@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..core.events import Event, make_init_event
+from ..core.events import Event, EventSet, make_init_event
 from ..core.execution import CandidateExecution, RbfTriple
 from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
 from ..core.data_race import data_races
@@ -40,13 +40,22 @@ from .thread_semantics import (
 )
 
 
+_MISSING = object()
+
+
 class EnumerationBudgetExceeded(RuntimeError):
     """Raised when a program's candidate-execution space exceeds the budget."""
 
 
 @dataclass(frozen=True)
 class PreExecution:
-    """A path combination with event identifiers assigned, values still symbolic."""
+    """A path combination with event identifiers assigned, values still symbolic.
+
+    The helper indexes (templates by key, branch constraints by source,
+    statically-known write values) are computed lazily and cached on the
+    instance: they are shared by every ``reads-byte-from`` assignment tried
+    for this path combination instead of being rebuilt per candidate.
+    """
 
     program: Program
     paths: Tuple[LocalPath, ...]
@@ -56,8 +65,117 @@ class PreExecution:
     sb: Relation
     asw: Relation
 
+    def _lazy(self, attr: str, compute):
+        cached = getattr(self, attr, _MISSING)
+        if cached is _MISSING:
+            cached = compute()
+            object.__setattr__(self, attr, cached)
+        return cached
+
     def memory_templates(self) -> Tuple[EventTemplate, ...]:
-        return tuple(t for t in self.templates if t.is_memory_event)
+        return self._lazy(
+            "_memory_templates",
+            lambda: tuple(t for t in self.templates if t.is_memory_event),
+        )
+
+    def templates_by_key(self) -> Dict[TemplateKey, EventTemplate]:
+        """Every template (memory or not) keyed by template key."""
+        return self._lazy(
+            "_templates_by_key", lambda: {t.key: t for t in self.templates}
+        )
+
+    def memory_templates_by_key(self) -> Dict[TemplateKey, EventTemplate]:
+        """The memory-event templates keyed by template key."""
+        return self._lazy(
+            "_memory_templates_by_key",
+            lambda: {t.key: t for t in self.memory_templates()},
+        )
+
+    def constraints_by_source(self) -> Dict[TemplateKey, Tuple]:
+        """The branch constraints of every path, grouped by source template."""
+
+        def compute():
+            grouped: Dict[TemplateKey, List] = {}
+            for path in self.paths:
+                for constraint in path.constraints:
+                    grouped.setdefault(constraint.source, []).append(constraint)
+            return {key: tuple(cs) for key, cs in grouped.items()}
+
+        return self._lazy("_constraints_by_source", compute)
+
+    def sb_asw_sound(self) -> bool:
+        """The witness-independent well-formedness conditions, once per pre.
+
+        ``sb`` must relate same-thread events and be acyclic; ``asw`` must
+        mention only known events.  Every *other* well-formedness condition
+        concerns the ``rbf`` witness, which :func:`ground_candidates`
+        guarantees by construction (each read byte is justified exactly
+        once, by a covering same-block writer other than the reader, with
+        the value copied from the writer), so executions built here are
+        well-formed exactly when this pre-level check passes.
+        """
+
+        def compute():
+            eids = {init.eid for init in self.init_events}
+            eids.update(self.eid_of.values())
+            tid_of = {
+                self.eid_of[t.key]: t.tid for t in self.memory_templates()
+            }
+            for (a, b) in self.sb:
+                if a not in eids or b not in eids:
+                    return False
+                if tid_of.get(a) != tid_of.get(b):
+                    return False
+            if not self.sb.is_acyclic():
+                return False
+            for (a, b) in self.asw:
+                if a not in eids or b not in eids:
+                    return False
+            return True
+
+        return self._lazy("_sb_asw_sound", compute)
+
+    def init_overlap_relation(self) -> Relation:
+        """The ``init-overlap`` relation, shared by every candidate.
+
+        Event footprints are fixed by the templates (grounding only changes
+        byte values), and every access lies inside its buffer, so each Init
+        event overlaps exactly the memory events of its block.
+        """
+
+        def compute():
+            pairs = []
+            for init in self.init_events:
+                for template in self.memory_templates():
+                    if template.block == init.block:
+                        pairs.append((init.eid, self.eid_of[template.key]))
+            return Relation(pairs)
+
+        return self._lazy("_init_overlap", compute)
+
+    def static_write_state(self) -> Tuple[Dict[int, Tuple[int, ...]], Dict[int, int]]:
+        """Byte values (and start offsets) of writes known before grounding.
+
+        Init events and ``const``-valued stores have fixed byte values no
+        matter which ``reads-byte-from`` assignment is chosen; they seed the
+        incremental value resolution that prunes assignments against branch
+        constraints during enumeration.
+        """
+
+        def compute():
+            known_bytes = {init.eid: init.writes for init in self.init_events}
+            known_start = {init.eid: init.index for init in self.init_events}
+            for template in self.memory_templates():
+                if not template.writes_memory:
+                    continue
+                spec = template.write_value
+                if spec is not None and spec.kind == "const":
+                    eid = self.eid_of[template.key]
+                    known_bytes[eid] = template.encode(spec.payload)
+                    known_start[eid] = template.byte_range().start
+            return known_bytes, known_start
+
+        return self._lazy("_static_write_state", compute)
 
 
 @dataclass(frozen=True)
@@ -69,10 +187,23 @@ class GroundExecution:
     pre: PreExecution
 
 
+def program_init_events(program: Program) -> Tuple[Event, ...]:
+    """The per-buffer ``Init`` events (eids ``0..len(buffers)-1``).
+
+    These depend only on the program's buffers, never on the chosen paths,
+    so they are built once and shared across every path combination.
+    """
+    return tuple(
+        make_init_event(buffer.block, buffer.byte_length, eid=eid)
+        for eid, buffer in enumerate(program.buffers)
+    )
+
+
 def build_pre_execution(
     program: Program,
     paths: Sequence[LocalPath],
     extra_asw: Sequence[Tuple[int, int]] = (),
+    init_events: Optional[Tuple[Event, ...]] = None,
 ) -> PreExecution:
     """Assign event identifiers to one combination of per-thread paths.
 
@@ -80,15 +211,13 @@ def build_pre_execution(
     identifier*; event identifiers are assigned deterministically (Init
     events of the buffers first, then each thread's memory events in
     program order), so callers such as the wait/notify semantics can
-    compute them with :func:`eid_assignment`.
+    compute them with :func:`eid_assignment`.  ``init_events`` may pass a
+    precomputed :func:`program_init_events` tuple to share across path
+    combinations.
     """
-    init_events = []
-    next_eid = 0
-    for buffer in program.buffers:
-        init_events.append(
-            make_init_event(buffer.block, buffer.byte_length, eid=next_eid)
-        )
-        next_eid += 1
+    if init_events is None:
+        init_events = program_init_events(program)
+    next_eid = len(init_events)
 
     eid_of: Dict[TemplateKey, int] = {}
     templates: List[EventTemplate] = []
@@ -109,7 +238,7 @@ def build_pre_execution(
     return PreExecution(
         program=program,
         paths=tuple(paths),
-        init_events=tuple(init_events),
+        init_events=init_events,
         templates=tuple(templates),
         eid_of=eid_of,
         sb=Relation(sb_pairs),
@@ -121,8 +250,11 @@ def pre_executions(
     program: Program, extra_asw: Sequence[Tuple[int, int]] = ()
 ) -> Iterator[PreExecution]:
     """One :class:`PreExecution` per combination of per-thread control-flow paths."""
+    init_events = program_init_events(program)
     for paths in program_paths(program):
-        yield build_pre_execution(program, paths, extra_asw=extra_asw)
+        yield build_pre_execution(
+            program, paths, extra_asw=extra_asw, init_events=init_events
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +296,7 @@ def _resolve_values(
     read_values: Dict[TemplateKey, int] = {}
     template_write_bytes: Dict[TemplateKey, Tuple[int, ...]] = {}
 
-    templates = {t.key: t for t in pre.memory_templates()}
+    templates = pre.memory_templates_by_key()
     for template in templates.values():
         if template.writes_memory:
             eid = pre.eid_of[template.key]
@@ -232,7 +364,7 @@ def _constraints_satisfied(
     pre: PreExecution, read_bytes: Dict[TemplateKey, Tuple[int, ...]]
 ) -> bool:
     """Check every branch condition of every chosen path."""
-    templates = {t.key: t for t in pre.templates}
+    templates = pre.templates_by_key()
     for path in pre.paths:
         for constraint in path.constraints:
             template = templates[constraint.source]
@@ -248,7 +380,7 @@ def _build_outcome(
     pre: PreExecution, read_bytes: Dict[TemplateKey, Tuple[int, ...]]
 ) -> Outcome:
     """The final register values along the chosen paths."""
-    templates = {t.key: t for t in pre.templates}
+    templates = pre.templates_by_key()
     outcome: Outcome = {}
     for path in pre.paths:
         for register, binding in path.registers:
@@ -269,31 +401,95 @@ def _build_execution(
     write_bytes: Dict[TemplateKey, Tuple[int, ...]],
 ) -> CandidateExecution:
     """Assemble the concrete candidate execution (without a ``tot`` witness)."""
-    events: List[Event] = list(pre.init_events)
+    values_key = []
     rbf: Set[RbfTriple] = set()
     for template in pre.memory_templates():
         eid = pre.eid_of[template.key]
-        byte_range = template.byte_range()
         reads = read_bytes.get(template.key, ()) if template.reads_memory else ()
         writes = write_bytes.get(template.key, ()) if template.writes_memory else ()
-        events.append(
-            Event(
-                eid=eid,
-                tid=template.tid,
-                ord=template.mode,
-                block=template.block,
-                index=byte_range.start,
-                reads=tuple(reads),
-                writes=tuple(writes),
-                tearfree=template.tearfree,
-            )
-        )
+        values_key.append((tuple(reads), tuple(writes)))
         if template.reads_memory:
-            for k in byte_range:
-                rbf.add((k, assignment[(template.block, k, eid)], eid))
-    return CandidateExecution.build(
-        events=events, sb=pre.sb.pairs, asw=pre.asw.pairs, rbf=rbf
+            block = template.block
+            for k in template.byte_range():
+                rbf.add((k, assignment[(block, k, eid)], eid))
+    # Different writer assignments often resolve to the same byte values;
+    # the (immutable) EventSet is deduplicated per pre-execution so repeated
+    # value profiles share one set of Event objects and its eid index.
+    eventset_memo: Dict = pre._lazy("_eventset_memo", dict)
+    events_set = eventset_memo.get(tuple(values_key))
+    if events_set is None:
+        events: List[Event] = list(pre.init_events)
+        for template, (reads, writes) in zip(pre.memory_templates(), values_key):
+            byte_range = template.byte_range()
+            events.append(
+                Event(
+                    eid=pre.eid_of[template.key],
+                    tid=template.tid,
+                    ord=template.mode,
+                    block=template.block,
+                    index=byte_range.start,
+                    reads=reads,
+                    writes=writes,
+                    tearfree=template.tearfree,
+                )
+            )
+        events_set = EventSet(tuple(events))
+        eventset_memo[tuple(values_key)] = events_set
+    # Reuse the pre-execution's sb/asw Relation objects directly: they are
+    # immutable and shared across every candidate of this path combination
+    # (so their kernel caches are shared too).
+    execution = CandidateExecution(
+        events=events_set,
+        sb=pre.sb,
+        asw=pre.asw,
+        rbf=frozenset(rbf),
     )
+    execution._cache["init_overlap"] = pre.init_overlap_relation()
+    # The rbf built above satisfies the witness-dependent well-formedness
+    # conditions by construction (see PreExecution.sb_asw_sound), so the
+    # verdict can be seeded when the pre-level conditions hold.
+    if pre.sb_asw_sound():
+        execution._cache[("wf", False, None)] = True
+    return execution
+
+
+def _propagate_writes(
+    pre: PreExecution,
+    known_bytes: Dict[int, Tuple[int, ...]],
+    known_start: Dict[int, int],
+    read_values: Dict[TemplateKey, int],
+) -> Tuple[Dict[int, Tuple[int, ...]], Dict[int, int]]:
+    """Extend the known write values with stores whose value just resolved.
+
+    A ``copy`` store becomes known when its source read resolves; an
+    ``add-read`` store (RMW) becomes known when its own read resolves.
+    The input dicts are not mutated (the enumeration backtracks over them).
+    """
+    known_bytes = dict(known_bytes)
+    known_start = dict(known_start)
+    progress = True
+    while progress:
+        progress = False
+        for template in pre.memory_templates():
+            if not template.writes_memory:
+                continue
+            eid = pre.eid_of[template.key]
+            if eid in known_bytes:
+                continue
+            spec = template.write_value
+            assert spec is not None
+            value: Optional[int] = None
+            if spec.kind == "copy":
+                if spec.source in read_values:
+                    value = read_values[spec.source]
+            elif spec.kind == "add-read":
+                if template.key in read_values:
+                    value = read_values[template.key] + spec.payload
+            if value is not None:
+                known_bytes[eid] = template.encode(value)
+                known_start[eid] = template.byte_range().start
+                progress = True
+    return known_bytes, known_start
 
 
 def ground_candidates(
@@ -304,46 +500,148 @@ def ground_candidates(
 
     Every assignment of a covering write to each byte of each read is tried;
     assignments whose resolved values contradict the branch conditions taken
-    are discarded.
+    are discarded.  The enumeration is a backtracking search over the reads
+    (in program order): as soon as a read's byte writers are all chosen and
+    their values are already known (Init events, ``const`` stores, and
+    stores resolved transitively from earlier reads), the read's value is
+    decoded and checked against the branch constraints of the chosen paths —
+    pruning the whole subtree of assignments for the remaining reads instead
+    of materialising and rejecting each one individually.
+
+    ``max_assignments`` bounds the number of assignments *examined*, with a
+    pruned subtree charged for every assignment it contains — exactly the
+    combinations the unpruned product would have enumerated — so the budget
+    trips for precisely the same programs as the pre-pruning implementation
+    and still guards against combinatorial blow-up.
     """
     writers = _writers_by_byte(pre)
-    read_slots: List[Tuple[str, int, int]] = []
-    slot_choices: List[List[int]] = []
+    read_groups: List[Tuple[EventTemplate, List[Tuple[str, int, int]], List[List[int]]]] = []
     for template in pre.memory_templates():
         if not template.reads_memory:
             continue
         eid = pre.eid_of[template.key]
+        slots: List[Tuple[str, int, int]] = []
+        choices: List[List[int]] = []
         for k in template.byte_range():
             candidates = [
                 w for w in writers.get((template.block, k), []) if w != eid
             ]
-            read_slots.append((template.block, k, eid))
-            slot_choices.append(candidates)
+            if not candidates:
+                # Some read byte has no possible writer: the path is infeasible.
+                return
+            slots.append((template.block, k, eid))
+            choices.append(candidates)
+        read_groups.append((template, slots, choices))
 
-    if any(not choices for choices in slot_choices):
-        # Some read byte has no possible writer: the path is infeasible.
-        return
+    constraints = pre.constraints_by_source()
+    static_bytes, static_start = pre.static_write_state()
 
     produced = 0
-    for combo in itertools.product(*slot_choices):
-        produced += 1
+    assignment: Dict[Tuple[str, int, int], int] = {}
+
+    write_template_keys = [
+        (t.key, pre.eid_of[t.key])
+        for t in pre.memory_templates()
+        if t.writes_memory
+    ]
+
+    # subtree_size[i]: assignments below one combo of group i (the product of
+    # the later groups' choice counts); used to charge pruned subtrees.
+    subtree_size = [1] * (len(read_groups) + 1)
+    for i in range(len(read_groups) - 1, -1, -1):
+        group_combos = 1
+        for choices in read_groups[i][2]:
+            group_combos *= len(choices)
+        subtree_size[i] = group_combos * subtree_size[i + 1]
+
+    def charge(count: int) -> None:
+        nonlocal produced
+        produced += count
         if max_assignments is not None and produced > max_assignments:
             raise EnumerationBudgetExceeded(
                 f"program {pre.program.name!r} exceeded the assignment budget "
                 f"of {max_assignments}"
             )
-        assignment = dict(zip(read_slots, combo))
-        resolved = _resolve_values(pre, assignment)
-        if resolved is None:
-            continue
-        read_bytes, write_bytes = resolved
-        if not _constraints_satisfied(pre, read_bytes):
-            continue
-        execution = _build_execution(pre, assignment, read_bytes, write_bytes)
-        if not execution.is_well_formed(require_tot=False):
-            continue
-        outcome = _build_outcome(pre, read_bytes)
-        yield GroundExecution(execution=execution, outcome=outcome, pre=pre)
+
+    def recurse(
+        group_index: int,
+        known_bytes: Dict[int, Tuple[int, ...]],
+        known_start: Dict[int, int],
+        read_values: Dict[TemplateKey, int],
+        resolved_reads: Dict[TemplateKey, Tuple[int, ...]],
+    ) -> Iterator[GroundExecution]:
+        if group_index == len(read_groups):
+            charge(1)
+            if len(resolved_reads) == len(read_groups) and all(
+                eid in known_bytes for (_key, eid) in write_template_keys
+            ):
+                # Every read (and hence every store) was resolved — and its
+                # branch constraints checked — incrementally on the way
+                # down; skip the from-scratch fixpoint.
+                read_bytes = resolved_reads
+                write_bytes = {
+                    key: known_bytes[eid] for (key, eid) in write_template_keys
+                }
+            else:
+                resolved = _resolve_values(pre, assignment)
+                if resolved is None:
+                    return
+                read_bytes, write_bytes = resolved
+                if not _constraints_satisfied(pre, read_bytes):
+                    return
+            execution = _build_execution(pre, assignment, read_bytes, write_bytes)
+            if not execution.is_well_formed(require_tot=False):
+                return
+            outcome = _build_outcome(pre, read_bytes)
+            yield GroundExecution(execution=execution, outcome=outcome, pre=pre)
+            return
+
+        template, slots, choices = read_groups[group_index]
+        template_constraints = constraints.get(template.key, ())
+        for combo in itertools.product(*choices):
+            for slot, writer_eid in zip(slots, combo):
+                assignment[slot] = writer_eid
+            # Try to decode this read's value right away: possible when all
+            # its chosen writers' byte values are already known.
+            next_bytes = known_bytes
+            next_start = known_start
+            next_values = read_values
+            next_resolved = resolved_reads
+            data: List[int] = []
+            complete = True
+            for (block, k, _eid), writer_eid in zip(slots, combo):
+                writer_data = known_bytes.get(writer_eid)
+                if writer_data is None:
+                    complete = False
+                    break
+                data.append(writer_data[k - known_start[writer_eid]])
+            if complete:
+                resolved_data = tuple(data)
+                value = template.decode(resolved_data)
+                violated = False
+                for constraint in template_constraints:
+                    if constraint.equal and value != constraint.constant:
+                        violated = True
+                        break
+                    if not constraint.equal and value == constraint.constant:
+                        violated = True
+                        break
+                if violated:
+                    # Charge the whole pruned subtree against the budget.
+                    charge(subtree_size[group_index + 1])
+                    continue
+                next_values = dict(read_values)
+                next_values[template.key] = value
+                next_resolved = dict(resolved_reads)
+                next_resolved[template.key] = resolved_data
+                next_bytes, next_start = _propagate_writes(
+                    pre, known_bytes, known_start, next_values
+                )
+            yield from recurse(
+                group_index + 1, next_bytes, next_start, next_values, next_resolved
+            )
+
+    yield from recurse(0, static_bytes, static_start, {}, {})
 
 
 def ground_executions(

@@ -94,12 +94,22 @@ class EventTemplate:
 
     @property
     def block(self) -> str:
-        assert self.access is not None
-        return self.access.block
+        # Memoised: resolved once per template instead of chasing the
+        # access → typed-array → buffer chain on every hot-loop access.
+        cached = getattr(self, "_block", None)
+        if cached is None:
+            assert self.access is not None
+            cached = self.access.block
+            object.__setattr__(self, "_block", cached)
+        return cached
 
     def byte_range(self) -> range:
-        assert self.access is not None
-        return self.access.byte_range()
+        cached = getattr(self, "_byte_range", None)
+        if cached is None:
+            assert self.access is not None
+            cached = self.access.byte_range()
+            object.__setattr__(self, "_byte_range", cached)
+        return cached
 
     @property
     def tearfree(self) -> bool:

@@ -24,13 +24,19 @@ added.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.execution import CandidateExecution
 from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
+from ..core.relations import Relation
 from .ast import Outcome, Program, outcome_matches
-from .enumeration import GroundExecution, build_pre_execution, ground_candidates
+from .enumeration import (
+    GroundExecution,
+    build_pre_execution,
+    ground_candidates,
+    program_init_events,
+)
 from .thread_semantics import (
     EventTemplate,
     LocalPath,
@@ -330,13 +336,17 @@ def wait_notify_ground_executions(
     ``additional-synchronizes-with`` edges; with ``corrected=False`` it does
     not (the uncorrected ES2019 reading).
     """
+    init_events = program_init_events(program)
     for paths in program_paths(program):
         for scenario in _scenarios(paths):
             specialised = _apply_scenario(paths, scenario)
-            pre = build_pre_execution(program, specialised)
+            pre = build_pre_execution(program, specialised, init_events=init_events)
             if corrected:
                 edges = _asw_edges(scenario, pre.eid_of, specialised)
-                pre = build_pre_execution(program, specialised, extra_asw=edges)
+                if edges:
+                    # Only the asw component differs; reuse everything else
+                    # (eid assignment, sb, templates) from the first build.
+                    pre = replace(pre, asw=Relation(edges))
             yield from ground_candidates(pre)
 
 

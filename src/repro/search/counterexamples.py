@@ -24,13 +24,11 @@ from ..compile.correctness import (
     CompilationCounterExample,
     find_compilation_violation,
 )
+from ..core.data_race import data_races
 from ..core.js_model import FINAL_MODEL, JsModel, ORIGINAL_MODEL
 from ..lang.ast import Outcome, Program
-from ..lang.enumeration import (
-    allowed_executions,
-    non_sc_outcomes,
-    program_is_data_race_free,
-)
+from ..lang.enumeration import allowed_executions
+from ..lang.interpreter import sc_outcomes
 from .shapes import SearchBounds, count_accesses, generate_programs
 
 
@@ -83,13 +81,33 @@ def search_sc_drf_violation(
     bounds: SearchBounds,
     model: JsModel = ORIGINAL_MODEL,
 ) -> SearchReport:
-    """Search for an SC-DRF violation within ``bounds`` (§5.4)."""
+    """Search for an SC-DRF violation within ``bounds`` (§5.4).
+
+    Data-race freedom and the allowed-outcome set are established in a
+    *single* pass over the program's model-allowed executions: the first
+    race disqualifies the program immediately, otherwise the (deduplicated)
+    outcomes are collected as the executions stream by and only then
+    compared against the sequential-interleaving oracle.
+    """
     report = SearchReport(model=model.name)
     for program in generate_programs(bounds):
         report.programs_examined += 1
-        if not program_is_data_race_free(program, model):
+        racy = False
+        outcomes: List[Outcome] = []
+        seen = set()
+        for execution, outcome in allowed_executions(program, model):
+            if data_races(execution, model):
+                racy = True
+                break
+            key = tuple(sorted(outcome.items()))
+            if key not in seen:
+                seen.add(key)
+                outcomes.append(outcome)
+        if racy:
+            # The SC-DRF guarantee is vacuous for racy programs.
             continue
-        weird = non_sc_outcomes(program, model)
+        sc = {tuple(sorted(o.items())) for o in sc_outcomes(program)}
+        weird = [o for o in outcomes if tuple(sorted(o.items())) not in sc]
         if weird:
             report.counterexample = ScDrfCounterExample(
                 program=program,

@@ -1,0 +1,173 @@
+"""Equivalence of the bitset relation kernel against a reference implementation.
+
+The :class:`~repro.core.relations.Relation` kernel stores adjacency as
+dense Python-int bitmasks and runs composition / transitive closure /
+acyclicity bit-parallel.  This suite checks, on ~1k seeded random
+relations, that every kernel-backed operation agrees with a direct
+frozenset-of-pairs reference implementation — the representation the
+original code used and the one the class still exposes via ``.pairs``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.relations import Relation, acyclic_pairs
+
+
+# ---------------------------------------------------------------------------
+# reference (frozenset-of-pairs) implementations
+# ---------------------------------------------------------------------------
+
+
+def ref_compose(a, b):
+    by_source = {}
+    for (x, y) in b:
+        by_source.setdefault(x, []).append(y)
+    return frozenset(
+        (x, z) for (x, y) in a for z in by_source.get(y, ())
+    )
+
+
+def ref_transitive_closure(pairs):
+    succ = {}
+    for (a, b) in pairs:
+        succ.setdefault(a, set()).add(b)
+    closure = set()
+    for start in succ:
+        seen = set()
+        stack = list(succ.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(succ.get(node, ()))
+        closure.update((start, node) for node in seen)
+    return frozenset(closure)
+
+
+def ref_is_acyclic(pairs):
+    closure = ref_transitive_closure(pairs)
+    return all(a != b for (a, b) in closure)
+
+
+def ref_is_transitive(pairs):
+    return ref_transitive_closure(pairs) <= frozenset(pairs)
+
+
+def ref_successors(pairs, element):
+    return frozenset(b for (a, b) in pairs if a == element)
+
+
+def ref_predecessors(pairs, element):
+    return frozenset(a for (a, b) in pairs if b == element)
+
+
+def ref_domain(pairs):
+    return frozenset(a for (a, _b) in pairs)
+
+
+def ref_codomain(pairs):
+    return frozenset(b for (_a, b) in pairs)
+
+
+def ref_is_functional(pairs):
+    seen = {}
+    for (a, b) in pairs:
+        if a in seen and seen[a] != b:
+            return False
+        seen[a] = b
+    return True
+
+
+# ---------------------------------------------------------------------------
+# seeded random case generation
+# ---------------------------------------------------------------------------
+
+
+def random_pairs(rng, universe_size, density):
+    universe = range(universe_size)
+    pairs = set()
+    for a in universe:
+        for b in universe:
+            if rng.random() < density:
+                pairs.add((a, b))
+    return frozenset(pairs)
+
+
+CASES = []
+_rng = random.Random(0x5EED)
+for _ in range(1000):
+    size = _rng.randint(0, 8)
+    density = _rng.choice([0.05, 0.15, 0.3, 0.6])
+    CASES.append(random_pairs(_rng, size, density))
+
+
+@pytest.mark.parametrize("chunk", range(10))
+def test_kernel_matches_reference(chunk):
+    cases = CASES[chunk * 100:(chunk + 1) * 100]
+    rng = random.Random(chunk)
+    for pairs in cases:
+        rel = Relation(pairs)
+
+        # -- queries -----------------------------------------------------
+        assert rel.domain() == ref_domain(pairs)
+        assert rel.codomain() == ref_codomain(pairs)
+        assert rel.elements() == ref_domain(pairs) | ref_codomain(pairs)
+        assert rel.is_acyclic() == ref_is_acyclic(pairs)
+        assert rel.is_transitive() == ref_is_transitive(pairs)
+        assert rel.is_functional() == ref_is_functional(pairs)
+        assert rel.is_irreflexive() == all(a != b for (a, b) in pairs)
+        for element in range(-1, 9):
+            assert rel.successors(element) == ref_successors(pairs, element)
+            assert rel.predecessors(element) == ref_predecessors(pairs, element)
+
+        # -- closure and inverse (kernel-backed, lazily materialised) ----
+        closure = rel.transitive_closure()
+        assert closure.pairs == ref_transitive_closure(pairs)
+        assert closure.is_transitive()
+        assert rel.inverse().pairs == frozenset((b, a) for (a, b) in pairs)
+        assert rel.inverse().inverse() == rel
+
+        # -- acyclic_pairs helper agrees with the relation-level check ---
+        assert acyclic_pairs(pairs) == rel.is_acyclic()
+
+        # -- membership / size on lazy relations -------------------------
+        assert len(closure) == len(closure.pairs)
+        some = sorted(pairs)[:3]
+        for pair in some:
+            assert pair in rel
+
+        # -- binary operations against a second random relation ---------
+        other_pairs = random_pairs(rng, 8, 0.2)
+        other = Relation(other_pairs)
+        assert rel.compose(other).pairs == ref_compose(pairs, other_pairs)
+        assert (rel | other).pairs == pairs | other_pairs
+        assert (rel & other).pairs == pairs & other_pairs
+        assert (rel - other).pairs == pairs - other_pairs
+        assert rel.contains_relation(other) == (other_pairs <= pairs)
+        # Compose two kernel-lazy relations (different universes).
+        assert rel.transitive_closure().compose(
+            other.transitive_closure()
+        ).pairs == ref_compose(
+            ref_transitive_closure(pairs), ref_transitive_closure(other_pairs)
+        )
+
+
+def test_from_total_order_lazy_kernel():
+    rng = random.Random(42)
+    for _ in range(100):
+        n = rng.randint(0, 8)
+        ordering = list(range(n))
+        rng.shuffle(ordering)
+        rel = Relation.from_total_order(ordering)
+        expected = frozenset(
+            (ordering[i], ordering[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        )
+        assert rel.pairs == expected
+        assert rel.is_acyclic()
+        if n:
+            assert rel.is_strict_total_order_over(ordering)
