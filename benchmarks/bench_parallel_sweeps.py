@@ -1,0 +1,221 @@
+"""Scale-out workloads: sharded sweeps and the persistent verdict cache.
+
+These benchmarks capture the *trajectory* dimension ISSUE 2 adds: not how
+fast one check runs, but how a bag of independent checks scales — across
+``multiprocessing`` workers (``workers=4``) and across *runs* (the
+content-addressed verdict cache).  Every workload asserts that the sharded
+/ cached verdicts are bit-identical to the recorded golden ones, so the
+speed numbers can never be bought with a wrong verdict.
+
+Interpreting the serial-vs-sharded pair: sharding helps on multi-core
+hosts; on a single-core container (like the one the committed snapshots
+come from) ``workers=4`` measures pure dispatch overhead.  The warm-cache
+numbers are host-independent.
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.core import FINAL_MODEL, ORIGINAL_MODEL
+from repro.dispatch import VerdictCache
+from repro.litmus.runner import run_catalogue
+from repro.search import (
+    SearchBounds,
+    search_compilation_violation,
+    search_sc_drf_violation,
+)
+
+from conftest import print_rows, run_once
+
+WORKERS = 4
+
+# An empty (no-hit) bounded-correctness sweep over 320 programs under the
+# corrected model: every program is checked, per-program costs are roughly
+# uniform (good sharding granularity), and the whole sweep is a few seconds
+# serial.  The cap cuts the enumeration inside the 4-access size class.
+COMPILE_SWEEP_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=1,
+    values=(1, 2),
+    guarded_observer=False,
+    max_programs=320,
+)
+
+# The §5.4 bound containing the Fig. 8 counter-example (original model):
+# exercises the order-preserving early exit of a sharded hunt.
+SC_DRF_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=1,
+    values=(1, 2),
+    guarded_observer=True,
+)
+
+GOLDEN_PATH = Path(__file__).parent.parent / "tests" / "data" / "catalogue_verdicts.json"
+
+# Cross-benchmark state (serial reference verdicts, the shared cache dir).
+# Each benchmark also works standalone under --filter: every assertion
+# against state another benchmark produces is guarded.
+_state = {}
+
+
+def _assert_catalogue_matches_golden(report):
+    with GOLDEN_PATH.open() as handle:
+        golden = json.load(handle)
+    for result in report.results:
+        for er in result.results:
+            key = "|".join(
+                (
+                    result.test.name,
+                    er.expectation.model,
+                    json.dumps(sorted(er.expectation.spec_dict.items())),
+                )
+            )
+            assert er.observed_allowed == golden[key], key
+
+
+def test_catalogue_sweep_serial(benchmark):
+    report = run_once(benchmark, run_catalogue, workers=1, cache=False)
+    _assert_catalogue_matches_golden(report)
+    _state["catalogue_serial"] = report.verdicts()
+    print_rows(
+        "catalogue sweep (serial)",
+        [f"{len(report.results)} tests, all verdicts == golden"],
+    )
+
+
+def test_catalogue_sweep_sharded(benchmark):
+    report = run_once(benchmark, run_catalogue, workers=WORKERS, cache=False)
+    _assert_catalogue_matches_golden(report)
+    if "catalogue_serial" in _state:
+        assert report.verdicts() == _state["catalogue_serial"]
+    print_rows(
+        f"catalogue sweep (workers={WORKERS})",
+        [f"{len(report.results)} tests, bit-identical to serial"],
+    )
+
+
+def test_catalogue_cache_cold(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-verdicts-")
+    _state["cache_dir"] = cache_dir
+    report = run_once(benchmark, run_catalogue, cache=VerdictCache(cache_dir))
+    _assert_catalogue_matches_golden(report)
+
+
+def test_catalogue_cache_warm(benchmark):
+    cache_dir = _state.get("cache_dir")
+    if cache_dir is None:  # standalone run: populate a cache un-benchmarked
+        cache_dir = tempfile.mkdtemp(prefix="repro-verdicts-")
+        run_catalogue(cache=VerdictCache(cache_dir))
+    cache = VerdictCache(cache_dir)
+    report = run_once(benchmark, run_catalogue, cache=cache)
+    _assert_catalogue_matches_golden(report)
+    assert cache.writes == 0, "warm run recomputed something"
+    print_rows(
+        "catalogue sweep (warm verdict cache)",
+        [f"{cache.hits} verdicts served from cache, 0 recomputed"],
+    )
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    _state.pop("cache_dir", None)
+
+
+def test_compilation_sweep_serial(benchmark):
+    report = run_once(
+        benchmark,
+        search_compilation_violation,
+        COMPILE_SWEEP_BOUNDS,
+        FINAL_MODEL,
+        workers=1,
+    )
+    assert not report.found
+    _state["sweep_examined"] = report.programs_examined
+    print_rows(
+        "bounded-correctness sweep, corrected model (serial)",
+        [f"{report.programs_examined} programs, no counter-example (§5.3)"],
+    )
+
+
+def test_compilation_sweep_sharded(benchmark):
+    report = run_once(
+        benchmark,
+        search_compilation_violation,
+        COMPILE_SWEEP_BOUNDS,
+        FINAL_MODEL,
+        workers=WORKERS,
+    )
+    assert not report.found
+    if "sweep_examined" in _state:
+        assert report.programs_examined == _state["sweep_examined"]
+    print_rows(
+        f"bounded-correctness sweep, corrected model (workers={WORKERS})",
+        [f"{report.programs_examined} programs, report identical to serial"],
+    )
+
+
+def test_compilation_sweep_warm_cache(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-verdicts-")
+    try:
+        search_compilation_violation(
+            COMPILE_SWEEP_BOUNDS, FINAL_MODEL, cache=VerdictCache(cache_dir)
+        )
+        cache = VerdictCache(cache_dir)
+        report = run_once(
+            benchmark,
+            search_compilation_violation,
+            COMPILE_SWEEP_BOUNDS,
+            FINAL_MODEL,
+            cache=cache,
+        )
+        assert not report.found
+        if "sweep_examined" in _state:
+            assert report.programs_examined == _state["sweep_examined"]
+        assert cache.hits == report.programs_examined
+        print_rows(
+            "bounded-correctness sweep, corrected model (warm verdict cache)",
+            [f"{cache.hits} per-program verdicts served from cache"],
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_scdrf_hunt_serial(benchmark):
+    """The original-model hunt that rediscovers Fig. 8 (early exit)."""
+    report = run_once(
+        benchmark, search_sc_drf_violation, SC_DRF_BOUNDS, ORIGINAL_MODEL, workers=1
+    )
+    assert report.found
+    assert (
+        report.counterexample.event_count,
+        report.counterexample.location_count,
+    ) == (4, 1)
+    _state["hunt_examined"] = report.programs_examined
+
+
+def test_scdrf_hunt_sharded(benchmark):
+    """The sharded hunt early-exits at the same program with the same count."""
+    report = run_once(
+        benchmark,
+        search_sc_drf_violation,
+        SC_DRF_BOUNDS,
+        ORIGINAL_MODEL,
+        workers=WORKERS,
+    )
+    assert report.found
+    assert (
+        report.counterexample.event_count,
+        report.counterexample.location_count,
+    ) == (4, 1)
+    if "hunt_examined" in _state:
+        assert report.programs_examined == _state["hunt_examined"]
+    print_rows(
+        f"SC-DRF hunt, original model (workers={WORKERS})",
+        [
+            f"Fig. 8 rediscovered after {report.programs_examined} programs, "
+            "identical to serial"
+        ],
+    )

@@ -10,16 +10,23 @@ Usage::
     python benchmarks/run_benchmarks.py                 # full suite
     python benchmarks/run_benchmarks.py --label after   # BENCH_<date>_after.json
     python benchmarks/run_benchmarks.py bench_sec5_counterexample_search.py
+    python benchmarks/run_benchmarks.py --filter "serial or cold"
+    python benchmarks/run_benchmarks.py --compare benchmarks/BENCH_2026-07-29_after.json
 
 Any positional arguments are benchmark files (relative to ``benchmarks/``)
-to restrict the run to; with none, the whole suite runs.  Requires the
-``bench`` extra (``pip install -e .[bench]``).
+to restrict the run to; with none, the whole suite runs.  ``--filter`` is a
+pytest ``-k`` expression over test names.  ``--compare BASELINE`` turns the
+run into a regression gate: after the run, each benchmark's mean is compared
+against the same benchmark in ``BASELINE`` and the exit code is non-zero if
+any slowed down by more than ``--threshold`` (default 1.25×) — suitable for
+CI.  Requires the ``bench`` extra (``pip install -e .[bench]``).
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import json
 import os
 import subprocess
 import sys
@@ -27,6 +34,41 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def _load_means(path: Path) -> dict:
+    """``{fullname: mean seconds}`` of a pytest-benchmark JSON snapshot."""
+    with path.open() as handle:
+        data = json.load(handle)
+    return {
+        bench.get("fullname", bench["name"]): bench["stats"]["mean"]
+        for bench in data["benchmarks"]
+    }
+
+
+def compare_snapshots(current: Path, baseline: Path, threshold: float) -> int:
+    """Print a comparison table; return the number of regressions past threshold."""
+    current_means = _load_means(current)
+    baseline_means = _load_means(baseline)
+    common = sorted(set(current_means) & set(baseline_means))
+    only_current = sorted(set(current_means) - set(baseline_means))
+    only_baseline = sorted(set(baseline_means) - set(current_means))
+    regressions = []
+    print(f"\ncomparison vs {baseline} (fail ratio > {threshold:.2f}):")
+    for name in common:
+        base, cur = baseline_means[name], current_means[name]
+        ratio = cur / base if base > 0 else float("inf")
+        marker = " REGRESSION" if ratio > threshold else ""
+        print(f"  {name}: {base * 1000:.1f} ms -> {cur * 1000:.1f} ms ({ratio:.2f}x){marker}")
+        if ratio > threshold:
+            regressions.append(name)
+    for name in only_current:
+        print(f"  {name}: (new, {current_means[name] * 1000:.1f} ms)")
+    for name in only_baseline:
+        print(f"  {name}: (missing from current run)")
+    if regressions:
+        print(f"{len(regressions)} regression(s) past {threshold:.2f}x")
+    return len(regressions)
 
 
 def main() -> int:
@@ -46,6 +88,23 @@ def main() -> int:
         default=str(BENCH_DIR),
         help="directory to write the BENCH_*.json snapshot into",
     )
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="pytest -k expression selecting benchmarks within the files",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default="",
+        help="compare against a baseline BENCH_*.json; exit non-zero on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="regression gate: fail when current mean > baseline mean x threshold",
+    )
     args = parser.parse_args()
 
     try:
@@ -60,7 +119,10 @@ def main() -> int:
 
     date = datetime.date.today().isoformat()
     suffix = f"_{args.label}" if args.label else ""
-    output = Path(args.output_dir) / f"BENCH_{date}{suffix}.json"
+    # Resolve now, against the invoker's cwd: the pytest subprocess runs
+    # with cwd=BENCH_DIR, and --compare reopens this path afterwards.
+    output = (Path(args.output_dir) / f"BENCH_{date}{suffix}.json").resolve()
+    output.parent.mkdir(parents=True, exist_ok=True)
 
     targets = (
         [str(BENCH_DIR / name) for name in args.files]
@@ -82,11 +144,28 @@ def main() -> int:
         "-q",
         f"--benchmark-json={output}",
     ]
+    if args.filter:
+        command.extend(["-k", args.filter])
     print("+", " ".join(command))
     result = subprocess.run(command, cwd=BENCH_DIR, env=env)
-    if result.returncode == 0:
-        print(f"benchmark snapshot written to {output}")
-    return result.returncode
+    if result.returncode != 0:
+        return result.returncode
+    print(f"benchmark snapshot written to {output}")
+    if args.compare:
+        baseline = Path(args.compare)
+        if not baseline.is_absolute():
+            # Try the invoker's cwd first, then the benchmarks directory.
+            baseline = (
+                Path.cwd() / args.compare
+                if (Path.cwd() / args.compare).exists()
+                else BENCH_DIR / args.compare
+            )
+        if not baseline.exists():
+            print(f"baseline {args.compare} not found", file=sys.stderr)
+            return 2
+        if compare_snapshots(output, baseline, args.threshold):
+            return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -14,17 +14,21 @@ The package is organised as in DESIGN.md:
   (ARMv8-compilation and SC-DRF violations, deadness);
 * :mod:`repro.imm`     — the uni-size IMM-style intermediate model and the
   x86-TSO / POWER / RISC-V / ARMv7 / ARMv8 targets;
-* :mod:`repro.litmus`  — the litmus-test catalogue, generator and runner.
+* :mod:`repro.litmus`  — the litmus-test catalogue, generator and runner;
+* :mod:`repro.dispatch` — work sharding over multiprocessing workers and
+  the persistent content-addressed verdict cache behind the batched /
+  ``workers=N`` entry points.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import armv8, compile, core, imm, lang, litmus, search
+from . import armv8, compile, core, dispatch, imm, lang, litmus, search
 
 __all__ = [
     "armv8",
     "compile",
     "core",
+    "dispatch",
     "imm",
     "lang",
     "litmus",

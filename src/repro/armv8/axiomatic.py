@@ -1120,21 +1120,31 @@ def _arm_groundings(
             outcome = _arm_outcome(pre, read_bytes)
             # Assemble the coherence-independent derived state once per
             # reads-byte-from assignment and share it (via the execution
-            # cache) across every coherence variant.
-            tid_of = pre.eid_tid()
-            rf_pairs = {(w, r) for (_k, w, r) in rbf}
-            rfi = [(w, r) for (w, r) in rf_pairs if tid_of[w] == tid_of[r]]
-            rfe = [(w, r) for (w, r) in rf_pairs if tid_of[w] != tid_of[r]]
-            ob_fixed: List[Tuple[int, int]] = list(pre.static_ob_pairs())
-            ob_fixed.extend(rfe)
-            dep_by_right = pre.dep_by_right()
-            exclusive_writes = pre.exclusive_write_eids()
-            acquires = pre.acquire_read_eids()
-            for (b, c) in rfi:
-                for a in dep_by_right.get(b, ()):  # dep ; rfi
-                    ob_fixed.append((a, c))
-                if b in exclusive_writes and c in acquires:  # aob forwarding
-                    ob_fixed.append((b, c))
+            # cache) across every coherence variant.  ``ob_fixed`` depends
+            # only on the event-level rf signature, which many byte-wise
+            # assignments share, so it is interned per rf signature on the
+            # pre-execution.
+            rf_pairs = frozenset((w, r) for (_k, w, r) in rbf)
+            ob_memo: Dict[FrozenSet[Tuple[int, int]], Tuple[Tuple[int, int], ...]] = (
+                pre._lazy("_ob_fixed_memo", dict)
+            )
+            ob_fixed = ob_memo.get(rf_pairs)
+            if ob_fixed is None:
+                tid_of = pre.eid_tid()
+                rfi = [(w, r) for (w, r) in rf_pairs if tid_of[w] == tid_of[r]]
+                rfe = [(w, r) for (w, r) in rf_pairs if tid_of[w] != tid_of[r]]
+                fixed: List[Tuple[int, int]] = list(pre.static_ob_pairs())
+                fixed.extend(rfe)
+                dep_by_right = pre.dep_by_right()
+                exclusive_writes = pre.exclusive_write_eids()
+                acquires = pre.acquire_read_eids()
+                for (b, c) in rfi:
+                    for a in dep_by_right.get(b, ()):  # dep ; rfi
+                        fixed.append((a, c))
+                    if b in exclusive_writes and c in acquires:  # aob forwarding
+                        fixed.append((b, c))
+                ob_fixed = tuple(fixed)
+                ob_memo[rf_pairs] = ob_fixed
             rbf_by_byte: Dict[int, List[Tuple[int, int]]] = {}
             for (k, w, r) in rbf:
                 rbf_by_byte.setdefault(k, []).append((w, r))
@@ -1144,7 +1154,7 @@ def _arm_groundings(
                 "rbf_by_byte": {
                     k: tuple(pairs) for k, pairs in rbf_by_byte.items()
                 },
-                "ob_fixed": tuple(ob_fixed),
+                "ob_fixed": ob_fixed,
                 # Internal/atomicity verdicts are shared per PRE-execution
                 # (keyed by byte, order and rf-at-byte), not just per
                 # assignment.

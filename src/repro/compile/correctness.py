@@ -25,6 +25,14 @@ from ..armv8.axiomatic import ArmExecution, arm_allowed_executions
 from ..armv8.operational import arm_operational_runs
 from ..core.execution import CandidateExecution
 from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order, is_valid
+from ..dispatch import (
+    MISS,
+    VerdictCache,
+    parallel_map,
+    program_fingerprint,
+    resolve_cache,
+    resolve_workers,
+)
 from ..lang.ast import Program
 from .scheme import CompiledProgram, compile_program
 from .totorder import construct_total_order
@@ -144,22 +152,107 @@ def check_program_compilation(
     return result
 
 
-def check_corpus_compilation(
-    programs: Iterable[Program],
-    model: JsModel = FINAL_MODEL,
-    use_operational: bool = False,
-    group_coherence: bool = True,
-) -> List[CompilationCheckResult]:
-    """Run the bounded check over a corpus of source programs."""
-    return [
-        check_program_compilation(
+def _checked_with_cache(
+    program: Program,
+    model: JsModel,
+    use_operational: bool,
+    group_coherence: bool,
+    cache: Optional[VerdictCache],
+) -> CompilationCheckResult:
+    """One per-program check, consulting/recording the verdict cache.
+
+    Only *correct* results are cached (as their count summary): violating
+    results carry whole counter-example executions, which are cheap to
+    recompute for the rare hit and not worth serialising.
+    """
+    if cache is None:
+        return check_program_compilation(
             program,
             model=model,
             use_operational=use_operational,
             group_coherence=group_coherence,
         )
-        for program in programs
-    ]
+    key = cache.key(
+        "arm-corpus",
+        program_fingerprint(program),
+        model,
+        use_operational,
+        group_coherence,
+    )
+    entry = cache.get(key)
+    if entry is not MISS and isinstance(entry, dict) and entry.get("correct"):
+        return CompilationCheckResult(
+            program=program.name,
+            model=model.name,
+            arm_executions=int(entry["arm_executions"]),
+            valid_with_construction=int(entry["valid_with_construction"]),
+            valid_with_search=int(entry["valid_with_search"]),
+            construction_failures=int(entry["construction_failures"]),
+        )
+    result = check_program_compilation(
+        program,
+        model=model,
+        use_operational=use_operational,
+        group_coherence=group_coherence,
+    )
+    if result.correct:
+        cache.put(
+            key,
+            {
+                "correct": True,
+                "arm_executions": result.arm_executions,
+                "valid_with_construction": result.valid_with_construction,
+                "valid_with_search": result.valid_with_search,
+                "construction_failures": result.construction_failures,
+            },
+        )
+    return result
+
+
+def _corpus_worker(task) -> CompilationCheckResult:
+    program, model, use_operational, group_coherence, cache_spec = task
+    return _checked_with_cache(
+        program,
+        model,
+        use_operational,
+        group_coherence,
+        VerdictCache.from_spec(cache_spec),
+    )
+
+
+def check_corpus_compilation(
+    programs: Iterable[Program],
+    model: JsModel = FINAL_MODEL,
+    use_operational: bool = False,
+    group_coherence: bool = True,
+    workers: Optional[int] = None,
+    cache=None,
+) -> List[CompilationCheckResult]:
+    """Run the bounded check over a corpus of source programs.
+
+    Per-program checks are independent: ``workers=N`` fans them out over
+    the dispatch pool (order-preserving) and ``cache=`` persists the
+    verdicts of correct programs across runs.
+    """
+    programs = list(programs)
+    workers = resolve_workers(workers)
+    cache = resolve_cache(cache)
+    if workers <= 1:
+        return [
+            _checked_with_cache(
+                program, model, use_operational, group_coherence, cache
+            )
+            for program in programs
+        ]
+    cache_spec = cache.spec if cache is not None else None
+    return parallel_map(
+        _corpus_worker,
+        [
+            (program, model, use_operational, group_coherence, cache_spec)
+            for program in programs
+        ],
+        workers=workers,
+    )
 
 
 def find_compilation_violation(

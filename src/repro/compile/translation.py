@@ -158,4 +158,12 @@ def translate_arm_execution(
     execution = CandidateExecution.build(
         events=events, sb=sb_pairs, asw=(), rbf=rbf
     )
+    # Structural well-formedness holds by construction: sb comes from the
+    # (intra-thread, acyclic) ARM po; every rbf triple carries over an ARM
+    # assignment that picked exactly one covering writer per byte with
+    # matching byte values; and the one malformation the translation could
+    # introduce — an RMW reading from its own store half — raised above.
+    # Seeding the verdict keeps check_well_formed off this path's per-
+    # execution O(|rbf|) cost (the JS enumeration path already does this).
+    execution._cache["wf_structure"] = True
     return TranslatedExecution(execution=execution, js_eid_of_arm=js_eid_of_arm)

@@ -235,6 +235,14 @@ class CandidateExecution:
         * every byte of every read is justified by exactly one write;
         * ``tot`` (when present) is a strict total order over all events.
         """
+        self._check_structure()
+        if self.tot is not None:
+            self._check_tot()
+        elif require_tot:
+            raise MalformedExecutionError("execution has no total-order witness")
+
+    def _check_structure(self) -> None:
+        """The tot-independent well-formedness conditions (O(|sb| + |rbf|))."""
         eids = self.eids
         for (a, b) in self.sb:
             if a not in eids or b not in eids:
@@ -292,26 +300,46 @@ class CandidateExecution:
                         f"byte {k} of read event {reader.eid} has no justification"
                     )
 
-        if self.tot is not None:
-            if set(self.tot) != set(eids) or len(self.tot) != len(eids):
-                raise MalformedExecutionError(
-                    "tot is not a permutation of the event identifiers"
-                )
-        elif require_tot:
-            raise MalformedExecutionError("execution has no total-order witness")
+    def _check_tot(self) -> None:
+        """The witness condition: ``tot`` is a permutation of the events."""
+        eids = self.eids
+        if set(self.tot) != set(eids) or len(self.tot) != len(eids):
+            raise MalformedExecutionError(
+                "tot is not a permutation of the event identifiers"
+            )
 
     def is_well_formed(self, require_tot: bool = True) -> bool:
-        """Boolean form of :meth:`check_well_formed` (memoised)."""
-        key = ("wf", require_tot, self.tot)
-        cached = self._cache.get(key)
-        if cached is None:
+        """Boolean form of :meth:`check_well_formed` (memoised).
+
+        The structural verdict (everything except the ``tot`` permutation
+        check) is tot-independent: it is cached once under ``"wf_structure"``
+        and shared across every :meth:`with_witness` copy.  Construction
+        paths that guarantee structure — the pruned enumeration and the
+        ARM → JS translation — seed that entry directly, so only the cheap
+        O(|events|) ``tot`` check remains per witness.
+        """
+        structural = self._cache.get("wf_structure")
+        if structural is None:
             try:
-                self.check_well_formed(require_tot=require_tot)
-                cached = True
+                self._check_structure()
+                structural = True
             except MalformedExecutionError:
-                cached = False
-            self._cache[key] = cached
-        return cached
+                structural = False
+            self._cache["wf_structure"] = structural
+        if not structural:
+            return False
+        if self.tot is None:
+            return not require_tot
+        key = ("wf_tot", self.tot)
+        tot_ok = self._cache.get(key)
+        if tot_ok is None:
+            try:
+                self._check_tot()
+                tot_ok = True
+            except MalformedExecutionError:
+                tot_ok = False
+            self._cache[key] = tot_ok
+        return tot_ok
 
     # -- misc queries -------------------------------------------------------------
 

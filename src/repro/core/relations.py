@@ -346,21 +346,85 @@ class Relation:
         return Relation._from_kernel(kernel)
 
     # -- boolean algebra ---------------------------------------------------
+    #
+    # The set operations run in kernel space (remap into a shared universe,
+    # then OR/AND/AND-NOT the adjacency rows, as ``compose`` already does),
+    # so pipelines like ``hb = (sb ∪ sw ∪ init-overlap)⁺`` stay in bitmask
+    # form end-to-end: no operand's pair view is materialised and the result
+    # feeds the bit-parallel closure directly.
 
     def union(self, *others: "Relation") -> "Relation":
-        """Set union with one or more relations."""
-        pairs: Set[Pair] = set(self.pairs)
-        for other in others:
-            pairs |= other.pairs
-        return Relation(pairs)
+        """Set union with one or more relations (kernel-space)."""
+        operands = [rel for rel in (self, *others) if rel]
+        if not operands:
+            return _EMPTY
+        if len(operands) == 1:
+            return operands[0]
+        kernels = [rel._k() for rel in operands]
+        base = kernels[0].elems
+        if all(kernel.elems == base for kernel in kernels[1:]):
+            rows = list(kernels[0].rows)
+            for kernel in kernels[1:]:
+                rows = [a | b for a, b in zip(rows, kernel.rows)]
+            return Relation._from_kernel(_BitKernel(base, rows))
+        merged = tuple(
+            sorted({e for kernel in kernels for e in kernel.elems}, key=repr)
+        )
+        index = {e: i for i, e in enumerate(merged)}
+        rows = [0] * len(merged)
+        for kernel in kernels:
+            elems = kernel.elems
+            for i, row in enumerate(kernel.rows):
+                if not row:
+                    continue
+                mask = 0
+                for j in _iter_bits(row):
+                    mask |= 1 << index[elems[j]]
+                rows[index[elems[i]]] |= mask
+        return Relation._from_kernel(_BitKernel(merged, rows))
+
+    def _remapped_rows_of(self, other: "Relation") -> List[int]:
+        """``other``'s rows embedded into this relation's universe.
+
+        Elements of ``other`` outside this universe are dropped — correct
+        for intersection and difference, where such pairs cannot affect the
+        result.
+        """
+        target = self._k()
+        source = other._k()
+        if source.elems == target.elems:
+            return source.rows
+        index = target.index
+        rows = [0] * len(target.elems)
+        elems = source.elems
+        for i, row in enumerate(source.rows):
+            ti = index.get(elems[i])
+            if ti is None or not row:
+                continue
+            mask = 0
+            for j in _iter_bits(row):
+                tj = index.get(elems[j])
+                if tj is not None:
+                    mask |= 1 << tj
+            rows[ti] = mask
+        return rows
 
     def intersection(self, other: "Relation") -> "Relation":
-        """Set intersection with ``other``."""
-        return Relation(self.pairs & other.pairs)
+        """Set intersection with ``other`` (kernel-space)."""
+        if self._pairs is not None and other._pairs is not None:
+            # Both pair views already exist: the frozenset op is cheapest.
+            return Relation(self._pairs & other._pairs)
+        kernel = self._k()
+        rows = [a & b for a, b in zip(kernel.rows, self._remapped_rows_of(other))]
+        return Relation._from_kernel(_BitKernel(kernel.elems, rows))
 
     def difference(self, other: "Relation") -> "Relation":
-        """Set difference ``self \\ other``."""
-        return Relation(self.pairs - other.pairs)
+        """Set difference ``self \\ other`` (kernel-space)."""
+        if self._pairs is not None and other._pairs is not None:
+            return Relation(self._pairs - other._pairs)
+        kernel = self._k()
+        rows = [a & ~b for a, b in zip(kernel.rows, self._remapped_rows_of(other))]
+        return Relation._from_kernel(_BitKernel(kernel.elems, rows))
 
     __or__ = union
     __and__ = intersection

@@ -1,0 +1,56 @@
+"""Work sharding and verdict persistence for independent per-program checks.
+
+Every §5-style workload in this package — litmus catalogue sweeps,
+``generate_programs`` counter-example hunts, bounded compilation-correctness
+checks over corpora — is a bag of *independent* per-program queries.  This
+subsystem provides the two scale-out primitives they share:
+
+* :mod:`repro.dispatch.pool` — an order-preserving, chunked fan-out over
+  ``multiprocessing`` workers with a graceful single-process fallback
+  (``workers=1``, tiny inputs, or hosts where a pool cannot start), plus the
+  ``REPRO_WORKERS`` environment override;
+* :mod:`repro.dispatch.cache` — a persistent, content-addressed verdict
+  cache keyed by a canonical fingerprint of (program structure, model
+  configuration, semantics revision), so repeated sweeps and overlapping
+  corpora skip straight to recorded verdicts.
+
+Consumers (``litmus.runner``, ``search.counterexamples``,
+``compile.correctness``) accept ``workers=`` / ``cache=`` and stay
+bit-identical to their serial, uncached selves by construction: sharded
+searches scan chunks in generation order and stop at the first hit, and the
+cache stores only verdicts whose inputs are part of the key.
+"""
+
+from .cache import (
+    CACHE_ENV,
+    MISS,
+    SEMANTICS_REVISION,
+    VerdictCache,
+    canonical,
+    fingerprint,
+    program_fingerprint,
+    resolve_cache,
+)
+from .pool import (
+    WORKERS_ENV,
+    imap_ordered,
+    parallel_map,
+    resolve_workers,
+    shard_ranges,
+)
+
+__all__ = [
+    "CACHE_ENV",
+    "MISS",
+    "SEMANTICS_REVISION",
+    "VerdictCache",
+    "canonical",
+    "fingerprint",
+    "program_fingerprint",
+    "resolve_cache",
+    "WORKERS_ENV",
+    "imap_ordered",
+    "parallel_map",
+    "resolve_workers",
+    "shard_ranges",
+]

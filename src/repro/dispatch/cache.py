@@ -1,0 +1,223 @@
+"""A persistent, content-addressed verdict cache.
+
+Verdicts of the per-program queries (litmus expectations, SC-DRF and
+compilation-violation checks) depend on nothing but the *structure* of the
+program, the model configuration, and the checker semantics.  The cache
+therefore keys every entry by a canonical SHA-256 fingerprint of exactly
+those inputs:
+
+* the program AST, serialised structurally (dataclass fields, enums,
+  tuples) with incidental metadata — names, descriptions — excluded;
+* the model configuration (a :class:`~repro.core.js_model.JsModel` value,
+  the SC-oracle marker, or per-query flags like ``use_operational``);
+* :data:`SEMANTICS_REVISION`, bumped whenever a change to the checker can
+  alter any verdict — bumping it orphans every existing entry at once.
+
+Storage is one JSON file per verdict under ``<dir>/<hh>/<hash>.json``.
+Writes go through a temp file + ``os.replace`` so concurrent shard workers
+can share a cache directory, and unreadable, truncated or foreign files are
+treated as misses (the verdict is recomputed and the entry rewritten) —
+the cache can never turn a correct sweep into a wrong one, only a cold one.
+
+The cache location comes from the ``REPRO_VERDICT_CACHE`` environment
+variable (``off``/``0``/``none`` disable it; unset means no caching) or an
+explicit :class:`VerdictCache` handed to the consumer APIs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+SEMANTICS_REVISION = "2"
+"""Revision tag of the verdict-affecting semantics.
+
+Bump this whenever the models, the enumeration, or the searches change in a
+way that can alter any recorded verdict; stale entries are then never read
+again (the revision is part of every key's preimage).
+"""
+
+CACHE_ENV = "REPRO_VERDICT_CACHE"
+_DISABLED_VALUES = {"", "0", "off", "no", "none", "disabled"}
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached falsy verdict."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MISS"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISS = _Miss()
+
+
+def canonical(obj: Any) -> Any:
+    """A JSON-serialisable canonical form of ``obj`` for fingerprinting.
+
+    Handles the value vocabulary of this package: primitives, tuples/lists,
+    dicts, (frozen)sets, ranges, enums and (frozen) dataclasses.  Dataclass
+    instances serialise as ``["@ClassName", [[field, value], ...]]`` so two
+    structurally equal ASTs fingerprint identically regardless of object
+    identity.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return ["@bytes", obj.hex()]
+    if isinstance(obj, enum.Enum):
+        return ["@enum", type(obj).__name__, obj.name]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "@" + type(obj).__name__,
+            [[f.name, canonical(getattr(obj, f.name))] for f in dataclasses.fields(obj)],
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, range):
+        return ["@range", obj.start, obj.stop, obj.step]
+    if isinstance(obj, (set, frozenset)):
+        encoded = sorted(
+            (canonical(item) for item in obj),
+            key=lambda c: json.dumps(c, sort_keys=True),
+        )
+        return ["@set", encoded]
+    if isinstance(obj, dict):
+        items = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["@dict", items]
+    raise TypeError(f"cannot canonicalise {type(obj).__name__!s} for fingerprinting")
+
+
+def fingerprint(*parts: Any) -> str:
+    """The SHA-256 hex digest of the canonical form of ``parts``."""
+    blob = json.dumps(
+        [canonical(part) for part in parts], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def program_fingerprint(program: Any) -> str:
+    """The content hash of a litmus program's *structure*.
+
+    Deliberately excludes ``name`` and ``description``: generated sweeps
+    label programs positionally (``shape-17``), and overlapping corpora
+    should share verdicts whenever the buffers and threads coincide.
+    """
+    return fingerprint("program", program.buffers, program.threads)
+
+
+class VerdictCache:
+    """Content-addressed on-disk verdict store (see module docstring)."""
+
+    def __init__(self, directory: os.PathLike, revision: Optional[str] = None):
+        self.directory = Path(directory)
+        self.revision = SEMANTICS_REVISION if revision is None else revision
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VerdictCache({str(self.directory)!r}, revision={self.revision!r})"
+
+    # -- construction / transport -----------------------------------------
+
+    @classmethod
+    def from_env(cls) -> Optional["VerdictCache"]:
+        """The environment-configured cache, or ``None`` when disabled/unset."""
+        raw = os.environ.get(CACHE_ENV, "").strip()
+        if raw.lower() in _DISABLED_VALUES:
+            return None
+        return cls(raw)
+
+    @property
+    def spec(self) -> Tuple[str, str]:
+        """A picklable description; shard workers rebuild the cache from it."""
+        return (str(self.directory), self.revision)
+
+    @classmethod
+    def from_spec(cls, spec: Optional[Tuple[str, str]]) -> Optional["VerdictCache"]:
+        if spec is None:
+            return None
+        return cls(spec[0], spec[1])
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, *parts: Any) -> str:
+        """A cache key over ``parts``; the revision is always in the preimage."""
+        return fingerprint(self.revision, *parts)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- storage ------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The recorded verdict for ``key``, or :data:`MISS`.
+
+        Unreadable, truncated, or foreign files are misses: the caller
+        recomputes and overwrites.
+        """
+        try:
+            with self._path(key).open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return MISS
+        if not isinstance(entry, dict) or entry.get("key") != key or "verdict" not in entry:
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return entry["verdict"]
+
+    def put(self, key: str, verdict: Any) -> None:
+        """Record ``verdict`` atomically (best-effort; IO errors are swallowed)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"key": key, "verdict": verdict}, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:  # pragma: no cover - host-specific (read-only dirs, ENOSPC)
+            return
+        self.writes += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """The cached verdict, or ``compute()`` recorded under ``key``."""
+        verdict = self.get(key)
+        if verdict is MISS:
+            verdict = compute()
+            self.put(key, verdict)
+        return verdict
+
+
+def resolve_cache(cache: Any = None) -> Optional[VerdictCache]:
+    """Normalise a consumer-facing ``cache=`` argument.
+
+    ``None`` defers to the ``REPRO_VERDICT_CACHE`` environment variable,
+    ``False`` disables caching outright, and a :class:`VerdictCache` passes
+    through unchanged.
+    """
+    if cache is None:
+        return VerdictCache.from_env()
+    if cache is False:
+        return None
+    return cache

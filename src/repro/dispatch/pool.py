@@ -1,0 +1,121 @@
+"""Order-preserving multiprocessing fan-out with a serial fallback.
+
+The checks dispatched here are pure functions of picklable arguments
+(programs, models, bounds), so the only contract the pool layer has to keep
+is *ordering*: results come back in task order regardless of which worker
+finished first, and early-exit consumers (the bounded searches) can stop
+consuming and abandon the still-queued tail.
+
+``workers=1`` — or any environment where a pool cannot be created (no
+``/dev/shm``, restricted sandboxes, interpreters without ``fork``/``spawn``)
+— degrades to a plain in-process loop with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit argument, else ``$REPRO_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(1, workers)
+
+
+def _default_chunk_size(total: int, workers: int) -> int:
+    """~4 chunks per worker: small enough that one slow chunk cannot
+    serialise the sweep, large enough that per-chunk dispatch overhead
+    stays negligible."""
+    return max(1, -(-total // (max(1, workers) * 4)))
+
+
+def shard_ranges(total: int, workers: int, chunk_size: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into contiguous ``(start, stop)`` chunks."""
+    if total <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = _default_chunk_size(total, workers)
+    return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+
+
+def _make_pool(workers: int):
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fork shares the parent's warmed memos (shape tables, catalogues)
+        # with every worker for free.
+        context = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-POSIX hosts
+        context = multiprocessing.get_context()
+    return context.Pool(processes=workers)
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[R]:
+    """``[func(x) for x in items]``, fanned out over ``workers`` processes.
+
+    Order-preserving; falls back to the serial loop for ``workers<=1``,
+    single-item inputs, or hosts where no pool can be started.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    try:
+        pool = _make_pool(min(workers, len(items)))
+    except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
+        return [func(item) for item in items]
+    try:
+        if chunk_size is None:
+            chunk_size = _default_chunk_size(len(items), workers)
+        return pool.map(func, items, chunksize=chunk_size)
+    finally:
+        pool.terminate()
+        pool.join()
+
+
+def imap_ordered(
+    func: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: Optional[int] = None,
+) -> Iterator[R]:
+    """Lazily yield ``func(task)`` in task order; the caller may stop early.
+
+    This is the early-exit primitive of the bounded searches: chunks are
+    consumed in generation order, so breaking at the first hit reproduces
+    the serial search's verdict (and its ``programs_examined`` count) while
+    later chunks — possibly already running speculatively — are abandoned.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield func(task)
+        return
+    try:
+        pool = _make_pool(min(workers, len(tasks)))
+    except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
+        for task in tasks:
+            yield func(task)
+        return
+    try:
+        for result in pool.imap(func, tasks):
+            yield result
+    finally:
+        pool.terminate()
+        pool.join()

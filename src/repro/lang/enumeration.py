@@ -449,7 +449,7 @@ def _build_execution(
     # conditions by construction (see PreExecution.sb_asw_sound), so the
     # verdict can be seeded when the pre-level conditions hold.
     if pre.sb_asw_sound():
-        execution._cache[("wf", False, None)] = True
+        execution._cache["wf_structure"] = True
     return execution
 
 

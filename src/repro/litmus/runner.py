@@ -1,9 +1,17 @@
-"""Running litmus tests against the JavaScript models and the SC oracle."""
+"""Running litmus tests against the JavaScript models and the SC oracle.
+
+Batched entry points (:func:`run_tests`, :func:`run_catalogue`) accept
+``workers=N`` to shard independent tests over the :mod:`repro.dispatch`
+pool and ``cache=`` to persist per-expectation verdicts in a
+:class:`~repro.dispatch.cache.VerdictCache`; both default to the
+environment-driven behaviour (``REPRO_WORKERS`` / ``REPRO_VERDICT_CACHE``)
+and both reproduce the serial, uncached verdicts bit-for-bit.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.js_model import (
     ARMV8_FIX_MODEL,
@@ -11,6 +19,13 @@ from ..core.js_model import (
     FINAL_MODEL_STRONG_TEAR,
     JsModel,
     ORIGINAL_MODEL,
+)
+from ..dispatch import (
+    VerdictCache,
+    parallel_map,
+    program_fingerprint,
+    resolve_cache,
+    resolve_workers,
 )
 from ..lang.ast import Outcome, Program, outcome_matches
 from ..lang.enumeration import allowed_outcomes, outcome_allowed
@@ -24,6 +39,8 @@ from .catalogue import (
     ORIGINAL,
     SC,
     STRONG_TEAR,
+    all_tests,
+    by_name,
 )
 
 MODEL_BY_KEY: Dict[str, JsModel] = {
@@ -68,10 +85,9 @@ class TestResult:
         return all(r.passed for r in self.results)
 
 
-def spec_allowed(
+def _spec_allowed_uncached(
     test: LitmusTest, spec: Dict[str, int], model_key: str
 ) -> bool:
-    """Is ``spec`` observable for ``test`` under the model named ``model_key``?"""
     program = test.program
     if model_key == SC:
         return any(outcome_matches(o, spec) for o in sc_outcomes(program))
@@ -84,25 +100,165 @@ def spec_allowed(
     return outcome_allowed(program, spec, model)
 
 
-def check_expectation(test: LitmusTest, expectation: Expectation) -> ExpectationResult:
+def _expectation_key(
+    cache: VerdictCache, test: LitmusTest, spec: Dict[str, int], model_key: str
+) -> str:
+    """The cache key of one litmus verdict.
+
+    Covers everything the verdict depends on: the program structure, the
+    model configuration (the full :class:`JsModel` value, not just its
+    name), the outcome spec, and — for wait/notify programs — which §7
+    semantics apply.
+    """
+    model = None if model_key == SC else MODEL_BY_KEY[model_key]
+    if test.program.uses_wait_notify():
+        # Same normalisation as the checker: unset means corrected (§7), so
+        # None and True share one cache slot.
+        corrected = test.corrected_wait_notify
+        if corrected is None:
+            corrected = True
+    else:
+        corrected = None
+    return cache.key(
+        "litmus-verdict",
+        program_fingerprint(test.program),
+        model_key,
+        model,
+        tuple(sorted(spec.items())),
+        corrected,
+    )
+
+
+def spec_allowed(
+    test: LitmusTest, spec: Dict[str, int], model_key: str, cache=None
+) -> bool:
+    """Is ``spec`` observable for ``test`` under the model named ``model_key``?"""
+    cache = resolve_cache(cache)
+    if cache is None:
+        return _spec_allowed_uncached(test, spec, model_key)
+    key = _expectation_key(cache, test, spec, model_key)
+    return bool(
+        cache.get_or_compute(
+            key, lambda: _spec_allowed_uncached(test, spec, model_key)
+        )
+    )
+
+
+def check_expectation(
+    test: LitmusTest, expectation: Expectation, cache=None
+) -> ExpectationResult:
     """Evaluate a single expected verdict."""
-    observed = spec_allowed(test, expectation.spec_dict, expectation.model)
+    observed = spec_allowed(test, expectation.spec_dict, expectation.model, cache=cache)
     return ExpectationResult(
         test=test.name, expectation=expectation, observed_allowed=observed
     )
 
 
-def run_test(test: LitmusTest) -> TestResult:
+def run_test(test: LitmusTest, cache=None) -> TestResult:
     """Evaluate every expectation of a litmus test."""
     return TestResult(
         test=test,
-        results=tuple(check_expectation(test, e) for e in test.expectations),
+        results=tuple(check_expectation(test, e, cache=cache) for e in test.expectations),
     )
 
 
-def run_tests(tests: List[LitmusTest]) -> List[TestResult]:
-    """Evaluate a batch of litmus tests."""
-    return [run_test(test) for test in tests]
+def _run_test_worker(task) -> Tuple[bool, ...]:
+    """Shard worker: the observed verdicts of one test, in expectation order.
+
+    Returns plain booleans (not result objects) so nothing heavier than the
+    task itself crosses the process boundary; the parent reassembles the
+    :class:`TestResult` values it already has the expectations for.
+    """
+    test, cache_spec = task
+    cache = VerdictCache.from_spec(cache_spec)
+    return tuple(
+        spec_allowed(
+            test,
+            e.spec_dict,
+            e.model,
+            cache=cache if cache is not None else False,
+        )
+        for e in test.expectations
+    )
+
+
+def run_tests(
+    tests: Iterable[LitmusTest], workers: Optional[int] = None, cache=None
+) -> List[TestResult]:
+    """Evaluate a batch of litmus tests, optionally sharded over workers."""
+    tests = list(tests)
+    workers = resolve_workers(workers)
+    cache = resolve_cache(cache)
+    if workers <= 1:
+        return [run_test(test, cache=cache if cache is not None else False) for test in tests]
+    spec = cache.spec if cache is not None else None
+    observed = parallel_map(
+        _run_test_worker, [(test, spec) for test in tests], workers=workers
+    )
+    return [
+        TestResult(
+            test=test,
+            results=tuple(
+                ExpectationResult(
+                    test=test.name, expectation=e, observed_allowed=allowed
+                )
+                for e, allowed in zip(test.expectations, verdicts)
+            ),
+        )
+        for test, verdicts in zip(tests, observed)
+    ]
+
+
+@dataclass(frozen=True)
+class CatalogueReport:
+    """The verdicts of one batched catalogue sweep."""
+
+    results: Tuple[TestResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def mismatches(self) -> Tuple[ExpectationResult, ...]:
+        return tuple(
+            r for result in self.results for r in result.results if not r.passed
+        )
+
+    def verdicts(self) -> Dict[str, Tuple[bool, ...]]:
+        """Observed verdicts per test name, in expectation order."""
+        return {
+            result.test.name: tuple(r.observed_allowed for r in result.results)
+            for result in self.results
+        }
+
+    def describe(self) -> str:
+        total = sum(len(result.results) for result in self.results)
+        bad = self.mismatches
+        lines = [
+            f"catalogue sweep: {len(self.results)} tests, {total} expectations, "
+            f"{len(bad)} mismatches"
+        ]
+        lines.extend(r.describe() for r in bad)
+        return "\n".join(lines)
+
+
+def run_catalogue(
+    names: Optional[Sequence[str]] = None,
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+) -> CatalogueReport:
+    """Run the litmus catalogue (or the named subset) as one batch.
+
+    ``workers`` shards the independent tests over the dispatch pool;
+    ``cache`` persists per-expectation verdicts across runs.  Both leave
+    every verdict bit-identical to a serial, uncached sweep.
+    """
+    tests = all_tests() if names is None else [by_name(name) for name in names]
+    return CatalogueReport(
+        results=tuple(run_tests(tests, workers=workers, cache=cache))
+    )
 
 
 def outcomes_under(

@@ -18,7 +18,7 @@ These are the explicit-state analogues of the paper's two Alloy searches:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from ..compile.correctness import (
     CompilationCounterExample,
@@ -26,10 +26,18 @@ from ..compile.correctness import (
 )
 from ..core.data_race import data_races
 from ..core.js_model import FINAL_MODEL, JsModel, ORIGINAL_MODEL
+from ..dispatch import (
+    VerdictCache,
+    imap_ordered,
+    program_fingerprint,
+    resolve_cache,
+    resolve_workers,
+    shard_ranges,
+)
 from ..lang.ast import Outcome, Program
 from ..lang.enumeration import allowed_executions
 from ..lang.interpreter import sc_outcomes
-from .shapes import SearchBounds, count_accesses, generate_programs
+from .shapes import SearchBounds, count_accesses, generate_programs, program_count
 
 
 @dataclass(frozen=True)
@@ -77,11 +85,10 @@ def _location_count(program: Program) -> int:
     return len(footprints)
 
 
-def search_sc_drf_violation(
-    bounds: SearchBounds,
-    model: JsModel = ORIGINAL_MODEL,
-) -> SearchReport:
-    """Search for an SC-DRF violation within ``bounds`` (§5.4).
+def _sc_drf_counterexample(
+    program: Program, model: JsModel
+) -> Optional[ScDrfCounterExample]:
+    """The per-program §5.4 check (the independent unit the sweeps shard).
 
     Data-race freedom and the allowed-outcome set are established in a
     *single* pass over the program's model-allowed executions: the first
@@ -89,57 +96,199 @@ def search_sc_drf_violation(
     outcomes are collected as the executions stream by and only then
     compared against the sequential-interleaving oracle.
     """
-    report = SearchReport(model=model.name)
-    for program in generate_programs(bounds):
-        report.programs_examined += 1
-        racy = False
-        outcomes: List[Outcome] = []
-        seen = set()
-        for execution, outcome in allowed_executions(program, model):
-            if data_races(execution, model):
-                racy = True
-                break
-            key = tuple(sorted(outcome.items()))
-            if key not in seen:
-                seen.add(key)
-                outcomes.append(outcome)
-        if racy:
-            # The SC-DRF guarantee is vacuous for racy programs.
-            continue
-        sc = {tuple(sorted(o.items())) for o in sc_outcomes(program)}
-        weird = [o for o in outcomes if tuple(sorted(o.items())) not in sc]
-        if weird:
-            report.counterexample = ScDrfCounterExample(
-                program=program,
-                outcome=weird[0],
-                event_count=count_accesses(program),
-                location_count=_location_count(program),
+    racy = False
+    outcomes: List[Outcome] = []
+    seen = set()
+    for execution, outcome in allowed_executions(program, model):
+        if data_races(execution, model):
+            racy = True
+            break
+        key = tuple(sorted(outcome.items()))
+        if key not in seen:
+            seen.add(key)
+            outcomes.append(outcome)
+    if racy:
+        # The SC-DRF guarantee is vacuous for racy programs.
+        return None
+    sc = {tuple(sorted(o.items())) for o in sc_outcomes(program)}
+    weird = [o for o in outcomes if tuple(sorted(o.items())) not in sc]
+    if not weird:
+        return None
+    return ScDrfCounterExample(
+        program=program,
+        outcome=weird[0],
+        event_count=count_accesses(program),
+        location_count=_location_count(program),
+    )
+
+
+def _sc_drf_hit(program: Program, model: JsModel) -> bool:
+    return _sc_drf_counterexample(program, model) is not None
+
+
+def _compilation_hit(
+    program: Program, model: JsModel, use_operational: bool
+) -> bool:
+    return (
+        find_compilation_violation(program, model, use_operational=use_operational)
+        is not None
+    )
+
+
+# Per-program hit predicates by sweep kind; the kind tag is also part of the
+# verdict-cache key.
+_SWEEP_KINDS = {
+    "sc-drf": lambda program, model, _use_operational: _sc_drf_hit(program, model),
+    "arm-compilation": _compilation_hit,
+}
+
+
+def _sweep_chunk_worker(
+    task,
+) -> Tuple[int, Optional[int]]:
+    """Scan one contiguous slice of the program enumeration.
+
+    Returns ``(programs examined, global index of the first hit or None)``.
+    With a verdict cache, per-program hit/miss verdicts are read and
+    recorded; examined counts are unaffected, so warm-cache reports are
+    bit-identical to cold ones.
+    """
+    kind, bounds, model, use_operational, start, stop, cache_spec = task
+    check = _SWEEP_KINDS[kind]
+    # Serial sweeps pass the live cache through (so hit/miss statistics land
+    # on the caller's object); shard workers get the picklable spec.
+    if isinstance(cache_spec, VerdictCache):
+        cache = cache_spec
+    else:
+        cache = VerdictCache.from_spec(cache_spec)
+    examined = 0
+    for index, program in zip(
+        range(start, stop), generate_programs(bounds, start, stop)
+    ):
+        examined += 1
+        if cache is None:
+            hit = check(program, model, use_operational)
+        else:
+            key = cache.key(
+                kind, program_fingerprint(program), model, use_operational
             )
-            return report
+            hit = bool(
+                cache.get_or_compute(
+                    key, lambda: check(program, model, use_operational)
+                )
+            )
+        if hit:
+            return examined, index
+    return examined, None
+
+
+def _swept_search(
+    kind: str,
+    bounds: SearchBounds,
+    model: JsModel,
+    use_operational: bool,
+    workers: Optional[int],
+    cache,
+    materialise,
+) -> SearchReport:
+    """The shared driver of both §5 sweeps.
+
+    Chunks are scanned in generation order and the scan stops at the first
+    hit, so the verdict, the counter-example, and ``programs_examined`` are
+    identical to the serial search whatever ``workers`` is.  ``materialise``
+    recomputes the full counter-example for the hit program in-process (the
+    shard workers only report indices, keeping IPC payloads tiny).
+    """
+    workers = resolve_workers(workers)
+    cache = resolve_cache(cache)
+    report = SearchReport(model=model.name)
+    total = program_count(bounds)
+    if cache is None:
+        cache_spec = None
+    elif workers <= 1:
+        cache_spec = cache
+    else:
+        cache_spec = cache.spec
+    tasks = [
+        (kind, bounds, model, use_operational, start, stop, cache_spec)
+        for (start, stop) in shard_ranges(total, workers)
+    ]
+    results = imap_ordered(_sweep_chunk_worker, tasks, workers=workers)
+    for task, (examined, hit_index) in zip(tasks, results):
+        report.programs_examined += examined
+        chunk_stop = task[5]
+        while hit_index is not None:
+            program = next(generate_programs(bounds, hit_index, hit_index + 1))
+            counterexample = materialise(program)
+            if counterexample is not None:
+                report.counterexample = counterexample
+                return report
+            # A stale cache entry claimed a hit the checker disowns (e.g. a
+            # cache shared across an unbumped local edit): repair the entry,
+            # then rescan the *rest of this chunk* — the worker returned at
+            # the false hit, so the remainder has not been examined yet.
+            if cache is not None:
+                cache.put(
+                    cache.key(
+                        kind, program_fingerprint(program), model, use_operational
+                    ),
+                    False,
+                )
+            examined, hit_index = _sweep_chunk_worker(
+                (kind, bounds, model, use_operational, hit_index + 1, chunk_stop, cache)
+            )
+            report.programs_examined += examined
     return report
+
+
+def search_sc_drf_violation(
+    bounds: SearchBounds,
+    model: JsModel = ORIGINAL_MODEL,
+    workers: Optional[int] = None,
+    cache=None,
+) -> SearchReport:
+    """Search for an SC-DRF violation within ``bounds`` (§5.4).
+
+    ``workers`` shards the program enumeration over the dispatch pool;
+    ``cache`` persists per-program hit/miss verdicts.  Reports are
+    bit-identical to the serial, uncached search.
+    """
+    return _swept_search(
+        "sc-drf",
+        bounds,
+        model,
+        False,
+        workers,
+        cache,
+        lambda program: _sc_drf_counterexample(program, model),
+    )
 
 
 def search_compilation_violation(
     bounds: SearchBounds,
     model: JsModel = ORIGINAL_MODEL,
     use_operational: bool = False,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> SearchReport:
     """Search for an ARMv8 compilation-scheme violation within ``bounds`` (§5.1).
 
     A hit is a program with an ARMv8-allowed execution whose translated
     JavaScript execution is invalid for every total order — i.e. a *dead*
-    counter-example.
+    counter-example.  Shardable and cacheable like
+    :func:`search_sc_drf_violation`.
     """
-    report = SearchReport(model=model.name)
-    for program in generate_programs(bounds):
-        report.programs_examined += 1
-        violation = find_compilation_violation(
+    return _swept_search(
+        "arm-compilation",
+        bounds,
+        model,
+        use_operational,
+        workers,
+        cache,
+        lambda program: find_compilation_violation(
             program, model, use_operational=use_operational
-        )
-        if violation is not None:
-            report.counterexample = violation
-            return report
-    return report
+        ),
+    )
 
 
 def confirm_program_compilation_violation(

@@ -65,6 +65,9 @@ def _access_options(bounds: SearchBounds) -> List[AccessSpec]:
     return options
 
 
+_SHAPES_MEMO: dict = {}
+
+
 def _thread_shapes(
     bounds: SearchBounds,
 ) -> List[Tuple[Tuple[AccessSpec, ...], Optional[Tuple[int, int]]]]:
@@ -74,6 +77,9 @@ def _thread_shapes(
     location)``: the thread ends with ``if (r == guard) { r' = x[loc] }``
     where ``r`` is the result of the thread's final (atomic) load.
     """
+    memoised = _SHAPES_MEMO.get(bounds)
+    if memoised is not None:
+        return memoised
     options = _access_options(bounds)
     shapes: List[Tuple[Tuple[AccessSpec, ...], Optional[Tuple[int, int]]]] = []
     for length in range(1, bounds.max_accesses_per_thread + 1):
@@ -87,6 +93,7 @@ def _thread_shapes(
                 for guard in bounds.values:
                     for location in range(bounds.locations):
                         shapes.append((combo, (guard, location)))
+    _SHAPES_MEMO[bounds] = shapes
     return shapes
 
 
@@ -124,41 +131,68 @@ def _build_thread(
     return Thread(tuple(statements))
 
 
-def generate_programs(bounds: SearchBounds) -> Iterator[Program]:
-    """Enumerate programs within ``bounds``, smallest (fewest accesses) first."""
+# The (size, shape-combo) table of each bounds value, memoised: sharded
+# sweeps re-enter the enumeration once per chunk, and forked workers inherit
+# the parent's warmed table.
+_SIZED_MEMO: dict = {}
+
+
+def _sized_combos(bounds: SearchBounds) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Every thread-shape combination within ``bounds``, smallest first.
+
+    Canonical form: thread shapes in non-decreasing index order removes the
+    symmetric duplicates obtained by permuting threads.
+    """
+    sized = _SIZED_MEMO.get(bounds)
+    if sized is None:
+        shapes = _thread_shapes(bounds)
+        sized = []
+        for combo in itertools.product(range(len(shapes)), repeat=bounds.threads):
+            if list(combo) != sorted(combo):
+                continue
+            total = sum(_shape_size(shapes[i]) for i in combo)
+            if total > bounds.max_total_accesses:
+                continue
+            sized.append((total, combo))
+        sized.sort()
+        _SIZED_MEMO[bounds] = sized
+    return sized
+
+
+def program_count(bounds: SearchBounds) -> int:
+    """How many programs :func:`generate_programs` yields for ``bounds``."""
+    total = len(_sized_combos(bounds))
+    if bounds.max_programs is not None:
+        total = min(total, bounds.max_programs)
+    return total
+
+
+def generate_programs(
+    bounds: SearchBounds, start: int = 0, stop: Optional[int] = None
+) -> Iterator[Program]:
+    """Enumerate programs within ``bounds``, smallest (fewest accesses) first.
+
+    ``start``/``stop`` select a contiguous slice of the enumeration (used by
+    the sharded sweeps): program names and order are positional, so the
+    concatenation of slices is identical to the full enumeration.
+    """
     buffer = new_shared_array_buffer("b", 4 * bounds.locations)
     view = new_typed_array("b", buffer, INT32)
     shapes = _thread_shapes(bounds)
-    combos = itertools.product(range(len(shapes)), repeat=bounds.threads)
+    sized = _sized_combos(bounds)
 
-    # Canonical form: thread shapes in non-decreasing index order removes the
-    # symmetric duplicates obtained by permuting threads.
-    sized: List[Tuple[int, Tuple[int, ...]]] = []
-    for combo in combos:
-        if list(combo) != sorted(combo):
-            continue
-        total = sum(_shape_size(shapes[i]) for i in combo)
-        if total > bounds.max_total_accesses:
-            continue
-        sized.append((total, combo))
-    sized.sort()
-
-    produced = 0
-    for index, (_total, combo) in enumerate(sized):
-        threads = tuple(
-            _build_thread(shapes[i], view, register_prefix="r") for i in combo
-        )
-        if any(not t.statements for t in threads):
-            continue
+    total = program_count(bounds)
+    stop = total if stop is None else min(stop, total)
+    for index in range(max(0, start), stop):
+        _total, combo = sized[index]
         yield Program(
             name=f"shape-{index}",
             buffers=(buffer,),
-            threads=threads,
+            threads=tuple(
+                _build_thread(shapes[i], view, register_prefix="r") for i in combo
+            ),
             description="generated by the bounded shape search",
         )
-        produced += 1
-        if bounds.max_programs is not None and produced >= bounds.max_programs:
-            return
 
 
 def count_accesses(program: Program) -> int:

@@ -1,0 +1,396 @@
+"""The dispatch layer: sharded sweeps and the persistent verdict cache.
+
+Covers the ISSUE-2 acceptance points: cache hit/miss semantics,
+invalidation on a semantics-revision change, corrupt/partial cache files
+falling back to recompute, and parallel/cached results being bit-identical
+to the serial ones (checked against the recorded golden catalogue verdicts
+where applicable).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compile import check_corpus_compilation
+from repro.core import FINAL_MODEL, ORIGINAL_MODEL
+from repro.dispatch import (
+    MISS,
+    VerdictCache,
+    fingerprint,
+    parallel_map,
+    program_fingerprint,
+    resolve_cache,
+    resolve_workers,
+    shard_ranges,
+)
+from repro.litmus.catalogue import by_name
+from repro.litmus.runner import run_catalogue, run_tests, spec_allowed
+from repro.search import (
+    SearchBounds,
+    search_compilation_violation,
+    search_sc_drf_violation,
+)
+from repro.search.shapes import generate_programs, program_count
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "catalogue_verdicts.json"
+
+# A fast, representative catalogue subset (atomic + mixed-size + relaxed).
+FAST_TESTS = ["sb-sc", "lb-sc", "corr-un", "mp-un-sc", "mixed-size-overlap"]
+
+# A tiny shape space: 10 programs, all checked in well under a second.
+TINY_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=1,
+    max_total_accesses=2,
+    locations=1,
+    values=(1,),
+    guarded_observer=False,
+)
+
+# The §5.4 bound that contains the Fig. 8 counter-example.
+SC_DRF_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=1,
+    values=(1, 2),
+    guarded_observer=True,
+)
+
+
+def _golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+def _golden_key(test_name, expectation):
+    return "|".join(
+        (
+            test_name,
+            expectation.model,
+            json.dumps(sorted(expectation.spec_dict.items())),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# cache semantics
+# ---------------------------------------------------------------------------
+
+
+class TestVerdictCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("unit", "some", "material")
+        assert cache.get(key) is MISS
+        cache.put(key, True)
+        assert cache.get(key) is True
+        # A fresh handle over the same directory sees the entry (persistence).
+        again = VerdictCache(tmp_path)
+        assert again.get(key) is True
+        assert again.hits == 1
+
+    def test_falsy_verdicts_are_not_misses(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("unit", "falsy")
+        cache.put(key, False)
+        assert cache.get(key) is False
+
+    def test_revision_change_invalidates(self, tmp_path):
+        old = VerdictCache(tmp_path, revision="rev-A")
+        old.put(old.key("unit", "payload"), True)
+        new = VerdictCache(tmp_path, revision="rev-B")
+        # Same key material, new revision: the old entry is unreachable.
+        assert new.get(new.key("unit", "payload")) is MISS
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not json at all",
+            b'{"key": "truncated...',
+            b'{"unexpected": "schema"}',
+            b'{"key": "somebody-else", "verdict": true}',
+            b"",
+        ],
+        ids=["garbage", "partial", "foreign-schema", "wrong-key", "empty"],
+    )
+    def test_corrupt_file_falls_back_to_recompute(self, tmp_path, garbage):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("unit", "corruptible")
+        cache.put(key, True)
+        path = cache._path(key)
+        path.write_bytes(garbage)
+        assert cache.get(key) is MISS
+        # get_or_compute repairs the entry.
+        assert cache.get_or_compute(key, lambda: "recomputed") == "recomputed"
+        assert cache.get(key) == "recomputed"
+
+    def test_get_or_compute_skips_compute_on_hit(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("unit", "memo")
+        cache.put(key, 41)
+
+        def explode():
+            raise AssertionError("should not be recomputed on a hit")
+
+        assert cache.get_or_compute(key, explode) == 41
+
+    def test_spec_roundtrip(self, tmp_path):
+        cache = VerdictCache(tmp_path, revision="rev-X")
+        clone = VerdictCache.from_spec(cache.spec)
+        assert (clone.directory, clone.revision) == (cache.directory, cache.revision)
+        assert VerdictCache.from_spec(None) is None
+
+    def test_resolve_cache(self, tmp_path, monkeypatch):
+        cache = VerdictCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        assert resolve_cache(False) is None
+        monkeypatch.delenv("REPRO_VERDICT_CACHE", raising=False)
+        assert resolve_cache(None) is None
+        monkeypatch.setenv("REPRO_VERDICT_CACHE", str(tmp_path))
+        env_cache = resolve_cache(None)
+        assert env_cache is not None and env_cache.directory == tmp_path
+        monkeypatch.setenv("REPRO_VERDICT_CACHE", "off")
+        assert resolve_cache(None) is None
+
+
+class TestFingerprints:
+    def test_program_fingerprint_is_structural(self):
+        a = next(generate_programs(TINY_BOUNDS, 3, 4))
+        b = next(generate_programs(TINY_BOUNDS, 3, 4))
+        assert a is not b
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_program_fingerprint_ignores_name(self):
+        import dataclasses
+
+        program = next(generate_programs(TINY_BOUNDS, 3, 4))
+        renamed = dataclasses.replace(program, name="renamed", description="other")
+        assert program_fingerprint(program) == program_fingerprint(renamed)
+
+    def test_distinct_programs_fingerprint_differently(self):
+        fingerprints = {
+            program_fingerprint(p) for p in generate_programs(TINY_BOUNDS)
+        }
+        assert len(fingerprints) == program_count(TINY_BOUNDS)
+
+    def test_model_configs_fingerprint_differently(self):
+        assert fingerprint(FINAL_MODEL) != fingerprint(ORIGINAL_MODEL)
+
+
+# ---------------------------------------------------------------------------
+# pool plumbing
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+class TestPool:
+    def test_parallel_map_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, workers=3) == [x * x for x in items]
+
+    def test_serial_fallback(self):
+        assert parallel_map(_square, [3], workers=8) == [9]
+        assert parallel_map(_square, [], workers=8) == []
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(6) == 6
+        assert resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert resolve_workers(None) == 1
+
+    def test_shard_ranges_cover_exactly(self):
+        for total, workers in [(0, 4), (1, 4), (10, 3), (252, 2), (7, 100)]:
+            ranges = shard_ranges(total, workers)
+            covered = [i for (s, t) in ranges for i in range(s, t)]
+            assert covered == list(range(total))
+
+
+# ---------------------------------------------------------------------------
+# program-slice determinism (what makes sharding bit-identical)
+# ---------------------------------------------------------------------------
+
+
+def test_generate_programs_slices_concatenate():
+    full = [(p.name, p.threads) for p in generate_programs(TINY_BOUNDS)]
+    total = program_count(TINY_BOUNDS)
+    assert len(full) == total
+    sliced = []
+    for start in range(0, total, 3):
+        sliced.extend(
+            (p.name, p.threads)
+            for p in generate_programs(TINY_BOUNDS, start, start + 3)
+        )
+    assert sliced == full
+
+
+# ---------------------------------------------------------------------------
+# catalogue: parallel and cached sweeps are bit-identical to the golden file
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogueSweeps:
+    def _assert_matches_golden(self, report):
+        golden = _golden()
+        for result in report.results:
+            for er in result.results:
+                key = _golden_key(result.test.name, er.expectation)
+                assert er.observed_allowed == golden[key], key
+
+    def test_parallel_matches_serial_and_golden(self):
+        serial = run_catalogue(FAST_TESTS, workers=1, cache=False)
+        sharded = run_catalogue(FAST_TESTS, workers=2, cache=False)
+        assert serial.verdicts() == sharded.verdicts()
+        self._assert_matches_golden(serial)
+        self._assert_matches_golden(sharded)
+
+    def test_cached_matches_golden_cold_and_warm(self, tmp_path):
+        cold_cache = VerdictCache(tmp_path)
+        cold = run_catalogue(FAST_TESTS, cache=cold_cache)
+        assert cold_cache.writes > 0
+        warm_cache = VerdictCache(tmp_path)
+        warm = run_catalogue(FAST_TESTS, cache=warm_cache)
+        assert warm_cache.hits == sum(
+            len(by_name(name).expectations) for name in FAST_TESTS
+        )
+        assert warm_cache.writes == 0
+        assert cold.verdicts() == warm.verdicts()
+        self._assert_matches_golden(warm)
+
+    def test_spec_allowed_ignores_cached_entry_of_other_model(self, tmp_path):
+        # sb-sc: forbidden under every JS model, allowed... same spec under
+        # different models must occupy different cache slots.
+        cache = VerdictCache(tmp_path)
+        test = by_name("sb-sc")
+        spec = test.expectations[0].spec_dict
+        models = {e.model for e in test.expectations}
+        observed = {
+            model: spec_allowed(test, spec, model, cache=cache) for model in models
+        }
+        uncached = {
+            model: spec_allowed(test, spec, model, cache=False) for model in models
+        }
+        assert observed == uncached
+
+    def test_run_tests_accepts_non_catalogue_tests_in_parallel(self):
+        tests = [by_name(name) for name in FAST_TESTS[:2]]
+        serial = run_tests(tests, workers=1, cache=False)
+        sharded = run_tests(tests, workers=2, cache=False)
+        assert [
+            tuple(r.observed_allowed for r in result.results) for result in serial
+        ] == [
+            tuple(r.observed_allowed for r in result.results) for result in sharded
+        ]
+
+
+# ---------------------------------------------------------------------------
+# sweeps: sharded + cached searches reproduce the serial reports
+# ---------------------------------------------------------------------------
+
+
+class TestShardedSearches:
+    def test_sc_drf_sharded_matches_serial(self):
+        serial = search_sc_drf_violation(SC_DRF_BOUNDS, ORIGINAL_MODEL)
+        sharded = search_sc_drf_violation(SC_DRF_BOUNDS, ORIGINAL_MODEL, workers=2)
+        assert serial.found and sharded.found
+        assert serial.programs_examined == sharded.programs_examined
+        assert (
+            serial.counterexample.program.name
+            == sharded.counterexample.program.name
+        )
+        assert serial.counterexample.outcome == sharded.counterexample.outcome
+
+    def test_sc_drf_cached_warm_run_is_identical(self, tmp_path):
+        cache_dir = tmp_path / "verdicts"
+        cold = search_sc_drf_violation(
+            SC_DRF_BOUNDS, ORIGINAL_MODEL, cache=VerdictCache(cache_dir)
+        )
+        warm_cache = VerdictCache(cache_dir)
+        warm = search_sc_drf_violation(
+            SC_DRF_BOUNDS, ORIGINAL_MODEL, cache=warm_cache
+        )
+        assert warm_cache.hits > 0
+        assert (cold.found, cold.programs_examined) == (
+            warm.found,
+            warm.programs_examined,
+        )
+        assert (
+            cold.counterexample.program.name == warm.counterexample.program.name
+        )
+        assert cold.counterexample.outcome == warm.counterexample.outcome
+
+    def test_compilation_sweep_sharded_and_cached(self, tmp_path):
+        serial = search_compilation_violation(TINY_BOUNDS, FINAL_MODEL)
+        sharded = search_compilation_violation(TINY_BOUNDS, FINAL_MODEL, workers=2)
+        cached_dir = tmp_path / "verdicts"
+        cold = search_compilation_violation(
+            TINY_BOUNDS, FINAL_MODEL, cache=VerdictCache(cached_dir)
+        )
+        warm = search_compilation_violation(
+            TINY_BOUNDS, FINAL_MODEL, cache=VerdictCache(cached_dir)
+        )
+        reports = [serial, sharded, cold, warm]
+        assert [r.found for r in reports] == [False] * 4
+        assert len({r.programs_examined for r in reports}) == 1
+
+    def test_stale_cache_hit_rescans_rest_of_chunk(self, tmp_path):
+        """A disowned (stale) cached hit must not skip the chunk's tail.
+
+        Seed a bogus ``True`` verdict early in the enumeration: the sweep
+        must disown it, repair the entry, and still examine every program —
+        including finding a genuine counter-example later on.
+        """
+        from repro.dispatch import program_fingerprint
+
+        cache = VerdictCache(tmp_path)
+        poisoned = next(generate_programs(SC_DRF_BOUNDS, 2, 3))
+        key = cache.key("sc-drf", program_fingerprint(poisoned), ORIGINAL_MODEL, False)
+        cache.put(key, True)
+
+        serial = search_sc_drf_violation(SC_DRF_BOUNDS, ORIGINAL_MODEL)
+        repaired = search_sc_drf_violation(
+            SC_DRF_BOUNDS, ORIGINAL_MODEL, cache=VerdictCache(tmp_path)
+        )
+        assert repaired.found == serial.found
+        assert repaired.programs_examined == serial.programs_examined
+        assert (
+            repaired.counterexample.program.name
+            == serial.counterexample.program.name
+        )
+        # The poisoned entry was repaired on disk.
+        assert VerdictCache(tmp_path).get(key) is False
+
+    def test_corpus_compilation_parallel_matches_serial(self, tmp_path):
+        programs = list(generate_programs(TINY_BOUNDS, 0, 6))
+        serial = check_corpus_compilation(programs, FINAL_MODEL)
+        sharded = check_corpus_compilation(programs, FINAL_MODEL, workers=2)
+        cache_dir = tmp_path / "verdicts"
+        cold = check_corpus_compilation(
+            programs, FINAL_MODEL, cache=VerdictCache(cache_dir)
+        )
+        warm_cache = VerdictCache(cache_dir)
+        warm = check_corpus_compilation(programs, FINAL_MODEL, cache=warm_cache)
+        assert warm_cache.hits > 0
+
+        def summary(results):
+            return [
+                (
+                    r.program,
+                    r.correct,
+                    r.arm_executions,
+                    r.valid_with_construction,
+                    r.valid_with_search,
+                    r.construction_failures,
+                )
+                for r in results
+            ]
+
+        assert summary(serial) == summary(sharded) == summary(cold) == summary(warm)
