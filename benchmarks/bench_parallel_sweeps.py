@@ -56,6 +56,22 @@ SC_DRF_BOUNDS = SearchBounds(
     guarded_observer=True,
 )
 
+# A tail-heavy slice of the §5.4 guarded bound under the *corrected* model:
+# no counter-example exists, so the whole slice is swept, and the per-program
+# cost climbs steeply with the access count — the scenario the cost-tapered
+# (work-stealing) chunker exists for.  The static/sized sharded pair below
+# measures the difference; on a single-core host both measure dispatch
+# overhead only (chunk layout cannot change one core's wall-clock).
+TAIL_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=1,
+    values=(1, 2),
+    guarded_observer=True,
+    max_programs=500,
+)
+
 GOLDEN_PATH = Path(__file__).parent.parent / "tests" / "data" / "catalogue_verdicts.json"
 
 # Cross-benchmark state (serial reference verdicts, the shared cache dir).
@@ -218,4 +234,47 @@ def test_scdrf_hunt_sharded(benchmark):
             f"Fig. 8 rediscovered after {report.programs_examined} programs, "
             "identical to serial"
         ],
+    )
+
+
+def test_tail_sweep_serial(benchmark):
+    """The tail-heavy §5.4 slice, swept end to end (corrected model)."""
+    report = run_once(
+        benchmark, search_sc_drf_violation, TAIL_BOUNDS, FINAL_MODEL, workers=1
+    )
+    assert not report.found
+    _state["tail_examined"] = report.programs_examined
+
+
+def test_tail_sweep_sharded_static(benchmark):
+    """The same sweep, sharded with equal-count (static) chunks."""
+    report = run_once(
+        benchmark,
+        search_sc_drf_violation,
+        TAIL_BOUNDS,
+        FINAL_MODEL,
+        workers=WORKERS,
+        chunking="static",
+    )
+    assert not report.found
+    if "tail_examined" in _state:
+        assert report.programs_examined == _state["tail_examined"]
+
+
+def test_tail_sweep_sharded_sized(benchmark):
+    """The same sweep, sharded with cost-tapered (work-stealing) chunks."""
+    report = run_once(
+        benchmark,
+        search_sc_drf_violation,
+        TAIL_BOUNDS,
+        FINAL_MODEL,
+        workers=WORKERS,
+        chunking="sized",
+    )
+    assert not report.found
+    if "tail_examined" in _state:
+        assert report.programs_examined == _state["tail_examined"]
+    print_rows(
+        f"tail-heavy §5.4 sweep (workers={WORKERS}, cost-tapered chunks)",
+        [f"{report.programs_examined} programs, report identical to serial"],
     )

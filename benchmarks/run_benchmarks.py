@@ -12,6 +12,7 @@ Usage::
     python benchmarks/run_benchmarks.py bench_sec5_counterexample_search.py
     python benchmarks/run_benchmarks.py --filter "serial or cold"
     python benchmarks/run_benchmarks.py --compare benchmarks/BENCH_2026-07-29_after.json
+    python benchmarks/run_benchmarks.py --quick --compare <baseline>   # per-PR gate
 
 Any positional arguments are benchmark files (relative to ``benchmarks/``)
 to restrict the run to; with none, the whole suite runs.  ``--filter`` is a
@@ -34,6 +35,18 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
+
+# The --quick profile: a sub-minute subset covering both §5 sweeps, the
+# bounded-correctness corpus and the headline paper figures — enough signal
+# for a per-PR regression gate (pair with --compare) without the multi-minute
+# full suite.
+QUICK_FILES = (
+    "bench_sec5_counterexample_search.py",
+    "bench_sec5_bounded_correctness.py",
+    "bench_fig1_message_passing.py",
+    "bench_fig6_armv8_violation.py",
+    "bench_fig8_scdrf_violation.py",
+)
 
 
 def _load_means(path: Path) -> dict:
@@ -94,6 +107,13 @@ def main() -> int:
         help="pytest -k expression selecting benchmarks within the files",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the sub-minute quick profile (both §5 sweeps, the "
+        "bounded-correctness corpus and the headline figures); combine "
+        "with --compare for a per-PR regression gate",
+    )
+    parser.add_argument(
         "--compare",
         metavar="BASELINE",
         default="",
@@ -116,6 +136,18 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+
+    if args.quick:
+        if args.files:
+            print(
+                "--quick selects its own file set; drop the positional "
+                "benchmark files or run without --quick",
+                file=sys.stderr,
+            )
+            return 2
+        args.files = list(QUICK_FILES)
+        if not args.label:
+            args.label = "quick"
 
     date = datetime.date.today().isoformat()
     suffix = f"_{args.label}" if args.label else ""

@@ -29,6 +29,7 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..core.groundcore import ReadGroup, enumerate_assignments
 from ..core.relations import Relation, acyclic_pairs
 from .events import ArmEvent, ArmEventKind, BarrierKind, make_arm_init
 from .program import (
@@ -43,6 +44,11 @@ ArmRbfTriple = Tuple[int, int, int]
 ArmOutcome = Dict[str, int]
 
 _MISSING = object()
+
+
+def _decode_le(data: Tuple[int, ...]) -> int:
+    """ARM reads decode as little-endian unsigned integers."""
+    return int.from_bytes(bytes(data), "little")
 
 
 @dataclass(frozen=True)
@@ -972,41 +978,55 @@ def _arm_assignments(
 ]:
     """Enumerate feasible reads-byte-from assignments with resolved values.
 
-    Mirrors the JS-side pruned enumeration: reads are assigned writers in
-    program order, a read's value is decoded as soon as its chosen writers'
-    bytes are known (Init, ``const`` stores, and ``copy`` stores resolved
-    from earlier reads), and the branch constraints on that read prune the
-    whole remaining subtree.  Yields ``(assignment, read_bytes, out_bytes)``
-    in exactly the order the plain product would.
+    Mirrors the JS-side pruned enumeration — both now run on
+    :func:`repro.core.groundcore.enumerate_assignments`: reads are assigned
+    writers in program order, a read's value is decoded as soon as its
+    chosen writers' bytes are known (Init, ``const`` stores, and ``copy``
+    stores resolved from earlier reads), and the branch constraints on that
+    read prune the whole remaining subtree.  Yields
+    ``(assignment, read_bytes, out_bytes)`` in exactly the order the plain
+    product would.
     """
     writers = _arm_writers_by_byte(pre)
-    read_groups: List[Tuple[ArmEventTemplate, List[Tuple[int, int]], List[List[int]]]] = []
+    constraints = pre.constraints_by_source()
+    read_groups: List[ReadGroup] = []
     for template in pre.templates:
         if not template.is_read:
             continue
         eid = pre.eid_of[template.key]
         slots: List[Tuple[int, int]] = []
-        choices: List[List[int]] = []
+        locations: List[int] = []
+        choices: List[Tuple[int, ...]] = []
         for k in template.footprint():
             candidates = [w for w in writers.get(k, []) if w != eid]
             if not candidates:
                 return
             slots.append((k, eid))
-            choices.append(candidates)
-        read_groups.append((template, slots, choices))
+            locations.append(k)
+            choices.append(tuple(candidates))
+        read_groups.append(
+            ReadGroup(
+                key=template.key,
+                slots=tuple(slots),
+                locations=tuple(locations),
+                choices=tuple(choices),
+                constraints=tuple(
+                    (c.equal, c.constant)
+                    for c in constraints.get(template.key, ())
+                ),
+                decode=_decode_le,
+            )
+        )
 
-    constraints = pre.constraints_by_source()
     static_bytes, write_start = pre.static_write_state()
     write_templates = [
         (t, pre.eid_of[t.key]) for t in pre.templates if t.is_write
     ]
+    n_groups = len(read_groups)
     assignment: Dict[Tuple[int, int], int] = {}
 
-    def propagate(
-        known: Dict[int, Tuple[int, ...]],
-        read_values: Dict[ArmTemplateKey, int],
-    ) -> Dict[int, Tuple[int, ...]]:
-        known = dict(known)
+    def propagate(known_bytes, known_start, read_values):
+        known = dict(known_bytes)
         progress = True
         while progress:
             progress = False
@@ -1025,68 +1045,28 @@ def _arm_assignments(
                         (value & mask).to_bytes(template.size, "little")
                     )
                     progress = True
-        return known
+        # Write start offsets are template-fixed on the ARM side, so the
+        # start dictionary flows through unchanged.
+        return known, known_start
 
-    def recurse(
-        group_index: int,
-        known: Dict[int, Tuple[int, ...]],
-        read_values: Dict[ArmTemplateKey, int],
-        resolved_reads: Dict[ArmTemplateKey, Tuple[int, ...]],
-    ):
-        if group_index == len(read_groups):
-            if len(resolved_reads) == len(read_groups) and all(
-                eid in known for _t, eid in write_templates
-            ):
-                out_bytes = {t.key: known[eid] for t, eid in write_templates}
-                yield assignment, resolved_reads, out_bytes
-                return
-            resolved = _arm_resolve_values(pre, assignment)
-            if resolved is None:
-                return
-            read_bytes, out_bytes = resolved
-            if not _arm_constraints_ok(pre, read_bytes):
-                return
-            yield assignment, read_bytes, out_bytes
+    def finish(resolved_reads, known_bytes):
+        if len(resolved_reads) == n_groups and all(
+            eid in known_bytes for _t, eid in write_templates
+        ):
+            out_bytes = {t.key: known_bytes[eid] for t, eid in write_templates}
+            yield assignment, resolved_reads, out_bytes
             return
-        template, slots, choices = read_groups[group_index]
-        template_constraints = constraints.get(template.key, ())
-        for combo in itertools.product(*choices):
-            for slot, writer_eid in zip(slots, combo):
-                assignment[slot] = writer_eid
-            next_known = known
-            next_values = read_values
-            next_resolved = resolved_reads
-            data: List[int] = []
-            complete = True
-            for (k, _eid), writer_eid in zip(slots, combo):
-                writer_data = known.get(writer_eid)
-                if writer_data is None:
-                    complete = False
-                    break
-                data.append(writer_data[k - write_start[writer_eid]])
-            if complete:
-                resolved_data = tuple(data)
-                value = int.from_bytes(bytes(resolved_data), "little")
-                violated = False
-                for constraint in template_constraints:
-                    if constraint.equal and value != constraint.constant:
-                        violated = True
-                        break
-                    if not constraint.equal and value == constraint.constant:
-                        violated = True
-                        break
-                if violated:
-                    continue
-                next_values = dict(read_values)
-                next_values[template.key] = value
-                next_resolved = dict(resolved_reads)
-                next_resolved[template.key] = resolved_data
-                next_known = propagate(known, next_values)
-            yield from recurse(
-                group_index + 1, next_known, next_values, next_resolved
-            )
+        resolved = _arm_resolve_values(pre, assignment)
+        if resolved is None:
+            return
+        read_bytes, out_bytes = resolved
+        if not _arm_constraints_ok(pre, read_bytes):
+            return
+        yield assignment, read_bytes, out_bytes
 
-    yield from recurse(0, dict(static_bytes), {}, {})
+    yield from enumerate_assignments(
+        read_groups, assignment, dict(static_bytes), write_start, propagate, finish
+    )
 
 
 def _arm_groundings(
@@ -1097,23 +1077,49 @@ def _arm_groundings(
         # The coherence choice structure depends only on the pre-execution's
         # writers, never on the reads-byte-from assignment: build it once.
         group_list = _coherence_group_orders(pre, group_coherence)
+        # Per-pre hoists for the per-assignment loop below: the value-profile
+        # accessors, the events memo, and the assignment-independent part of
+        # the shared execution cache (copied per assignment at C speed).
+        profile_tags = pre._lazy(
+            "_value_profile_tags",
+            lambda: tuple(
+                (t.key, "r" if t.is_read else ("w" if t.is_write else None))
+                for t in pre.templates
+            ),
+        )
+        events_memo: Dict = pre._lazy("_events_memo", dict)
+        base_cache: Dict[object, object] = pre._lazy(
+            "_base_execution_cache",
+            lambda: {
+                "bytes_accessed": pre.bytes_accessed(),
+                # Internal/atomicity verdicts are shared per PRE-execution
+                # (keyed by byte, order and rf-at-byte), not just per
+                # assignment.
+                "pre_local_memo": pre._lazy("_local_verdict_memo", dict),
+                **{
+                    ("po_loc", k): pairs
+                    for k, pairs in pre.po_loc_by_byte().items()
+                },
+            },
+        )
         for assignment, read_bytes, out_bytes in _arm_assignments(pre):
             # Deduplicate the (immutable) event tuple per value profile:
             # different writer assignments frequently resolve to identical
             # byte values.
-            events_memo: Dict = pre._lazy("_events_memo", dict)
             events_key = tuple(
-                read_bytes[t.key]
-                if t.is_read
-                else out_bytes[t.key]
-                if t.is_write
+                read_bytes[key]
+                if tag == "r"
+                else out_bytes[key]
+                if tag == "w"
                 else ()
-                for t in pre.templates
+                for key, tag in profile_tags
             )
-            events = events_memo.get(events_key)
-            if events is None:
+            entry = events_memo.get(events_key)
+            if entry is None:
                 events = tuple(_arm_build_events(pre, read_bytes, out_bytes))
-                events_memo[events_key] = events
+                entry = (events, {e.eid: e for e in events})
+                events_memo[events_key] = entry
+            events, event_index = entry
             rbf = frozenset(
                 (k, writer, reader) for ((k, reader), writer) in assignment.items()
             )
@@ -1148,20 +1154,12 @@ def _arm_groundings(
             rbf_by_byte: Dict[int, List[Tuple[int, int]]] = {}
             for (k, w, r) in rbf:
                 rbf_by_byte.setdefault(k, []).append((w, r))
-            shared_cache: Dict[object, object] = {
-                "event_index": {e.eid: e for e in events},
-                "bytes_accessed": pre.bytes_accessed(),
-                "rbf_by_byte": {
-                    k: tuple(pairs) for k, pairs in rbf_by_byte.items()
-                },
-                "ob_fixed": ob_fixed,
-                # Internal/atomicity verdicts are shared per PRE-execution
-                # (keyed by byte, order and rf-at-byte), not just per
-                # assignment.
-                "pre_local_memo": pre._lazy("_local_verdict_memo", dict),
+            shared_cache: Dict[object, object] = base_cache.copy()
+            shared_cache["event_index"] = event_index
+            shared_cache["rbf_by_byte"] = {
+                k: tuple(pairs) for k, pairs in rbf_by_byte.items()
             }
-            for k, pairs in pre.po_loc_by_byte().items():
-                shared_cache[("po_loc", k)] = pairs
+            shared_cache["ob_fixed"] = ob_fixed
             prototype = ArmExecution(
                 events=events,
                 po=pre.po,

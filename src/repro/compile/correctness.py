@@ -24,7 +24,12 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from ..armv8.axiomatic import ArmExecution, arm_allowed_executions
 from ..armv8.operational import arm_operational_runs
 from ..core.execution import CandidateExecution
-from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order, is_valid
+from ..core.js_model import (
+    FINAL_MODEL,
+    JsModel,
+    exists_valid_total_order,
+    is_valid_for_witness,
+)
 from ..dispatch import (
     MISS,
     VerdictCache,
@@ -37,6 +42,9 @@ from ..lang.ast import Program
 from .scheme import CompiledProgram, compile_program
 from .totorder import construct_total_order
 from .translation import TranslatedExecution, translate_arm_execution
+
+_UNTRANSLATED = object()
+"""Memo sentinel: distinguishes 'not translated yet' from a ``ValueError``."""
 
 
 @dataclass(frozen=True)
@@ -120,17 +128,32 @@ def check_program_compilation(
     """Bounded compilation-correctness check for one JavaScript program."""
     compiled = compile_program(program)
     result = CompilationCheckResult(program=program.name, model=model.name)
+    # The translation ignores the coherence witness, so every coherence
+    # variant of one ARM grounding — often the vast majority of the allowed
+    # executions — maps to the *same* JavaScript candidate execution.
+    # Memoising per (events, rbf) shares the translated execution, and with
+    # it the shape-quotient caches (sw/hb/tot-independent verdict), across
+    # all of them; only the per-variant ``tot`` construction and its
+    # realisation check remain.
+    translation_memo: dict = {}
     for arm_execution in _arm_executions(compiled, use_operational, group_coherence):
         result.arm_executions += 1
-        try:
-            translated = translate_arm_execution(compiled, arm_execution)
-        except ValueError:
-            # Executions that do not translate (e.g. an RMW reading from its
-            # own store half) have no JavaScript counterpart to compare with.
+        memo_key = (arm_execution.events, arm_execution.rbf)
+        translated = translation_memo.get(memo_key, _UNTRANSLATED)
+        if translated is _UNTRANSLATED:
+            try:
+                translated = translate_arm_execution(compiled, arm_execution)
+            except ValueError:
+                # Executions that do not translate (e.g. an RMW reading from
+                # its own store half) have no JavaScript counterpart to
+                # compare with.
+                translated = None
+            translation_memo[memo_key] = translated
+        if translated is None:
             continue
         tot = construct_total_order(translated, arm_execution)
-        if tot is not None and is_valid(
-            translated.execution.with_witness(tot=tot), model
+        if tot is not None and is_valid_for_witness(
+            translated.execution, tot, model
         ):
             result.valid_with_construction += 1
             continue

@@ -54,11 +54,18 @@ class CandidateExecution:
     rbf: FrozenSet[RbfTriple] = frozenset()
     tot: Optional[Tuple[int, ...]] = None
     # Memoisation of derived relations (rf, sw, hb, init-overlap, …).  The
-    # cache is keyed by (name, parameters) and is *deliberately shared*
-    # between witness variants produced by :meth:`with_witness` that differ
-    # only in ``tot``: every cached value is either tot-independent or keyed
-    # by the tot it was computed for.  ``with_witness`` installs a fresh
-    # cache whenever ``rbf`` changes.
+    # cache is keyed by (name, parameters) and is *deliberately shared*: by
+    # :meth:`with_witness` variants that differ only in ``tot``, and — via
+    # the enumeration's shape-quotient layer — by sibling executions of one
+    # pre-execution whose byte-wise ``rbf`` patterns differ but project to
+    # the same event-level rf signature.  Every entry must therefore be a
+    # function of the rf signature plus witness-independent structure (sw,
+    # hb, init-overlap, the unisize relations, the rf-level shape verdict),
+    # keyed by the ``tot`` it was computed for, or keyed by the full
+    # ``rbf`` (the per-witness verdict, whose HB-Consistency (3) clause
+    # reads the byte-wise triples).  Never memoise a byte-value- or
+    # byte-pattern-dependent result under an unkeyed name.  ``with_witness``
+    # installs a fresh cache whenever ``rbf`` changes.
     _cache: Dict[object, object] = field(
         default_factory=dict, compare=False, repr=False
     )

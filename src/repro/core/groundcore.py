@@ -1,0 +1,169 @@
+"""The shared pruned-backtracking core of the ground-execution enumerations.
+
+Both witness enumerations of this package assign, to every byte of every
+read, one covering write — and prune the assignment tree against branch
+constraints as soon as a read's value can be decoded:
+
+* the JavaScript grounding (:func:`repro.lang.enumeration.ground_candidates`)
+  enumerates ``reads-byte-from`` witnesses of a :class:`PreExecution`;
+* the ARMv8 grounding (:func:`repro.armv8.axiomatic._arm_assignments`)
+  enumerates byte-wise reads-from assignments of an :class:`ArmPreExecution`.
+
+They used to be parallel implementations of the same backtracking search,
+which let pruning improvements drift apart (a PERFORMANCE.md hot spot).
+This module is the single implementation both layers call: reads are
+processed in program order, each read group tries every combination of
+per-byte writer choices, a read whose chosen writers' byte values are all
+known is decoded immediately and checked against its branch constraints —
+discarding the whole subtree of assignments for the remaining reads on a
+violation — and newly decodable stores are propagated forward.  Leaves fall
+back to a from-scratch fixpoint (via ``finish``) for the value-dependency
+chains the incremental resolution cannot order.
+
+The layer-specific parts are injected:
+
+* ``decode`` (per read group) turns resolved bytes into the value the
+  branch constraints talk about;
+* ``propagate`` extends the known write values after a read resolves;
+* ``finish`` consumes one complete assignment and yields the layer's
+  results (ground executions / assignment triples);
+* ``charge`` (optional) implements the JavaScript-side enumeration budget:
+  it is called with ``1`` per examined leaf and with the full subtree size
+  per constraint-pruned subtree, so the budget trips for exactly the same
+  inputs as an unpruned product enumeration would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+ByteTuple = Tuple[int, ...]
+KnownBytes = Dict[int, ByteTuple]
+KnownStart = Dict[int, int]
+
+
+@dataclass(frozen=True)
+class ReadGroup:
+    """One read of the enumeration: its assignment slots and writer choices.
+
+    ``key`` identifies the read in the ``read_values``/``resolved_reads``
+    dictionaries handed to ``propagate``/``finish`` (the layers use their
+    template keys).  ``slots[i]`` is the assignment-dictionary key of byte
+    ``i``; ``locations[i]`` is that byte's location (used to index into a
+    writer's byte tuple); ``choices[i]`` are the candidate writer eids.
+    ``constraints`` are the branch constraints sourced at this read, as
+    ``(must_equal, constant)`` pairs; ``decode`` turns the resolved byte
+    tuple into the value they constrain.
+    """
+
+    key: object
+    slots: Tuple[object, ...]
+    locations: Tuple[int, ...]
+    choices: Tuple[Tuple[int, ...], ...]
+    constraints: Tuple[Tuple[bool, int], ...]
+    decode: Callable[[ByteTuple], int]
+
+
+def enumerate_assignments(
+    read_groups: Sequence[ReadGroup],
+    assignment: Dict[object, int],
+    static_bytes: KnownBytes,
+    static_start: KnownStart,
+    propagate: Callable[
+        [KnownBytes, KnownStart, Dict[object, int]], Tuple[KnownBytes, KnownStart]
+    ],
+    finish: Callable[[Dict[object, ByteTuple], KnownBytes], Iterator],
+    charge: Optional[Callable[[int], None]] = None,
+) -> Iterator:
+    """Drive the shared backtracking enumeration (see module docstring).
+
+    ``assignment`` is mutated in place: at each leaf it holds the complete
+    slot → writer choice, and ``finish(resolved_reads, known_bytes)`` is
+    invoked to yield the layer's results for it (``resolved_reads`` holds
+    the incrementally decoded reads; when it covers every group the leaf
+    was fully resolved — and constraint-checked — on the way down).
+    Callers must consume each yielded result before advancing, exactly as
+    with any generator sharing mutable state.
+    """
+    groups = list(read_groups)
+    n = len(groups)
+
+    if charge is not None:
+        # subtree_size[i]: assignments below one writer combination of group
+        # i — the product of the later groups' choice counts — used to
+        # charge constraint-pruned subtrees against the budget.
+        subtree_size = [1] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            group_combos = 1
+            for choices in groups[i].choices:
+                group_combos *= len(choices)
+            subtree_size[i] = group_combos * subtree_size[i + 1]
+
+    def recurse(
+        group_index: int,
+        known_bytes: KnownBytes,
+        known_start: KnownStart,
+        read_values: Dict[object, int],
+        resolved_reads: Dict[object, ByteTuple],
+    ) -> Iterator:
+        if group_index == n:
+            if charge is not None:
+                charge(1)
+            yield from finish(resolved_reads, known_bytes)
+            return
+
+        group = groups[group_index]
+        decode = group.decode
+        for combo in itertools.product(*group.choices):
+            for slot, writer_eid in zip(group.slots, combo):
+                assignment[slot] = writer_eid
+            # Try to decode this read's value right away: possible when all
+            # its chosen writers' byte values are already known.
+            next_bytes = known_bytes
+            next_start = known_start
+            next_values = read_values
+            next_resolved = resolved_reads
+            data = []
+            complete = True
+            for k, writer_eid in zip(group.locations, combo):
+                writer_data = known_bytes.get(writer_eid)
+                if writer_data is None:
+                    complete = False
+                    break
+                data.append(writer_data[k - known_start[writer_eid]])
+            if complete:
+                resolved_data = tuple(data)
+                value = decode(resolved_data)
+                violated = False
+                for (must_equal, constant) in group.constraints:
+                    if must_equal and value != constant:
+                        violated = True
+                        break
+                    if not must_equal and value == constant:
+                        violated = True
+                        break
+                if violated:
+                    if charge is not None:
+                        charge(subtree_size[group_index + 1])
+                    continue
+                next_values = dict(read_values)
+                next_values[group.key] = value
+                next_resolved = dict(resolved_reads)
+                next_resolved[group.key] = resolved_data
+                next_bytes, next_start = propagate(
+                    known_bytes, known_start, next_values
+                )
+            yield from recurse(
+                group_index + 1, next_bytes, next_start, next_values, next_resolved
+            )
+
+    yield from recurse(0, static_bytes, static_start, {}, {})

@@ -347,8 +347,28 @@ class WitnessVerdict:
     triples: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
 
 
+@dataclass(frozen=True)
+class ShapeVerdict:
+    """The rf-signature-level slice of the tot-independent verdict.
+
+    Everything here — ``hb``, the acyclicity/HB-Consistency (2)/Tear-Free
+    Reads conjunction, and the forbidden SC-atomics triples — is a function
+    of the event-level ``rf`` projection of ``rbf`` plus template-fixed
+    event attributes (modes, footprints, ``sb``/``asw``); the byte-wise
+    pattern of ``rbf`` and the byte *values* never enter.  Executions that
+    share a cache per rf signature (the shape-quotient layer of the
+    enumeration) therefore compute this once and share it, while the one
+    genuinely ``rbf``-dependent rule — HB-Consistency (3) — is re-decided
+    per witness in :func:`witness_verdict`.
+    """
+
+    ok: bool
+    hb: Optional[Relation] = None
+    triples: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+
+
 def _model_cache_key(model: JsModel) -> Tuple[object, ...]:
-    return ("verdict", model.sc_atomics, model.simplified_sw, model.strong_tearfree)
+    return ("shape-verdict", model.sc_atomics, model.simplified_sw, model.strong_tearfree)
 
 
 def _sc_atomics_forbidden_triples(
@@ -421,14 +441,15 @@ def _sc_atomics_forbidden_triples(
     return {r: tuple(pairs) for r, pairs in triples.items()}
 
 
-def witness_verdict(
+def shape_verdict(
     execution: CandidateExecution, model: JsModel = FINAL_MODEL
-) -> WitnessVerdict:
-    """The tot-independent validity verdict, cached on the execution.
+) -> ShapeVerdict:
+    """The rf-level slice of the tot-independent verdict, cached on the execution.
 
-    ``verdict.ok`` is false exactly when *no* total order can make the
-    execution valid for a tot-independent reason: the execution violates
-    HB-Consistency (2)/(3) or Tear-Free Reads, or ``hb`` is cyclic.
+    Shared across every execution on the same cache — i.e. across all
+    ground executions of one pre-execution with the same event-level rf
+    signature, however their byte-wise ``rbf`` patterns or byte values
+    differ (see :class:`ShapeVerdict` for why that is sound).
     """
     key = _model_cache_key(model)
     cached = execution._cache.get(key)
@@ -439,12 +460,11 @@ def witness_verdict(
     if (
         not hb.is_acyclic()
         or not happens_before_consistency_2(execution, hb)
-        or not happens_before_consistency_3(execution, hb)
         or not tear_free_reads(execution, strong=model.strong_tearfree)
     ):
-        verdict = WitnessVerdict(ok=False)
+        verdict = ShapeVerdict(ok=False)
     else:
-        verdict = WitnessVerdict(
+        verdict = ShapeVerdict(
             ok=True,
             hb=hb,
             triples=_sc_atomics_forbidden_triples(
@@ -455,17 +475,61 @@ def witness_verdict(
     return verdict
 
 
+def witness_verdict(
+    execution: CandidateExecution, model: JsModel = FINAL_MODEL
+) -> WitnessVerdict:
+    """The tot-independent validity verdict, cached on the execution.
+
+    ``verdict.ok`` is false exactly when *no* total order can make the
+    execution valid for a tot-independent reason: the execution violates
+    HB-Consistency (2)/(3) or Tear-Free Reads, or ``hb`` is cyclic.
+
+    The rf-level slice (everything except HB-Consistency (3)) comes from
+    :func:`shape_verdict` and is shared across executions with the same rf
+    signature; only the byte-wise rule is decided per ``rbf``, so the
+    verdict entry itself is keyed by the execution's ``rbf``.
+    """
+    key = (
+        "verdict",
+        model.sc_atomics,
+        model.simplified_sw,
+        model.strong_tearfree,
+        execution.rbf,
+    )
+    cached = execution._cache.get(key)
+    if cached is not None:
+        return cached
+    shape = shape_verdict(execution, model)
+    if not shape.ok or not happens_before_consistency_3(execution, shape.hb):
+        verdict = WitnessVerdict(ok=False)
+    else:
+        verdict = WitnessVerdict(ok=True, hb=shape.hb, triples=shape.triples)
+    execution._cache[key] = verdict
+    return verdict
+
+
 def _search_witness(
     execution: CandidateExecution, verdict: WitnessVerdict
 ) -> Optional[Tuple[int, ...]]:
     """Find one linear extension of ``hb`` realising no forbidden triple.
 
-    Backtracking over bitmasks: an event is placeable when all its hb-
-    predecessors are already placed, and — fusing the SC-atomics check into
-    the search — when placing it as reader ``Er`` does not complete a
-    forbidden triple ``Ew <tot E'w <tot Er`` among already-placed events.
-    Events placed later than ``Er`` can never complete a triple of ``Er``,
-    so pruning at placement time is exact.
+    A reachable-set DP over precomputed bitmasks (Held–Karp style): the
+    search state is the *set* of placed events, as one machine integer
+    (litmus sizes, n ≤ 12, fit comfortably).  An event is placeable into a
+    prefix set when all its hb-predecessors are in it, and — fusing the
+    SC-atomics check into the search — placing the *intervener* ``E'w`` of
+    a forbidden triple ``Ew <tot E'w <tot Er`` is rejected exactly when
+    ``Ew`` is already placed and ``Er`` is not: every completion then
+    orders ``Ew <tot E'w <tot Er``, and conversely any realised triple
+    passes through such a placement.  The violation test therefore depends
+    only on the placed *set*, never on the order within it, which makes
+    prefix sets with no valid completion memoisable: each of the ≤ 2ⁿ
+    reachable sets is expanded at most once, instead of once per ordering
+    reaching it as the previous pure backtracker did.
+
+    Candidates are tried in ascending event order, so the first witness
+    found — and hence the returned ``tot`` — is bit-identical to the
+    backtracking implementation's.
     """
     eids = sorted(execution.eids)
     n = len(eids)
@@ -480,39 +544,42 @@ def _search_witness(
             if bit is not None:
                 mask |= 1 << bit
         pred_mask[idx[eid]] = mask
-    triples: List[Tuple[Tuple[int, int], ...]] = [()] * n
+    # blockers[c]: the (writer mask, reader mask) pairs of the triples whose
+    # intervener is c — the placement-time rejection test reads only these.
+    blockers: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
     for r_eid, pairs in verdict.triples.items():
-        triples[idx[r_eid]] = tuple((idx[w], idx[c]) for (w, c) in pairs)
+        r_bit = 1 << idx[r_eid]
+        for (w_eid, c_eid) in pairs:
+            blockers[idx[c_eid]].append((1 << idx[w_eid], r_bit))
 
-    pos = [-1] * n
     order: List[int] = []
     full = (1 << n) - 1
+    dead: set = set()
 
-    def backtrack(placed_mask: int) -> bool:
+    def extend(placed_mask: int) -> bool:
         if placed_mask == full:
             return True
+        if placed_mask in dead:
+            return False
         for i in range(n):
             bit = 1 << i
             if placed_mask & bit or pred_mask[i] & ~placed_mask:
                 continue
             violated = False
-            for (w, c) in triples[i]:
-                pw = pos[w]
-                pc = pos[c]
-                if pw >= 0 and pc >= 0 and pw < pc:
+            for (w_bit, r_bit) in blockers[i]:
+                if placed_mask & w_bit and not placed_mask & r_bit:
                     violated = True
                     break
             if violated:
                 continue
-            pos[i] = len(order)
             order.append(i)
-            if backtrack(placed_mask | bit):
+            if extend(placed_mask | bit):
                 return True
             order.pop()
-            pos[i] = -1
+        dead.add(placed_mask)
         return False
 
-    if backtrack(0):
+    if extend(0):
         return tuple(eids[i] for i in order)
     return None
 
@@ -538,6 +605,35 @@ def exists_valid_total_order(
     if not verdict.ok:
         return None
     return _search_witness(execution, verdict)
+
+
+def is_valid_for_witness(
+    execution: CandidateExecution,
+    tot: Tuple[int, ...],
+    model: JsModel = FINAL_MODEL,
+) -> bool:
+    """``is_valid(execution.with_witness(tot=tot), model)``, via cached verdicts.
+
+    Decides validity of one concrete ``tot`` against the (cached, shared)
+    tot-independent verdict instead of re-running the whole rule pipeline:
+    the verdict covers well-formedness-independent rules (2)/(3)/Tear-Free
+    Reads and hb-acyclicity, so only HB-Consistency (1) — ``hb ⊆ tot`` —
+    and the forbidden-triple realisation test remain per witness.
+    Bit-identical to :func:`is_valid` on well-formed inputs; used by the
+    compilation-correctness pipeline, which checks one constructed ``tot``
+    per ARM execution against a shared translated execution.
+    """
+    witnessed = execution.with_witness(tot=tot)
+    if not witnessed.is_well_formed(require_tot=True):
+        return False
+    verdict = witness_verdict(witnessed, model)
+    if not verdict.ok:
+        return False
+    index = witnessed.tot_index()
+    for (a, b) in verdict.hb:
+        if index[a] >= index[b]:
+            return False
+    return _sc_atomics_holds(witnessed, verdict.triples)
 
 
 def invalid_for_all_total_orders(

@@ -37,6 +37,7 @@ from .pool import (
     parallel_map,
     resolve_workers,
     shard_ranges,
+    sized_shard_ranges,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
     "shard_ranges",
+    "sized_shard_ranges",
 ]

@@ -113,8 +113,23 @@ def program_fingerprint(program: Any) -> str:
     Deliberately excludes ``name`` and ``description``: generated sweeps
     label programs positionally (``shape-17``), and overlapping corpora
     should share verdicts whenever the buffers and threads coincide.
+
+    Memoised per (immutable) ``Program`` object: a warm-cache sweep pays
+    one SHA-256 of the full AST per program instead of one per lookup, and
+    repeated queries against the same object (expectation sets, sweep
+    re-checks) become dictionary hits.  The memo rides along when programs
+    are pickled to shard workers.
     """
-    return fingerprint("program", program.buffers, program.threads)
+    cached = getattr(program, "_fingerprint_memo", None)
+    if cached is None:
+        cached = fingerprint("program", program.buffers, program.threads)
+        try:
+            # Program is a frozen dataclass; the memo is not a field, so it
+            # never enters equality, canonicalisation, or the hash itself.
+            object.__setattr__(program, "_fingerprint_memo", cached)
+        except (AttributeError, TypeError):  # slotted/exotic program types
+            pass
+    return cached
 
 
 class VerdictCache:

@@ -49,6 +49,57 @@ def shard_ranges(total: int, workers: int, chunk_size: Optional[int] = None) -> 
     return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
 
 
+def sized_shard_ranges(
+    total: int,
+    workers: int,
+    costs: Optional[Sequence[float]] = None,
+    taper: int = 2,
+) -> List[Tuple[int, int]]:
+    """Cost-tapered contiguous ``(start, stop)`` chunks for tail-heavy bags.
+
+    ``costs[i]`` estimates the cost of item ``i``.  Chunks follow guided
+    self-scheduling over the *estimated cost* (rather than the item count):
+    each chunk targets ``remaining cost / (workers * taper)``, so early
+    chunks batch many cheap head items while chunks shrink toward the tail
+    of the enumeration — down to a floor of 1/64th of a worker share.
+    Combined with the pool's dynamic task assignment (``imap``/``map`` hand
+    chunks to whichever worker frees up first) this is work-stealing at
+    chunk granularity: a static equal-count split strands the expensive
+    tail of a size-ordered enumeration in the last workers' final chunks,
+    while the tapered split keeps every worker busy to within one small
+    tail chunk of the ideal makespan.
+
+    With no ``costs`` this degrades to :func:`shard_ranges`.  Chunk
+    boundaries never affect results: consumers scan chunks in generation
+    order, so verdicts, counter-examples and examined counts are identical
+    whatever the split.
+    """
+    if total <= 0:
+        return []
+    if costs is None:
+        return shard_ranges(total, workers)
+    remaining = float(sum(costs[:total]))
+    if remaining <= 0:
+        return shard_ranges(total, workers)
+    workers = max(1, workers)
+    floor = remaining / (workers * 64)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    accumulated = 0.0
+    target = max(floor, remaining / (workers * taper))
+    for index in range(total):
+        accumulated += costs[index]
+        remaining -= costs[index]
+        if accumulated >= target:
+            ranges.append((start, index + 1))
+            start = index + 1
+            accumulated = 0.0
+            target = max(floor, remaining / (workers * taper))
+    if start < total:
+        ranges.append((start, total))
+    return ranges
+
+
 def _make_pool(workers: int):
     import multiprocessing
 

@@ -21,12 +21,12 @@ interleaving oracle of :mod:`repro.lang.interpreter`.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import Event, EventSet, make_init_event
 from ..core.execution import CandidateExecution, RbfTriple
+from ..core.groundcore import ReadGroup, enumerate_assignments
 from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
 from ..core.data_race import data_races
 from ..core.relations import Relation
@@ -435,22 +435,36 @@ def _build_execution(
             )
         events_set = EventSet(tuple(events))
         eventset_memo[tuple(values_key)] = events_set
+    # Shape-quotient sharing: all executions of this pre with the same
+    # event-level rf signature share ONE derived-relation cache.  Every
+    # entry that lands in it is a function of the rf signature alone
+    # (sw/hb/init-overlap/unisize relations and the tot-independent shape
+    # verdicts: footprints, modes and sb are template-fixed, byte values
+    # never enter), keyed by the tot it was computed for, or keyed by the
+    # full rbf (the per-witness verdict, whose HB-Consistency (3) clause
+    # reads the byte-wise triples).  ``wf_structure`` is constant per pre:
+    # the rbf built here satisfies the witness-dependent conditions by
+    # construction, so only the pre-level sb/asw soundness can fail — and
+    # it fails for every assignment alike.
+    rbf_frozen = frozenset(rbf)
+    rf_signature = frozenset((w, r) for (_k, w, r) in rbf_frozen)
+    shape_caches: Dict = pre._lazy("_shape_cache_memo", dict)
+    shared_cache = shape_caches.get(rf_signature)
+    if shared_cache is None:
+        shared_cache = {"init_overlap": pre.init_overlap_relation()}
+        if pre.sb_asw_sound():
+            shared_cache["wf_structure"] = True
+        shape_caches[rf_signature] = shared_cache
     # Reuse the pre-execution's sb/asw Relation objects directly: they are
     # immutable and shared across every candidate of this path combination
     # (so their kernel caches are shared too).
-    execution = CandidateExecution(
+    return CandidateExecution(
         events=events_set,
         sb=pre.sb,
         asw=pre.asw,
-        rbf=frozenset(rbf),
+        rbf=rbf_frozen,
+        _cache=shared_cache,
     )
-    execution._cache["init_overlap"] = pre.init_overlap_relation()
-    # The rbf built above satisfies the witness-dependent well-formedness
-    # conditions by construction (see PreExecution.sb_asw_sound), so the
-    # verdict can be seeded when the pre-level conditions hold.
-    if pre.sb_asw_sound():
-        execution._cache["wf_structure"] = True
-    return execution
 
 
 def _propagate_writes(
@@ -513,15 +527,23 @@ def ground_candidates(
     combinations the unpruned product would have enumerated — so the budget
     trips for precisely the same programs as the pre-pruning implementation
     and still guards against combinatorial blow-up.
+
+    The backtracking itself lives in
+    :func:`repro.core.groundcore.enumerate_assignments`, shared with the
+    ARMv8 grounding; this function contributes the JavaScript-specific
+    pieces (writer candidates, value decoding, store propagation, the
+    enumeration budget, and ground-execution assembly).
     """
     writers = _writers_by_byte(pre)
-    read_groups: List[Tuple[EventTemplate, List[Tuple[str, int, int]], List[List[int]]]] = []
+    constraints = pre.constraints_by_source()
+    read_groups: List[ReadGroup] = []
     for template in pre.memory_templates():
         if not template.reads_memory:
             continue
         eid = pre.eid_of[template.key]
         slots: List[Tuple[str, int, int]] = []
-        choices: List[List[int]] = []
+        locations: List[int] = []
+        choices: List[Tuple[int, ...]] = []
         for k in template.byte_range():
             candidates = [
                 w for w in writers.get((template.block, k), []) if w != eid
@@ -530,29 +552,32 @@ def ground_candidates(
                 # Some read byte has no possible writer: the path is infeasible.
                 return
             slots.append((template.block, k, eid))
-            choices.append(candidates)
-        read_groups.append((template, slots, choices))
+            locations.append(k)
+            choices.append(tuple(candidates))
+        read_groups.append(
+            ReadGroup(
+                key=template.key,
+                slots=tuple(slots),
+                locations=tuple(locations),
+                choices=tuple(choices),
+                constraints=tuple(
+                    (c.equal, c.constant)
+                    for c in constraints.get(template.key, ())
+                ),
+                decode=template.decode,
+            )
+        )
 
-    constraints = pre.constraints_by_source()
     static_bytes, static_start = pre.static_write_state()
-
-    produced = 0
-    assignment: Dict[Tuple[str, int, int], int] = {}
-
     write_template_keys = [
         (t.key, pre.eid_of[t.key])
         for t in pre.memory_templates()
         if t.writes_memory
     ]
+    n_groups = len(read_groups)
+    assignment: Dict[Tuple[str, int, int], int] = {}
 
-    # subtree_size[i]: assignments below one combo of group i (the product of
-    # the later groups' choice counts); used to charge pruned subtrees.
-    subtree_size = [1] * (len(read_groups) + 1)
-    for i in range(len(read_groups) - 1, -1, -1):
-        group_combos = 1
-        for choices in read_groups[i][2]:
-            group_combos *= len(choices)
-        subtree_size[i] = group_combos * subtree_size[i + 1]
+    produced = 0
 
     def charge(count: int) -> None:
         nonlocal produced
@@ -563,85 +588,42 @@ def ground_candidates(
                 f"of {max_assignments}"
             )
 
-    def recurse(
-        group_index: int,
-        known_bytes: Dict[int, Tuple[int, ...]],
-        known_start: Dict[int, int],
-        read_values: Dict[TemplateKey, int],
-        resolved_reads: Dict[TemplateKey, Tuple[int, ...]],
-    ) -> Iterator[GroundExecution]:
-        if group_index == len(read_groups):
-            charge(1)
-            if len(resolved_reads) == len(read_groups) and all(
-                eid in known_bytes for (_key, eid) in write_template_keys
-            ):
-                # Every read (and hence every store) was resolved — and its
-                # branch constraints checked — incrementally on the way
-                # down; skip the from-scratch fixpoint.
-                read_bytes = resolved_reads
-                write_bytes = {
-                    key: known_bytes[eid] for (key, eid) in write_template_keys
-                }
-            else:
-                resolved = _resolve_values(pre, assignment)
-                if resolved is None:
-                    return
-                read_bytes, write_bytes = resolved
-                if not _constraints_satisfied(pre, read_bytes):
-                    return
-            execution = _build_execution(pre, assignment, read_bytes, write_bytes)
-            if not execution.is_well_formed(require_tot=False):
+    def propagate(known_bytes, known_start, read_values):
+        return _propagate_writes(pre, known_bytes, known_start, read_values)
+
+    def finish(resolved_reads, known_bytes) -> Iterator[GroundExecution]:
+        if len(resolved_reads) == n_groups and all(
+            eid in known_bytes for (_key, eid) in write_template_keys
+        ):
+            # Every read (and hence every store) was resolved — and its
+            # branch constraints checked — incrementally on the way down;
+            # skip the from-scratch fixpoint.
+            read_bytes = resolved_reads
+            write_bytes = {
+                key: known_bytes[eid] for (key, eid) in write_template_keys
+            }
+        else:
+            resolved = _resolve_values(pre, assignment)
+            if resolved is None:
                 return
-            outcome = _build_outcome(pre, read_bytes)
-            yield GroundExecution(execution=execution, outcome=outcome, pre=pre)
+            read_bytes, write_bytes = resolved
+            if not _constraints_satisfied(pre, read_bytes):
+                return
+        execution = _build_execution(pre, assignment, read_bytes, write_bytes)
+        if not execution.is_well_formed(require_tot=False):
             return
+        outcome = _build_outcome(pre, read_bytes)
+        yield GroundExecution(execution=execution, outcome=outcome, pre=pre)
 
-        template, slots, choices = read_groups[group_index]
-        template_constraints = constraints.get(template.key, ())
-        for combo in itertools.product(*choices):
-            for slot, writer_eid in zip(slots, combo):
-                assignment[slot] = writer_eid
-            # Try to decode this read's value right away: possible when all
-            # its chosen writers' byte values are already known.
-            next_bytes = known_bytes
-            next_start = known_start
-            next_values = read_values
-            next_resolved = resolved_reads
-            data: List[int] = []
-            complete = True
-            for (block, k, _eid), writer_eid in zip(slots, combo):
-                writer_data = known_bytes.get(writer_eid)
-                if writer_data is None:
-                    complete = False
-                    break
-                data.append(writer_data[k - known_start[writer_eid]])
-            if complete:
-                resolved_data = tuple(data)
-                value = template.decode(resolved_data)
-                violated = False
-                for constraint in template_constraints:
-                    if constraint.equal and value != constraint.constant:
-                        violated = True
-                        break
-                    if not constraint.equal and value == constraint.constant:
-                        violated = True
-                        break
-                if violated:
-                    # Charge the whole pruned subtree against the budget.
-                    charge(subtree_size[group_index + 1])
-                    continue
-                next_values = dict(read_values)
-                next_values[template.key] = value
-                next_resolved = dict(resolved_reads)
-                next_resolved[template.key] = resolved_data
-                next_bytes, next_start = _propagate_writes(
-                    pre, known_bytes, known_start, next_values
-                )
-            yield from recurse(
-                group_index + 1, next_bytes, next_start, next_values, next_resolved
-            )
-
-    yield from recurse(0, static_bytes, static_start, {}, {})
+    yield from enumerate_assignments(
+        read_groups,
+        assignment,
+        static_bytes,
+        static_start,
+        propagate,
+        finish,
+        charge=charge,
+    )
 
 
 def ground_executions(

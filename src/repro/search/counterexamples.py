@@ -33,11 +33,18 @@ from ..dispatch import (
     resolve_cache,
     resolve_workers,
     shard_ranges,
+    sized_shard_ranges,
 )
 from ..lang.ast import Outcome, Program
 from ..lang.enumeration import allowed_executions
 from ..lang.interpreter import sc_outcomes
-from .shapes import SearchBounds, count_accesses, generate_programs, program_count
+from .shapes import (
+    SearchBounds,
+    count_accesses,
+    generate_programs,
+    program_cost_hints,
+    program_count,
+)
 
 
 @dataclass(frozen=True)
@@ -190,6 +197,7 @@ def _swept_search(
     workers: Optional[int],
     cache,
     materialise,
+    chunking: str = "sized",
 ) -> SearchReport:
     """The shared driver of both §5 sweeps.
 
@@ -198,6 +206,13 @@ def _swept_search(
     identical to the serial search whatever ``workers`` is.  ``materialise``
     recomputes the full counter-example for the hit program in-process (the
     shard workers only report indices, keeping IPC payloads tiny).
+
+    ``chunking`` selects the shard layout: ``"sized"`` (default) balances
+    chunks by estimated program cost — the enumeration is sorted by access
+    count and extremely tail-heavy, so equal-*count* chunks strand the
+    expensive tail in the last worker — while ``"static"`` keeps the
+    equal-count split (retained for benchmarking the difference).  Chunk
+    boundaries never affect the report.
     """
     workers = resolve_workers(workers)
     cache = resolve_cache(cache)
@@ -209,9 +224,15 @@ def _swept_search(
         cache_spec = cache
     else:
         cache_spec = cache.spec
+    if chunking == "static":
+        ranges = shard_ranges(total, workers)
+    else:
+        ranges = sized_shard_ranges(
+            total, workers, costs=program_cost_hints(bounds)
+        )
     tasks = [
         (kind, bounds, model, use_operational, start, stop, cache_spec)
-        for (start, stop) in shard_ranges(total, workers)
+        for (start, stop) in ranges
     ]
     results = imap_ordered(_sweep_chunk_worker, tasks, workers=workers)
     for task, (examined, hit_index) in zip(tasks, results):
@@ -246,12 +267,14 @@ def search_sc_drf_violation(
     model: JsModel = ORIGINAL_MODEL,
     workers: Optional[int] = None,
     cache=None,
+    chunking: str = "sized",
 ) -> SearchReport:
     """Search for an SC-DRF violation within ``bounds`` (§5.4).
 
-    ``workers`` shards the program enumeration over the dispatch pool;
-    ``cache`` persists per-program hit/miss verdicts.  Reports are
-    bit-identical to the serial, uncached search.
+    ``workers`` shards the program enumeration over the dispatch pool
+    (cost-balanced chunks by default; ``chunking="static"`` restores the
+    equal-count split); ``cache`` persists per-program hit/miss verdicts.
+    Reports are bit-identical to the serial, uncached search.
     """
     return _swept_search(
         "sc-drf",
@@ -261,6 +284,7 @@ def search_sc_drf_violation(
         workers,
         cache,
         lambda program: _sc_drf_counterexample(program, model),
+        chunking=chunking,
     )
 
 
@@ -270,6 +294,7 @@ def search_compilation_violation(
     use_operational: bool = False,
     workers: Optional[int] = None,
     cache=None,
+    chunking: str = "sized",
 ) -> SearchReport:
     """Search for an ARMv8 compilation-scheme violation within ``bounds`` (§5.1).
 
@@ -288,6 +313,7 @@ def search_compilation_violation(
         lambda program: find_compilation_violation(
             program, model, use_operational=use_operational
         ),
+        chunking=chunking,
     )
 
 

@@ -167,6 +167,20 @@ def program_count(bounds: SearchBounds) -> int:
     return total
 
 
+def program_cost_hints(bounds: SearchBounds) -> Tuple[int, ...]:
+    """Per-program cost estimates for the sweeps' cost-balanced chunker.
+
+    The per-program check cost grows roughly exponentially with the access
+    count (every extra access multiplies both the ``reads-byte-from``
+    choices and the witness orders), and the enumeration is sorted by
+    access count — which is exactly why its cost is so tail-heavy.  The
+    hints are ``4**size``; only their *relative* magnitudes matter to
+    :func:`repro.dispatch.sized_shard_ranges`.
+    """
+    sized = _sized_combos(bounds)
+    return tuple(4 ** size for size, _combo in sized[: program_count(bounds)])
+
+
 def generate_programs(
     bounds: SearchBounds, start: int = 0, stop: Optional[int] = None
 ) -> Iterator[Program]:

@@ -23,6 +23,7 @@ from repro.dispatch import (
     resolve_cache,
     resolve_workers,
     shard_ranges,
+    sized_shard_ranges,
 )
 from repro.litmus.catalogue import by_name
 from repro.litmus.runner import run_catalogue, run_tests, spec_allowed
@@ -178,6 +179,17 @@ class TestFingerprints:
     def test_model_configs_fingerprint_differently(self):
         assert fingerprint(FINAL_MODEL) != fingerprint(ORIGINAL_MODEL)
 
+    def test_program_fingerprint_is_memoised_per_object(self):
+        program = next(generate_programs(TINY_BOUNDS, 3, 4))
+        first = program_fingerprint(program)
+        assert program._fingerprint_memo == first
+        # The memo is served back, and never leaks into the structural hash
+        # (a poisoned memo would surface here as a changed fingerprint).
+        object.__setattr__(program, "_fingerprint_memo", "poisoned")
+        assert program_fingerprint(program) == "poisoned"
+        clone = next(generate_programs(TINY_BOUNDS, 3, 4))
+        assert program_fingerprint(clone) == first
+
 
 # ---------------------------------------------------------------------------
 # pool plumbing
@@ -212,6 +224,34 @@ class TestPool:
             ranges = shard_ranges(total, workers)
             covered = [i for (s, t) in ranges for i in range(s, t)]
             assert covered == list(range(total))
+
+    def test_sized_shard_ranges_cover_exactly(self):
+        rng_cases = [
+            (0, 4, None),
+            (1, 4, [5.0]),
+            (10, 3, [1.0] * 10),
+            (252, 4, [4 ** (2 + i % 5) for i in range(252)]),
+            (7, 100, [0.0] * 7),  # zero cost degrades to the static split
+        ]
+        for total, workers, costs in rng_cases:
+            ranges = sized_shard_ranges(total, workers, costs)
+            covered = [i for (s, t) in ranges for i in range(s, t)]
+            assert covered == list(range(total))
+
+    def test_sized_shard_ranges_tapers_toward_the_tail(self):
+        # A size-sorted, exponentially tail-heavy cost profile: the head
+        # chunk batches many cheap items, tail chunks hold only a few
+        # expensive ones, and no chunk carries much more than a worker
+        # share of the estimated cost.
+        costs = [4 ** (1 + i // 250) for i in range(1000)]
+        ranges = sized_shard_ranges(1000, 4, costs)
+        lengths = [stop - start for (start, stop) in ranges]
+        assert lengths[0] > lengths[-1]
+        chunk_costs = [sum(costs[s:t]) for (s, t) in ranges]
+        assert max(chunk_costs) <= sum(costs) / 4 + max(costs)
+
+    def test_sized_shard_ranges_without_costs_is_static(self):
+        assert sized_shard_ranges(100, 4) == shard_ranges(100, 4)
 
 
 # ---------------------------------------------------------------------------

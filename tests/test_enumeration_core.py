@@ -1,0 +1,102 @@
+"""Regression: both grounding layers run on the one shared enumeration core.
+
+PR 3 extracted the pruned-backtracking assignment enumeration that
+``lang.enumeration.ground_candidates`` and ``armv8.axiomatic._arm_assignments``
+used to implement separately into :mod:`repro.core.groundcore`.  These tests
+pin the anti-drift guarantees:
+
+* both layers *route through* the shared core (monkeypatching it is
+  observed by both);
+* the two layers agree on candidate counts for a fixture set where the
+  compilation scheme maps reads/writes one-to-one — a change to one layer's
+  pruning that does not reach the other breaks the agreement;
+* the known, *intended* divergence (ARM exclusive pairs enumerate
+  store-half self-read assignments that only the JS translation rejects)
+  is pinned as golden counts so it cannot silently widen.
+"""
+
+import pytest
+
+from repro.armv8.axiomatic import _arm_assignments, arm_pre_executions
+from repro.compile.scheme import compile_program
+from repro.lang.enumeration import ground_executions
+from repro.litmus.catalogue import (
+    fig1_message_passing,
+    fig6_armv8_violation,
+    fig8_sc_drf_violation,
+    load_buffering,
+    message_passing,
+    rmw_exchange_mutex,
+    store_buffering,
+)
+
+# Fixtures whose accesses the compilation scheme maps 1:1 (no exclusive
+# pairs), so the two layers must enumerate *the same number* of feasible
+# assignments for source and compiled program alike.
+AGREEING_FIXTURES = [
+    (fig1_message_passing, 136),
+    (fig8_sc_drf_violation, 2241),
+    (lambda: store_buffering(True), 256),
+    (lambda: store_buffering(False), 256),
+    (lambda: load_buffering(True), 256),
+    (lambda: message_passing(True, False), 256),
+    (fig6_armv8_violation, 6561),
+]
+
+
+def _js_count(program):
+    return sum(1 for _ in ground_executions(program))
+
+
+def _arm_count(arm_program):
+    return sum(
+        1
+        for pre in arm_pre_executions(arm_program)
+        for _ in _arm_assignments(pre)
+    )
+
+
+@pytest.mark.parametrize(
+    "make_test,expected", AGREEING_FIXTURES, ids=lambda v: getattr(v, "__name__", str(v))
+)
+def test_layers_agree_on_candidate_counts(make_test, expected):
+    program = make_test().program
+    js = _js_count(program)
+    arm = _arm_count(compile_program(program).arm)
+    assert js == arm == expected
+
+
+def test_rmw_divergence_is_pinned():
+    """Exclusive pairs: the ARM layer enumerates store-half self-reads.
+
+    The JS RMW is a single event (its read can never be justified by its
+    own write), while the compiled ``ldaxr``/``stlxr`` pair lets the load
+    half read from its own store half at the assignment level; the
+    translation rejects those later.  Pin both counts so a change to either
+    layer's pruning shows up here.
+    """
+    program = rmw_exchange_mutex().program
+    assert _js_count(program) == 256
+    assert _arm_count(compile_program(program).arm) == 6561
+
+
+def test_both_layers_route_through_shared_core(monkeypatch):
+    """Monkeypatching the shared core is observed by BOTH layers."""
+    import repro.armv8.axiomatic as axiomatic
+    import repro.lang.enumeration as enumeration
+
+    calls = []
+
+    def probe(*args, **kwargs):
+        calls.append("called")
+        return iter(())
+
+    program = store_buffering(True).program
+
+    monkeypatch.setattr(enumeration, "enumerate_assignments", probe)
+    assert _js_count(program) == 0
+    assert calls == ["called"]
+
+    monkeypatch.setattr(axiomatic, "enumerate_assignments", probe)
+    assert _arm_count(compile_program(program).arm) == 0
+    assert len(calls) > 1

@@ -1,0 +1,305 @@
+"""Parity of the shape-quotient evaluation layer against the per-execution path.
+
+The shape-quotient layer shares derived relations (``sw``/``hb``/
+``init-overlap``) and the tot-independent validity verdict across all
+ground executions of one pre-execution with the same event-level rf
+signature, and the witness search runs as a reachable-set bitmask DP
+instead of a pure backtracker.  None of that may change a single verdict:
+
+* every shared ``sw``/``hb`` must equal the relation recomputed from
+  scratch on a fresh, cache-free copy of the execution;
+* the DP witness search must return *bit-identical* results (not just
+  agree on existence) with the reference backtracking implementation —
+  the one the seed/PR-1 code used — on the full litmus catalogue's ground
+  executions and on a seeded random sample of ~1k hb/triple instances.
+
+The reference implementations below are deliberately independent of the
+shared caches: they rebuild the execution without a cache and re-derive
+everything per call.
+"""
+
+import random
+
+import pytest
+
+from repro.core.execution import CandidateExecution
+from repro.core.js_model import (
+    ALL_MODELS,
+    WitnessVerdict,
+    _search_witness,
+    _sc_atomics_forbidden_triples,
+    exists_valid_total_order,
+    happens_before_consistency_2,
+    happens_before_consistency_3,
+    is_valid,
+    tear_free_reads,
+    witness_verdict,
+)
+from repro.core.relations import Relation
+from repro.lang.enumeration import ground_executions
+from repro.lang.wait_notify import wait_notify_ground_executions
+from repro.litmus.catalogue import all_tests
+from repro.search.shapes import SearchBounds, generate_programs
+
+
+# ---------------------------------------------------------------------------
+# reference (per-execution, cache-free) implementations
+# ---------------------------------------------------------------------------
+
+
+def fresh_copy(execution):
+    """The same candidate execution with an empty derived-relation cache."""
+    return CandidateExecution(
+        events=execution.events,
+        sb=execution.sb,
+        asw=execution.asw,
+        rbf=execution.rbf,
+        tot=execution.tot,
+    )
+
+
+def ref_search_witness(eids, hb, triples):
+    """The PR-1 backtracker: prune at *reader* placement via positions."""
+    n = len(eids)
+    idx = {eid: i for i, eid in enumerate(eids)}
+    pred_mask = [0] * n
+    for eid in eids:
+        mask = 0
+        for p in hb.predecessors(eid):
+            bit = idx.get(p)
+            if bit is not None:
+                mask |= 1 << bit
+        pred_mask[idx[eid]] = mask
+    by_reader = [()] * n
+    for r_eid, pairs in triples.items():
+        by_reader[idx[r_eid]] = tuple((idx[w], idx[c]) for (w, c) in pairs)
+
+    pos = [-1] * n
+    order = []
+    full = (1 << n) - 1
+
+    def backtrack(placed_mask):
+        if placed_mask == full:
+            return True
+        for i in range(n):
+            bit = 1 << i
+            if placed_mask & bit or pred_mask[i] & ~placed_mask:
+                continue
+            violated = False
+            for (w, c) in by_reader[i]:
+                pw, pc = pos[w], pos[c]
+                if pw >= 0 and pc >= 0 and pw < pc:
+                    violated = True
+                    break
+            if violated:
+                continue
+            pos[i] = len(order)
+            order.append(i)
+            if backtrack(placed_mask | bit):
+                return True
+            order.pop()
+            pos[i] = -1
+        return False
+
+    if backtrack(0):
+        return tuple(eids[i] for i in order)
+    return None
+
+
+def ref_exists_valid_total_order(execution, model):
+    """The pre-quotient witness search: fresh caches, reference backtracker."""
+    fresh = fresh_copy(execution)
+    if not fresh.is_well_formed(require_tot=False):
+        return None
+    hb = model.happens_before(fresh)
+    sw = model.synchronizes_with(fresh)
+    if (
+        not hb.is_acyclic()
+        or not happens_before_consistency_2(fresh, hb)
+        or not happens_before_consistency_3(fresh, hb)
+        or not tear_free_reads(fresh, strong=model.strong_tearfree)
+    ):
+        return None
+    triples = _sc_atomics_forbidden_triples(fresh, model.sc_atomics, hb, sw)
+    return ref_search_witness(sorted(fresh.eids), hb, triples)
+
+
+# ---------------------------------------------------------------------------
+# catalogue-wide parity
+# ---------------------------------------------------------------------------
+
+
+def _catalogue_ground_executions(test):
+    if test.program.uses_wait_notify():
+        corrected = test.corrected_wait_notify
+        for flag in ([corrected] if corrected is not None else [True, False]):
+            yield from wait_notify_ground_executions(test.program, corrected=flag)
+    else:
+        yield from ground_executions(test.program)
+
+
+def _assert_execution_parity(execution, model):
+    fresh = fresh_copy(execution)
+    # Shared sw/hb vs from-scratch recomputation.
+    assert (
+        model.synchronizes_with(execution).pairs
+        == model.synchronizes_with(fresh).pairs
+    )
+    assert (
+        model.happens_before(execution).pairs == model.happens_before(fresh).pairs
+    )
+    assert execution.init_overlap().pairs == fresh.init_overlap().pairs
+    # Bitmask-DP witness search (over shared verdicts) vs the reference
+    # backtracker (over fresh ones): bit-identical witnesses.
+    assert exists_valid_total_order(execution, model) == ref_exists_valid_total_order(
+        execution, model
+    )
+
+
+@pytest.mark.parametrize("test", all_tests(), ids=lambda t: t.name)
+def test_catalogue_shape_parity(test):
+    models_used = {e.model for e in test.expectations}
+    for execution_holder in _catalogue_ground_executions(test):
+        execution = execution_holder.execution
+        for model in ALL_MODELS:
+            _assert_execution_parity(execution, model)
+    assert models_used  # every catalogue test pins at least one expectation
+
+
+def test_generated_program_sample_parity():
+    """~1k ground executions from the bounded shape enumeration, all models."""
+    bounds = SearchBounds(
+        threads=2,
+        max_accesses_per_thread=2,
+        max_total_accesses=4,
+        locations=1,
+        values=(1, 2),
+        guarded_observer=True,
+    )
+    checked = 0
+    for program in generate_programs(bounds):
+        for ground in ground_executions(program):
+            for model in ALL_MODELS:
+                _assert_execution_parity(ground.execution, model)
+            checked += 1
+            if checked >= 250:  # 250 executions x 4 models = 1k comparisons
+                return
+    raise AssertionError("sample bound produced too few executions")
+
+
+def test_witness_verdict_distinguishes_rbf_patterns():
+    """Verdicts are keyed by the full rbf even on a shared (per-rf) cache.
+
+    Two executions may share an rf signature yet differ in HB-Consistency
+    (3) through their byte-wise rbf; the shared cache must never leak one's
+    verdict to the other.  Construct the sharing directly: same cache dict,
+    different rbf.
+    """
+    from repro.core.events import Event, EventSet, make_init_event, SEQCST
+
+    init = make_init_event("b", 2, eid=0)
+    w1 = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 1))
+    r1 = Event(eid=2, tid=1, ord=SEQCST, block="b", index=0, reads=(1, 1))
+    events = EventSet((init, w1, r1))
+    shared_cache = {}
+    a = CandidateExecution(
+        events=events,
+        sb=Relation(),
+        asw=Relation(),
+        rbf=frozenset({(0, 1, 2), (1, 1, 2)}),
+        _cache=shared_cache,
+    )
+    b = CandidateExecution(
+        events=events,
+        sb=Relation(),
+        asw=Relation(),
+        rbf=frozenset({(0, 1, 2)}),
+        _cache=shared_cache,
+    )
+    for model in ALL_MODELS:
+        va = witness_verdict(a, model)
+        vb = witness_verdict(b, model)
+        assert va is witness_verdict(a, model)  # cached
+        assert vb is witness_verdict(b, model)
+        assert va is not vb  # rbf-keyed entries never collide
+
+
+# ---------------------------------------------------------------------------
+# randomized DP-vs-backtracker equivalence (~1k instances)
+# ---------------------------------------------------------------------------
+
+
+class _StubExecution:
+    """The minimal surface ``_search_witness`` touches."""
+
+    def __init__(self, eids):
+        self.eids = frozenset(eids)
+
+
+def _random_instance(rng):
+    n = rng.randint(2, 9)
+    eids = list(range(n))
+    ordering = eids[:]
+    rng.shuffle(ordering)
+    # hb: random forward edges of a random permutation (hence acyclic).
+    pairs = set()
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < rng.choice([0.1, 0.3, 0.5]):
+                pairs.add((ordering[i], ordering[j]))
+    hb = Relation(pairs)
+    # forbidden triples: random (writer, intervener) pairs per reader.
+    triples = {}
+    if n >= 3:
+        for _ in range(rng.randint(0, 2 * n)):
+            r, w, c = rng.sample(eids, 3)
+            triples.setdefault(r, []).append((w, c))
+    triples = {r: tuple(ps) for r, ps in triples.items()}
+    return eids, hb, triples
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_dp_matches_backtracker_on_random_instances(chunk):
+    rng = random.Random(0xD0 + chunk)
+    for _ in range(250):
+        eids, hb, triples = _random_instance(rng)
+        verdict = WitnessVerdict(ok=True, hb=hb, triples=triples)
+        got = _search_witness(_StubExecution(eids), verdict)
+        want = ref_search_witness(sorted(eids), hb, triples)
+        assert got == want
+        if want is not None:
+            # The witness really is a linear extension realising no triple.
+            index = {eid: i for i, eid in enumerate(want)}
+            assert all(index[a] < index[b] for (a, b) in hb)
+            for r, ps in triples.items():
+                for (w, c) in ps:
+                    assert not (index[w] < index[c] < index[r])
+
+
+# ---------------------------------------------------------------------------
+# validity agreement on complete witnesses
+# ---------------------------------------------------------------------------
+
+
+def test_found_witnesses_validate_under_is_valid():
+    """Every witness the shared path returns passes the full rule pipeline."""
+    bounds = SearchBounds(
+        threads=2,
+        max_accesses_per_thread=2,
+        max_total_accesses=3,
+        locations=1,
+        values=(1, 2),
+        guarded_observer=False,
+    )
+    checked = 0
+    for program in generate_programs(bounds):
+        for ground in ground_executions(program):
+            for model in ALL_MODELS:
+                tot = exists_valid_total_order(ground.execution, model)
+                if tot is not None:
+                    witnessed = ground.execution.with_witness(tot=tot)
+                    assert is_valid(witnessed, model)
+                    checked += 1
+        if checked >= 400:
+            break
+    assert checked >= 400
