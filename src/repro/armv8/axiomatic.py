@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..core.groundcore import ReadGroup, enumerate_assignments
+from ..core.groundcore import ReadGroup, SignatureInterner, enumerate_assignments
 from ..core.relations import Relation, acyclic_pairs
 from .events import ArmEvent, ArmEventKind, BarrierKind, make_arm_init
 from .program import (
@@ -49,6 +49,55 @@ _MISSING = object()
 def _decode_le(data: Tuple[int, ...]) -> int:
     """ARM reads decode as little-endian unsigned integers."""
     return int.from_bytes(bytes(data), "little")
+
+
+def _rbf_by_byte_of(
+    rbf: Iterable[ArmRbfTriple],
+) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+    """The per-byte (writer, reader) projection of a byte-wise reads-from.
+
+    Pair tuples are sorted so the projection of equal ``rbf`` sets is always
+    the *same* tuple — the per-byte projections key the shared verdict memos
+    (internal/atomic/fr), so canonical tuples are what lets every execution
+    with the same projection at a byte hit the same entry.
+    """
+    grouped: Dict[int, List[Tuple[int, int]]] = {}
+    for (k, w, r) in rbf:
+        grouped.setdefault(k, []).append((w, r))
+    return {k: tuple(sorted(pairs)) for k, pairs in grouped.items()}
+
+
+def _fr_edges(
+    order: Tuple[int, ...], rbf_pairs: Tuple[Tuple[int, int], ...]
+) -> Tuple[Tuple[int, int], ...]:
+    """From-read edges of one byte: the read before every coherence-later write."""
+    pos = {w: i for i, w in enumerate(order)}
+    edges: List[Tuple[int, int]] = []
+    for (w, r) in rbf_pairs:
+        start = pos.get(w)
+        if start is None:
+            continue
+        for later in order[start + 1:]:
+            edges.append((r, later))
+    return tuple(edges)
+
+
+def _fr_edges_memo(
+    memo: Dict, order: Tuple[int, ...], rbf_pairs: Tuple[Tuple[int, int], ...]
+) -> Tuple[Tuple[int, int], ...]:
+    """``_fr_edges`` through the shared per-pre memo.
+
+    The edges depend only on (coherence order, rbf-at-byte) — not on which
+    byte, execution or assignment asked — so one entry serves every
+    assignment of a pre-execution that projects to the same pair at any
+    byte.
+    """
+    key = ("fr_pairs", order, rbf_pairs)
+    edges = memo.get(key)
+    if edges is None:
+        edges = _fr_edges(order, rbf_pairs)
+        memo[key] = edges
+    return edges
 
 
 @dataclass(frozen=True)
@@ -91,6 +140,10 @@ class ArmExecution:
         except KeyError:
             raise KeyError(f"no ARM event with eid {eid}") from None
 
+    def eid_tid(self) -> Dict[int, int]:
+        """Thread of every event identifier (cached)."""
+        return self._memo("eid_tid", lambda: {e.eid: e.tid for e in self.events})
+
     def memory_events(self) -> Tuple[ArmEvent, ...]:
         return self._memo(
             "memory_events", lambda: tuple(e for e in self.events if e.is_memory)
@@ -113,10 +166,7 @@ class ArmExecution:
         return by_byte.get(k, ())
 
     def _compute_rbf_by_byte(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
-        grouped: Dict[int, List[Tuple[int, int]]] = {}
-        for (k, w, r) in self.rbf:
-            grouped.setdefault(k, []).append((w, r))
-        return {k: tuple(pairs) for k, pairs in grouped.items()}
+        return _rbf_by_byte_of(self.rbf)
 
     def _co_order_at(self, k: int) -> Tuple[int, ...]:
         """The coherence order of byte ``k`` (linear scan of the small tuple)."""
@@ -146,21 +196,15 @@ class ArmExecution:
     def _fr_pairs_for(
         self, k: int, order: Tuple[int, ...]
     ) -> Tuple[Tuple[int, int], ...]:
-        """From-read edges at byte ``k`` under an explicit coherence order."""
-        key = ("fr_pairs", k, order)
-        pairs = self._cache.get(key)
-        if pairs is None:
-            pos = {w: i for i, w in enumerate(order)}
-            edges: List[Tuple[int, int]] = []
-            for (w, r) in self._rbf_at(k):
-                start = pos.get(w)
-                if start is None:
-                    continue
-                for later in order[start + 1:]:
-                    edges.append((r, later))
-            pairs = tuple(edges)
-            self._cache[key] = pairs
-        return pairs
+        """From-read edges at byte ``k`` under an explicit coherence order.
+
+        Memoised per (order, rbf-at-byte) on the shared per-pre memo when
+        the grounding loop provides one, so every assignment of the
+        pre-execution with the same projection shares the entry.
+        """
+        cache = self._cache
+        memo = cache.get("pre_local_memo", cache)
+        return _fr_edges_memo(memo, order, self._rbf_at(k))
 
     def rf_at(self, k: int) -> Relation:
         """Reads-from restricted to byte ``k``."""
@@ -362,32 +406,44 @@ def _po_loc_pairs_at(execution: ArmExecution, k: int) -> Tuple[Tuple[int, int], 
     return pairs
 
 
-def _internal_ok_at(
-    execution: ArmExecution, k: int, order: Tuple[int, ...]
+def _internal_verdict(
+    memo: Dict,
+    po_loc: Tuple[Tuple[int, int], ...],
+    k: int,
+    order: Tuple[int, ...],
+    rbf_pairs: Tuple[Tuple[int, int], ...],
 ) -> bool:
-    """The byte-``k`` SC-per-location verdict under an explicit order.
+    """The byte-``k`` SC-per-location verdict, memoised on the shared memo.
 
     The verdict depends only on (byte, order, reads-from-at-byte) — po-loc
-    is fixed per pre-execution — so the grounding loop shares a memo across
-    *all* assignments of one pre-execution (``pre_local_memo``); outside a
-    grounding the execution's own cache serves the same role.
+    is fixed per pre-execution — so both callers (the execution method below
+    and the grounding loop's scaffold filter) share one entry per projection
+    across *all* assignments of one pre-execution.
     """
-    cache = execution._cache
-    memo = cache.get("pre_local_memo", cache)
-    key = ("internal", k, order, execution._rbf_at(k))
+    key = ("internal", k, order, rbf_pairs)
     verdict = memo.get(key)
     if verdict is None:
-        po_loc = _po_loc_pairs_at(execution, k)
         co_pairs = [(a, b) for i, a in enumerate(order) for b in order[i + 1:]]
         edges = itertools.chain(
             po_loc,
             co_pairs,
-            execution._fr_pairs_for(k, order),
-            execution._rbf_at(k),
+            _fr_edges_memo(memo, order, rbf_pairs),
+            rbf_pairs,
         )
         verdict = acyclic_pairs(edges)
         memo[key] = verdict
     return verdict
+
+
+def _internal_ok_at(
+    execution: ArmExecution, k: int, order: Tuple[int, ...]
+) -> bool:
+    """The byte-``k`` SC-per-location verdict under an explicit order."""
+    cache = execution._cache
+    memo = cache.get("pre_local_memo", cache)
+    return _internal_verdict(
+        memo, _po_loc_pairs_at(execution, k), k, order, execution._rbf_at(k)
+    )
 
 
 def arm_internal_consistent(execution: ArmExecution) -> bool:
@@ -396,6 +452,36 @@ def arm_internal_consistent(execution: ArmExecution) -> bool:
         if not _internal_ok_at(execution, k, execution._co_order_at(k)):
             return False
     return True
+
+
+def _atomic_verdict(
+    memo: Dict,
+    tid_of: Mapping[int, int],
+    lr: int,
+    sw: int,
+    k: int,
+    order: Tuple[int, ...],
+    rbf_pairs: Tuple[Tuple[int, int], ...],
+) -> bool:
+    """Atomicity of one exclusive pair at one byte, memoised on the shared memo."""
+    key = ("atomic", lr, sw, k, order, rbf_pairs)
+    verdict = memo.get(key)
+    if verdict is None:
+        verdict = True
+        load_tid = tid_of[lr]
+        pos = {w: i for i, w in enumerate(order)}
+        sw_pos = pos.get(sw)
+        for (_r, intervener) in _fr_edges_memo(memo, order, rbf_pairs):
+            if _r != lr:
+                continue
+            if tid_of[intervener] == load_tid:
+                continue
+            i_pos = pos.get(intervener)
+            if i_pos is not None and sw_pos is not None and i_pos < sw_pos:
+                verdict = False
+                break
+        memo[key] = verdict
+    return verdict
 
 
 def _atomic_ok_at(
@@ -408,24 +494,9 @@ def _atomic_ok_at(
     """Atomicity of one exclusive pair at one byte under an explicit order."""
     cache = execution._cache
     memo = cache.get("pre_local_memo", cache)
-    key = ("atomic", lr, sw, k, order, execution._rbf_at(k))
-    verdict = memo.get(key)
-    if verdict is None:
-        verdict = True
-        load_tid = execution.event(lr).tid
-        pos = {w: i for i, w in enumerate(order)}
-        sw_pos = pos.get(sw)
-        for (_r, intervener) in execution._fr_pairs_for(k, order):
-            if _r != lr:
-                continue
-            if execution.event(intervener).tid == load_tid:
-                continue
-            i_pos = pos.get(intervener)
-            if i_pos is not None and sw_pos is not None and i_pos < sw_pos:
-                verdict = False
-                break
-        memo[key] = verdict
-    return verdict
+    return _atomic_verdict(
+        memo, execution.eid_tid(), lr, sw, k, order, execution._rbf_at(k)
+    )
 
 
 def arm_atomicity_holds(execution: ArmExecution) -> bool:
@@ -530,6 +601,17 @@ class ArmPreExecution:
             return frozenset(locations)
 
         return self._lazy("_bytes_accessed", compute)
+
+    def eid_footprints(self) -> Dict[int, FrozenSet[int]]:
+        """Byte footprint of every memory event (template-fixed)."""
+        return self._lazy(
+            "_eid_footprints",
+            lambda: {
+                self.eid_of[t.key]: frozenset(t.footprint())
+                for t in self.templates
+                if t.is_memory
+            },
+        )
 
     def po_loc_by_byte(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
         """``po`` restricted to the accessors of each byte.
@@ -929,18 +1011,202 @@ def _arm_outcome(
 
 
 @dataclass
-class _ArmGrounding:
-    """One reads-byte-from assignment with its shared derived state.
+class _ArmGroundingClass:
+    """The per-signature-class state shared by many reads-byte-from assignments.
 
-    ``prototype`` carries the assignment's events/rbf and the shared cache
-    (no coherence chosen yet); the coherence variants are the product of
-    one order per entry of ``group_list``.
+    The *signature* is the pair (value profile, event-level rf signature):
+    every per-class attribute below is a function of it — byte-level writer
+    choices never enter — so the dozens of byte-wise assignments that
+    project to one signature (a read covering several bytes of equal-valued
+    writers can justify each byte independently) build this state **once**.
+    This is the ARM mirror of the JavaScript shape-quotient cache sharing
+    in :func:`repro.lang.enumeration._build_execution`.
+    """
+
+    events: Tuple[ArmEvent, ...]
+    event_index: Dict[int, ArmEvent]
+    outcome: ArmOutcome
+    rf_pairs: FrozenSet[Tuple[int, int]]
+    ob_fixed: Tuple[Tuple[int, int], ...]
+    cache: Dict[object, object]
+
+
+@dataclass
+class _ArmPreScaffold:
+    """The per-pre-execution shared state of one grounding enumeration.
+
+    Everything here is assignment-independent: the coherence choice
+    structure, the signature-class interner, the shared verdict memo (and
+    the group-filter memo layered over it), the static per-pre maps the
+    scaffold verdicts consult, and the flat *slot structure* of the
+    assignment enumeration.
+
+    The slot structure is what makes members cheap: the backtracking core
+    fills one writer per (byte, reader) slot in a fixed order, so the
+    slot-ordered writer tuple (``choices``) is a bijective encoding of the
+    member — each reader has exactly one writer per byte, so equal
+    projections have equal sub-tuples and vice versa.  Memo keys are
+    therefore plain int tuples sliced out of ``choices``
+    (``group_key_slots``), and the canonical per-byte pair tuples are only
+    rebuilt on a memo miss (``group_byte_slots``/``byte_slots``).
     """
 
     pre: ArmPreExecution
-    prototype: ArmExecution
-    outcome: ArmOutcome
     group_list: List[Tuple[Tuple[int, ...], List[Tuple[int, ...]]]]
+    memo: Dict
+    filter_memo: Dict
+    tid_of: Dict[int, int]
+    po_loc: Dict[int, Tuple[Tuple[int, int], ...]]
+    footprints: Dict[int, FrozenSet[int]]
+    rmw_pairs: Tuple[Tuple[int, int], ...]
+    # Flat slot structure (see class docstring):
+    slots: Tuple[Tuple[int, int], ...]  # (byte, reader eid) per slot
+    slot_readers: Tuple[int, ...]  # reader eid per slot
+    byte_slots: Dict[int, Tuple[Tuple[int, int], ...]]  # k -> ((slot, reader), ...)
+    byte_key_slots: Dict[int, Tuple[int, ...]]  # k -> slot indices
+    group_of_byte: Dict[int, int]  # k -> index into group_list
+
+    def rbf_pairs_at(
+        self, choices: Tuple[int, ...], entries: Tuple[Tuple[int, int], ...]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """The canonical (writer, reader) tuple of one byte's slot entries."""
+        return tuple(sorted((choices[si], r) for (si, r) in entries))
+
+    def byte_order_mask(self, k: int, byte_key: Tuple[int, ...], choices) -> int:
+        """Bitmask over byte ``k``'s group orders passing internal ∧ atomicity.
+
+        Bit ``i`` is set iff ``group_list[group_of_byte[k]]``'s ``i``-th
+        coherence order satisfies the byte-decomposed local axioms at
+        ``k`` under the member's projection — which ``byte_key`` (the
+        writer choices at ``k``'s slots) encodes bijectively, so one mask
+        serves every assignment of the pre-execution that agrees at this
+        byte.  A member's per-group verdict is the AND of its bytes'
+        masks: the per-byte projections recur far more often than whole
+        per-group projections (a single-location program has ONE group
+        spanning every byte, whose projection is the whole member).
+        """
+        mask_key = ("byte_mask", k, byte_key)
+        mask = self.filter_memo.get(mask_key)
+        if mask is None:
+            rbf_pairs = self.rbf_pairs_at(choices, self.byte_slots.get(k, ()))
+            orders = self.group_list[self.group_of_byte[k]][1]
+            memo = self.memo
+            po_loc_k = self.po_loc[k]
+            tid_of = self.tid_of
+            atomic_pairs = [
+                (lr, sw)
+                for (lr, sw) in self.rmw_pairs
+                if k in self.footprints[lr] and k in self.footprints[sw]
+            ]
+            mask = 0
+            for i, order in enumerate(orders):
+                if not _internal_verdict(memo, po_loc_k, k, order, rbf_pairs):
+                    continue
+                if any(
+                    not _atomic_verdict(memo, tid_of, lr, sw, k, order, rbf_pairs)
+                    for (lr, sw) in atomic_pairs
+                ):
+                    continue
+                mask |= 1 << i
+            self.filter_memo[mask_key] = mask
+        return mask
+
+    def orders_for_mask(
+        self, group_index: int, mask: int
+    ) -> List[Tuple[int, ...]]:
+        """Decode a surviving-orders bitmask back to the order list (memoised)."""
+        orders_key = ("mask_orders", group_index, mask)
+        surviving = self.filter_memo.get(orders_key)
+        if surviving is None:
+            orders = self.group_list[group_index][1]
+            surviving = [
+                order for i, order in enumerate(orders) if mask & (1 << i)
+            ]
+            self.filter_memo[orders_key] = surviving
+        return surviving
+
+
+@dataclass
+class _ArmGrounding:
+    """One reads-byte-from assignment: its class plus the byte-level witness.
+
+    ``cls`` carries everything shared per signature class (events, outcome,
+    ``ob_fixed``, the class cache); the member itself only owns its
+    slot-ordered writer ``choices`` tuple — the bijective encoding of the
+    byte-level witness — plus the per-group key slices that address the
+    shared verdict memos.  ``rbf``/``rbf_by_byte``, the prototype execution
+    and the member cache are all materialised lazily: assignments whose
+    every coherence variant dies on a local verdict never build any of
+    them.
+    """
+
+    pre: ArmPreExecution
+    scaffold: _ArmPreScaffold
+    cls: _ArmGroundingClass
+    choices: Tuple[int, ...]
+    group_list: List[Tuple[Tuple[int, ...], List[Tuple[int, ...]]]]
+    _byte_keys: Optional[Dict[int, Tuple[int, ...]]] = None
+    _filtered: Optional[List[List[Tuple[int, ...]]]] = None
+    _rbf: Optional[FrozenSet[ArmRbfTriple]] = None
+    _rbf_by_byte: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+    _prototype: Optional[ArmExecution] = None
+
+    @property
+    def outcome(self) -> ArmOutcome:
+        return self.cls.outcome
+
+    @property
+    def byte_keys(self) -> Dict[int, Tuple[int, ...]]:
+        """Per byte: the writer choices at its slots (the memo sub-keys)."""
+        if self._byte_keys is None:
+            choices = self.choices
+            self._byte_keys = {
+                k: tuple(choices[si] for si in slot_indices)
+                for k, slot_indices in self.scaffold.byte_key_slots.items()
+            }
+        return self._byte_keys
+
+    @property
+    def rbf(self) -> FrozenSet[ArmRbfTriple]:
+        if self._rbf is None:
+            self._rbf = frozenset(
+                (k, w, r)
+                for (k, r), w in zip(self.scaffold.slots, self.choices)
+            )
+        return self._rbf
+
+    @property
+    def rbf_by_byte(self) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        if self._rbf_by_byte is None:
+            scaffold = self.scaffold
+            choices = self.choices
+            self._rbf_by_byte = {
+                k: scaffold.rbf_pairs_at(choices, entries)
+                for k, entries in scaffold.byte_slots.items()
+            }
+        return self._rbf_by_byte
+
+    @property
+    def prototype(self) -> ArmExecution:
+        """The member's execution scaffold (events + rbf, no coherence yet)."""
+        if self._prototype is None:
+            # The member cache extends the class cache with the one
+            # member-dependent entry; coherence-dependent entries are keyed
+            # by the byte's order tuple, so all coherence variants share
+            # this ONE dict without poisoning each other.
+            member_cache = self.cls.cache.copy()
+            member_cache["rbf_by_byte"] = self.rbf_by_byte
+            self._prototype = ArmExecution(
+                events=self.cls.events,
+                po=self.pre.po,
+                addr=self.pre.addr,
+                data=self.pre.data,
+                ctrl=self.pre.ctrl,
+                rmw=self.pre.rmw,
+                rbf=self.rbf,
+                _cache=member_cache,
+            )
+        return self._prototype
 
     def execution_with(
         self, combo: Tuple[Tuple[int, ...], ...]
@@ -950,9 +1216,6 @@ class _ArmGrounding:
         for (byte_locations, _orders), order in zip(self.group_list, combo):
             for k in byte_locations:
                 coherence[k] = order
-        # The ONE cache dict is shared (not copied) by every coherence
-        # variant: coherence-dependent entries are keyed by the byte's
-        # order tuple, so variants reuse rather than poison them.
         proto = self.prototype
         return ArmExecution(
             events=proto.events,
@@ -965,6 +1228,50 @@ class _ArmGrounding:
             co_by_byte=tuple(sorted(coherence.items())),
             _cache=proto._cache,
         )
+
+
+def _arm_read_groups(pre: ArmPreExecution) -> Optional[List[ReadGroup]]:
+    """The shared-core read groups of one pre-execution (``None`` if infeasible).
+
+    Hoisted per pre: the grounding loop derives its flat slot structure
+    (the member-signature encoding) from the same groups the enumeration
+    runs on, so the two can never drift.
+    """
+
+    def compute():
+        writers = _arm_writers_by_byte(pre)
+        constraints = pre.constraints_by_source()
+        read_groups: List[ReadGroup] = []
+        for template in pre.templates:
+            if not template.is_read:
+                continue
+            eid = pre.eid_of[template.key]
+            slots: List[Tuple[int, int]] = []
+            locations: List[int] = []
+            choices: List[Tuple[int, ...]] = []
+            for k in template.footprint():
+                candidates = [w for w in writers.get(k, []) if w != eid]
+                if not candidates:
+                    return None
+                slots.append((k, eid))
+                locations.append(k)
+                choices.append(tuple(candidates))
+            read_groups.append(
+                ReadGroup(
+                    key=template.key,
+                    slots=tuple(slots),
+                    locations=tuple(locations),
+                    choices=tuple(choices),
+                    constraints=tuple(
+                        (c.equal, c.constant)
+                        for c in constraints.get(template.key, ())
+                    ),
+                    decode=_decode_le,
+                )
+            )
+        return read_groups
+
+    return pre._lazy("_read_groups", compute)
 
 
 def _arm_assignments(
@@ -987,36 +1294,9 @@ def _arm_assignments(
     ``(assignment, read_bytes, out_bytes)`` in exactly the order the plain
     product would.
     """
-    writers = _arm_writers_by_byte(pre)
-    constraints = pre.constraints_by_source()
-    read_groups: List[ReadGroup] = []
-    for template in pre.templates:
-        if not template.is_read:
-            continue
-        eid = pre.eid_of[template.key]
-        slots: List[Tuple[int, int]] = []
-        locations: List[int] = []
-        choices: List[Tuple[int, ...]] = []
-        for k in template.footprint():
-            candidates = [w for w in writers.get(k, []) if w != eid]
-            if not candidates:
-                return
-            slots.append((k, eid))
-            locations.append(k)
-            choices.append(tuple(candidates))
-        read_groups.append(
-            ReadGroup(
-                key=template.key,
-                slots=tuple(slots),
-                locations=tuple(locations),
-                choices=tuple(choices),
-                constraints=tuple(
-                    (c.equal, c.constant)
-                    for c in constraints.get(template.key, ())
-                ),
-                decode=_decode_le,
-            )
-        )
+    read_groups = _arm_read_groups(pre)
+    if read_groups is None:
+        return
 
     static_bytes, write_start = pre.static_write_state()
     write_templates = [
@@ -1069,32 +1349,114 @@ def _arm_assignments(
     )
 
 
+def _arm_ob_fixed(
+    pre: ArmPreExecution, rf_pairs: FrozenSet[Tuple[int, int]]
+) -> Tuple[Tuple[int, int], ...]:
+    """The coherence-independent ``ob`` part, interned per rf signature."""
+    ob_memo: Dict[FrozenSet[Tuple[int, int]], Tuple[Tuple[int, int], ...]] = (
+        pre._lazy("_ob_fixed_memo", dict)
+    )
+    ob_fixed = ob_memo.get(rf_pairs)
+    if ob_fixed is None:
+        tid_of = pre.eid_tid()
+        rfi = [(w, r) for (w, r) in rf_pairs if tid_of[w] == tid_of[r]]
+        rfe = [(w, r) for (w, r) in rf_pairs if tid_of[w] != tid_of[r]]
+        fixed: List[Tuple[int, int]] = list(pre.static_ob_pairs())
+        fixed.extend(rfe)
+        dep_by_right = pre.dep_by_right()
+        exclusive_writes = pre.exclusive_write_eids()
+        acquires = pre.acquire_read_eids()
+        for (b, c) in rfi:
+            for a in dep_by_right.get(b, ()):  # dep ; rfi
+                fixed.append((a, c))
+            if b in exclusive_writes and c in acquires:  # aob forwarding
+                fixed.append((b, c))
+        ob_fixed = tuple(fixed)
+        ob_memo[rf_pairs] = ob_fixed
+    return ob_fixed
+
+
 def _arm_groundings(
-    program: ArmProgram, group_coherence: bool
+    program: ArmProgram,
+    group_coherence: bool,
+    locally_consistent: bool = False,
 ) -> Iterator[_ArmGrounding]:
-    """One :class:`_ArmGrounding` per feasible reads-byte-from assignment."""
+    """One :class:`_ArmGrounding` per feasible reads-byte-from assignment.
+
+    Assignments are quotiented by their (value profile, event-level rf
+    signature) projection: the first member of each class builds the shared
+    events/outcome/``ob_fixed``/class-cache state, later members reuse it
+    and only contribute their byte-level ``rbf`` and its projections.  The
+    member *stream* is not reordered — one grounding per assignment, in
+    assignment-enumeration order — so every consumer stays bit-identical to
+    the unquotiented enumeration.
+
+    With ``locally_consistent=True`` the per-group coherence filter is
+    fused into the member loop: it runs *before* any per-member state is
+    assembled, members with no locally-consistent coherence choice are
+    dropped (they contribute no allowed execution), and survivors carry
+    their surviving-order lists in ``_filtered`` — so the many assignments
+    that die on a local verdict never intern a class, never build an
+    events key and never construct a grounding at all.
+    """
     for pre in arm_pre_executions(program):
         # The coherence choice structure depends only on the pre-execution's
         # writers, never on the reads-byte-from assignment: build it once.
         group_list = _coherence_group_orders(pre, group_coherence)
+        read_groups = _arm_read_groups(pre)
+        if read_groups is None:
+            continue  # some read byte has no writer: no feasible assignment
+        # The flat slot structure of the enumeration (see _ArmPreScaffold).
+        slots = tuple(slot for group in read_groups for slot in group.slots)
+        slot_readers = tuple(r for (_k, r) in slots)
+        byte_slots: Dict[int, List[Tuple[int, int]]] = {}
+        for index, (k, reader) in enumerate(slots):
+            byte_slots.setdefault(k, []).append((index, reader))
+        group_of_byte = {
+            k: group_index
+            for group_index, (byte_locations, _orders) in enumerate(group_list)
+            for k in byte_locations
+        }
+        byte_slots_t = {
+            k: tuple(byte_slots.get(k, ())) for k in group_of_byte
+        }
+        byte_key_slots = {
+            k: tuple(si for (si, _r) in entries)
+            for k, entries in byte_slots_t.items()
+        }
         # Per-pre hoists for the per-assignment loop below: the value-profile
-        # accessors, the events memo, and the assignment-independent part of
-        # the shared execution cache (copied per assignment at C speed).
-        profile_tags = pre._lazy(
-            "_value_profile_tags",
-            lambda: tuple(
-                (t.key, "r" if t.is_read else ("w" if t.is_write else None))
-                for t in pre.templates
-            ),
+        # accessors, the signature-class interner, the verdict scaffolding,
+        # and the assignment-independent part of the shared execution cache.
+        read_keys = tuple(t.key for t in pre.templates if t.is_read)
+        write_keys = tuple(
+            t.key for t in pre.templates if t.is_write and not t.is_read
         )
-        events_memo: Dict = pre._lazy("_events_memo", dict)
+        classes: SignatureInterner = pre._lazy(
+            "_grounding_classes", SignatureInterner
+        )
+        class_table = classes.table
+        scaffold = _ArmPreScaffold(
+            pre=pre,
+            group_list=group_list,
+            memo=pre._lazy("_local_verdict_memo", dict),
+            filter_memo=pre._lazy("_group_filter_memo", dict),
+            tid_of=pre.eid_tid(),
+            po_loc=pre.po_loc_by_byte(),
+            footprints=pre.eid_footprints(),
+            rmw_pairs=tuple(pre.rmw),
+            slots=slots,
+            slot_readers=slot_readers,
+            byte_slots=byte_slots_t,
+            byte_key_slots=byte_key_slots,
+            group_of_byte=group_of_byte,
+        )
         base_cache: Dict[object, object] = pre._lazy(
             "_base_execution_cache",
             lambda: {
                 "bytes_accessed": pre.bytes_accessed(),
-                # Internal/atomicity verdicts are shared per PRE-execution
-                # (keyed by byte, order and rf-at-byte), not just per
-                # assignment.
+                "eid_tid": pre.eid_tid(),
+                # Internal/atomicity/fr verdicts are shared per PRE-execution
+                # (keyed by order and rf-at-byte), not just per assignment.
                 "pre_local_memo": pre._lazy("_local_verdict_memo", dict),
                 **{
                     ("po_loc", k): pairs
@@ -1103,75 +1465,71 @@ def _arm_groundings(
             },
         )
         for assignment, read_bytes, out_bytes in _arm_assignments(pre):
-            # Deduplicate the (immutable) event tuple per value profile:
-            # different writer assignments frequently resolve to identical
-            # byte values.
-            events_key = tuple(
-                read_bytes[key]
-                if tag == "r"
-                else out_bytes[key]
-                if tag == "w"
-                else ()
-                for key, tag in profile_tags
+            choices = tuple(map(assignment.__getitem__, slots))
+            byte_keys: Optional[Dict[int, Tuple[int, ...]]] = None
+            filtered: Optional[List[List[Tuple[int, ...]]]] = None
+            if locally_consistent:
+                # Fused filter: decide the local axioms from the per-byte
+                # mask memos before assembling any member state.
+                byte_keys = {}
+                filtered = []
+                dead = False
+                item = choices.__getitem__
+                for group_index, (byte_locations, orders) in enumerate(
+                    group_list
+                ):
+                    mask = (1 << len(orders)) - 1
+                    for k in byte_locations:
+                        byte_key = tuple(map(item, byte_key_slots[k]))
+                        byte_keys[k] = byte_key
+                        mask &= scaffold.byte_order_mask(k, byte_key, choices)
+                        if not mask:
+                            dead = True
+                            break
+                    if dead:
+                        break
+                    filtered.append(
+                        scaffold.orders_for_mask(group_index, mask)
+                    )
+                if dead:
+                    continue
+            # The class signature: the value profile (which events the
+            # assignment resolves to) and the event-level rf projection.
+            events_key = (
+                tuple(map(read_bytes.__getitem__, read_keys)),
+                tuple(map(out_bytes.__getitem__, write_keys)),
             )
-            entry = events_memo.get(events_key)
-            if entry is None:
+            rf_pairs = frozenset(zip(choices, slot_readers))
+            class_key = (events_key, rf_pairs)
+            # SignatureInterner.intern, inlined: a closure + method call per
+            # assignment is measurable on this loop.  Class state is never
+            # None, so the plain .get miss test is safe here.
+            classes.members += 1
+            cls = class_table.get(class_key)
+            if cls is None:
                 events = tuple(_arm_build_events(pre, read_bytes, out_bytes))
-                entry = (events, {e.eid: e for e in events})
-                events_memo[events_key] = entry
-            events, event_index = entry
-            rbf = frozenset(
-                (k, writer, reader) for ((k, reader), writer) in assignment.items()
-            )
-            outcome = _arm_outcome(pre, read_bytes)
-            # Assemble the coherence-independent derived state once per
-            # reads-byte-from assignment and share it (via the execution
-            # cache) across every coherence variant.  ``ob_fixed`` depends
-            # only on the event-level rf signature, which many byte-wise
-            # assignments share, so it is interned per rf signature on the
-            # pre-execution.
-            rf_pairs = frozenset((w, r) for (_k, w, r) in rbf)
-            ob_memo: Dict[FrozenSet[Tuple[int, int]], Tuple[Tuple[int, int], ...]] = (
-                pre._lazy("_ob_fixed_memo", dict)
-            )
-            ob_fixed = ob_memo.get(rf_pairs)
-            if ob_fixed is None:
-                tid_of = pre.eid_tid()
-                rfi = [(w, r) for (w, r) in rf_pairs if tid_of[w] == tid_of[r]]
-                rfe = [(w, r) for (w, r) in rf_pairs if tid_of[w] != tid_of[r]]
-                fixed: List[Tuple[int, int]] = list(pre.static_ob_pairs())
-                fixed.extend(rfe)
-                dep_by_right = pre.dep_by_right()
-                exclusive_writes = pre.exclusive_write_eids()
-                acquires = pre.acquire_read_eids()
-                for (b, c) in rfi:
-                    for a in dep_by_right.get(b, ()):  # dep ; rfi
-                        fixed.append((a, c))
-                    if b in exclusive_writes and c in acquires:  # aob forwarding
-                        fixed.append((b, c))
-                ob_fixed = tuple(fixed)
-                ob_memo[rf_pairs] = ob_fixed
-            rbf_by_byte: Dict[int, List[Tuple[int, int]]] = {}
-            for (k, w, r) in rbf:
-                rbf_by_byte.setdefault(k, []).append((w, r))
-            shared_cache: Dict[object, object] = base_cache.copy()
-            shared_cache["event_index"] = event_index
-            shared_cache["rbf_by_byte"] = {
-                k: tuple(pairs) for k, pairs in rbf_by_byte.items()
-            }
-            shared_cache["ob_fixed"] = ob_fixed
-            prototype = ArmExecution(
-                events=events,
-                po=pre.po,
-                addr=pre.addr,
-                data=pre.data,
-                ctrl=pre.ctrl,
-                rmw=pre.rmw,
-                rbf=rbf,
-                _cache=shared_cache,
-            )
+                event_index = {e.eid: e for e in events}
+                class_cache: Dict[object, object] = base_cache.copy()
+                class_cache["event_index"] = event_index
+                class_cache["ob_fixed"] = _arm_ob_fixed(pre, rf_pairs)
+                cls = _ArmGroundingClass(
+                    events=events,
+                    event_index=event_index,
+                    outcome=_arm_outcome(pre, read_bytes),
+                    rf_pairs=rf_pairs,
+                    ob_fixed=class_cache["ob_fixed"],
+                    cache=class_cache,
+                )
+                class_table[class_key] = cls
+                classes.classes += 1
             yield _ArmGrounding(
-                pre=pre, prototype=prototype, outcome=outcome, group_list=group_list
+                pre=pre,
+                scaffold=scaffold,
+                cls=cls,
+                choices=choices,
+                group_list=group_list,
+                _byte_keys=byte_keys,
+                _filtered=filtered,
             )
 
 
@@ -1191,30 +1549,6 @@ def arm_ground_executions(
             )
 
 
-def _group_local_ok(
-    execution: ArmExecution,
-    byte_locations: Tuple[int, ...],
-    order: Tuple[int, ...],
-) -> bool:
-    """Do the bytes of one coherence group pass internal + atomicity?
-
-    Both axioms decompose per byte, and each byte's verdict depends only on
-    its own group's order — so an order failing here poisons *every*
-    coherence choice containing it and can be pruned before the product.
-    """
-    for k in byte_locations:
-        if not _internal_ok_at(execution, k, order):
-            return False
-    for (lr, sw) in execution.rmw:
-        load = execution.event(lr)
-        store = execution.event(sw)
-        shared = set(load.footprint) & set(store.footprint)
-        for k in byte_locations:
-            if k in shared and not _atomic_ok_at(execution, lr, sw, k, order):
-                return False
-    return True
-
-
 def _locally_consistent_orders(
     grounding: _ArmGrounding,
 ) -> Optional[List[List[Tuple[int, ...]]]]:
@@ -1222,19 +1556,126 @@ def _locally_consistent_orders(
 
     Returns ``None`` when some group has no surviving order (every
     coherence choice of this grounding violates internal or atomicity).
+
+    Both local axioms decompose per byte, so the verdict is assembled from
+    *per-byte order bitmasks* memoised per (byte, projection-at-byte) —
+    see :meth:`_ArmPreScaffold.byte_order_mask`: a member's per-group
+    surviving set is the AND of its bytes' masks, all of which are shared
+    across every assignment of the pre-execution agreeing at that byte.
+    The byte verdicts come from the same shared per-pre memo the
+    execution-based path uses, so both paths can never disagree.
     """
-    prototype = grounding.prototype
+    if grounding._filtered is not None:
+        return grounding._filtered
+    scaffold = grounding.scaffold
+    choices = grounding.choices
+    byte_keys = grounding.byte_keys
     filtered: List[List[Tuple[int, ...]]] = []
-    for byte_locations, orders in grounding.group_list:
-        surviving = [
-            order
-            for order in orders
-            if _group_local_ok(prototype, byte_locations, order)
-        ]
-        if not surviving:
-            return None
-        filtered.append(surviving)
+    for group_index, (byte_locations, orders) in enumerate(grounding.group_list):
+        mask = (1 << len(orders)) - 1
+        for k in byte_locations:
+            mask &= scaffold.byte_order_mask(k, byte_keys[k], choices)
+            if not mask:
+                return None
+        filtered.append(scaffold.orders_for_mask(group_index, mask))
     return filtered
+
+
+def _external_ok(
+    grounding: _ArmGrounding, combo: Tuple[Tuple[int, ...], ...]
+) -> bool:
+    """The external (ordered-before) verdict of one coherence choice.
+
+    Assembled from shared scaffolding instead of a materialised execution:
+    ``ob_fixed`` comes from the signature class, each group's external
+    coherence edges are memoised per order (shared by every assignment of
+    the pre-execution), and the external from-read edges per
+    (byte, order, projection-at-byte) — the same per-byte granularity as
+    the local filter, so the edge lists recur across members even when
+    whole-group projections never do.  Only the final acyclicity check is
+    per variant (duplicate edges across bytes are harmless to it).
+    """
+    scaffold = grounding.scaffold
+    memo = scaffold.memo
+    tid_of = scaffold.tid_of
+    byte_keys = grounding.byte_keys
+    choices = grounding.choices
+    parts: List[Tuple[Tuple[int, int], ...]] = [grounding.cls.ob_fixed]
+    for group_index, order in enumerate(combo):
+        coe_key = ("coe", order)
+        coe = memo.get(coe_key)
+        if coe is None:
+            coe = tuple(
+                (a, b)
+                for i, a in enumerate(order)
+                for b in order[i + 1:]
+                if tid_of[a] != tid_of[b]
+            )
+            memo[coe_key] = coe
+        parts.append(coe)
+        for k in grounding.group_list[group_index][0]:
+            fre_key = ("fre", k, order, byte_keys[k])
+            fre = memo.get(fre_key)
+            if fre is None:
+                rbf_pairs = scaffold.rbf_pairs_at(
+                    choices, scaffold.byte_slots.get(k, ())
+                )
+                fre = tuple(
+                    (r, later)
+                    for (r, later) in _fr_edges_memo(memo, order, rbf_pairs)
+                    if tid_of[r] != tid_of[later]
+                )
+                memo[fre_key] = fre
+            if fre:
+                parts.append(fre)
+    return acyclic_pairs(itertools.chain.from_iterable(parts))
+
+
+@dataclass
+class ArmAllowedExecutionClass:
+    """All model-allowed coherence variants of one ``(events, rbf)`` class.
+
+    The ARM → JavaScript translation (and every other coherence-independent
+    consumer) needs exactly one representative per class: ``prototype``
+    carries the class's events and byte-wise reads-from with no coherence
+    chosen, and every member of ``executions`` shares its derived-relation
+    cache.  Classes are yielded in assignment-enumeration order and the
+    variants within one class in coherence-product order, so flattening
+    reproduces :func:`arm_allowed_executions` exactly.
+    """
+
+    pre: ArmPreExecution
+    outcome: ArmOutcome
+    prototype: ArmExecution
+    executions: List[ArmExecution]
+
+
+def arm_allowed_execution_classes(
+    program: ArmProgram, group_coherence: bool = True
+) -> Iterator[ArmAllowedExecutionClass]:
+    """The allowed executions, grouped per ``(events, rbf)`` class.
+
+    Classes whose every coherence variant is forbidden are skipped (they
+    would contribute no execution).  The per-group internal/atomicity
+    verdicts prune coherence orders *before* the per-group product is
+    taken, and the external axiom is decided on shared scaffolding — an
+    :class:`ArmExecution` is only materialised for *allowed* variants.
+    """
+    for grounding in _arm_groundings(
+        program, group_coherence, locally_consistent=True
+    ):
+        allowed = [
+            grounding.execution_with(combo)
+            for combo in itertools.product(*grounding._filtered)
+            if _external_ok(grounding, combo)
+        ]
+        if allowed:
+            yield ArmAllowedExecutionClass(
+                pre=grounding.pre,
+                outcome=grounding.outcome,
+                prototype=grounding.prototype,
+                executions=allowed,
+            )
 
 
 def arm_allowed_executions(
@@ -1245,22 +1686,17 @@ def arm_allowed_executions(
     Equivalent to filtering :func:`arm_ground_executions` with
     :func:`arm_is_valid`, but the per-group internal/atomicity verdicts
     prune coherence orders *before* the per-group product is taken — the
-    vast majority of coherence variants die on a local verdict, so only
-    locally-consistent variants are materialised and checked against the
-    (global) external axiom.
+    vast majority of coherence variants die on a local verdict — and the
+    external axiom is checked against shared scaffolding, so only allowed
+    variants are ever materialised.
     """
-    for grounding in _arm_groundings(program, group_coherence):
-        filtered = _locally_consistent_orders(grounding)
-        if filtered is None:
-            continue
-        for combo in itertools.product(*filtered):
-            execution = grounding.execution_with(combo)
-            if arm_external_consistent(execution):
-                yield ArmGroundExecution(
-                    execution=execution,
-                    outcome=grounding.outcome,
-                    pre=grounding.pre,
-                )
+    for allowed_class in arm_allowed_execution_classes(program, group_coherence):
+        for execution in allowed_class.executions:
+            yield ArmGroundExecution(
+                execution=execution,
+                outcome=allowed_class.outcome,
+                pre=allowed_class.pre,
+            )
 
 
 def arm_allowed_outcomes(
@@ -1293,6 +1729,6 @@ def arm_outcome_allowed(
         if filtered is None:
             continue
         for combo in itertools.product(*filtered):
-            if arm_external_consistent(grounding.execution_with(combo)):
+            if _external_ok(grounding, combo):
                 return True
     return False

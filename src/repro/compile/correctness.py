@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from ..armv8.axiomatic import ArmExecution, arm_allowed_executions
+from ..armv8.axiomatic import ArmExecution, arm_allowed_execution_classes
 from ..armv8.operational import arm_operational_runs
 from ..core.execution import CandidateExecution
 from ..core.js_model import (
@@ -105,17 +105,25 @@ class CompilationCheckResult:
         )
 
 
-def _arm_executions(
+def _arm_execution_classes(
     compiled: CompiledProgram, use_operational: bool, group_coherence: bool
-) -> Iterator[ArmExecution]:
+) -> Iterator[Tuple[ArmExecution, Iterable[ArmExecution]]]:
+    """``(class prototype, allowed variants)`` pairs of the compiled program.
+
+    The axiomatic model enumerates ``(events, rbf)`` classes natively; the
+    operational model yields raw runs, so its classes are recovered by
+    memo — consecutive runs of one class are not guaranteed there, hence
+    each run forms its own singleton batch and the translation is memoised
+    by the caller-visible prototype instead.
+    """
     if use_operational:
         for run in arm_operational_runs(compiled.arm):
-            yield run.execution
+            yield run.execution, (run.execution,)
     else:
-        for ground in arm_allowed_executions(
+        for allowed_class in arm_allowed_execution_classes(
             compiled.arm, group_coherence=group_coherence
         ):
-            yield ground.execution
+            yield allowed_class.prototype, allowed_class.executions
 
 
 def check_program_compilation(
@@ -129,49 +137,60 @@ def check_program_compilation(
     compiled = compile_program(program)
     result = CompilationCheckResult(program=program.name, model=model.name)
     # The translation ignores the coherence witness, so every coherence
-    # variant of one ARM grounding — often the vast majority of the allowed
-    # executions — maps to the *same* JavaScript candidate execution.
-    # Memoising per (events, rbf) shares the translated execution, and with
-    # it the shape-quotient caches (sw/hb/tot-independent verdict), across
-    # all of them; only the per-variant ``tot`` construction and its
-    # realisation check remain.
+    # variant of one ARM (events, rbf) class — often the vast majority of
+    # the allowed executions — maps to the *same* JavaScript candidate
+    # execution.  The axiomatic enumeration hands over whole classes, so
+    # each class is translated exactly once from its prototype (no
+    # per-variant memo hashing) and the translated execution's
+    # shape-quotient caches (sw/hb/tot-independent verdict) are shared by
+    # every variant; only the per-variant ``tot`` construction and its
+    # realisation check remain.  The operational path still deduplicates
+    # by memo, since its runs arrive unclassed.
     translation_memo: dict = {}
-    for arm_execution in _arm_executions(compiled, use_operational, group_coherence):
-        result.arm_executions += 1
-        memo_key = (arm_execution.events, arm_execution.rbf)
-        translated = translation_memo.get(memo_key, _UNTRANSLATED)
+    for prototype, variants in _arm_execution_classes(
+        compiled, use_operational, group_coherence
+    ):
+        if use_operational:
+            memo_key = (prototype.events, prototype.rbf)
+            translated = translation_memo.get(memo_key, _UNTRANSLATED)
+        else:
+            translated = _UNTRANSLATED
         if translated is _UNTRANSLATED:
             try:
-                translated = translate_arm_execution(compiled, arm_execution)
+                translated = translate_arm_execution(compiled, prototype)
             except ValueError:
                 # Executions that do not translate (e.g. an RMW reading from
                 # its own store half) have no JavaScript counterpart to
                 # compare with.
                 translated = None
-            translation_memo[memo_key] = translated
-        if translated is None:
-            continue
-        tot = construct_total_order(translated, arm_execution)
-        if tot is not None and is_valid_for_witness(
-            translated.execution, tot, model
-        ):
-            result.valid_with_construction += 1
-            continue
-        # The constructed witness failed: fall back to the exhaustive search.
-        result.construction_failures += 1
-        witness = exists_valid_total_order(translated.execution, model)
-        if witness is not None:
-            result.valid_with_search += 1
-            continue
-        result.counterexamples.append(
-            CompilationCounterExample(
-                program=program,
-                arm_execution=arm_execution,
-                js_execution=translated.execution,
+            if use_operational:
+                translation_memo[memo_key] = translated
+        for arm_execution in variants:
+            result.arm_executions += 1
+            if translated is None:
+                continue
+            tot = construct_total_order(translated, arm_execution)
+            if tot is not None and is_valid_for_witness(
+                translated.execution, tot, model
+            ):
+                result.valid_with_construction += 1
+                continue
+            # The constructed witness failed: fall back to the exhaustive
+            # search.
+            result.construction_failures += 1
+            witness = exists_valid_total_order(translated.execution, model)
+            if witness is not None:
+                result.valid_with_search += 1
+                continue
+            result.counterexamples.append(
+                CompilationCounterExample(
+                    program=program,
+                    arm_execution=arm_execution,
+                    js_execution=translated.execution,
+                )
             )
-        )
-        if len(result.counterexamples) >= max_counterexamples:
-            break
+            if len(result.counterexamples) >= max_counterexamples:
+                return result
     return result
 
 

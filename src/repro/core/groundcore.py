@@ -36,7 +36,7 @@ The layer-specific parts are injected:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -49,6 +49,49 @@ from typing import (
 ByteTuple = Tuple[int, ...]
 KnownBytes = Dict[int, ByteTuple]
 KnownStart = Dict[int, int]
+
+
+@dataclass
+class SignatureInterner:
+    """Order-preserving interning of per-assignment state by signature.
+
+    Both grounding layers quotient the assignments this module enumerates by
+    an *equivalence-class signature* and share one piece of derived state
+    per class instead of rebuilding it per assignment:
+
+    * the JavaScript layer shares one derived-relation cache per event-level
+      rf signature (:func:`repro.lang.enumeration._build_execution`);
+    * the ARMv8 layer shares events, outcome, ``ob_fixed`` and the class
+      cache per ``(value profile, event-level rf signature)`` class
+      (:func:`repro.armv8.axiomatic._arm_groundings`).
+
+    ``intern(signature, build)`` returns the class state for ``signature``,
+    calling ``build()`` only on the first member.  Classes are created in
+    first-member order and the member stream is never reordered, so callers
+    stay bit-identical to the unquotiented enumeration.  ``members`` /
+    ``classes`` record how well the quotient collapses (useful in tests and
+    profiling: ``members / classes`` is the sharing factor).
+
+    The ARM grounding loop — per-assignment hot path — maintains ``table``
+    and the counters directly with the same protocol instead of paying a
+    closure and a method call per member; ``intern`` is the one place that
+    protocol is specified, so keep the two in step.
+    """
+
+    table: Dict[object, object] = field(default_factory=dict)
+    members: int = 0
+    classes: int = 0
+
+    _MISS = object()
+
+    def intern(self, signature, build: Callable[[], object]):
+        self.members += 1
+        state = self.table.get(signature, self._MISS)
+        if state is self._MISS:
+            state = build()
+            self.table[signature] = state
+            self.classes += 1
+        return state
 
 
 @dataclass(frozen=True)

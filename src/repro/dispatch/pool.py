@@ -14,6 +14,7 @@ consuming and abandon the still-queued tail.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -21,15 +22,41 @@ R = TypeVar("R")
 
 WORKERS_ENV = "REPRO_WORKERS"
 
+_warned_workers_values: set = set()
+
+
+def _warn_once(raw: str) -> None:
+    """Warn about one unparseable ``$REPRO_WORKERS`` value, once per value."""
+    if raw not in _warned_workers_values:
+        _warned_workers_values.add(raw)
+        warnings.warn(
+            f"ignoring unparseable {WORKERS_ENV}={raw!r} (expected an integer "
+            f"or 'auto'); running serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """The effective worker count: explicit argument, else ``$REPRO_WORKERS``, else 1."""
+    """The effective worker count: explicit argument, else ``$REPRO_WORKERS``, else 1.
+
+    ``REPRO_WORKERS=auto`` resolves to the host's CPU count.  Any other
+    unparseable value is ignored with a one-shot :class:`RuntimeWarning`
+    (per value) instead of being silently coerced — a typo like ``"4x"``
+    used to quietly serialise every sweep.
+    """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
-        try:
-            workers = int(raw) if raw else 1
-        except ValueError:
+        if not raw:
             workers = 1
+        elif raw.lower() == "auto":
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                _warn_once(raw)
+                workers = 1
     return max(1, workers)
 
 
@@ -69,16 +96,21 @@ def sized_shard_ranges(
     while the tapered split keeps every worker busy to within one small
     tail chunk of the ideal makespan.
 
-    With no ``costs`` this degrades to :func:`shard_ranges`.  Chunk
+    With no ``costs`` — or a ``costs`` sequence shorter than ``total``,
+    which could otherwise raise ``IndexError`` mid-chunking — this degrades
+    to :func:`shard_ranges`; a longer sequence is clamped to the first
+    ``total`` entries so stray extra hints cannot skew the taper.  Chunk
     boundaries never affect results: consumers scan chunks in generation
     order, so verdicts, counter-examples and examined counts are identical
     whatever the split.
     """
     if total <= 0:
         return []
+    if costs is not None and len(costs) != total:
+        costs = costs[:total] if len(costs) > total else None
     if costs is None:
         return shard_ranges(total, workers)
-    remaining = float(sum(costs[:total]))
+    remaining = float(sum(costs))
     if remaining <= 0:
         return shard_ranges(total, workers)
     workers = max(1, workers)
@@ -127,13 +159,17 @@ def parallel_map(
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
+    # The pool is never larger than the item count; chunks must be sized
+    # for the *actual* pool, or a small input on a large ``workers`` gets
+    # one giant chunk per live worker and no load balancing at all.
+    pool_size = min(workers, len(items))
     try:
-        pool = _make_pool(min(workers, len(items)))
+        pool = _make_pool(pool_size)
     except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
         return [func(item) for item in items]
     try:
         if chunk_size is None:
-            chunk_size = _default_chunk_size(len(items), workers)
+            chunk_size = _default_chunk_size(len(items), pool_size)
         return pool.map(func, items, chunksize=chunk_size)
     finally:
         pool.terminate()
@@ -158,8 +194,13 @@ def imap_ordered(
         for task in tasks:
             yield func(task)
         return
+    # Same audit as parallel_map: the pool is capped at the task count, and
+    # anything derived from the worker count below must use the actual pool
+    # size.  (imap dispatches one task per worker slot — chunk granularity
+    # is the caller's shard layout — so nothing else to size here.)
+    pool_size = min(workers, len(tasks))
     try:
-        pool = _make_pool(min(workers, len(tasks)))
+        pool = _make_pool(pool_size)
     except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
         for task in tasks:
             yield func(task)

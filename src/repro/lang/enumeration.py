@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import Event, EventSet, make_init_event
 from ..core.execution import CandidateExecution, RbfTriple
-from ..core.groundcore import ReadGroup, enumerate_assignments
+from ..core.groundcore import ReadGroup, SignatureInterner, enumerate_assignments
 from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
 from ..core.data_race import data_races
 from ..core.relations import Relation
@@ -448,13 +448,17 @@ def _build_execution(
     # it fails for every assignment alike.
     rbf_frozen = frozenset(rbf)
     rf_signature = frozenset((w, r) for (_k, w, r) in rbf_frozen)
-    shape_caches: Dict = pre._lazy("_shape_cache_memo", dict)
-    shared_cache = shape_caches.get(rf_signature)
-    if shared_cache is None:
-        shared_cache = {"init_overlap": pre.init_overlap_relation()}
+    shape_caches: SignatureInterner = pre._lazy(
+        "_shape_cache_memo", SignatureInterner
+    )
+
+    def build_shape_cache() -> Dict:
+        shared = {"init_overlap": pre.init_overlap_relation()}
         if pre.sb_asw_sound():
-            shared_cache["wf_structure"] = True
-        shape_caches[rf_signature] = shared_cache
+            shared["wf_structure"] = True
+        return shared
+
+    shared_cache = shape_caches.intern(rf_signature, build_shape_cache)
     # Reuse the pre-execution's sb/asw Relation objects directly: they are
     # immutable and shared across every candidate of this path combination
     # (so their kernel caches are shared too).

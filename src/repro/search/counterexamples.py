@@ -228,7 +228,7 @@ def _swept_search(
         ranges = shard_ranges(total, workers)
     else:
         ranges = sized_shard_ranges(
-            total, workers, costs=program_cost_hints(bounds)
+            total, workers, costs=program_cost_hints(bounds, kind=kind)
         )
     tasks = [
         (kind, bounds, model, use_operational, start, stop, cache_spec)

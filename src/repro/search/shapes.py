@@ -68,6 +68,28 @@ def _access_options(bounds: SearchBounds) -> List[AccessSpec]:
 _SHAPES_MEMO: dict = {}
 
 
+def _shape_key(bounds: SearchBounds) -> Tuple:
+    """The fields :func:`_thread_shapes` actually depends on.
+
+    Memo keys must not include the others — in particular
+    ``max_programs``, which truncates the *enumeration*, not the shape
+    table: bounds differing only in it share identical tables, and keying
+    on the full ``SearchBounds`` used to duplicate them per value.
+    """
+    return (
+        bounds.max_accesses_per_thread,
+        bounds.locations,
+        bounds.values,
+        bounds.allow_unordered,
+        bounds.guarded_observer,
+    )
+
+
+def _sized_key(bounds: SearchBounds) -> Tuple:
+    """The fields :func:`_sized_combos` depends on (shape key + combination bounds)."""
+    return _shape_key(bounds) + (bounds.threads, bounds.max_total_accesses)
+
+
 def _thread_shapes(
     bounds: SearchBounds,
 ) -> List[Tuple[Tuple[AccessSpec, ...], Optional[Tuple[int, int]]]]:
@@ -77,7 +99,7 @@ def _thread_shapes(
     location)``: the thread ends with ``if (r == guard) { r' = x[loc] }``
     where ``r`` is the result of the thread's final (atomic) load.
     """
-    memoised = _SHAPES_MEMO.get(bounds)
+    memoised = _SHAPES_MEMO.get(_shape_key(bounds))
     if memoised is not None:
         return memoised
     options = _access_options(bounds)
@@ -93,7 +115,7 @@ def _thread_shapes(
                 for guard in bounds.values:
                     for location in range(bounds.locations):
                         shapes.append((combo, (guard, location)))
-    _SHAPES_MEMO[bounds] = shapes
+    _SHAPES_MEMO[_shape_key(bounds)] = shapes
     return shapes
 
 
@@ -143,7 +165,8 @@ def _sized_combos(bounds: SearchBounds) -> List[Tuple[int, Tuple[int, ...]]]:
     Canonical form: thread shapes in non-decreasing index order removes the
     symmetric duplicates obtained by permuting threads.
     """
-    sized = _SIZED_MEMO.get(bounds)
+    key = _sized_key(bounds)
+    sized = _SIZED_MEMO.get(key)
     if sized is None:
         shapes = _thread_shapes(bounds)
         sized = []
@@ -155,7 +178,7 @@ def _sized_combos(bounds: SearchBounds) -> List[Tuple[int, Tuple[int, ...]]]:
                 continue
             sized.append((total, combo))
         sized.sort()
-        _SIZED_MEMO[bounds] = sized
+        _SIZED_MEMO[key] = sized
     return sized
 
 
@@ -167,18 +190,29 @@ def program_count(bounds: SearchBounds) -> int:
     return total
 
 
-def program_cost_hints(bounds: SearchBounds) -> Tuple[int, ...]:
+def program_cost_hints(bounds: SearchBounds, kind: str = "js") -> Tuple[int, ...]:
     """Per-program cost estimates for the sweeps' cost-balanced chunker.
 
     The per-program check cost grows roughly exponentially with the access
     count (every extra access multiplies both the ``reads-byte-from``
     choices and the witness orders), and the enumeration is sorted by
     access count — which is exactly why its cost is so tail-heavy.  The
-    hints are ``4**size``; only their *relative* magnitudes matter to
+    hints are ``base**size``; only their *relative* magnitudes matter to
     :func:`repro.dispatch.sized_shard_ranges`.
+
+    ``kind`` selects the growth model: ``"js"`` (the §5.4 SC-DRF sweep)
+    keeps the historical ``4**size``.  ``"arm-compilation"`` items are
+    *classed*: the ARM grounding layer shares its per-assignment
+    scaffolding per (value profile, rf signature) class, and the class
+    count — which now dominates the per-program cost — grows more slowly
+    than the raw assignment count, so a flatter ``3**size`` taper matches
+    the measured per-size cost better and keeps head chunks from being
+    over-batched.  Every hint tuple has exactly ``program_count(bounds)``
+    entries, matching the sweeps' shard layouts one-to-one.
     """
+    base = 3 if kind == "arm-compilation" else 4
     sized = _sized_combos(bounds)
-    return tuple(4 ** size for size, _combo in sized[: program_count(bounds)])
+    return tuple(base ** size for size, _combo in sized[: program_count(bounds)])
 
 
 def generate_programs(

@@ -216,8 +216,32 @@ class TestPool:
         assert resolve_workers(0) == 1
         monkeypatch.setenv("REPRO_WORKERS", "3")
         assert resolve_workers(None) == 3
+
+    def test_resolve_workers_auto_uses_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_WORKERS", "AUTO")
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
+    def test_resolve_workers_warns_once_on_unparseable(self, monkeypatch):
+        import warnings
+
+        from repro.dispatch import pool
+
+        monkeypatch.setattr(pool, "_warned_workers_values", set())
+        monkeypatch.setenv("REPRO_WORKERS", "4x")
+        with pytest.warns(RuntimeWarning, match="4x"):
+            assert resolve_workers(None) == 1
+        # The second resolution of the same value stays silent (one-shot).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(None) == 1
+        # A *different* bad value warns again.
         monkeypatch.setenv("REPRO_WORKERS", "junk")
-        assert resolve_workers(None) == 1
+        with pytest.warns(RuntimeWarning, match="junk"):
+            assert resolve_workers(None) == 1
 
     def test_shard_ranges_cover_exactly(self):
         for total, workers in [(0, 4), (1, 4), (10, 3), (252, 2), (7, 100)]:
@@ -253,10 +277,80 @@ class TestPool:
     def test_sized_shard_ranges_without_costs_is_static(self):
         assert sized_shard_ranges(100, 4) == shard_ranges(100, 4)
 
+    def test_sized_shard_ranges_short_costs_degrade_to_static(self):
+        # A costs sequence shorter than total used to raise IndexError
+        # mid-chunking; it now degrades to the static split.
+        short = [1.0] * 10
+        assert sized_shard_ranges(100, 4, short) == shard_ranges(100, 4)
+
+    def test_sized_shard_ranges_long_costs_are_clamped(self):
+        costs = [4 ** (1 + i // 25) for i in range(100)]
+        padded = costs + [10 ** 9] * 50  # stray tail must not skew the taper
+        assert sized_shard_ranges(100, 4, padded) == sized_shard_ranges(
+            100, 4, costs
+        )
+        covered = [
+            i for (s, t) in sized_shard_ranges(100, 4, padded) for i in range(s, t)
+        ]
+        assert covered == list(range(100))
+
+    def test_cost_hints_length_matches_program_count(self):
+        from repro.search.shapes import program_cost_hints
+
+        for bounds in [
+            TINY_BOUNDS,
+            SearchBounds(max_programs=7),
+            SearchBounds(max_programs=None),
+        ]:
+            for kind in ("js", "arm-compilation"):
+                hints = program_cost_hints(bounds, kind=kind)
+                assert len(hints) == program_count(bounds)
+
+    def test_parallel_map_chunks_by_actual_pool_size(self, monkeypatch):
+        # 100 requested workers over 8 items: chunks must be sized for the
+        # 8-process pool actually built, not the requested 100 (which would
+        # floor every chunk at one item and defeat batching on real pools).
+        from repro.dispatch import pool
+
+        seen = []
+        real = pool._default_chunk_size
+
+        def probe(total, workers):
+            seen.append((total, workers))
+            return real(total, workers)
+
+        monkeypatch.setattr(pool, "_default_chunk_size", probe)
+        assert parallel_map(_square, list(range(8)), workers=100) == [
+            i * i for i in range(8)
+        ]
+        assert seen == [(8, 8)]
+
 
 # ---------------------------------------------------------------------------
 # program-slice determinism (what makes sharding bit-identical)
 # ---------------------------------------------------------------------------
+
+
+def test_shape_memos_ignore_max_programs():
+    """Bounds differing only in ``max_programs`` share one memo entry.
+
+    The shape and sized-combo tables are functions of the shape-relevant
+    fields alone; keying them on the full ``SearchBounds`` used to
+    duplicate identical tables per ``max_programs`` value.
+    """
+    from dataclasses import replace
+
+    from repro.search import shapes
+
+    base = replace(TINY_BOUNDS, max_programs=None)
+    limited = replace(base, max_programs=3)
+    assert shapes._thread_shapes(base) is shapes._thread_shapes(limited)
+    assert shapes._sized_combos(base) is shapes._sized_combos(limited)
+    # The truncation still applies to the enumeration itself.
+    assert program_count(limited) == 3
+    assert [p.name for p in generate_programs(limited)] == [
+        p.name for p in generate_programs(base)
+    ][:3]
 
 
 def test_generate_programs_slices_concatenate():

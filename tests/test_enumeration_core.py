@@ -80,6 +80,101 @@ def test_rmw_divergence_is_pinned():
     assert _arm_count(compile_program(program).arm) == 6561
 
 
+# ---------------------------------------------------------------------------
+# the signature-class quotient of the ARM grounding layer
+# ---------------------------------------------------------------------------
+
+# (members, classes) of the classed ARM grounding enumeration, golden: a
+# pruning change that silently widens the member stream or degrades the
+# quotient (classes ≈ members would mean the scaffolding is rebuilt per
+# assignment again) shows up here.
+CLASSED_FIXTURES = [
+    (fig1_message_passing, 136, 10),
+    (fig6_armv8_violation, 6561, 144),
+    (lambda: store_buffering(True), 256, 16),
+    (rmw_exchange_mutex, 6561, 144),
+]
+
+
+@pytest.mark.parametrize(
+    "make_test,members,classes",
+    CLASSED_FIXTURES,
+    ids=lambda v: getattr(v, "__name__", str(v)),
+)
+def test_arm_groundings_are_classed(make_test, members, classes):
+    """One grounding per assignment, class state interned per signature."""
+    from repro.armv8.axiomatic import _arm_groundings
+
+    arm = compile_program(make_test().program).arm
+    groundings = list(_arm_groundings(arm, True))
+    assert len(groundings) == members
+    by_class: dict = {}
+    for grounding in groundings:
+        by_class.setdefault(id(grounding.cls), []).append(grounding)
+    assert len(by_class) == classes
+    for group in by_class.values():
+        first = group[0]
+        for member in group:
+            # Class state is genuinely shared (identity, not equality)...
+            assert member.cls is first.cls
+            assert member.outcome is first.outcome
+            assert member.cls.ob_fixed is first.cls.ob_fixed
+            assert member.cls.events is first.cls.events
+            # ...and each member still owns its byte-level witness, which
+            # projects to exactly the class's event-level rf signature.
+            assert (
+                frozenset((w, r) for (_k, w, r) in member.rbf)
+                == member.cls.rf_pairs
+            )
+        assert len({member.rbf for member in group}) == len(group)
+
+
+def test_arm_groundings_stream_matches_assignments():
+    """The classed stream is the assignment stream: same order, same rbf."""
+    from repro.armv8.axiomatic import _arm_groundings
+
+    arm = compile_program(fig1_message_passing().program).arm
+    expected = [
+        frozenset((k, w, r) for ((k, r), w) in assignment.items())
+        for pre in arm_pre_executions(arm)
+        for (assignment, _reads, _outs) in _arm_assignments(pre)
+    ]
+    got = [grounding.rbf for grounding in _arm_groundings(arm, True)]
+    assert got == expected
+
+
+def test_both_layers_quotient_through_shared_interner():
+    """Both layers' class grouping records into groundcore.SignatureInterner.
+
+    The interner's members/classes counters are the observable contract:
+    one member per assignment, classes strictly fewer (the quotient
+    collapses), on BOTH layers.
+    """
+    from repro.core.groundcore import SignatureInterner
+
+    from repro.armv8.axiomatic import _arm_groundings, arm_pre_executions
+    from repro.lang.enumeration import pre_executions, ground_candidates
+
+    program = store_buffering(True).program
+    js_pres = list(pre_executions(program))
+    assert sum(len(list(ground_candidates(p))) for p in js_pres) == 256
+    js_interners = [p._lazy("_shape_cache_memo", SignatureInterner) for p in js_pres]
+    assert all(isinstance(i, SignatureInterner) for i in js_interners)
+    assert sum(i.members for i in js_interners) == 256
+    assert 0 < sum(i.classes for i in js_interners) < 256
+
+    arm = compile_program(program).arm
+    groundings = list(_arm_groundings(arm, True))
+    assert len(groundings) == 256
+    arm_interners = {
+        id(g.pre): g.pre._lazy("_grounding_classes", SignatureInterner)
+        for g in groundings
+    }
+    assert all(isinstance(i, SignatureInterner) for i in arm_interners.values())
+    assert sum(i.members for i in arm_interners.values()) == 256
+    assert sum(i.classes for i in arm_interners.values()) == 16
+
+
 def test_both_layers_route_through_shared_core(monkeypatch):
     """Monkeypatching the shared core is observed by BOTH layers."""
     import repro.armv8.axiomatic as axiomatic

@@ -281,6 +281,171 @@ def test_dp_matches_backtracker_on_random_instances(chunk):
 # ---------------------------------------------------------------------------
 
 
+# ---------------------------------------------------------------------------
+# ARM shape-quotient parity: classed grounding vs the per-execution path
+# ---------------------------------------------------------------------------
+#
+# The ARM grounding layer quotients assignments by (value profile,
+# event-level rf signature), shares ob_fixed/events/outcome/cache per
+# class, decides the local axioms through per-(group, projection) memos
+# and the external axiom on shared scaffolding.  None of that may change a
+# single allowed execution or compilation verdict: the references below
+# strip every shared cache and re-run the naive per-execution pipeline.
+
+
+def fresh_arm_copy(execution):
+    """The same ARM execution with an empty derived-relation cache."""
+    from dataclasses import replace
+
+    return replace(execution, _cache={})
+
+
+def _allowed_signature(ground):
+    return (
+        ground.execution.rbf,
+        ground.execution.co_by_byte,
+        tuple(sorted(ground.outcome.items())),
+    )
+
+
+def _assert_arm_allowed_parity(arm_program):
+    """Classed allowed-execution stream == naive validity filter, in order."""
+    from repro.armv8.axiomatic import (
+        arm_allowed_execution_classes,
+        arm_allowed_executions,
+        arm_ground_executions,
+        arm_is_valid,
+    )
+
+    classed = [_allowed_signature(g) for g in arm_allowed_executions(arm_program)]
+    naive = [
+        _allowed_signature(g)
+        for g in arm_ground_executions(arm_program)
+        if arm_is_valid(fresh_arm_copy(g.execution))
+    ]
+    assert classed == naive
+    # The classed API flattens to exactly the same stream, and every
+    # variant of a class shares the class's events and rbf.
+    flattened = []
+    for allowed_class in arm_allowed_execution_classes(arm_program):
+        for execution in allowed_class.executions:
+            assert execution.events is allowed_class.prototype.events
+            assert execution.rbf is allowed_class.prototype.rbf
+            assert arm_is_valid(fresh_arm_copy(execution))
+            flattened.append(
+                (
+                    execution.rbf,
+                    execution.co_by_byte,
+                    tuple(sorted(allowed_class.outcome.items())),
+                )
+            )
+    assert flattened == classed
+    return len(classed)
+
+
+def _naive_compilation_counts(program, model):
+    """check_program_compilation re-run with no classes and no shared caches."""
+    from repro.armv8.axiomatic import arm_ground_executions, arm_is_valid
+    from repro.compile.scheme import compile_program
+    from repro.compile.totorder import construct_total_order
+    from repro.compile.translation import translate_arm_execution
+
+    compiled = compile_program(program)
+    counts = {
+        "arm_executions": 0,
+        "valid_with_construction": 0,
+        "valid_with_search": 0,
+        "construction_failures": 0,
+        "counterexamples": 0,
+    }
+    for ground in arm_ground_executions(compiled.arm):
+        arm_execution = fresh_arm_copy(ground.execution)
+        if not arm_is_valid(arm_execution):
+            continue
+        counts["arm_executions"] += 1
+        try:
+            translated = translate_arm_execution(compiled, arm_execution)
+        except ValueError:
+            continue
+        js = fresh_copy(translated.execution)
+        tot = construct_total_order(translated, arm_execution)
+        if tot is not None and is_valid(js.with_witness(tot=tot), model):
+            counts["valid_with_construction"] += 1
+            continue
+        counts["construction_failures"] += 1
+        if ref_exists_valid_total_order(js, model) is not None:
+            counts["valid_with_search"] += 1
+            continue
+        counts["counterexamples"] += 1
+    return counts
+
+
+def _assert_compilation_parity(program, model):
+    from repro.compile.correctness import check_program_compilation
+
+    result = check_program_compilation(
+        program, model=model, max_counterexamples=10 ** 9
+    )
+    naive = _naive_compilation_counts(program, model)
+    assert naive == {
+        "arm_executions": result.arm_executions,
+        "valid_with_construction": result.valid_with_construction,
+        "valid_with_search": result.valid_with_search,
+        "construction_failures": result.construction_failures,
+        "counterexamples": len(result.counterexamples),
+    }
+    return result
+
+
+@pytest.mark.parametrize("test", all_tests(), ids=lambda t: t.name)
+def test_catalogue_arm_allowed_execution_parity(test):
+    if test.program.uses_wait_notify():
+        pytest.skip("wait/notify programs are not compiled to ARM")
+    from repro.compile.scheme import compile_program
+
+    _assert_arm_allowed_parity(compile_program(test.program).arm)
+
+
+def test_catalogue_arm_compilation_verdict_parity():
+    """Classed compilation verdicts == naive per-execution verdicts.
+
+    Covers both models — including the ORIGINAL model on the fig6 shape,
+    where genuine counter-examples exist, so the counter-example path is
+    exercised too.
+    """
+    from repro.core.js_model import FINAL_MODEL, ORIGINAL_MODEL
+    from repro.litmus.catalogue import fig6_armv8_violation
+
+    names = ["sb-sc", "mp-un-sc", "corr-un", "mixed-size-overlap", "lb-sc"]
+    by_name_map = {t.name: t for t in all_tests()}
+    for name in names:
+        result = _assert_compilation_parity(by_name_map[name].program, FINAL_MODEL)
+        assert result.correct
+    fig6 = fig6_armv8_violation()
+    assert not _assert_compilation_parity(fig6.program, ORIGINAL_MODEL).correct
+    assert _assert_compilation_parity(fig6.program, FINAL_MODEL).correct
+
+
+def test_generated_arm_sample_parity():
+    """~1k ARM executions from the bounded shape enumeration, classed vs fresh."""
+    from repro.compile.scheme import compile_program
+
+    bounds = SearchBounds(
+        threads=2,
+        max_accesses_per_thread=2,
+        max_total_accesses=3,
+        locations=2,
+        values=(1, 2),
+        guarded_observer=False,
+    )
+    checked = 0
+    for program in generate_programs(bounds):
+        checked += _assert_arm_allowed_parity(compile_program(program).arm)
+        if checked >= 1000:
+            break
+    assert checked >= 1000
+
+
 def test_found_witnesses_validate_under_is_valid():
     """Every witness the shared path returns passes the full rule pipeline."""
     bounds = SearchBounds(
