@@ -156,6 +156,33 @@ def main() -> int:
     output = (Path(args.output_dir) / f"BENCH_{date}{suffix}.json").resolve()
     output.parent.mkdir(parents=True, exist_ok=True)
 
+    baseline = None
+    if args.compare:
+        # Resolve (and sanity-check) the baseline BEFORE the run: the run
+        # writes the output file first, and a baseline that resolves to the
+        # same path would be silently overwritten — the "gate" would then
+        # compare the run against itself and always pass.
+        baseline = Path(args.compare)
+        if not baseline.is_absolute():
+            # Try the invoker's cwd first, then the benchmarks directory.
+            baseline = (
+                Path.cwd() / args.compare
+                if (Path.cwd() / args.compare).exists()
+                else BENCH_DIR / args.compare
+            )
+        if not baseline.exists():
+            print(f"baseline {args.compare} not found", file=sys.stderr)
+            return 2
+        baseline = baseline.resolve()
+        if baseline == output:
+            print(
+                f"baseline {args.compare} is this run's own output file; "
+                "give the baseline run a distinct --label (e.g. "
+                "--label before) or pass --output-dir",
+                file=sys.stderr,
+            )
+            return 2
+
     targets = (
         [str(BENCH_DIR / name) for name in args.files]
         if args.files
@@ -183,18 +210,7 @@ def main() -> int:
     if result.returncode != 0:
         return result.returncode
     print(f"benchmark snapshot written to {output}")
-    if args.compare:
-        baseline = Path(args.compare)
-        if not baseline.is_absolute():
-            # Try the invoker's cwd first, then the benchmarks directory.
-            baseline = (
-                Path.cwd() / args.compare
-                if (Path.cwd() / args.compare).exists()
-                else BENCH_DIR / args.compare
-            )
-        if not baseline.exists():
-            print(f"baseline {args.compare} not found", file=sys.stderr)
-            return 2
+    if baseline is not None:
         if compare_snapshots(output, baseline, args.threshold):
             return 1
     return 0

@@ -1274,15 +1274,87 @@ def _arm_read_groups(pre: ArmPreExecution) -> Optional[List[ReadGroup]]:
     return pre._lazy("_read_groups", compute)
 
 
+def _fused_group_hooks(
+    scaffold: _ArmPreScaffold,
+    read_groups: Sequence[ReadGroup],
+    assignment: Dict[Tuple[int, int], int],
+):
+    """Per-read-group coherence hooks for the shared backtracking core.
+
+    The hook state is the tuple of per-coherence-group surviving-order
+    bitmasks.  A byte's mask can be decided as soon as *all* its slots are
+    assigned, so each byte is attached to the read group holding its last
+    slot; the hook of that group ANDs the byte's
+    :meth:`_ArmPreScaffold.byte_order_mask` into the state and abandons the
+    subtree the moment any coherence group's mask empties — every member
+    below the prefix shares the emptied byte's projection, so all of them
+    would have died in the post-enumeration filter anyway.  Bytes with no
+    read slot have assignment-independent masks and are folded into the
+    initial state once per pre-execution.
+
+    Returns ``(group_hooks, initial_masks)``, or ``(None, None)`` when the
+    assignment-independent masks already kill some coherence group (no
+    member of this pre-execution can be locally consistent).
+    """
+    slots = scaffold.slots
+    byte_key_slots = scaffold.byte_key_slots
+    group_of_byte = scaffold.group_of_byte
+
+    class _SlotChoices:
+        """Flat-slot view of the (mutating) assignment dict for memo misses."""
+
+        __slots__ = ()
+
+        def __getitem__(_self, si: int) -> int:
+            return assignment[slots[si]]
+
+    choices_view = _SlotChoices()
+
+    initial = [
+        (1 << len(orders)) - 1 for (_bytes, orders) in scaffold.group_list
+    ]
+    slot_group: List[int] = []
+    for g, group in enumerate(read_groups):
+        slot_group.extend([g] * len(group.slots))
+    complete_at: List[List[int]] = [[] for _ in read_groups]
+    for k, slot_indices in byte_key_slots.items():
+        if slot_indices:
+            complete_at[slot_group[max(slot_indices)]].append(k)
+        else:
+            gi = group_of_byte[k]
+            initial[gi] &= scaffold.byte_order_mask(k, (), choices_view)
+            if not initial[gi]:
+                return None, None
+
+    byte_order_mask = scaffold.byte_order_mask
+
+    def make_hook(bytes_here: List[int]):
+        def hook(masks):
+            masks = list(masks)
+            for k in bytes_here:
+                byte_key = tuple(
+                    assignment[slots[si]] for si in byte_key_slots[k]
+                )
+                gi = group_of_byte[k]
+                refined = masks[gi] & byte_order_mask(k, byte_key, choices_view)
+                if not refined:
+                    return None
+                masks[gi] = refined
+            return tuple(masks)
+
+        return hook
+
+    hooks = [
+        make_hook(bytes_here) if bytes_here else None
+        for bytes_here in complete_at
+    ]
+    return hooks, tuple(initial)
+
+
 def _arm_assignments(
     pre: ArmPreExecution,
-) -> Iterator[
-    Tuple[
-        Dict[Tuple[int, int], int],
-        Dict[ArmTemplateKey, Tuple[int, ...]],
-        Dict[ArmTemplateKey, Tuple[int, ...]],
-    ]
-]:
+    scaffold: Optional[_ArmPreScaffold] = None,
+) -> Iterator:
     """Enumerate feasible reads-byte-from assignments with resolved values.
 
     Mirrors the JS-side pruned enumeration — both now run on
@@ -1293,6 +1365,14 @@ def _arm_assignments(
     read prune the whole remaining subtree.  Yields
     ``(assignment, read_bytes, out_bytes)`` in exactly the order the plain
     product would.
+
+    With a ``scaffold``, the per-byte coherence order-bitmask memos are
+    additionally fused into the backtracker (see :func:`_fused_group_hooks`)
+    and only members with some locally-consistent coherence choice survive;
+    each yields ``(assignment, read_bytes, out_bytes, masks)`` where
+    ``masks`` holds the per-coherence-group surviving-order bitmasks.  The
+    surviving stream is the exact subsequence of the unfused stream that
+    the post-enumeration filter used to keep.
     """
     read_groups = _arm_read_groups(pre)
     if read_groups is None:
@@ -1304,6 +1384,15 @@ def _arm_assignments(
     ]
     n_groups = len(read_groups)
     assignment: Dict[Tuple[int, int], int] = {}
+
+    group_hooks = None
+    hook_state = None
+    if scaffold is not None:
+        group_hooks, hook_state = _fused_group_hooks(
+            scaffold, read_groups, assignment
+        )
+        if group_hooks is None:
+            return
 
     def propagate(known_bytes, known_start, read_values):
         known = dict(known_bytes)
@@ -1329,23 +1418,33 @@ def _arm_assignments(
         # start dictionary flows through unchanged.
         return known, known_start
 
-    def finish(resolved_reads, known_bytes):
+    def finish(resolved_reads, known_bytes, masks=None):
         if len(resolved_reads) == n_groups and all(
             eid in known_bytes for _t, eid in write_templates
         ):
+            read_bytes = resolved_reads
             out_bytes = {t.key: known_bytes[eid] for t, eid in write_templates}
-            yield assignment, resolved_reads, out_bytes
-            return
-        resolved = _arm_resolve_values(pre, assignment)
-        if resolved is None:
-            return
-        read_bytes, out_bytes = resolved
-        if not _arm_constraints_ok(pre, read_bytes):
-            return
-        yield assignment, read_bytes, out_bytes
+        else:
+            resolved = _arm_resolve_values(pre, assignment)
+            if resolved is None:
+                return
+            read_bytes, out_bytes = resolved
+            if not _arm_constraints_ok(pre, read_bytes):
+                return
+        if scaffold is None:
+            yield assignment, read_bytes, out_bytes
+        else:
+            yield assignment, read_bytes, out_bytes, masks
 
     yield from enumerate_assignments(
-        read_groups, assignment, dict(static_bytes), write_start, propagate, finish
+        read_groups,
+        assignment,
+        dict(static_bytes),
+        write_start,
+        propagate,
+        finish,
+        group_hooks=group_hooks,
+        hook_state=hook_state,
     )
 
 
@@ -1464,35 +1563,8 @@ def _arm_groundings(
                 },
             },
         )
-        for assignment, read_bytes, out_bytes in _arm_assignments(pre):
+        def build_grounding(assignment, read_bytes, out_bytes, filtered):
             choices = tuple(map(assignment.__getitem__, slots))
-            byte_keys: Optional[Dict[int, Tuple[int, ...]]] = None
-            filtered: Optional[List[List[Tuple[int, ...]]]] = None
-            if locally_consistent:
-                # Fused filter: decide the local axioms from the per-byte
-                # mask memos before assembling any member state.
-                byte_keys = {}
-                filtered = []
-                dead = False
-                item = choices.__getitem__
-                for group_index, (byte_locations, orders) in enumerate(
-                    group_list
-                ):
-                    mask = (1 << len(orders)) - 1
-                    for k in byte_locations:
-                        byte_key = tuple(map(item, byte_key_slots[k]))
-                        byte_keys[k] = byte_key
-                        mask &= scaffold.byte_order_mask(k, byte_key, choices)
-                        if not mask:
-                            dead = True
-                            break
-                    if dead:
-                        break
-                    filtered.append(
-                        scaffold.orders_for_mask(group_index, mask)
-                    )
-                if dead:
-                    continue
             # The class signature: the value profile (which events the
             # assignment resolves to) and the event-level rf projection.
             events_key = (
@@ -1522,15 +1594,33 @@ def _arm_groundings(
                 )
                 class_table[class_key] = cls
                 classes.classes += 1
-            yield _ArmGrounding(
+            return _ArmGrounding(
                 pre=pre,
                 scaffold=scaffold,
                 cls=cls,
                 choices=choices,
                 group_list=group_list,
-                _byte_keys=byte_keys,
                 _filtered=filtered,
             )
+
+        if locally_consistent:
+            # Fused pruning: the per-byte coherence masks run *inside* the
+            # backtracker (see _fused_group_hooks), so members with no
+            # locally-consistent coherence choice — and whole subtrees that
+            # share their dead byte projections — are never enumerated, let
+            # alone classed.  Survivors arrive with their surviving-order
+            # masks already decided.
+            for assignment, read_bytes, out_bytes, masks in _arm_assignments(
+                pre, scaffold=scaffold
+            ):
+                filtered = [
+                    scaffold.orders_for_mask(gi, mask)
+                    for gi, mask in enumerate(masks)
+                ]
+                yield build_grounding(assignment, read_bytes, out_bytes, filtered)
+        else:
+            for assignment, read_bytes, out_bytes in _arm_assignments(pre):
+                yield build_grounding(assignment, read_bytes, out_bytes, None)
 
 
 def arm_ground_executions(

@@ -30,7 +30,14 @@ The layer-specific parts are injected:
 * ``charge`` (optional) implements the JavaScript-side enumeration budget:
   it is called with ``1`` per examined leaf and with the full subtree size
   per constraint-pruned subtree, so the budget trips for exactly the same
-  inputs as an unpruned product enumeration would.
+  inputs as an unpruned product enumeration would;
+* ``group_hooks`` (optional) are per-slot-group constraint hooks fused into
+  the recursion: after a group's slots are assigned, its hook sees the
+  partial assignment and either refines a caller-defined state threaded
+  down the search or abandons the whole subtree.  The ARMv8 layer uses
+  them to AND its per-byte coherence order-bitmask memos into the
+  backtracker — a subtree dies the moment some byte's mask empties,
+  instead of every member being enumerated, classed and then discarded.
 """
 
 from __future__ import annotations
@@ -126,6 +133,8 @@ def enumerate_assignments(
     ],
     finish: Callable[[Dict[object, ByteTuple], KnownBytes], Iterator],
     charge: Optional[Callable[[int], None]] = None,
+    group_hooks: Optional[Sequence[Optional[Callable[[object], object]]]] = None,
+    hook_state: object = None,
 ) -> Iterator:
     """Drive the shared backtracking enumeration (see module docstring).
 
@@ -136,6 +145,18 @@ def enumerate_assignments(
     was fully resolved — and constraint-checked — on the way down).
     Callers must consume each yielded result before advancing, exactly as
     with any generator sharing mutable state.
+
+    ``group_hooks``, when given, has one entry per read group (``None``
+    entries are skipped).  After group ``i``'s slots are written into
+    ``assignment`` — and its branch constraints, if decidable, have passed
+    — ``group_hooks[i](state)`` is called with the state threaded down
+    this search path (``hook_state`` at the root).  A ``None`` return
+    abandons the whole subtree *without* charging the budget (hooks encode
+    layer constraints that the post-enumeration filters used to apply, not
+    enumeration-budget semantics); any other return value becomes the
+    state for the deeper groups.  With hooks active, ``finish`` is called
+    as ``finish(resolved_reads, known_bytes, state)`` so the layer can
+    reuse what the hooks computed on the way down.
     """
     groups = list(read_groups)
     n = len(groups)
@@ -157,15 +178,20 @@ def enumerate_assignments(
         known_start: KnownStart,
         read_values: Dict[object, int],
         resolved_reads: Dict[object, ByteTuple],
+        state: object,
     ) -> Iterator:
         if group_index == n:
             if charge is not None:
                 charge(1)
-            yield from finish(resolved_reads, known_bytes)
+            if group_hooks is None:
+                yield from finish(resolved_reads, known_bytes)
+            else:
+                yield from finish(resolved_reads, known_bytes, state)
             return
 
         group = groups[group_index]
         decode = group.decode
+        hook = None if group_hooks is None else group_hooks[group_index]
         for combo in itertools.product(*group.choices):
             for slot, writer_eid in zip(group.slots, combo):
                 assignment[slot] = writer_eid
@@ -205,8 +231,18 @@ def enumerate_assignments(
                 next_bytes, next_start = propagate(
                     known_bytes, known_start, next_values
                 )
+            next_state = state
+            if hook is not None:
+                next_state = hook(state)
+                if next_state is None:
+                    continue
             yield from recurse(
-                group_index + 1, next_bytes, next_start, next_values, next_resolved
+                group_index + 1,
+                next_bytes,
+                next_start,
+                next_values,
+                next_resolved,
+                next_state,
             )
 
-    yield from recurse(0, static_bytes, static_start, {}, {})
+    yield from recurse(0, static_bytes, static_start, {}, {}, hook_state)

@@ -22,7 +22,7 @@ witnessing ``total-order``, given the events and ``reads-byte-from``).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .events import Event, SEQCST, INIT, ranges_equal
@@ -340,11 +340,20 @@ class WitnessVerdict:
     acyclic (so witnessing total orders can exist at all).  ``triples``
     maps each reader eid to the (writer, intervener) pairs that must not
     end up ordered ``writer <tot intervener <tot reader``.
+
+    ``search_dead`` is the witness search's dead-prefix memo (placed-event
+    sets with no valid completion, see :func:`_search_witness`).  The
+    search is a pure function of (eids, ``hb``, ``triples``), so the memo
+    lives with them: every verdict sharing this object's ``hb``/``triples``
+    — in particular all ``rbf`` variants of one rf-signature shape, whose
+    per-witness verdicts only re-decide HB-Consistency (3) — reuses the
+    search state instead of rediscovering the same dead prefixes.
     """
 
     ok: bool
     hb: Optional[Relation] = None
     triples: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+    search_dead: Optional[set] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -360,11 +369,16 @@ class ShapeVerdict:
     enumeration) therefore compute this once and share it, while the one
     genuinely ``rbf``-dependent rule — HB-Consistency (3) — is re-decided
     per witness in :func:`witness_verdict`.
+
+    ``search_dead`` is the shared dead-prefix memo of the witness search
+    (see :class:`WitnessVerdict`): the search depends on nothing below the
+    rf-signature level, so one memo per shape serves every execution of it.
     """
 
     ok: bool
     hb: Optional[Relation] = None
     triples: Optional[Dict[int, Tuple[Tuple[int, int], ...]]] = None
+    search_dead: Optional[set] = field(default=None, compare=False, repr=False)
 
 
 def _model_cache_key(model: JsModel) -> Tuple[object, ...]:
@@ -470,6 +484,7 @@ def shape_verdict(
             triples=_sc_atomics_forbidden_triples(
                 execution, model.sc_atomics, hb, sw
             ),
+            search_dead=set(),
         )
     execution._cache[key] = verdict
     return verdict
@@ -503,7 +518,12 @@ def witness_verdict(
     if not shape.ok or not happens_before_consistency_3(execution, shape.hb):
         verdict = WitnessVerdict(ok=False)
     else:
-        verdict = WitnessVerdict(ok=True, hb=shape.hb, triples=shape.triples)
+        verdict = WitnessVerdict(
+            ok=True,
+            hb=shape.hb,
+            triples=shape.triples,
+            search_dead=shape.search_dead,
+        )
     execution._cache[key] = verdict
     return verdict
 
@@ -530,6 +550,15 @@ def _search_witness(
     Candidates are tried in ascending event order, so the first witness
     found — and hence the returned ``tot`` — is bit-identical to the
     backtracking implementation's.
+
+    The dead-set memo persists on the verdict (``verdict.search_dead``,
+    shared per rf-signature shape): a prefix set marked dead has no valid
+    completion under (eids, hb, triples), all of which the verdict fixes,
+    so later searches of the same shape — other ``rbf`` members, other
+    outcomes of one program, repeated queries — skip those subtrees
+    entirely.  Sharing cannot change any result: dead prefixes are exactly
+    the ones that contribute no witness, and the candidate order within
+    live prefixes is unchanged.
     """
     eids = sorted(execution.eids)
     n = len(eids)
@@ -554,7 +583,7 @@ def _search_witness(
 
     order: List[int] = []
     full = (1 << n) - 1
-    dead: set = set()
+    dead: set = set() if verdict.search_dead is None else verdict.search_dead
 
     def extend(placed_mask: int) -> bool:
         if placed_mask == full:

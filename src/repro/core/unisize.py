@@ -193,7 +193,13 @@ def unisize_exists_valid_total_order(
         ok = hb.is_acyclic() and _unisize_hb_consistency_2_3(execution, hb)
         if ok:
             cached = WitnessVerdict(
-                ok=True, hb=hb, triples=_unisize_forbidden_triples(execution, hb, sw)
+                ok=True,
+                hb=hb,
+                triples=_unisize_forbidden_triples(execution, hb, sw),
+                # The unisize verdict is cached per execution (and shared
+                # through any shape-quotient cache it sits on), so its
+                # dead-prefix memo rides along the same way.
+                search_dead=set(),
             )
         else:
             cached = WitnessVerdict(ok=False)

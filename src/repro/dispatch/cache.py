@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable, Iterable, Optional, Tuple
 
@@ -107,29 +108,67 @@ def fingerprint(*parts: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+_EXCLUDED_PROGRAM_FIELDS = frozenset({"name", "description"})
+
+
 def program_fingerprint(program: Any) -> str:
     """The content hash of a litmus program's *structure*.
 
     Deliberately excludes ``name`` and ``description``: generated sweeps
     label programs positionally (``shape-17``), and overlapping corpora
-    should share verdicts whenever the buffers and threads coincide.
+    should share verdicts whenever the buffers and threads coincide.  The
+    preimage covers the program type's qualified name and *every other*
+    dataclass field, so two structurally-similar programs of different
+    types — or of a future ``Program`` grown a semantics-bearing field —
+    can never collide on one fingerprint.  Non-dataclass program types
+    raise :class:`TypeError` outright: a silently degraded fingerprint
+    would poison the persistent verdict cache with colliding entries.
 
     Memoised per (immutable) ``Program`` object: a warm-cache sweep pays
     one SHA-256 of the full AST per program instead of one per lookup, and
     repeated queries against the same object (expectation sets, sweep
     re-checks) become dictionary hits.  The memo rides along when programs
-    are pickled to shard workers.
+    are pickled to shard workers.  It is read from the instance ``__dict__``
+    only — never through ``getattr`` — so a class-level attribute of the
+    same name cannot serve one stale hash for every instance.
     """
-    cached = getattr(program, "_fingerprint_memo", None)
+    state = getattr(program, "__dict__", None)
+    cached = state.get("_fingerprint_memo") if isinstance(state, dict) else None
     if cached is None:
-        cached = fingerprint("program", program.buffers, program.threads)
+        if not dataclasses.is_dataclass(program) or isinstance(program, type):
+            raise TypeError(
+                "cannot fingerprint non-dataclass program of type "
+                f"{type(program).__qualname__!s}"
+            )
+        # Raw field values: fingerprint() canonicalises the whole payload in
+        # one recursive pass (pre-canonicalising here would walk it twice).
+        payload = [
+            [f.name, getattr(program, f.name)]
+            for f in dataclasses.fields(program)
+            if f.name not in _EXCLUDED_PROGRAM_FIELDS
+        ]
+        cached = fingerprint("program", type(program).__qualname__, payload)
         try:
             # Program is a frozen dataclass; the memo is not a field, so it
             # never enters equality, canonicalisation, or the hash itself.
             object.__setattr__(program, "_fingerprint_memo", cached)
-        except (AttributeError, TypeError):  # slotted/exotic program types
+        except (AttributeError, TypeError):  # slotted program types
             pass
     return cached
+
+
+STALE_TMP_SECONDS = 3600.0
+"""Age past which an orphaned ``*.tmp`` file in the cache dir is reclaimed.
+
+Writers hold a temp file only for the instants between ``mkstemp`` and the
+atomic rename, so anything this old is debris from an interrupted writer
+(e.g. a ``KeyboardInterrupt`` between creating the file and entering the
+cleanup scope), never a live write in progress.
+"""
+
+# Directories already swept this process: concurrent shard workers all open
+# the same cache directory, and one sweep per process is plenty.
+_swept_directories: set = set()
 
 
 class VerdictCache:
@@ -141,6 +180,32 @@ class VerdictCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Reclaim orphaned temp files, once per directory per process.
+
+        Only files older than :data:`STALE_TMP_SECONDS` are removed, so a
+        concurrent writer's in-flight temp file is never touched; every
+        failure is ignored (the sweep is hygiene, not correctness — stale
+        temp files waste space but are never read as entries).
+        """
+        key = str(self.directory)
+        if key in _swept_directories:
+            return
+        _swept_directories.add(key)
+        try:
+            if not self.directory.is_dir():
+                return
+            cutoff = time.time() - STALE_TMP_SECONDS
+            for tmp in self.directory.glob("*/*.tmp"):
+                try:
+                    if tmp.stat().st_mtime < cutoff:
+                        tmp.unlink()
+                except OSError:
+                    continue
+        except OSError:  # pragma: no cover - host-specific listing failures
+            return
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VerdictCache({str(self.directory)!r}, revision={self.revision!r})"
@@ -196,24 +261,39 @@ class VerdictCache:
         return entry["verdict"]
 
     def put(self, key: str, verdict: Any) -> None:
-        """Record ``verdict`` atomically (best-effort; IO errors are swallowed)."""
+        """Record ``verdict`` atomically (best-effort).
+
+        Expected IO failures (read-only directories, ENOSPC) and
+        unserialisable verdicts are swallowed — the cache stays cold, never
+        wrong.  Control-flow exceptions (``KeyboardInterrupt``,
+        ``SystemExit``, …) are *not* caught: the temp file is reclaimed in
+        the ``finally`` scope and the exception propagates.  Anything the
+        cleanup misses (an interrupt in the instants around ``mkstemp``)
+        is swept by :meth:`_sweep_stale_tmp` on the next cache open.
+        """
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump({"key": key, "verdict": verdict}, handle)
-                os.replace(tmp, path)
-            except BaseException:
+        except OSError:  # pragma: no cover - host-specific (read-only dirs)
+            return
+        committed = False
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump({"key": key, "verdict": verdict}, handle)
+            os.replace(tmp, path)
+            committed = True
+        except (OSError, TypeError, ValueError):
+            # ENOSPC and friends, or a verdict json cannot serialise.
+            pass
+        finally:
+            if not committed:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
-                raise
-        except OSError:  # pragma: no cover - host-specific (read-only dirs, ENOSPC)
-            return
-        self.writes += 1
+        if committed:
+            self.writes += 1
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """The cached verdict, or ``compute()`` recorded under ``key``."""

@@ -132,7 +132,7 @@ def sized_shard_ranges(
     return ranges
 
 
-def _make_pool(workers: int):
+def _make_pool(workers: int, initializer=None, initargs: Tuple = ()):
     import multiprocessing
 
     if "fork" in multiprocessing.get_all_start_methods():
@@ -141,7 +141,9 @@ def _make_pool(workers: int):
         context = multiprocessing.get_context("fork")
     else:  # pragma: no cover - non-POSIX hosts
         context = multiprocessing.get_context()
-    return context.Pool(processes=workers)
+    return context.Pool(
+        processes=workers, initializer=initializer, initargs=initargs
+    )
 
 
 def parallel_map(
@@ -149,11 +151,18 @@ def parallel_map(
     items: Sequence[T],
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
 ) -> List[R]:
     """``[func(x) for x in items]``, fanned out over ``workers`` processes.
 
     Order-preserving; falls back to the serial loop for ``workers<=1``,
-    single-item inputs, or hosts where no pool can be started.
+    single-item inputs, or hosts where no pool can be started (the
+    ``initializer`` is *not* run on the serial paths — the parent already
+    has whatever state it would seed).  ``initializer(*initargs)`` runs
+    once per worker process at pool start; callers use it to ship
+    precomputed tables to spawn-started workers instead of paying a
+    rebuild in every process.
     """
     items = list(items)
     workers = resolve_workers(workers)
@@ -164,7 +173,7 @@ def parallel_map(
     # one giant chunk per live worker and no load balancing at all.
     pool_size = min(workers, len(items))
     try:
-        pool = _make_pool(pool_size)
+        pool = _make_pool(pool_size, initializer, initargs)
     except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
         return [func(item) for item in items]
     try:
@@ -180,6 +189,8 @@ def imap_ordered(
     func: Callable[[T], R],
     tasks: Sequence[T],
     workers: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
 ) -> Iterator[R]:
     """Lazily yield ``func(task)`` in task order; the caller may stop early.
 
@@ -187,6 +198,8 @@ def imap_ordered(
     consumed in generation order, so breaking at the first hit reproduces
     the serial search's verdict (and its ``programs_examined`` count) while
     later chunks — possibly already running speculatively — are abandoned.
+    ``initializer``/``initargs`` behave as in :func:`parallel_map` (run
+    once per worker process, skipped on the serial fallbacks).
     """
     tasks = list(tasks)
     workers = resolve_workers(workers)
@@ -200,7 +213,7 @@ def imap_ordered(
     # is the caller's shard layout — so nothing else to size here.)
     pool_size = min(workers, len(tasks))
     try:
-        pool = _make_pool(pool_size)
+        pool = _make_pool(pool_size, initializer, initargs)
     except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
         for task in tasks:
             yield func(task)

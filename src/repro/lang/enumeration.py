@@ -21,7 +21,7 @@ interleaving oracle of :mod:`repro.lang.interpreter`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import Event, EventSet, make_init_event
@@ -180,11 +180,26 @@ class PreExecution:
 
 @dataclass(frozen=True)
 class GroundExecution:
-    """A fully concrete candidate execution (no ``tot`` yet) plus its outcome."""
+    """A fully concrete candidate execution (no ``tot`` yet) plus its outcome.
+
+    ``multiplicity`` counts how many ``reads-byte-from`` assignments this
+    execution stands for.  It is 1 unless the enumeration ran with
+    ``collapse_value_profiles=True``, in which case assignments that are
+    *verdict-equivalent* — identical byte values and event-level rf
+    signature, differing only in which writer of an interchangeable byte
+    class justified a byte (see :func:`_byte_writer_classes`) — collapse
+    onto their first member, whose multiplicity is bumped **as the later
+    duplicates are enumerated**: the count is only final once the
+    pre-execution's enumeration has been consumed past them.
+    """
 
     execution: CandidateExecution
     outcome: Outcome
     pre: PreExecution
+    # Excluded from the generated __eq__/__hash__: the count is bumped in
+    # place on the (already-yielded) representative as later duplicates are
+    # enumerated, and identity-changing mutation must not reach equality.
+    multiplicity: int = field(default=1, compare=False)
 
 
 def program_init_events(program: Program) -> Tuple[Event, ...]:
@@ -510,9 +525,63 @@ def _propagate_writes(
     return known_bytes, known_start
 
 
+def _all_block_writers_by_byte(pre: PreExecution) -> Dict[int, Tuple[int, ...]]:
+    """For each byte *index*, every event (any block) writing it.
+
+    This is the candidate set the HB-Consistency (3) rule quantifies over
+    (:meth:`EventSet.writers_of_location` deliberately ignores blocks, like
+    the specification text), so it — not the per-block covering set — is
+    what decides whether two bytes of a read are interchangeable for the
+    value-profile collapse below.
+    """
+    writers: Dict[int, List[int]] = {}
+    for init in pre.init_events:
+        for k in init.range_w:
+            writers.setdefault(k, []).append(init.eid)
+    for template in pre.memory_templates():
+        if not template.writes_memory:
+            continue
+        eid = pre.eid_of[template.key]
+        for k in template.byte_range():
+            writers.setdefault(k, []).append(eid)
+    return {k: tuple(ws) for k, ws in writers.items()}
+
+
+def _byte_writer_classes(
+    group: ReadGroup, location_writers: Dict[int, Tuple[int, ...]]
+) -> Tuple[Tuple[int, ...], ...]:
+    """Slot indices of one read, grouped into interchangeable byte classes.
+
+    Two bytes of a read are in one class when they have the same candidate
+    writers *and* the same all-block writer set at their byte index.  For
+    such bytes, permuting which chosen writer justifies which byte changes
+    no validity verdict under *any* model:
+
+    * every rule except HB-Consistency (3) is a function of the event-level
+      rf signature (plus the value profile and template-fixed attributes),
+      and the signature is the union of the per-class chosen-writer sets;
+    * HB-Consistency (3) decomposes per ``rbf`` triple ``(k, w, r)``: it
+      fails iff some event ``c`` writing byte ``k`` has ``w hb c hb r``.
+      Whether that holds depends on ``k`` only through the set of events
+      writing ``k`` — equal within a class by construction — so the rule's
+      verdict is a function of the *set* of writers chosen per class, not
+      of which byte each one justified.
+
+    The collapse key in :func:`ground_candidates` is therefore (value
+    profile, per-class chosen-writer sets): members sharing it are
+    verdict-equivalent, which is what keeps collapsed verdicts bit-identical
+    to the uncollapsed enumeration.
+    """
+    by_class: Dict[Tuple, List[int]] = {}
+    for i, (k, choices) in enumerate(zip(group.locations, group.choices)):
+        by_class.setdefault((choices, location_writers.get(k, ())), []).append(i)
+    return tuple(tuple(indices) for indices in by_class.values())
+
+
 def ground_candidates(
     pre: PreExecution,
     max_assignments: Optional[int] = None,
+    collapse_value_profiles: bool = False,
 ) -> Iterator[GroundExecution]:
     """Ground one :class:`PreExecution`: enumerate ``reads-byte-from`` choices.
 
@@ -531,6 +600,18 @@ def ground_candidates(
     combinations the unpruned product would have enumerated — so the budget
     trips for precisely the same programs as the pre-pruning implementation
     and still guards against combinatorial blow-up.
+
+    ``collapse_value_profiles`` deduplicates verdict-equivalent assignments:
+    members resolving to identical byte values and event-level rf signature
+    that differ only in which writer of an interchangeable byte class
+    justified a byte (see :func:`_byte_writer_classes` for why that is
+    verdict-preserving) are collapsed onto their first member, whose
+    ``multiplicity`` counts the whole class.  The yielded stream is the
+    first-occurrence subsequence of the uncollapsed stream — dedup-before-
+    search consumers see the same executions in the same order — and the
+    enumeration budget is charged identically (duplicates are still
+    enumerated and charged; only their per-member assembly and downstream
+    validity work is skipped).
 
     The backtracking itself lives in
     :func:`repro.core.groundcore.enumerate_assignments`, shared with the
@@ -581,6 +662,16 @@ def ground_candidates(
     n_groups = len(read_groups)
     assignment: Dict[Tuple[str, int, int], int] = {}
 
+    collapse_memo: Optional[Dict] = None
+    group_value_classes: List[Tuple[Tuple[int, ...], ...]] = []
+    if collapse_value_profiles:
+        collapse_memo = {}
+        location_writers = _all_block_writers_by_byte(pre)
+        group_value_classes = [
+            _byte_writer_classes(group, location_writers)
+            for group in read_groups
+        ]
+
     produced = 0
 
     def charge(count: int) -> None:
@@ -613,11 +704,45 @@ def ground_candidates(
             read_bytes, write_bytes = resolved
             if not _constraints_satisfied(pre, read_bytes):
                 return
+        member_key = None
+        if collapse_memo is not None:
+            values_key = tuple(
+                (
+                    tuple(read_bytes.get(t.key, ())) if t.reads_memory else (),
+                    tuple(write_bytes.get(t.key, ())) if t.writes_memory else (),
+                )
+                for t in pre.memory_templates()
+            )
+            profile = tuple(
+                tuple(
+                    frozenset(assignment[group.slots[i]] for i in indices)
+                    for indices in value_classes
+                )
+                for group, value_classes in zip(read_groups, group_value_classes)
+            )
+            member_key = (values_key, profile)
+            representative = collapse_memo.get(member_key, _MISSING)
+            if representative is not _MISSING:
+                # A verdict-equivalent member was already produced (or, for
+                # None, silently dropped as ill-formed): account for this
+                # one on its class and skip the per-member assembly.
+                if representative is not None:
+                    object.__setattr__(
+                        representative,
+                        "multiplicity",
+                        representative.multiplicity + 1,
+                    )
+                return
         execution = _build_execution(pre, assignment, read_bytes, write_bytes)
         if not execution.is_well_formed(require_tot=False):
+            if collapse_memo is not None:
+                collapse_memo[member_key] = None
             return
         outcome = _build_outcome(pre, read_bytes)
-        yield GroundExecution(execution=execution, outcome=outcome, pre=pre)
+        ground = GroundExecution(execution=execution, outcome=outcome, pre=pre)
+        if collapse_memo is not None:
+            collapse_memo[member_key] = ground
+        yield ground
 
     yield from enumerate_assignments(
         read_groups,
@@ -634,10 +759,15 @@ def ground_executions(
     program: Program,
     extra_asw: Sequence[Tuple[int, int]] = (),
     max_assignments: Optional[int] = None,
+    collapse_value_profiles: bool = False,
 ) -> Iterator[GroundExecution]:
     """Every concrete candidate execution (without ``tot``) of the program."""
     for pre in pre_executions(program, extra_asw=extra_asw):
-        yield from ground_candidates(pre, max_assignments=max_assignments)
+        yield from ground_candidates(
+            pre,
+            max_assignments=max_assignments,
+            collapse_value_profiles=collapse_value_profiles,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -650,10 +780,23 @@ def allowed_executions(
     model: JsModel = FINAL_MODEL,
     extra_asw: Sequence[Tuple[int, int]] = (),
     max_assignments: Optional[int] = None,
+    collapse_value_profiles: bool = True,
 ) -> Iterator[Tuple[CandidateExecution, Outcome]]:
-    """Every model-allowed execution (with a ``tot`` witness) and its outcome."""
+    """Every model-allowed execution (with a ``tot`` witness) and its outcome.
+
+    With ``collapse_value_profiles`` (the default) verdict-equivalent
+    ``reads-byte-from`` assignments are represented by their first member
+    only — the witness search, the outcome and every downstream verdict are
+    identical for all of them, so consumers of *verdicts* (outcome sets,
+    race freedom, SC-DRF) see exactly the uncollapsed answers while paying
+    one validity search per class instead of one per member.  Pass
+    ``False`` to enumerate every assignment's execution individually.
+    """
     for ground in ground_executions(
-        program, extra_asw=extra_asw, max_assignments=max_assignments
+        program,
+        extra_asw=extra_asw,
+        max_assignments=max_assignments,
+        collapse_value_profiles=collapse_value_profiles,
     ):
         tot = exists_valid_total_order(ground.execution, model)
         if tot is not None:
@@ -665,16 +808,24 @@ def allowed_outcomes(
     model: JsModel = FINAL_MODEL,
     extra_asw: Sequence[Tuple[int, int]] = (),
     max_assignments: Optional[int] = None,
+    collapse_value_profiles: bool = True,
 ) -> List[Outcome]:
     """The set of outcomes observable under ``model`` (deduplicated).
 
     Executions whose outcome has already been shown allowed are skipped
-    without a validity search, which keeps the enumeration tractable.
+    without a validity search, which keeps the enumeration tractable.  The
+    value-profile collapse (on by default) drops only verdict-equivalent
+    duplicates *before* the per-outcome dedup, preserving the dedup-before-
+    search order: the first execution searched for each outcome — and hence
+    the outcome set — is identical with and without it.
     """
     found: List[Outcome] = []
     seen: Set[Tuple[Tuple[str, int], ...]] = set()
     for ground in ground_executions(
-        program, extra_asw=extra_asw, max_assignments=max_assignments
+        program,
+        extra_asw=extra_asw,
+        max_assignments=max_assignments,
+        collapse_value_profiles=collapse_value_profiles,
     ):
         key = tuple(sorted(ground.outcome.items()))
         if key in seen:
@@ -692,6 +843,7 @@ def outcome_allowed(
     model: JsModel = FINAL_MODEL,
     extra_asw: Sequence[Tuple[int, int]] = (),
     max_assignments: Optional[int] = None,
+    collapse_value_profiles: bool = True,
 ) -> bool:
     """Is some allowed execution's outcome consistent with ``spec``?
 
@@ -699,7 +851,10 @@ def outcome_allowed(
     it matches any outcome extending it.
     """
     for ground in ground_executions(
-        program, extra_asw=extra_asw, max_assignments=max_assignments
+        program,
+        extra_asw=extra_asw,
+        max_assignments=max_assignments,
+        collapse_value_profiles=collapse_value_profiles,
     ):
         if not outcome_matches(ground.outcome, spec):
             continue

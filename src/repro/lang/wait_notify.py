@@ -328,13 +328,16 @@ def _asw_edges(
 
 
 def wait_notify_ground_executions(
-    program: Program, corrected: bool = True
+    program: Program,
+    corrected: bool = True,
+    collapse_value_profiles: bool = False,
 ) -> Iterator[GroundExecution]:
     """Concrete candidate executions of a wait/notify program.
 
     With ``corrected=True`` the critical-section ordering contributes
     ``additional-synchronizes-with`` edges; with ``corrected=False`` it does
-    not (the uncorrected ES2019 reading).
+    not (the uncorrected ES2019 reading).  ``collapse_value_profiles``
+    behaves as in :func:`repro.lang.enumeration.ground_candidates`.
     """
     init_events = program_init_events(program)
     for paths in program_paths(program):
@@ -347,7 +350,9 @@ def wait_notify_ground_executions(
                     # Only the asw component differs; reuse everything else
                     # (eid assignment, sb, templates) from the first build.
                     pre = replace(pre, asw=Relation(edges))
-            yield from ground_candidates(pre)
+            yield from ground_candidates(
+                pre, collapse_value_profiles=collapse_value_profiles
+            )
 
 
 def wait_notify_allowed_outcomes(
@@ -358,7 +363,9 @@ def wait_notify_allowed_outcomes(
     """The outcomes allowed by ``model`` under the chosen §7 semantics."""
     found: List[Outcome] = []
     seen = set()
-    for ground in wait_notify_ground_executions(program, corrected=corrected):
+    for ground in wait_notify_ground_executions(
+        program, corrected=corrected, collapse_value_profiles=True
+    ):
         key = tuple(sorted(ground.outcome.items()))
         if key in seen:
             continue
@@ -375,7 +382,9 @@ def wait_notify_outcome_allowed(
     model: JsModel = FINAL_MODEL,
 ) -> bool:
     """Is an outcome matching ``spec`` observable under the chosen semantics?"""
-    for ground in wait_notify_ground_executions(program, corrected=corrected):
+    for ground in wait_notify_ground_executions(
+        program, corrected=corrected, collapse_value_profiles=True
+    ):
         if not outcome_matches(ground.outcome, spec):
             continue
         if exists_valid_total_order(ground.execution, model) is not None:

@@ -42,8 +42,10 @@ from .shapes import (
     SearchBounds,
     count_accesses,
     generate_programs,
+    install_shape_tables,
     program_cost_hints,
     program_count,
+    shape_tables,
 )
 
 
@@ -234,7 +236,17 @@ def _swept_search(
         (kind, bounds, model, use_operational, start, stop, cache_spec)
         for (start, stop) in ranges
     ]
-    results = imap_ordered(_sweep_chunk_worker, tasks, workers=workers)
+    # The shape tables this sweep scans are already warm in this process
+    # (the shard layout above consulted them); ship the snapshot to every
+    # worker once at pool start instead of letting each worker process
+    # rebuild it on its first chunk.
+    results = imap_ordered(
+        _sweep_chunk_worker,
+        tasks,
+        workers=workers,
+        initializer=install_shape_tables,
+        initargs=(shape_tables(bounds),),
+    )
     for task, (examined, hit_index) in zip(tasks, results):
         report.programs_examined += examined
         chunk_stop = task[5]

@@ -16,6 +16,7 @@ the paper's incremental Alloy bounds.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -65,7 +66,42 @@ def _access_options(bounds: SearchBounds) -> List[AccessSpec]:
     return options
 
 
-_SHAPES_MEMO: dict = {}
+class _BoundedMemo:
+    """A small LRU memo for the shape/sized tables.
+
+    The tables are pure functions of their bounds key, so eviction can
+    never change a result — only force a rebuild.  Long-lived processes
+    (servers, REPL sessions, parametrised test runs) used to grow the
+    plain-dict memos without bound, one multi-thousand-entry table per
+    distinct :class:`SearchBounds` ever queried; a handful of recently-used
+    tables is what the sweeps actually revisit.
+    """
+
+    __slots__ = ("limit", "entries")
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self.entries.get(key)
+        if value is not None:
+            self.entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        while len(self.entries) > self.limit:
+            self.entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+_MEMO_LIMIT = 16
+
+_SHAPES_MEMO = _BoundedMemo(_MEMO_LIMIT)
 
 
 def _shape_key(bounds: SearchBounds) -> Tuple:
@@ -115,7 +151,7 @@ def _thread_shapes(
                 for guard in bounds.values:
                     for location in range(bounds.locations):
                         shapes.append((combo, (guard, location)))
-    _SHAPES_MEMO[_shape_key(bounds)] = shapes
+    _SHAPES_MEMO.put(_shape_key(bounds), shapes)
     return shapes
 
 
@@ -154,9 +190,11 @@ def _build_thread(
 
 
 # The (size, shape-combo) table of each bounds value, memoised: sharded
-# sweeps re-enter the enumeration once per chunk, and forked workers inherit
-# the parent's warmed table.
-_SIZED_MEMO: dict = {}
+# sweeps re-enter the enumeration once per chunk.  Forked workers inherit
+# the parent's warmed table; spawned workers receive it through the pool
+# initializer (see shape_tables/install_shape_tables), so either way a
+# sweep builds each table once, not once per worker process.
+_SIZED_MEMO = _BoundedMemo(_MEMO_LIMIT)
 
 
 def _sized_combos(bounds: SearchBounds) -> List[Tuple[int, Tuple[int, ...]]]:
@@ -178,8 +216,33 @@ def _sized_combos(bounds: SearchBounds) -> List[Tuple[int, Tuple[int, ...]]]:
                 continue
             sized.append((total, combo))
         sized.sort()
-        _SIZED_MEMO[key] = sized
+        _SIZED_MEMO.put(key, sized)
     return sized
+
+
+def shape_tables(bounds: SearchBounds) -> Tuple:
+    """A picklable snapshot of the (warmed) shape tables for ``bounds``.
+
+    The sweeps compute these tables in the parent anyway (cost hints, shard
+    layout); shipping the snapshot to each worker through the pool
+    initializer — :func:`install_shape_tables` — means every worker process
+    of a sweep receives the tables once, instead of rebuilding them from
+    scratch on its first chunk (the fork start method inherits them for
+    free; this covers spawn hosts and keeps the guarantee explicit).
+    """
+    return (
+        _shape_key(bounds),
+        _thread_shapes(bounds),
+        _sized_key(bounds),
+        _sized_combos(bounds),
+    )
+
+
+def install_shape_tables(tables: Tuple) -> None:
+    """Seed this process's shape memos from a :func:`shape_tables` snapshot."""
+    shape_key, shapes, sized_key, sized = tables
+    _SHAPES_MEMO.put(shape_key, shapes)
+    _SIZED_MEMO.put(sized_key, sized)
 
 
 def program_count(bounds: SearchBounds) -> int:

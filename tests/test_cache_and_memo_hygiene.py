@@ -1,0 +1,361 @@
+"""Cache & memo hygiene regressions (PR 5 satellites).
+
+* ``VerdictCache.put`` must never swallow control-flow exceptions, must
+  reclaim its temp file on every exit path, and stale ``*.tmp`` debris is
+  swept when a cache directory is opened;
+* ``program_fingerprint`` must never collide across program types, never
+  serve a class-level memo, and must refuse non-dataclass programs loudly;
+* the shape-table memos are bounded and can be shipped to workers through
+  the pool initializer;
+* the benchmark regression gate exits non-zero past the threshold and
+  refuses a baseline that is its own output file.
+"""
+
+import dataclasses
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.dispatch.cache as cache_mod
+from repro.dispatch import VerdictCache, program_fingerprint
+from repro.dispatch.cache import MISS, STALE_TMP_SECONDS
+from repro.dispatch.pool import imap_ordered, parallel_map
+import repro.search.shapes as shapes_mod
+from repro.search.shapes import (
+    SearchBounds,
+    _BoundedMemo,
+    _sized_combos,
+    _thread_shapes,
+    install_shape_tables,
+    shape_tables,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# VerdictCache.put / stale-tmp sweep
+# ---------------------------------------------------------------------------
+
+
+def _force_sweep(directory) -> None:
+    cache_mod._swept_directories.discard(str(directory))
+
+
+def test_stale_tmp_swept_on_cache_open(tmp_path):
+    cache_dir = tmp_path / "verdicts"
+    bucket = cache_dir / "ab"
+    bucket.mkdir(parents=True)
+    stale = bucket / "orphanXYZ.tmp"
+    stale.write_text("debris from an interrupted writer")
+    old = time.time() - 2 * STALE_TMP_SECONDS
+    os.utime(stale, (old, old))
+    fresh = bucket / "liveABC.tmp"
+    fresh.write_text("a concurrent writer might still hold this")
+    entry = bucket / "abcd.json"
+    entry.write_text(json.dumps({"key": "abcd", "verdict": True}))
+
+    _force_sweep(cache_dir)
+    VerdictCache(cache_dir)
+    assert not stale.exists()  # old debris reclaimed
+    assert fresh.exists()  # young temp files are never touched
+    assert entry.exists()  # real entries are never touched
+
+
+def test_tmp_sweep_runs_once_per_process(tmp_path):
+    cache_dir = tmp_path / "verdicts"
+    bucket = cache_dir / "cd"
+    bucket.mkdir(parents=True)
+    _force_sweep(cache_dir)
+    VerdictCache(cache_dir)
+    # Debris created after the first open is left for the next process.
+    stale = bucket / "later.tmp"
+    stale.write_text("x")
+    old = time.time() - 2 * STALE_TMP_SECONDS
+    os.utime(stale, (old, old))
+    VerdictCache(cache_dir)
+    assert stale.exists()
+
+
+def _tmp_files(cache_dir):
+    return list(Path(cache_dir).glob("**/*.tmp"))
+
+
+def test_put_unserialisable_verdict_is_swallowed_and_clean(tmp_path):
+    cache = VerdictCache(tmp_path / "verdicts")
+    key = cache.key("probe")
+    cache.put(key, object())  # json.dump raises TypeError
+    assert cache.get(key) is MISS
+    assert cache.writes == 0
+    assert _tmp_files(tmp_path) == []
+
+
+def test_put_keyboard_interrupt_propagates_and_cleans_tmp(tmp_path, monkeypatch):
+    cache = VerdictCache(tmp_path / "verdicts")
+    key = cache.key("probe")
+
+    def interrupted_replace(src, dst):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(os, "replace", interrupted_replace)
+    with pytest.raises(KeyboardInterrupt):
+        cache.put(key, {"v": 1})
+    monkeypatch.undo()
+    assert _tmp_files(tmp_path) == []
+    assert cache.get(key) is MISS
+    assert cache.writes == 0
+
+
+def test_put_io_failure_is_swallowed_and_clean(tmp_path, monkeypatch):
+    cache = VerdictCache(tmp_path / "verdicts")
+    key = cache.key("probe")
+
+    def failing_replace(src, dst):
+        raise OSError("ENOSPC")
+
+    monkeypatch.setattr(os, "replace", failing_replace)
+    cache.put(key, {"v": 1})  # must not raise
+    monkeypatch.undo()
+    assert _tmp_files(tmp_path) == []
+    assert cache.writes == 0
+    # ...and the cache still works afterwards.
+    cache.put(key, {"v": 1})
+    assert cache.get(key) == {"v": 1}
+
+
+# ---------------------------------------------------------------------------
+# program_fingerprint hardening
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _ProgramLike:
+    name: str
+    buffers: tuple
+    threads: tuple
+    description: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class _OtherProgramLike:
+    name: str
+    buffers: tuple
+    threads: tuple
+    description: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class _SlottedProgramLike:
+    __slots__ = ("name", "buffers", "threads", "description")
+    name: str
+    buffers: tuple
+    threads: tuple
+    description: str
+
+
+class _PoisonedProgramLike(_ProgramLike):
+    # A class-level attribute of the memo's name: reading the memo through
+    # plain getattr would serve this one value for EVERY instance.
+    pass
+
+
+_PoisonedProgramLike._fingerprint_memo = "poisoned-class-level-hash"
+
+
+def test_distinct_program_types_never_collide():
+    a = _ProgramLike("p", (1, 2), (3,))
+    b = _OtherProgramLike("p", (1, 2), (3,))
+    assert program_fingerprint(a) != program_fingerprint(b)
+
+
+def test_name_and_description_stay_excluded():
+    a = _ProgramLike("first", (1, 2), (3,), description="x")
+    b = _ProgramLike("second", (1, 2), (3,), description="y")
+    assert program_fingerprint(a) == program_fingerprint(b)
+
+
+def test_class_level_memo_is_never_served():
+    a = _PoisonedProgramLike("p", (1,), (2,))
+    b = _PoisonedProgramLike("q", (9,), (8,))
+    fa, fb = program_fingerprint(a), program_fingerprint(b)
+    assert fa != "poisoned-class-level-hash"
+    assert fb != "poisoned-class-level-hash"
+    assert fa != fb
+
+
+def test_slotted_program_recomputes_consistently():
+    a = _SlottedProgramLike("p", (1, 2), (3,), "")
+    first = program_fingerprint(a)
+    assert program_fingerprint(a) == first  # no memo slot: recomputed, stable
+
+
+def test_non_dataclass_program_raises_loudly():
+    class Impostor:
+        buffers = (1,)
+        threads = (2,)
+
+    with pytest.raises(TypeError):
+        program_fingerprint(Impostor())
+
+
+def test_fingerprint_memoised_on_instance():
+    a = _ProgramLike("p", (1, 2), (3,))
+    first = program_fingerprint(a)
+    assert a.__dict__["_fingerprint_memo"] == first
+    assert program_fingerprint(a) == first
+
+
+# ---------------------------------------------------------------------------
+# bounded shape memos + worker shipping
+# ---------------------------------------------------------------------------
+
+
+def test_shape_memos_are_bounded():
+    limit = shapes_mod._SHAPES_MEMO.limit
+    reference = {}
+    for extra in range(limit + 8):
+        # Tiny, pairwise-distinct bounds: one value, one access per thread.
+        bounds = SearchBounds(
+            max_accesses_per_thread=1,
+            max_total_accesses=2,
+            values=(extra + 1,),
+            guarded_observer=False,
+        )
+        reference[extra] = (bounds, len(_thread_shapes(bounds)))
+        _sized_combos(bounds)
+        assert len(shapes_mod._SHAPES_MEMO) <= limit
+        assert len(shapes_mod._SIZED_MEMO) <= limit
+    # Evicted entries rebuild to identical tables.
+    bounds, expected = reference[0]
+    assert len(_thread_shapes(bounds)) == expected
+
+
+def test_bounded_memo_lru_keeps_recent_entries():
+    memo = _BoundedMemo(2)
+    memo.put("a", 1)
+    memo.put("b", 2)
+    assert memo.get("a") == 1  # refresh "a"
+    memo.put("c", 3)  # evicts "b", the least recently used
+    assert memo.get("b") is None
+    assert memo.get("a") == 1
+    assert memo.get("c") == 3
+
+
+def test_install_shape_tables_seeds_fresh_process_state(monkeypatch):
+    bounds = SearchBounds(max_programs=64)
+    tables = shape_tables(bounds)
+    # Simulate a freshly-spawned worker: empty memos, then the initializer.
+    monkeypatch.setattr(shapes_mod, "_SHAPES_MEMO", _BoundedMemo(4))
+    monkeypatch.setattr(shapes_mod, "_SIZED_MEMO", _BoundedMemo(4))
+    install_shape_tables(tables)
+    assert _thread_shapes(bounds) is tables[1]  # identity: no rebuild
+    assert _sized_combos(bounds) is tables[3]
+
+
+def _double(x):
+    return 2 * x
+
+
+def test_pool_initializer_plumbs_through():
+    bounds = SearchBounds(max_programs=16)
+    tables = shape_tables(bounds)
+    results = list(
+        imap_ordered(
+            _double,
+            list(range(8)),
+            workers=2,
+            initializer=install_shape_tables,
+            initargs=(tables,),
+        )
+    )
+    assert results == [2 * x for x in range(8)]
+    assert parallel_map(
+        _double,
+        list(range(8)),
+        workers=2,
+        initializer=install_shape_tables,
+        initargs=(tables,),
+    ) == [2 * x for x in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# the benchmark regression gate
+# ---------------------------------------------------------------------------
+
+
+def _load_gate_module():
+    spec = importlib.util.spec_from_file_location(
+        "run_benchmarks", REPO_ROOT / "benchmarks" / "run_benchmarks.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _snapshot(path, means):
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "name": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+
+
+def test_compare_snapshots_counts_regressions(tmp_path):
+    gate = _load_gate_module()
+    current = tmp_path / "current.json"
+    baseline = tmp_path / "baseline.json"
+    _snapshot(current, {"a": 1.0, "b": 2.6, "only-current": 1.0})
+    _snapshot(baseline, {"a": 1.0, "b": 2.0, "only-baseline": 1.0})
+    assert gate.compare_snapshots(current, baseline, threshold=1.25) == 1
+    assert gate.compare_snapshots(current, baseline, threshold=1.5) == 0
+
+
+def test_gate_refuses_baseline_equal_to_output(tmp_path):
+    """Same-day same-label rerun must not clobber-and-self-compare."""
+    import datetime
+
+    output = tmp_path / f"BENCH_{datetime.date.today().isoformat()}.json"
+    _snapshot(output, {"a": 1.0})
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_benchmarks.py"),
+            "--output-dir",
+            str(tmp_path),
+            "--compare",
+            str(output),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 2
+    assert "own output" in result.stderr
+    assert json.loads(output.read_text())["benchmarks"]  # baseline untouched
+
+
+def test_gate_missing_baseline_is_an_error(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_benchmarks.py"),
+            "--output-dir",
+            str(tmp_path),
+            "--compare",
+            str(tmp_path / "no-such-baseline.json"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 2
+    assert "not found" in result.stderr

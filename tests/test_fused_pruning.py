@@ -1,0 +1,310 @@
+"""Parity and accounting pins for the fused-pruning layer (PR 5).
+
+Three changes push pruning *into* the shared assignment enumerator, and all
+three must be invisible at the verdict level:
+
+* the ARM per-byte coherence masks now run inside the backtracker
+  (``_fused_group_hooks``): the fused survivor stream must be the exact
+  subsequence of the unfused member stream that the post-enumeration filter
+  (``_locally_consistent_orders``) used to keep, same order, same
+  surviving-order lists;
+* the JavaScript grounding collapses verdict-equivalent ``reads-byte-from``
+  assignments per (value profile, interchangeable-byte-class writer sets)
+  with explicit ``multiplicity`` — the collapsed stream must be the
+  first-occurrence subsequence of the uncollapsed one, multiplicities must
+  account for every member, and every outcome-level verdict must be
+  bit-identical with the collapse on or off;
+* the witness search's dead-prefix memo moved onto the shared shape
+  verdict — searches must return the same witnesses while sharing state.
+"""
+
+import os
+
+import pytest
+
+from repro.armv8.axiomatic import (
+    _arm_groundings,
+    _locally_consistent_orders,
+)
+from repro.compile.scheme import compile_program
+from repro.core.execution import CandidateExecution
+from repro.core.events import Event, EventSet, make_init_event, SEQCST
+from repro.core.js_model import (
+    ALL_MODELS,
+    FINAL_MODEL,
+    ORIGINAL_MODEL,
+    exists_valid_total_order,
+    witness_verdict,
+)
+from repro.core.relations import Relation
+from repro.lang.enumeration import allowed_outcomes, ground_executions
+from repro.litmus.catalogue import (
+    all_tests,
+    fig1_message_passing,
+    fig6_armv8_violation,
+    store_buffering,
+    rmw_exchange_mutex,
+)
+from repro.search import SearchBounds, generate_programs, search_sc_drf_violation
+
+
+# ---------------------------------------------------------------------------
+# fused ARM backtracker: classed-vs-fresh stream parity
+# ---------------------------------------------------------------------------
+
+
+def _fused_stream(arm_program):
+    return [
+        (g.rbf, g._filtered)
+        for g in _arm_groundings(arm_program, True, locally_consistent=True)
+    ]
+
+
+def _post_filter_stream(arm_program):
+    """The pre-fusion pipeline: enumerate everything, filter afterwards."""
+    survivors = []
+    for g in _arm_groundings(arm_program, True):
+        filtered = _locally_consistent_orders(g)
+        if filtered is not None:
+            survivors.append((g.rbf, filtered))
+    return survivors
+
+
+@pytest.mark.parametrize(
+    "test", [t for t in all_tests() if not t.program.uses_wait_notify()],
+    ids=lambda t: t.name,
+)
+def test_fused_arm_stream_matches_post_filter_catalogue(test):
+    """Catalogue-wide: fused pruning keeps exactly the post-filter survivors."""
+    arm = compile_program(test.program).arm
+    assert _fused_stream(arm) == _post_filter_stream(arm)
+
+
+def test_fused_arm_stream_matches_post_filter_generated():
+    """Generated-programs slice of the same guarantee."""
+    bounds = SearchBounds(
+        threads=2,
+        max_accesses_per_thread=2,
+        max_total_accesses=4,
+        locations=1,
+        values=(1, 2),
+        guarded_observer=False,
+        max_programs=120,
+    )
+    checked = 0
+    for program in generate_programs(bounds):
+        arm = compile_program(program).arm
+        assert _fused_stream(arm) == _post_filter_stream(arm), program.name
+        checked += 1
+    assert checked == 120
+
+
+# ---------------------------------------------------------------------------
+# JS value-profile collapse: multiplicity accounting
+# ---------------------------------------------------------------------------
+
+# (program factory, uncollapsed members, collapsed classes) — golden, so a
+# change that silently widens the stream or degrades the collapse shows up.
+COLLAPSE_FIXTURES = [
+    (fig1_message_passing, 136, 10),
+    (fig6_armv8_violation, 6561, 144),
+    (lambda: store_buffering(True), 256, 16),
+    (rmw_exchange_mutex, 256, 16),
+]
+
+
+@pytest.mark.parametrize(
+    "make_test,members,classes",
+    COLLAPSE_FIXTURES,
+    ids=lambda v: getattr(v, "__name__", str(v)),
+)
+def test_collapse_class_counts_are_pinned(make_test, members, classes):
+    program = make_test().program
+    plain = list(ground_executions(program))
+    collapsed = list(ground_executions(program, collapse_value_profiles=True))
+    assert len(plain) == members
+    assert len(collapsed) == classes
+    assert sum(g.multiplicity for g in collapsed) == members
+
+
+def _accounting_parity(program):
+    """The collapse invariants for one program.
+
+    * the collapsed stream is the first-occurrence subsequence of the
+      uncollapsed stream (compared by rbf — the bijective member witness);
+    * total multiplicity accounts for every uncollapsed member;
+    * per-outcome multiplicity equals the uncollapsed per-outcome count.
+    """
+    plain = list(ground_executions(program))
+    collapsed = list(ground_executions(program, collapse_value_profiles=True))
+    assert sum(g.multiplicity for g in collapsed) == len(plain)
+    collapsed_rbfs = [g.execution.rbf for g in collapsed]
+    plain_rbfs = [g.execution.rbf for g in plain]
+    # First occurrences appear in stream order and come from the plain
+    # stream (every representative IS an uncollapsed member): subsequence
+    # check over the rbf streams.
+    position = 0
+    for rbf in collapsed_rbfs:
+        while position < len(plain_rbfs) and plain_rbfs[position] != rbf:
+            position += 1
+        assert position < len(plain_rbfs), "representative missing from plain stream"
+        position += 1
+    # Outcome-level accounting: multiplicities partition the member stream.
+    def outcome_counts(grounds, weighted):
+        counts = {}
+        for g in grounds:
+            key = tuple(sorted(g.outcome.items()))
+            counts[key] = counts.get(key, 0) + (g.multiplicity if weighted else 1)
+        return counts
+
+    assert outcome_counts(collapsed, True) == outcome_counts(plain, False)
+
+
+@pytest.mark.parametrize(
+    "test", [t for t in all_tests() if not t.program.uses_wait_notify()],
+    ids=lambda t: t.name,
+)
+def test_collapse_accounting_catalogue(test):
+    _accounting_parity(test.program)
+
+
+@pytest.mark.parametrize("model", [FINAL_MODEL, ORIGINAL_MODEL], ids=lambda m: m.name)
+def test_collapse_verdict_parity_catalogue(model):
+    for test in all_tests():
+        if test.program.uses_wait_notify():
+            continue
+        with_collapse = allowed_outcomes(
+            test.program, model, collapse_value_profiles=True
+        )
+        without = allowed_outcomes(
+            test.program, model, collapse_value_profiles=False
+        )
+        assert with_collapse == without, test.name
+
+
+def test_collapse_verdict_parity_random_programs():
+    """~1k generated programs: outcome sets bit-identical with the collapse.
+
+    This is the §5.4 sweep's enumeration (the guarded-observer bound), so
+    passing here means the sweep's per-program verdicts cannot move.
+    """
+    bounds = SearchBounds(
+        threads=2,
+        max_accesses_per_thread=2,
+        max_total_accesses=4,
+        locations=1,
+        values=(1, 2),
+        guarded_observer=True,
+    )
+    checked = 0
+    for index, program in enumerate(generate_programs(bounds)):
+        with_collapse = allowed_outcomes(
+            program, FINAL_MODEL, collapse_value_profiles=True
+        )
+        without = allowed_outcomes(
+            program, FINAL_MODEL, collapse_value_profiles=False
+        )
+        assert with_collapse == without, program.name
+        if index % 10 == 0:
+            # Full multiplicity accounting on a stride (it re-enumerates the
+            # program twice more; the catalogue suite covers it densely).
+            _accounting_parity(program)
+        checked += 1
+        if checked >= 1000:
+            break
+    assert checked >= 1000
+
+
+# ---------------------------------------------------------------------------
+# shared dead-prefix memo
+# ---------------------------------------------------------------------------
+
+
+def test_search_dead_memo_is_shared_per_shape():
+    """rbf variants of one shape share one dead-prefix memo and one verdict hb.
+
+    Two equal-valued writers let one 2-byte read justify its bytes either
+    way round: both executions are well-formed, share the event-level rf
+    signature {(1,3),(2,3)}, and differ only in the byte-wise ``rbf``.
+    """
+    init = make_init_event("b", 2, eid=0)
+    w1 = Event(eid=1, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 1))
+    w2 = Event(eid=2, tid=0, ord=SEQCST, block="b", index=0, writes=(1, 1))
+    r1 = Event(eid=3, tid=1, ord=SEQCST, block="b", index=0, reads=(1, 1))
+    events = EventSet((init, w1, w2, r1))
+    sb = Relation([(1, 2)])
+    shared_cache = {}
+    a = CandidateExecution(
+        events=events,
+        sb=sb,
+        rbf=frozenset({(0, 1, 3), (1, 2, 3)}),
+        _cache=shared_cache,
+    )
+    b = CandidateExecution(
+        events=events,
+        sb=sb,
+        rbf=frozenset({(0, 2, 3), (1, 1, 3)}),
+        _cache=shared_cache,
+    )
+    tot_a = exists_valid_total_order(a, FINAL_MODEL)
+    tot_b = exists_valid_total_order(b, FINAL_MODEL)
+    va, vb = witness_verdict(a, FINAL_MODEL), witness_verdict(b, FINAL_MODEL)
+    assert va is not vb  # still rbf-keyed entries
+    assert va.search_dead is vb.search_dead  # ...sharing one search memo
+    # Sharing must not change results: fresh, unshared copies agree.
+    fresh_a = CandidateExecution(events=events, sb=sb, rbf=a.rbf)
+    fresh_b = CandidateExecution(events=events, sb=sb, rbf=b.rbf)
+    assert exists_valid_total_order(fresh_a, FINAL_MODEL) == tot_a
+    assert exists_valid_total_order(fresh_b, FINAL_MODEL) == tot_b
+
+
+def test_search_dead_memo_reused_across_repeated_queries():
+    """A second search of one execution starts from the memoised dead sets."""
+    program = fig6_armv8_violation().program
+    for ground in ground_executions(program):
+        verdict = witness_verdict(ground.execution, ORIGINAL_MODEL)
+        if not verdict.ok:
+            continue
+        first = exists_valid_total_order(ground.execution, ORIGINAL_MODEL)
+        if first is not None or verdict.search_dead is None:
+            continue
+        # A failed search marked prefixes dead on the shared memo...
+        assert verdict.search_dead
+        recorded = set(verdict.search_dead)
+        # ...and a repeat query reuses (and does not corrupt) it.
+        assert exists_valid_total_order(ground.execution, ORIGINAL_MODEL) is None
+        assert verdict.search_dead == recorded
+        return
+    pytest.skip("no witness-free execution with ok tot-independent verdict")
+
+
+# ---------------------------------------------------------------------------
+# multi-core sharded parity smoke (ROADMAP re-measure note)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="multi-core workers=N parity smoke needs at least 2 cores",
+)
+def test_multicore_sweep_parity_smoke():
+    """workers=2 on a real multi-core host: bit-identical sweep report."""
+    bounds = SearchBounds(
+        threads=2,
+        max_accesses_per_thread=2,
+        max_total_accesses=4,
+        locations=1,
+        values=(1, 2),
+        guarded_observer=True,
+        max_programs=160,
+    )
+    serial = search_sc_drf_violation(bounds, ORIGINAL_MODEL, workers=1, cache=False)
+    sharded = search_sc_drf_violation(bounds, ORIGINAL_MODEL, workers=2, cache=False)
+    assert sharded.programs_examined == serial.programs_examined
+    assert sharded.found == serial.found
+    if serial.found:
+        assert (
+            sharded.counterexample.program.name
+            == serial.counterexample.program.name
+        )
+        assert sharded.counterexample.outcome == serial.counterexample.outcome
