@@ -10,9 +10,20 @@ timing adds nothing but wall-clock.
 
 from __future__ import annotations
 
+import gc
+
 
 def run_once(benchmark, function, *args, **kwargs):
-    """Benchmark ``function`` with a single round and return its result."""
+    """Benchmark ``function`` with a single round and return its result.
+
+    Pending garbage is collected *before* the round: single-round timings of
+    millisecond workloads are otherwise at the mercy of whichever test's
+    allocations happen to push the gen-2 threshold over during the timed
+    window — a ~15 ms pause billed to a random 1 ms victim looks like a 15x
+    regression that appears and disappears as unrelated files join the run.
+    Each benchmark still pays for its own allocations.
+    """
+    gc.collect()
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 

@@ -18,6 +18,7 @@ original model).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
@@ -32,11 +33,15 @@ from ..core.js_model import (
 )
 from ..dispatch import (
     MISS,
+    SEMANTICS_REVISION,
+    SweepJournal,
     VerdictCache,
-    parallel_map,
+    fingerprint,
     program_fingerprint,
     resolve_cache,
+    resolve_checkpoint,
     resolve_workers,
+    supervised_imap,
 )
 from ..lang.ast import Program
 from .scheme import CompiledProgram, compile_program
@@ -253,12 +258,30 @@ def _checked_with_cache(
 
 def _corpus_worker(task) -> CompilationCheckResult:
     program, model, use_operational, group_coherence, cache_spec = task
+    # The serial path hands the live cache through (statistics land on the
+    # caller's object); shard workers get the picklable spec.
+    if isinstance(cache_spec, VerdictCache) or cache_spec is None:
+        cache = cache_spec
+    else:
+        cache = VerdictCache.from_spec(cache_spec)
     return _checked_with_cache(
-        program,
+        program, model, use_operational, group_coherence, cache
+    )
+
+
+def _corpus_fingerprint(
+    programs: List[Program],
+    model: JsModel,
+    use_operational: bool,
+    group_coherence: bool,
+) -> str:
+    """A content hash over everything a corpus check's results depend on."""
+    return fingerprint(
+        "arm-corpus-batch",
+        [program_fingerprint(program) for program in programs],
         model,
         use_operational,
         group_coherence,
-        VerdictCache.from_spec(cache_spec),
     )
 
 
@@ -269,32 +292,86 @@ def check_corpus_compilation(
     group_coherence: bool = True,
     workers: Optional[int] = None,
     cache=None,
+    checkpoint=None,
+    fault_plan=None,
 ) -> List[CompilationCheckResult]:
     """Run the bounded check over a corpus of source programs.
 
     Per-program checks are independent: ``workers=N`` fans them out over
-    the dispatch pool (order-preserving) and ``cache=`` persists the
-    verdicts of correct programs across runs.
+    the supervised dispatch engine (order-preserving, fault-tolerant) and
+    ``cache=`` persists the verdicts of correct programs across runs.  With
+    a checkpoint directory (``checkpoint=`` / ``$REPRO_CHECKPOINT_DIR``)
+    every *correct* per-program result is journaled as it completes, so a
+    killed corpus check resumes recomputing only unfinished programs —
+    violating results carry whole counter-example executions and are
+    recomputed on resume instead of being serialised, mirroring the
+    verdict-cache policy.
     """
     programs = list(programs)
     workers = resolve_workers(workers)
     cache = resolve_cache(cache)
-    if workers <= 1:
-        return [
-            _checked_with_cache(
-                program, model, use_operational, group_coherence, cache
+    journal = None
+    checkpoint_dir = resolve_checkpoint(checkpoint)
+    if checkpoint_dir is not None and programs:
+        journal = SweepJournal.open(
+            checkpoint_dir,
+            "arm-corpus",
+            _corpus_fingerprint(programs, model, use_operational, group_coherence),
+            SEMANTICS_REVISION,
+            len(programs),
+        )
+    recorded = journal.completed() if journal is not None else {}
+    results_by_index = {
+        index: CompilationCheckResult(
+            program=programs[index].name,
+            model=model.name,
+            arm_executions=int(entry["arm_executions"]),
+            valid_with_construction=int(entry["valid_with_construction"]),
+            valid_with_search=int(entry["valid_with_search"]),
+            construction_failures=int(entry["construction_failures"]),
+        )
+        for index, entry in recorded.items()
+    }
+    live = [i for i in range(len(programs)) if i not in recorded]
+    if cache is None or workers <= 1:
+        cache_spec = cache
+    else:
+        cache_spec = cache.spec
+
+    def on_program_complete(live_index: int, result: CompilationCheckResult) -> None:
+        if journal is not None and result.correct:
+            journal.record(
+                live[live_index],
+                {
+                    "correct": True,
+                    "arm_executions": result.arm_executions,
+                    "valid_with_construction": result.valid_with_construction,
+                    "valid_with_search": result.valid_with_search,
+                    "construction_failures": result.construction_failures,
+                },
             )
-            for program in programs
-        ]
-    cache_spec = cache.spec if cache is not None else None
-    return parallel_map(
+
+    stream = supervised_imap(
         _corpus_worker,
         [
-            (program, model, use_operational, group_coherence, cache_spec)
-            for program in programs
+            (programs[i], model, use_operational, group_coherence, cache_spec)
+            for i in live
         ],
         workers=workers,
+        on_complete=on_program_complete,
+        fault_plan=fault_plan,
     )
+    try:
+        for index, result in zip(live, stream):
+            results_by_index[index] = result
+        return [results_by_index[i] for i in range(len(programs))]
+    finally:
+        stream.close()
+        if journal is not None:
+            if sys.exc_info()[0] is None:
+                journal.finish()
+            else:
+                journal.close()
 
 
 def find_compilation_violation(

@@ -1,29 +1,42 @@
-"""Work sharding and verdict persistence for independent per-program checks.
+"""Work sharding, verdict persistence and fault tolerance for sweeps.
 
 Every §5-style workload in this package — litmus catalogue sweeps,
 ``generate_programs`` counter-example hunts, bounded compilation-correctness
 checks over corpora — is a bag of *independent* per-program queries.  This
-subsystem provides the two scale-out primitives they share:
+subsystem provides the scale-out and resilience primitives they share:
 
 * :mod:`repro.dispatch.pool` — an order-preserving, chunked fan-out over
   ``multiprocessing`` workers with a graceful single-process fallback
   (``workers=1``, tiny inputs, or hosts where a pool cannot start), plus the
   ``REPRO_WORKERS`` environment override;
+* :mod:`repro.dispatch.supervise` — the fault-tolerant engine behind
+  multi-worker runs: task retries with capped backoff, per-task deadlines,
+  dead/hung-worker respawn, checksummed result payloads, remote-traceback
+  preservation, and poison-task bisection with quarantine reporting;
+* :mod:`repro.dispatch.journal` — append-only, crash-safe checkpoint
+  journaling (``REPRO_CHECKPOINT_DIR``) so a killed sweep resumes
+  recomputing only its unfinished chunks;
+* :mod:`repro.dispatch.faults` — deterministic fault injection
+  (``REPRO_FAULT_PLAN``) driving the chaos parity suites;
 * :mod:`repro.dispatch.cache` — a persistent, content-addressed verdict
   cache keyed by a canonical fingerprint of (program structure, model
-  configuration, semantics revision), so repeated sweeps and overlapping
-  corpora skip straight to recorded verdicts.
+  configuration, semantics revision), with checksummed entries,
+  corrupt-entry quarantine, a size quota with LRU eviction, and a
+  read-only degraded mode.
 
 Consumers (``litmus.runner``, ``search.counterexamples``,
-``compile.correctness``) accept ``workers=`` / ``cache=`` and stay
-bit-identical to their serial, uncached selves by construction: sharded
-searches scan chunks in generation order and stop at the first hit, and the
-cache stores only verdicts whose inputs are part of the key.
+``compile.correctness``) accept ``workers=`` / ``cache=`` / ``checkpoint=``
+and stay bit-identical to their serial, uncached selves by construction:
+sharded searches scan chunks in generation order and stop at the first hit,
+the cache stores only verdicts whose inputs are part of the key, and the
+journal keys every sweep by a fingerprint of everything its results depend
+on.
 """
 
 from .cache import (
     CACHE_ENV,
     MISS,
+    QUOTA_ENV,
     SEMANTICS_REVISION,
     VerdictCache,
     canonical,
@@ -31,28 +44,71 @@ from .cache import (
     program_fingerprint,
     resolve_cache,
 )
+from .faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultPlanError,
+    resolve_fault_plan,
+)
+from .journal import (
+    CHECKPOINT_ENV,
+    SweepJournal,
+    resolve_checkpoint,
+)
 from .pool import (
+    SUPERVISE_ENV,
     WORKERS_ENV,
     imap_ordered,
     parallel_map,
+    resolve_supervise,
     resolve_workers,
     shard_ranges,
     sized_shard_ranges,
+)
+from .supervise import (
+    QuarantinedTask,
+    RETRIES_ENV,
+    RemoteTaskError,
+    SupervisionReport,
+    TASK_TIMEOUT_ENV,
+    resolve_retries,
+    resolve_task_timeout,
+    supervised_imap,
+    supervised_map,
 )
 
 __all__ = [
     "CACHE_ENV",
     "MISS",
+    "QUOTA_ENV",
     "SEMANTICS_REVISION",
     "VerdictCache",
     "canonical",
     "fingerprint",
     "program_fingerprint",
     "resolve_cache",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "resolve_fault_plan",
+    "CHECKPOINT_ENV",
+    "SweepJournal",
+    "resolve_checkpoint",
+    "SUPERVISE_ENV",
     "WORKERS_ENV",
     "imap_ordered",
     "parallel_map",
+    "resolve_supervise",
     "resolve_workers",
     "shard_ranges",
     "sized_shard_ranges",
+    "QuarantinedTask",
+    "RETRIES_ENV",
+    "RemoteTaskError",
+    "SupervisionReport",
+    "TASK_TIMEOUT_ENV",
+    "resolve_retries",
+    "resolve_task_timeout",
+    "supervised_imap",
+    "supervised_map",
 ]

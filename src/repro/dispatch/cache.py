@@ -15,9 +15,19 @@ those inputs:
 
 Storage is one JSON file per verdict under ``<dir>/<hh>/<hash>.json``.
 Writes go through a temp file + ``os.replace`` so concurrent shard workers
-can share a cache directory, and unreadable, truncated or foreign files are
-treated as misses (the verdict is recomputed and the entry rewritten) —
+can share a cache directory, and every entry carries a checksum of its
+verdict payload.  Unreadable, truncated, checksum-failing or foreign files
+are treated as misses (the verdict is recomputed and the entry rewritten) —
 the cache can never turn a correct sweep into a wrong one, only a cold one.
+Corrupt entries are additionally *quarantined*: the file is renamed to
+``*.corrupt`` (so it is never re-parsed on every later lookup), counted on
+:meth:`VerdictCache.stats`, and warned about once per process.
+
+Hardening knobs: ``REPRO_CACHE_QUOTA`` bounds the cache directory's size
+(``512M``-style suffixes accepted) with oldest-first (LRU-by-mtime)
+eviction checked every :data:`QUOTA_CHECK_INTERVAL` writes; a cache whose
+directory turns out to be unwritable degrades to read-only mode (hits still
+served, writes skipped, one warning) instead of failing every ``put``.
 
 The cache location comes from the ``REPRO_VERDICT_CACHE`` environment
 variable (``off``/``0``/``none`` disable it; unset means no caching) or an
@@ -33,8 +43,9 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from pathlib import Path
-from typing import Any, Callable, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 SEMANTICS_REVISION = "2"
 """Revision tag of the verdict-affecting semantics.
@@ -45,7 +56,40 @@ again (the revision is part of every key's preimage).
 """
 
 CACHE_ENV = "REPRO_VERDICT_CACHE"
+QUOTA_ENV = "REPRO_CACHE_QUOTA"
 _DISABLED_VALUES = {"", "0", "off", "no", "none", "disabled"}
+
+QUOTA_CHECK_INTERVAL = 64
+"""Writes between size-quota checks (walking the directory is not free)."""
+
+QUOTA_EVICT_TO = 0.8
+"""Eviction compacts the cache down to this fraction of the quota."""
+
+_SIZE_SUFFIXES = {"k": 2 ** 10, "m": 2 ** 20, "g": 2 ** 30}
+
+
+def parse_size(raw: str) -> int:
+    """``"512M"``-style size strings to bytes (plain integers pass through)."""
+    raw = raw.strip().lower()
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        return int(float(raw[:-1]) * _SIZE_SUFFIXES[raw[-1]])
+    return int(raw)
+
+
+def _quota_from_env() -> Optional[int]:
+    raw = os.environ.get(QUOTA_ENV, "").strip()
+    if raw.lower() in _DISABLED_VALUES:
+        return None
+    try:
+        return parse_size(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring unparseable {QUOTA_ENV}={raw!r} (expected bytes, "
+            "optionally with a K/M/G suffix)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 class _Miss:
@@ -170,17 +214,49 @@ cleanup scope), never a live write in progress.
 # the same cache directory, and one sweep per process is plenty.
 _swept_directories: set = set()
 
+# Warn-once registries (per process, keyed by directory): one corruption
+# warning and one degraded-mode warning per cache directory is plenty.
+_warned_corrupt_dirs: set = set()
+_warned_degraded_dirs: set = set()
+
+
+def _verdict_checksum(verdict: Any) -> str:
+    """The payload checksum stored inside (and verified against) an entry."""
+    blob = json.dumps(verdict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
 
 class VerdictCache:
     """Content-addressed on-disk verdict store (see module docstring)."""
 
-    def __init__(self, directory: os.PathLike, revision: Optional[str] = None):
+    def __init__(
+        self,
+        directory: os.PathLike,
+        revision: Optional[str] = None,
+        quota_bytes: Optional[int] = None,
+    ):
         self.directory = Path(directory)
         self.revision = SEMANTICS_REVISION if revision is None else revision
+        self.quota_bytes = _quota_from_env() if quota_bytes is None else quota_bytes
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.degraded = False
+        self._writes_since_quota_check = 0
         self._sweep_stale_tmp()
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/corruption/eviction counters and the degraded flag."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "degraded": self.degraded,
+        }
 
     def _sweep_stale_tmp(self) -> None:
         """Reclaim orphaned temp files, once per directory per process.
@@ -242,45 +318,116 @@ class VerdictCache:
 
     # -- storage ------------------------------------------------------------
 
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Park a corrupt entry as ``*.corrupt`` so it is never re-parsed.
+
+        A corrupt file left in place would be re-read (and re-fail) on
+        every later lookup of its key; the rename makes the corruption a
+        one-time cost and preserves the bytes for a post-mortem.  Counted,
+        and warned about once per process per directory.
+        """
+        self.corrupt += 1
+        path = self._path(key)
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            # Quarantine is best-effort; at worst the file stays a miss.
+            pass
+        dir_key = str(self.directory)
+        if dir_key not in _warned_corrupt_dirs:
+            _warned_corrupt_dirs.add(dir_key)
+            warnings.warn(
+                f"corrupt verdict-cache entry under {dir_key} ({reason}); "
+                "quarantined as *.corrupt and recomputing (further "
+                "corruption in this directory is counted silently — see "
+                "VerdictCache.stats())",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
     def get(self, key: str) -> Any:
         """The recorded verdict for ``key``, or :data:`MISS`.
 
-        Unreadable, truncated, or foreign files are misses: the caller
-        recomputes and overwrites.
+        A missing file is a plain miss.  An unreadable, truncated,
+        checksum-failing or foreign file is a *corrupt* miss: the entry is
+        quarantined (renamed to ``*.corrupt``), counted, and the caller
+        recomputes and overwrites — the cache can serve wrong bytes to
+        nobody.
         """
         try:
             with self._path(key).open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.misses += 1
             return MISS
-        if not isinstance(entry, dict) or entry.get("key") != key or "verdict" not in entry:
+        except (OSError, ValueError):
             self.misses += 1
+            self._quarantine(key, "unreadable or not valid JSON")
+            return MISS
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key
+            or "verdict" not in entry
+        ):
+            self.misses += 1
+            self._quarantine(key, "foreign or truncated entry schema")
+            return MISS
+        if "sha" in entry and entry["sha"] != _verdict_checksum(entry["verdict"]):
+            self.misses += 1
+            self._quarantine(key, "verdict payload fails its checksum")
             return MISS
         self.hits += 1
         return entry["verdict"]
+
+    def _enter_degraded(self) -> None:
+        """Switch to read-only mode after a directory-level write failure."""
+        self.degraded = True
+        dir_key = str(self.directory)
+        if dir_key not in _warned_degraded_dirs:
+            _warned_degraded_dirs.add(dir_key)
+            warnings.warn(
+                f"verdict-cache directory {dir_key} is unwritable; "
+                "degrading to read-only mode (hits still served, new "
+                "verdicts recomputed every run)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     def put(self, key: str, verdict: Any) -> None:
         """Record ``verdict`` atomically (best-effort).
 
         Expected IO failures (read-only directories, ENOSPC) and
         unserialisable verdicts are swallowed — the cache stays cold, never
-        wrong.  Control-flow exceptions (``KeyboardInterrupt``,
-        ``SystemExit``, …) are *not* caught: the temp file is reclaimed in
-        the ``finally`` scope and the exception propagates.  Anything the
-        cleanup misses (an interrupt in the instants around ``mkstemp``)
-        is swept by :meth:`_sweep_stale_tmp` on the next cache open.
+        wrong.  A failure to even *stage* the write (the directory itself
+        is unwritable) flips the cache into read-only degraded mode: hits
+        keep being served, and later ``put`` calls return immediately
+        instead of re-failing the filesystem on every verdict.
+        Control-flow exceptions (``KeyboardInterrupt``, ``SystemExit``, …)
+        are *not* caught: the temp file is reclaimed in the ``finally``
+        scope and the exception propagates.  Anything the cleanup misses
+        (an interrupt in the instants around ``mkstemp``) is swept by
+        :meth:`_sweep_stale_tmp` on the next cache open.
         """
+        if self.degraded:
+            return
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        except OSError:  # pragma: no cover - host-specific (read-only dirs)
+        except OSError:
+            self._enter_degraded()
             return
         committed = False
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump({"key": key, "verdict": verdict}, handle)
+                json.dump(
+                    {
+                        "key": key,
+                        "verdict": verdict,
+                        "sha": _verdict_checksum(verdict),
+                    },
+                    handle,
+                )
             os.replace(tmp, path)
             committed = True
         except (OSError, TypeError, ValueError):
@@ -294,6 +441,50 @@ class VerdictCache:
                     pass
         if committed:
             self.writes += 1
+            self._writes_since_quota_check += 1
+            if (
+                self.quota_bytes is not None
+                and self._writes_since_quota_check >= QUOTA_CHECK_INTERVAL
+            ):
+                self._enforce_quota()
+
+    def _enforce_quota(self) -> None:
+        """Evict oldest entries (LRU by mtime) until under the size quota.
+
+        Walks the entry files, so it only runs every
+        :data:`QUOTA_CHECK_INTERVAL` writes.  Quarantined ``*.corrupt``
+        files and stale temp files count toward the total and are evicted
+        first (oldest-first overall); eviction stops at
+        :data:`QUOTA_EVICT_TO` of the quota so one oversized write does not
+        trigger a walk per put.
+        """
+        self._writes_since_quota_check = 0
+        if self.quota_bytes is None:
+            return
+        try:
+            files = []
+            total = 0
+            for path in self.directory.glob("*/*"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                files.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            if total <= self.quota_bytes:
+                return
+            target = self.quota_bytes * QUOTA_EVICT_TO
+            for _mtime, size, path in sorted(files):
+                if total <= target:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                self.evictions += 1
+        except OSError:  # pragma: no cover - host-specific listing failures
+            return
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """The cached verdict, or ``compute()`` recorded under ``key``."""

@@ -1,0 +1,228 @@
+"""Deterministic fault injection for the supervised dispatch layer.
+
+A :class:`FaultPlan` names, ahead of time, exactly which task indices fail
+and how — a worker crash (the process dies as if OOM-killed or segfaulted),
+a hang (the worker sleeps past any reasonable deadline), or a corrupt
+result payload (the bytes on the wire no longer match their checksum).
+Faults are *attempt-scoped*: a fault listed for task ``i`` fires on the
+first ``times`` attempts of that task (default 1), so the supervisor's
+retry of the same task succeeds and the chaos parity suites can assert
+bit-identical verdicts against a fault-free serial run.
+
+Plans come from the ``REPRO_FAULT_PLAN`` environment variable (inherited by
+worker processes) or are passed explicitly to the supervised entry points.
+The spec grammar is a comma/semicolon-separated list of::
+
+    crash@INDEX         kill the worker process at task INDEX (os._exit)
+    hang@INDEX          sleep ``hang_seconds`` at task INDEX
+    corrupt@INDEX       deliver an undecodable payload for task INDEX
+    KIND@INDEXxTIMES    fire on the first TIMES attempts instead of 1
+    hang=SECONDS        set the hang duration (default 3600)
+
+e.g. ``REPRO_FAULT_PLAN="crash@2;hang@5;corrupt@7;hang=30"``.  Seeded
+random plans are built with :meth:`FaultPlan.seeded`: indices are chosen by
+a hash of ``(seed, index)``, so one ``(seed, rates)`` pair names the same
+fault schedule on every host and every run.
+
+Injection happens only in supervised *worker processes* (and, for ``crash``
+and ``corrupt``, only where the supervisor can contain the damage); the
+serial fallback path never injects, which is what makes a serial run the
+ground truth the chaos suites compare against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+CRASH = "crash"
+HANG = "hang"
+CORRUPT = "corrupt"
+_KINDS = (CRASH, HANG, CORRUPT)
+
+DEFAULT_HANG_SECONDS = 3600.0
+"""Default sleep of an injected hang: far past any sane task deadline."""
+
+CRASH_EXIT_CODE = 87
+"""Exit status of an injected worker crash (distinguishable from real ones)."""
+
+
+class FaultPlanError(ValueError):
+    """An unparseable ``REPRO_FAULT_PLAN`` specification."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: ``kind`` fires at ``index`` for ``times`` attempts."""
+
+    kind: str
+    index: int
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by task index.
+
+    ``faults`` maps a task index to the fault scheduled there (one fault per
+    index: the spec is a schedule, not a distribution).  The plan is
+    picklable and serialises back to its spec string, so it survives both
+    ``fork`` and ``spawn`` workers and the environment round-trip.
+    """
+
+    faults: Dict[int, Fault] = field(default_factory=dict)
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULT_PLAN`` grammar (see module docstring)."""
+        faults: Dict[int, Fault] = {}
+        hang_seconds = DEFAULT_HANG_SECONDS
+        for raw_token in spec.replace(";", ",").split(","):
+            token = raw_token.strip()
+            if not token:
+                continue
+            if token.lower().startswith("hang="):
+                try:
+                    hang_seconds = float(token[5:])
+                except ValueError:
+                    raise FaultPlanError(
+                        f"bad hang duration in fault-plan token {token!r}"
+                    ) from None
+                continue
+            kind, sep, where = token.partition("@")
+            kind = kind.strip().lower()
+            if not sep or kind not in _KINDS:
+                raise FaultPlanError(
+                    f"bad fault-plan token {token!r} "
+                    f"(expected KIND@INDEX with KIND in {_KINDS})"
+                )
+            where, times_sep, times_raw = where.partition("x")
+            try:
+                index = int(where)
+                times = int(times_raw) if times_sep else 1
+            except ValueError:
+                raise FaultPlanError(
+                    f"bad index/repeat in fault-plan token {token!r}"
+                ) from None
+            if index < 0 or times < 1:
+                raise FaultPlanError(
+                    f"bad index/repeat in fault-plan token {token!r}"
+                )
+            faults[index] = Fault(kind, index, times)
+        return cls(faults=faults, hang_seconds=hang_seconds)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The environment-configured plan, or ``None`` when unset/empty."""
+        raw = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        if not raw:
+            return None
+        return cls.parse(raw)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        total: int,
+        crash: float = 0.0,
+        hang: float = 0.0,
+        corrupt: float = 0.0,
+        hang_seconds: float = DEFAULT_HANG_SECONDS,
+    ) -> "FaultPlan":
+        """A reproducible random plan over ``total`` task indices.
+
+        Each index draws one uniform value from ``sha256(seed, index)`` —
+        no global RNG state, so the schedule depends on nothing but the
+        arguments and is identical across processes, hosts and runs.  The
+        rates partition the unit interval: ``crash`` first, then ``hang``,
+        then ``corrupt``.
+        """
+        faults: Dict[int, Fault] = {}
+        for index in range(total):
+            digest = hashlib.sha256(f"{seed}:{index}".encode("ascii")).digest()
+            draw = int.from_bytes(digest[:8], "big") / 2 ** 64
+            if draw < crash:
+                faults[index] = Fault(CRASH, index)
+            elif draw < crash + hang:
+                faults[index] = Fault(HANG, index)
+            elif draw < crash + hang + corrupt:
+                faults[index] = Fault(CORRUPT, index)
+        return cls(faults=faults, hang_seconds=hang_seconds)
+
+    # -- serialisation ------------------------------------------------------
+
+    def spec(self) -> str:
+        """A spec string that parses back to this plan."""
+        tokens = [
+            f"{fault.kind}@{fault.index}" + (f"x{fault.times}" if fault.times != 1 else "")
+            for fault in sorted(self.faults.values(), key=lambda f: f.index)
+        ]
+        if self.hang_seconds != DEFAULT_HANG_SECONDS:
+            tokens.append(f"hang={self.hang_seconds:g}")
+        return ",".join(tokens)
+
+    # -- worker-side injection ---------------------------------------------
+
+    def fault_at(self, index: int, attempt: int) -> Optional[Fault]:
+        """The fault to fire for attempt ``attempt`` of task ``index``, if any."""
+        fault = self.faults.get(index)
+        if fault is not None and attempt < fault.times:
+            return fault
+        return None
+
+    def inject_before(self, index: int, attempt: int) -> None:
+        """Fire a crash/hang scheduled for this attempt (runs in the worker).
+
+        ``crash`` exits the process immediately — no exception propagates,
+        no result is sent, exactly like a kernel OOM kill.  ``hang`` sleeps
+        ``hang_seconds``; a supervisor deadline is expected to kill the
+        worker long before the sleep returns.  ``corrupt`` does nothing
+        here (it is applied to the outgoing payload, see
+        :meth:`corrupts`).
+        """
+        fault = self.fault_at(index, attempt)
+        if fault is None:
+            return
+        if fault.kind == CRASH:
+            os._exit(CRASH_EXIT_CODE)
+        elif fault.kind == HANG:
+            time.sleep(self.hang_seconds)
+
+    def corrupts(self, index: int, attempt: int) -> bool:
+        """Should the payload of this attempt be corrupted on the wire?"""
+        fault = self.fault_at(index, attempt)
+        return fault is not None and fault.kind == CORRUPT
+
+
+def corrupt_payload(blob: bytes) -> bytes:
+    """A deterministically mangled copy of ``blob``.
+
+    The supervisor's checksum check must catch this regardless of blob
+    content, so the corruption both flips bytes and truncates: even a
+    single-byte payload comes back different.
+    """
+    mangled = bytes((b ^ 0x5A) for b in blob[: max(1, len(blob) // 2)])
+    return b"\x00CORRUPT\x00" + mangled
+
+
+def resolve_fault_plan(plan=None) -> Optional[FaultPlan]:
+    """Normalise a ``fault_plan=`` argument.
+
+    ``None`` defers to ``REPRO_FAULT_PLAN``, ``False`` disables injection
+    outright, a string is parsed, and a :class:`FaultPlan` passes through.
+    """
+    if plan is None:
+        return FaultPlan.from_env()
+    if plan is False:
+        return None
+    if isinstance(plan, str):
+        return FaultPlan.parse(plan)
+    return plan

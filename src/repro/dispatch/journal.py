@@ -1,0 +1,274 @@
+"""Crash-safe checkpoint journaling for resumable sweeps.
+
+A sweep is a bag of independent tasks (chunks of a program enumeration,
+litmus tests, corpus programs) whose per-task results are small and
+JSON-serialisable.  A :class:`SweepJournal` records each completed task as
+one appended line, so a sweep killed mid-run — ``SIGKILL``, OOM, power —
+resumes by replaying the journal and recomputing only the tasks that never
+completed.
+
+Layout: one file per sweep under the checkpoint directory, named by the
+sweep *fingerprint* — a content hash over everything that determines the
+task list and its results (the query kind, bounds/programs, model
+configuration, chunk layout, and :data:`~repro.dispatch.cache.SEMANTICS_REVISION`).
+The first line is a checksummed header; every subsequent line is
+``{"i": task_index, "r": result, "s": checksum}``.  Readers drop any line
+whose checksum fails — in particular the torn final line of an interrupted
+write — and writers only ever append, so no failure mode can corrupt an
+already-recorded result.
+
+Stale-journal invalidation: a journal whose header does not match the
+opener's (format version, fingerprint, semantics revision, task count) is
+discarded and restarted — a changed sweep can never resume from another
+sweep's chunks.  Additionally, journals untouched for
+:data:`STALE_JOURNAL_SECONDS` are reclaimed on directory open, and a journal
+bloated by duplicate entries (retries after partial resumes) is compacted
+in place on open.
+
+The checkpoint directory comes from ``REPRO_CHECKPOINT_DIR`` or an explicit
+``checkpoint=`` argument on the sweep consumers; unset means no journaling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+CHECKPOINT_ENV = "REPRO_CHECKPOINT_DIR"
+_DISABLED_VALUES = {"", "0", "off", "no", "none", "disabled"}
+
+JOURNAL_VERSION = "1"
+
+STALE_JOURNAL_SECONDS = 14 * 24 * 3600.0
+"""Journals untouched this long are debris from abandoned sweeps."""
+
+# Directories already swept for stale journals this process.
+_swept_directories: set = set()
+
+
+def _line_checksum(body: Any) -> str:
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def resolve_checkpoint(checkpoint: Any = None) -> Optional[Path]:
+    """Normalise a consumer-facing ``checkpoint=`` argument.
+
+    ``None`` defers to ``REPRO_CHECKPOINT_DIR``, ``False`` disables
+    journaling outright, and a path passes through.
+    """
+    if checkpoint is None:
+        raw = os.environ.get(CHECKPOINT_ENV, "").strip()
+        if raw.lower() in _DISABLED_VALUES:
+            return None
+        return Path(raw)
+    if checkpoint is False:
+        return None
+    return Path(checkpoint)
+
+
+def _sweep_stale_journals(directory: Path) -> None:
+    """Reclaim abandoned journals, once per directory per process."""
+    key = str(directory)
+    if key in _swept_directories:
+        return
+    _swept_directories.add(key)
+    try:
+        if not directory.is_dir():
+            return
+        cutoff = time.time() - STALE_JOURNAL_SECONDS
+        for old in directory.glob("*.journal"):
+            try:
+                if old.stat().st_mtime < cutoff:
+                    old.unlink()
+            except OSError:
+                continue
+    except OSError:  # pragma: no cover - host-specific listing failures
+        return
+
+
+class SweepJournal:
+    """Append-only journal of one sweep's completed task results."""
+
+    def __init__(
+        self,
+        path: Path,
+        kind: str,
+        sweep_fingerprint: str,
+        revision: str,
+        total: int,
+    ):
+        self.path = path
+        self.kind = kind
+        self.fingerprint = sweep_fingerprint
+        self.revision = revision
+        self.total = total
+        self._completed: Dict[int, Any] = {}
+        self._handle = None
+        self._recorded_lines = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: os.PathLike,
+        kind: str,
+        sweep_fingerprint: str,
+        revision: str,
+        total: int,
+    ) -> Optional["SweepJournal"]:
+        """Open (resuming) or create the journal for one sweep.
+
+        Returns ``None`` when the directory cannot be created or written —
+        journaling is an aid, never a reason a sweep fails.
+        """
+        directory = Path(directory)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        _sweep_stale_journals(directory)
+        path = directory / f"{kind}-{sweep_fingerprint[:32]}.journal"
+        journal = cls(path, kind, sweep_fingerprint, revision, total)
+        try:
+            journal._load()
+        except OSError:
+            return None
+        return journal
+
+    def _header(self) -> Dict[str, Any]:
+        body = {
+            "journal": JOURNAL_VERSION,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "revision": self.revision,
+            "total": self.total,
+        }
+        body["s"] = _line_checksum([body["journal"], body["kind"],
+                                    body["fingerprint"], body["revision"],
+                                    body["total"]])
+        return body
+
+    def _header_matches(self, entry: Any) -> bool:
+        if not isinstance(entry, dict):
+            return False
+        expected = self._header()
+        return all(entry.get(k) == expected[k] for k in expected)
+
+    def _load(self) -> None:
+        """Replay the file: validate the header, collect checksummed entries."""
+        raw_lines = []
+        if self.path.exists():
+            try:
+                raw_lines = self.path.read_text(encoding="utf-8").splitlines()
+            except (OSError, UnicodeDecodeError):
+                raw_lines = []
+        entries: Dict[int, Any] = {}
+        valid_header = False
+        if raw_lines:
+            try:
+                valid_header = self._header_matches(json.loads(raw_lines[0]))
+            except ValueError:
+                valid_header = False
+        if valid_header:
+            for line in raw_lines[1:]:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn or mangled line: never trusted
+                if (
+                    not isinstance(entry, dict)
+                    or not isinstance(entry.get("i"), int)
+                    or "r" not in entry
+                    or entry.get("s") != _line_checksum([entry["i"], entry["r"]])
+                ):
+                    continue
+                entries[entry["i"]] = entry["r"]
+        elif raw_lines:
+            # Stale journal: header mismatch (older format, different sweep
+            # hashing to a colliding name, or a bumped semantics revision).
+            # Discard; resuming from it could replay wrong results.
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        self._completed = entries
+        line_count = max(0, len(raw_lines) - 1) if valid_header else 0
+        # Compact when retries/replays have bloated the file well past the
+        # unique entry count (also rewrites a missing/invalid header).
+        if not valid_header or line_count > 2 * len(entries) + 16:
+            self._rewrite()
+        else:
+            self._recorded_lines = line_count
+            self._handle = self.path.open("a", encoding="utf-8")
+
+    def _rewrite(self) -> None:
+        """Atomically rewrite header + unique entries (compaction)."""
+        fd, tmp = tempfile.mkstemp(dir=str(self.path.parent), suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self._header(), sort_keys=True) + "\n")
+            for index in sorted(self._completed):
+                handle.write(self._entry_line(index, self._completed[index]))
+        os.replace(tmp, self.path)
+        self._recorded_lines = len(self._completed)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    @staticmethod
+    def _entry_line(index: int, result: Any) -> str:
+        entry = {"i": index, "r": result, "s": _line_checksum([index, result])}
+        return json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+
+    # -- use ----------------------------------------------------------------
+
+    def completed(self) -> Dict[int, Any]:
+        """``{task index: recorded result}`` of every journaled completion."""
+        return dict(self._completed)
+
+    def record(self, index: int, result: Any) -> None:
+        """Append one completed task (idempotent; best-effort on IO errors).
+
+        The line is flushed to the kernel immediately: a ``SIGKILL`` of
+        this process can only lose results not yet recorded, never tear an
+        earlier line.
+        """
+        if index in self._completed:
+            return
+        self._completed[index] = result
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(self._entry_line(index, result))
+            self._handle.flush()
+            self._recorded_lines += 1
+        except (OSError, TypeError, ValueError):
+            # Unserialisable result or dead disk: the sweep goes on, this
+            # task is simply recomputed on a resume.
+            self._completed.pop(index, None)
+
+    def finish(self) -> None:
+        """The sweep completed: the journal has served its purpose; remove it."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -9,6 +9,14 @@ consuming and abandon the still-queued tail.
 ``workers=1`` — or any environment where a pool cannot be created (no
 ``/dev/shm``, restricted sandboxes, interpreters without ``fork``/``spawn``)
 — degrades to a plain in-process loop with identical results.
+
+Multi-worker runs are *supervised* by default (:mod:`repro.dispatch.supervise`):
+task-level retries with backoff, per-task deadlines that kill and respawn
+hung or dead workers, checksummed result payloads, and remote tracebacks
+chained onto parent-side re-raises.  ``supervise=False`` (or
+``REPRO_SUPERVISE=off``) selects the legacy bare ``multiprocessing.Pool``
+fan-out, retained for the fault-free-overhead benchmark and as an escape
+hatch.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 WORKERS_ENV = "REPRO_WORKERS"
+SUPERVISE_ENV = "REPRO_SUPERVISE"
+_DISABLED_VALUES = {"0", "off", "no", "none", "disabled", "false"}
 
 _warned_workers_values: set = set()
 
@@ -132,6 +142,34 @@ def sized_shard_ranges(
     return ranges
 
 
+def resolve_supervise(supervise: Optional[bool] = None) -> bool:
+    """Is the supervised engine in effect? Argument, else env, else on."""
+    if supervise is not None:
+        return bool(supervise)
+    raw = os.environ.get(SUPERVISE_ENV, "").strip().lower()
+    return raw not in _DISABLED_VALUES
+
+
+def _shutdown_pool(pool) -> None:
+    """``terminate()`` always chased by a ``join()`` that survives interrupts.
+
+    A ``KeyboardInterrupt`` landing between ``terminate`` and ``join`` (or
+    mid-``join``) used to leave zombie workers behind; the join is retried
+    until it completes, and only then does any pending interrupt propagate.
+    """
+    interrupted = False
+    pool.terminate()
+    while True:
+        try:
+            pool.join()
+            break
+        except KeyboardInterrupt:
+            interrupted = True
+            continue
+    if interrupted:
+        raise KeyboardInterrupt
+
+
 def _make_pool(workers: int, initializer=None, initargs: Tuple = ()):
     import multiprocessing
 
@@ -153,6 +191,8 @@ def parallel_map(
     chunk_size: Optional[int] = None,
     initializer: Optional[Callable] = None,
     initargs: Tuple = (),
+    supervise: Optional[bool] = None,
+    **supervise_options,
 ) -> List[R]:
     """``[func(x) for x in items]``, fanned out over ``workers`` processes.
 
@@ -163,11 +203,31 @@ def parallel_map(
     once per worker process at pool start; callers use it to ship
     precomputed tables to spawn-started workers instead of paying a
     rebuild in every process.
+
+    Multi-worker runs go through the supervised engine by default — worker
+    deaths, hangs past ``$REPRO_TASK_TIMEOUT`` and corrupt payloads are
+    retried (``$REPRO_RETRIES``) instead of aborting the sweep, and
+    worker-side exceptions re-raise with the remote traceback chained on.
+    Extra keyword options (``retries=``, ``task_timeout=``, ``report=``,
+    ``fault_plan=``, …) pass through to
+    :func:`repro.dispatch.supervise.supervised_map`; ``supervise=False``
+    selects the legacy bare-``Pool`` path.
     """
     items = list(items)
     workers = resolve_workers(workers)
     if workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
+    if resolve_supervise(supervise):
+        from .supervise import supervised_map
+
+        return supervised_map(
+            func,
+            items,
+            workers=workers,
+            initializer=initializer,
+            initargs=initargs,
+            **supervise_options,
+        )
     # The pool is never larger than the item count; chunks must be sized
     # for the *actual* pool, or a small input on a large ``workers`` gets
     # one giant chunk per live worker and no load balancing at all.
@@ -181,8 +241,7 @@ def parallel_map(
             chunk_size = _default_chunk_size(len(items), pool_size)
         return pool.map(func, items, chunksize=chunk_size)
     finally:
-        pool.terminate()
-        pool.join()
+        _shutdown_pool(pool)
 
 
 def imap_ordered(
@@ -191,6 +250,8 @@ def imap_ordered(
     workers: Optional[int] = None,
     initializer: Optional[Callable] = None,
     initargs: Tuple = (),
+    supervise: Optional[bool] = None,
+    **supervise_options,
 ) -> Iterator[R]:
     """Lazily yield ``func(task)`` in task order; the caller may stop early.
 
@@ -200,12 +261,27 @@ def imap_ordered(
     later chunks — possibly already running speculatively — are abandoned.
     ``initializer``/``initargs`` behave as in :func:`parallel_map` (run
     once per worker process, skipped on the serial fallbacks).
+
+    Supervision semantics and the ``supervise=`` escape hatch are as in
+    :func:`parallel_map`.
     """
     tasks = list(tasks)
     workers = resolve_workers(workers)
     if workers <= 1 or len(tasks) <= 1:
         for task in tasks:
             yield func(task)
+        return
+    if resolve_supervise(supervise):
+        from .supervise import supervised_imap
+
+        yield from supervised_imap(
+            func,
+            tasks,
+            workers=workers,
+            initializer=initializer,
+            initargs=initargs,
+            **supervise_options,
+        )
         return
     # Same audit as parallel_map: the pool is capped at the task count, and
     # anything derived from the worker count below must use the actual pool
@@ -222,5 +298,4 @@ def imap_ordered(
         for result in pool.imap(func, tasks):
             yield result
     finally:
-        pool.terminate()
-        pool.join()
+        _shutdown_pool(pool)

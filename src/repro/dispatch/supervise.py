@@ -1,0 +1,676 @@
+"""Supervised task execution: retries, deadlines, respawn, and quarantine.
+
+:mod:`repro.dispatch.pool` is fair-weather: one worker death aborts the
+whole sweep, a hung worker stalls it forever, and a task that keeps failing
+kills the run.  This module is the bad-weather engine behind the same
+order-preserving contract:
+
+* every task gets ``retries`` extra attempts with capped exponential
+  backoff before it is given up on;
+* a per-task deadline (``task_timeout``) detects hung or dead workers; the
+  offending worker is killed and respawned, and its task is retried;
+* a worker that dies mid-task (OOM kill, segfault, ``os._exit``) is
+  detected through its pipe, respawned, and its task retried;
+* result payloads are checksummed across the process boundary; a corrupt
+  payload is indistinguishable from a lost one and simply retried;
+* worker-side exceptions travel back with their full remote traceback and
+  are re-raised in the parent chained onto a :class:`RemoteTaskError`
+  carrying the worker's stack;
+* a task that *keeps* failing is bisected via the caller's ``split``
+  callback down to an unsplittable unit, which is quarantined and reported
+  in the :class:`SupervisionReport` instead of killing the run;
+* when no worker process can be started at all, the whole bag degrades to
+  a supervised in-process loop (same retry/quarantine semantics, no
+  injection).
+
+Deterministic fault injection (:mod:`repro.dispatch.faults`) hooks in at
+the worker side: the plan decides, by task index and attempt, whether a
+worker crashes, hangs, or corrupts its payload — which is what the chaos
+parity suites drive.
+
+Results are yielded in task order; consuming the iterator lazily and
+breaking early abandons the outstanding tail, and worker teardown always
+pairs ``kill()`` with ``join()`` so no zombies survive an early exit or a
+``KeyboardInterrupt``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+import traceback
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .faults import FaultPlan, corrupt_payload, resolve_fault_plan
+
+RETRIES_ENV = "REPRO_RETRIES"
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+BACKOFF_CAP = 5.0
+
+_warned_env_values: set = set()
+
+
+def _env_number(name: str, default, parse):
+    """A numeric environment knob; unparseable values warn once and default."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return parse(raw)
+    except ValueError:
+        if (name, raw) not in _warned_env_values:
+            _warned_env_values.add((name, raw))
+            warnings.warn(
+                f"ignoring unparseable {name}={raw!r}", RuntimeWarning, stacklevel=3
+            )
+        return default
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Effective retry budget: argument, else ``$REPRO_RETRIES``, else 2."""
+    if retries is None:
+        retries = _env_number(RETRIES_ENV, DEFAULT_RETRIES, int)
+    return max(0, retries)
+
+
+def resolve_task_timeout(task_timeout: Optional[float] = None) -> Optional[float]:
+    """Effective per-task deadline: argument, else ``$REPRO_TASK_TIMEOUT``, else none."""
+    if task_timeout is None:
+        task_timeout = _env_number(TASK_TIMEOUT_ENV, None, float)
+    if task_timeout is not None and task_timeout <= 0:
+        return None
+    return task_timeout
+
+
+def resolve_backoff(backoff: Optional[float] = None) -> float:
+    """Base retry backoff: argument, else ``$REPRO_RETRY_BACKOFF``, else 50 ms."""
+    if backoff is None:
+        backoff = _env_number(BACKOFF_ENV, DEFAULT_BACKOFF, float)
+    return max(0.0, backoff)
+
+
+class RemoteTaskError(Exception):
+    """Carries a worker-side failure description, traceback included."""
+
+
+@dataclass(frozen=True)
+class QuarantinedTask:
+    """One irreducible task given up on after exhausting every recovery."""
+
+    task: Any
+    attempts: int
+    error: str
+    remote_traceback: str
+
+    def describe(self) -> str:
+        return (
+            f"quarantined after {self.attempts} attempt(s): {self.error}\n"
+            f"{self.remote_traceback}"
+        )
+
+
+@dataclass
+class SupervisionReport:
+    """Mutable run statistics; pass one in to observe what supervision did."""
+
+    retried: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    corrupt_payloads: int = 0
+    degraded_serial: bool = False
+    quarantined: List[QuarantinedTask] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"supervision: {self.retried} retries, {self.respawns} respawns, "
+            f"{self.timeouts} timeouts, {self.crashes} crashes, "
+            f"{self.corrupt_payloads} corrupt payloads, "
+            f"{len(self.quarantined)} quarantined"
+            + (" (degraded to serial)" if self.degraded_serial else "")
+        )
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, func, initializer, initargs, plan: Optional[FaultPlan]):
+    """The supervised worker loop: recv task, run, checksum, send.
+
+    The payload is pickled *inside* a checksummed envelope: the parent can
+    always unpickle the outer message and verify the digest before trusting
+    the inner bytes, so a corrupted result can never masquerade as a
+    verdict.  Exceptions are caught and shipped back with the formatted
+    remote traceback (and the exception object itself when it pickles).
+    """
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            job_id, fault_index, fault_attempt, task = message
+            if plan is not None:
+                # May never return: a crash exits the process, a hang
+                # sleeps past the supervisor's deadline.
+                plan.inject_before(fault_index, fault_attempt)
+            try:
+                result = func(task)
+                try:
+                    payload = pickle.dumps((True, result))
+                except Exception as exc:  # unpicklable result
+                    payload = _error_payload(exc, traceback.format_exc())
+            except Exception as exc:
+                payload = _error_payload(exc, traceback.format_exc())
+            digest = hashlib.sha256(payload).hexdigest()
+            if plan is not None and plan.corrupts(fault_index, fault_attempt):
+                payload = corrupt_payload(payload)
+            conn.send((job_id, digest, payload))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent gone / shutdown
+        return
+
+
+def _error_payload(exc: BaseException, tb: str) -> bytes:
+    try:
+        pickled = pickle.dumps(exc)
+    except Exception:
+        pickled = None
+    return pickle.dumps((False, (type(exc).__name__, repr(exc), tb, pickled)))
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkItem:
+    root: int
+    path: Tuple[int, ...]
+    task: Any
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Root:
+    outstanding: int = 1
+    split_up: bool = False
+    tainted: bool = False
+    results: Dict[Tuple[int, ...], Any] = field(default_factory=dict)
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "item", "job_id", "deadline")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.item: Optional[_WorkItem] = None
+        self.job_id: Optional[int] = None
+        self.deadline: Optional[float] = None
+
+
+def _join_obstinately(process) -> None:
+    """``join()`` that survives a ``KeyboardInterrupt`` mid-wait."""
+    while True:
+        try:
+            process.join()
+            return
+        except KeyboardInterrupt:
+            continue
+
+
+def _raise_remote(error: Tuple, attempts: int):
+    """Re-raise a worker-side failure with the remote stack chained on."""
+    name, rendered, tb, pickled = error
+    cause = RemoteTaskError(
+        f"task failed in worker after {attempts} attempt(s); "
+        f"remote traceback:\n{tb}"
+    )
+    exc = None
+    if pickled is not None:
+        try:
+            exc = pickle.loads(pickled)
+        except Exception:
+            exc = None
+    if isinstance(exc, BaseException):
+        raise exc from cause
+    raise RemoteTaskError(f"{name}: {rendered}") from cause
+
+
+def supervised_imap(
+    func: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+    *,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    backoff: Optional[float] = None,
+    split: Optional[Callable[[Any], Optional[Tuple[Any, Any]]]] = None,
+    merge: Optional[Callable[[List[Any]], Any]] = None,
+    quarantine: bool = False,
+    quarantine_result: Optional[Callable[[Any], Any]] = None,
+    on_complete: Optional[Callable[[int, Any], None]] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+    fault_plan=None,
+    report: Optional[SupervisionReport] = None,
+) -> Iterator[Any]:
+    """Yield ``func(task)`` in task order under full supervision.
+
+    ``split(task)`` (optional) bisects a task that exhausted its retries
+    into two halves — returning ``None`` marks it unsplittable; ``merge``
+    (required with ``split``) folds the ordered sub-results of a split task
+    back into one result for its original slot.  With ``quarantine`` true,
+    an unsplittable failing task is recorded on ``report.quarantined`` and
+    contributes ``quarantine_result(task)`` (default ``None``) instead of
+    raising.  ``on_complete(index, result)`` fires as soon as a task's
+    result is final — before ordered yielding, in completion order — and is
+    what the checkpoint journal hooks; it is skipped for results tainted by
+    a quarantined sub-task, so a resumed sweep retries them.
+
+    Fault injection (``fault_plan`` / ``$REPRO_FAULT_PLAN``) only happens
+    in worker processes: the serial fallback is the injection-free ground
+    truth.
+    """
+    from .pool import resolve_workers
+
+    tasks = list(tasks)
+    if merge is None and split is not None:
+        raise TypeError("split= requires merge= to fold sub-results")
+    workers = resolve_workers(workers)
+    retries = resolve_retries(retries)
+    task_timeout = resolve_task_timeout(task_timeout)
+    backoff = resolve_backoff(backoff)
+    plan = resolve_fault_plan(fault_plan)
+    if report is None:
+        report = SupervisionReport()
+    if not tasks:
+        return
+    if workers <= 1 or len(tasks) <= 1:
+        yield from _serial_supervised(
+            func, tasks, retries, backoff, split, merge, quarantine,
+            quarantine_result, on_complete, report,
+        )
+        return
+    yield from _parallel_supervised(
+        func, tasks, min(workers, len(tasks)), retries, task_timeout, backoff,
+        split, merge, quarantine, quarantine_result, on_complete,
+        initializer, initargs, plan, report,
+    )
+
+
+def supervised_map(
+    func: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    workers: Optional[int] = None,
+    **kwargs,
+) -> List[Any]:
+    """Eager list form of :func:`supervised_imap`."""
+    return list(supervised_imap(func, tasks, workers, **kwargs))
+
+
+# -- serial fallback --------------------------------------------------------
+
+
+def _serial_supervised(
+    func, tasks, retries, backoff, split, merge, quarantine,
+    quarantine_result, on_complete, report,
+):
+    """The in-process engine: same retry/bisection/quarantine semantics.
+
+    No fault injection and no deadlines (a hang in-process cannot be
+    contained anyway), but a flaky or poisonous task is handled exactly as
+    in the parallel engine, so consumers behave identically at
+    ``workers=1``.
+    """
+
+    def attempt_leaf(task, budget):
+        """(ok, result, leaves_quarantined) for one irreducible task."""
+        failures = 0
+        while True:
+            try:
+                return True, func(task), False
+            except Exception as exc:
+                failures += 1
+                if failures <= budget:
+                    report.retried += 1
+                    time.sleep(min(BACKOFF_CAP, backoff * 2 ** (failures - 1)))
+                    continue
+                parts = split(task) if split is not None else None
+                if parts is not None:
+                    left = run_tree(parts[0], 0)
+                    right = run_tree(parts[1], 0)
+                    tainted = left[1] or right[1]
+                    return True, merge([left[0], right[0]]), tainted
+                if quarantine:
+                    report.quarantined.append(
+                        QuarantinedTask(
+                            task=task,
+                            attempts=failures,
+                            error=repr(exc),
+                            remote_traceback=traceback.format_exc(),
+                        )
+                    )
+                    placeholder = (
+                        quarantine_result(task) if quarantine_result else None
+                    )
+                    return True, placeholder, True
+                raise
+
+    def run_tree(task, budget):
+        ok, result, tainted = attempt_leaf(task, budget)
+        return result, tainted
+
+    for index, task in enumerate(tasks):
+        result, tainted = run_tree(task, retries)
+        if on_complete is not None and not tainted:
+            on_complete(index, result)
+        yield result
+
+
+# -- parallel engine --------------------------------------------------------
+
+
+def _spawn_worker(func, initializer, initargs, plan) -> Optional[_Worker]:
+    try:
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX hosts
+            context = multiprocessing.get_context()
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_worker_main,
+            args=(child_conn, func, initializer, initargs, plan),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+    except (ImportError, OSError, ValueError):  # pragma: no cover - host-specific
+        return None
+
+
+def _parallel_supervised(
+    func, tasks, workers, retries, task_timeout, backoff,
+    split, merge, quarantine, quarantine_result, on_complete,
+    initializer, initargs, plan, report,
+):
+    from multiprocessing import connection as mpconnection
+
+    roots = [_Root() for _ in tasks]
+    pending: List[_WorkItem] = [
+        _WorkItem(root=i, path=(), task=task) for i, task in enumerate(tasks)
+    ]
+    dispatch_count = [0] * len(tasks)
+    completed: Dict[int, Any] = {}
+    next_yield = 0
+    job_counter = 0
+    pool: List[_Worker] = []
+
+    def finish_root(index: int) -> None:
+        root = roots[index]
+        if root.split_up:
+            ordered = [root.results[path] for path in sorted(root.results)]
+            result = merge(ordered)
+        else:
+            result = root.results[()]
+        completed[index] = result
+        if on_complete is not None and not root.tainted:
+            on_complete(index, result)
+
+    def complete_leaf(item: _WorkItem, result: Any, tainted: bool = False) -> None:
+        root = roots[item.root]
+        root.results[item.path] = result
+        root.outstanding -= 1
+        if tainted:
+            root.tainted = True
+        if root.outstanding == 0:
+            finish_root(item.root)
+
+    def fail_item(item: _WorkItem, error: Optional[Tuple]) -> None:
+        """One failed attempt: retry with backoff, bisect, or quarantine."""
+        item.attempts += 1
+        if item.attempts <= retries:
+            report.retried += 1
+            item.not_before = time.monotonic() + min(
+                BACKOFF_CAP, backoff * 2 ** (item.attempts - 1)
+            )
+            pending.append(item)
+            return
+        parts = split(item.task) if split is not None else None
+        if parts is not None:
+            root = roots[item.root]
+            root.split_up = True
+            root.outstanding += 1  # parent replaced by two children
+            for offset, part in enumerate(parts):
+                # Children get a single attempt each before splitting
+                # further: poison isolation is a bisection, not a second
+                # round of (already exhausted) transient-failure retries.
+                pending.append(
+                    _WorkItem(
+                        root=item.root,
+                        path=item.path + (offset,),
+                        task=part,
+                        attempts=retries,
+                    )
+                )
+            return
+        if quarantine:
+            rendered = "unknown failure (worker crash, timeout, or corrupt payload)"
+            tb = ""
+            if error is not None:
+                rendered, tb = f"{error[0]}: {error[1]}", error[2]
+            report.quarantined.append(
+                QuarantinedTask(
+                    task=item.task,
+                    attempts=item.attempts,
+                    error=rendered,
+                    remote_traceback=tb,
+                )
+            )
+            placeholder = quarantine_result(item.task) if quarantine_result else None
+            complete_leaf(item, placeholder, tainted=True)
+            return
+        if error is not None:
+            _raise_remote(error, item.attempts)
+        raise RemoteTaskError(
+            f"task failed {item.attempts} time(s) without a reportable "
+            "exception (worker crash, timeout, or corrupt payload)"
+        )
+
+    def kill_worker(worker: _Worker) -> None:
+        try:
+            worker.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - already gone
+            pass
+        _join_obstinately(worker.process)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def respawn(worker: _Worker) -> None:
+        pool.remove(worker)
+        replacement = _spawn_worker(func, initializer, initargs, plan)
+        if replacement is not None:
+            report.respawns += 1
+            pool.append(replacement)
+        # With no replacement the pool just shrinks; the serial tail-drain
+        # below covers the pathological all-workers-lost case.
+
+    try:
+        for _ in range(workers):
+            worker = _spawn_worker(func, initializer, initargs, plan)
+            if worker is not None:
+                pool.append(worker)
+        if not pool:
+            # No pool on this host at all: degrade to the serial engine.
+            report.degraded_serial = True
+            yield from _serial_supervised(
+                func, list(tasks), retries, backoff, split, merge, quarantine,
+                quarantine_result, on_complete, report,
+            )
+            return
+
+        while next_yield < len(tasks):
+            now = time.monotonic()
+            if not pool:
+                # Every worker is gone and none could be respawned.  No
+                # worker holds an item (death requeues it), so everything
+                # left lives in ``pending``: drain it in-process with the
+                # same failure handling, then fall through to the ordered
+                # yield below.
+                report.degraded_serial = True
+                while pending:
+                    item = min(pending, key=lambda i: (i.root, i.path))
+                    pending.remove(item)
+                    delay = item.not_before - time.monotonic()
+                    if delay > 0:
+                        time.sleep(min(delay, BACKOFF_CAP))
+                    try:
+                        complete_leaf(item, func(item.task))
+                    except Exception as exc:
+                        fail_item(
+                            item,
+                            (
+                                type(exc).__name__,
+                                repr(exc),
+                                traceback.format_exc(),
+                                None,
+                            ),
+                        )
+                while next_yield < len(tasks) and next_yield in completed:
+                    yield completed.pop(next_yield)
+                    next_yield += 1
+                continue
+            # Assign eligible pending work to idle workers.
+            idle = [w for w in pool if w.item is None]
+            if idle and pending:
+                eligible = [i for i in pending if i.not_before <= now]
+                for worker in idle:
+                    if not eligible:
+                        break
+                    item = min(eligible, key=lambda i: (i.root, i.path))
+                    pending.remove(item)
+                    eligible.remove(item)
+                    job_counter += 1
+                    worker.item = item
+                    worker.job_id = job_counter
+                    worker.deadline = (
+                        now + task_timeout if task_timeout is not None else None
+                    )
+                    try:
+                        worker.conn.send(
+                            (
+                                job_counter,
+                                item.root,
+                                dispatch_count[item.root],
+                                item.task,
+                            )
+                        )
+                    except (OSError, ValueError, BrokenPipeError):
+                        # Worker already dead (or task unpicklable — which
+                        # recv-side supervision cannot see): treat as a
+                        # failed attempt and replace the worker.
+                        report.crashes += 1
+                        dead, worker.item = worker.item, None
+                        kill_worker(worker)
+                        respawn(worker)
+                        fail_item(dead, None)
+                        continue
+                    dispatch_count[item.root] += 1
+
+            while next_yield < len(tasks) and next_yield in completed:
+                yield completed.pop(next_yield)
+                next_yield += 1
+            if next_yield >= len(tasks):
+                return
+
+            busy = [w for w in pool if w.item is not None]
+            if not busy:
+                if pending:
+                    sleep_until = min(i.not_before for i in pending)
+                    time.sleep(max(0.0, min(1.0, sleep_until - now)))
+                    continue
+                # Workers are idle, nothing is pending, yet some root is
+                # still incomplete: impossible with the requeue invariant,
+                # but never busy-spin if it is ever violated.
+                time.sleep(0.01)  # pragma: no cover
+                continue
+
+            timeout = 1.0
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            if deadlines:
+                timeout = min(timeout, max(0.0, min(deadlines) - now))
+            if pending:
+                eligible_at = min(i.not_before for i in pending)
+                if eligible_at > now and any(w.item is None for w in pool):
+                    timeout = min(timeout, max(0.0, eligible_at - now))
+
+            ready = mpconnection.wait([w.conn for w in busy], timeout)
+            for conn in ready:
+                worker = next(w for w in pool if w.conn is conn)
+                try:
+                    job_id, digest, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died mid-task (injected or real crash).
+                    report.crashes += 1
+                    dead, worker.item = worker.item, None
+                    kill_worker(worker)
+                    respawn(worker)
+                    if dead is not None:
+                        fail_item(dead, None)
+                    continue
+                if worker.item is None or job_id != worker.job_id:
+                    continue  # stale message; cannot happen with 1 job/worker
+                item, worker.item, worker.deadline = worker.item, None, None
+                if hashlib.sha256(payload).hexdigest() != digest:
+                    report.corrupt_payloads += 1
+                    fail_item(item, None)
+                    continue
+                ok, value = pickle.loads(payload)
+                if ok:
+                    complete_leaf(item, value)
+                else:
+                    fail_item(item, value)
+
+            # Deadline sweep: kill and respawn overdue workers.
+            now = time.monotonic()
+            for worker in list(pool):
+                if (
+                    worker.item is not None
+                    and worker.deadline is not None
+                    and now >= worker.deadline
+                ):
+                    report.timeouts += 1
+                    overdue, worker.item = worker.item, None
+                    kill_worker(worker)
+                    respawn(worker)
+                    fail_item(overdue, None)
+    finally:
+        for worker in pool:
+            try:
+                worker.process.kill()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+        for worker in pool:
+            _join_obstinately(worker.process)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass

@@ -10,6 +10,7 @@ and both reproduce the serial, uncached verdicts bit-for-bit.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -21,11 +22,16 @@ from ..core.js_model import (
     ORIGINAL_MODEL,
 )
 from ..dispatch import (
+    SEMANTICS_REVISION,
+    SupervisionReport,
+    SweepJournal,
     VerdictCache,
-    parallel_map,
+    fingerprint,
     program_fingerprint,
     resolve_cache,
+    resolve_checkpoint,
     resolve_workers,
+    supervised_imap,
 )
 from ..lang.ast import Outcome, Program, outcome_matches
 from ..lang.enumeration import allowed_outcomes, outcome_allowed
@@ -170,7 +176,12 @@ def _run_test_worker(task) -> Tuple[bool, ...]:
     :class:`TestResult` values it already has the expectations for.
     """
     test, cache_spec = task
-    cache = VerdictCache.from_spec(cache_spec)
+    # The serial path passes the live cache through (so hit/miss statistics
+    # land on the caller's object); shard workers get the picklable spec.
+    if isinstance(cache_spec, VerdictCache):
+        cache = cache_spec
+    else:
+        cache = VerdictCache.from_spec(cache_spec)
     return tuple(
         spec_allowed(
             test,
@@ -182,31 +193,110 @@ def _run_test_worker(task) -> Tuple[bool, ...]:
     )
 
 
+def _batch_fingerprint(tests: List[LitmusTest]) -> str:
+    """A content hash over everything a batch's verdict tuples depend on."""
+    return fingerprint(
+        "litmus-batch",
+        [
+            [
+                program_fingerprint(test.program),
+                [[e.model, sorted(e.spec_dict.items())] for e in test.expectations],
+                test.corrected_wait_notify,
+            ]
+            for test in tests
+        ],
+        [[key, MODEL_BY_KEY[key]] for key in sorted(MODEL_BY_KEY)],
+    )
+
+
 def run_tests(
-    tests: Iterable[LitmusTest], workers: Optional[int] = None, cache=None
+    tests: Iterable[LitmusTest],
+    workers: Optional[int] = None,
+    cache=None,
+    checkpoint=None,
+    fault_plan=None,
+    quarantine: bool = False,
+    supervision: Optional[SupervisionReport] = None,
 ) -> List[TestResult]:
-    """Evaluate a batch of litmus tests, optionally sharded over workers."""
+    """Evaluate a batch of litmus tests, optionally sharded over workers.
+
+    Multi-worker batches run under the supervised engine (retries,
+    deadlines, respawn — see :mod:`repro.dispatch.supervise`).  With a
+    checkpoint directory (``checkpoint=`` / ``$REPRO_CHECKPOINT_DIR``) each
+    test's verdict tuple is journaled as it completes, so a killed batch
+    resumes recomputing only unfinished tests.  With ``quarantine=True`` a
+    test whose checker keeps failing is dropped from the returned list and
+    reported on ``supervision.quarantined`` instead of aborting the batch.
+    """
     tests = list(tests)
     workers = resolve_workers(workers)
     cache = resolve_cache(cache)
-    if workers <= 1:
-        return [run_test(test, cache=cache if cache is not None else False) for test in tests]
-    spec = cache.spec if cache is not None else None
-    observed = parallel_map(
-        _run_test_worker, [(test, spec) for test in tests], workers=workers
-    )
-    return [
-        TestResult(
-            test=test,
-            results=tuple(
-                ExpectationResult(
-                    test=test.name, expectation=e, observed_allowed=allowed
-                )
-                for e, allowed in zip(test.expectations, verdicts)
-            ),
+    if supervision is None:
+        supervision = SupervisionReport()
+    journal = None
+    checkpoint_dir = resolve_checkpoint(checkpoint)
+    if checkpoint_dir is not None and tests:
+        journal = SweepJournal.open(
+            checkpoint_dir,
+            "litmus",
+            _batch_fingerprint(tests),
+            SEMANTICS_REVISION,
+            len(tests),
         )
-        for test, verdicts in zip(tests, observed)
-    ]
+    recorded = journal.completed() if journal is not None else {}
+    if cache is None:
+        cache_spec = None
+    elif workers <= 1:
+        cache_spec = cache
+    else:
+        cache_spec = cache.spec
+    live = [(i, test) for i, test in enumerate(tests) if i not in recorded]
+
+    def on_test_complete(live_index: int, verdicts) -> None:
+        if journal is not None:
+            journal.record(live[live_index][0], list(verdicts))
+
+    observed: dict = {
+        index: tuple(bool(v) for v in verdicts)
+        for index, verdicts in recorded.items()
+    }
+    stream = supervised_imap(
+        _run_test_worker,
+        [(test, cache_spec) for _index, test in live],
+        workers=workers,
+        quarantine=quarantine,
+        on_complete=on_test_complete,
+        fault_plan=fault_plan,
+        report=supervision,
+    )
+    try:
+        for (index, _test), verdicts in zip(live, stream):
+            if verdicts is not None:
+                observed[index] = verdicts
+        results = []
+        for index, test in enumerate(tests):
+            verdicts = observed.get(index)
+            if verdicts is None:
+                continue  # quarantined: reported on supervision.quarantined
+            results.append(
+                TestResult(
+                    test=test,
+                    results=tuple(
+                        ExpectationResult(
+                            test=test.name, expectation=e, observed_allowed=allowed
+                        )
+                        for e, allowed in zip(test.expectations, verdicts)
+                    ),
+                )
+            )
+        return results
+    finally:
+        stream.close()
+        if journal is not None:
+            if sys.exc_info()[0] is None:
+                journal.finish()
+            else:
+                journal.close()
 
 
 @dataclass(frozen=True)
@@ -214,6 +304,13 @@ class CatalogueReport:
     """The verdicts of one batched catalogue sweep."""
 
     results: Tuple[TestResult, ...]
+    quarantined: Tuple[str, ...] = ()
+    """Names of tests whose checker kept failing under supervision.
+
+    Empty on every healthy run; a non-empty tuple means those tests have
+    *no* verdicts in :attr:`results` (and :attr:`passed` only speaks for
+    the tests that do).
+    """
 
     @property
     def passed(self) -> bool:
@@ -239,6 +336,10 @@ class CatalogueReport:
             f"catalogue sweep: {len(self.results)} tests, {total} expectations, "
             f"{len(bad)} mismatches"
         ]
+        if self.quarantined:
+            lines.append(
+                f"quarantined (no verdict): {', '.join(self.quarantined)}"
+            )
         lines.extend(r.describe() for r in bad)
         return "\n".join(lines)
 
@@ -248,16 +349,33 @@ def run_catalogue(
     *,
     workers: Optional[int] = None,
     cache=None,
+    checkpoint=None,
+    fault_plan=None,
+    quarantine: bool = False,
 ) -> CatalogueReport:
     """Run the litmus catalogue (or the named subset) as one batch.
 
     ``workers`` shards the independent tests over the dispatch pool;
-    ``cache`` persists per-expectation verdicts across runs.  Both leave
-    every verdict bit-identical to a serial, uncached sweep.
+    ``cache`` persists per-expectation verdicts across runs; ``checkpoint``
+    journals completed tests so a killed sweep resumes where it left off.
+    All of them leave every verdict bit-identical to a serial, uncached,
+    single-shot sweep.  ``quarantine=True`` keeps the sweep alive past a
+    test whose checker keeps failing and lists it on ``report.quarantined``.
     """
     tests = all_tests() if names is None else [by_name(name) for name in names]
+    supervision = SupervisionReport()
+    results = run_tests(
+        tests,
+        workers=workers,
+        cache=cache,
+        checkpoint=checkpoint,
+        fault_plan=fault_plan,
+        quarantine=quarantine,
+        supervision=supervision,
+    )
     return CatalogueReport(
-        results=tuple(run_tests(tests, workers=workers, cache=cache))
+        results=tuple(results),
+        quarantined=tuple(sorted(q.task[0].name for q in supervision.quarantined)),
     )
 
 

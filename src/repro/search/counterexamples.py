@@ -17,6 +17,7 @@ These are the explicit-state analogues of the paper's two Alloy searches:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
@@ -27,13 +28,18 @@ from ..compile.correctness import (
 from ..core.data_race import data_races
 from ..core.js_model import FINAL_MODEL, JsModel, ORIGINAL_MODEL
 from ..dispatch import (
+    SEMANTICS_REVISION,
+    SupervisionReport,
+    SweepJournal,
     VerdictCache,
-    imap_ordered,
+    fingerprint,
     program_fingerprint,
     resolve_cache,
+    resolve_checkpoint,
     resolve_workers,
     shard_ranges,
     sized_shard_ranges,
+    supervised_imap,
 )
 from ..lang.ast import Outcome, Program
 from ..lang.enumeration import allowed_executions
@@ -73,6 +79,14 @@ class SearchReport:
     model: str
     programs_examined: int = 0
     counterexample: Optional[object] = None
+    quarantined: Tuple[int, ...] = ()
+    """Global indices of poison programs skipped under supervision.
+
+    Empty on every healthy run.  Non-empty means the per-program check
+    itself kept failing for these enumeration indices (after retries and
+    chunk bisection); their verdicts are unknown and the rest of the sweep
+    is unaffected.
+    """
 
     @property
     def found(self) -> bool:
@@ -191,6 +205,44 @@ def _sweep_chunk_worker(
     return examined, None
 
 
+def _split_sweep_task(task):
+    """Bisect one sweep chunk for poison isolation (None when single-program)."""
+    kind, bounds, model, use_operational, start, stop, cache_spec = task
+    if stop - start <= 1:
+        return None
+    mid = (start + stop) // 2
+    return (
+        (kind, bounds, model, use_operational, start, mid, cache_spec),
+        (kind, bounds, model, use_operational, mid, stop, cache_spec),
+    )
+
+
+def _merge_sweep_results(parts):
+    """Fold ordered sub-chunk results back into one chunk result.
+
+    Reproduces the serial scan semantics: programs after the first hit are
+    not counted as examined, whichever sub-chunk they landed in.
+    """
+    examined, hit = 0, None
+    for part_examined, part_hit in parts:
+        examined += part_examined
+        if part_hit is not None:
+            hit = part_hit
+            break
+    return examined, hit
+
+
+def _quarantined_sweep_result(task):
+    """The neutral result of a quarantined single-program chunk.
+
+    The poison program counts as examined (the sweep did attempt it) but
+    never as a hit; it is reported separately on
+    :attr:`SearchReport.quarantined`.
+    """
+    _kind, _bounds, _model, _use_op, start, stop, _cache_spec = task
+    return (stop - start, None)
+
+
 def _swept_search(
     kind: str,
     bounds: SearchBounds,
@@ -200,6 +252,8 @@ def _swept_search(
     cache,
     materialise,
     chunking: str = "sized",
+    checkpoint=None,
+    fault_plan=None,
 ) -> SearchReport:
     """The shared driver of both §5 sweeps.
 
@@ -215,6 +269,17 @@ def _swept_search(
     expensive tail in the last worker — while ``"static"`` keeps the
     equal-count split (retained for benchmarking the difference).  Chunk
     boundaries never affect the report.
+
+    Resilience: chunks run under the supervised engine (retries, deadlines,
+    worker respawn; see :mod:`repro.dispatch.supervise`), a chunk that
+    keeps failing is bisected down to the poison program which lands on
+    ``report.quarantined`` instead of killing the sweep, and with a
+    checkpoint directory (``checkpoint=`` / ``$REPRO_CHECKPOINT_DIR``)
+    completed chunk results are journaled so a killed sweep resumes
+    recomputing only unfinished chunks.  The journal is keyed by a
+    fingerprint of everything the chunk results depend on — kind, bounds,
+    model, flags, the chunk layout itself, and the semantics revision — so
+    a changed sweep can never resume from a stale journal.
     """
     workers = resolve_workers(workers)
     cache = resolve_cache(cache)
@@ -236,42 +301,95 @@ def _swept_search(
         (kind, bounds, model, use_operational, start, stop, cache_spec)
         for (start, stop) in ranges
     ]
+    journal = None
+    checkpoint_dir = resolve_checkpoint(checkpoint)
+    if checkpoint_dir is not None:
+        journal = SweepJournal.open(
+            checkpoint_dir,
+            f"sweep-{kind}",
+            fingerprint("sweep", kind, bounds, model, use_operational, list(ranges)),
+            SEMANTICS_REVISION,
+            len(tasks),
+        )
+    recorded = journal.completed() if journal is not None else {}
+    live = [(i, task) for i, task in enumerate(tasks) if i not in recorded]
+    supervision = SupervisionReport()
+
+    def on_chunk_complete(live_index: int, result) -> None:
+        if journal is not None:
+            journal.record(live[live_index][0], list(result))
+
     # The shape tables this sweep scans are already warm in this process
     # (the shard layout above consulted them); ship the snapshot to every
     # worker once at pool start instead of letting each worker process
     # rebuild it on its first chunk.
-    results = imap_ordered(
+    stream = supervised_imap(
         _sweep_chunk_worker,
-        tasks,
+        [task for _index, task in live],
         workers=workers,
         initializer=install_shape_tables,
         initargs=(shape_tables(bounds),),
+        split=_split_sweep_task,
+        merge=_merge_sweep_results,
+        quarantine=True,
+        quarantine_result=_quarantined_sweep_result,
+        on_complete=on_chunk_complete,
+        fault_plan=fault_plan,
+        report=supervision,
     )
-    for task, (examined, hit_index) in zip(tasks, results):
-        report.programs_examined += examined
-        chunk_stop = task[5]
-        while hit_index is not None:
-            program = next(generate_programs(bounds, hit_index, hit_index + 1))
-            counterexample = materialise(program)
-            if counterexample is not None:
-                report.counterexample = counterexample
-                return report
-            # A stale cache entry claimed a hit the checker disowns (e.g. a
-            # cache shared across an unbumped local edit): repair the entry,
-            # then rescan the *rest of this chunk* — the worker returned at
-            # the false hit, so the remainder has not been examined yet.
-            if cache is not None:
-                cache.put(
-                    cache.key(
-                        kind, program_fingerprint(program), model, use_operational
-                    ),
-                    False,
-                )
-            examined, hit_index = _sweep_chunk_worker(
-                (kind, bounds, model, use_operational, hit_index + 1, chunk_stop, cache)
-            )
+    try:
+        for index, task in enumerate(tasks):
+            if index in recorded:
+                entry = recorded[index]
+                examined, hit_index = int(entry[0]), entry[1]
+            else:
+                examined, hit_index = next(stream)
             report.programs_examined += examined
-    return report
+            chunk_stop = task[5]
+            while hit_index is not None:
+                program = next(generate_programs(bounds, hit_index, hit_index + 1))
+                counterexample = materialise(program)
+                if counterexample is not None:
+                    report.counterexample = counterexample
+                    return report
+                # A stale cache entry claimed a hit the checker disowns (e.g. a
+                # cache shared across an unbumped local edit): repair the entry,
+                # then rescan the *rest of this chunk* — the worker returned at
+                # the false hit, so the remainder has not been examined yet.
+                if cache is not None:
+                    cache.put(
+                        cache.key(
+                            kind, program_fingerprint(program), model, use_operational
+                        ),
+                        False,
+                    )
+                examined, hit_index = _sweep_chunk_worker(
+                    (
+                        kind,
+                        bounds,
+                        model,
+                        use_operational,
+                        hit_index + 1,
+                        chunk_stop,
+                        cache,
+                    )
+                )
+                report.programs_examined += examined
+        return report
+    finally:
+        stream.close()
+        report.quarantined = tuple(
+            sorted(q.task[4] for q in supervision.quarantined)
+        )
+        # Returning at all (hit, exhausted, or quarantine-degraded) means
+        # the sweep is decided; the journal has served its purpose.  An
+        # exception (including KeyboardInterrupt/SIGTERM unwinding) keeps
+        # it for the resume.
+        if journal is not None:
+            if sys.exc_info()[0] is None:
+                journal.finish()
+            else:
+                journal.close()
 
 
 def search_sc_drf_violation(
@@ -280,13 +398,20 @@ def search_sc_drf_violation(
     workers: Optional[int] = None,
     cache=None,
     chunking: str = "sized",
+    checkpoint=None,
+    fault_plan=None,
 ) -> SearchReport:
     """Search for an SC-DRF violation within ``bounds`` (§5.4).
 
     ``workers`` shards the program enumeration over the dispatch pool
     (cost-balanced chunks by default; ``chunking="static"`` restores the
-    equal-count split); ``cache`` persists per-program hit/miss verdicts.
-    Reports are bit-identical to the serial, uncached search.
+    equal-count split); ``cache`` persists per-program hit/miss verdicts;
+    ``checkpoint`` (or ``$REPRO_CHECKPOINT_DIR``) journals completed chunks
+    so a killed sweep resumes instead of restarting.  Reports are
+    bit-identical to the serial, uncached search; worker crashes, hangs and
+    corrupt payloads are absorbed by the supervised engine, and a poison
+    program ends up on ``report.quarantined`` rather than killing the run.
+    ``fault_plan`` injects deterministic faults (testing only).
     """
     return _swept_search(
         "sc-drf",
@@ -297,6 +422,8 @@ def search_sc_drf_violation(
         cache,
         lambda program: _sc_drf_counterexample(program, model),
         chunking=chunking,
+        checkpoint=checkpoint,
+        fault_plan=fault_plan,
     )
 
 
@@ -307,13 +434,15 @@ def search_compilation_violation(
     workers: Optional[int] = None,
     cache=None,
     chunking: str = "sized",
+    checkpoint=None,
+    fault_plan=None,
 ) -> SearchReport:
     """Search for an ARMv8 compilation-scheme violation within ``bounds`` (§5.1).
 
     A hit is a program with an ARMv8-allowed execution whose translated
     JavaScript execution is invalid for every total order — i.e. a *dead*
-    counter-example.  Shardable and cacheable like
-    :func:`search_sc_drf_violation`.
+    counter-example.  Shardable, cacheable, checkpointable and supervised
+    like :func:`search_sc_drf_violation`.
     """
     return _swept_search(
         "arm-compilation",
@@ -326,6 +455,8 @@ def search_compilation_violation(
             program, model, use_operational=use_operational
         ),
         chunking=chunking,
+        checkpoint=checkpoint,
+        fault_plan=fault_plan,
     )
 
 

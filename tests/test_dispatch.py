@@ -310,6 +310,8 @@ class TestPool:
         # 100 requested workers over 8 items: chunks must be sized for the
         # 8-process pool actually built, not the requested 100 (which would
         # floor every chunk at one item and defeat batching on real pools).
+        # The legacy bare-Pool engine is the one that chunks; the supervised
+        # default dispatches one task per worker round-trip instead.
         from repro.dispatch import pool
 
         seen = []
@@ -320,9 +322,9 @@ class TestPool:
             return real(total, workers)
 
         monkeypatch.setattr(pool, "_default_chunk_size", probe)
-        assert parallel_map(_square, list(range(8)), workers=100) == [
-            i * i for i in range(8)
-        ]
+        assert parallel_map(
+            _square, list(range(8)), workers=100, supervise=False
+        ) == [i * i for i in range(8)]
         assert seen == [(8, 8)]
 
 

@@ -1,0 +1,650 @@
+"""The resilience layer: fault injection, supervision, journaling, cache hardening.
+
+Covers the ISSUE-6 acceptance points: sweeps under an injected fault plan
+(crash + hang + corrupt) stay bit-identical to serial, a killed sweep
+resumes from its journal recomputing only unfinished chunks, poison tasks
+are bisected down and quarantined instead of killing the run, and the
+verdict cache detects/quarantines corrupt entries, enforces its quota, and
+degrades to read-only on unwritable directories.
+
+The subprocess kill/resume drill is marked ``chaos`` (see
+``tests/conftest.py``) and stays out of the default tier-1 run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core import FINAL_MODEL, ORIGINAL_MODEL
+from repro.dispatch import (
+    MISS,
+    SEMANTICS_REVISION,
+    FaultPlan,
+    FaultPlanError,
+    QuarantinedTask,
+    RemoteTaskError,
+    SupervisionReport,
+    SweepJournal,
+    VerdictCache,
+    resolve_checkpoint,
+    resolve_fault_plan,
+    resolve_retries,
+    resolve_task_timeout,
+    supervised_imap,
+    supervised_map,
+)
+from repro.dispatch.cache import parse_size
+from repro.dispatch.faults import CRASH_EXIT_CODE, corrupt_payload
+from repro.litmus.runner import _batch_fingerprint, run_catalogue, run_tests
+from repro.litmus.catalogue import by_name
+from repro.search import SearchBounds, search_sc_drf_violation
+from repro.search import counterexamples as _counterexamples
+
+# A fast, representative catalogue subset (same as test_dispatch).
+FAST_TESTS = ["sb-sc", "lb-sc", "corr-un", "mp-un-sc", "mixed-size-overlap"]
+
+# A tiny shape space: 10 programs, all checked in well under a second.
+TINY_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=1,
+    max_total_accesses=2,
+    locations=1,
+    values=(1,),
+    guarded_observer=False,
+)
+
+# The §5.4 bound that contains the Fig. 8 counter-example.
+SC_DRF_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=1,
+    values=(1, 2),
+    guarded_observer=True,
+)
+
+
+# -- module-level workers (shipped to fork-started worker processes) --------
+
+def _square(x):
+    return x * x
+
+
+def _always_boom(x):
+    raise ValueError(f"boom {x}")
+
+
+POISON = 5
+
+
+def _chunk_squares(task):
+    start, stop = task
+    if start <= POISON < stop:
+        raise ValueError(f"poison {POISON}")
+    return [x * x for x in range(start, stop)]
+
+
+def _split_range(task):
+    start, stop = task
+    if stop - start <= 1:
+        return None
+    mid = (start + stop) // 2
+    return (start, mid), (mid, stop)
+
+
+def _merge_parts(parts):
+    out = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+def _quarantine_part(task):
+    start, stop = task
+    return [None] * (stop - start)
+
+
+def _sweep_chunk_bomb(task):
+    raise AssertionError(f"journaled chunk recomputed: {task!r}")
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_parse_grammar(self):
+        plan = FaultPlan.parse("crash@3;hang@7,corrupt@11x2;hang=0.5")
+        assert set(plan.faults) == {3, 7, 11}
+        assert plan.faults[3].kind == "crash"
+        assert plan.faults[7].kind == "hang"
+        assert plan.faults[11].kind == "corrupt"
+        assert plan.faults[11].times == 2
+        assert plan.hang_seconds == 0.5
+
+    def test_spec_round_trip(self):
+        plan = FaultPlan.parse("crash@0,corrupt@4x3,hang@9,hang=2")
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["explode@3", "crash@", "crash@x", "crash@-1", "crash@2x0", "hang=abc", "crash3"],
+    )
+    def test_parse_rejects_bad_tokens(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(11, 200, crash=0.1, hang=0.1, corrupt=0.1)
+        b = FaultPlan.seeded(11, 200, crash=0.1, hang=0.1, corrupt=0.1)
+        assert a == b
+        assert a.faults, "rates this high should schedule at least one fault"
+        other = FaultPlan.seeded(12, 200, crash=0.1, hang=0.1, corrupt=0.1)
+        assert a != other
+
+    def test_fault_fires_only_for_first_attempts(self):
+        plan = FaultPlan.parse("corrupt@2x2")
+        assert plan.fault_at(2, 0) is not None
+        assert plan.fault_at(2, 1) is not None
+        assert plan.fault_at(2, 2) is None  # the retry after `times` succeeds
+        assert plan.fault_at(3, 0) is None
+
+    def test_corrupt_payload_always_differs(self):
+        for blob in (b"", b"x", b"some longer pickled payload" * 10):
+            assert corrupt_payload(blob) != blob
+
+    def test_resolve_fault_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert resolve_fault_plan(None) is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "crash@1")
+        assert resolve_fault_plan(None).faults[1].kind == "crash"
+        assert resolve_fault_plan(False) is None
+        assert resolve_fault_plan("hang@2").faults[2].kind == "hang"
+        plan = FaultPlan.parse("corrupt@0")
+        assert resolve_fault_plan(plan) is plan
+
+
+# ---------------------------------------------------------------------------
+# the supervised engine
+# ---------------------------------------------------------------------------
+
+
+class TestSupervisedEngine:
+    def test_serial_path_matches_plain_loop(self):
+        items = list(range(10))
+        report = SupervisionReport()
+        # Injection never happens on the serial path: it is the ground truth.
+        got = supervised_map(
+            _square, items, workers=1, fault_plan="crash@0x9", report=report
+        )
+        assert got == [x * x for x in items]
+        assert report.crashes == 0 and not report.quarantined
+
+    def test_crash_recovery_is_bit_identical(self):
+        items = list(range(12))
+        report = SupervisionReport()
+        got = supervised_map(
+            _square,
+            items,
+            workers=2,
+            fault_plan="crash@3;crash@8",
+            backoff=0.0,
+            report=report,
+        )
+        assert got == [x * x for x in items]
+        assert report.crashes >= 2
+        assert report.respawns >= 2
+        assert report.retried >= 2
+
+    def test_hang_recovery_is_bit_identical(self):
+        items = list(range(8))
+        report = SupervisionReport()
+        got = supervised_map(
+            _square,
+            items,
+            workers=2,
+            fault_plan="hang@2,hang=30",
+            task_timeout=0.5,
+            backoff=0.0,
+            report=report,
+        )
+        assert got == [x * x for x in items]
+        assert report.timeouts >= 1
+
+    def test_corrupt_payload_recovery_is_bit_identical(self):
+        items = list(range(8))
+        report = SupervisionReport()
+        got = supervised_map(
+            _square,
+            items,
+            workers=2,
+            fault_plan="corrupt@4",
+            backoff=0.0,
+            report=report,
+        )
+        assert got == [x * x for x in items]
+        assert report.corrupt_payloads >= 1
+
+    def test_env_fault_plan_reaches_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "crash@1")
+        report = SupervisionReport()
+        got = supervised_map(
+            _square, list(range(6)), workers=2, backoff=0.0, report=report
+        )
+        assert got == [x * x for x in range(6)]
+        assert report.crashes >= 1
+
+    def test_remote_traceback_is_preserved(self):
+        with pytest.raises(ValueError, match="boom") as excinfo:
+            supervised_map(
+                _always_boom, [0, 1], workers=2, retries=0, backoff=0.0
+            )
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, RemoteTaskError)
+        assert "_always_boom" in str(cause)  # the worker-side traceback
+
+    def test_poison_chunk_bisected_down_and_quarantined(self):
+        tasks = [(0, 8), (8, 16)]
+        report = SupervisionReport()
+        got = supervised_map(
+            _chunk_squares,
+            tasks,
+            workers=2,
+            retries=0,
+            backoff=0.0,
+            split=_split_range,
+            merge=_merge_parts,
+            quarantine=True,
+            quarantine_result=_quarantine_part,
+            report=report,
+        )
+        expected = [
+            [None if x == POISON else x * x for x in range(0, 8)],
+            [x * x for x in range(8, 16)],
+        ]
+        assert got == expected
+        assert [q.task for q in report.quarantined] == [(POISON, POISON + 1)]
+        quarantined = report.quarantined[0]
+        assert isinstance(quarantined, QuarantinedTask)
+        assert "poison 5" in quarantined.error
+
+    def test_on_complete_skipped_for_tainted_roots(self):
+        completions = []
+        report = SupervisionReport()
+        list(
+            supervised_imap(
+                _chunk_squares,
+                [(0, 8), (8, 16)],
+                workers=2,
+                retries=0,
+                backoff=0.0,
+                split=_split_range,
+                merge=_merge_parts,
+                quarantine=True,
+                quarantine_result=_quarantine_part,
+                on_complete=lambda index, result: completions.append(index),
+                report=report,
+            )
+        )
+        # Root 0 contains the quarantined leaf: a checkpoint journaling it
+        # would freeze the unknown verdict, so only the clean root completes.
+        assert completions == [1]
+
+    def test_degraded_serial_when_no_worker_can_spawn(self, monkeypatch):
+        from repro.dispatch import supervise as supervise_module
+
+        monkeypatch.setattr(
+            supervise_module, "_spawn_worker", lambda *args: None
+        )
+        report = SupervisionReport()
+        got = supervised_map(
+            _square, list(range(6)), workers=2, backoff=0.0, report=report
+        )
+        assert got == [x * x for x in range(6)]
+        assert report.degraded_serial
+
+    def test_env_resolvers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "5")
+        assert resolve_retries(None) == 5
+        assert resolve_retries(1) == 1
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert resolve_task_timeout(None) == 2.5
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+        assert resolve_task_timeout(None) is None
+
+
+# ---------------------------------------------------------------------------
+# the checkpoint journal
+# ---------------------------------------------------------------------------
+
+
+def _open_journal(directory, total=8, fingerprint="f" * 40, revision=SEMANTICS_REVISION):
+    return SweepJournal.open(directory, "test", fingerprint, revision, total)
+
+
+class TestSweepJournal:
+    def test_record_and_resume(self, tmp_path):
+        journal = _open_journal(tmp_path)
+        journal.record(0, [3, None])
+        journal.record(2, [5, "hit"])
+        journal.record(2, ["ignored duplicate"])
+        journal.close()
+        resumed = _open_journal(tmp_path)
+        assert resumed.completed() == {0: [3, None], 2: [5, "hit"]}
+        resumed.close()
+
+    def test_finish_removes_the_file(self, tmp_path):
+        journal = _open_journal(tmp_path)
+        journal.record(0, "done")
+        path = journal.path
+        assert path.exists()
+        journal.finish()
+        assert not path.exists()
+
+    def test_torn_last_line_is_dropped(self, tmp_path):
+        journal = _open_journal(tmp_path)
+        journal.record(0, "ok")
+        journal.record(1, "ok")
+        journal.close()
+        with journal.path.open("a") as handle:
+            handle.write('{"i": 2, "r": "torn and never chec')
+        resumed = _open_journal(tmp_path)
+        assert resumed.completed() == {0: "ok", 1: "ok"}
+        resumed.close()
+
+    def test_tampered_entry_is_dropped(self, tmp_path):
+        journal = _open_journal(tmp_path)
+        journal.record(0, "honest")
+        journal.close()
+        lines = journal.path.read_text().splitlines()
+        entry = json.loads(lines[1])
+        entry["r"] = "tampered"  # checksum now stale
+        lines[1] = json.dumps(entry)
+        journal.path.write_text("\n".join(lines) + "\n")
+        resumed = _open_journal(tmp_path)
+        assert resumed.completed() == {}
+        resumed.close()
+
+    def test_stale_header_invalidates_the_journal(self, tmp_path):
+        journal = _open_journal(tmp_path, total=8)
+        journal.record(0, "from the old sweep")
+        journal.close()
+        # Same file name, different sweep shape: the old entries are wrong.
+        resumed = _open_journal(tmp_path, total=9)
+        assert resumed.completed() == {}
+        resumed.close()
+
+    def test_compaction_shrinks_a_bloated_file(self, tmp_path):
+        journal = _open_journal(tmp_path)
+        journal.record(0, "v")
+        journal.close()
+        line = SweepJournal._entry_line(0, "v")
+        with journal.path.open("a") as handle:
+            for _ in range(100):  # replayed duplicates, e.g. crash loops
+                handle.write(line)
+        resumed = _open_journal(tmp_path)
+        assert resumed.completed() == {0: "v"}
+        resumed.close()
+        assert len(journal.path.read_text().splitlines()) == 2  # header + entry
+
+    def test_unwritable_directory_disables_journaling(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the journal dir should go")
+        assert _open_journal(blocker / "sub") is None
+
+    def test_resolve_checkpoint(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        assert resolve_checkpoint(None) is None
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        assert resolve_checkpoint(None) == tmp_path
+        assert resolve_checkpoint(False) is None
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", "off")
+        assert resolve_checkpoint(None) is None
+
+
+# ---------------------------------------------------------------------------
+# cache hardening
+# ---------------------------------------------------------------------------
+
+
+class TestCacheHardening:
+    def test_corrupt_entry_quarantined_counted_and_warned_once(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("litmus-verdict", "prog")
+        cache.put(key, True)
+        path = cache._path(key)
+        path.write_text("{truncated garbage")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is MISS
+        assert cache.corrupt == 1
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # Second corruption in the same directory: counted, not re-warned.
+        other = cache.key("litmus-verdict", "other")
+        cache.put(other, False)
+        cache._path(other).write_text("also garbage")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(other) is MISS
+        assert cache.corrupt == 2
+
+    def test_checksum_mismatch_is_corruption(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("k")
+        cache.put(key, {"allowed": True})
+        entry = json.loads(cache._path(key).read_text())
+        entry["verdict"] = {"allowed": False}  # flipped, sha now stale
+        cache._path(key).write_text(json.dumps(entry))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert cache.get(key) is MISS
+        assert cache.corrupt == 1
+        assert cache._path(key).with_suffix(".corrupt").exists()
+
+    def test_legacy_entry_without_sha_still_hits(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("legacy")
+        cache.put(key, [1, 2])
+        entry = json.loads(cache._path(key).read_text())
+        del entry["sha"]  # pre-hardening entries have no checksum
+        cache._path(key).write_text(json.dumps(entry))
+        assert cache.get(key) == [1, 2]
+        assert cache.corrupt == 0
+
+    def test_stats_counters(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("x")
+        assert cache.get(key) is MISS
+        cache.put(key, 7)
+        assert cache.get(key) == 7
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["corrupt"] == 0
+        assert stats["degraded"] is False
+
+    def test_quota_eviction(self, tmp_path):
+        from repro.dispatch.cache import QUOTA_CHECK_INTERVAL
+
+        cache = VerdictCache(tmp_path, quota_bytes=2000)
+        # Exactly two check intervals, so enforcement has just run and the
+        # directory sits at (or under) the post-eviction watermark.
+        writes = 2 * QUOTA_CHECK_INTERVAL
+        for i in range(writes):
+            cache.put(cache.key("entry", i), {"verdict-payload": i})
+        assert cache.evictions > 0
+        remaining = list(tmp_path.glob("*/*.json"))
+        assert 0 < len(remaining) < writes
+        assert sum(p.stat().st_size for p in remaining) <= 2000
+
+    def test_parse_size_suffixes(self):
+        assert parse_size("1234") == 1234
+        assert parse_size("64K") == 64 * 1024
+        assert parse_size("2m") == 2 * 1024 * 1024
+        assert parse_size("1G") == 1024 ** 3
+
+    def test_unwritable_directory_degrades_to_read_only(self, tmp_path, monkeypatch):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("served-before-degrading")
+        cache.put(key, "hit me")
+
+        import repro.dispatch.cache as cache_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(cache_module.tempfile, "mkstemp", refuse)
+        with pytest.warns(RuntimeWarning, match="read-only"):
+            cache.put(cache.key("new"), "lost")
+        assert cache.degraded
+        # Later puts return immediately; existing entries are still served.
+        cache.put(cache.key("another"), "also lost")
+        assert cache.get(key) == "hit me"
+        assert cache.get(cache.key("new")) is MISS
+
+
+# ---------------------------------------------------------------------------
+# consumers under injected faults (the ISSUE-6 acceptance drills)
+# ---------------------------------------------------------------------------
+
+
+class TestChaosParity:
+    def test_catalogue_chaos_parity(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1")
+        serial = run_catalogue(FAST_TESTS)
+        chaotic = run_catalogue(
+            FAST_TESTS,
+            workers=2,
+            checkpoint=str(tmp_path),
+            fault_plan="crash@0;corrupt@3;hang@2,hang=30",
+        )
+        assert chaotic.verdicts() == serial.verdicts()
+        assert chaotic.quarantined == ()
+        assert not list(tmp_path.iterdir())  # journal removed on success
+
+    def test_sweep_chaos_parity(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1")
+        serial = search_sc_drf_violation(SC_DRF_BOUNDS, ORIGINAL_MODEL)
+        chaotic = search_sc_drf_violation(
+            SC_DRF_BOUNDS,
+            ORIGINAL_MODEL,
+            workers=2,
+            checkpoint=str(tmp_path),
+            fault_plan="crash@0;corrupt@1;hang@2,hang=30",
+        )
+        assert chaotic.found == serial.found
+        assert chaotic.programs_examined == serial.programs_examined
+        assert (
+            chaotic.counterexample.program.name
+            == serial.counterexample.program.name
+        )
+        assert chaotic.quarantined == ()
+
+    def test_sweep_poison_program_is_quarantined_and_reported(self, monkeypatch):
+        real_worker = _counterexamples._sweep_chunk_worker
+        poison = 4
+
+        def poisoned_worker(task):
+            kind, bounds, model, use_operational, start, stop, cache_spec = task
+            if start <= poison < stop:
+                raise ValueError(f"poison program {poison}")
+            return real_worker(task)
+
+        monkeypatch.setattr(
+            _counterexamples, "_sweep_chunk_worker", poisoned_worker
+        )
+        report = search_sc_drf_violation(TINY_BOUNDS, FINAL_MODEL, workers=2)
+        assert report.quarantined == (poison,)
+        assert not report.found
+        # The quarantined program still counts as examined: the sweep's
+        # coverage accounting matches the serial scan.
+        clean = search_sc_drf_violation(TINY_BOUNDS, FINAL_MODEL)
+        assert report.programs_examined == clean.programs_examined
+
+
+class TestJournalResume:
+    def test_litmus_batch_resumes_from_recorded_verdicts(self, tmp_path):
+        tests = [by_name(name) for name in FAST_TESTS]
+        serial = run_tests(tests)
+        truth = tuple(r.observed_allowed for r in serial[0].results)
+        fabricated = [not v for v in truth]  # detectably different
+        journal = SweepJournal.open(
+            tmp_path, "litmus", _batch_fingerprint(tests), SEMANTICS_REVISION, len(tests)
+        )
+        journal.record(0, fabricated)
+        journal.close()
+        resumed = run_tests(tests, checkpoint=tmp_path)
+        got = tuple(r.observed_allowed for r in resumed[0].results)
+        # The journaled test was NOT recomputed: the fabricated verdicts
+        # came straight back, proving only unfinished work runs on resume.
+        assert got == tuple(fabricated)
+        for serial_result, resumed_result in zip(serial[1:], resumed[1:]):
+            assert [r.observed_allowed for r in serial_result.results] == [
+                r.observed_allowed for r in resumed_result.results
+            ]
+        assert not list(tmp_path.iterdir())  # finish() cleaned up
+
+    def test_sweep_resume_recomputes_nothing_when_complete(self, tmp_path, monkeypatch):
+        with monkeypatch.context() as frozen:
+            # Keep the journal alive past a successful run, simulating a
+            # kill that landed after the last chunk was recorded.
+            frozen.setattr(SweepJournal, "finish", SweepJournal.close)
+            first = search_sc_drf_violation(
+                SC_DRF_BOUNDS, ORIGINAL_MODEL, checkpoint=tmp_path
+            )
+            assert list(tmp_path.glob("*.journal"))
+        # Every chunk is journaled: the resumed sweep must not compute any.
+        monkeypatch.setattr(
+            _counterexamples, "_sweep_chunk_worker", _sweep_chunk_bomb
+        )
+        resumed = search_sc_drf_violation(
+            SC_DRF_BOUNDS, ORIGINAL_MODEL, checkpoint=tmp_path
+        )
+        assert resumed.found == first.found
+        assert resumed.programs_examined == first.programs_examined
+        assert (
+            resumed.counterexample.program.name
+            == first.counterexample.program.name
+        )
+        assert not list(tmp_path.glob("*.journal"))  # finished for real now
+
+    @pytest.mark.chaos
+    def test_sigkill_mid_catalogue_resumes_from_journal(self, tmp_path):
+        checkpoint = tmp_path / "journal"
+        script = textwrap.dedent(
+            f"""
+            from repro.litmus.runner import run_catalogue
+            run_catalogue(checkpoint={str(checkpoint)!r})
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_WORKERS", None)
+        process = subprocess.Popen([sys.executable, "-c", script], env=env)
+        # Let it journal part of the catalogue, then kill it dead.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                break
+            if list(checkpoint.glob("*.journal")):
+                time.sleep(0.5)  # some entries, not all
+                break
+            time.sleep(0.05)
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+        process.wait()
+        resumed = run_catalogue(checkpoint=checkpoint)
+        serial = run_catalogue()
+        assert resumed.verdicts() == serial.verdicts()
+        assert not list(checkpoint.glob("*.journal"))
