@@ -132,6 +132,7 @@ def test_catalogue_cache_warm(benchmark):
     report = run_once(benchmark, run_catalogue, cache=cache)
     _assert_catalogue_matches_golden(report)
     assert cache.writes == 0, "warm run recomputed something"
+    benchmark.extra_info["cache_stats"] = report.cache_stats
     print_rows(
         "catalogue sweep (warm verdict cache)",
         [f"{cache.hits} verdicts served from cache, 0 recomputed"],
@@ -191,6 +192,7 @@ def test_compilation_sweep_warm_cache(benchmark):
         if "sweep_examined" in _state:
             assert report.programs_examined == _state["sweep_examined"]
         assert cache.hits == report.programs_examined
+        benchmark.extra_info["cache_stats"] = report.cache_stats
         print_rows(
             "bounded-correctness sweep, corrected model (warm verdict cache)",
             [f"{cache.hits} per-program verdicts served from cache"],

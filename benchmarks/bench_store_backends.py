@@ -1,0 +1,145 @@
+"""Verdict-store backends head to head: file-per-verdict vs segment log.
+
+ISSUE 7 adds a crash-safe segment-log backend behind the same
+``VerdictCache`` API.  These benchmarks price the switch: raw put/get
+microbenchmarks over a synthetic verdict population, and the pair that
+the acceptance criterion reads — a warm-cache catalogue sweep on each
+backend (the segment row must stay within 1.1x of the file row).  Warm
+sweeps record ``cache_stats`` in ``extra_info`` so the snapshot JSON
+carries the hit/miss/corrupt counters alongside the timings.
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.dispatch import MISS, SegmentVerdictCache, VerdictCache, open_cache
+from repro.litmus.runner import run_catalogue
+
+from conftest import print_rows, run_once
+
+GOLDEN_PATH = Path(__file__).parent.parent / "tests" / "data" / "catalogue_verdicts.json"
+
+# The synthetic population: enough records to roll a handful of segments
+# (and a handful of hash-prefix directories on the file backend), with
+# verdict payloads shaped like the real per-expectation ones.
+POPULATION = 600
+
+_state = {}
+
+
+def _verdict(i):
+    return {"allowed": i % 3 == 0, "outcomes": [i, i + 1], "tag": f"synthetic-{i}"}
+
+
+def _populate(cache):
+    for i in range(POPULATION):
+        cache.put(f"bench-key-{i:05d}", _verdict(i))
+
+
+def _read_all(cache):
+    for i in range(POPULATION):
+        verdict = cache.get(f"bench-key-{i:05d}")
+        assert verdict is not MISS and verdict["tag"] == f"synthetic-{i}"
+
+
+def _bench_writes(benchmark, backend):
+    root = tempfile.mkdtemp(prefix=f"repro-store-{backend}-")
+    try:
+        cache = open_cache(Path(root) / "w", backend=backend)
+        run_once(benchmark, _populate, cache)
+        assert cache.writes == POPULATION
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _bench_reads(benchmark, backend):
+    root = tempfile.mkdtemp(prefix=f"repro-store-{backend}-")
+    try:
+        _populate(open_cache(Path(root) / "r", backend=backend))
+        cache = open_cache(Path(root) / "r", backend=backend)
+        run_once(benchmark, _read_all, cache)
+        assert cache.hits == POPULATION and cache.misses == 0
+        benchmark.extra_info["cache_stats"] = cache.stats()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_store_writes_files(benchmark):
+    _bench_writes(benchmark, "files")
+
+
+def test_store_writes_segments(benchmark):
+    _bench_writes(benchmark, "segments")
+
+
+def test_store_reads_files(benchmark):
+    _bench_reads(benchmark, "files")
+
+
+def test_store_reads_segments(benchmark):
+    _bench_reads(benchmark, "segments")
+    print_rows(
+        "verdict-store microbench",
+        [
+            f"{POPULATION} puts + {POPULATION} warm gets per backend "
+            "(see the files/segments row pair)"
+        ],
+    )
+
+
+def _assert_catalogue_matches_golden(report):
+    with GOLDEN_PATH.open() as handle:
+        golden = json.load(handle)
+    for result in report.results:
+        for er in result.results:
+            key = "|".join(
+                (
+                    result.test.name,
+                    er.expectation.model,
+                    json.dumps(sorted(er.expectation.spec_dict.items())),
+                )
+            )
+            assert er.observed_allowed == golden[key], key
+
+
+def _bench_catalogue_warm(benchmark, backend):
+    root = tempfile.mkdtemp(prefix=f"repro-catalogue-{backend}-")
+    try:
+        cache_dir = Path(root) / "verdicts"
+        run_catalogue(cache=open_cache(cache_dir, backend=backend))
+        cache = open_cache(cache_dir, backend=backend)
+        report = run_once(benchmark, run_catalogue, cache=cache)
+        _assert_catalogue_matches_golden(report)
+        assert cache.writes == 0, "warm run recomputed something"
+        assert report.cache_stats is not None
+        benchmark.extra_info["cache_stats"] = report.cache_stats
+        return report
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_catalogue_warm_files(benchmark):
+    """Warm catalogue sweep on the file-per-verdict backend (the baseline
+    for the 1.1x acceptance bound on the segment row below)."""
+    report = _bench_catalogue_warm(benchmark, "files")
+    _state["warm_verdicts"] = report.verdicts()
+
+
+def test_catalogue_warm_segments(benchmark):
+    """Warm catalogue sweep on the segment-log backend.
+
+    The acceptance criterion compares this row against
+    ``test_catalogue_warm_files`` in the committed snapshot: within 1.1x.
+    """
+    report = _bench_catalogue_warm(benchmark, "segments")
+    if "warm_verdicts" in _state:
+        assert report.verdicts() == _state["warm_verdicts"]
+    print_rows(
+        "warm catalogue sweep per backend",
+        [
+            f"{report.cache_stats['hits']} verdicts served from the segment "
+            "store, 0 recomputed, bit-identical to the file backend"
+        ],
+    )

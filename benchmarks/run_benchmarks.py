@@ -47,6 +47,7 @@ QUICK_FILES = (
     "bench_fig6_armv8_violation.py",
     "bench_fig8_scdrf_violation.py",
     "bench_resilience_overhead.py",
+    "bench_store_backends.py",
 )
 
 # The fault-free-overhead budget of the resilience layer, for the
@@ -128,6 +129,37 @@ def check_resilience_overhead(snapshot: Path, threshold: float) -> None:
             f"supervised+journaled ({ratio:.3f}x; budget {threshold:.2f}x "
             "enforced in-suite by the interleaved gate)"
         )
+
+
+def report_cache_health(snapshot: Path) -> None:
+    """Print the verdict-cache counters recorded in the snapshot.
+
+    Warm-cache benchmarks stash the sweep's ``VerdictCache.stats()`` dict
+    in ``extra_info["cache_stats"]``; surfacing them here makes a snapshot
+    self-describing — a "warm" row whose counters show misses or corrupt
+    entries is measuring recomputation, not the cache.  Informational only.
+    """
+    try:
+        with snapshot.open() as handle:
+            benchmarks = json.load(handle)["benchmarks"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        return
+    rows = []
+    for bench in benchmarks:
+        stats = (bench.get("extra_info") or {}).get("cache_stats")
+        if not isinstance(stats, dict):
+            continue
+        name = bench.get("fullname", bench.get("name", "?"))
+        counters = ", ".join(
+            f"{key}={stats[key]}"
+            for key in ("backend", "hits", "misses", "writes", "corrupt", "evictions")
+            if key in stats
+        )
+        rows.append(f"  cache health {name}: {counters}")
+    if rows:
+        print("verdict-cache counters (from extra_info):")
+        for row in rows:
+            print(row)
 
 
 def compare_snapshots(current: Path, baseline: Path, threshold: float) -> int:
@@ -290,6 +322,7 @@ def main() -> int:
     print(f"benchmark snapshot written to {output}")
     if args.quick:
         check_resilience_overhead(output, RESILIENCE_OVERHEAD_THRESHOLD)
+    report_cache_health(output)
     if baseline is not None:
         try:
             if compare_snapshots(output, baseline, args.threshold):

@@ -17,6 +17,11 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-cache=repro.dispatch.store:main",
+        ],
+    },
     extras_require={
         "bench": ["pytest-benchmark"],
         "test": ["pytest", "hypothesis"],

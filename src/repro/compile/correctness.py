@@ -42,6 +42,7 @@ from ..dispatch import (
     resolve_checkpoint,
     resolve_workers,
     supervised_imap,
+    warm_spec,
 )
 from ..lang.ast import Program
 from .scheme import CompiledProgram, compile_program
@@ -311,7 +312,7 @@ def check_corpus_compilation(
     workers = resolve_workers(workers)
     cache = resolve_cache(cache)
     journal = None
-    checkpoint_dir = resolve_checkpoint(checkpoint)
+    checkpoint_dir = resolve_checkpoint(checkpoint, cache=cache)
     if checkpoint_dir is not None and programs:
         journal = SweepJournal.open(
             checkpoint_dir,
@@ -359,6 +360,10 @@ def check_corpus_compilation(
         ],
         workers=workers,
         on_complete=on_program_complete,
+        # Segment stores pay their index scan once at worker start, not
+        # inside the first program of every worker.
+        initializer=warm_spec if isinstance(cache_spec, tuple) else None,
+        initargs=(cache_spec,) if isinstance(cache_spec, tuple) else (),
         fault_plan=fault_plan,
     )
     try:

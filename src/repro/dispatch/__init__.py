@@ -22,7 +22,12 @@ subsystem provides the scale-out and resilience primitives they share:
   cache keyed by a canonical fingerprint of (program structure, model
   configuration, semantics revision), with checksummed entries,
   corrupt-entry quarantine, a size quota with LRU eviction, and a
-  read-only degraded mode.
+  read-only degraded mode;
+* :mod:`repro.dispatch.store` — the crash-safe append-only segment-log
+  storage backend for that cache (``REPRO_CACHE_BACKEND=segments``):
+  checksummed length-prefixed records, flock-coordinated multi-process
+  appends, lock-free reads, atomic crash-safe compaction, fsck, and the
+  ``repro-cache`` migration/maintenance CLI.
 
 Consumers (``litmus.runner``, ``search.counterexamples``,
 ``compile.correctness``) accept ``workers=`` / ``cache=`` / ``checkpoint=``
@@ -34,6 +39,7 @@ on.
 """
 
 from .cache import (
+    BACKEND_ENV,
     CACHE_ENV,
     MISS,
     QUOTA_ENV,
@@ -41,8 +47,16 @@ from .cache import (
     VerdictCache,
     canonical,
     fingerprint,
+    open_cache,
     program_fingerprint,
+    resolve_backend,
     resolve_cache,
+    warm_spec,
+)
+from .store import (
+    SegmentVerdictCache,
+    is_segment_store,
+    migrate_legacy,
 )
 from .faults import (
     FAULT_PLAN_ENV,
@@ -58,6 +72,7 @@ from .journal import (
 from .pool import (
     SUPERVISE_ENV,
     WORKERS_ENV,
+    chain_initializers,
     imap_ordered,
     parallel_map,
     resolve_supervise,
@@ -78,15 +93,23 @@ from .supervise import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
     "CACHE_ENV",
     "MISS",
     "QUOTA_ENV",
     "SEMANTICS_REVISION",
+    "SegmentVerdictCache",
     "VerdictCache",
     "canonical",
+    "chain_initializers",
     "fingerprint",
+    "is_segment_store",
+    "migrate_legacy",
+    "open_cache",
     "program_fingerprint",
+    "resolve_backend",
     "resolve_cache",
+    "warm_spec",
     "FAULT_PLAN_ENV",
     "FaultPlan",
     "FaultPlanError",

@@ -32,6 +32,14 @@ served, writes skipped, one warning) instead of failing every ``put``.
 The cache location comes from the ``REPRO_VERDICT_CACHE`` environment
 variable (``off``/``0``/``none`` disable it; unset means no caching) or an
 explicit :class:`VerdictCache` handed to the consumer APIs.
+
+Two storage backends implement this API: the file-per-verdict layout in
+this module (the default) and the crash-safe append-only segment log in
+:mod:`repro.dispatch.store`, selected by ``REPRO_CACHE_BACKEND=segments``
+(or sniffed automatically from a directory that already contains segment
+files).  :func:`open_cache` is the backend-dispatching constructor; both
+backends share the same keys and verdict payloads, so a directory can be
+migrated between them (``repro-cache migrate``) without losing a verdict.
 """
 
 from __future__ import annotations
@@ -57,7 +65,18 @@ again (the revision is part of every key's preimage).
 
 CACHE_ENV = "REPRO_VERDICT_CACHE"
 QUOTA_ENV = "REPRO_CACHE_QUOTA"
+BACKEND_ENV = "REPRO_CACHE_BACKEND"
+CORRUPT_TTL_ENV = "REPRO_CORRUPT_TTL"
 _DISABLED_VALUES = {"", "0", "off", "no", "none", "disabled"}
+
+_BACKEND_NAMES = {
+    "files": "files",
+    "file": "files",
+    "json": "files",
+    "segments": "segments",
+    "segment": "segments",
+    "log": "segments",
+}
 
 QUOTA_CHECK_INTERVAL = 64
 """Writes between size-quota checks (walking the directory is not free)."""
@@ -210,14 +229,44 @@ atomic rename, so anything this old is debris from an interrupted writer
 cleanup scope), never a live write in progress.
 """
 
+STALE_CORRUPT_SECONDS = 7 * 24 * 3600.0
+"""Default age past which a quarantined ``*.corrupt`` file is reclaimed.
+
+Quarantined entries exist only for post-mortems; a week-old one has had
+its post-mortem or never will.  Override with ``REPRO_CORRUPT_TTL``
+(seconds; ``off``/``0`` keeps quarantined files forever).
+"""
+
+
+def _corrupt_ttl_from_env() -> Optional[float]:
+    """The quarantine TTL in seconds, or ``None`` when sweeping is disabled."""
+    raw = os.environ.get(CORRUPT_TTL_ENV, "").strip()
+    if not raw:
+        return STALE_CORRUPT_SECONDS
+    if raw.lower() in _DISABLED_VALUES:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring unparseable {CORRUPT_TTL_ENV}={raw!r} (expected "
+            "seconds); using the default quarantine TTL",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return STALE_CORRUPT_SECONDS
+
+
 # Directories already swept this process: concurrent shard workers all open
 # the same cache directory, and one sweep per process is plenty.
 _swept_directories: set = set()
+_corrupt_swept_directories: set = set()
 
 # Warn-once registries (per process, keyed by directory): one corruption
 # warning and one degraded-mode warning per cache directory is plenty.
 _warned_corrupt_dirs: set = set()
 _warned_degraded_dirs: set = set()
+_warned_backend_values: set = set()
 
 
 def _verdict_checksum(verdict: Any) -> str:
@@ -246,6 +295,7 @@ class VerdictCache:
         self.degraded = False
         self._writes_since_quota_check = 0
         self._sweep_stale_tmp()
+        self._sweep_stale_corrupt()
 
     def stats(self) -> Dict[str, Any]:
         """Hit/miss/corruption/eviction counters and the degraded flag."""
@@ -258,30 +308,68 @@ class VerdictCache:
             "degraded": self.degraded,
         }
 
-    def _sweep_stale_tmp(self) -> None:
-        """Reclaim orphaned temp files, once per directory per process.
+    def _stale_file_patterns(self) -> Tuple[str, ...]:
+        """Glob patterns (relative to the cache dir) of temp-file debris."""
+        return ("*/*.tmp",)
 
-        Only files older than :data:`STALE_TMP_SECONDS` are removed, so a
-        concurrent writer's in-flight temp file is never touched; every
-        failure is ignored (the sweep is hygiene, not correctness — stale
-        temp files waste space but are never read as entries).
+    def _corrupt_file_patterns(self) -> Tuple[str, ...]:
+        """Glob patterns (relative to the cache dir) of quarantined entries."""
+        return ("*/*.corrupt",)
+
+    def _sweep_aged_files(
+        self, patterns: Iterable[str], max_age: float, registry: set
+    ) -> None:
+        """Reclaim matching files older than ``max_age``, once per directory
+        per process.
+
+        Every failure is ignored (the sweeps are hygiene, not correctness —
+        debris wastes space but is never read as an entry), and the age
+        cutoff guarantees nothing a live writer still holds is touched.
         """
         key = str(self.directory)
-        if key in _swept_directories:
+        if key in registry:
             return
-        _swept_directories.add(key)
+        registry.add(key)
         try:
             if not self.directory.is_dir():
                 return
-            cutoff = time.time() - STALE_TMP_SECONDS
-            for tmp in self.directory.glob("*/*.tmp"):
-                try:
-                    if tmp.stat().st_mtime < cutoff:
-                        tmp.unlink()
-                except OSError:
-                    continue
+            cutoff = time.time() - max_age
+            for pattern in patterns:
+                for path in self.directory.glob(pattern):
+                    try:
+                        if path.stat().st_mtime < cutoff:
+                            path.unlink()
+                    except OSError:
+                        continue
         except OSError:  # pragma: no cover - host-specific listing failures
             return
+
+    def _sweep_stale_tmp(self) -> None:
+        """Reclaim orphaned temp files older than :data:`STALE_TMP_SECONDS`.
+
+        Writers hold a temp file only for the instants between ``mkstemp``
+        and the atomic rename, so anything that old is debris from an
+        interrupted writer, never a live write in progress.
+        """
+        self._sweep_aged_files(
+            self._stale_file_patterns(), STALE_TMP_SECONDS, _swept_directories
+        )
+
+    def _sweep_stale_corrupt(self) -> None:
+        """Age out quarantined ``*.corrupt`` files past their TTL.
+
+        Quarantine preserves corrupt bytes for a post-mortem, but nothing
+        ever deletes them — on a long-lived cache directory they would
+        otherwise accumulate forever *and* count against the size quota.
+        The TTL comes from ``REPRO_CORRUPT_TTL`` (default one week;
+        ``off`` disables the sweep entirely).
+        """
+        ttl = _corrupt_ttl_from_env()
+        if ttl is None:
+            return
+        self._sweep_aged_files(
+            self._corrupt_file_patterns(), ttl, _corrupt_swept_directories
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VerdictCache({str(self.directory)!r}, revision={self.revision!r})"
@@ -290,11 +378,15 @@ class VerdictCache:
 
     @classmethod
     def from_env(cls) -> Optional["VerdictCache"]:
-        """The environment-configured cache, or ``None`` when disabled/unset."""
+        """The environment-configured cache, or ``None`` when disabled/unset.
+
+        The backend comes from ``REPRO_CACHE_BACKEND`` (or is sniffed from
+        the directory's existing layout) — see :func:`open_cache`.
+        """
         raw = os.environ.get(CACHE_ENV, "").strip()
         if raw.lower() in _DISABLED_VALUES:
             return None
-        return cls(raw)
+        return open_cache(raw)
 
     @property
     def spec(self) -> Tuple[str, str]:
@@ -302,9 +394,20 @@ class VerdictCache:
         return (str(self.directory), self.revision)
 
     @classmethod
-    def from_spec(cls, spec: Optional[Tuple[str, str]]) -> Optional["VerdictCache"]:
+    def from_spec(cls, spec: Optional[Tuple[str, ...]]) -> Optional["VerdictCache"]:
+        """Rebuild a cache from its :attr:`spec` tuple (``None`` passes through).
+
+        A 2-tuple is the classic file-per-verdict spec; a 3-tuple whose
+        last element is a backend name dispatches to that backend
+        (segment stores are *shared* per process, so every shard task in a
+        worker reuses one scanned index).
+        """
         if spec is None:
             return None
+        if len(spec) >= 3 and spec[2] == "segments":
+            from .store import SegmentVerdictCache
+
+            return SegmentVerdictCache.shared(spec[0], spec[1])
         return cls(spec[0], spec[1])
 
     # -- keys ---------------------------------------------------------------
@@ -469,12 +572,15 @@ class VerdictCache:
                     stat = path.stat()
                 except OSError:
                     continue
-                files.append((stat.st_mtime, stat.st_size, path))
+                # Quarantined and temp debris goes before any live entry:
+                # it is never read back, so evicting it costs nothing.
+                priority = 0 if path.suffix in (".corrupt", ".tmp") else 1
+                files.append((priority, stat.st_mtime, stat.st_size, path))
                 total += stat.st_size
             if total <= self.quota_bytes:
                 return
             target = self.quota_bytes * QUOTA_EVICT_TO
-            for _mtime, size, path in sorted(files):
+            for _priority, _mtime, size, path in sorted(files):
                 if total <= target:
                     break
                 try:
@@ -493,6 +599,73 @@ class VerdictCache:
             verdict = compute()
             self.put(key, verdict)
         return verdict
+
+
+def resolve_backend(
+    backend: Optional[str] = None, directory: Optional[os.PathLike] = None
+) -> str:
+    """The storage backend name (``"files"`` or ``"segments"``) to use.
+
+    Precedence: an explicit ``backend`` argument, then the
+    ``REPRO_CACHE_BACKEND`` environment variable, then *sniffing* — a
+    directory that already contains segment files keeps being read as a
+    segment store even with nothing configured (so a migrated cache never
+    silently falls back to the empty legacy layout).  Unknown names warn
+    once per process and fall back to the file backend.
+    """
+    raw = backend if backend is not None else os.environ.get(BACKEND_ENV, "")
+    raw = raw.strip().lower()
+    if raw:
+        resolved = _BACKEND_NAMES.get(raw)
+        if resolved is not None:
+            return resolved
+        if raw not in _warned_backend_values:
+            _warned_backend_values.add(raw)
+            warnings.warn(
+                f"unknown cache backend {raw!r} (expected "
+                "'files' or 'segments'); using the file-per-verdict backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return "files"
+    if directory is not None:
+        from .store import is_segment_store
+
+        if is_segment_store(directory):
+            return "segments"
+    return "files"
+
+
+def open_cache(
+    directory: os.PathLike,
+    revision: Optional[str] = None,
+    backend: Optional[str] = None,
+    quota_bytes: Optional[int] = None,
+) -> VerdictCache:
+    """Open ``directory`` with the resolved storage backend.
+
+    This is the backend-dispatching constructor: ``VerdictCache(dir)``
+    always means the file-per-verdict layout, ``open_cache(dir)`` means
+    *whatever the configuration and the directory's existing layout say*.
+    """
+    if resolve_backend(backend, directory) == "segments":
+        from .store import SegmentVerdictCache
+
+        return SegmentVerdictCache(directory, revision, quota_bytes)
+    return VerdictCache(directory, revision, quota_bytes)
+
+
+def warm_spec(spec: Optional[Tuple[str, ...]]) -> None:
+    """Worker initializer: open (and index) the cache once per process.
+
+    Passed as ``initializer=warm_spec, initargs=(cache_spec,)`` to the
+    worker pool so a segment store pays its index scan at worker start,
+    not inside the first task; the instance lands in the per-process
+    shared registry that :meth:`VerdictCache.from_spec` consults.  A
+    top-level function, hence picklable under any start method.
+    """
+    if isinstance(spec, tuple):
+        VerdictCache.from_spec(spec)
 
 
 def resolve_cache(cache: Any = None) -> Optional[VerdictCache]:

@@ -56,15 +56,25 @@ def _line_checksum(body: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
-def resolve_checkpoint(checkpoint: Any = None) -> Optional[Path]:
+def resolve_checkpoint(checkpoint: Any = None, cache: Any = None) -> Optional[Path]:
     """Normalise a consumer-facing ``checkpoint=`` argument.
 
     ``None`` defers to ``REPRO_CHECKPOINT_DIR``, ``False`` disables
-    journaling outright, and a path passes through.
+    journaling outright, and a path passes through.  With neither an
+    argument nor the environment variable set, a *durable* cache backend
+    (one advertising a ``journal_directory``, i.e. the segment store)
+    donates a ``journals/`` subdirectory of its own store — a sweep
+    against a crash-safe store is resumable by default, journals and
+    verdicts live and are backed up together.
     """
     if checkpoint is None:
         raw = os.environ.get(CHECKPOINT_ENV, "").strip()
         if raw.lower() in _DISABLED_VALUES:
+            if not raw:
+                # Genuinely unconfigured (an explicit "off" stays off).
+                journal_dir = getattr(cache, "journal_directory", None)
+                if journal_dir is not None:
+                    return Path(journal_dir)
             return None
         return Path(raw)
     if checkpoint is False:

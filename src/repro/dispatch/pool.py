@@ -142,6 +142,39 @@ def sized_shard_ranges(
     return ranges
 
 
+def _run_initializers(specs: Tuple[Tuple[Callable, Tuple], ...]) -> None:
+    """Run each ``(initializer, initargs)`` pair in order (worker-side)."""
+    for initializer, initargs in specs:
+        initializer(*initargs)
+
+
+def chain_initializers(
+    *specs: Optional[Tuple[Optional[Callable], Tuple]]
+) -> Tuple[Optional[Callable], Tuple]:
+    """Compose worker initializers into one ``(initializer, initargs)`` pair.
+
+    Consumers that want both a shape-table warm-up *and* a cache warm-up in
+    their workers pass ``initializer, initargs = chain_initializers(
+    (install_shape_tables, (tables,)), (warm_spec, (spec,)))``.  ``None``
+    entries (and entries with a ``None`` callable) are dropped; zero live
+    entries compose to ``(None, ())``, one passes through unchanged.  The
+    composition is a top-level function over the specs, hence picklable
+    under any start method.
+    """
+    live = tuple(
+        (initializer, tuple(initargs))
+        for spec in specs
+        if spec is not None
+        for initializer, initargs in [spec]
+        if initializer is not None
+    )
+    if not live:
+        return None, ()
+    if len(live) == 1:
+        return live[0]
+    return _run_initializers, (live,)
+
+
 def resolve_supervise(supervise: Optional[bool] = None) -> bool:
     """Is the supervised engine in effect? Argument, else env, else on."""
     if supervise is not None:

@@ -1,0 +1,1122 @@
+"""A crash-safe, multi-process segment-log backend for the verdict cache.
+
+The file-per-verdict layout of :mod:`repro.dispatch.cache` pays one inode,
+one ``open`` and one directory walk per verdict — fine for a workstation
+sweep, hopeless for a long-running verdict service.  This module stores the
+same content-addressed entries in a handful of bounded *segment files*:
+
+* every record is appended as ``magic | payload length | sha256[:16] |
+  payload`` (the payload is the canonical JSON of ``{"k": key, "v":
+  verdict}``), so any prefix of a segment is decodable and any torn or
+  corrupt suffix is detectable;
+* an in-memory ``key -> (segment, offset, length)`` index is rebuilt by a
+  torn-tail-tolerant scan at open, extended incrementally as other
+  processes append, and fully rebuilt whenever a read detects the disk
+  moved under it (compaction, eviction);
+* writes are multi-process-safe: each append takes an advisory ``flock``
+  on the active segment, repairs any torn tail left by a killed writer
+  (records after a tear would otherwise be unreachable), and writes the
+  whole record with a single ``os.write`` on an ``O_APPEND`` descriptor.
+  Readers never lock — a stale read fails its checksum and triggers an
+  index rebuild, never a wrong verdict;
+* when the active segment exceeds :data:`DEFAULT_SEGMENT_BYTES`
+  (``REPRO_SEGMENT_BYTES``), writers roll to a fresh segment with an
+  ``O_EXCL`` create (the loser of a race simply uses the winner's file);
+* compaction rewrites the latest record of every live key into one merged
+  file, atomically swaps it over the highest victim segment with
+  ``os.replace``, and only then unlinks the shadowed lower segments — a
+  ``SIGKILL`` at *any* point leaves either the original segments or the
+  merged segment plus duplicates, never a lost committed record (the
+  chaos drill in ``tests/test_store.py`` kills it at every step);
+* the size quota (``REPRO_CACHE_QUOTA``) is enforced at *segment*
+  granularity: byte accounting stats a handful of segment files instead of
+  walking thousands of entries, quarantine sidecars and temp debris are
+  evicted first, then whole oldest segments (never the active one without
+  rolling it first).
+
+The store implements the exact :class:`~repro.dispatch.cache.VerdictCache`
+API (``get`` / ``put`` / ``get_or_compute`` / ``stats`` / ``spec``), is
+selected by ``REPRO_CACHE_BACKEND=segments`` (or sniffed from a directory
+that already contains segment files), and every verdict it serves is
+bit-identical to the file-per-verdict backend — the keys, payloads and
+checksums share one canonical encoding.
+
+Tooling lives in the ``repro-cache`` CLI (also ``python -m
+repro.dispatch.store``): ``migrate`` converts a legacy file-per-verdict
+directory in place with a read-back parity check over every key before any
+legacy file is removed, ``fsck`` scans for torn tails and mid-file
+corruption (``--repair`` quarantines the bad byte ranges into ``*.corrupt``
+sidecars and rewrites the segment from its valid records, resynchronising
+on the record magic so later records are salvaged), ``compact`` merges
+segments, and ``stats`` prints the health counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import errno
+import fcntl
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .cache import (
+    CACHE_ENV,
+    MISS,
+    QUOTA_CHECK_INTERVAL,
+    QUOTA_EVICT_TO,
+    SEMANTICS_REVISION,
+    VerdictCache,
+)
+from .faults import resolve_fault_plan
+
+SEGMENT_BYTES_ENV = "REPRO_SEGMENT_BYTES"
+
+DEFAULT_SEGMENT_BYTES = 4 * 2 ** 20
+"""Size past which the active segment is sealed and a fresh one started."""
+
+MAGIC = b"RVS1"
+_HEADER = struct.Struct("<4sI16s")  # magic, payload length, sha256[:16]
+HEADER_SIZE = _HEADER.size
+
+MAX_PAYLOAD_BYTES = 64 * 2 ** 20
+"""Sanity bound on a record's length field: a corrupt header cannot make a
+scanner allocate gigabytes or skip over the rest of the segment."""
+
+_SEGMENT_GLOB = "seg-*.log"
+
+COMPACT_STEPS = (
+    "start",
+    "victims-locked",
+    "merged-written",
+    "merged-swapped",
+    "shadows-unlinked",
+)
+"""Named kill points of :meth:`SegmentVerdictCache.compact`.
+
+A :class:`~repro.dispatch.faults.FaultPlan` passed to ``compact`` is probed
+at each step index (``crash@2`` dies with the merged file written but not
+yet swapped in, and so on) — the chaos drill proves every kill point
+recovers with zero lost committed records.
+"""
+
+# Per-process store registry: shard workers rebuilding a store from its spec
+# share one instance (and its scanned index) instead of re-scanning the
+# segment files once per task.  Safe across fork: the store holds no file
+# descriptors between operations except the positionless pread cache.
+_shared_stores: Dict[Tuple[str, str], "SegmentVerdictCache"] = {}
+
+
+class _RecordError(Exception):
+    """A record read that failed its structural or checksum validation."""
+
+
+def _segment_bytes_from_env() -> int:
+    raw = os.environ.get(SEGMENT_BYTES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_SEGMENT_BYTES
+    try:
+        from .cache import parse_size
+
+        return max(4096, parse_size(raw))
+    except ValueError:
+        return DEFAULT_SEGMENT_BYTES
+
+
+def encode_record(key: str, verdict: Any) -> bytes:
+    """One length-prefixed, checksummed record (raises on unserialisable)."""
+    payload = json.dumps(
+        {"k": key, "v": verdict}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()[:16]
+    return _HEADER.pack(MAGIC, len(payload), digest) + payload
+
+
+def _try_parse(buf: bytes, pos: int) -> Optional[Tuple[str, int, Any]]:
+    """``(key, record length, verdict)`` of the record at ``pos``, or ``None``.
+
+    ``None`` covers every flaw a torn tail or corruption can produce: a
+    short header, a foreign magic, an insane length field, truncated
+    payload bytes, a checksum mismatch, or undecodable JSON.
+    """
+    if pos + HEADER_SIZE > len(buf):
+        return None
+    magic, length, digest = _HEADER.unpack_from(buf, pos)
+    if magic != MAGIC or not 0 < length <= MAX_PAYLOAD_BYTES:
+        return None
+    end = pos + HEADER_SIZE + length
+    if end > len(buf):
+        return None
+    payload = buf[pos + HEADER_SIZE : end]
+    if hashlib.sha256(payload).digest()[:16] != digest:
+        return None
+    try:
+        entry = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(entry, dict) or not isinstance(entry.get("k"), str) or "v" not in entry:
+        return None
+    return entry["k"], HEADER_SIZE + length, entry["v"]
+
+
+def _scan_records(
+    buf: bytes, base: int = 0
+) -> Tuple[List[Tuple[str, int, int]], int]:
+    """Valid-prefix scan: ``([(key, offset, length)], consumed bytes)``.
+
+    Stops at the first flaw; ``consumed < len(buf)`` means a torn or
+    corrupt tail follows (from ``base + consumed`` on).  Offsets are
+    absolute (``base`` is where ``buf`` starts inside the segment).
+    """
+    entries: List[Tuple[str, int, int]] = []
+    pos = 0
+    while pos < len(buf):
+        parsed = _try_parse(buf, pos)
+        if parsed is None:
+            break
+        key, length, _verdict = parsed
+        entries.append((key, base + pos, length))
+        pos += length
+    return entries, pos
+
+
+def _scan_with_resync(
+    buf: bytes,
+) -> Tuple[List[Tuple[str, int, int]], List[Tuple[int, int]]]:
+    """Full fsck scan: records plus corrupt byte ranges, resyncing on magic.
+
+    Unlike :func:`_scan_records`, a flaw does not end the scan: the scanner
+    searches forward for the next record magic and keeps going, so records
+    *after* a corrupted region are salvaged rather than abandoned.
+    """
+    records: List[Tuple[str, int, int]] = []
+    regions: List[Tuple[int, int]] = []
+    pos = 0
+    while pos < len(buf):
+        parsed = _try_parse(buf, pos)
+        if parsed is not None:
+            key, length, _verdict = parsed
+            records.append((key, pos, length))
+            pos += length
+            continue
+        nxt = buf.find(MAGIC, pos + 1)
+        end = len(buf) if nxt == -1 else nxt
+        if regions and regions[-1][1] == pos:
+            regions[-1] = (regions[-1][0], end)
+        else:
+            regions.append((pos, end))
+        pos = end
+    return records, regions
+
+
+@dataclass
+class _SegmentState:
+    """What this process knows about one segment file."""
+
+    scanned: int = 0  # bytes validated into the index
+    size: int = 0  # file size at last look
+    torn: bool = False  # unreadable bytes follow ``scanned``
+
+
+class SegmentVerdictCache(VerdictCache):
+    """Append-only segment-log verdict store (see module docstring).
+
+    Drop-in for :class:`VerdictCache`: same keys, same verdict payloads,
+    same ``stats()`` counters (plus segment-level extras), same degraded
+    read-only mode on unwritable directories.
+    """
+
+    backend = "segments"
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        revision: Optional[str] = None,
+        quota_bytes: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
+    ):
+        self.segment_bytes = (
+            _segment_bytes_from_env() if segment_bytes is None else max(4096, segment_bytes)
+        )
+        self._index: Dict[str, Tuple[int, int, int]] = {}
+        self._segments: Dict[int, _SegmentState] = {}
+        self._read_fds: Dict[int, int] = {}
+        super().__init__(directory, revision, quota_bytes)
+        self._rebuild_index()
+
+    # -- transport ----------------------------------------------------------
+
+    @property
+    def spec(self) -> Tuple[str, str, str]:
+        """Picklable description; workers rebuild (and share) the store."""
+        return (str(self.directory), self.revision, self.backend)
+
+    @property
+    def journal_directory(self) -> Path:
+        """Where sweep checkpoint journals co-locate with this store.
+
+        :func:`~repro.dispatch.journal.resolve_checkpoint` falls back to
+        this when nothing else configures a checkpoint directory: a sweep
+        whose verdicts live in a crash-safe store is resumable by default.
+        """
+        return self.directory / "journals"
+
+    @classmethod
+    def shared(cls, directory: os.PathLike, revision: Optional[str] = None
+               ) -> "SegmentVerdictCache":
+        """The per-process store for ``directory`` (one index scan, not N).
+
+        Shard workers rebuilding the cache from a spec once per task would
+        otherwise pay a full segment scan per task; fork-started workers
+        additionally inherit the parent's already-warm instance.
+        """
+        key = (str(Path(directory)), SEMANTICS_REVISION if revision is None else revision)
+        store = _shared_stores.get(key)
+        if store is None:
+            store = cls(directory, revision)
+            _shared_stores[key] = store
+        return store
+
+    # -- filesystem layout --------------------------------------------------
+
+    @staticmethod
+    def _segment_name(num: int) -> str:
+        return f"seg-{num:08d}.log"
+
+    def _segment_path(self, num: int) -> Path:
+        return self.directory / self._segment_name(num)
+
+    def _list_segments(self) -> List[Tuple[int, Path]]:
+        try:
+            paths = list(self.directory.glob(_SEGMENT_GLOB))
+        except OSError:
+            return []
+        segments = []
+        for path in paths:
+            stem = path.name[len("seg-") : -len(".log")]
+            try:
+                segments.append((int(stem), path))
+            except ValueError:
+                continue
+        segments.sort()
+        return segments
+
+    def _create_segment(self, start_num: int) -> int:
+        """Create the next segment at or after ``start_num``; return its number."""
+        num = start_num
+        while True:
+            try:
+                fd = os.open(
+                    self._segment_path(num), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+                os.close(fd)
+                return num
+            except FileExistsError:
+                num += 1
+
+    # -- hygiene sweeps (flat layout: override the ``*/*`` globs) -----------
+
+    def _stale_file_patterns(self):
+        return ("*.tmp",)
+
+    def _corrupt_file_patterns(self):
+        return ("*.corrupt",)
+
+    # -- index maintenance --------------------------------------------------
+
+    def _close_read_fds(self) -> None:
+        for fd in self._read_fds.values():
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._read_fds.clear()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self._close_read_fds()
+        except Exception:
+            pass
+
+    def _read_fd(self, num: int) -> int:
+        fd = self._read_fds.get(num)
+        if fd is None:
+            fd = os.open(self._segment_path(num), os.O_RDONLY)
+            self._read_fds[num] = fd
+        return fd
+
+    def _merge_entry(self, key: str, num: int, offset: int, length: int) -> None:
+        """Latest-wins index merge: higher (segment, offset) shadows lower."""
+        current = self._index.get(key)
+        if current is None or (num, offset) >= (current[0], current[1]):
+            self._index[key] = (num, offset, length)
+
+    def _rebuild_index(self) -> None:
+        """Full torn-tail-tolerant scan of every segment (lock-free)."""
+        self._close_read_fds()
+        self._index = {}
+        self._segments = {}
+        for num, path in self._list_segments():
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except OSError:
+                continue  # vanished mid-listing (compaction/eviction)
+            try:
+                size = os.fstat(fd).st_size
+                buf = os.pread(fd, size, 0)
+            except OSError:
+                continue
+            finally:
+                os.close(fd)
+            entries, consumed = _scan_records(buf)
+            for key, offset, length in entries:
+                self._merge_entry(key, num, offset, length)
+            self._segments[num] = _SegmentState(
+                scanned=consumed, size=len(buf), torn=consumed < len(buf)
+            )
+
+    def _refresh(self) -> bool:
+        """Fold other processes' appends into the index; True if it changed.
+
+        New segments are scanned whole; known segments are delta-scanned
+        from their validated end.  A segment that shrank or vanished means
+        compaction or eviction moved the ground under us — full rebuild.
+        """
+        listed = dict(self._list_segments())
+        if set(self._segments) - set(listed):
+            self._rebuild_index()
+            return True
+        changed = False
+        for num, path in sorted(listed.items()):
+            state = self._segments.get(num)
+            try:
+                size = path.stat().st_size
+            except OSError:
+                self._rebuild_index()
+                return True
+            if state is None:
+                state = _SegmentState()
+                self._segments[num] = state
+            elif size < state.size or (state.torn and size != state.size):
+                # Shrunk (compaction/eviction replaced it), or a tear we
+                # remember was repaired by a writer (truncated away, maybe
+                # already written over) — the bytes past ``scanned`` are
+                # not the ones we skipped, so delta state is meaningless.
+                self._rebuild_index()
+                return True
+            if size > state.size and not state.torn:
+                try:
+                    fd = self._read_fd(num)
+                    buf = os.pread(fd, size - state.scanned, state.scanned)
+                except OSError:
+                    self._rebuild_index()
+                    return True
+                entries, consumed = _scan_records(buf, base=state.scanned)
+                for key, offset, length in entries:
+                    self._merge_entry(key, num, offset, length)
+                state.scanned += consumed
+                state.torn = state.scanned < size
+                changed = changed or bool(entries)
+            state.size = size
+        return changed
+
+    # -- reads (lock-free) --------------------------------------------------
+
+    def _read_at(self, num: int, offset: int, length: int) -> Tuple[str, Any]:
+        try:
+            fd = self._read_fd(num)
+            data = os.pread(fd, length, offset)
+        except OSError as exc:
+            raise _RecordError(str(exc)) from exc
+        if len(data) != length:
+            raise _RecordError("short read")
+        parsed = _try_parse(data, 0)
+        if parsed is None:
+            raise _RecordError("record fails validation")
+        key, _length, verdict = parsed
+        return key, verdict
+
+    def get(self, key: str) -> Any:
+        """The recorded verdict for ``key``, or :data:`MISS` (never locks).
+
+        A read that fails — the segment was compacted, evicted or replaced
+        since the index was built — triggers a full rebuild and one retry;
+        a record another process appended since our last look is found by
+        an incremental refresh.  Either way the store serves a correct
+        verdict or a miss, never stale bytes.
+        """
+        refreshed = False
+        rebuilt = False
+        while True:
+            entry = self._index.get(key)
+            if entry is None:
+                if not refreshed:
+                    refreshed = True
+                    if self._refresh():
+                        continue
+                self.misses += 1
+                return MISS
+            num, offset, length = entry
+            try:
+                stored_key, verdict = self._read_at(num, offset, length)
+            except _RecordError:
+                stored_key = None
+            if stored_key == key:
+                self.hits += 1
+                return verdict
+            # Stale index: the bytes moved (compaction swap, eviction).
+            if rebuilt:
+                self.misses += 1
+                return MISS
+            rebuilt = refreshed = True
+            self._rebuild_index()
+
+    # -- writes (flocked appends) -------------------------------------------
+
+    def put(self, key: str, verdict: Any) -> None:
+        """Append ``{key: verdict}`` to the active segment (best-effort).
+
+        Multi-process-safe: the append happens under an exclusive
+        ``flock`` of the active segment, after folding any bytes other
+        writers appended into the index and truncating a torn tail a
+        killed writer left (committed records are never truncated — a
+        tear can only be the *last* incomplete write, and every complete
+        record before it has already been validated into the index).
+        Unserialisable verdicts and expected IO failures are swallowed
+        exactly like the file backend; a directory that cannot even stage
+        a write flips the store into read-only degraded mode.
+        """
+        if self.degraded:
+            return
+        try:
+            record = encode_record(key, verdict)
+        except (TypeError, ValueError):
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self._enter_degraded()
+            return
+        try:
+            self._append(key, record)
+        except OSError as exc:
+            if exc.errno in (errno.EACCES, errno.EPERM, errno.EROFS):
+                self._enter_degraded()
+            return
+        self.writes += 1
+        self._writes_since_quota_check += 1
+        if (
+            self.quota_bytes is not None
+            and self._writes_since_quota_check >= QUOTA_CHECK_INTERVAL
+        ):
+            self._enforce_quota()
+
+    def _append(self, key: str, record: bytes) -> None:
+        while True:
+            segments = self._list_segments()
+            if not segments:
+                self._create_segment(1)
+                continue
+            num, path = segments[-1]
+            try:
+                fd = os.open(path, os.O_RDWR | os.O_APPEND)
+            except FileNotFoundError:
+                continue  # compacted/evicted between listing and open
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                try:
+                    path_stat = os.stat(path)
+                except FileNotFoundError:
+                    continue  # unlinked while we waited for the lock
+                fd_stat = os.fstat(fd)
+                if (fd_stat.st_ino, fd_stat.st_dev) != (
+                    path_stat.st_ino,
+                    path_stat.st_dev,
+                ):
+                    continue  # replaced (compaction swap) while we waited
+                if fd_stat.st_size >= self.segment_bytes:
+                    self._create_segment(num + 1)
+                    continue
+                state = self._segments.setdefault(num, _SegmentState())
+                if fd_stat.st_size > state.scanned:
+                    # Fold in other writers' records; under the exclusive
+                    # lock nothing can append concurrently, so a flaw here
+                    # is a genuine tear — truncate it away before our
+                    # record lands, or it would be unreachable forever.
+                    buf = os.pread(fd, fd_stat.st_size - state.scanned, state.scanned)
+                    entries, consumed = _scan_records(buf, base=state.scanned)
+                    for entry_key, offset, length in entries:
+                        self._merge_entry(entry_key, num, offset, length)
+                    state.scanned += consumed
+                    if state.scanned < fd_stat.st_size:
+                        os.ftruncate(fd, state.scanned)
+                offset = state.scanned
+                written = os.write(fd, record)
+                if written != len(record):  # pragma: no cover - ENOSPC partials
+                    os.ftruncate(fd, offset)
+                    raise OSError(errno.ENOSPC, "short append")
+                self._merge_entry(key, num, offset, len(record))
+                state.scanned = offset + len(record)
+                state.size = state.scanned
+                state.torn = False
+                return
+            finally:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover
+                    pass
+                os.close(fd)
+
+    # -- quota: segment-granularity LRU -------------------------------------
+
+    def _storage_files(self) -> List[Tuple[int, float, int, Path, Optional[int]]]:
+        """``(priority, mtime, size, path, segment number)`` of every file.
+
+        Priority 0 — quarantine sidecars and temp debris — is evicted
+        before any live segment.  Byte accounting stats a handful of files
+        (segments, not entries), which is what makes the quota check cheap
+        enough to run inline.
+        """
+        files = []
+        for num, path in self._list_segments():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            files.append((1, stat.st_mtime, stat.st_size, path, num))
+        try:
+            for path in self.directory.iterdir():
+                if path.suffix not in (".corrupt", ".tmp"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                files.append((0, stat.st_mtime, stat.st_size, path, None))
+        except OSError:
+            pass
+        return files
+
+    def total_bytes(self) -> int:
+        """Bytes the store occupies (segments + quarantine + temp debris)."""
+        return sum(size for _p, _m, size, _path, _num in self._storage_files())
+
+    def _enforce_quota(self) -> None:
+        """Evict sidecars first, then whole oldest segments, down to target.
+
+        Dropping a segment drops every key whose latest record lived in it
+        (counted on ``evictions``); the active segment is rolled before it
+        is ever evicted, so an in-flight append can at worst land in a
+        just-evicted file — an immediate eviction, never a torn store.
+        """
+        self._writes_since_quota_check = 0
+        if self.quota_bytes is None:
+            return
+        try:
+            files = self._storage_files()
+            total = sum(size for _p, _m, size, _path, _num in files)
+            if total <= self.quota_bytes:
+                return
+            target = self.quota_bytes * QUOTA_EVICT_TO
+            segment_numbers = sorted(
+                num for _p, _m, _s, _path, num in files if num is not None
+            )
+            active = segment_numbers[-1] if segment_numbers else None
+            # Oldest-first overall, quarantine/debris before live segments.
+            for priority, _mtime, size, path, num in sorted(files):
+                if total <= target:
+                    break
+                if num is not None and num == active:
+                    # Never evict the live append target without sealing it:
+                    # roll first so concurrent writers move on, then drop it.
+                    active = self._create_segment(num + 1)
+                removed_keys = 0
+                if num is not None:
+                    removed_keys = sum(
+                        1 for entry in self._index.values() if entry[0] == num
+                    )
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                if num is not None:
+                    self._segments.pop(num, None)
+                    fd = self._read_fds.pop(num, None)
+                    if fd is not None:
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
+                    self._index = {
+                        key: entry
+                        for key, entry in self._index.items()
+                        if entry[0] != num
+                    }
+                    self.evictions += removed_keys
+                else:
+                    self.evictions += 1
+        except OSError:  # pragma: no cover - host-specific listing failures
+            return
+
+    # -- compaction ----------------------------------------------------------
+
+    @staticmethod
+    def _compact_step(plan, step: int) -> None:
+        if plan is not None:
+            plan.inject_before(step, 0)
+
+    def compact(self, fault_plan=None) -> Dict[str, Any]:
+        """Merge sealed segments into one; crash-safe at every kill point.
+
+        The merged file carries the *latest* record of every live key, is
+        fsynced, then atomically swapped over the highest victim segment;
+        only after the swap are the shadowed lower segments unlinked.  Any
+        kill — before the swap, between swap and unlinks, mid-unlink —
+        leaves every committed record reachable: either in the original
+        segments, or in the merged segment which shadows whatever
+        duplicates survive.  Writers are excluded from the victims by a
+        fresh active segment created first (and by the per-victim
+        ``flock`` held across the swap); a concurrent compactor is
+        excluded by ``compact.lock``.  ``fault_plan`` injects deterministic
+        crashes at the :data:`COMPACT_STEPS` kill points (testing only;
+        explicit-only — ``$REPRO_FAULT_PLAN`` targets sweep workers and is
+        deliberately not consulted here).
+        """
+        plan = resolve_fault_plan(fault_plan) if fault_plan is not None else None
+        summary: Dict[str, Any] = {
+            "compacted": 0,
+            "live_records": 0,
+            "reclaimed_bytes": 0,
+            "skipped": False,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            lock_fd = os.open(
+                self.directory / "compact.lock", os.O_RDWR | os.O_CREAT, 0o644
+            )
+        except OSError:
+            summary["skipped"] = True
+            return summary
+        victim_fds: List[Tuple[int, Path, int]] = []
+        try:
+            try:
+                fcntl.flock(lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                summary["skipped"] = True  # another compactor is running
+                return summary
+            self._compact_step(plan, 0)
+            segments = self._list_segments()
+            if len(segments) < 1:
+                return summary
+            # Seal everything: a fresh active segment takes new appends.
+            highest = segments[-1][0]
+            self._create_segment(highest + 1)
+            victims = [(num, path) for num, path in segments if num <= highest]
+            if not victims:
+                return summary
+            for num, path in victims:
+                try:
+                    fd = os.open(path, os.O_RDWR)
+                except FileNotFoundError:
+                    continue  # evicted in the meantime
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                victim_fds.append((num, path, fd))
+            if not victim_fds:
+                return summary
+            self._compact_step(plan, 1)
+            live: Dict[str, Tuple[int, int, int]] = {}
+            buffers: Dict[int, bytes] = {}
+            victim_bytes = 0
+            for num, path, fd in victim_fds:
+                size = os.fstat(fd).st_size
+                buf = os.pread(fd, size, 0)
+                buffers[num] = buf
+                victim_bytes += len(buf)
+                entries, _consumed = _scan_records(buf)
+                for key, offset, length in entries:
+                    current = live.get(key)
+                    if current is None or (num, offset) >= (current[0], current[1]):
+                        live[key] = (num, offset, length)
+            ordered = sorted(live.items(), key=lambda item: (item[1][0], item[1][1]))
+            tmp_fd, tmp_path = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            merged_bytes = 0
+            with os.fdopen(tmp_fd, "wb") as handle:
+                for _key, (num, offset, length) in ordered:
+                    handle.write(buffers[num][offset : offset + length])
+                    merged_bytes += length
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._compact_step(plan, 2)
+            target = victim_fds[-1][1]
+            os.replace(tmp_path, target)
+            self._compact_step(plan, 3)
+            for num, path, fd in victim_fds[:-1]:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            self._compact_step(plan, 4)
+            summary["compacted"] = len(victim_fds)
+            summary["live_records"] = len(ordered)
+            summary["reclaimed_bytes"] = victim_bytes - merged_bytes
+            return summary
+        finally:
+            for _num, _path, fd in victim_fds:
+                try:
+                    os.close(fd)  # releases the flock
+                except OSError:
+                    pass
+            try:
+                os.close(lock_fd)
+            except OSError:
+                pass
+            self._rebuild_index()
+
+    # -- fsck ----------------------------------------------------------------
+
+    def fsck(self, repair: bool = False) -> Dict[str, Any]:
+        """Scan every segment for corruption; optionally quarantine it.
+
+        Returns a report of valid records, torn/corrupt byte ranges and
+        salvageable records found *after* corrupt regions (the scanner
+        resynchronises on the record magic).  With ``repair=True``, each
+        damaged segment is rewritten from its valid records only — under
+        the same locks as compaction — and the corrupt bytes are appended
+        to a ``<segment>.corrupt`` sidecar for post-mortem (sidecars are
+        aged out by the quarantine sweep and evicted first by the quota).
+        """
+        report: Dict[str, Any] = {
+            "segments": 0,
+            "records": 0,
+            "corrupt_regions": 0,
+            "corrupt_bytes": 0,
+            "repaired_segments": 0,
+            "details": [],
+        }
+        for num, path in self._list_segments():
+            try:
+                buf = path.read_bytes()
+            except OSError:
+                continue
+            records, regions = _scan_with_resync(buf)
+            report["segments"] += 1
+            report["records"] += len(records)
+            if not regions:
+                continue
+            bad_bytes = sum(end - start for start, end in regions)
+            report["corrupt_regions"] += len(regions)
+            report["corrupt_bytes"] += bad_bytes
+            report["details"].append(
+                {
+                    "segment": path.name,
+                    "records": len(records),
+                    "regions": [[start, end] for start, end in regions],
+                }
+            )
+            if not repair:
+                continue
+            try:
+                fd = os.open(path, os.O_RDWR)
+            except OSError:
+                continue
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                buf = os.pread(fd, os.fstat(fd).st_size, 0)
+                records, regions = _scan_with_resync(buf)
+                if not regions:
+                    continue  # another process repaired it meanwhile
+                sidecar = path.with_suffix(".corrupt")
+                with sidecar.open("ab") as handle:
+                    for start, end in regions:
+                        handle.write(buf[start:end])
+                tmp_fd, tmp_path = tempfile.mkstemp(
+                    dir=str(self.directory), suffix=".tmp"
+                )
+                with os.fdopen(tmp_fd, "wb") as handle:
+                    for _key, offset, length in records:
+                        handle.write(buf[offset : offset + length])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+                self.corrupt += len(regions)
+                report["repaired_segments"] += 1
+            except OSError:
+                continue
+            finally:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        if report["repaired_segments"]:
+            self._rebuild_index()
+        return report
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        stats.update(
+            {
+                "backend": self.backend,
+                "segments": len(self._segments),
+                "keys": len(self._index),
+            }
+        )
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentVerdictCache({str(self.directory)!r}, "
+            f"revision={self.revision!r})"
+        )
+
+
+def is_segment_store(directory: os.PathLike) -> bool:
+    """Does ``directory`` already hold segment files? (Backend sniffing.)"""
+    try:
+        return any(Path(directory).glob(_SEGMENT_GLOB))
+    except OSError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# migration: legacy file-per-verdict -> segments, with a parity checker
+# ---------------------------------------------------------------------------
+
+
+def _iter_legacy_entries(
+    directory: Path,
+) -> Iterator[Tuple[Path, Optional[str], Any]]:
+    """Every legacy ``<hh>/<key>.json`` entry: ``(path, key, verdict)``.
+
+    A file that fails the same validation :meth:`VerdictCache.get` applies
+    (readable JSON, matching embedded key, matching checksum) yields
+    ``(path, None, None)`` so the caller can quarantine it.
+    """
+    from .cache import _verdict_checksum
+
+    for path in sorted(directory.glob("*/*.json")):
+        key = path.stem
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            yield path, None, None
+            continue
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key
+            or "verdict" not in entry
+            or (
+                "sha" in entry
+                and entry["sha"] != _verdict_checksum(entry["verdict"])
+            )
+        ):
+            yield path, None, None
+            continue
+        yield path, key, entry["verdict"]
+
+
+def migrate_legacy(
+    directory: os.PathLike,
+    revision: Optional[str] = None,
+    remove_legacy: bool = True,
+) -> Dict[str, Any]:
+    """Migrate a file-per-verdict cache directory to the segment store.
+
+    Online and in place: every valid legacy entry is appended to segment
+    files in the same directory (readers keep hitting the legacy files
+    until they are removed), then a *read-back parity check* re-opens the
+    store cold and compares the stored verdict of **every** migrated key
+    against the legacy verdict.  Only a fully clean parity pass removes
+    the legacy files; any failure leaves them untouched and is reported.
+    Corrupt legacy entries are quarantined as ``*.corrupt`` (never
+    migrated, never deleted) and counted.
+    """
+    directory = Path(directory)
+    store = SegmentVerdictCache(directory, revision)
+    migrated: Dict[str, Tuple[Any, Path]] = {}
+    corrupt = 0
+    for path, key, verdict in _iter_legacy_entries(directory):
+        if key is None:
+            corrupt += 1
+            try:
+                os.replace(path, path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            continue
+        store.put(key, verdict)
+        migrated[key] = (verdict, path)
+    # Read-back parity: a *fresh* store instance, so every verdict comes off
+    # the disk through the full decode path, not from the writer's index.
+    checker = SegmentVerdictCache(directory, revision)
+    failures: List[str] = []
+    for key, (verdict, _path) in migrated.items():
+        stored = checker.get(key)
+        if stored is MISS or stored != verdict:
+            failures.append(key)
+    report: Dict[str, Any] = {
+        "migrated": len(migrated),
+        "corrupt_legacy": corrupt,
+        "parity_checked": len(migrated),
+        "parity_failures": sorted(failures),
+        "legacy_removed": False,
+    }
+    if failures or not remove_legacy:
+        return report
+    for _key, (_verdict, path) in migrated.items():
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    for subdir in directory.iterdir():
+        if subdir.is_dir():
+            try:
+                subdir.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+    report["legacy_removed"] = True
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the repro-cache CLI
+# ---------------------------------------------------------------------------
+
+
+def _cli_store(directory: str, revision: Optional[str]) -> SegmentVerdictCache:
+    return SegmentVerdictCache(directory, revision)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro-cache``: migrate / fsck / compact / stats for a cache dir.
+
+    Exit codes: 0 success, 1 problem found (parity failure, corruption),
+    2 usage error.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description=(
+            "Maintenance tooling for the persistent verdict cache: migrate a "
+            "legacy file-per-verdict directory to the crash-safe segment-log "
+            "backend, check and repair segment integrity, compact, and "
+            "report health counters."
+        ),
+    )
+    parser.add_argument(
+        "--dir",
+        default=os.environ.get(CACHE_ENV, "").strip(),
+        help="cache directory (default: $REPRO_VERDICT_CACHE)",
+    )
+    parser.add_argument(
+        "--revision",
+        default=None,
+        help=f"semantics revision for key context (default: {SEMANTICS_REVISION})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    migrate = sub.add_parser(
+        "migrate",
+        help="legacy file-per-verdict -> segments, with read-back parity "
+        "over every key; legacy files are removed only on a clean pass",
+    )
+    migrate.add_argument(
+        "--keep-legacy",
+        action="store_true",
+        help="run the migration and parity check but keep the legacy files",
+    )
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan segments for torn tails and corruption (exit 1 if any); "
+        "--repair quarantines corrupt bytes and rewrites the segments",
+    )
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="rewrite damaged segments from their valid records, moving "
+        "corrupt bytes into *.corrupt sidecars",
+    )
+    sub.add_parser("compact", help="merge sealed segments (crash-safe swap)")
+    sub.add_parser("stats", help="print store health counters and layout")
+    args = parser.parse_args(argv)
+
+    if not args.dir:
+        parser.error("--dir (or $REPRO_VERDICT_CACHE) is required")
+    directory = Path(args.dir).expanduser()
+
+    if args.command == "migrate":
+        report = migrate_legacy(
+            directory, args.revision, remove_legacy=not args.keep_legacy
+        )
+        print(
+            f"migrated {report['migrated']} entries "
+            f"({report['corrupt_legacy']} corrupt legacy files quarantined)"
+        )
+        if report["parity_failures"]:
+            print(
+                f"PARITY FAILURE on {len(report['parity_failures'])} key(s); "
+                "legacy files kept:"
+            )
+            for key in report["parity_failures"][:20]:
+                print(f"  {key}")
+            return 1
+        print(
+            f"read-back parity: {report['parity_checked']}/{report['migrated']} "
+            "keys verdict-equal"
+        )
+        print(
+            "legacy files removed"
+            if report["legacy_removed"]
+            else "legacy files kept (--keep-legacy)"
+        )
+        return 0
+
+    store = _cli_store(str(directory), args.revision)
+    if args.command == "fsck":
+        report = store.fsck(repair=args.repair)
+        print(
+            f"fsck: {report['segments']} segment(s), {report['records']} "
+            f"valid record(s), {report['corrupt_regions']} corrupt region(s) "
+            f"({report['corrupt_bytes']} bytes)"
+        )
+        for detail in report["details"]:
+            print(
+                f"  {detail['segment']}: {detail['records']} records, "
+                f"corrupt ranges {detail['regions']}"
+            )
+        if args.repair and report["repaired_segments"]:
+            print(
+                f"repaired {report['repaired_segments']} segment(s); corrupt "
+                "bytes quarantined as *.corrupt sidecars"
+            )
+        return 1 if report["corrupt_regions"] and not args.repair else 0
+    if args.command == "compact":
+        summary = store.compact()
+        if summary["skipped"]:
+            print("compaction skipped (another compactor holds the lock)")
+            return 0
+        print(
+            f"compacted {summary['compacted']} segment(s) into one: "
+            f"{summary['live_records']} live records, "
+            f"{summary['reclaimed_bytes']} bytes reclaimed"
+        )
+        return 0
+    if args.command == "stats":
+        stats = store.stats()
+        stats["bytes"] = store.total_bytes()
+        for name in sorted(stats):
+            print(f"{name}: {stats[name]}")
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -155,7 +155,20 @@ def _worker_main(conn, func, initializer, initargs, plan: Optional[FaultPlan]):
     """
     try:
         if initializer is not None:
-            initializer(*initargs)
+            try:
+                initializer(*initargs)
+            except Exception:
+                # A failed warm-up (e.g. a cache directory that cannot be
+                # indexed) must not take the worker down: whatever the
+                # initializer would have seeded is rebuilt lazily inside
+                # the tasks themselves.  Dying here would make the
+                # supervisor respawn the worker into the same failure —
+                # a crash-loop that starves the sweep.
+                warnings.warn(
+                    "worker initializer failed; continuing without its "
+                    f"warm-up\n{traceback.format_exc()}",
+                    RuntimeWarning,
+                )
         while True:
             message = conn.recv()
             if message is None:

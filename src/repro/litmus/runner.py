@@ -32,6 +32,7 @@ from ..dispatch import (
     resolve_checkpoint,
     resolve_workers,
     supervised_imap,
+    warm_spec,
 )
 from ..lang.ast import Outcome, Program, outcome_matches
 from ..lang.enumeration import allowed_outcomes, outcome_allowed
@@ -234,7 +235,7 @@ def run_tests(
     if supervision is None:
         supervision = SupervisionReport()
     journal = None
-    checkpoint_dir = resolve_checkpoint(checkpoint)
+    checkpoint_dir = resolve_checkpoint(checkpoint, cache=cache)
     if checkpoint_dir is not None and tests:
         journal = SweepJournal.open(
             checkpoint_dir,
@@ -266,6 +267,10 @@ def run_tests(
         workers=workers,
         quarantine=quarantine,
         on_complete=on_test_complete,
+        # Segment stores pay their index scan once at worker start, not
+        # inside the first task of every worker.
+        initializer=warm_spec if isinstance(cache_spec, tuple) else None,
+        initargs=(cache_spec,) if isinstance(cache_spec, tuple) else (),
         fault_plan=fault_plan,
         report=supervision,
     )
@@ -312,6 +317,15 @@ class CatalogueReport:
     the tests that do).
     """
 
+    cache_stats: Optional[Dict[str, object]] = None
+    """The verdict cache's :meth:`~repro.dispatch.cache.VerdictCache.stats`
+    snapshot after the sweep, or ``None`` for an uncached run.
+
+    Multi-worker sweeps count the *parent's* view (the workers' own
+    hit/miss counters live in their processes); warm-cache serial runs see
+    the full picture.
+    """
+
     @property
     def passed(self) -> bool:
         return all(result.passed for result in self.results)
@@ -340,6 +354,9 @@ class CatalogueReport:
             lines.append(
                 f"quarantined (no verdict): {', '.join(self.quarantined)}"
             )
+        if self.cache_stats is not None:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.cache_stats.items()))
+            lines.append(f"verdict cache: {pairs}")
         lines.extend(r.describe() for r in bad)
         return "\n".join(lines)
 
@@ -364,10 +381,13 @@ def run_catalogue(
     """
     tests = all_tests() if names is None else [by_name(name) for name in names]
     supervision = SupervisionReport()
+    # Resolve here (run_tests' resolve_cache passes a live cache through
+    # unchanged) so the report can snapshot the cache's counters.
+    cache = resolve_cache(cache)
     results = run_tests(
         tests,
         workers=workers,
-        cache=cache,
+        cache=cache if cache is not None else False,
         checkpoint=checkpoint,
         fault_plan=fault_plan,
         quarantine=quarantine,
@@ -376,6 +396,7 @@ def run_catalogue(
     return CatalogueReport(
         results=tuple(results),
         quarantined=tuple(sorted(q.task[0].name for q in supervision.quarantined)),
+        cache_stats=cache.stats() if cache is not None else None,
     )
 
 

@@ -32,6 +32,7 @@ from ..dispatch import (
     SupervisionReport,
     SweepJournal,
     VerdictCache,
+    chain_initializers,
     fingerprint,
     program_fingerprint,
     resolve_cache,
@@ -40,6 +41,7 @@ from ..dispatch import (
     shard_ranges,
     sized_shard_ranges,
     supervised_imap,
+    warm_spec,
 )
 from ..lang.ast import Outcome, Program
 from ..lang.enumeration import allowed_executions
@@ -86,6 +88,13 @@ class SearchReport:
     itself kept failing for these enumeration indices (after retries and
     chunk bisection); their verdicts are unknown and the rest of the sweep
     is unaffected.
+    """
+
+    cache_stats: Optional[dict] = None
+    """The verdict cache's stats snapshot after the sweep (``None`` uncached).
+
+    Multi-worker sweeps count the parent's view only — workers' hit/miss
+    counters live in their own processes.
     """
 
     @property
@@ -302,7 +311,7 @@ def _swept_search(
         for (start, stop) in ranges
     ]
     journal = None
-    checkpoint_dir = resolve_checkpoint(checkpoint)
+    checkpoint_dir = resolve_checkpoint(checkpoint, cache=cache)
     if checkpoint_dir is not None:
         journal = SweepJournal.open(
             checkpoint_dir,
@@ -322,13 +331,18 @@ def _swept_search(
     # The shape tables this sweep scans are already warm in this process
     # (the shard layout above consulted them); ship the snapshot to every
     # worker once at pool start instead of letting each worker process
-    # rebuild it on its first chunk.
+    # rebuild it on its first chunk.  A segment-store cache likewise pays
+    # its index scan once at worker start, not inside the first chunk.
+    initializer, initargs = chain_initializers(
+        (install_shape_tables, (shape_tables(bounds),)),
+        (warm_spec, (cache_spec,)) if isinstance(cache_spec, tuple) else None,
+    )
     stream = supervised_imap(
         _sweep_chunk_worker,
         [task for _index, task in live],
         workers=workers,
-        initializer=install_shape_tables,
-        initargs=(shape_tables(bounds),),
+        initializer=initializer,
+        initargs=initargs,
         split=_split_sweep_task,
         merge=_merge_sweep_results,
         quarantine=True,
@@ -381,6 +395,8 @@ def _swept_search(
         report.quarantined = tuple(
             sorted(q.task[4] for q in supervision.quarantined)
         )
+        if cache is not None:
+            report.cache_stats = cache.stats()
         # Returning at all (hit, exhausted, or quarantine-degraded) means
         # the sweep is decided; the journal has served its purpose.  An
         # exception (including KeyboardInterrupt/SIGTERM unwinding) keeps

@@ -1,0 +1,905 @@
+"""The segment-log verdict store: durability, concurrency, migration, CLI.
+
+Covers the crash-safety contract end to end: torn-tail recovery, the
+SIGKILL-at-every-step compaction drill (via ``dispatch/faults`` plans fired
+inside a forked child), multi-process interleaved writers, readers racing
+compaction, eviction under write, the legacy-cache migration with its
+read-back parity checker, backend selection/sniffing, and the
+``repro-cache`` CLI.  The heavyweight true-``SIGKILL`` drills are
+``chaos``-marked like the rest of the resilience suite.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dispatch import (
+    MISS,
+    SegmentVerdictCache,
+    VerdictCache,
+    chain_initializers,
+    is_segment_store,
+    migrate_legacy,
+    open_cache,
+    resolve_backend,
+    resolve_cache,
+    resolve_checkpoint,
+    supervised_map,
+    warm_spec,
+)
+from repro.dispatch import cache as cache_module
+from repro.dispatch import store as store_module
+from repro.dispatch.store import (
+    COMPACT_STEPS,
+    HEADER_SIZE,
+    MAGIC,
+    _scan_records,
+    _scan_with_resync,
+    encode_record,
+    main as cache_cli,
+)
+from repro.litmus.runner import run_catalogue
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    for var in ("REPRO_WORKERS", "REPRO_CACHE_BACKEND", "REPRO_CACHE_QUOTA",
+                "REPRO_CHECKPOINT_DIR", "REPRO_FAULT_PLAN"):
+        env.pop(var, None)
+    return env
+
+
+def _run_script(script: str, **popen_kwargs) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-c", textwrap.dedent(script)],
+        env=_subprocess_env(),
+        **popen_kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# record format
+# ---------------------------------------------------------------------------
+
+
+class TestRecordFormat:
+    def test_roundtrip_scan(self):
+        buf = encode_record("k1", {"a": 1}) + encode_record("k2", [None, False])
+        entries, consumed = _scan_records(buf)
+        assert consumed == len(buf)
+        assert [key for key, _off, _len in entries] == ["k1", "k2"]
+
+    def test_scan_stops_at_torn_tail(self):
+        good = encode_record("k1", 7)
+        torn = encode_record("k2", "x" * 50)[: -10]
+        entries, consumed = _scan_records(good + torn)
+        assert [key for key, _o, _l in entries] == ["k1"]
+        assert consumed == len(good)
+
+    def test_scan_rejects_flipped_payload_byte(self):
+        buf = bytearray(encode_record("k1", {"v": 1}))
+        buf[HEADER_SIZE + 2] ^= 0xFF
+        entries, consumed = _scan_records(bytes(buf))
+        assert entries == [] and consumed == 0
+
+    def test_resync_scan_salvages_after_corruption(self):
+        a, b, c = (encode_record(k, k) for k in ("a", "b", "c"))
+        mangled = bytearray(a + b + c)
+        mangled[len(a) + HEADER_SIZE + 1] ^= 0xFF  # kill record b's payload
+        records, regions = _scan_with_resync(bytes(mangled))
+        assert [key for key, _o, _l in records] == ["a", "c"]
+        assert len(regions) == 1
+        start, end = regions[0]
+        assert start == len(a) and end == len(a) + len(b)
+
+
+# ---------------------------------------------------------------------------
+# store basics
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentStore:
+    def test_roundtrip_and_miss(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s")
+        store.put("k", {"verdict": True})
+        assert store.get("k") == {"verdict": True}
+        assert store.get("absent") is MISS
+        assert store.hits == 1 and store.misses == 1 and store.writes == 1
+
+    def test_falsy_verdicts_are_not_misses(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s")
+        for key, verdict in (("f", False), ("n", None), ("z", 0), ("e", [])):
+            store.put(key, verdict)
+            assert store.get(key) == verdict
+            assert store.get(key) is not MISS
+
+    def test_latest_write_wins(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s")
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+        assert SegmentVerdictCache(tmp_path / "s").get("k") == 2
+
+    def test_reopen_persistence_across_segments(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s", segment_bytes=4096)
+        expected = {}
+        for i in range(150):
+            key = f"key-{i:04d}"
+            expected[key] = {"i": i}
+            store.put(key, {"i": i})
+        segments = list((tmp_path / "s").glob("seg-*.log"))
+        assert len(segments) > 1  # the log actually rolled
+        reopened = SegmentVerdictCache(tmp_path / "s", segment_bytes=4096)
+        assert {k: reopened.get(k) for k in expected} == expected
+
+    def test_get_or_compute(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s")
+        calls = []
+        assert store.get_or_compute("k", lambda: calls.append(1) or 41) == 41
+        assert store.get_or_compute("k", lambda: calls.append(1) or 99) == 41
+        assert len(calls) == 1
+
+    def test_stats_extends_base_counters(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s")
+        store.put("k", 1)
+        stats = store.stats()
+        for name in ("hits", "misses", "writes", "corrupt", "evictions",
+                     "degraded", "backend", "segments", "keys"):
+            assert name in stats
+        assert stats["backend"] == "segments"
+        assert stats["keys"] == 1
+
+    def test_cross_instance_visibility(self, tmp_path):
+        """Two instances on one directory model two processes sharing it."""
+        a = SegmentVerdictCache(tmp_path / "s")
+        b = SegmentVerdictCache(tmp_path / "s")
+        a.put("k1", "from-a")
+        assert b.get("k1") == "from-a"  # index refresh picks up the append
+        b.put("k2", "from-b")
+        assert a.get("k2") == "from-b"
+
+    def test_unwritable_directory_degrades_to_read_only(self, tmp_path, monkeypatch):
+        store = SegmentVerdictCache(tmp_path / "s")
+        store.put("k", 1)
+
+        def refuse(self, key, record):
+            raise PermissionError(13, "disk says no")
+
+        monkeypatch.setattr(SegmentVerdictCache, "_append", refuse)
+        with pytest.warns(RuntimeWarning, match="read-only"):
+            store.put("k2", 2)  # must not raise
+        assert store.degraded
+        store.put("k3", 3)  # later puts return immediately
+        monkeypatch.undo()
+        assert store.get("k") == 1  # hits still served
+        assert store.get("k2") is MISS
+        assert store.get("k3") is MISS
+
+
+# ---------------------------------------------------------------------------
+# torn tails
+# ---------------------------------------------------------------------------
+
+
+class TestTornTail:
+    def _active_segment(self, directory: Path) -> Path:
+        return sorted(directory.glob("seg-*.log"))[-1]
+
+    def test_reopen_reads_everything_before_the_tear(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(directory)
+        for i in range(10):
+            store.put(f"k{i}", i)
+        with self._active_segment(directory).open("ab") as handle:
+            handle.write(encode_record("torn", "x" * 100)[: -20])
+        reopened = SegmentVerdictCache(directory)
+        assert {f"k{i}": reopened.get(f"k{i}") for i in range(10)} == {
+            f"k{i}": i for i in range(10)
+        }
+        assert reopened.get("torn") is MISS
+
+    def test_put_repairs_the_tear_and_appends(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(directory)
+        store.put("k0", 0)
+        segment = self._active_segment(directory)
+        intact = segment.stat().st_size
+        with segment.open("ab") as handle:
+            handle.write(MAGIC + b"\xff" * 40)
+        writer = SegmentVerdictCache(directory)
+        writer.put("k1", 1)
+        # The tear was truncated away before the append: a full scan of the
+        # segment now decodes end to end.
+        buf = segment.read_bytes()
+        entries, consumed = _scan_records(buf)
+        assert consumed == len(buf)
+        assert [key for key, _o, _l in entries] == ["k0", "k1"]
+        assert buf[:intact] == buf[:intact]  # committed prefix untouched
+        assert SegmentVerdictCache(directory).get("k1") == 1
+
+    def test_repaired_tear_is_visible_to_a_stale_reader(self, tmp_path):
+        """A reader that saw the torn tail must see records written over it."""
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(directory)
+        store.put("k0", 0)
+        with self._active_segment(directory).open("ab") as handle:
+            handle.write(MAGIC + b"\xff" * 40)
+        reader = SegmentVerdictCache(directory)  # remembers the tear
+        writer = SegmentVerdictCache(directory)
+        writer.put("k1", 1)
+        assert reader.get("k1") == 1
+
+
+# ---------------------------------------------------------------------------
+# compaction
+# ---------------------------------------------------------------------------
+
+
+def _populated_store(directory, segment_bytes=2048, keys=120):
+    store = SegmentVerdictCache(directory, segment_bytes=segment_bytes)
+    expected = {}
+    for i in range(keys):
+        key = f"k{i:03d}"
+        expected[key] = {"v": i}
+        store.put(key, {"v": i})
+    # Overwrite a third so compaction has shadowed records to drop.
+    for i in range(0, keys, 3):
+        key = f"k{i:03d}"
+        expected[key] = {"v": i + 1000}
+        store.put(key, {"v": i + 1000})
+    return store, expected
+
+
+class TestCompaction:
+    def test_compaction_preserves_every_key_and_shrinks(self, tmp_path):
+        directory = tmp_path / "s"
+        store, expected = _populated_store(directory)
+        before_files = len(list(directory.glob("seg-*.log")))
+        before_bytes = sum(p.stat().st_size for p in directory.glob("seg-*.log"))
+        summary = store.compact()
+        assert not summary["skipped"]
+        assert summary["live_records"] == len(expected)
+        assert summary["reclaimed_bytes"] > 0
+        after_files = len(list(directory.glob("seg-*.log")))
+        after_bytes = sum(p.stat().st_size for p in directory.glob("seg-*.log"))
+        assert after_files <= before_files
+        assert after_bytes < before_bytes
+        # Same instance and a cold reopen both read every key.
+        assert {k: store.get(k) for k in expected} == expected
+        reopened = SegmentVerdictCache(directory, segment_bytes=2048)
+        assert {k: reopened.get(k) for k in expected} == expected
+
+    def test_writes_during_compaction_survive(self, tmp_path):
+        directory = tmp_path / "s"
+        store, expected = _populated_store(directory)
+        summary = store.compact()
+        assert not summary["skipped"]
+        store.put("late", "after-compaction")
+        assert SegmentVerdictCache(directory).get("late") == "after-compaction"
+
+    def test_concurrent_compactor_skips(self, tmp_path):
+        import fcntl
+
+        directory = tmp_path / "s"
+        store, _expected = _populated_store(directory)
+        lock_fd = os.open(directory / "compact.lock", os.O_RDWR | os.O_CREAT)
+        try:
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
+            assert store.compact()["skipped"]
+        finally:
+            os.close(lock_fd)
+
+    @pytest.mark.parametrize("step", range(len(COMPACT_STEPS)))
+    def test_crash_at_every_compaction_step_loses_nothing(self, tmp_path, step):
+        """The deterministic kill drill: fault-plan crashes at each step.
+
+        ``crash@N`` fires ``os._exit`` inside the forked child exactly at
+        compaction checkpoint ``N`` (start, victims locked, merged segment
+        written, swapped in, shadows unlinked); the parent then reopens the
+        directory cold and must find every committed verdict.
+        """
+        directory = tmp_path / "s"
+        _store, expected = _populated_store(directory)
+        pid = os.fork()
+        if pid == 0:  # child: never return into pytest
+            try:
+                SegmentVerdictCache(directory, segment_bytes=2048).compact(
+                    fault_plan=f"crash@{step}"
+                )
+            finally:
+                os._exit(0)
+        _pid, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 87  # died at the kill point
+        survivor = SegmentVerdictCache(directory, segment_bytes=2048)
+        assert {k: survivor.get(k) for k in expected} == expected
+        # And the store is fully operational: writes, then a real compaction.
+        survivor.put("post-crash", True)
+        assert not survivor.compact()["skipped"]
+        reopened = SegmentVerdictCache(directory, segment_bytes=2048)
+        assert {k: reopened.get(k) for k in expected} == expected
+        assert reopened.get("post-crash") is True
+
+
+# ---------------------------------------------------------------------------
+# fsck
+# ---------------------------------------------------------------------------
+
+
+class TestFsck:
+    def test_clean_store_reports_clean(self, tmp_path):
+        store, expected = _populated_store(tmp_path / "s")
+        report = store.fsck()
+        assert report["corrupt_regions"] == 0
+        assert report["records"] >= len(expected)
+
+    def test_fsck_finds_and_repairs_mid_file_corruption(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(directory)
+        for i in range(20):
+            store.put(f"k{i:02d}", {"i": i})
+        segment = sorted(directory.glob("seg-*.log"))[-1]
+        buf = bytearray(segment.read_bytes())
+        # Mangle the *first* record's payload: later records must survive.
+        buf[HEADER_SIZE + 1] ^= 0xFF
+        segment.write_bytes(bytes(buf))
+
+        checker = SegmentVerdictCache(directory)
+        report = checker.fsck()
+        assert report["corrupt_regions"] == 1
+        assert report["records"] == 19  # resync salvaged everything after
+
+        repaired = checker.fsck(repair=True)
+        assert repaired["repaired_segments"] == 1
+        sidecars = list(directory.glob("*.corrupt"))
+        assert len(sidecars) == 1 and sidecars[0].stat().st_size > 0
+        assert checker.fsck()["corrupt_regions"] == 0
+        reopened = SegmentVerdictCache(directory)
+        assert reopened.get("k00") is MISS  # the mangled record is gone
+        assert {f"k{i:02d}": reopened.get(f"k{i:02d}") for i in range(1, 20)} == {
+            f"k{i:02d}": {"i": i} for i in range(1, 20)
+        }
+
+
+# ---------------------------------------------------------------------------
+# quota eviction at segment granularity
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentEviction:
+    def test_eviction_drops_oldest_segments_first(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(
+            directory, quota_bytes=6000, segment_bytes=2048
+        )
+        for i in range(200):
+            store.put(f"k{i:03d}", {"i": i})
+        store._enforce_quota()
+        assert store.evictions > 0
+        assert store.total_bytes() <= 6000
+        # Surviving keys read back correct; evicted ones are plain misses.
+        survivors = 0
+        for i in range(200):
+            verdict = store.get(f"k{i:03d}")
+            if verdict is not MISS:
+                assert verdict == {"i": i}
+                survivors += 1
+        assert 0 < survivors < 200
+        # The newest keys live in the newest segments and survive LRU.
+        assert store.get("k199") == {"i": 199}
+
+    def test_sidecars_evicted_before_live_segments(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(directory, quota_bytes=10 ** 6)
+        store.put("k", 1)
+        debris = directory / "seg-00000001.corrupt"
+        debris.write_bytes(b"x" * 4096)
+        store.quota_bytes = store.total_bytes() - 1  # just over quota
+        store._enforce_quota()
+        assert not debris.exists()  # sidecar went first, despite being newest
+        assert store.get("k") == 1
+
+    def test_active_segment_rolls_before_eviction(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SegmentVerdictCache(
+            directory, quota_bytes=512, segment_bytes=1 << 20
+        )
+        for i in range(10):
+            store.put(f"k{i}", {"i": i})
+        store._enforce_quota()  # single over-quota active segment
+        # The store remains writable and consistent afterwards.
+        store.put("fresh", True)
+        assert store.get("fresh") is True
+        assert SegmentVerdictCache(directory).get("fresh") is True
+
+
+# ---------------------------------------------------------------------------
+# multi-process concurrency
+# ---------------------------------------------------------------------------
+
+
+WRITER_SCRIPT = """
+import sys
+from repro.dispatch import SegmentVerdictCache
+directory, lane, count = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = SegmentVerdictCache(directory, segment_bytes=2048)
+for i in range(count):
+    # Interleave lanes over a shared key space: both lanes write identical
+    # values per key (the store is content-addressed), so any interleaving
+    # must read back exactly this mapping.
+    store.put(f"key-{i:04d}", {"value": i})
+    store.put(f"lane-{lane}-{i:04d}", {"lane": lane, "value": i})
+print("done", flush=True)
+"""
+
+
+class TestConcurrentAccess:
+    def test_interleaved_writers_lose_nothing(self, tmp_path):
+        directory = tmp_path / "s"
+        count = 150
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER_SCRIPT, str(directory), str(lane), str(count)],
+                env=_subprocess_env(),
+            )
+            for lane in (0, 1)
+        ]
+        assert [w.wait() for w in writers] == [0, 0]
+        store = SegmentVerdictCache(directory, segment_bytes=2048)
+        for i in range(count):
+            assert store.get(f"key-{i:04d}") == {"value": i}
+            for lane in (0, 1):
+                assert store.get(f"lane-{lane}-{i:04d}") == {
+                    "lane": lane, "value": i
+                }
+
+    def test_reader_during_compaction_never_reads_wrong(self, tmp_path):
+        directory = tmp_path / "s"
+        done = tmp_path / "done"
+        count = 80
+        store, expected = _populated_store(directory, keys=count)
+        reader_script = f"""
+        import json, os, time
+        from repro.dispatch import SegmentVerdictCache, MISS
+        expected = json.loads({json.dumps(expected)!r})
+        store = SegmentVerdictCache({str(directory)!r}, segment_bytes=2048)
+        while not os.path.exists({str(done)!r}):
+            for key, value in expected.items():
+                verdict = store.get(key)
+                assert verdict is MISS or verdict == value, (key, verdict)
+        final = {{key: store.get(key) for key in expected}}
+        assert final == expected, final
+        """
+        reader = _run_script(reader_script)
+        try:
+            for round_number in range(4):
+                for i in range(count):
+                    store.put(f"k{i:03d}", expected[f"k{i:03d}"])
+                assert not store.compact()["skipped"]
+        finally:
+            done.touch()
+        assert reader.wait(timeout=60) == 0
+
+    def test_eviction_under_write_stays_bounded_and_correct(self, tmp_path):
+        directory = tmp_path / "s"
+        quota = 8192
+        script = f"""
+        import sys
+        from repro.dispatch import SegmentVerdictCache
+        lane = int(sys.argv[1])
+        store = SegmentVerdictCache(
+            {str(directory)!r}, quota_bytes={quota}, segment_bytes=2048
+        )
+        for i in range(300):
+            store.put(f"lane-{{lane}}-{{i:04d}}", {{"lane": lane, "i": i}})
+        """
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", textwrap.dedent(script), str(lane)],
+                env=_subprocess_env(),
+            )
+            for lane in (0, 1)
+        ]
+        assert [w.wait() for w in writers] == [0, 0]
+        store = SegmentVerdictCache(directory, segment_bytes=2048)
+        # Bounded: eviction kept the store near the quota (the final
+        # interval of up to QUOTA_CHECK_INTERVAL writes may overshoot).
+        assert store.total_bytes() < quota * 4
+        # Correct: every surviving key reads back exactly what was written.
+        survivors = 0
+        for lane in (0, 1):
+            for i in range(300):
+                verdict = store.get(f"lane-{lane}-{i:04d}")
+                if verdict is not MISS:
+                    assert verdict == {"lane": lane, "i": i}
+                    survivors += 1
+        assert survivors > 0
+
+    def test_two_supervised_sweeps_share_one_store(self, tmp_path):
+        """Satellite: two separate supervised processes, one store,
+        verdicts bit-identical to serial and no committed entry lost."""
+        directory = tmp_path / "verdicts"
+        script = f"""
+        from repro.dispatch import open_cache
+        from repro.litmus.runner import run_catalogue
+        cache = open_cache({str(directory)!r}, backend="segments")
+        report = run_catalogue(cache=cache, workers=2)
+        assert report.passed
+        """
+        sweeps = [_run_script(script) for _ in range(2)]
+        assert [s.wait(timeout=600) for s in sweeps] == [0, 0]
+        assert is_segment_store(directory)
+        serial = run_catalogue(cache=False)
+        warm = run_catalogue(cache=open_cache(directory))
+        assert warm.verdicts() == serial.verdicts()
+        # Fully warm: every verdict came from the store, none recomputed.
+        assert warm.cache_stats is not None
+        assert warm.cache_stats["backend"] == "segments"
+        assert warm.cache_stats["writes"] == 0
+        assert warm.cache_stats["misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# migration
+# ---------------------------------------------------------------------------
+
+
+class TestMigration:
+    def test_migrate_with_parity_and_sniffed_reopen(self, tmp_path):
+        directory = tmp_path / "cache"
+        legacy = VerdictCache(directory)
+        expected = {}
+        for i in range(40):
+            key = legacy.key("unit", i)
+            expected[key] = {"verdict": i % 3, "list": [i]}
+            legacy.put(key, expected[key])
+        report = migrate_legacy(directory)
+        assert report["migrated"] == 40
+        assert report["parity_failures"] == []
+        assert report["legacy_removed"]
+        assert not list(directory.glob("*/*.json"))
+        # An unconfigured open now sniffs the segment layout.
+        store = open_cache(directory)
+        assert isinstance(store, SegmentVerdictCache)
+        assert {k: store.get(k) for k in expected} == expected
+
+    def test_corrupt_legacy_entry_quarantined_not_migrated(self, tmp_path):
+        directory = tmp_path / "cache"
+        legacy = VerdictCache(directory)
+        good_key = legacy.key("unit", 1)
+        legacy.put(good_key, "good")
+        bogus = directory / "zz" / ("f" * 64 + ".json")
+        bogus.parent.mkdir(parents=True)
+        bogus.write_text("{not json", encoding="utf-8")
+        report = migrate_legacy(directory)
+        assert report["migrated"] == 1
+        assert report["corrupt_legacy"] == 1
+        assert report["legacy_removed"]
+        assert list(directory.glob("*/*.corrupt"))  # preserved for post-mortem
+        assert open_cache(directory).get(good_key) == "good"
+
+    def test_keep_legacy_leaves_files_in_place(self, tmp_path):
+        directory = tmp_path / "cache"
+        legacy = VerdictCache(directory)
+        key = legacy.key("unit", 1)
+        legacy.put(key, 1)
+        report = migrate_legacy(directory, remove_legacy=False)
+        assert report["parity_failures"] == [] and not report["legacy_removed"]
+        assert list(directory.glob("*/*.json"))
+        assert SegmentVerdictCache(directory).get(key) == 1
+
+    def test_migrated_catalogue_bit_identical_to_cache_free(self, tmp_path):
+        """The acceptance criterion: populate legacy via a real catalogue
+        sweep, migrate, and the migrated store reproduces the cache-free
+        verdicts bit for bit with zero recomputation."""
+        directory = tmp_path / "cache"
+        baseline = run_catalogue(cache=False)
+        populated = run_catalogue(cache=VerdictCache(directory))
+        assert populated.verdicts() == baseline.verdicts()
+        report = migrate_legacy(directory)
+        assert report["migrated"] > 0 and report["parity_failures"] == []
+        migrated = run_catalogue(cache=open_cache(directory))
+        assert migrated.verdicts() == baseline.verdicts()
+        assert migrated.cache_stats["backend"] == "segments"
+        assert migrated.cache_stats["misses"] == 0  # nothing recomputed
+        assert migrated.cache_stats["writes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# backend selection and transport
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_explicit_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_module.BACKEND_ENV, "segments")
+        assert resolve_backend("files", tmp_path) == "files"
+        assert isinstance(
+            open_cache(tmp_path / "x", backend="files"), VerdictCache
+        )
+
+    def test_environment_selects_segments(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_module.BACKEND_ENV, "segments")
+        cache = open_cache(tmp_path / "s")
+        assert isinstance(cache, SegmentVerdictCache)
+        monkeypatch.setenv(cache_module.CACHE_ENV, str(tmp_path / "s"))
+        assert isinstance(resolve_cache(None), SegmentVerdictCache)
+
+    def test_sniffing_prefers_existing_segment_layout(self, tmp_path):
+        directory = tmp_path / "s"
+        SegmentVerdictCache(directory).put("k", 1)
+        assert resolve_backend(None, directory) == "segments"
+        assert resolve_backend(None, tmp_path / "empty") == "files"
+
+    def test_unknown_backend_warns_once_and_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache_module.BACKEND_ENV, "bogus-backend-name")
+        with pytest.warns(RuntimeWarning, match="unknown cache backend"):
+            assert resolve_backend(None, tmp_path) == "files"
+
+    def test_spec_roundtrip_both_backends(self, tmp_path):
+        files = VerdictCache(tmp_path / "f")
+        assert len(files.spec) == 2
+        rebuilt = VerdictCache.from_spec(files.spec)
+        assert type(rebuilt) is VerdictCache
+
+    def test_segment_spec_roundtrip_is_shared_per_process(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "s")
+        store.put("k", 1)
+        assert store.spec[2] == "segments"
+        a = VerdictCache.from_spec(store.spec)
+        b = VerdictCache.from_spec(store.spec)
+        assert isinstance(a, SegmentVerdictCache)
+        assert a is b  # one scanned index per process
+        assert a.get("k") == 1
+
+    def test_warm_spec_populates_the_shared_registry(self, tmp_path):
+        store = SegmentVerdictCache(tmp_path / "w")
+        warm_spec(store.spec)
+        assert VerdictCache.from_spec(store.spec) is VerdictCache.from_spec(
+            store.spec
+        )
+        warm_spec(None)  # cache-free sweeps pass None through harmlessly
+
+
+# ---------------------------------------------------------------------------
+# journal co-location and initializer plumbing
+# ---------------------------------------------------------------------------
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom_initializer():
+    raise RuntimeError("synthetic warm-up failure")
+
+
+_CHAIN_CALLS = []
+
+
+def _chain_a(tag):
+    _CHAIN_CALLS.append(("a", tag))
+
+
+def _chain_b(tag):
+    _CHAIN_CALLS.append(("b", tag))
+
+
+class TestPlumbing:
+    def test_checkpoint_colocates_with_segment_store(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        store = SegmentVerdictCache(tmp_path / "s")
+        assert resolve_checkpoint(None, cache=store) == store.journal_directory
+        assert resolve_checkpoint(False, cache=store) is None
+        assert resolve_checkpoint(tmp_path / "x", cache=store) == tmp_path / "x"
+        # The file backend has no journal_directory: behaviour unchanged.
+        assert resolve_checkpoint(None, cache=VerdictCache(tmp_path / "f")) is None
+        # An explicit "off" stays off; a configured directory wins.
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", "off")
+        assert resolve_checkpoint(None, cache=store) is None
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "env"))
+        assert resolve_checkpoint(None, cache=store) == tmp_path / "env"
+
+    def test_chain_initializers_composes_in_order(self):
+        _CHAIN_CALLS.clear()
+        initializer, initargs = chain_initializers(
+            (_chain_a, (1,)), None, (_chain_b, (2,))
+        )
+        initializer(*initargs)
+        assert _CHAIN_CALLS == [("a", 1), ("b", 2)]
+        assert chain_initializers() == (None, ())
+        assert chain_initializers(None, (None, ())) == (None, ())
+        single = chain_initializers((_chain_a, (9,)))
+        assert single == (_chain_a, (9,))
+
+    def test_failing_initializer_does_not_kill_workers(self):
+        results = supervised_map(
+            _double, list(range(8)), workers=2, initializer=_boom_initializer
+        )
+        assert results == [x * 2 for x in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# satellite: quarantine hygiene in the file backend
+# ---------------------------------------------------------------------------
+
+
+class TestCorruptQuarantineHygiene:
+    def test_stale_corrupt_swept_on_open(self, tmp_path):
+        directory = tmp_path / "cache"
+        sub = directory / "ab"
+        sub.mkdir(parents=True)
+        old = sub / ("a" * 64 + ".corrupt")
+        fresh = sub / ("b" * 64 + ".corrupt")
+        old.write_text("junk")
+        fresh.write_text("junk")
+        ancient = time.time() - cache_module.STALE_CORRUPT_SECONDS - 3600
+        os.utime(old, (ancient, ancient))
+        VerdictCache(directory)
+        assert not old.exists()
+        assert fresh.exists()  # under the TTL: kept for its post-mortem
+
+    def test_corrupt_ttl_env_overrides_and_disables(self, tmp_path, monkeypatch):
+        directory = tmp_path / "cache"
+        sub = directory / "ab"
+        sub.mkdir(parents=True)
+        stale = sub / ("c" * 64 + ".corrupt")
+        stale.write_text("junk")
+        aged = time.time() - 60
+        os.utime(stale, (aged, aged))
+        monkeypatch.setenv(cache_module.CORRUPT_TTL_ENV, "off")
+        VerdictCache(directory)
+        assert stale.exists()  # disabled: nothing reclaimed
+        monkeypatch.setenv(cache_module.CORRUPT_TTL_ENV, "1")
+        cache_module._corrupt_swept_directories.discard(str(directory))
+        VerdictCache(directory)
+        assert not stale.exists()  # one-second TTL: reclaimed
+
+    def test_corrupt_files_count_against_quota_and_evict_first(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = VerdictCache(directory, quota_bytes=10 ** 6)
+        for i in range(5):
+            cache.put(cache.key("entry", i), {"i": i})
+        sub = directory / "zz"
+        sub.mkdir(exist_ok=True)
+        corrupt = sub / ("d" * 64 + ".corrupt")
+        corrupt.write_bytes(b"x" * 2048)
+        entry_bytes = sum(
+            p.stat().st_size for p in directory.glob("*/*.json")
+        )
+        # Quota below entries+corrupt but comfortably above the entries:
+        # the corrupt file alone must be evicted, newest mtime or not.
+        cache.quota_bytes = entry_bytes + 1024
+        cache._enforce_quota()
+        assert not corrupt.exists()
+        assert len(list(directory.glob("*/*.json"))) == 5
+
+
+# ---------------------------------------------------------------------------
+# the repro-cache CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_migrate_fsck_compact_stats_smoke(self, tmp_path, capsys):
+        directory = tmp_path / "cache"
+        legacy = VerdictCache(directory)
+        for i in range(12):
+            legacy.put(legacy.key("cli", i), {"i": i})
+        assert cache_cli(["--dir", str(directory), "migrate"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 12 entries" in out
+        assert "read-back parity: 12/12" in out
+        assert cache_cli(["--dir", str(directory), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: segments" in out and "keys: 12" in out
+        assert cache_cli(["--dir", str(directory), "compact"]) == 0
+        assert cache_cli(["--dir", str(directory), "fsck"]) == 0
+
+    def test_fsck_exit_codes_and_repair(self, tmp_path, capsys):
+        directory = tmp_path / "cache"
+        store = SegmentVerdictCache(directory)
+        for i in range(10):
+            store.put(f"k{i}", i)
+        segment = sorted(directory.glob("seg-*.log"))[-1]
+        buf = bytearray(segment.read_bytes())
+        buf[HEADER_SIZE + 1] ^= 0xFF
+        segment.write_bytes(bytes(buf))
+        assert cache_cli(["--dir", str(directory), "fsck"]) == 1
+        assert "1 corrupt region(s)" in capsys.readouterr().out
+        assert cache_cli(["--dir", str(directory), "fsck", "--repair"]) == 0
+        assert "repaired 1 segment(s)" in capsys.readouterr().out
+        assert cache_cli(["--dir", str(directory), "fsck"]) == 0
+
+    def test_migrate_parity_failure_keeps_legacy(self, tmp_path, capsys, monkeypatch):
+        directory = tmp_path / "cache"
+        legacy = VerdictCache(directory)
+        key = legacy.key("cli", 1)
+        legacy.put(key, {"value": 1})
+        # Sabotage the read-back so the parity checker must fail closed.
+        monkeypatch.setattr(
+            store_module.SegmentVerdictCache, "get", lambda self, key: MISS
+        )
+        assert cache_cli(["--dir", str(directory), "migrate"]) == 1
+        assert "PARITY FAILURE" in capsys.readouterr().out
+        monkeypatch.undo()
+        assert list(directory.glob("*/*.json"))  # legacy untouched
+        assert VerdictCache(directory).get(key) == {"value": 1}
+
+    def test_dir_required(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv(cache_module.CACHE_ENV, raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            cache_cli(["stats"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# chaos: true SIGKILL drills
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestChaosDrills:
+    def test_sigkill_mid_write_loses_only_unreported_keys(self, tmp_path):
+        """Kill a writer dead mid-stream: every key it *reported* written
+        (put returned before the report) must survive the kill."""
+        directory = tmp_path / "s"
+        script = f"""
+        from repro.dispatch import SegmentVerdictCache
+        store = SegmentVerdictCache({str(directory)!r}, segment_bytes=2048)
+        for i in range(100000):
+            store.put(f"k{{i:06d}}", {{"i": i}})
+            print(i, flush=True)
+        """
+        writer = _run_script(script, stdout=subprocess.PIPE, text=True)
+        reported = []
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and len(reported) < 500:
+            line = writer.stdout.readline()
+            if not line:
+                break
+            reported.append(int(line))
+        writer.send_signal(signal.SIGKILL)
+        writer.wait()
+        writer.stdout.close()
+        assert reported, "writer never reported a completed put"
+        survivor = SegmentVerdictCache(directory, segment_bytes=2048)
+        for i in reported:
+            assert survivor.get(f"k{i:06d}") == {"i": i}
+        # The store stays writable (any torn tail is repaired on append).
+        survivor.put("post-kill", True)
+        assert SegmentVerdictCache(directory).get("post-kill") is True
+
+    def test_sigkill_during_repeated_compaction_loses_nothing(self, tmp_path):
+        directory = tmp_path / "s"
+        _store, expected = _populated_store(directory, keys=150)
+        script = f"""
+        from repro.dispatch import SegmentVerdictCache
+        store = SegmentVerdictCache({str(directory)!r}, segment_bytes=2048)
+        for round_number in range(1000):
+            for i in range(150):
+                store.put(f"extra-{{round_number}}-{{i}}", i)
+            store.compact()
+            print(round_number, flush=True)
+        """
+        compactor = _run_script(script, stdout=subprocess.PIPE, text=True)
+        compactor.stdout.readline()  # at least one full compaction cycle
+        time.sleep(0.2)  # land the kill inside a later cycle
+        compactor.send_signal(signal.SIGKILL)
+        compactor.wait()
+        compactor.stdout.close()
+        survivor = SegmentVerdictCache(directory, segment_bytes=2048)
+        assert {k: survivor.get(k) for k in expected} == expected
+        assert not survivor.compact()["skipped"]
+        reopened = SegmentVerdictCache(directory, segment_bytes=2048)
+        assert {k: reopened.get(k) for k in expected} == expected
