@@ -1,0 +1,143 @@
+"""Round-trip overhead of the verdict service versus direct batch calls.
+
+The service's contract (ISSUE-8) is that it adds *transport*, not
+*semantics*: a catalogue request over the unix socket must return verdicts
+bit-identical to the in-process batch path, and the framing/queueing/thread
+hand-off it layers on top should cost a bounded, roughly constant amount per
+request.  This module measures three things over one live server:
+
+* the in-process batch baseline (``iter_test_verdicts`` over the fast
+  catalogue subset),
+* the same workload requested through ``ServiceClient`` over a unix
+  socket with the in-process LRU tier disabled (the honest transport
+  overhead: every request recomputes, so service = batch + framing),
+* the same request against a server with its default LRU tier warm (the
+  service's steady state for repeated queries), and
+* a burst of ``health`` round-trips, which carry no model-checking work at
+  all and therefore isolate the pure protocol + event-loop cost of one
+  request/response cycle.
+
+Not part of the quick gate profile: the arms need a background server
+thread, and the figure they support is the PERFORMANCE.md service-overhead
+table, not a regression gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.litmus.catalogue import by_name
+from repro.litmus.runner import iter_test_verdicts
+from repro.service import ServiceClient, ServiceConfig, VerdictService
+
+from conftest import print_rows, run_once
+
+# The same fast, representative catalogue subset the dispatch benchmarks use.
+FAST_TESTS = ["sb-sc", "lb-sc", "corr-un", "mp-un-sc", "mixed-size-overlap"]
+
+HEALTH_ROUND_TRIPS = 200
+
+
+def _start_service(sock, **config_kwargs):
+    svc = VerdictService(
+        ServiceConfig(socket_path=str(sock), workers=1, **config_kwargs),
+        cache=False,
+    )
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            svc.run(install_signals=False, on_ready=lambda _s: ready.set())
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10), "service did not come up"
+    return svc, thread
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """LRU tier off: every served request pays the full model-checking cost."""
+    sock = tmp_path_factory.mktemp("service") / "cold.sock"
+    svc, thread = _start_service(sock, lru_capacity=0)
+    yield svc
+    svc.stop_from_thread(grace=1.0)
+    thread.join(10)
+
+
+@pytest.fixture(scope="module")
+def warm_service(tmp_path_factory):
+    """Default LRU tier: repeated queries are served from the memo."""
+    sock = tmp_path_factory.mktemp("service") / "warm.sock"
+    svc, thread = _start_service(sock)
+    yield svc
+    svc.stop_from_thread(grace=1.0)
+    thread.join(10)
+
+
+def _batch_catalogue():
+    # workers=1 to match the server's configuration — this pair compares
+    # transports, not dispatch strategies.
+    return list(
+        iter_test_verdicts(
+            [by_name(n) for n in FAST_TESTS], workers=1, cache=False
+        )
+    )
+
+
+def _served_catalogue(address):
+    with ServiceClient(address) as client:
+        return client.request("catalogue", {"names": FAST_TESTS})
+
+
+def _health_burst(address):
+    with ServiceClient(address) as client:
+        for _ in range(HEALTH_ROUND_TRIPS):
+            client.health()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm(service, warm_service):
+    # Steady state for every arm: shape tables and model memos warm once,
+    # both servers' worker loops have served a request, and the warm
+    # server's LRU tier holds the catalogue verdicts.
+    _batch_catalogue()
+    _served_catalogue(service.address)
+    _served_catalogue(warm_service.address)
+
+
+def test_catalogue_direct_batch(benchmark):
+    results = run_once(benchmark, _batch_catalogue)
+    assert len(results) == len(FAST_TESTS)
+
+
+def test_catalogue_via_service(benchmark, service):
+    items = run_once(benchmark, _served_catalogue, service.address)
+    assert len(items) == len(FAST_TESTS)
+    assert all(item["passed"] for item in items)
+    # The service arm is only worth timing if it serves the same verdicts.
+    direct = {test.name: verdicts for test, verdicts in _batch_catalogue()}
+    for item in items:
+        assert item["verdicts"] == list(direct[item["test"]])
+
+
+def test_catalogue_via_service_warm_lru(benchmark, warm_service):
+    items = run_once(benchmark, _served_catalogue, warm_service.address)
+    assert len(items) == len(FAST_TESTS)
+    assert all(item["passed"] for item in items)
+    assert warm_service.stats()["cache"]["lru_hits"] > 0
+
+
+def test_health_round_trip_burst(benchmark, service):
+    run_once(benchmark, _health_burst, service.address)
+    stats = benchmark.stats.stats
+    print_rows(
+        "service request overhead",
+        [
+            f"{HEALTH_ROUND_TRIPS} health round-trips: {stats.min * 1e3:.2f} ms total",
+            f"per request: {stats.min / HEALTH_ROUND_TRIPS * 1e6:.0f} us",
+        ],
+    )

@@ -20,6 +20,8 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-cache=repro.dispatch.store:main",
+            "repro-serve=repro.service.server:main",
+            "repro-query=repro.service.client:main",
         ],
     },
     extras_require={

@@ -13,6 +13,7 @@ from .correctness import (
     CompilationCounterExample,
     check_corpus_compilation,
     check_program_compilation,
+    corpus_check_task,
     find_compilation_violation,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "CompilationCounterExample",
     "check_corpus_compilation",
     "check_program_compilation",
+    "corpus_check_task",
     "find_compilation_violation",
 ]

@@ -259,12 +259,13 @@ def _checked_with_cache(
 
 def _corpus_worker(task) -> CompilationCheckResult:
     program, model, use_operational, group_coherence, cache_spec = task
-    # The serial path hands the live cache through (statistics land on the
-    # caller's object); shard workers get the picklable spec.
-    if isinstance(cache_spec, VerdictCache) or cache_spec is None:
-        cache = cache_spec
-    else:
+    # The serial path hands the live cache object through (statistics land
+    # on the caller's object — any object with the cache surface, including
+    # a TieredVerdictCache); shard workers get the picklable spec tuple.
+    if isinstance(cache_spec, tuple):
         cache = VerdictCache.from_spec(cache_spec)
+    else:
+        cache = cache_spec
     return _checked_with_cache(
         program, model, use_operational, group_coherence, cache
     )
@@ -284,6 +285,17 @@ def _corpus_fingerprint(
         use_operational,
         group_coherence,
     )
+
+
+def corpus_check_task(task) -> CompilationCheckResult:
+    """Picklable per-program corpus-check task (the verdict-service adapter).
+
+    ``task`` is ``(program, model, use_operational, group_coherence,
+    cache_spec)`` — exactly what :func:`check_corpus_compilation`
+    dispatches — so the service can stream per-program results through
+    :func:`repro.dispatch.supervised_imap` with identical verdicts.
+    """
+    return _corpus_worker(task)
 
 
 def check_corpus_compilation(

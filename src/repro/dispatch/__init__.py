@@ -41,9 +41,11 @@ on.
 from .cache import (
     BACKEND_ENV,
     CACHE_ENV,
+    LRU_TIER_ENV,
     MISS,
     QUOTA_ENV,
     SEMANTICS_REVISION,
+    TieredVerdictCache,
     VerdictCache,
     canonical,
     fingerprint,
@@ -51,6 +53,7 @@ from .cache import (
     program_fingerprint,
     resolve_backend,
     resolve_cache,
+    resolve_lru_capacity,
     warm_spec,
 )
 from .store import (
@@ -84,22 +87,33 @@ from .supervise import (
     QuarantinedTask,
     RETRIES_ENV,
     RemoteTaskError,
+    SHUTDOWN_GRACE_ENV,
+    ShutdownRequested,
     SupervisionReport,
     TASK_TIMEOUT_ENV,
+    clear_shutdown,
+    install_shutdown_signals,
+    request_shutdown,
     resolve_retries,
+    resolve_shutdown_grace,
     resolve_task_timeout,
+    shutdown_requested,
     supervised_imap,
     supervised_map,
+    uninstall_shutdown_signals,
 )
 
 __all__ = [
     "BACKEND_ENV",
     "CACHE_ENV",
+    "LRU_TIER_ENV",
     "MISS",
     "QUOTA_ENV",
     "SEMANTICS_REVISION",
     "SegmentVerdictCache",
+    "TieredVerdictCache",
     "VerdictCache",
+    "resolve_lru_capacity",
     "canonical",
     "chain_initializers",
     "fingerprint",
@@ -128,10 +142,18 @@ __all__ = [
     "QuarantinedTask",
     "RETRIES_ENV",
     "RemoteTaskError",
+    "SHUTDOWN_GRACE_ENV",
+    "ShutdownRequested",
     "SupervisionReport",
     "TASK_TIMEOUT_ENV",
+    "clear_shutdown",
+    "install_shutdown_signals",
+    "request_shutdown",
     "resolve_retries",
+    "resolve_shutdown_grace",
     "resolve_task_timeout",
+    "shutdown_requested",
     "supervised_imap",
     "supervised_map",
+    "uninstall_shutdown_signals",
 ]

@@ -50,8 +50,10 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 import warnings
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
@@ -666,6 +668,160 @@ def warm_spec(spec: Optional[Tuple[str, ...]]) -> None:
     """
     if isinstance(spec, tuple):
         VerdictCache.from_spec(spec)
+
+
+LRU_TIER_ENV = "REPRO_LRU_TIER"
+DEFAULT_LRU_CAPACITY = 4096
+
+_warned_lru_values: set = set()
+
+
+def resolve_lru_capacity(capacity: Optional[int] = None) -> int:
+    """The in-process LRU tier's entry capacity (0 disables the tier).
+
+    Argument, else ``$REPRO_LRU_TIER`` (``off``/``0`` disable), else
+    :data:`DEFAULT_LRU_CAPACITY`.
+    """
+    if capacity is not None:
+        return max(0, int(capacity))
+    raw = os.environ.get(LRU_TIER_ENV, "").strip()
+    if not raw:
+        return DEFAULT_LRU_CAPACITY
+    if raw.lower() in _DISABLED_VALUES:
+        return 0
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        if raw not in _warned_lru_values:
+            _warned_lru_values.add(raw)
+            warnings.warn(
+                f"ignoring unparseable {LRU_TIER_ENV}={raw!r} (expected an "
+                "entry count); using the default capacity",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return DEFAULT_LRU_CAPACITY
+
+
+class TieredVerdictCache:
+    """A bounded in-process LRU tier layered above a persistent cache.
+
+    A long-running process (the verdict service) answers its hottest keys
+    from memory — no file open, no segment-index lookup, no JSON parse —
+    while every verdict still lands in the backing store, so nothing served
+    from the tier can outlive a process that crashed before persisting it.
+    With ``backing=None`` the tier stands alone (a purely in-memory cache).
+
+    Implements the consumer-facing :class:`VerdictCache` surface — ``get``
+    / ``put`` / ``get_or_compute`` / ``key`` / ``stats`` / ``spec`` — and is
+    thread-safe (the service's request threads share one instance).  The
+    tier is transparent to correctness: keys are the same content-addressed
+    fingerprints, a tier hit is a value the backing store (or this process)
+    computed under that exact key, and eviction only ever costs a re-read.
+
+    ``stats()`` merges the backing store's counters with the tier's own
+    ``lru_hits`` / ``lru_misses`` / ``lru_evictions`` / ``lru_entries``.
+    """
+
+    def __init__(
+        self,
+        backing: Optional[VerdictCache] = None,
+        capacity: Optional[int] = None,
+        revision: Optional[str] = None,
+    ):
+        self.backing = backing
+        self.capacity = resolve_lru_capacity(capacity)
+        if revision is not None:
+            self.revision = revision
+        elif backing is not None:
+            self.revision = backing.revision
+        else:
+            self.revision = SEMANTICS_REVISION
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.lru_hits = 0
+        self.lru_misses = 0
+        self.lru_evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TieredVerdictCache(capacity={self.capacity}, "
+            f"backing={self.backing!r})"
+        )
+
+    def key(self, *parts: Any) -> str:
+        """Same preimage discipline as :meth:`VerdictCache.key`."""
+        return fingerprint(self.revision, *parts)
+
+    def get(self, key: str) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.lru_hits += 1
+                return self._entries[key]
+            self.lru_misses += 1
+        if self.backing is None:
+            return MISS
+        verdict = self.backing.get(key)
+        if verdict is not MISS:
+            self._admit(key, verdict)
+        return verdict
+
+    def _admit(self, key: str, verdict: Any) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = verdict
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.lru_evictions += 1
+
+    def put(self, key: str, verdict: Any) -> None:
+        """Write through: the tier serves it, the backing store keeps it."""
+        if self.backing is not None:
+            self.backing.put(key, verdict)
+        self._admit(key, verdict)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        verdict = self.get(key)
+        if verdict is MISS:
+            verdict = compute()
+            self.put(key, verdict)
+        return verdict
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            tier = {
+                "lru_hits": self.lru_hits,
+                "lru_misses": self.lru_misses,
+                "lru_evictions": self.lru_evictions,
+                "lru_entries": len(self._entries),
+                "lru_capacity": self.capacity,
+            }
+        merged = self.backing.stats() if self.backing is not None else {}
+        merged.update(tier)
+        return merged
+
+    @property
+    def spec(self):
+        """Shard workers get the *backing* store's picklable spec.
+
+        The tier itself is process-local by design — shipping it across a
+        fork would fork its counters and pin its memory in every worker —
+        so worker-side lookups go straight to the shared persistent store.
+        ``None`` (no backing) means workers run uncached.
+        """
+        return self.backing.spec if self.backing is not None else None
+
+    @property
+    def journal_directory(self):
+        """Checkpoint journals co-locate with the backing store's, if any."""
+        return getattr(self.backing, "journal_directory", None)
+
+    @property
+    def directory(self):
+        return self.backing.directory if self.backing is not None else None
 
 
 def resolve_cache(cache: Any = None) -> Optional[VerdictCache]:

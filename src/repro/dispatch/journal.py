@@ -36,6 +36,7 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -121,6 +122,9 @@ class SweepJournal:
         self._completed: Dict[int, Any] = {}
         self._handle = None
         self._recorded_lines = 0
+        self.degraded = False
+        """The journal's directory turned unwritable mid-sweep; appends are
+        skipped (one warning) and the sweep continues un-journaled."""
 
     # -- construction -------------------------------------------------------
 
@@ -256,10 +260,27 @@ class SweepJournal:
             self._handle.write(self._entry_line(index, result))
             self._handle.flush()
             self._recorded_lines += 1
-        except (OSError, TypeError, ValueError):
-            # Unserialisable result or dead disk: the sweep goes on, this
-            # task is simply recomputed on a resume.
+        except (TypeError, ValueError):
+            # Unserialisable result: the sweep goes on, this task is simply
+            # recomputed on a resume; later (serialisable) results still
+            # journal fine.
             self._completed.pop(index, None)
+        except OSError as exc:
+            # The directory (or disk) turned unwritable mid-sweep — e.g. a
+            # checkpoint volume remounted read-only.  Journaling is an aid,
+            # never a reason a sweep fails: drop the handle so no later
+            # record re-fails the filesystem, warn once, and continue
+            # un-journaled.  This task is recomputed on a resume.
+            self._completed.pop(index, None)
+            self.degraded = True
+            self.close()
+            warnings.warn(
+                f"checkpoint journal {self.path} became unwritable "
+                f"({exc!s}); continuing un-journaled — results from here on "
+                "are recomputed if this sweep is resumed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def finish(self) -> None:
         """The sweep completed: the journal has served its purpose; remove it."""

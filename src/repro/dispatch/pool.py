@@ -175,6 +175,19 @@ def chain_initializers(
     return _run_initializers, (live,)
 
 
+def _check_shutdown() -> None:
+    """Honour a pending graceful-shutdown request on the unsupervised paths.
+
+    The supervised engine drains and checkpoints; the legacy bare-``Pool``
+    and plain serial loops have nothing to checkpoint, so they simply stop
+    before (or between) dispatching more work.
+    """
+    from .supervise import ShutdownRequested, shutdown_requested
+
+    if shutdown_requested():
+        raise ShutdownRequested("graceful shutdown during unsupervised fan-out")
+
+
 def resolve_supervise(supervise: Optional[bool] = None) -> bool:
     """Is the supervised engine in effect? Argument, else env, else on."""
     if supervise is not None:
@@ -264,6 +277,7 @@ def parallel_map(
     # The pool is never larger than the item count; chunks must be sized
     # for the *actual* pool, or a small input on a large ``workers`` gets
     # one giant chunk per live worker and no load balancing at all.
+    _check_shutdown()
     pool_size = min(workers, len(items))
     try:
         pool = _make_pool(pool_size, initializer, initargs)
@@ -320,6 +334,7 @@ def imap_ordered(
     # anything derived from the worker count below must use the actual pool
     # size.  (imap dispatches one task per worker slot — chunk granularity
     # is the caller's shard layout — so nothing else to size here.)
+    _check_shutdown()
     pool_size = min(workers, len(tasks))
     try:
         pool = _make_pool(pool_size, initializer, initargs)
@@ -329,6 +344,7 @@ def imap_ordered(
         return
     try:
         for result in pool.imap(func, tasks):
+            _check_shutdown()
             yield result
     finally:
         _shutdown_pool(pool)

@@ -1043,8 +1043,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rewrite damaged segments from their valid records, moving "
         "corrupt bytes into *.corrupt sidecars",
     )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the fsck report as one JSON object (machine-readable; "
+        "exit codes unchanged)",
+    )
     sub.add_parser("compact", help="merge sealed segments (crash-safe swap)")
-    sub.add_parser("stats", help="print store health counters and layout")
+    stats = sub.add_parser(
+        "stats", help="print store health counters and layout"
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the counters as one JSON object (machine-readable)",
+    )
     args = parser.parse_args(argv)
 
     if not args.dir:
@@ -1081,6 +1094,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     store = _cli_store(str(directory), args.revision)
     if args.command == "fsck":
         report = store.fsck(repair=args.repair)
+        if args.json:
+            report = dict(report)
+            report["repair"] = bool(args.repair)
+            report["clean"] = not report["corrupt_regions"]
+            print(json.dumps(report, sort_keys=True))
+            return 1 if report["corrupt_regions"] and not args.repair else 0
         print(
             f"fsck: {report['segments']} segment(s), {report['records']} "
             f"valid record(s), {report['corrupt_regions']} corrupt region(s) "
@@ -1111,6 +1130,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "stats":
         stats = store.stats()
         stats["bytes"] = store.total_bytes()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+            return 0
         for name in sorted(stats):
             print(f"{name}: {stats[name]}")
         return 0

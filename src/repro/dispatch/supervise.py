@@ -39,6 +39,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
 import warnings
@@ -50,10 +52,12 @@ from .faults import FaultPlan, corrupt_payload, resolve_fault_plan
 RETRIES_ENV = "REPRO_RETRIES"
 TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+SHUTDOWN_GRACE_ENV = "REPRO_SHUTDOWN_GRACE"
 
 DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF = 0.05
 BACKOFF_CAP = 5.0
+DEFAULT_SHUTDOWN_GRACE = 5.0
 
 _warned_env_values: set = set()
 
@@ -95,6 +99,80 @@ def resolve_backoff(backoff: Optional[float] = None) -> float:
     if backoff is None:
         backoff = _env_number(BACKOFF_ENV, DEFAULT_BACKOFF, float)
     return max(0.0, backoff)
+
+
+def resolve_shutdown_grace(grace: Optional[float] = None) -> float:
+    """Drain budget on shutdown: argument, else ``$REPRO_SHUTDOWN_GRACE``, else 5 s."""
+    if grace is None:
+        grace = _env_number(SHUTDOWN_GRACE_ENV, DEFAULT_SHUTDOWN_GRACE, float)
+    return max(0.0, grace)
+
+
+class ShutdownRequested(BaseException):
+    """A graceful shutdown was requested mid-sweep.
+
+    Raised out of the supervised engines *after* in-flight work has been
+    drained (completed results are journaled via ``on_complete`` first), so
+    a consumer's usual exception path — keep the checkpoint journal, close
+    the stream — leaves a resumable sweep behind.  Derives from
+    :class:`BaseException` so no worker-failure handler can swallow it.
+    """
+
+
+_shutdown_event = threading.Event()
+
+
+def request_shutdown() -> None:
+    """Ask every supervised engine in this process to drain and stop.
+
+    Thread- and signal-safe; the engines notice at their next loop
+    iteration, finish (and journal) what their workers already hold, and
+    raise :class:`ShutdownRequested` to their consumer.
+    """
+    _shutdown_event.set()
+
+
+def shutdown_requested() -> bool:
+    """Has :func:`request_shutdown` been called (and not yet cleared)?"""
+    return _shutdown_event.is_set()
+
+
+def clear_shutdown() -> None:
+    """Reset the shutdown flag (a long-lived embedder starting a new cycle)."""
+    _shutdown_event.clear()
+
+
+def _shutdown_signal_handler(signum, frame):
+    if _shutdown_event.is_set():
+        # A second signal means "stop being graceful": fall back to the
+        # ordinary interrupt unwind (engines still kill+join their pools).
+        raise KeyboardInterrupt
+    request_shutdown()
+
+
+def install_shutdown_signals(signums: Sequence[int] = (signal.SIGTERM, signal.SIGINT)):
+    """Route SIGTERM/SIGINT into :func:`request_shutdown` (drain, not abort).
+
+    The first signal starts a graceful drain; a second one raises
+    :class:`KeyboardInterrupt` for the classic hard unwind.  Returns the
+    ``{signum: previous handler}`` map for :func:`uninstall_shutdown_signals`.
+    Only callable from the main thread (a ``ValueError`` from ``signal``
+    propagates); long-running embedders like :mod:`repro.service` install
+    their own asyncio handlers instead.
+    """
+    previous = {}
+    for signum in signums:
+        previous[signum] = signal.signal(signum, _shutdown_signal_handler)
+    return previous
+
+
+def uninstall_shutdown_signals(previous) -> None:
+    """Restore the handlers saved by :func:`install_shutdown_signals`."""
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, TypeError):  # pragma: no cover - exotic handlers
+            pass
 
 
 class RemoteTaskError(Exception):
@@ -388,6 +466,10 @@ def _serial_supervised(
         return result, tainted
 
     for index, task in enumerate(tasks):
+        if _shutdown_event.is_set():
+            raise ShutdownRequested(
+                f"graceful shutdown after {index} of {len(tasks)} task(s)"
+            )
         result, tainted = run_tree(task, retries)
         if on_complete is not None and not tainted:
             on_complete(index, result)
@@ -526,6 +608,44 @@ def _parallel_supervised(
         # With no replacement the pool just shrinks; the serial tail-drain
         # below covers the pathological all-workers-lost case.
 
+    def drain_for_shutdown() -> None:
+        """Give busy workers one grace window to finish what they hold.
+
+        Completions landing inside the window go through ``complete_leaf``
+        — and hence ``on_complete``, i.e. the checkpoint journal — exactly
+        as in the main loop; whatever is still running when the window
+        closes is abandoned (killed by the ``finally`` teardown) and simply
+        recomputed on resume.  No new work is dispatched.
+        """
+        deadline = time.monotonic() + resolve_shutdown_grace()
+        while True:
+            busy = [w for w in pool if w.item is not None]
+            remaining = deadline - time.monotonic()
+            if not busy or remaining <= 0:
+                return
+            ready = mpconnection.wait(
+                [w.conn for w in busy], min(remaining, 0.2)
+            )
+            for conn in ready:
+                worker = next(w for w in pool if w.conn is conn)
+                try:
+                    job_id, digest, payload = worker.conn.recv()
+                except (EOFError, OSError):
+                    worker.item = None
+                    kill_worker(worker)
+                    pool.remove(worker)
+                    continue
+                if worker.item is None or job_id != worker.job_id:
+                    continue
+                item, worker.item, worker.deadline = worker.item, None, None
+                if hashlib.sha256(payload).hexdigest() != digest:
+                    continue  # not trustworthy; recomputed on resume
+                ok, value = pickle.loads(payload)
+                if ok:
+                    complete_leaf(item, value)
+                # A worker-side failure this late is not retried: the task
+                # stays unrecorded and the resume re-attempts it.
+
     try:
         for _ in range(workers):
             worker = _spawn_worker(func, initializer, initargs, plan)
@@ -541,6 +661,12 @@ def _parallel_supervised(
             return
 
         while next_yield < len(tasks):
+            if _shutdown_event.is_set():
+                drain_for_shutdown()
+                raise ShutdownRequested(
+                    f"graceful shutdown with {len(tasks) - next_yield} of "
+                    f"{len(tasks)} task(s) unyielded"
+                )
             now = time.monotonic()
             if not pool:
                 # Every worker is gone and none could be respawned.  No
@@ -550,6 +676,10 @@ def _parallel_supervised(
                 # yield below.
                 report.degraded_serial = True
                 while pending:
+                    if _shutdown_event.is_set():
+                        raise ShutdownRequested(
+                            "graceful shutdown during degraded-serial drain"
+                        )
                     item = min(pending, key=lambda i: (i.root, i.path))
                     pending.remove(item)
                     delay = item.not_before - time.monotonic()

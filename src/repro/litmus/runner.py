@@ -177,12 +177,14 @@ def _run_test_worker(task) -> Tuple[bool, ...]:
     :class:`TestResult` values it already has the expectations for.
     """
     test, cache_spec = task
-    # The serial path passes the live cache through (so hit/miss statistics
-    # land on the caller's object); shard workers get the picklable spec.
-    if isinstance(cache_spec, VerdictCache):
-        cache = cache_spec
-    else:
+    # The serial path passes the live cache object through (so hit/miss
+    # statistics land on the caller's object — any object with the cache
+    # surface, including a TieredVerdictCache); shard workers get the
+    # picklable spec tuple.
+    if isinstance(cache_spec, tuple):
         cache = VerdictCache.from_spec(cache_spec)
+    else:
+        cache = cache_spec
     return tuple(
         spec_allowed(
             test,
@@ -302,6 +304,47 @@ def run_tests(
                 journal.finish()
             else:
                 journal.close()
+
+
+def iter_test_verdicts(
+    tests: Iterable[LitmusTest],
+    workers: Optional[int] = None,
+    cache=None,
+    supervision: Optional[SupervisionReport] = None,
+):
+    """Lazily stream ``(test, observed verdict tuple)`` in test order.
+
+    The verdict-service request adapter: the same worker function, cache
+    keys and supervision semantics as :func:`run_tests`, but incremental —
+    each test's verdicts are yielded as soon as its turn completes, so a
+    consumer that stops early (a cancelled or early-exit query) abandons
+    the undispatched tail, and closing the generator reaps any in-flight
+    workers.  Verdicts are bit-identical to :func:`run_tests`.
+    """
+    tests = list(tests)
+    workers = resolve_workers(workers)
+    cache = resolve_cache(cache)
+    if supervision is None:
+        supervision = SupervisionReport()
+    if cache is None:
+        cache_spec = None
+    elif workers <= 1:
+        cache_spec = cache
+    else:
+        cache_spec = cache.spec
+    stream = supervised_imap(
+        _run_test_worker,
+        [(test, cache_spec) for test in tests],
+        workers=workers,
+        initializer=warm_spec if isinstance(cache_spec, tuple) else None,
+        initargs=(cache_spec,) if isinstance(cache_spec, tuple) else (),
+        report=supervision,
+    )
+    try:
+        for test, verdicts in zip(tests, stream):
+            yield test, tuple(bool(v) for v in verdicts)
+    finally:
+        stream.close()
 
 
 @dataclass(frozen=True)

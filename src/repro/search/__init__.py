@@ -6,8 +6,11 @@ from .counterexamples import (
     ScDrfCounterExample,
     SearchReport,
     confirm_program_compilation_violation,
+    materialise_hit,
     search_compilation_violation,
     search_sc_drf_violation,
+    sweep_slice,
+    sweep_slice_task,
 )
 
 __all__ = [
@@ -20,6 +23,9 @@ __all__ = [
     "ScDrfCounterExample",
     "SearchReport",
     "confirm_program_compilation_violation",
+    "materialise_hit",
     "search_compilation_violation",
     "search_sc_drf_violation",
+    "sweep_slice",
+    "sweep_slice_task",
 ]

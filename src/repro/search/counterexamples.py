@@ -187,12 +187,14 @@ def _sweep_chunk_worker(
     """
     kind, bounds, model, use_operational, start, stop, cache_spec = task
     check = _SWEEP_KINDS[kind]
-    # Serial sweeps pass the live cache through (so hit/miss statistics land
-    # on the caller's object); shard workers get the picklable spec.
-    if isinstance(cache_spec, VerdictCache):
-        cache = cache_spec
-    else:
+    # Serial sweeps pass the live cache object through (so hit/miss
+    # statistics land on the caller's object — any object with the cache
+    # surface, including a TieredVerdictCache); shard workers get the
+    # picklable spec tuple.
+    if isinstance(cache_spec, tuple):
         cache = VerdictCache.from_spec(cache_spec)
+    else:
+        cache = cache_spec
     examined = 0
     for index, program in zip(
         range(start, stop), generate_programs(bounds, start, stop)
@@ -212,6 +214,71 @@ def _sweep_chunk_worker(
         if hit:
             return examined, index
     return examined, None
+
+
+def sweep_slice(
+    kind: str,
+    bounds: SearchBounds,
+    model: JsModel,
+    start: int,
+    stop: int,
+    use_operational: bool = False,
+    cache=None,
+) -> Tuple[int, Optional[int]]:
+    """Scan one ``[start, stop)`` slice of a §5 sweep in this process.
+
+    The verdict-service request adapter: returns ``(programs examined,
+    global index of the first hit or None)`` with exactly the cache keys
+    and early-exit semantics of the batch sweeps, so slices served one at
+    a time compose to the same verdicts :func:`search_sc_drf_violation` /
+    :func:`search_compilation_violation` report.
+    """
+    if kind not in _SWEEP_KINDS:
+        raise ValueError(
+            f"unknown sweep kind {kind!r} (expected one of "
+            f"{sorted(_SWEEP_KINDS)})"
+        )
+    cache = resolve_cache(cache)
+    return _sweep_chunk_worker(
+        (kind, bounds, model, use_operational, start, stop, cache)
+    )
+
+
+def sweep_slice_task(task) -> Tuple[int, Optional[int]]:
+    """Picklable task-tuple form of :func:`sweep_slice` for dispatch fan-out.
+
+    ``task`` is ``(kind, bounds, model, use_operational, start, stop,
+    cache_spec)`` — the exact tuple the batch sweeps dispatch — so the
+    verdict service can shard its slices through
+    :func:`repro.dispatch.supervised_imap` with the same worker semantics.
+    """
+    return _sweep_chunk_worker(task)
+
+
+def materialise_hit(
+    kind: str,
+    bounds: SearchBounds,
+    model: JsModel,
+    hit_index: int,
+    use_operational: bool = False,
+):
+    """Recompute the full counter-example at enumeration index ``hit_index``.
+
+    Sweep workers report bare indices (IPC payloads stay tiny); this
+    rebuilds the program and re-runs the checker in-process.  Returns
+    ``None`` when the checker disowns the hit — the stale-cache false-hit
+    case the batch driver also repairs.
+    """
+    program = next(generate_programs(bounds, hit_index, hit_index + 1))
+    if kind == "sc-drf":
+        return _sc_drf_counterexample(program, model)
+    if kind == "arm-compilation":
+        return find_compilation_violation(
+            program, model, use_operational=use_operational
+        )
+    raise ValueError(
+        f"unknown sweep kind {kind!r} (expected one of {sorted(_SWEEP_KINDS)})"
+    )
 
 
 def _split_sweep_task(task):

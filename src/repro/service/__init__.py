@@ -1,0 +1,52 @@
+"""The long-running verdict service: a resilient front-end over dispatch.
+
+``repro-serve`` (or ``python -m repro.service``) runs the asyncio server
+(:mod:`repro.service.server`); ``repro-query`` and
+:class:`~repro.service.client.ServiceClient`
+(:mod:`repro.service.client`) talk to it over the length-prefixed,
+checksummed frame protocol of :mod:`repro.service.protocol`.  Everything
+the service serves is bit-identical to the batch CLI paths — same worker
+functions, same cache keys, same supervision semantics.
+"""
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    read_frame_blocking,
+    write_frame_blocking,
+)
+from .server import (
+    SERVICE_OPS,
+    CircuitBreaker,
+    RequestError,
+    ServiceConfig,
+    VerdictService,
+)
+from .client import (
+    RemoteRequestError,
+    ResponseStream,
+    ServiceClient,
+    ServiceError,
+    ServiceRejected,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "read_frame_blocking",
+    "write_frame_blocking",
+    "SERVICE_OPS",
+    "CircuitBreaker",
+    "RequestError",
+    "ServiceConfig",
+    "VerdictService",
+    "RemoteRequestError",
+    "ResponseStream",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRejected",
+]

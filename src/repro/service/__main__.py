@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — run the verdict server (same as repro-serve)."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,478 @@
+"""Blocking client for the verdict service, and the ``repro-query`` CLI.
+
+:class:`ServiceClient` speaks the frame protocol over a Unix socket or TCP
+connection and exposes the service's ops as plain calls: ``health()`` /
+``stats()`` return their payload, :meth:`ServiceClient.request` collects a
+whole streamed response, and :meth:`ServiceClient.stream` returns a lazy
+iterator whose :meth:`ResponseStream.cancel` tells the server to abandon
+the remaining work — the wire realisation of the batch paths' early exit.
+
+Failure is explicit, never silent: a backpressure rejection raises
+:class:`ServiceRejected` carrying the server's ``retry_after`` hint, a
+remote validation or execution failure raises :class:`RemoteRequestError`
+with the server's error code, and a dead or garbled connection raises
+:class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+from typing import Any, Dict, Iterator, List, Optional
+
+from .protocol import ProtocolError, read_frame_blocking, write_frame_blocking
+
+
+class ServiceError(Exception):
+    """The connection or the conversation with the service broke down."""
+
+
+class ServiceRejected(ServiceError):
+    """The service refused admission (bounded queue full, or draining)."""
+
+    def __init__(self, reason: str, retry_after: Optional[float]):
+        super().__init__(
+            f"request rejected ({reason})"
+            + (f"; retry after {retry_after}s" if retry_after else "")
+        )
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class RemoteRequestError(ServiceError):
+    """The service reported an error executing or validating the request."""
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+
+
+class ResponseStream:
+    """Lazy iterator over one request's ``item`` frames.
+
+    Iteration yields each item payload and stops at the terminal frame
+    (``done`` or ``cancelled``); ``error`` and ``rejected`` terminals
+    raise.  After iteration, :attr:`terminal` holds the terminal frame.
+    :meth:`cancel` asks the server to abandon the remaining work, then
+    drains to the terminal so the connection stays frame-aligned for the
+    next request.
+    """
+
+    def __init__(self, client: "ServiceClient", request_id: int):
+        self._client = client
+        self.id = request_id
+        self.terminal: Optional[Dict[str, Any]] = None
+
+    def __iter__(self) -> "ResponseStream":
+        return self
+
+    def __next__(self) -> Any:
+        if self.terminal is not None:
+            raise StopIteration
+        frame = self._client._read_for(self.id)
+        kind = frame.get("kind")
+        if kind == "item":
+            return frame.get("item")
+        self.terminal = frame
+        self._client._finish(self)
+        if kind == "error":
+            raise RemoteRequestError(
+                str(frame.get("error")), frame.get("code")
+            )
+        if kind == "rejected":
+            raise ServiceRejected(
+                str(frame.get("reason")), frame.get("retry_after")
+            )
+        raise StopIteration  # done / cancelled
+
+    def cancel(self) -> Optional[Dict[str, Any]]:
+        """Abandon the request server-side; returns the terminal frame."""
+        if self.terminal is None:
+            self._client._send_cancel(self.id)
+            try:
+                for _ in self:
+                    pass
+            except ServiceError:
+                pass  # the terminal frame is still recorded
+        return self.terminal
+
+
+class ServiceClient:
+    """A blocking connection to one verdict service.
+
+    ``address`` is a Unix socket path (a string containing no ``:``, or a
+    path-like), a ``"host:port"`` string, or a ``(host, port)`` tuple —
+    exactly what :attr:`VerdictService.address` reports.  One streamed
+    request is in flight per client at a time (the protocol interleaves
+    frames by request id; this client keeps the common case simple).
+    """
+
+    def __init__(self, address: Any, timeout: Optional[float] = None):
+        self._sock = self._connect(address, timeout)
+        self._stream = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._active: Optional[ResponseStream] = None
+
+    @staticmethod
+    def _connect(address: Any, timeout: Optional[float]) -> socket.socket:
+        if isinstance(address, (tuple, list)):
+            host, port = address
+            return socket.create_connection((host, int(port)), timeout=timeout)
+        address = os.fspath(address)
+        if ":" in address and "/" not in address:
+            host, _, port = address.rpartition(":")
+            return socket.create_connection(
+                (host or "127.0.0.1", int(port)), timeout=timeout
+            )
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ServiceError(
+                "unix sockets are unavailable on this platform; "
+                "connect with host:port"
+            )
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            sock.settimeout(timeout)
+        try:
+            sock.connect(address)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        return rid
+
+    def _finish(self, stream: ResponseStream) -> None:
+        if self._active is stream:
+            self._active = None
+
+    def _send_cancel(self, request_id: int) -> None:
+        try:
+            write_frame_blocking(
+                self._stream, {"op": "cancel", "id": request_id}
+            )
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"connection lost sending cancel: {exc}") from exc
+
+    def _read_for(self, request_id: int) -> Dict[str, Any]:
+        while True:
+            try:
+                frame = read_frame_blocking(self._stream)
+            except (OSError, ValueError) as exc:
+                raise ServiceError(f"connection lost: {exc}") from exc
+            if frame is None:
+                raise ServiceError(
+                    "connection closed by the service mid-request"
+                )
+            if not isinstance(frame, dict):
+                raise ServiceError(
+                    f"service sent a non-object frame: {frame!r}"
+                )
+            fid = frame.get("id")
+            if fid == request_id:
+                return frame
+            if fid is None:
+                # Connection-scoped error (e.g. a protocol complaint).
+                raise RemoteRequestError(
+                    str(frame.get("error", frame)), frame.get("code")
+                )
+            # A frame for a request this client is no longer reading
+            # (e.g. the tail of a cancelled stream): skip it.
+
+    # -- the public surface -------------------------------------------------
+
+    def stream(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> ResponseStream:
+        """Send one request; returns the lazy :class:`ResponseStream`."""
+        if self._active is not None and self._active.terminal is None:
+            raise ServiceError(
+                "a streamed request is already in flight on this client; "
+                "drain or cancel it first"
+            )
+        rid = self._allocate_id()
+        message: Dict[str, Any] = {"op": op, "id": rid, "args": args or {}}
+        if deadline is not None:
+            message["deadline"] = deadline
+        try:
+            write_frame_blocking(self._stream, message)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"connection lost sending request: {exc}") from exc
+        response = ResponseStream(self, rid)
+        self._active = response
+        return response
+
+    def request(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> List[Any]:
+        """Send one request and collect every streamed item."""
+        return list(self.stream(op, args, deadline))
+
+    def _single(self, op: str) -> Dict[str, Any]:
+        rid = self._allocate_id()
+        try:
+            write_frame_blocking(self._stream, {"op": op, "id": rid})
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"connection lost sending request: {exc}") from exc
+        frame = self._read_for(rid)
+        kind = frame.get("kind")
+        if kind == op:
+            return frame.get(op, {})
+        if kind == "error":
+            raise RemoteRequestError(str(frame.get("error")), frame.get("code"))
+        raise ServiceError(f"unexpected {kind!r} frame answering {op!r}")
+
+    def health(self) -> Dict[str, Any]:
+        return self._single("health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._single("stats")
+
+
+# ---------------------------------------------------------------------------
+# repro-query
+# ---------------------------------------------------------------------------
+
+
+def _resolve_address(raw: Optional[str]) -> Any:
+    if raw:
+        return raw
+    socket_path = os.environ.get("REPRO_SERVICE_SOCKET", "").strip()
+    if socket_path:
+        return socket_path
+    host = os.environ.get("REPRO_SERVICE_HOST", "").strip() or "127.0.0.1"
+    port = os.environ.get("REPRO_SERVICE_PORT", "").strip()
+    if not port:
+        raise ServiceError(
+            "no service address: pass --connect, or set "
+            "$REPRO_SERVICE_SOCKET or $REPRO_SERVICE_HOST/$REPRO_SERVICE_PORT"
+        )
+    return (host, int(port))
+
+
+def _emit(item: Any) -> None:
+    print(json.dumps(item, sort_keys=True), flush=True)
+
+
+def _stream_command(
+    client: ServiceClient,
+    op: str,
+    request_args: Dict[str, Any],
+    deadline: Optional[float],
+    first: Optional[int] = None,
+) -> int:
+    stream = client.stream(op, request_args, deadline)
+    emitted = 0
+    for item in stream:
+        _emit(item)
+        emitted += 1
+        if first is not None and emitted >= first:
+            stream.cancel()
+            break
+    return 0
+
+
+def main(argv=None) -> int:
+    """``repro-query``: query a running verdict service, one JSON per line."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-query",
+        description=(
+            "Query a running repro-serve verdict service.  Streamed results "
+            "are printed as one JSON object per line; exit status is 0 on "
+            "success, 1 on a remote or connection error, 3 when the service "
+            "rejected the request (queue full or draining)."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR",
+        help="unix socket path or HOST:PORT (default: $REPRO_SERVICE_SOCKET, "
+        "else $REPRO_SERVICE_HOST:$REPRO_SERVICE_PORT)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds, enforced server-side",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="client socket timeout in seconds (default: none)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.required = True
+
+    sub.add_parser("health", help="liveness, queue depth, in-flight count")
+    sub.add_parser(
+        "stats", help="counters, cache and supervision statistics"
+    )
+
+    catalogue = sub.add_parser(
+        "catalogue", help="stream per-test catalogue verdicts"
+    )
+    catalogue.add_argument(
+        "names", nargs="*", help="catalogue test names (default: all)"
+    )
+    catalogue.add_argument(
+        "--first",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop (and cancel server-side work) after N results",
+    )
+
+    outcome = sub.add_parser(
+        "outcome", help="one outcome_allowed verdict for a catalogue test"
+    )
+    outcome.add_argument("test", help="catalogue test name")
+    outcome.add_argument(
+        "assignments",
+        nargs="+",
+        metavar="VAR=VALUE",
+        help="the candidate outcome, e.g. r0=1 r1=0",
+    )
+    outcome.add_argument(
+        "--model", default="final", help="model key (default: final)"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="stream a §5 sweep slice-by-slice, early exit on a hit"
+    )
+    sweep.add_argument("kind", choices=["sc-drf", "arm-compilation"])
+    sweep.add_argument(
+        "--bounds",
+        default=None,
+        help="JSON object of SearchBounds fields (default: paper bounds)",
+    )
+    sweep.add_argument(
+        "--model", default="original", help="model key (default: original)"
+    )
+    sweep.add_argument("--start", type=int, default=0)
+    sweep.add_argument("--stop", type=int, default=None)
+    sweep.add_argument(
+        "--chunk", type=int, default=None, help="programs per slice"
+    )
+    sweep.add_argument("--use-operational", action="store_true")
+
+    corpus = sub.add_parser(
+        "corpus", help="stream per-program compilation-correctness checks"
+    )
+    corpus.add_argument(
+        "names", nargs="*", help="catalogue test names (default: all)"
+    )
+    corpus.add_argument(
+        "--model", default="final", help="model key (default: final)"
+    )
+    corpus.add_argument("--use-operational", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    try:
+        address = _resolve_address(args.connect)
+        with ServiceClient(address, timeout=args.timeout) as client:
+            if args.command == "health":
+                _emit(client.health())
+                return 0
+            if args.command == "stats":
+                _emit(client.stats())
+                return 0
+            if args.command == "catalogue":
+                request_args: Dict[str, Any] = {}
+                if args.names:
+                    request_args["names"] = args.names
+                return _stream_command(
+                    client,
+                    "catalogue",
+                    request_args,
+                    args.deadline,
+                    args.first,
+                )
+            if args.command == "outcome":
+                spec = {}
+                for assignment in args.assignments:
+                    var, sep, value = assignment.partition("=")
+                    if not sep or not var:
+                        parser.error(
+                            f"outcome assignment {assignment!r} is not "
+                            "VAR=VALUE"
+                        )
+                    spec[var] = int(value)
+                return _stream_command(
+                    client,
+                    "outcome",
+                    {"test": args.test, "model": args.model, "spec": spec},
+                    args.deadline,
+                )
+            if args.command == "sweep":
+                request_args = {
+                    "kind": args.kind,
+                    "model": args.model,
+                    "start": args.start,
+                    "use_operational": args.use_operational,
+                }
+                if args.bounds is not None:
+                    request_args["bounds"] = json.loads(args.bounds)
+                if args.stop is not None:
+                    request_args["stop"] = args.stop
+                if args.chunk is not None:
+                    request_args["chunk"] = args.chunk
+                return _stream_command(
+                    client, "sweep", request_args, args.deadline
+                )
+            if args.command == "corpus":
+                request_args = {
+                    "model": args.model,
+                    "use_operational": args.use_operational,
+                }
+                if args.names:
+                    request_args["names"] = args.names
+                return _stream_command(
+                    client, "corpus", request_args, args.deadline
+                )
+            parser.error(f"unknown command {args.command!r}")
+    except ServiceRejected as exc:
+        print(f"repro-query: {exc}", file=sys.stderr)
+        return 3
+    except (ServiceError, ProtocolError) as exc:
+        print(f"repro-query: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro-query: cannot reach the service: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"repro-query: --bounds is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    return 0

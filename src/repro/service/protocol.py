@@ -1,0 +1,137 @@
+"""Length-prefixed, checksummed JSON framing for the verdict service.
+
+One frame is ``MAGIC | u32 payload length | sha256(payload)[:16] | payload``
+(little-endian header, UTF-8 JSON payload) — the same belt-and-braces
+discipline as the segment store's records: the receiver verifies the magic,
+a sanity bound on the length, and the checksum before parsing a byte of
+JSON, so a torn write, a crossed wire or a foreign client talking to the
+port is a clean :class:`ProtocolError`, never a half-parsed request.
+
+Requests and responses are flat JSON objects.  Requests carry ``op`` (the
+operation name), ``id`` (a client-chosen integer echoed on every response
+frame), ``args`` (operation parameters) and optionally ``deadline``
+(seconds).  Responses carry ``id`` and ``kind`` — ``item`` frames stream
+incremental results (with a monotonically increasing ``seq``), and exactly
+one terminal frame (``done``, ``error``, ``rejected``, ``health``,
+``stats``, ``cancelled``) closes each request.
+
+Both an asyncio reader (server side) and a blocking file reader (client
+side) are provided over the identical wire format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Any, Optional
+
+MAGIC = b"RVQ1"
+_HEADER = struct.Struct("<4sI16s")
+HEADER_SIZE = _HEADER.size
+
+MAX_FRAME_BYTES = 32 * 2 ** 20
+"""Sanity bound on one frame's payload.
+
+Far above any legitimate request or streamed item; a length past it means
+the stream is garbage (wrong magic interpretation, corrupted header) and
+is rejected before any allocation."""
+
+
+class ProtocolError(Exception):
+    """The byte stream does not parse as a valid frame."""
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialise ``message`` (a JSON-able object) into one wire frame."""
+    payload = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    digest = hashlib.sha256(payload).digest()[:16]
+    return _HEADER.pack(MAGIC, len(payload), digest) + payload
+
+
+def _parse_header(header: bytes) -> tuple:
+    magic, length, digest = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    return length, digest
+
+
+def _parse_payload(payload: bytes, digest: bytes) -> Any:
+    if hashlib.sha256(payload).digest()[:16] != digest:
+        raise ProtocolError("frame payload fails its checksum")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        # Checksummed yet unparseable: the sender framed garbage.
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+
+
+async def read_frame(reader) -> Optional[Any]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF (the peer closed between frames);
+    raises :class:`ProtocolError` on garbage or a mid-frame truncation.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    length, digest = _parse_header(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-payload") from exc
+    return _parse_payload(payload, digest)
+
+
+def _read_exactly(stream, count: int) -> bytes:
+    """Blocking read of exactly ``count`` bytes (short only at EOF)."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_blocking(stream) -> Optional[Any]:
+    """Read one frame from a blocking binary stream (client side).
+
+    Same contract as :func:`read_frame`: ``None`` on clean EOF,
+    :class:`ProtocolError` on garbage or truncation.
+    """
+    header = _read_exactly(stream, HEADER_SIZE)
+    if not header:
+        return None
+    if len(header) < HEADER_SIZE:
+        raise ProtocolError("connection closed mid-header")
+    length, digest = _parse_header(header)
+    payload = _read_exactly(stream, length)
+    if len(payload) < length:
+        raise ProtocolError("connection closed mid-payload")
+    return _parse_payload(payload, digest)
+
+
+def write_frame_blocking(stream, message: Any) -> None:
+    """Write one frame to a blocking binary stream and flush it."""
+    stream.write(encode_frame(message))
+    stream.flush()

@@ -1,0 +1,1301 @@
+"""The long-running verdict service: an asyncio front-end over dispatch.
+
+One process serves many clients over a Unix socket or TCP, speaking the
+checksummed frame protocol of :mod:`repro.service.protocol`.  Requests —
+catalogue verdicts, single ``outcome_allowed`` queries, §5 sweep slices,
+corpus compilation checks — are validated, admitted through a *bounded*
+queue (a full queue rejects with ``retry_after``; nothing ever buffers
+unboundedly), executed through the supervised dispatch engine, and streamed
+back incrementally so an early-exit or cancelled query abandons its
+remaining work.
+
+Robustness model:
+
+* **Backpressure** — ``queue_depth`` bounds admitted-but-unstarted work and
+  ``concurrency`` bounds requests executing at once; past that, clients get
+  an explicit ``rejected`` frame carrying ``retry_after``.
+* **Deadlines** — a per-request deadline (client-supplied or the
+  configured default) cancels the request's work, which the streaming ops
+  observe between items; the spawned dispatch workers are reaped when the
+  op's supervised stream closes.
+* **Tiered cache** — verdicts are served from an in-process LRU
+  (:class:`~repro.dispatch.cache.TieredVerdictCache`) above the persistent
+  store; ``stats`` exposes the merged hit/miss/eviction counters.
+* **Circuit breaker** — a request whose worker pool dies outright is
+  served anyway (the supervised engine degrades to serial); after
+  ``breaker_threshold`` consecutive pool deaths the breaker opens and
+  requests run serially for ``breaker_cooldown`` seconds before the pool
+  is retried, so a host that cannot fork does not pay a pool spawn-and-die
+  per request.
+* **Graceful drain** — SIGTERM/SIGINT stop admission (``rejected`` with
+  reason ``draining``), give in-flight requests ``drain_grace`` seconds to
+  finish, then ask the supervised engines to checkpoint: completed chunks
+  are journaled, sweep journals are flushed and kept, and the process
+  exits 0.
+
+Every verdict served is bit-identical to the batch CLI path: the ops call
+the same worker functions with the same cache keys
+(:data:`~repro.dispatch.cache.SEMANTICS_REVISION` included) as
+``run_catalogue`` / ``search_*`` / ``check_corpus_compilation``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Set
+
+from ..dispatch import (
+    SEMANTICS_REVISION,
+    ShutdownRequested,
+    SupervisionReport,
+    SweepJournal,
+    TieredVerdictCache,
+    chain_initializers,
+    clear_shutdown,
+    fingerprint,
+    program_fingerprint,
+    request_shutdown,
+    resolve_cache,
+    resolve_checkpoint,
+    resolve_lru_capacity,
+    resolve_workers,
+    shard_ranges,
+    supervised_imap,
+    warm_spec,
+)
+from ..dispatch.supervise import _env_number
+from .protocol import ProtocolError, encode_frame, read_frame
+
+SERVICE_SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+SERVICE_HOST_ENV = "REPRO_SERVICE_HOST"
+SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
+SERVICE_QUEUE_ENV = "REPRO_SERVICE_QUEUE"
+SERVICE_CONCURRENCY_ENV = "REPRO_SERVICE_CONCURRENCY"
+SERVICE_DEADLINE_ENV = "REPRO_SERVICE_DEADLINE"
+SERVICE_DRAIN_ENV = "REPRO_SERVICE_DRAIN"
+SERVICE_RETRY_AFTER_ENV = "REPRO_SERVICE_RETRY_AFTER"
+SERVICE_BREAKER_ENV = "REPRO_SERVICE_BREAKER"
+SERVICE_COOLDOWN_ENV = "REPRO_SERVICE_COOLDOWN"
+
+DEFAULT_QUEUE_DEPTH = 16
+DEFAULT_CONCURRENCY = 2
+DEFAULT_DRAIN_GRACE = 10.0
+DEFAULT_RETRY_AFTER = 1.0
+DEFAULT_BREAKER_THRESHOLD = 3
+DEFAULT_BREAKER_COOLDOWN = 60.0
+
+SERVICE_OPS = ("catalogue", "outcome", "sweep", "corpus")
+
+
+class RequestError(Exception):
+    """A request failed validation; becomes an ``error`` frame, never a crash."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the server binds, bounds and times out with."""
+
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    concurrency: int = DEFAULT_CONCURRENCY
+    workers: Optional[int] = None
+    default_deadline: Optional[float] = None
+    drain_grace: float = DEFAULT_DRAIN_GRACE
+    retry_after: float = DEFAULT_RETRY_AFTER
+    lru_capacity: Optional[int] = None
+    breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD
+    breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """A config seeded from the ``REPRO_SERVICE_*`` environment knobs."""
+        workers_raw = os.environ.get("REPRO_SERVICE_WORKERS", "").strip()
+        return cls(
+            socket_path=os.environ.get(SERVICE_SOCKET_ENV, "").strip() or None,
+            host=os.environ.get(SERVICE_HOST_ENV, "").strip() or "127.0.0.1",
+            port=_env_number(SERVICE_PORT_ENV, 0, int),
+            queue_depth=max(
+                1, _env_number(SERVICE_QUEUE_ENV, DEFAULT_QUEUE_DEPTH, int)
+            ),
+            concurrency=max(
+                1,
+                _env_number(
+                    SERVICE_CONCURRENCY_ENV, DEFAULT_CONCURRENCY, int
+                ),
+            ),
+            workers=int(workers_raw) if workers_raw.isdigit() else None,
+            default_deadline=_env_number(SERVICE_DEADLINE_ENV, None, float),
+            drain_grace=max(
+                0.0, _env_number(SERVICE_DRAIN_ENV, DEFAULT_DRAIN_GRACE, float)
+            ),
+            retry_after=max(
+                0.0,
+                _env_number(
+                    SERVICE_RETRY_AFTER_ENV, DEFAULT_RETRY_AFTER, float
+                ),
+            ),
+            breaker_threshold=max(
+                1,
+                _env_number(
+                    SERVICE_BREAKER_ENV, DEFAULT_BREAKER_THRESHOLD, int
+                ),
+            ),
+            breaker_cooldown=max(
+                0.0,
+                _env_number(
+                    SERVICE_COOLDOWN_ENV, DEFAULT_BREAKER_COOLDOWN, float
+                ),
+            ),
+        )
+
+
+class CircuitBreaker:
+    """Stop re-spawning a worker pool that keeps dying; retry after cooldown.
+
+    The supervised engine already survives a dead pool by degrading the
+    *one* affected request to a serial loop.  A long-running server must
+    not pay that spawn-and-die cycle on every request, so consecutive
+    pool deaths past ``threshold`` open the breaker: requests run serially
+    (``workers=1``) for ``cooldown`` seconds, then one request half-opens
+    the breaker by trying the pool again — success closes it, another
+    death reopens it immediately.
+    """
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = max(1, threshold)
+        self.cooldown = max(0.0, cooldown)
+        self._lock = threading.Lock()
+        self.consecutive_pool_failures = 0
+        self.times_opened = 0
+        self._open_until: Optional[float] = None
+
+    def effective_workers(self, workers: int) -> int:
+        if workers <= 1:
+            return workers
+        with self._lock:
+            if self._open_until is not None:
+                if time.monotonic() < self._open_until:
+                    return 1
+                # Half-open: let this request probe the pool; one more
+                # failure trips the threshold again immediately.
+                self._open_until = None
+                self.consecutive_pool_failures = self.threshold - 1
+            return workers
+
+    def record(self, report: SupervisionReport, workers_used: int) -> None:
+        if workers_used <= 1:
+            return  # a serial run says nothing about pool health
+        with self._lock:
+            if report.degraded_serial:
+                self.consecutive_pool_failures += 1
+                if (
+                    self.consecutive_pool_failures >= self.threshold
+                    and self._open_until is None
+                ):
+                    self._open_until = time.monotonic() + self.cooldown
+                    self.times_opened += 1
+            else:
+                self.consecutive_pool_failures = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            now = time.monotonic()
+            is_open = self._open_until is not None and now < self._open_until
+            return {
+                "state": "open" if is_open else "closed",
+                "consecutive_pool_failures": self.consecutive_pool_failures,
+                "times_opened": self.times_opened,
+                "cooldown_remaining": (
+                    round(self._open_until - now, 3) if is_open else 0.0
+                ),
+            }
+
+
+class _Connection:
+    __slots__ = ("writer", "write_lock", "requests", "alive")
+
+    def __init__(self, writer):
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.requests: Dict[int, threading.Event] = {}
+        self.alive = True
+
+
+@dataclass
+class _Request:
+    id: int
+    op: str
+    args: Dict[str, Any]
+    deadline: Optional[float]
+    conn: _Connection
+    cancel: threading.Event
+
+
+class VerdictService:
+    """The server object; see the module docstring for the robustness model.
+
+    ``cache`` follows the consumer convention — ``None`` defers to
+    ``$REPRO_VERDICT_CACHE``, ``False`` disables persistence, a live cache
+    passes through — and the resolved backing store is wrapped in the
+    in-process LRU tier (``config.lru_capacity`` / ``$REPRO_LRU_TIER``;
+    capacity 0 disables the tier).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, cache: Any = None):
+        self.config = config if config is not None else ServiceConfig.from_env()
+        backing = resolve_cache(cache)
+        capacity = resolve_lru_capacity(self.config.lru_capacity)
+        if capacity > 0:
+            self.cache: Any = TieredVerdictCache(backing, capacity)
+        else:
+            self.cache = backing
+        self.resolved_workers = resolve_workers(self.config.workers)
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown
+        )
+        self._counters: Dict[str, int] = {
+            "admitted": 0,
+            "served": 0,
+            "errors": 0,
+            "cancelled": 0,
+            "deadline_expired": 0,
+            "rejected_full": 0,
+            "rejected_draining": 0,
+            "protocol_errors": 0,
+        }
+        self._supervision_totals: Dict[str, int] = {
+            "retried": 0,
+            "respawns": 0,
+            "timeouts": 0,
+            "crashes": 0,
+            "corrupt_payloads": 0,
+            "degraded_serial_runs": 0,
+            "quarantined": 0,
+        }
+        self._in_flight = 0
+        self._draining = False
+        self._threads: Set[threading.Thread] = set()
+        self._connections: Set[_Connection] = set()
+        self._worker_tasks: list = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._server = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._drain_task = None
+        self._started_at: Optional[float] = None
+        self._bound = ""
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the executor tasks."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._stopped = asyncio.Event()
+        if self.config.socket_path:
+            path = Path(self.config.socket_path).expanduser()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.is_socket():
+                # Debris from a dead server; a live one would error below.
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(path)
+            )
+            self._bound = str(path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.config.port = bound[1]
+            self._bound = f"{bound[0]}:{bound[1]}"
+        self._worker_tasks = [
+            self._loop.create_task(self._worker_loop())
+            for _ in range(self.config.concurrency)
+        ]
+        self._started_at = time.monotonic()
+
+    @property
+    def address(self):
+        """What a :class:`~repro.service.client.ServiceClient` connects to."""
+        if self.config.socket_path:
+            return self._bound
+        return (self.config.host, self.config.port)
+
+    def describe_address(self) -> str:
+        kind = "unix" if self.config.socket_path else "tcp"
+        return f"{kind}:{self._bound}"
+
+    async def run(self, *, install_signals: bool = True, on_ready=None) -> None:
+        """Start, serve until drained, and tear down.
+
+        With ``install_signals``, SIGTERM and SIGINT trigger
+        :meth:`drain` — stop admitting, finish or checkpoint in-flight
+        requests, flush journals — and this coroutine then returns
+        normally, so ``asyncio.run(service.run())`` exits 0 on SIGTERM.
+        """
+        await self.start()
+        installed = []
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self._on_signal)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or exotic host: rely on the embedder
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stopped.wait()
+        finally:
+            for signum in installed:
+                try:
+                    self._loop.remove_signal_handler(signum)
+                except (NotImplementedError, ValueError):  # pragma: no cover
+                    pass
+
+    def _on_signal(self) -> None:
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = self._loop.create_task(self.drain())
+
+    def stop_from_thread(self, grace: Optional[float] = None, timeout: float = 60.0):
+        """Thread-safe drain trigger (test harnesses, embedders)."""
+        future = asyncio.run_coroutine_threadsafe(self.drain(grace), self._loop)
+        return future.result(timeout)
+
+    async def drain(self, grace: Optional[float] = None) -> None:
+        """Graceful shutdown: stop admitting, finish or checkpoint, exit.
+
+        New requests are rejected with reason ``draining`` the moment this
+        starts.  In-flight requests get ``grace`` seconds to finish; past
+        that, :func:`~repro.dispatch.supervise.request_shutdown` makes the
+        supervised engines journal what their workers already completed and
+        stop, every request's cancel event is set, and the request threads
+        are given a short join so journals are flushed before the loop
+        closes.  Queued-but-unstarted requests are rejected, never dropped
+        silently.
+        """
+        if self._draining:
+            if self._stopped is not None:
+                await self._stopped.wait()
+            return
+        self._draining = True
+        grace = self.config.drain_grace if grace is None else max(0.0, grace)
+        deadline = self._loop.time() + grace
+        while (
+            self._in_flight or not self._queue.empty()
+        ) and self._loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        if self._in_flight or not self._queue.empty():
+            # Out of grace: checkpoint instead of finishing.  The engines
+            # journal completed chunks and raise ShutdownRequested; ops
+            # observe their cancel event between items.
+            request_shutdown()
+            for conn in list(self._connections):
+                for event in list(conn.requests.values()):
+                    event.set()
+            hard = self._loop.time() + max(1.0, min(grace or 1.0, 5.0))
+            while self._in_flight and self._loop.time() < hard:
+                await asyncio.sleep(0.05)
+        # Reject whatever never started.
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._counters["rejected_draining"] += 1
+            request.conn.requests.pop(request.id, None)
+            await self._send(
+                request.conn,
+                {
+                    "id": request.id,
+                    "kind": "rejected",
+                    "reason": "draining",
+                    "retry_after": self.config.retry_after,
+                },
+            )
+            self._queue.task_done()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        # Journal flushes happen on the request threads; give them a short,
+        # bounded join (they are daemons — a truly hung op cannot block
+        # exit, it just loses its un-journaled tail).
+        join_deadline = time.monotonic() + 2.0
+        for thread in list(self._threads):
+            thread.join(max(0.0, join_deadline - time.monotonic()))
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            conn.alive = False
+            try:
+                conn.writer.close()
+            except Exception:  # pragma: no cover - host-specific teardown
+                pass
+        if self.config.socket_path:
+            try:
+                Path(self.config.socket_path).expanduser().unlink()
+            except OSError:
+                pass
+        clear_shutdown()  # leave the process-global flag clean for embedders
+        self._stopped.set()
+
+    # -- observability ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_limit": self.config.queue_depth,
+            "in_flight": self._in_flight,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        return {
+            **self.health(),
+            "uptime": (
+                round(time.monotonic() - self._started_at, 3)
+                if self._started_at is not None
+                else 0.0
+            ),
+            "concurrency": self.config.concurrency,
+            "workers": self.resolved_workers,
+            "counters": dict(self._counters),
+            "supervision": dict(self._supervision_totals),
+            "breaker": self.breaker.snapshot(),
+            "cache": cache_stats,
+            "semantics_revision": SEMANTICS_REVISION,
+        }
+
+    def _absorb_supervision(
+        self, report: SupervisionReport, workers_used: int
+    ) -> None:
+        totals = self._supervision_totals
+        totals["retried"] += report.retried
+        totals["respawns"] += report.respawns
+        totals["timeouts"] += report.timeouts
+        totals["crashes"] += report.crashes
+        totals["corrupt_payloads"] += report.corrupt_payloads
+        totals["degraded_serial_runs"] += 1 if report.degraded_serial else 0
+        totals["quarantined"] += len(report.quarantined)
+        self.breaker.record(report, workers_used)
+
+    # -- the wire -----------------------------------------------------------
+
+    async def _send(self, conn: _Connection, message: Dict[str, Any]) -> bool:
+        """Write one frame; a dead client cancels everything it had running."""
+        if not conn.alive:
+            return False
+        try:
+            frame = encode_frame(message)
+        except (TypeError, ValueError, ProtocolError) as exc:
+            frame = encode_frame(
+                {
+                    "id": message.get("id"),
+                    "kind": "error",
+                    "code": "internal",
+                    "error": f"unserialisable response item: {exc}",
+                }
+            )
+        async with conn.write_lock:
+            try:
+                conn.writer.write(frame)
+                await conn.writer.drain()
+                return True
+            except (ConnectionError, OSError, RuntimeError):
+                conn.alive = False
+                for event in list(conn.requests.values()):
+                    event.set()
+                return False
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as exc:
+                    # The stream is unsynchronised past a bad frame: tell
+                    # the client once, then drop the connection.
+                    self._counters["protocol_errors"] += 1
+                    await self._send(
+                        conn,
+                        {
+                            "id": None,
+                            "kind": "error",
+                            "code": "protocol",
+                            "error": str(exc),
+                        },
+                    )
+                    break
+                if message is None:
+                    break
+                await self._dispatch_message(conn, message)
+        finally:
+            conn.alive = False
+            for event in list(conn.requests.values()):
+                event.set()
+            self._connections.discard(conn)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - host-specific teardown
+                pass
+
+    async def _dispatch_message(self, conn: _Connection, message: Any) -> None:
+        if not isinstance(message, dict):
+            await self._send(
+                conn,
+                {
+                    "id": None,
+                    "kind": "error",
+                    "code": "bad-request",
+                    "error": "request frame must be a JSON object",
+                },
+            )
+            return
+        op = message.get("op")
+        rid = message.get("id")
+        if op == "cancel":
+            event = conn.requests.get(rid)
+            if event is not None:
+                event.set()
+            return  # the cancelled request still emits its own terminal frame
+        if op == "health" or op == "stats":
+            payload = self.health() if op == "health" else self.stats()
+            await self._send(conn, {"id": rid, "kind": op, op: payload})
+            return
+        if op not in SERVICE_OPS:
+            await self._send(
+                conn,
+                {
+                    "id": rid,
+                    "kind": "error",
+                    "code": "bad-request",
+                    "error": f"unknown op {op!r} (expected one of "
+                    f"{sorted(SERVICE_OPS + ('health', 'stats', 'cancel'))})",
+                },
+            )
+            return
+        if not isinstance(rid, int) or isinstance(rid, bool):
+            await self._send(
+                conn,
+                {
+                    "id": None,
+                    "kind": "error",
+                    "code": "bad-request",
+                    "error": "request 'id' must be an integer",
+                },
+            )
+            return
+        if rid in conn.requests:
+            await self._send(
+                conn,
+                {
+                    "id": rid,
+                    "kind": "error",
+                    "code": "bad-request",
+                    "error": "request id already in flight on this connection",
+                },
+            )
+            return
+        args = message.get("args", {})
+        if not isinstance(args, dict):
+            await self._send(
+                conn,
+                {
+                    "id": rid,
+                    "kind": "error",
+                    "code": "bad-request",
+                    "error": "request 'args' must be a JSON object",
+                },
+            )
+            return
+        deadline = message.get("deadline")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            await self._send(
+                conn,
+                {
+                    "id": rid,
+                    "kind": "error",
+                    "code": "bad-request",
+                    "error": "request 'deadline' must be a number of seconds",
+                },
+            )
+            return
+        if self._draining:
+            self._counters["rejected_draining"] += 1
+            await self._send(
+                conn,
+                {
+                    "id": rid,
+                    "kind": "rejected",
+                    "reason": "draining",
+                    "retry_after": self.config.retry_after,
+                },
+            )
+            return
+        request = _Request(
+            id=rid,
+            op=op,
+            args=args,
+            deadline=float(deadline) if deadline is not None else None,
+            conn=conn,
+            cancel=threading.Event(),
+        )
+        conn.requests[rid] = request.cancel
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            conn.requests.pop(rid, None)
+            self._counters["rejected_full"] += 1
+            await self._send(
+                conn,
+                {
+                    "id": rid,
+                    "kind": "rejected",
+                    "reason": "queue-full",
+                    "retry_after": self.config.retry_after,
+                },
+            )
+            return
+        self._counters["admitted"] += 1
+
+    # -- execution ----------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        while True:
+            request = await self._queue.get()
+            try:
+                if request.cancel.is_set() or not request.conn.alive:
+                    self._counters["cancelled"] += 1
+                    request.conn.requests.pop(request.id, None)
+                    if request.conn.alive:
+                        await self._send(
+                            request.conn,
+                            {"id": request.id, "kind": "cancelled"},
+                        )
+                    continue
+                self._in_flight += 1
+                try:
+                    await self._execute(request)
+                finally:
+                    self._in_flight -= 1
+                    request.conn.requests.pop(request.id, None)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, request: _Request) -> None:
+        """Run one op on a daemon thread, streaming its items back."""
+        out: asyncio.Queue = asyncio.Queue()
+        loop = self._loop
+        supervision = SupervisionReport()
+        workers = self.breaker.effective_workers(self.resolved_workers)
+        runner = getattr(self, f"_op_{request.op}")
+
+        def work() -> None:
+            generator = None
+            try:
+                generator = runner(
+                    request.args, request.cancel, workers, supervision
+                )
+                for item in generator:
+                    if request.cancel.is_set():
+                        break
+                    loop.call_soon_threadsafe(out.put_nowait, ("item", item))
+                loop.call_soon_threadsafe(out.put_nowait, ("done", None))
+            except RequestError as exc:
+                loop.call_soon_threadsafe(
+                    out.put_nowait, ("error", (str(exc), "bad-request"))
+                )
+            except ShutdownRequested:
+                loop.call_soon_threadsafe(
+                    out.put_nowait,
+                    (
+                        "error",
+                        (
+                            "request interrupted by service shutdown; "
+                            "completed work was checkpointed",
+                            "draining",
+                        ),
+                    ),
+                )
+            except BaseException as exc:  # the frame must always terminate
+                loop.call_soon_threadsafe(
+                    out.put_nowait,
+                    ("error", (f"{type(exc).__name__}: {exc}", "internal")),
+                )
+            finally:
+                if generator is not None:
+                    # Deterministically reap the op's dispatch workers.
+                    try:
+                        generator.close()
+                    except BaseException:
+                        pass
+                self._threads.discard(threading.current_thread())
+
+        thread = threading.Thread(
+            target=work, daemon=True, name=f"repro-request-{request.id}"
+        )
+        self._threads.add(thread)
+        thread.start()
+
+        deadline = (
+            request.deadline
+            if request.deadline is not None
+            else self.config.default_deadline
+        )
+        expires = (
+            loop.time() + deadline if deadline and deadline > 0 else None
+        )
+        seq = 0
+        while True:
+            if expires is None:
+                kind, payload = await out.get()
+            else:
+                try:
+                    kind, payload = await asyncio.wait_for(
+                        out.get(), max(0.0, expires - loop.time())
+                    )
+                except asyncio.TimeoutError:
+                    request.cancel.set()
+                    self._counters["deadline_expired"] += 1
+                    await self._send(
+                        request.conn,
+                        {
+                            "id": request.id,
+                            "kind": "error",
+                            "code": "deadline",
+                            "error": f"deadline of {deadline}s exceeded "
+                            f"after {seq} item(s)",
+                        },
+                    )
+                    break
+            if kind == "item":
+                seq += 1
+                delivered = await self._send(
+                    request.conn,
+                    {
+                        "id": request.id,
+                        "kind": "item",
+                        "seq": seq,
+                        "item": payload,
+                    },
+                )
+                if not delivered:
+                    # Client died mid-stream: reap the work it ordered.
+                    request.cancel.set()
+                    self._counters["cancelled"] += 1
+                    break
+                continue
+            if kind == "done":
+                if request.cancel.is_set():
+                    self._counters["cancelled"] += 1
+                    await self._send(
+                        request.conn,
+                        {"id": request.id, "kind": "cancelled", "items": seq},
+                    )
+                else:
+                    self._counters["served"] += 1
+                    await self._send(
+                        request.conn,
+                        {"id": request.id, "kind": "done", "items": seq},
+                    )
+                break
+            message, code = payload
+            self._counters["errors"] += 1
+            await self._send(
+                request.conn,
+                {
+                    "id": request.id,
+                    "kind": "error",
+                    "code": code,
+                    "error": message,
+                },
+            )
+            break
+        self._absorb_supervision(supervision, workers)
+
+    # -- ops ----------------------------------------------------------------
+
+    def _cache_arg(self):
+        """The ops' ``cache=`` argument: never re-resolve the environment."""
+        return self.cache if self.cache is not None else False
+
+    def _cache_spec(self, workers: int):
+        """What sweep tasks carry: the live tier serially, the backing spec
+        across process boundaries (the LRU tier is process-local by design)."""
+        if self.cache is None:
+            return None
+        if workers <= 1:
+            return self.cache
+        return self.cache.spec
+
+    @staticmethod
+    def _catalogue_test(name: str):
+        from ..litmus.catalogue import by_name
+
+        try:
+            return by_name(name)
+        except (KeyError, ValueError) as exc:
+            raise RequestError(f"unknown catalogue test {name!r}") from exc
+
+    def _requested_tests(self, args: Dict[str, Any]):
+        from ..litmus.catalogue import all_tests
+
+        names = args.get("names")
+        if names is None:
+            return list(all_tests())
+        if not isinstance(names, (list, tuple)) or not names:
+            raise RequestError("'names' must be a non-empty list of test names")
+        return [self._catalogue_test(str(name)) for name in names]
+
+    def _op_catalogue(self, args, cancel, workers, supervision) -> Iterator[dict]:
+        """Stream per-test catalogue verdicts (bit-identical to the batch)."""
+        from ..litmus.runner import iter_test_verdicts
+
+        tests = self._requested_tests(args)
+        stream = iter_test_verdicts(
+            tests,
+            workers=workers,
+            cache=self._cache_arg(),
+            supervision=supervision,
+        )
+        try:
+            for test, verdicts in stream:
+                if cancel.is_set():
+                    return
+                expected = tuple(e.allowed for e in test.expectations)
+                yield {
+                    "test": test.name,
+                    "models": [e.model for e in test.expectations],
+                    "verdicts": list(verdicts),
+                    "expected": list(expected),
+                    "passed": verdicts == expected,
+                }
+        finally:
+            stream.close()
+
+    def _op_outcome(self, args, cancel, workers, supervision) -> Iterator[dict]:
+        """One ``spec_allowed`` verdict for a catalogue test."""
+        from ..litmus.catalogue import FINAL, SC
+        from ..litmus.runner import MODEL_BY_KEY, spec_allowed
+
+        test = self._catalogue_test(str(args.get("test", "")))
+        model_key = str(args.get("model", FINAL))
+        if model_key != SC and model_key not in MODEL_BY_KEY:
+            raise RequestError(
+                f"unknown model {model_key!r} (expected one of "
+                f"{sorted(MODEL_BY_KEY) + [SC]})"
+            )
+        raw_spec = args.get("spec")
+        if not isinstance(raw_spec, dict) or not raw_spec:
+            raise RequestError(
+                "'spec' must be a non-empty {variable: value} object"
+            )
+        try:
+            spec = {str(k): int(v) for k, v in raw_spec.items()}
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"'spec' values must be integers: {exc}") from exc
+        allowed = spec_allowed(test, spec, model_key, cache=self._cache_arg())
+        yield {
+            "test": test.name,
+            "model": model_key,
+            "spec": spec,
+            "allowed": bool(allowed),
+        }
+
+    @staticmethod
+    def _describe_counterexample(counterexample) -> str:
+        describe = getattr(counterexample, "describe", None)
+        if callable(describe):
+            return describe()
+        return (
+            f"compilation violation: {counterexample.program.name} "
+            f"({counterexample.event_count} events, "
+            f"{counterexample.byte_location_count} byte location(s))"
+        )
+
+    @staticmethod
+    def _sweep_bounds(raw: Any):
+        from ..search.shapes import SearchBounds
+
+        if raw is None:
+            raw = {}
+        if not isinstance(raw, dict):
+            raise RequestError("'bounds' must be a JSON object")
+        fields = {f.name for f in dataclasses.fields(SearchBounds)}
+        unknown = set(raw) - fields
+        if unknown:
+            raise RequestError(
+                f"unknown bounds field(s) {sorted(unknown)} "
+                f"(expected a subset of {sorted(fields)})"
+            )
+        raw = dict(raw)
+        if "values" in raw:
+            raw["values"] = tuple(raw["values"])
+        try:
+            return SearchBounds(**raw)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"invalid bounds: {exc}") from exc
+
+    def _op_sweep(self, args, cancel, workers, supervision) -> Iterator[dict]:
+        """Stream one §5 sweep slice-by-slice with early exit on the hit.
+
+        Slices fan out through the supervised engine with exactly the batch
+        sweeps' worker function and cache keys; completed slices are
+        journaled (kind ``service-<kind>``) so a drain mid-request leaves a
+        resumable journal, and a later identical request resumes from it.
+        """
+        from ..litmus.catalogue import ORIGINAL
+        from ..litmus.runner import MODEL_BY_KEY
+        from ..search.counterexamples import (
+            materialise_hit,
+            sweep_slice,
+            sweep_slice_task,
+        )
+        from ..search.shapes import (
+            generate_programs,
+            install_shape_tables,
+            program_count,
+            shape_tables,
+        )
+
+        kind = args.get("kind")
+        if kind not in ("sc-drf", "arm-compilation"):
+            raise RequestError(
+                f"unknown sweep kind {kind!r} "
+                "(expected 'sc-drf' or 'arm-compilation')"
+            )
+        model_key = str(args.get("model", ORIGINAL))
+        if model_key not in MODEL_BY_KEY:
+            raise RequestError(
+                f"unknown model {model_key!r} (expected one of "
+                f"{sorted(MODEL_BY_KEY)})"
+            )
+        model = MODEL_BY_KEY[model_key]
+        use_operational = bool(args.get("use_operational", False))
+        bounds = self._sweep_bounds(args.get("bounds"))
+        total = program_count(bounds)
+        try:
+            start = int(args.get("start", 0))
+            stop = args.get("stop")
+            stop = total if stop is None else min(int(stop), total)
+            chunk = args.get("chunk")
+            chunk = None if chunk is None else max(1, int(chunk))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                f"'start'/'stop'/'chunk' must be integers: {exc}"
+            ) from exc
+        if not 0 <= start <= stop:
+            raise RequestError(
+                f"need 0 <= start <= stop <= {total}, got [{start}, {stop})"
+            )
+        cache_live = self._cache_arg()
+        cache_spec = self._cache_spec(workers)
+        ranges = [
+            (s + start, e + start)
+            for s, e in shard_ranges(stop - start, workers, chunk)
+        ]
+        journal = None
+        checkpoint_dir = resolve_checkpoint(None, cache=self.cache)
+        if checkpoint_dir is not None and ranges:
+            journal = SweepJournal.open(
+                checkpoint_dir,
+                f"service-{kind}",
+                fingerprint(
+                    "service-sweep",
+                    kind,
+                    bounds,
+                    model,
+                    use_operational,
+                    list(ranges),
+                ),
+                SEMANTICS_REVISION,
+                len(ranges),
+            )
+        recorded = journal.completed() if journal is not None else {}
+        live = [
+            (i, (kind, bounds, model, use_operational, s, e, cache_spec))
+            for i, (s, e) in enumerate(ranges)
+            if i not in recorded
+        ]
+
+        def on_slice_complete(live_index: int, result) -> None:
+            if journal is not None:
+                journal.record(live[live_index][0], list(result))
+
+        initializer, initargs = chain_initializers(
+            (install_shape_tables, (shape_tables(bounds),)),
+            (warm_spec, (cache_spec,))
+            if isinstance(cache_spec, tuple)
+            else None,
+        )
+        stream = supervised_imap(
+            sweep_slice_task,
+            [task for _i, task in live],
+            workers=workers,
+            initializer=initializer,
+            initargs=initargs,
+            on_complete=on_slice_complete,
+            report=supervision,
+        )
+        programs_examined = 0
+        decided = False
+        try:
+            for index, (slice_start, slice_stop) in enumerate(ranges):
+                if cancel.is_set():
+                    return
+                if index in recorded:
+                    entry = recorded[index]
+                    examined, hit = int(entry[0]), entry[1]
+                    resumed = True
+                else:
+                    examined, hit = next(stream)
+                    resumed = False
+                programs_examined += examined
+                yield {
+                    "start": slice_start,
+                    "stop": slice_stop,
+                    "examined": examined,
+                    "hit": hit,
+                    "resumed": resumed,
+                }
+                while hit is not None:
+                    counterexample = materialise_hit(
+                        kind,
+                        bounds,
+                        model,
+                        hit,
+                        use_operational=use_operational,
+                    )
+                    if counterexample is not None:
+                        decided = True
+                        yield {
+                            "found": True,
+                            "hit": hit,
+                            "programs_examined": programs_examined,
+                            "counterexample": self._describe_counterexample(
+                                counterexample
+                            ),
+                        }
+                        return
+                    # Stale-cache false hit: repair the entry and rescan the
+                    # rest of this slice, exactly like the batch driver.
+                    if self.cache is not None:
+                        program = next(
+                            generate_programs(bounds, hit, hit + 1)
+                        )
+                        self.cache.put(
+                            self.cache.key(
+                                kind,
+                                program_fingerprint(program),
+                                model,
+                                use_operational,
+                            ),
+                            False,
+                        )
+                    examined, hit = sweep_slice(
+                        kind,
+                        bounds,
+                        model,
+                        hit + 1,
+                        slice_stop,
+                        use_operational=use_operational,
+                        cache=cache_live,
+                    )
+                    programs_examined += examined
+            decided = True
+            yield {
+                "found": False,
+                "programs_examined": programs_examined,
+                "exhausted": True,
+            }
+        finally:
+            stream.close()
+            if journal is not None:
+                if decided and not cancel.is_set():
+                    journal.finish()
+                else:
+                    journal.close()
+
+    def _op_corpus(self, args, cancel, workers, supervision) -> Iterator[dict]:
+        """Stream per-program bounded compilation-check results."""
+        from ..compile.correctness import corpus_check_task
+        from ..litmus.catalogue import FINAL
+        from ..litmus.runner import MODEL_BY_KEY
+
+        tests = self._requested_tests(args)
+        model_key = str(args.get("model", FINAL))
+        if model_key not in MODEL_BY_KEY:
+            raise RequestError(
+                f"unknown model {model_key!r} (expected one of "
+                f"{sorted(MODEL_BY_KEY)})"
+            )
+        model = MODEL_BY_KEY[model_key]
+        use_operational = bool(args.get("use_operational", False))
+        group_coherence = bool(args.get("group_coherence", True))
+        cache_spec = self._cache_spec(workers)
+        stream = supervised_imap(
+            corpus_check_task,
+            [
+                (
+                    test.program,
+                    model,
+                    use_operational,
+                    group_coherence,
+                    cache_spec,
+                )
+                for test in tests
+            ],
+            workers=workers,
+            initializer=warm_spec if isinstance(cache_spec, tuple) else None,
+            initargs=(cache_spec,) if isinstance(cache_spec, tuple) else (),
+            report=supervision,
+        )
+        try:
+            for test, result in zip(tests, stream):
+                if cancel.is_set():
+                    return
+                yield {
+                    "program": test.name,
+                    "model": result.model,
+                    "correct": result.correct,
+                    "arm_executions": result.arm_executions,
+                    "valid_with_construction": result.valid_with_construction,
+                    "valid_with_search": result.valid_with_search,
+                    "construction_failures": result.construction_failures,
+                    "counterexamples": len(result.counterexamples),
+                }
+        finally:
+            stream.close()
+
+
+def main(argv=None) -> int:
+    """``repro-serve`` / ``python -m repro.service``: run the server."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Long-running verdict service over the dispatch/store stack: "
+            "bounded admission, streamed results, per-request deadlines, "
+            "tiered verdict cache, graceful SIGTERM drain."
+        ),
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        help=f"serve on a Unix socket path (default: ${SERVICE_SOCKET_ENV})",
+    )
+    parser.add_argument(
+        "--host", default=None, help="TCP bind host (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP bind port (default: ephemeral; printed on startup)",
+    )
+    parser.add_argument(
+        "--queue", type=int, default=None, help="admission queue depth"
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="requests executing at once",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="dispatch workers per request (default: $REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        help="seconds in-flight requests get to finish on SIGTERM",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="verdict-cache directory, or 'off' "
+        "(default: $REPRO_VERDICT_CACHE)",
+    )
+    parser.add_argument(
+        "--lru",
+        type=int,
+        default=None,
+        help="in-process LRU tier capacity, 0 disables "
+        "(default: $REPRO_LRU_TIER or 4096)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig.from_env()
+    if args.socket is not None:
+        config.socket_path = args.socket or None
+    if args.host is not None:
+        config.host = args.host
+        config.socket_path = None if args.socket is None else config.socket_path
+    if args.port is not None:
+        config.port = args.port
+    if args.queue is not None:
+        config.queue_depth = max(1, args.queue)
+    if args.concurrency is not None:
+        config.concurrency = max(1, args.concurrency)
+    if args.workers is not None:
+        config.workers = args.workers
+    if args.deadline is not None:
+        config.default_deadline = args.deadline if args.deadline > 0 else None
+    if args.drain_grace is not None:
+        config.drain_grace = max(0.0, args.drain_grace)
+    if args.lru is not None:
+        config.lru_capacity = args.lru
+
+    cache: Any = None
+    if args.cache is not None:
+        if args.cache.strip().lower() in ("", "0", "off", "none", "no"):
+            cache = False
+        else:
+            from ..dispatch import open_cache
+
+            cache = open_cache(args.cache)
+
+    service = VerdictService(config, cache=cache)
+
+    def announce(started: VerdictService) -> None:
+        print(
+            f"repro-serve: listening on {started.describe_address()} "
+            f"(queue={started.config.queue_depth}, "
+            f"concurrency={started.config.concurrency}, "
+            f"workers={started.resolved_workers})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.run(on_ready=announce))
+    except KeyboardInterrupt:  # second signal: hard stop
+        return 130
+    return 0

@@ -31,15 +31,21 @@ from repro.dispatch import (
     FaultPlanError,
     QuarantinedTask,
     RemoteTaskError,
+    ShutdownRequested,
     SupervisionReport,
     SweepJournal,
     VerdictCache,
+    clear_shutdown,
+    install_shutdown_signals,
+    request_shutdown,
     resolve_checkpoint,
     resolve_fault_plan,
     resolve_retries,
     resolve_task_timeout,
+    shutdown_requested,
     supervised_imap,
     supervised_map,
+    uninstall_shutdown_signals,
 )
 from repro.dispatch.cache import parse_size
 from repro.dispatch.faults import CRASH_EXIT_CODE, corrupt_payload
@@ -648,3 +654,179 @@ class TestJournalResume:
         serial = run_catalogue()
         assert resumed.verdicts() == serial.verdicts()
         assert not list(checkpoint.glob("*.journal"))
+
+
+# ---------------------------------------------------------------------------
+# graceful shutdown and journal degradation (ISSUE-8)
+# ---------------------------------------------------------------------------
+
+
+def _slow_square(x):
+    time.sleep(0.15)
+    return x * x
+
+
+class _FailingHandle:
+    """A journal handle whose directory just turned unwritable."""
+
+    def write(self, data):
+        raise OSError(30, "Read-only file system")
+
+    def flush(self):
+        raise OSError(30, "Read-only file system")
+
+    def close(self):
+        pass
+
+
+class TestGracefulShutdown:
+    def teardown_method(self):
+        clear_shutdown()
+
+    def test_signal_handlers_install_request_and_restore(self):
+        previous = install_shutdown_signals()
+        try:
+            assert not shutdown_requested()
+            signal.raise_signal(signal.SIGTERM)
+            assert shutdown_requested()
+            # A second signal means "stop waiting": the classic hard stop.
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGTERM)
+        finally:
+            uninstall_shutdown_signals(previous)
+            clear_shutdown()
+        assert signal.getsignal(signal.SIGTERM) is previous[signal.SIGTERM]
+
+    def test_serial_engine_raises_after_checkpointing_completed_tasks(self):
+        completed = []
+
+        def worker(x):
+            if x == 3:
+                request_shutdown()
+            return x * x
+
+        got = []
+        with pytest.raises(ShutdownRequested):
+            for value in supervised_imap(
+                worker,
+                list(range(8)),
+                workers=1,
+                on_complete=lambda index, result: completed.append(index),
+            ):
+                got.append(value)
+        # Tasks finished before the request stay finished (and journaled);
+        # the engine stops cleanly at the next task boundary.
+        assert got == [0, 1, 4, 9]
+        assert completed == [0, 1, 2, 3]
+
+    def test_parallel_engine_drains_busy_workers_before_raising(self):
+        completed = []
+        stream = supervised_imap(
+            _slow_square,
+            list(range(6)),
+            workers=2,
+            on_complete=lambda index, result: completed.append(
+                (index, result)
+            ),
+        )
+        assert next(stream) == 0
+        request_shutdown()
+        with pytest.raises(ShutdownRequested):
+            for _ in stream:
+                pass
+        # Whatever the workers had in hand when the shutdown arrived was
+        # finished and checkpointed, not thrown away — and every drained
+        # result is the real verdict.
+        drained = dict(completed)
+        assert drained[0] == 0
+        for index, value in completed:
+            assert value == index * index
+
+    def test_sweep_shutdown_then_resume_recomputes_only_the_tail(
+        self, tmp_path, monkeypatch
+    ):
+        calls = []
+        real_worker = _counterexamples._sweep_chunk_worker
+
+        def interrupting(task):
+            calls.append(task)
+            result = real_worker(task)
+            if len(calls) == 2:
+                request_shutdown()
+            return result
+
+        monkeypatch.setattr(
+            _counterexamples, "_sweep_chunk_worker", interrupting
+        )
+        with pytest.raises(ShutdownRequested):
+            search_sc_drf_violation(
+                TINY_BOUNDS, workers=1, cache=False, checkpoint=tmp_path
+            )
+        clear_shutdown()
+        assert list(tmp_path.glob("sweep-sc-drf-*.journal")), (
+            "interrupted sweep left no journal"
+        )
+        interrupted_after = len(calls)
+        resumed = search_sc_drf_violation(
+            TINY_BOUNDS, workers=1, cache=False, checkpoint=tmp_path
+        )
+        # The two journaled chunks were not recomputed.
+        recomputed = calls[interrupted_after:]
+        assert recomputed
+        assert not any(task in calls[:2] for task in recomputed)
+        # And the resumed report is bit-identical to a fresh serial run.
+        fresh = search_sc_drf_violation(TINY_BOUNDS, workers=1, cache=False)
+        assert resumed.counterexample is None
+        assert fresh.counterexample is None
+        assert resumed.programs_examined == fresh.programs_examined
+        assert not list(tmp_path.glob("sweep-sc-drf-*.journal"))
+
+
+class TestJournalDegradation:
+    def test_record_failure_warns_once_and_degrades(self, tmp_path):
+        journal = _open_journal(tmp_path)
+        journal.record(0, "ok")
+        journal._handle = _FailingHandle()
+        with pytest.warns(RuntimeWarning, match="continuing un-journaled"):
+            journal.record(1, "lost")
+        assert journal.degraded
+        # Further records are silently skipped — one warning, not a storm.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            journal.record(2, "also lost")
+        # Only the entry written before the failure survives for resume.
+        resumed = _open_journal(tmp_path)
+        assert resumed.completed() == {0: "ok"}
+        resumed.close()
+
+    def test_sweep_continues_unjournaled_when_dir_turns_read_only(
+        self, tmp_path, monkeypatch
+    ):
+        real_open = SweepJournal.open
+
+        def poisoning_open(directory, kind, fp, revision, total):
+            journal = real_open(directory, kind, fp, revision, total)
+            if journal is not None:
+                real_record = journal.record
+                state = {"records": 0}
+
+                def record(index, result):
+                    state["records"] += 1
+                    if state["records"] == 2:
+                        # The directory goes read-only mid-sweep.
+                        journal._handle = _FailingHandle()
+                    real_record(index, result)
+
+                journal.record = record
+            return journal
+
+        monkeypatch.setattr(SweepJournal, "open", poisoning_open)
+        with pytest.warns(RuntimeWarning, match="continuing un-journaled"):
+            report = search_sc_drf_violation(
+                TINY_BOUNDS, workers=1, cache=False, checkpoint=tmp_path
+            )
+        # The sweep finished and its verdict is untouched by the failure.
+        fresh = search_sc_drf_violation(TINY_BOUNDS, workers=1, cache=False)
+        assert report.counterexample is None
+        assert fresh.counterexample is None
+        assert report.programs_examined == fresh.programs_examined

@@ -1,0 +1,704 @@
+"""The verdict service: protocol, tiered cache, admission, parity, drills.
+
+Covers the ISSUE-8 acceptance points: every verdict served over the wire
+is bit-identical to the batch path (same worker functions, same cache
+keys), a full bounded queue rejects with ``retry_after`` instead of
+buffering, per-request deadlines cancel and reap the work they started, a
+client dying mid-stream cancels its request, a worker pool that cannot
+spawn opens the circuit breaker (the service keeps serving serially), a
+draining service rejects new work while finishing or checkpointing what
+is in flight, and SIGTERM under load exits 0 with journals flushed.
+"""
+
+import asyncio
+import contextlib
+import io
+import json
+import os
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dispatch import (
+    MISS,
+    SEMANTICS_REVISION,
+    TieredVerdictCache,
+    VerdictCache,
+    resolve_lru_capacity,
+)
+from repro.litmus.catalogue import by_name
+from repro.litmus.runner import MODEL_BY_KEY, spec_allowed
+from repro.search import SearchBounds, search_sc_drf_violation
+from repro.service import (
+    ProtocolError,
+    RemoteRequestError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceRejected,
+    VerdictService,
+    encode_frame,
+    read_frame_blocking,
+)
+from repro.service.protocol import HEADER_SIZE, MAX_FRAME_BYTES, _HEADER, MAGIC
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# A fast, representative catalogue subset (same as test_dispatch).
+FAST_TESTS = ["sb-sc", "lb-sc", "corr-un", "mp-un-sc", "mixed-size-overlap"]
+
+# A tiny shape space: 10 programs, all checked in well under a second.
+TINY_BOUNDS = {
+    "threads": 2,
+    "max_accesses_per_thread": 1,
+    "max_total_accesses": 2,
+    "locations": 1,
+    "values": [1],
+    "guarded_observer": False,
+}
+
+# The §5.4 bound that contains the Fig. 8 counter-example (252 programs).
+SC_DRF_BOUNDS = {
+    "threads": 2,
+    "max_accesses_per_thread": 2,
+    "max_total_accesses": 4,
+    "locations": 1,
+    "values": [1, 2],
+    "guarded_observer": True,
+}
+
+# A deliberately long-running request for the load drills: a large space
+# (14k+ programs) under the *repaired* model, which has no SC-DRF hit in
+# these bounds — the sweep cannot finish within any drill's window, so
+# backpressure, deadlines, drains and client deaths are exercised against
+# genuinely in-flight work.
+LONG_SWEEP = {
+    "kind": "sc-drf",
+    "model": "final",
+    "bounds": {**SC_DRF_BOUNDS, "locations": 2},
+    "chunk": 1,
+}
+
+
+@contextlib.contextmanager
+def running_service(tmp_path, *, cache=False, **config_kwargs):
+    """A VerdictService on its own thread, torn down on exit."""
+    if "host" not in config_kwargs:
+        config_kwargs.setdefault("socket_path", str(tmp_path / "svc.sock"))
+    config_kwargs.setdefault("workers", 1)
+    service = VerdictService(ServiceConfig(**config_kwargs), cache=cache)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            service.run(install_signals=False, on_ready=lambda _s: ready.set())
+        ),
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10), "service did not come up"
+    try:
+        yield service
+    finally:
+        if not service._stopped.is_set():
+            try:
+                service.stop_from_thread(grace=1.0)
+            except Exception:
+                pass
+        thread.join(10)
+        assert not thread.is_alive(), "service thread failed to stop"
+
+
+def _poll(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# the frame protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        message = {"op": "health", "id": 3, "args": {"x": [1, 2]}}
+        stream = io.BytesIO(encode_frame(message))
+        assert read_frame_blocking(stream) == message
+        assert read_frame_blocking(stream) is None  # clean EOF
+
+    def test_corrupt_payload_fails_checksum(self):
+        frame = bytearray(encode_frame({"op": "health", "id": 1}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            read_frame_blocking(io.BytesIO(bytes(frame)))
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame({"id": 1}))
+        frame[0] = ord("X")
+        with pytest.raises(ProtocolError, match="magic"):
+            read_frame_blocking(io.BytesIO(bytes(frame)))
+
+    def test_truncated_header_and_payload(self):
+        frame = encode_frame({"id": 1})
+        with pytest.raises(ProtocolError, match="mid-header"):
+            read_frame_blocking(io.BytesIO(frame[: HEADER_SIZE - 2]))
+        with pytest.raises(ProtocolError, match="mid-payload"):
+            read_frame_blocking(io.BytesIO(frame[: HEADER_SIZE + 2]))
+
+    def test_oversized_declared_length_rejected_before_allocation(self):
+        header = _HEADER.pack(MAGIC, MAX_FRAME_BYTES + 1, b"\0" * 16)
+        with pytest.raises(ProtocolError, match="bound"):
+            read_frame_blocking(io.BytesIO(header))
+
+    def test_checksummed_garbage_is_still_a_protocol_error(self):
+        payload = b"not json at all"
+        import hashlib
+
+        header = _HEADER.pack(
+            MAGIC, len(payload), hashlib.sha256(payload).digest()[:16]
+        )
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            read_frame_blocking(io.BytesIO(header + payload))
+
+
+# ---------------------------------------------------------------------------
+# the in-process LRU tier
+# ---------------------------------------------------------------------------
+
+
+class TestTieredCache:
+    def test_pure_lru_without_backing(self):
+        tier = TieredVerdictCache(None, capacity=2)
+        key = tier.key("a")
+        assert tier.get(key) is MISS
+        tier.put(key, True)
+        assert tier.get(key) is True
+        stats = tier.stats()
+        assert stats["lru_hits"] == 1
+        assert stats["lru_misses"] == 1
+        assert tier.spec is None
+
+    def test_eviction_is_least_recently_used(self):
+        tier = TieredVerdictCache(None, capacity=2)
+        ka, kb, kc = tier.key("a"), tier.key("b"), tier.key("c")
+        tier.put(ka, 1)
+        tier.put(kb, 2)
+        assert tier.get(ka) == 1  # refresh a; b is now the LRU entry
+        tier.put(kc, 3)
+        assert tier.get(kb) is MISS
+        assert tier.get(ka) == 1
+        assert tier.stats()["lru_evictions"] == 1
+
+    def test_write_through_and_backing_promotion(self, tmp_path):
+        backing = VerdictCache(tmp_path)
+        tier = TieredVerdictCache(backing, capacity=8)
+        key = tier.key("shared")
+        tier.put(key, False)
+        # Write-through: the persistent layer has it.
+        assert backing.get(key) is False
+        # A fresh tier (new process, same store) promotes the backing hit.
+        fresh = TieredVerdictCache(VerdictCache(tmp_path), capacity=8)
+        assert fresh.get(key) is False
+        assert fresh.stats()["lru_entries"] == 1
+        assert fresh.get(key) is False
+        assert fresh.stats()["lru_hits"] == 1
+
+    def test_get_or_compute_computes_once(self):
+        tier = TieredVerdictCache(None, capacity=8)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return True
+
+        key = tier.key("k")
+        assert tier.get_or_compute(key, compute) is True
+        assert tier.get_or_compute(key, compute) is True
+        assert len(calls) == 1
+
+    def test_capacity_zero_disables_the_tier(self):
+        tier = TieredVerdictCache(None, capacity=0)
+        key = tier.key("x")
+        tier.put(key, True)
+        assert tier.get(key) is MISS
+
+    def test_revision_follows_the_backing(self, tmp_path):
+        backing = VerdictCache(tmp_path)
+        tier = TieredVerdictCache(backing, capacity=4)
+        assert tier.revision == backing.revision == SEMANTICS_REVISION
+
+    def test_resolve_lru_capacity(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LRU_TIER", raising=False)
+        assert resolve_lru_capacity(None) == 4096
+        assert resolve_lru_capacity(7) == 7
+        monkeypatch.setenv("REPRO_LRU_TIER", "128")
+        assert resolve_lru_capacity(None) == 128
+        monkeypatch.setenv("REPRO_LRU_TIER", "off")
+        assert resolve_lru_capacity(None) == 0
+        monkeypatch.setenv("REPRO_LRU_TIER", "banana")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_lru_capacity(None) == 4096
+
+
+# ---------------------------------------------------------------------------
+# serving: endpoints and parity with the batch path
+# ---------------------------------------------------------------------------
+
+
+class TestServing:
+    def test_health_and_stats(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                health = client.health()
+                assert health["ok"] is True
+                assert health["status"] == "serving"
+                assert health["queue_limit"] == service.config.queue_depth
+                stats = client.stats()
+                assert stats["semantics_revision"] == SEMANTICS_REVISION
+                assert stats["breaker"]["state"] == "closed"
+                assert set(stats["counters"]) >= {
+                    "admitted",
+                    "served",
+                    "rejected_full",
+                    "cancelled",
+                }
+
+    def test_catalogue_verdicts_are_bit_identical_to_batch(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                items = client.request("catalogue", {"names": FAST_TESTS})
+        assert [item["test"] for item in items] == FAST_TESTS
+        for item in items:
+            test = by_name(item["test"])
+            batch = [
+                spec_allowed(test, e.spec_dict, e.model, cache=False)
+                for e in test.expectations
+            ]
+            assert item["verdicts"] == batch
+            assert item["expected"] == [e.allowed for e in test.expectations]
+            assert item["passed"] == (batch == [e.allowed for e in test.expectations])
+
+    def test_outcome_is_bit_identical_to_spec_allowed(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                for name in FAST_TESTS[:3]:
+                    test = by_name(name)
+                    for expectation in test.expectations:
+                        (item,) = client.request(
+                            "outcome",
+                            {
+                                "test": name,
+                                "model": expectation.model,
+                                "spec": expectation.spec_dict,
+                            },
+                        )
+                        assert item["allowed"] == spec_allowed(
+                            test,
+                            expectation.spec_dict,
+                            expectation.model,
+                            cache=False,
+                        )
+
+    def test_sweep_finds_the_fig8_counterexample_with_early_exit(
+        self, tmp_path
+    ):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                items = client.request(
+                    "sweep",
+                    {"kind": "sc-drf", "bounds": SC_DRF_BOUNDS, "chunk": 64},
+                )
+        final = items[-1]
+        assert final["found"] is True
+        batch = search_sc_drf_violation(
+            SearchBounds(
+                **{
+                    **SC_DRF_BOUNDS,
+                    "values": tuple(SC_DRF_BOUNDS["values"]),
+                }
+            ),
+            cache=False,
+        )
+        assert batch.counterexample is not None
+        assert final["counterexample"] == batch.counterexample.describe()
+        assert final["programs_examined"] == batch.programs_examined
+
+    def test_sweep_exhausts_clean_bounds(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                items = client.request(
+                    "sweep",
+                    {"kind": "sc-drf", "bounds": TINY_BOUNDS, "chunk": 4},
+                )
+        assert items[-1] == {
+            "found": False,
+            "programs_examined": 10,
+            "exhausted": True,
+        }
+        assert sum(item["examined"] for item in items[:-1]) == 10
+
+    def test_corpus_matches_direct_check(self, tmp_path):
+        from repro.compile.correctness import corpus_check_task
+
+        name = "sb-sc"
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                (item,) = client.request("corpus", {"names": [name]})
+        direct = corpus_check_task(
+            (by_name(name).program, MODEL_BY_KEY["final"], False, True, None)
+        )
+        assert item["correct"] == direct.correct
+        assert item["arm_executions"] == direct.arm_executions
+        assert item["valid_with_construction"] == direct.valid_with_construction
+        assert item["valid_with_search"] == direct.valid_with_search
+
+    def test_served_verdicts_identical_with_and_without_caches(self, tmp_path):
+        uncached_dir = tmp_path / "uncached"
+        cached_dir = tmp_path / "cached"
+        uncached_dir.mkdir()
+        cached_dir.mkdir()
+        with running_service(uncached_dir, cache=False) as service:
+            with ServiceClient(service.address) as client:
+                cold = client.request("catalogue", {"names": FAST_TESTS[:3]})
+        cache = VerdictCache(cached_dir / "store")
+        with running_service(cached_dir, cache=cache) as service:
+            with ServiceClient(service.address) as client:
+                first = client.request("catalogue", {"names": FAST_TESTS[:3]})
+                warm = client.request("catalogue", {"names": FAST_TESTS[:3]})
+                stats = client.stats()
+        assert cold == first == warm
+        assert stats["cache"]["lru_hits"] > 0  # the warm pass hit the tier
+
+    def test_bad_requests_get_error_frames_not_disconnects(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                with pytest.raises(RemoteRequestError, match="unknown op"):
+                    client.request("frobnicate")
+                with pytest.raises(
+                    RemoteRequestError, match="unknown catalogue test"
+                ):
+                    client.request("catalogue", {"names": ["no-such-test"]})
+                with pytest.raises(RemoteRequestError, match="unknown model"):
+                    client.request(
+                        "outcome",
+                        {"test": "sb-sc", "model": "bogus", "spec": {"r0": 0}},
+                    )
+                with pytest.raises(
+                    RemoteRequestError, match="unknown bounds field"
+                ):
+                    client.request(
+                        "sweep", {"kind": "sc-drf", "bounds": {"nope": 1}}
+                    )
+                # The connection survived all of that.
+                assert client.health()["ok"] is True
+
+    def test_tcp_transport(self, tmp_path):
+        with running_service(
+            tmp_path, host="127.0.0.1", port=0
+        ) as service:
+            host, port = service.address
+            assert port != 0
+            with ServiceClient(f"{host}:{port}") as client:
+                assert client.health()["ok"] is True
+                items = client.request("catalogue", {"names": ["sb-sc"]})
+                assert items[0]["test"] == "sb-sc"
+
+
+# ---------------------------------------------------------------------------
+# resilience drills
+# ---------------------------------------------------------------------------
+
+
+class TestResilience:
+    def test_full_queue_rejects_with_retry_after(self, tmp_path):
+        with running_service(
+            tmp_path, queue_depth=1, concurrency=1, retry_after=2.5
+        ) as service:
+            monitor = ServiceClient(service.address)
+            sweep_args = LONG_SWEEP
+            c1 = ServiceClient(service.address)
+            s1 = c1.stream("sweep", sweep_args)
+            assert _poll(lambda: monitor.health()["in_flight"] == 1)
+            c2 = ServiceClient(service.address)
+            s2 = c2.stream("sweep", sweep_args)
+            assert _poll(lambda: monitor.health()["queue_depth"] == 1)
+            c3 = ServiceClient(service.address)
+            with pytest.raises(ServiceRejected) as excinfo:
+                c3.request("sweep", sweep_args)
+            assert excinfo.value.reason == "queue-full"
+            assert excinfo.value.retry_after == 2.5
+            assert monitor.stats()["counters"]["rejected_full"] == 1
+            s1.cancel()
+            s2.cancel()
+            for client in (c1, c2, c3, monitor):
+                client.close()
+
+    def test_early_exit_cancels_server_side_work(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                stream = client.stream("catalogue")
+                first = next(stream)
+                assert first["test"]
+                terminal = stream.cancel()
+                assert terminal["kind"] in ("cancelled", "done")
+                # The connection is reusable after a cancelled stream.
+                assert client.health()["ok"] is True
+                assert _poll(
+                    lambda: client.stats()["counters"]["cancelled"] >= 1
+                )
+
+    def test_deadline_expiry_cancels_and_reports(self, tmp_path):
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                with pytest.raises(RemoteRequestError) as excinfo:
+                    client.request("sweep", LONG_SWEEP, deadline=0.05)
+                assert excinfo.value.code == "deadline"
+                assert _poll(
+                    lambda: client.stats()["counters"]["deadline_expired"]
+                    >= 1
+                )
+
+    def test_client_death_mid_stream_reaps_the_request(self, tmp_path):
+        with running_service(tmp_path) as service:
+            victim = ServiceClient(service.address)
+            stream = victim.stream("sweep", LONG_SWEEP)
+            next(stream)  # the request is live and streaming
+            victim.close()  # die abruptly, without a cancel frame
+            with ServiceClient(service.address) as monitor:
+                assert _poll(
+                    lambda: monitor.stats()["counters"]["cancelled"] >= 1
+                ), "server never noticed the dead client"
+
+    def test_pool_death_opens_the_breaker_and_service_keeps_serving(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.dispatch import supervise as supervise_module
+
+        monkeypatch.setattr(
+            supervise_module, "_spawn_worker", lambda *args: None
+        )
+        with running_service(
+            tmp_path, workers=2, breaker_threshold=1, breaker_cooldown=60.0
+        ) as service:
+            with ServiceClient(service.address) as client:
+                items = client.request(
+                    "sweep",
+                    {"kind": "sc-drf", "bounds": TINY_BOUNDS, "chunk": 4},
+                )
+                # Served correctly despite the dead pool (degraded serial).
+                assert items[-1]["found"] is False
+                stats = client.stats()
+                assert stats["supervision"]["degraded_serial_runs"] >= 1
+                assert stats["breaker"]["state"] == "open"
+                # While open, requests run serially: no new pool deaths.
+                degraded_before = stats["supervision"]["degraded_serial_runs"]
+                again = client.request(
+                    "sweep",
+                    {"kind": "sc-drf", "bounds": TINY_BOUNDS, "chunk": 4},
+                )
+                assert again[-1]["found"] is False
+                after = client.stats()["supervision"]["degraded_serial_runs"]
+                assert after == degraded_before
+
+    def test_draining_service_rejects_new_work(self, tmp_path):
+        with running_service(tmp_path, drain_grace=0.5) as service:
+            busy = ServiceClient(service.address)
+            stream = busy.stream("sweep", LONG_SWEEP)
+            next(stream)
+            monitor = ServiceClient(service.address)
+            drain_future = asyncio.run_coroutine_threadsafe(
+                service.drain(), service._loop
+            )
+            assert _poll(
+                lambda: monitor.health()["status"] == "draining"
+            )
+            late = ServiceClient(service.address)
+            with pytest.raises(ServiceRejected) as excinfo:
+                late.request("catalogue", {"names": ["sb-sc"]})
+            assert excinfo.value.reason == "draining"
+            # The in-flight sweep terminates (checkpointed or cancelled).
+            with contextlib.suppress(ServiceError):
+                for _ in stream:
+                    pass
+            assert stream.terminal is not None
+            drain_future.result(timeout=30)
+            for client in (busy, monitor, late):
+                client.close()
+
+    def test_sweep_journal_checkpoints_and_resumes_across_requests(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.search import counterexamples as counterexamples_module
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "ckpt"))
+        # Slow each slice down so the cancel deterministically lands while
+        # the sweep is still mid-flight (the service runs in-process, so
+        # its request thread sees this monkeypatch).
+        real_worker = counterexamples_module._sweep_chunk_worker
+
+        def slowed(task):
+            time.sleep(0.25)
+            return real_worker(task)
+
+        monkeypatch.setattr(
+            counterexamples_module, "_sweep_chunk_worker", slowed
+        )
+        with running_service(tmp_path) as service:
+            with ServiceClient(service.address) as client:
+                stream = client.stream(
+                    "sweep",
+                    {"kind": "sc-drf", "bounds": TINY_BOUNDS, "chunk": 2},
+                )
+                next(stream)
+                stream.cancel()  # abandon mid-sweep: the journal is kept
+                journals = list(
+                    (tmp_path / "ckpt").glob("service-sc-drf-*.journal")
+                )
+                assert journals, "cancelled sweep left no journal"
+                items = client.request(
+                    "sweep",
+                    {"kind": "sc-drf", "bounds": TINY_BOUNDS, "chunk": 2},
+                )
+                assert items[0]["resumed"] is True
+                assert items[-1] == {
+                    "found": False,
+                    "programs_examined": 10,
+                    "exhausted": True,
+                }
+                # A completed sweep retires its journal.
+                assert not list(
+                    (tmp_path / "ckpt").glob("service-sc-drf-*.journal")
+                )
+
+    def test_sigterm_under_load_exits_zero_with_journal_flushed(
+        self, tmp_path
+    ):
+        socket_path = tmp_path / "svc.sock"
+        checkpoint_dir = tmp_path / "ckpt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_CHECKPOINT_DIR"] = str(checkpoint_dir)
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--socket",
+                str(socket_path),
+                "--workers",
+                "1",
+                "--drain-grace",
+                "0.5",
+                "--cache",
+                "off",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            assert _poll(socket_path.exists, timeout=30), (
+                "server socket never appeared"
+            )
+            client = ServiceClient(str(socket_path))
+            stream = client.stream("sweep", LONG_SWEEP)
+            next(stream)  # at least one slice completed and journaled
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+            assert process.returncode == 0, (
+                f"drain did not exit 0:\n{output}"
+            )
+            assert "listening on" in output
+            journals = list(checkpoint_dir.glob("service-sc-drf-*.journal"))
+            assert journals, "SIGTERM drain flushed no sweep journal"
+            client.close()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# the CLIs
+# ---------------------------------------------------------------------------
+
+
+class TestCommandLine:
+    def test_repro_query_against_a_live_server(self, tmp_path, capsys):
+        from repro.service.client import main as query_main
+
+        with running_service(tmp_path) as service:
+            address = str(service.address)
+            assert query_main(["--connect", address, "health"]) == 0
+            health = json.loads(capsys.readouterr().out)
+            assert health["ok"] is True
+            assert (
+                query_main(
+                    ["--connect", address, "catalogue", "sb-sc", "lb-sc"]
+                )
+                == 0
+            )
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert [json.loads(line)["test"] for line in lines] == [
+                "sb-sc",
+                "lb-sc",
+            ]
+            assert (
+                query_main(
+                    ["--connect", address, "catalogue", "--first", "1"]
+                )
+                == 0
+            )
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert len(lines) == 1
+            assert (
+                query_main(
+                    [
+                        "--connect",
+                        address,
+                        "outcome",
+                        "sb-sc",
+                        "0:r0=0",
+                        "1:r1=0",
+                        "--model",
+                        "sc",
+                    ]
+                )
+                == 0
+            )
+            outcome = json.loads(capsys.readouterr().out)
+            assert outcome["allowed"] is False
+
+    def test_repro_query_exit_codes(self, tmp_path, capsys, monkeypatch):
+        from repro.service.client import main as query_main
+
+        # No address at all → connection error path.
+        for name in ("REPRO_SERVICE_SOCKET", "REPRO_SERVICE_HOST", "REPRO_SERVICE_PORT"):
+            monkeypatch.delenv(name, raising=False)
+        assert query_main(["health"]) == 1
+        capsys.readouterr()
+        with running_service(tmp_path) as service:
+            address = str(service.address)
+            # A remote validation error is exit 1.
+            assert (
+                query_main(
+                    ["--connect", address, "catalogue", "no-such-test"]
+                )
+                == 1
+            )
+
+    def test_repro_serve_validates_arguments(self, capsys):
+        from repro.service.server import main as serve_main
+
+        with pytest.raises(SystemExit):
+            serve_main(["--port", "not-a-number"])

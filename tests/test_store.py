@@ -842,6 +842,43 @@ class TestCli:
         assert excinfo.value.code == 2
         capsys.readouterr()
 
+    def test_stats_json(self, tmp_path, capsys):
+        directory = tmp_path / "cache"
+        store = SegmentVerdictCache(directory)
+        for i in range(5):
+            store.put(f"k{i}", i)
+        assert cache_cli(["--dir", str(directory), "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["backend"] == "segments"
+        assert stats["keys"] == 5
+        assert stats["bytes"] > 0
+
+    def test_fsck_json_clean_and_corrupt(self, tmp_path, capsys):
+        directory = tmp_path / "cache"
+        store = SegmentVerdictCache(directory)
+        for i in range(10):
+            store.put(f"k{i}", i)
+        assert cache_cli(["--dir", str(directory), "fsck", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["corrupt_regions"] == 0
+        assert report["repair"] is False
+        segment = sorted(directory.glob("seg-*.log"))[-1]
+        buf = bytearray(segment.read_bytes())
+        buf[HEADER_SIZE + 1] ^= 0xFF
+        segment.write_bytes(bytes(buf))
+        assert cache_cli(["--dir", str(directory), "fsck", "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert report["corrupt_regions"] == 1
+        assert (
+            cache_cli(["--dir", str(directory), "fsck", "--json", "--repair"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["repair"] is True
+        assert report["repaired_segments"] == 1
+
 
 # ---------------------------------------------------------------------------
 # chaos: true SIGKILL drills
