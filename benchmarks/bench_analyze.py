@@ -1,0 +1,150 @@
+"""Overhead of the static analyzer on fast-path *misses*.
+
+The static analyzer (``repro.analyze``) earns its keep on statically
+race-free programs, where the SC fast path skips enumeration entirely.  Its
+contract on every other program — the fast-path *misses*, where the full
+enumerative pipeline still runs — is that the analysis, the per-read
+rf-pruning probe and the dead-outcome check cost (almost) nothing on top.
+This module times a sweep of exactly those catalogue tests whose programs
+are *not* statically race-free, analyzer off vs on, and enforces a 1.05x
+budget.
+
+Same two measurement styles as ``bench_resilience_overhead.py``:
+
+* ``test_catalogue_analyze_off``/``_on`` are pytest-benchmark arms for the
+  ``BENCH_*.json`` snapshot trajectory; they are not the gate.
+* ``test_analyzer_miss_overhead_budget`` is the gate: interleaved
+  round-by-round so load shifts hit both arms equally, min-over-min ratio,
+  escalating rounds while over budget.
+
+Beyond the budget, every round asserts the two arms produce identical
+verdicts — the bit-identity contract, enforced where the overhead is
+measured.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from repro.analyze import ANALYZE_ENV, analyze_program
+from repro.litmus.catalogue import all_tests
+from repro.litmus.runner import run_test
+
+import pytest
+
+from conftest import print_rows
+
+#: Only the fast-path misses: programs with at least one may-race pair, so
+#: the analyzer runs (and is then ignored by the SC fast path) while the
+#: enumerative pipeline does all the real work.  Statically race-free tests
+#: would make the "on" arm *faster* and mask the overhead this gate is for.
+MISS_TESTS = [
+    test for test in all_tests() if not analyze_program(test.program).definitely_race_free
+]
+
+OVERHEAD_BUDGET = 1.05
+GATE_ROUNDS = 5
+GATE_ROUNDS_MAX = 12
+
+
+def _sweep(analyze: bool):
+    previous = os.environ.get(ANALYZE_ENV)
+    os.environ[ANALYZE_ENV] = "1" if analyze else "off"
+    try:
+        return [run_test(test, cache=False) for test in MISS_TESTS]
+    finally:
+        if previous is None:
+            os.environ.pop(ANALYZE_ENV, None)
+        else:
+            os.environ[ANALYZE_ENV] = previous
+
+
+def _sweep_analyze_off():
+    return _sweep(analyze=False)
+
+
+def _sweep_analyze_on():
+    return _sweep(analyze=True)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm():
+    # Steady state for both arms: one-time memo warming (shape tables,
+    # model caches, and the analyzer's per-program memo on the shared
+    # MISS_TESTS programs) must not be billed to whichever arm runs first.
+    _sweep_analyze_on()
+    _sweep_analyze_off()
+
+
+def _run_pair_arm(benchmark, sweep, title):
+    gc.collect()
+    results = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert all(result.passed for result in results)
+    print_rows(title, [f"{len(results)} tests, all expectations match"])
+
+
+def test_catalogue_analyze_off(benchmark):
+    _run_pair_arm(
+        benchmark, _sweep_analyze_off, "fast-path-miss sweep, analyzer off"
+    )
+
+
+def test_catalogue_analyze_on(benchmark):
+    _run_pair_arm(
+        benchmark, _sweep_analyze_on, "fast-path-miss sweep, analyzer on"
+    )
+
+
+def test_analyzer_miss_overhead_budget():
+    """The gate: interleaved on/off rounds, min-over-min ratio <= budget.
+
+    Identical escalation logic to the resilience gate: each arm's minimum
+    only ever moves toward the noise-free time, so extra rounds give a
+    noisy host more chances to expose the quiet floor without letting a
+    genuinely over-budget analyzer slip through.
+    """
+    off_times, on_times = [], []
+
+    def one_round():
+        round_results = {}
+        for key, times, sweep in (
+            ("off", off_times, _sweep_analyze_off),
+            ("on", on_times, _sweep_analyze_on),
+        ):
+            gc.collect()
+            start = time.perf_counter()
+            results = sweep()
+            times.append(time.perf_counter() - start)
+            assert all(result.passed for result in results)
+            round_results[key] = results
+        # Bit-identity where the overhead is measured: every expectation
+        # verdict must match between the two arms.
+        for off_result, on_result in zip(round_results["off"], round_results["on"]):
+            assert [r.observed_allowed for r in off_result.results] == [
+                r.observed_allowed for r in on_result.results
+            ]
+
+    for _round in range(GATE_ROUNDS):
+        one_round()
+    while min(on_times) / min(off_times) > OVERHEAD_BUDGET and (
+        len(off_times) < GATE_ROUNDS_MAX
+    ):
+        one_round()
+    ratio = min(on_times) / min(off_times)
+    print_rows(
+        "analyzer fast-path-miss overhead gate",
+        [
+            f"analyzer-off minimum: {min(off_times) * 1000:8.1f} ms",
+            f"analyzer-on minimum:  {min(on_times) * 1000:8.1f} ms",
+            f"ratio {ratio:.3f}x over {len(off_times)} interleaved rounds "
+            f"(budget {OVERHEAD_BUDGET:.2f}x, {len(MISS_TESTS)} miss tests)",
+        ],
+    )
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"static analyzer costs {ratio:.3f}x on fast-path misses "
+        f"(budget {OVERHEAD_BUDGET:.2f}x): analyzer-off min "
+        f"{min(off_times) * 1000:.1f} ms vs analyzer-on min "
+        f"{min(on_times) * 1000:.1f} ms over {len(off_times)} interleaved rounds"
+    )

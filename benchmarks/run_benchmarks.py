@@ -48,6 +48,7 @@ QUICK_FILES = (
     "bench_fig8_scdrf_violation.py",
     "bench_resilience_overhead.py",
     "bench_store_backends.py",
+    "bench_analyze.py",
 )
 
 # The fault-free-overhead budget of the resilience layer, for the

@@ -22,6 +22,8 @@ setup(
             "repro-cache=repro.dispatch.store:main",
             "repro-serve=repro.service.server:main",
             "repro-query=repro.service.client:main",
+            "repro-analyze=repro.analyze.cli:main",
+            "repro-lint=repro.analyze.lint:main",
         ],
     },
     extras_require={

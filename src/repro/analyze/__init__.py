@@ -1,0 +1,57 @@
+"""Static analysis over litmus programs: race freedom, pruning facts, lint.
+
+Three consumers, one pass (:func:`analyze_program` is memoized per program):
+
+* the **SC fast path** — statically race-free programs answer boolean
+  outcome/DRF queries through the SC interpreter under the final models
+  (:func:`sc_fast_path_applies`, :func:`drf_fast_path`);
+* **pruning facts** — per-read writer may-sets and dead-outcome rejection
+  feeding :mod:`repro.lang.enumeration` / :mod:`repro.core.groundcore`;
+* the **semantics-purity lint** (:mod:`repro.analyze.lint`, console script
+  ``repro-lint``) and the analyzer CLI (:mod:`repro.analyze.cli`,
+  ``repro-analyze``) — imported on demand, not here.
+
+Everything is toggled by ``REPRO_ANALYZE`` (default on) and selects between
+bit-identical verdict paths: cache keys and ``SEMANTICS_REVISION`` never see
+the flag.
+"""
+
+from .races import (
+    ANALYZE_ENV,
+    STATS,
+    AnalyzeStats,
+    ProgramAnalysis,
+    StaticAccess,
+    analyze_enabled,
+    analyze_program,
+    count_pruned_rf_edges,
+    drf_fast_path,
+    outcome_statically_dead,
+    rf_pruning_enabled,
+    sc_fast_path_applies,
+    sc_fast_path_model,
+    static_race_verdict,
+    statically_race_free,
+    stats_delta,
+    stats_snapshot,
+)
+
+__all__ = [
+    "ANALYZE_ENV",
+    "STATS",
+    "AnalyzeStats",
+    "ProgramAnalysis",
+    "StaticAccess",
+    "analyze_enabled",
+    "analyze_program",
+    "count_pruned_rf_edges",
+    "drf_fast_path",
+    "outcome_statically_dead",
+    "rf_pruning_enabled",
+    "sc_fast_path_applies",
+    "sc_fast_path_model",
+    "static_race_verdict",
+    "statically_race_free",
+    "stats_delta",
+    "stats_snapshot",
+]

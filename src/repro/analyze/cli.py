@@ -1,0 +1,106 @@
+"""``repro-analyze``: static-analysis reports for litmus programs.
+
+Prints, per catalogue test (all of them, or the names given on the command
+line), what :mod:`repro.analyze.races` concluded statically: the per-thread
+access summary, the may-race pairs, the race-freedom verdict, and which
+models the SC fast path would answer for.  This is the human-readable
+window onto the facts the enumeration layer consumes silently — use it to
+understand why a program did (or did not) take the fast path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..core.js_model import (
+    ARMV8_FIX_MODEL,
+    FINAL_MODEL,
+    FINAL_MODEL_STRONG_TEAR,
+    ORIGINAL_MODEL,
+)
+from .races import analyze_program, sc_fast_path_model
+
+MODELS = (ORIGINAL_MODEL, ARMV8_FIX_MODEL, FINAL_MODEL, FINAL_MODEL_STRONG_TEAR)
+
+
+def describe_program(name: str, program) -> str:
+    """A multi-line static-analysis report for one named program."""
+    analysis = analyze_program(program)
+    lines = [f"{name}:"]
+    lines.append(f"  accesses ({len(analysis.accesses)}):")
+    for access in analysis.accesses:
+        lines.append(f"    {access.describe()}")
+    if analysis.race_pairs:
+        lines.append(f"  may-race pairs ({len(analysis.race_pairs)}):")
+        for a, b in analysis.race_pairs:
+            lines.append(f"    {a.describe()}  x  {b.describe()}")
+    else:
+        lines.append("  may-race pairs: none")
+    lines.append(
+        "  definitely race-free: "
+        + ("yes" if analysis.definitely_race_free else "no")
+    )
+    if analysis.uses_wait_notify:
+        lines.append("  uses wait/notify: yes (SC fast path declines)")
+    eligible = [
+        model.name
+        for model in MODELS
+        if sc_fast_path_model(model)
+        and analysis.definitely_race_free
+        and not analysis.uses_wait_notify
+    ]
+    lines.append(
+        "  SC fast path eligible under: " + (", ".join(eligible) or "no model")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Static race/fast-path analysis of catalogue litmus tests.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="catalogue test names to analyze (default: the whole catalogue)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list catalogue test names and exit",
+    )
+    args = parser.parse_args(argv)
+
+    from ..litmus.catalogue import all_tests, by_name
+
+    if args.list:
+        for test in all_tests():
+            print(test.name)
+        return 0
+    if args.names:
+        try:
+            tests = [by_name(name) for name in args.names]
+        except KeyError as exc:
+            parser.error(f"unknown catalogue test: {exc}")
+    else:
+        tests = all_tests()
+    race_free = 0
+    for index, test in enumerate(tests):
+        if index:
+            print()
+        print(describe_program(test.name, test.program))
+        if analyze_program(test.program).definitely_race_free:
+            race_free += 1
+    print()
+    print(
+        f"repro-analyze: {race_free}/{len(tests)} program(s) statically "
+        "race-free"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

@@ -1,0 +1,456 @@
+"""Semantics-purity lint over the ``repro`` source tree (``repro-lint``).
+
+Every verdict this project produces must be a pure function of (program,
+model, spec) — that is what makes the verdict cache, the golden catalogue
+regression and the bit-identity parity suites meaningful.  This module is
+an AST pass enforcing the three ways that purity historically rots:
+
+* **impure imports** (``impure-import``): wall-clock, randomness or locale
+  modules imported inside a *verdict-path* package (the packages whose code
+  can run between a query and its verdict).  Infrastructure packages
+  (``dispatch``, ``service``) legitimately read clocks for retries and
+  deadlines and are exempt from this rule.
+* **environment reads** (``env-read`` / ``env-unregistered`` /
+  ``env-dynamic``): every ``os.environ`` / ``os.getenv`` read must resolve
+  to a knob declared in :data:`ENV_REGISTRY`; reads inside a verdict-path
+  package additionally need an explicit pragma arguing why the knob cannot
+  change a verdict, and reads whose variable name the resolver cannot
+  trace to a string constant need a pragma wherever they live.
+* **fingerprint drift** (``fingerprint-fields`` / ``registry-drift``): the
+  dataclasses whose fields feed ``program_fingerprint`` and the cache-key
+  preimages are pinned as a field digest per ``SEMANTICS_REVISION``.
+  Adding, removing or retyping a field without bumping the revision would
+  silently serve stale cached verdicts; the pin makes that a lint failure.
+
+Findings are suppressed line-by-line with a justified pragma::
+
+    # lint: allow(env-read) — REPRO_ANALYZE only selects between
+    # bit-identical verdict paths; it never changes an answer.
+
+on the flagged line or within the two lines above it.  The justification
+text after the rule name is mandatory — a bare ``allow`` is itself flagged.
+
+Run as ``repro-lint`` (advisory, exit 0) or ``repro-lint --strict`` (CI
+gate, exit 1 on any finding).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import hashlib
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Packages whose code can run between a query and its verdict.  ``dispatch``
+#: and ``service`` are infrastructure: they schedule, persist and transport
+#: verdicts but never compute one.
+VERDICT_PATH_PACKAGES = frozenset(
+    {"analyze", "armv8", "compile", "core", "imm", "lang", "litmus", "search"}
+)
+
+#: Modules whose import on the verdict path is a purity smell.
+IMPURE_MODULES = frozenset({"time", "datetime", "random", "secrets", "locale"})
+
+#: Every environment knob the project reads, with its one-line purpose.
+#: ``repro-lint`` fails on reads of anything not listed here.
+ENV_REGISTRY: Dict[str, str] = {
+    "REPRO_ANALYZE": "static analyzer on/off (bit-identical verdict paths)",
+    "REPRO_WORKERS": "dispatch pool width for sharded sweeps",
+    "REPRO_SUPERVISE": "supervised dispatch engine on/off",
+    "REPRO_RETRIES": "per-task retry budget under supervision",
+    "REPRO_TASK_TIMEOUT": "per-task deadline under supervision (seconds)",
+    "REPRO_RETRY_BACKOFF": "supervision retry backoff (seconds)",
+    "REPRO_SHUTDOWN_GRACE": "pool shutdown grace period (seconds)",
+    "REPRO_FAULT_PLAN": "deterministic fault-injection plan (testing)",
+    "REPRO_VERDICT_CACHE": "verdict cache location (or off)",
+    "REPRO_CACHE_QUOTA": "verdict cache size quota (bytes, K/M/G)",
+    "REPRO_CACHE_BACKEND": "verdict cache backend (files/segments)",
+    "REPRO_CORRUPT_TTL": "corrupt-entry quarantine TTL (seconds)",
+    "REPRO_LRU_TIER": "in-process LRU tier capacity above the store",
+    "REPRO_SEGMENT_BYTES": "segment-log store segment size",
+    "REPRO_CHECKPOINT_DIR": "sweep checkpoint-journal directory",
+    "REPRO_SERVICE_SOCKET": "verdict service unix socket path",
+    "REPRO_SERVICE_HOST": "verdict service TCP host",
+    "REPRO_SERVICE_PORT": "verdict service TCP port",
+    "REPRO_SERVICE_QUEUE": "service admission queue depth",
+    "REPRO_SERVICE_CONCURRENCY": "service concurrent request limit",
+    "REPRO_SERVICE_DEADLINE": "service default per-request deadline",
+    "REPRO_SERVICE_DRAIN": "service SIGTERM drain grace (seconds)",
+    "REPRO_SERVICE_RETRY_AFTER": "service backpressure retry-after hint",
+    "REPRO_SERVICE_BREAKER": "service circuit-breaker threshold",
+    "REPRO_SERVICE_COOLDOWN": "service circuit-breaker cooldown",
+    "REPRO_SERVICE_WORKERS": "service per-request dispatch pool width",
+}
+
+#: The dataclasses whose field lists feed ``program_fingerprint`` / the
+#: cache-key preimages, per file (relative to the ``repro`` package root).
+#: The lint digests their (name, annotation) field pairs in declaration
+#: order; see :data:`PINNED_FIELD_DIGESTS`.
+FINGERPRINT_CLASS_REGISTRY: Dict[str, Tuple[str, ...]] = {
+    "lang/ast.py": (
+        "Register",
+        "TypedAccess",
+        "DataViewAccess",
+        "Store",
+        "Load",
+        "Exchange",
+        "AtomicAdd",
+        "IfEq",
+        "Wait",
+        "Notify",
+        "Thread",
+        "Program",
+    ),
+    "lang/memory.py": (
+        "SharedArrayBuffer",
+        "ElementType",
+        "TypedArrayView",
+        "DataViewAccessor",
+    ),
+    "core/js_model.py": ("JsModel",),
+}
+
+#: Pinned fingerprint-field digests, keyed by ``SEMANTICS_REVISION``.  A
+#: digest change means the structural fingerprint's input space changed:
+#: either bump the revision (stale cache entries must die) and pin the new
+#: digest under the new key, or revert the field change.
+PINNED_FIELD_DIGESTS: Dict[str, str] = {
+    "2": "8c73cfd25f22eb17899bc7081d407865facc873cafe6ea6737299bdde2679822",
+}
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
+_PRAGMA_WINDOW = 2  # flagged line plus this many lines above
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, formatted ``path:line: [rule] message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _package_of(relpath: Path) -> str:
+    """The top-level ``repro`` subpackage a file belongs to ("" at the root)."""
+    return relpath.parts[0] if len(relpath.parts) > 1 else ""
+
+
+def _is_verdict_path(relpath: Path) -> bool:
+    package = _package_of(relpath)
+    # Root-level modules sit above the packages; treat them as verdict-path
+    # (conservative: nothing impure belongs there either).
+    return package in VERDICT_PATH_PACKAGES or package == ""
+
+
+def _pragma_allows(lines: Sequence[str], lineno: int, rule: str) -> Tuple[bool, bool]:
+    """(suppressed, justified) for a finding at 1-based ``lineno``.
+
+    A pragma suppresses only when it names the rule *and* carries a
+    justification; a bare ``allow(rule)`` returns ``(True, False)`` so the
+    caller can flag the missing justification instead.
+    """
+    for offset in range(0, _PRAGMA_WINDOW + 1):
+        index = lineno - 1 - offset
+        if index < 0:
+            break
+        match = _PRAGMA_RE.search(lines[index])
+        if match and match.group(1) == rule:
+            return True, bool(match.group(2))
+    return False, False
+
+
+def _module_env_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "REPRO_..."`` string constants."""
+    constants: Dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            if isinstance(node.value.value, str):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        constants[target.id] = node.value.value
+    return constants
+
+
+def _env_read_sites(tree: ast.Module) -> List[Tuple[int, Optional[ast.expr]]]:
+    """``(lineno, name expression)`` of every environment read in the module.
+
+    Covers ``os.environ.get(...)``, ``os.environ[...]`` and
+    ``os.getenv(...)`` (plus bare ``environ`` imported from ``os``).
+    """
+
+    def is_environ(node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "environ":
+            return isinstance(node.value, ast.Name) and node.value.id == "os"
+        return isinstance(node, ast.Name) and node.id == "environ"
+
+    sites: List[Tuple[int, Optional[ast.expr]]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and is_environ(func.value)
+            ):
+                sites.append((node.lineno, node.args[0] if node.args else None))
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "getenv"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            ):
+                sites.append((node.lineno, node.args[0] if node.args else None))
+        elif isinstance(node, ast.Subscript) and is_environ(node.value):
+            slice_node = node.slice
+            sites.append((node.lineno, slice_node))
+    return sites
+
+
+def _resolve_env_name(
+    expr: Optional[ast.expr],
+    local_constants: Dict[str, str],
+    global_constants: Dict[str, Optional[str]],
+) -> Optional[str]:
+    """The environment-variable name an expression statically denotes."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if expr.id in local_constants:
+            return local_constants[expr.id]
+        # Cross-module constants (e.g. CACHE_ENV imported from .cache):
+        # resolved through the tree-wide constant table, which maps a name
+        # to None when two modules disagree on its value.
+        return global_constants.get(expr.id)
+    return None
+
+
+def _check_imports(
+    relpath: Path, tree: ast.Module, lines: Sequence[str]
+) -> Iterable[Finding]:
+    if not _is_verdict_path(relpath):
+        return
+    for node in ast.walk(tree):
+        names: List[Tuple[int, str]] = []
+        if isinstance(node, ast.Import):
+            names = [(node.lineno, alias.name.split(".")[0]) for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            names = [(node.lineno, node.module.split(".")[0])]
+        for lineno, module in names:
+            if module not in IMPURE_MODULES:
+                continue
+            suppressed, justified = _pragma_allows(lines, lineno, "impure-import")
+            if suppressed and justified:
+                continue
+            message = (
+                f"verdict-path module imports {module!r} (wall-clock/"
+                "randomness/locale state must not reach a verdict)"
+            )
+            if suppressed and not justified:
+                message += "; pragma present but missing a justification"
+            yield Finding(str(relpath), lineno, "impure-import", message)
+
+
+def _check_env_reads(
+    relpath: Path,
+    tree: ast.Module,
+    lines: Sequence[str],
+    global_constants: Dict[str, Optional[str]],
+) -> Iterable[Finding]:
+    local_constants = _module_env_constants(tree)
+    verdict_path = _is_verdict_path(relpath)
+    for lineno, expr in _env_read_sites(tree):
+        name = _resolve_env_name(expr, local_constants, global_constants)
+        if name is None:
+            rule, message = "env-dynamic", (
+                "environment read through a dynamic variable name; the "
+                "registry cannot vouch for it"
+            )
+        elif name not in ENV_REGISTRY:
+            rule, message = "env-unregistered", (
+                f"environment variable {name!r} is not in the declared "
+                "registry (repro.analyze.lint.ENV_REGISTRY)"
+            )
+        elif verdict_path:
+            rule, message = "env-read", (
+                f"environment read of {name!r} inside a verdict-path "
+                "package; justify why it cannot change a verdict"
+            )
+        else:
+            continue
+        suppressed, justified = _pragma_allows(lines, lineno, rule)
+        if suppressed and justified:
+            continue
+        if suppressed and not justified:
+            message += "; pragma present but missing a justification"
+        yield Finding(str(relpath), lineno, rule, message)
+
+
+def _class_fields(tree: ast.Module, class_name: str) -> Optional[List[Tuple[str, str]]]:
+    """(name, annotation) of a class's annotated fields, declaration order."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields: List[Tuple[str, str]] = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, ast.unparse(stmt.annotation)))
+            return fields
+    return None
+
+
+def fingerprint_field_digest(package_root: Path) -> Tuple[str, List[Finding]]:
+    """The current field digest of the fingerprint-relevant dataclasses.
+
+    Returns the digest plus any ``registry-drift`` findings (a registered
+    file or class that no longer exists — the registry itself went stale).
+    """
+    findings: List[Finding] = []
+    table: Dict[str, Dict[str, List[Tuple[str, str]]]] = {}
+    for relname, class_names in sorted(FINGERPRINT_CLASS_REGISTRY.items()):
+        path = package_root / relname
+        if not path.is_file():
+            findings.append(
+                Finding(
+                    relname,
+                    1,
+                    "registry-drift",
+                    "file named in FINGERPRINT_CLASS_REGISTRY does not exist",
+                )
+            )
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        table[relname] = {}
+        for class_name in class_names:
+            fields = _class_fields(tree, class_name)
+            if fields is None:
+                findings.append(
+                    Finding(
+                        relname,
+                        1,
+                        "registry-drift",
+                        f"class {class_name!r} named in "
+                        "FINGERPRINT_CLASS_REGISTRY does not exist",
+                    )
+                )
+                continue
+            table[relname][class_name] = fields
+    payload = json.dumps(table, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest(), findings
+
+
+def _check_fingerprint_pin(package_root: Path) -> Iterable[Finding]:
+    from ..dispatch.cache import SEMANTICS_REVISION
+
+    digest, findings = fingerprint_field_digest(package_root)
+    yield from findings
+    pinned = PINNED_FIELD_DIGESTS.get(SEMANTICS_REVISION)
+    if pinned is None:
+        yield Finding(
+            "analyze/lint.py",
+            1,
+            "fingerprint-fields",
+            f"no pinned field digest for SEMANTICS_REVISION="
+            f"{SEMANTICS_REVISION!r}; pin {digest!r} in PINNED_FIELD_DIGESTS",
+        )
+    elif pinned != digest:
+        yield Finding(
+            "analyze/lint.py",
+            1,
+            "fingerprint-fields",
+            "fingerprint-relevant dataclass fields changed without a "
+            f"SEMANTICS_REVISION bump (digest {digest!r}, pinned {pinned!r}); "
+            "bump the revision and pin the new digest, or revert the field "
+            "change",
+        )
+
+
+def _collect_global_constants(files: Sequence[Path], package_root: Path) -> Dict[str, Optional[str]]:
+    """Tree-wide ``NAME -> "REPRO_*"`` constant table for import resolution.
+
+    Names bound to different strings in different modules map to ``None``
+    (ambiguous — the reader must use a pragma or a local constant).
+    """
+    table: Dict[str, Optional[str]] = {}
+    for path in files:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for name, value in _module_env_constants(tree).items():
+            if name in table and table[name] != value:
+                table[name] = None
+            else:
+                table[name] = value
+    return table
+
+
+def run_lint(package_root: Path) -> List[Finding]:
+    """All findings over the ``repro`` package rooted at ``package_root``."""
+    files = sorted(package_root.rglob("*.py"))
+    global_constants = _collect_global_constants(files, package_root)
+    findings: List[Finding] = []
+    for path in files:
+        relpath = path.relative_to(package_root)
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        lines = source.splitlines()
+        findings.extend(_check_imports(relpath, tree, lines))
+        findings.extend(
+            _check_env_reads(relpath, tree, lines, global_constants)
+        )
+    findings.extend(_check_fingerprint_pin(package_root))
+    return findings
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package this lint module belongs to."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Semantics-purity lint over the repro source tree.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repro package root to lint (default: the installed package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any finding (the CI gate)",
+    )
+    parser.add_argument(
+        "--print-digest",
+        action="store_true",
+        help="print the current fingerprint-field digest and exit",
+    )
+    args = parser.parse_args(argv)
+    package_root = args.root if args.root is not None else default_package_root()
+    if args.print_digest:
+        digest, _findings = fingerprint_field_digest(package_root)
+        print(digest)
+        return 0
+    findings = run_lint(package_root)
+    for finding in findings:
+        print(finding.describe())
+    print(
+        f"repro-lint: {len(findings)} finding(s) over {package_root}"
+        + (" [strict]" if args.strict else "")
+    )
+    return 1 if (args.strict and findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console entry
+    sys.exit(main())

@@ -1,0 +1,488 @@
+"""Static conflict/race analysis over litmus programs.
+
+The dynamic notion of a data race (Fig. 7 of the paper, implemented in
+:mod:`repro.core.data_race`) quantifies over *executions*: two events race
+when they overlap, at least one writes, they are not both SC accesses of the
+same range, and neither happens-before the other.  This module lifts that
+predicate to the *program text*: every thread contributes a finite set of
+static access events — one per memory-event template of any control-flow
+path, with its byte footprint and ordering mode — and a pair of static
+accesses *may race* exactly when the execution-level predicate could hold
+for some pair of dynamic events they describe.
+
+The static happens-before under-approximation behind the lift:
+
+* **program order**: two events of the same thread are always ``sb``- and
+  hence ``hb``-ordered (in every model), so same-thread static pairs never
+  race — and templates from *different* paths of one thread never co-occur
+  in an execution at all;
+* **SC-atomic synchronisation**: the Fig.-7 predicate itself exempts pairs
+  of seq-cst accesses of the *same* range (their synchronises-with edge is
+  what the model's DRF guarantee is built from), so equal-footprint SC
+  static pairs are discarded;
+* **init events**: ``init-overlap`` puts the Init write happens-before
+  every overlapping event in every model, so init never contributes a race
+  and needs no static counterpart.
+
+Everything else is conservatively a *may-race* pair.  ``definitely_race_free``
+(no may-race pairs) is therefore **sound**: every dynamic event of every
+execution instantiates some static access of the same thread with the same
+mode and footprint, so a race-free static verdict transfers to every
+execution — which is what licenses the SC fast path (Theorem 6.1 plus its
+converse for the final, simplified-sw models) and the program-level DRF
+short-circuit in :mod:`repro.lang.enumeration`.
+
+The same per-path template walk also yields two *pruning* fact families:
+
+* per-read writer **may-sets** — rf edges statically killed by ordering
+  (a write sequenced after a read can never justify it: HB-Consistency 2
+  rejects such an execution under every model), applied inside
+  :func:`repro.core.groundcore.restrict_choices`;
+* **dead outcomes** — register values no write of any path can produce
+  (checked against per-byte possible-value sets and the access codecs),
+  letting ``outcome_allowed`` answer ``False`` without grounding anything.
+
+All interventions are toggled by ``REPRO_ANALYZE`` (default on) and select
+between *bit-identical* verdict paths, so the flag is deliberately not part
+of any verdict-cache key and ``SEMANTICS_REVISION`` is untouched.
+
+This module must not import :mod:`repro.lang.enumeration` (or anything that
+does) at module level: the enumeration imports us for the fast path, and
+the thread-semantics import is deferred for the same reason.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.events import AccessMode, ranges_equal, ranges_intersect
+from ..core.js_model import JsModel, ScAtomicsRule
+from ..dispatch.cache import DISABLED_ENV_VALUES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
+    from ..lang.ast import Outcome, Program
+
+ANALYZE_ENV = "REPRO_ANALYZE"
+
+
+def analyze_enabled() -> bool:
+    """Is the static analyzer on (the default) or disabled via the environment?
+
+    ``REPRO_ANALYZE=off`` (or ``0``/``no``/``none``/``disabled``) turns every
+    analyzer intervention off; unset or any other value leaves it on.
+    """
+    # lint: allow(env-read) — REPRO_ANALYZE is a registered knob selecting
+    # between bit-identical verdict paths; it never changes an answer.
+    raw = os.environ.get(ANALYZE_ENV, "").strip().lower()
+    return not raw or raw not in DISABLED_ENV_VALUES
+
+
+# ---------------------------------------------------------------------------
+# analyzer counters
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalyzeStats:
+    """Process-wide analyzer counters (mirrors the verdict-cache stats).
+
+    ``fast_path_hits``/``fast_path_misses`` count verdict queries answered by
+    the SC interpreter vs. sent to the weak-memory enumeration;
+    ``pruned_rf_edges`` counts statically killed reads-byte-from candidate
+    edges; ``race_pairs`` accumulates may-race pairs over analyzed programs;
+    ``dead_outcomes`` counts specs rejected without grounding.  Multi-worker
+    sweeps count the *parent's* view only, exactly like ``cache_stats``.
+    """
+
+    programs_analyzed: int = 0
+    race_pairs: int = 0
+    fast_path_hits: int = 0
+    fast_path_misses: int = 0
+    pruned_rf_edges: int = 0
+    dead_outcomes: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Counter increments since a :meth:`snapshot` taken earlier."""
+        return {name: value - before.get(name, 0) for name, value in self.snapshot().items()}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+STATS = AnalyzeStats()
+
+
+def stats_snapshot() -> Dict[str, int]:
+    return STATS.snapshot()
+
+
+def stats_delta(before: Mapping[str, int]) -> Dict[str, int]:
+    return STATS.delta(before)
+
+
+# ---------------------------------------------------------------------------
+# static accesses and the program analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaticAccess:
+    """One static memory access: a memory-event template's observable shape.
+
+    Every dynamic event of every execution instantiates some static access
+    of the same thread with the same kind, mode, and byte footprint — the
+    soundness invariant all the analyzer's verdicts rest on.
+    """
+
+    tid: int
+    kind: str  # "read" | "write" | "rmw"
+    mode: AccessMode
+    block: str
+    start: int
+    stop: int
+
+    @property
+    def reads(self) -> bool:
+        return self.kind in ("read", "rmw")
+
+    @property
+    def writes(self) -> bool:
+        return self.kind in ("write", "rmw")
+
+    @property
+    def footprint(self) -> range:
+        return range(self.start, self.stop)
+
+    def describe(self) -> str:
+        mode = self.mode.name.lower()
+        return (
+            f"t{self.tid} {self.kind:5s} {self.block}"
+            f"[{self.start}:{self.stop}] {mode}"
+        )
+
+
+RegisterFact = Tuple[str, object]  # ("const", value) | ("read", access)
+ByteValues = Dict[Tuple[str, int], Optional[FrozenSet[int]]]
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Everything the static pass proves about one program.
+
+    ``accesses`` are the deduplicated static accesses of all threads;
+    ``race_pairs`` the cross-thread may-race pairs among them (empty ⟺
+    ``definitely_race_free``).  ``register_bindings`` maps each qualified
+    register (``"1:r0"``) to the ways any path can bind it; ``byte_values``
+    maps each buffer byte to the set of values some write (or Init) can
+    leave there — ``None`` meaning statically unbounded.
+    """
+
+    accesses: Tuple[StaticAccess, ...]
+    race_pairs: Tuple[Tuple[StaticAccess, StaticAccess], ...]
+    register_bindings: Mapping[str, Tuple[RegisterFact, ...]]
+    byte_values: ByteValues
+    uses_wait_notify: bool
+
+    @property
+    def definitely_race_free(self) -> bool:
+        return not self.race_pairs
+
+    def value_producible(self, register: str, want: int) -> bool:
+        """Can *some* path leave ``want`` in the qualified register?
+
+        A ``const`` binding produces exactly its constant.  A ``read``
+        binding produces ``want`` only when the access codec round-trips it
+        (``decode(encode(want)) == want`` — out-of-range values wrap exactly
+        as the dynamic semantics wraps them) and every byte of its encoding
+        is statically possible at the byte's location.
+        """
+        for tag, payload in self.register_bindings.get(register, ()):
+            if tag == "const":
+                if payload == want:
+                    return True
+                continue
+            access = payload
+            try:
+                data = access.encode(want)
+            except (ValueError, OverflowError):  # pragma: no cover - defensive
+                continue
+            if access.decode(data) != want:
+                continue
+            possible = True
+            for loc, byte in zip(access.byte_range(), data):
+                values = self.byte_values.get((access.block, loc))
+                if values is not None and byte not in values:
+                    possible = False
+                    break
+            if possible:
+                return True
+        return False
+
+    def outcome_statically_dead(self, spec: "Outcome") -> bool:
+        """Is the (partial) outcome spec unproducible by every path?
+
+        Sound for wait/notify-free programs only: notify counts bind
+        registers outside the path register maps this analysis walks.
+        """
+        return any(
+            not self.value_producible(register, want)
+            for register, want in spec.items()
+        )
+
+    def describe(self) -> str:
+        lines = [f"static accesses: {len(self.accesses)}"]
+        lines += [f"  {access.describe()}" for access in self.accesses]
+        lines.append(
+            "definitely race-free"
+            if self.definitely_race_free
+            else f"may-race pairs: {len(self.race_pairs)}"
+        )
+        lines += [
+            f"  {a.describe()}  ×  {b.describe()}" for a, b in self.race_pairs
+        ]
+        return "\n".join(lines)
+
+
+def _static_accesses_and_facts(
+    program: "Program",
+) -> Tuple[
+    List[StaticAccess], Dict[str, List[RegisterFact]], ByteValues
+]:
+    """Walk every control-flow path of every thread once.
+
+    Returns the deduplicated static accesses, the per-register binding
+    facts, and the per-byte possible-value sets (seeded with Init's zeros).
+    """
+    # Deferred import: repro.lang.enumeration imports this module for the
+    # fast path, and repro.lang's package init pulls in the enumeration.
+    from ..lang.thread_semantics import thread_paths
+
+    accesses: List[StaticAccess] = []
+    seen_accesses = set()
+    bindings: Dict[str, List[RegisterFact]] = {}
+    seen_bindings = set()
+    byte_values: ByteValues = {}
+    for buffer in program.buffers:
+        for k in range(buffer.byte_length):
+            byte_values[(buffer.block, k)] = frozenset({0})
+
+    def widen(block: str, loc: int, byte: Optional[int]) -> None:
+        current = byte_values.get((block, loc))
+        if current is None:
+            return  # already unbounded (or out of range: never read back)
+        if byte is None:
+            byte_values[(block, loc)] = None
+        else:
+            byte_values[(block, loc)] = current | {byte}
+
+    for tid, thread in enumerate(program.threads):
+        for path in thread_paths(thread, tid):
+            templates_by_key = {t.key: t for t in path.templates}
+            for template in path.templates:
+                if not template.is_memory_event:
+                    continue
+                rng = template.byte_range()
+                static = StaticAccess(
+                    tid=tid,
+                    kind=template.kind,
+                    mode=template.mode,
+                    block=template.block,
+                    start=rng.start,
+                    stop=rng.stop,
+                )
+                if static not in seen_accesses:
+                    seen_accesses.add(static)
+                    accesses.append(static)
+                if template.writes_memory:
+                    write_value = template.write_value
+                    if write_value is not None and write_value.kind == "const":
+                        data = template.access.encode(write_value.payload)
+                        for loc, byte in zip(rng, data):
+                            widen(template.block, loc, byte)
+                    else:
+                        # copy / add-read stores: value depends on a read —
+                        # statically unbounded.
+                        for loc in rng:
+                            widen(template.block, loc, None)
+            for name, (tag, payload) in path.registers:
+                qualified = f"{path.tid}:{name}"
+                if tag == "const":
+                    fact: RegisterFact = ("const", payload)
+                else:
+                    fact = ("read", templates_by_key[payload].access)
+                if (qualified, fact) not in seen_bindings:
+                    seen_bindings.add((qualified, fact))
+                    bindings.setdefault(qualified, []).append(fact)
+    return accesses, bindings, byte_values
+
+
+def _may_race(a: StaticAccess, b: StaticAccess) -> bool:
+    """The Fig.-7 race predicate lifted to a static pair (see module doc)."""
+    if a.tid == b.tid:
+        return False  # program order: sb ⊆ hb in every model
+    if a.block != b.block:
+        return False
+    if not ranges_intersect(a.footprint, b.footprint):
+        return False
+    if not (a.writes or b.writes):
+        return False
+    if (
+        a.mode is AccessMode.SEQCST
+        and b.mode is AccessMode.SEQCST
+        and ranges_equal(a.footprint, b.footprint)
+    ):
+        return False
+    return True
+
+
+def analyze_program(program: "Program") -> ProgramAnalysis:
+    """The static analysis of one program (memoized on the instance).
+
+    The memo lives in the instance ``__dict__`` (like the fingerprint memo),
+    so structurally equal programs built separately each pay one analysis
+    and frozen-dataclass semantics stay intact.
+    """
+    memo = program.__dict__.get("_analyze_memo")
+    if memo is not None:
+        return memo
+    accesses, bindings, byte_values = _static_accesses_and_facts(program)
+    pairs: List[Tuple[StaticAccess, StaticAccess]] = []
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1 :]:
+            if _may_race(a, b):
+                pairs.append((a, b))
+    analysis = ProgramAnalysis(
+        accesses=tuple(accesses),
+        race_pairs=tuple(pairs),
+        register_bindings={
+            name: tuple(facts) for name, facts in bindings.items()
+        },
+        byte_values=byte_values,
+        uses_wait_notify=program.uses_wait_notify(),
+    )
+    STATS.programs_analyzed += 1
+    STATS.race_pairs += len(pairs)
+    object.__setattr__(program, "_analyze_memo", analysis)
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# verdict-path gates: fast paths, pruning, dead outcomes
+# ---------------------------------------------------------------------------
+
+
+def statically_race_free(program: "Program") -> bool:
+    """Sound static race-freedom; ``False`` means *unknown*, never "racy"."""
+    if not analyze_enabled():
+        return False
+    return analyze_program(program).definitely_race_free
+
+
+def static_race_verdict(program: "Program") -> Optional[bool]:
+    """``definitely_race_free`` as report metadata: ``None`` when disabled."""
+    if not analyze_enabled():
+        return None
+    return analyze_program(program).definitely_race_free
+
+
+def sc_fast_path_model(model: JsModel) -> bool:
+    """Models whose allowed outcomes *equal* the SC outcomes on DRF programs.
+
+    Theorem 6.1 gives allowed ⊆ SC for the final (simplified-sw, final
+    SC-atomics) models; the converse holds because the latest-writer-per-byte
+    execution of any SC interleaving satisfies HB-Consistency 1–3, both
+    tear-free variants and the final SC-atomics rule.  The ORIGINAL and
+    ARMV8_FIX models admit DRF programs with non-SC outcomes (Fig. 8), so
+    the fast path must never answer for them.
+    """
+    return model.sc_atomics is ScAtomicsRule.FINAL and model.simplified_sw
+
+
+def sc_fast_path_applies(
+    program: "Program",
+    model: JsModel,
+    extra_asw: Sequence[Tuple[int, int]] = (),
+    max_assignments: Optional[int] = None,
+) -> bool:
+    """May boolean outcome verdicts be answered by the SC interpreter?
+
+    Counts a fast-path hit or miss; with a budget or extra ``asw`` edges the
+    analyzer stands aside entirely (budget semantics are charged against the
+    unpruned enumeration, and extra synchronisation is not in the program
+    text), so neither counter moves.
+    """
+    if not analyze_enabled():
+        return False
+    if max_assignments is not None or tuple(extra_asw):
+        return False
+    if not sc_fast_path_model(model) or program.uses_wait_notify():
+        STATS.fast_path_misses += 1
+        return False
+    if analyze_program(program).definitely_race_free:
+        STATS.fast_path_hits += 1
+        return True
+    STATS.fast_path_misses += 1
+    return False
+
+
+def drf_fast_path(
+    program: "Program", max_assignments: Optional[int] = None
+) -> bool:
+    """Static short-circuit for program-level DRF — sound under *any* model.
+
+    Static race-freedom quantifies over every execution, allowed or not, so
+    it answers the model-internal DRF question for every model at once.
+    """
+    if not analyze_enabled() or max_assignments is not None:
+        return False
+    if analyze_program(program).definitely_race_free:
+        STATS.fast_path_hits += 1
+        return True
+    STATS.fast_path_misses += 1
+    return False
+
+
+def outcome_statically_dead(
+    program: "Program",
+    spec: "Outcome",
+    max_assignments: Optional[int] = None,
+) -> bool:
+    """Can the spec be rejected without grounding a single execution?"""
+    if not analyze_enabled() or max_assignments is not None:
+        return False
+    if not spec or program.uses_wait_notify():
+        return False
+    if analyze_program(program).outcome_statically_dead(spec):
+        STATS.dead_outcomes += 1
+        return True
+    return False
+
+
+def rf_pruning_enabled(max_assignments: Optional[int] = None) -> bool:
+    """Is reads-byte-from candidate pruning active for this call?
+
+    Never with a budget: ``enumerate_assignments`` charges pruned subtrees
+    by the *unpruned* product sizes, so shrinking the choice lists would
+    change exactly when ``EnumerationBudgetExceeded`` trips.
+    """
+    return max_assignments is None and analyze_enabled()
+
+
+def count_pruned_rf_edges(count: int) -> None:
+    """Account statically killed rf candidate edges (called by the grounding)."""
+    STATS.pruned_rf_edges += count

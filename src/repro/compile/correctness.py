@@ -22,6 +22,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from .. import analyze
 from ..armv8.axiomatic import ArmExecution, arm_allowed_execution_classes
 from ..armv8.operational import arm_operational_runs
 from ..core.execution import CandidateExecution
@@ -88,6 +89,13 @@ class CompilationCheckResult:
     valid_with_search: int = 0
     counterexamples: List[CompilationCounterExample] = field(default_factory=list)
     construction_failures: int = 0
+    statically_race_free: Optional[bool] = None
+    """The static analyzer's race-freedom verdict for the source program
+    (``None`` when ``REPRO_ANALYZE`` is off).  Metadata only: compilation
+    correctness compares ARM-allowed behaviours against the JS model, and an
+    ARM execution outside the model is a genuine violation even for a
+    race-free source program — so this never short-circuits the check.
+    """
 
     @property
     def correct(self) -> bool:
@@ -141,7 +149,11 @@ def check_program_compilation(
 ) -> CompilationCheckResult:
     """Bounded compilation-correctness check for one JavaScript program."""
     compiled = compile_program(program)
-    result = CompilationCheckResult(program=program.name, model=model.name)
+    result = CompilationCheckResult(
+        program=program.name,
+        model=model.name,
+        statically_race_free=analyze.static_race_verdict(program),
+    )
     # The translation ignores the coherence witness, so every coherence
     # variant of one ARM (events, rbf) class — often the vast majority of
     # the allowed executions — maps to the *same* JavaScript candidate
@@ -236,6 +248,7 @@ def _checked_with_cache(
             valid_with_construction=int(entry["valid_with_construction"]),
             valid_with_search=int(entry["valid_with_search"]),
             construction_failures=int(entry["construction_failures"]),
+            statically_race_free=analyze.static_race_verdict(program),
         )
     result = check_program_compilation(
         program,
@@ -342,6 +355,7 @@ def check_corpus_compilation(
             valid_with_construction=int(entry["valid_with_construction"]),
             valid_with_search=int(entry["valid_with_search"]),
             construction_failures=int(entry["construction_failures"]),
+            statically_race_free=analyze.static_race_verdict(programs[index]),
         )
         for index, entry in recorded.items()
     }

@@ -38,6 +38,14 @@ The layer-specific parts are injected:
   them to AND its per-byte coherence order-bitmask memos into the
   backtracker — a subtree dies the moment some byte's mask empties,
   instead of every member being enumerated, classed and then discarded.
+
+Static writer may-sets from :mod:`repro.analyze` enter one level earlier
+still, through :func:`restrict_choices`: facts provable from the program
+text alone (an rf edge dead under every model) shrink a group's per-slot
+``choices`` before the product enumeration even starts — the degenerate
+single-slot form of the ``group_hooks`` constraint layer, legal only when
+no enumeration budget is active (``charge`` sizes pruned subtrees from the
+unpruned product).
 """
 
 from __future__ import annotations
@@ -121,6 +129,24 @@ class ReadGroup:
     choices: Tuple[Tuple[int, ...], ...]
     constraints: Tuple[Tuple[bool, int], ...]
     decode: Callable[[ByteTuple], int]
+
+
+def restrict_choices(
+    choices: Sequence[int], may: Callable[[int], bool]
+) -> Tuple[Tuple[int, ...], int]:
+    """Apply a static writer may-set to one slot's candidate writers.
+
+    The static analyzer proves, from the program text alone, that some
+    reads-from edges can never appear in a *valid* execution (e.g. a write
+    sequenced after the read it would justify — HB-Consistency 2 rejects
+    that execution under every model).  Those facts arrive here as a
+    per-writer ``may`` predicate and shrink the slot's choice tuple before
+    :func:`enumerate_assignments` takes the product.  Returns the kept
+    choices and how many edges were pruned; callers only apply a non-empty
+    prune when no enumeration budget is active (see module docstring).
+    """
+    kept = tuple(writer for writer in choices if may(writer))
+    return kept, len(choices) - len(kept)
 
 
 def enumerate_assignments(

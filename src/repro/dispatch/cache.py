@@ -69,7 +69,15 @@ CACHE_ENV = "REPRO_VERDICT_CACHE"
 QUOTA_ENV = "REPRO_CACHE_QUOTA"
 BACKEND_ENV = "REPRO_CACHE_BACKEND"
 CORRUPT_TTL_ENV = "REPRO_CORRUPT_TTL"
-_DISABLED_VALUES = {"", "0", "off", "no", "none", "disabled"}
+
+DISABLED_ENV_VALUES = frozenset({"", "0", "off", "no", "none", "disabled"})
+"""The values every ``REPRO_*`` on/off knob treats as "disabled".
+
+Shared across the dispatch layer and the static analyzer's ``REPRO_ANALYZE``
+gate so all boolean knobs parse identically.
+"""
+
+_DISABLED_VALUES = DISABLED_ENV_VALUES
 
 _BACKEND_NAMES = {
     "files": "files",

@@ -64,6 +64,8 @@ _warned_env_values: set = set()
 
 def _env_number(name: str, default, parse):
     """A numeric environment knob; unparseable values warn once and default."""
+    # lint: allow(env-dynamic) — shared parser for the registered numeric
+    # knobs above; every caller passes one of this module's *_ENV constants.
     raw = os.environ.get(name, "").strip()
     if not raw:
         return default

@@ -24,9 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..analyze import races as analyze
 from ..core.events import Event, EventSet, make_init_event
 from ..core.execution import CandidateExecution, RbfTriple
-from ..core.groundcore import ReadGroup, SignatureInterner, enumerate_assignments
+from ..core.groundcore import (
+    ReadGroup,
+    SignatureInterner,
+    enumerate_assignments,
+    restrict_choices,
+)
 from ..core.js_model import FINAL_MODEL, JsModel, exists_valid_total_order
 from ..core.data_race import data_races
 from ..core.relations import Relation
@@ -582,6 +588,7 @@ def ground_candidates(
     pre: PreExecution,
     max_assignments: Optional[int] = None,
     collapse_value_profiles: bool = False,
+    prune_rf: bool = False,
 ) -> Iterator[GroundExecution]:
     """Ground one :class:`PreExecution`: enumerate ``reads-byte-from`` choices.
 
@@ -613,12 +620,24 @@ def ground_candidates(
     enumerated and charged; only their per-member assembly and downstream
     validity work is skipped).
 
+    ``prune_rf`` applies the static analyzer's per-read writer may-sets
+    (:mod:`repro.analyze`): a candidate writer *sequenced after* its read is
+    dropped before the product enumeration, because HB-Consistency 2
+    (``sb ⊆ hb`` in every model) rejects any execution reading from it.
+    Only verdict-level entry points pass it — the raw grounding stream stays
+    complete for consumers that count candidates or multiplicities — and it
+    is ignored whenever a budget is set, so ``EnumerationBudgetExceeded``
+    trips for exactly the same programs either way.  Init covers every byte
+    and is never sequenced after a read, so no choice list ever empties.
+
     The backtracking itself lives in
     :func:`repro.core.groundcore.enumerate_assignments`, shared with the
     ARMv8 grounding; this function contributes the JavaScript-specific
     pieces (writer candidates, value decoding, store propagation, the
     enumeration budget, and ground-execution assembly).
     """
+    prune_rf = prune_rf and max_assignments is None
+    sb = pre.sb
     writers = _writers_by_byte(pre)
     constraints = pre.constraints_by_source()
     read_groups: List[ReadGroup] = []
@@ -633,6 +652,13 @@ def ground_candidates(
             candidates = [
                 w for w in writers.get((template.block, k), []) if w != eid
             ]
+            if prune_rf:
+                kept, pruned = restrict_choices(
+                    candidates, lambda w: (eid, w) not in sb
+                )
+                if pruned:
+                    analyze.count_pruned_rf_edges(pruned)
+                    candidates = list(kept)
             if not candidates:
                 # Some read byte has no possible writer: the path is infeasible.
                 return
@@ -760,13 +786,19 @@ def ground_executions(
     extra_asw: Sequence[Tuple[int, int]] = (),
     max_assignments: Optional[int] = None,
     collapse_value_profiles: bool = False,
+    prune_rf: bool = False,
 ) -> Iterator[GroundExecution]:
-    """Every concrete candidate execution (without ``tot``) of the program."""
+    """Every concrete candidate execution (without ``tot``) of the program.
+
+    ``prune_rf`` (verdict-level callers only) drops statically impossible
+    reads-byte-from candidates; see :func:`ground_candidates`.
+    """
     for pre in pre_executions(program, extra_asw=extra_asw):
         yield from ground_candidates(
             pre,
             max_assignments=max_assignments,
             collapse_value_profiles=collapse_value_profiles,
+            prune_rf=prune_rf,
         )
 
 
@@ -791,12 +823,17 @@ def allowed_executions(
     race freedom, SC-DRF) see exactly the uncollapsed answers while paying
     one validity search per class instead of one per member.  Pass
     ``False`` to enumerate every assignment's execution individually.
+
+    Static rf pruning (:mod:`repro.analyze`) is applied here: the pruned
+    candidates are invalid under *every* model (HB-Consistency 2), so the
+    yielded stream of valid executions is bit-identical with and without it.
     """
     for ground in ground_executions(
         program,
         extra_asw=extra_asw,
         max_assignments=max_assignments,
         collapse_value_profiles=collapse_value_profiles,
+        prune_rf=analyze.rf_pruning_enabled(max_assignments),
     ):
         tot = exists_valid_total_order(ground.execution, model)
         if tot is not None:
@@ -826,6 +863,7 @@ def allowed_outcomes(
         extra_asw=extra_asw,
         max_assignments=max_assignments,
         collapse_value_profiles=collapse_value_profiles,
+        prune_rf=analyze.rf_pruning_enabled(max_assignments),
     ):
         key = tuple(sorted(ground.outcome.items()))
         if key in seen:
@@ -849,12 +887,29 @@ def outcome_allowed(
 
     ``spec`` is a partial assignment of qualified registers (``"1:r0": 5``);
     it matches any outcome extending it.
+
+    Two static short-circuits (:mod:`repro.analyze`, ``REPRO_ANALYZE``)
+    answer without enumerating, both bit-identical to the full path:
+
+    * statically race-free programs under the final models have allowed
+      outcomes *equal* to the SC-interpreter outcomes (Theorem 6.1 and its
+      converse), so the spec is checked against those;
+    * a spec no static write/binding can produce is dead under any model.
     """
+    if analyze.sc_fast_path_applies(
+        program, model, extra_asw=extra_asw, max_assignments=max_assignments
+    ):
+        return any(outcome_matches(o, spec) for o in sc_outcomes(program))
+    if analyze.outcome_statically_dead(
+        program, spec, max_assignments=max_assignments
+    ):
+        return False
     for ground in ground_executions(
         program,
         extra_asw=extra_asw,
         max_assignments=max_assignments,
         collapse_value_profiles=collapse_value_profiles,
+        prune_rf=analyze.rf_pruning_enabled(max_assignments),
     ):
         if not outcome_matches(ground.outcome, spec):
             continue
@@ -887,7 +942,12 @@ def program_is_data_race_free(
 
     This is JavaScript's (model-internal) notion of DRF: quantification over
     *every* execution allowed by the model, not only the SC ones.
+
+    Statically race-free programs short-circuit to ``True`` under *any*
+    model — the static verdict covers all executions, allowed or not.
     """
+    if analyze.drf_fast_path(program, max_assignments=max_assignments):
+        return True
     for execution, _outcome in allowed_executions(
         program, model, max_assignments=max_assignments
     ):

@@ -14,6 +14,7 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import analyze
 from ..core.js_model import (
     ARMV8_FIX_MODEL,
     FINAL_MODEL,
@@ -369,6 +370,14 @@ class CatalogueReport:
     the full picture.
     """
 
+    analyze_stats: Optional[Dict[str, int]] = None
+    """The static analyzer's counter increments over this sweep
+    (:class:`repro.analyze.AnalyzeStats`), or ``None`` when ``REPRO_ANALYZE``
+    is off.  Like :attr:`cache_stats`, multi-worker sweeps count the
+    *parent's* view only — and a warm cache answers before the analyzer
+    runs, so cached verdicts contribute neither hits nor misses.
+    """
+
     @property
     def passed(self) -> bool:
         return all(result.passed for result in self.results)
@@ -400,6 +409,11 @@ class CatalogueReport:
         if self.cache_stats is not None:
             pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.cache_stats.items()))
             lines.append(f"verdict cache: {pairs}")
+        if self.analyze_stats is not None:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.analyze_stats.items())
+            )
+            lines.append(f"static analyzer: {pairs}")
         lines.extend(r.describe() for r in bad)
         return "\n".join(lines)
 
@@ -427,6 +441,7 @@ def run_catalogue(
     # Resolve here (run_tests' resolve_cache passes a live cache through
     # unchanged) so the report can snapshot the cache's counters.
     cache = resolve_cache(cache)
+    analyze_before = analyze.stats_snapshot() if analyze.analyze_enabled() else None
     results = run_tests(
         tests,
         workers=workers,
@@ -440,6 +455,11 @@ def run_catalogue(
         results=tuple(results),
         quarantined=tuple(sorted(q.task[0].name for q in supervision.quarantined)),
         cache_stats=cache.stats() if cache is not None else None,
+        analyze_stats=(
+            analyze.stats_delta(analyze_before)
+            if analyze_before is not None
+            else None
+        ),
     )
 
 

@@ -21,6 +21,7 @@ import sys
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from .. import analyze
 from ..compile.correctness import (
     CompilationCounterExample,
     find_compilation_violation,
@@ -97,6 +98,14 @@ class SearchReport:
     counters live in their own processes.
     """
 
+    analyze_stats: Optional[dict] = None
+    """The static analyzer's counter increments over this sweep
+    (:class:`repro.analyze.AnalyzeStats`), or ``None`` when ``REPRO_ANALYZE``
+    is off.  Parent's view only, like :attr:`cache_stats`: sharded workers
+    count hits and misses in their own processes, and cached verdicts never
+    reach the analyzer at all.
+    """
+
     @property
     def found(self) -> bool:
         return self.counterexample is not None
@@ -127,7 +136,16 @@ def _sc_drf_counterexample(
     race disqualifies the program immediately, otherwise the (deduplicated)
     outcomes are collected as the executions stream by and only then
     compared against the sequential-interleaving oracle.
+
+    Statically race-free programs under the final (simplified-sw, final
+    SC-atomics) models short-circuit to ``None``: every execution is
+    race-free and the allowed outcomes equal the SC outcomes (Theorem 6.1
+    plus its converse), so no weird outcome can exist.  Under the ORIGINAL
+    and ARMV8_FIX models the fast path never answers — Fig. 8's DRF
+    counterexample must still be found.
     """
+    if analyze.sc_fast_path_applies(program, model):
+        return None
     racy = False
     outcomes: List[Outcome] = []
     seen = set()
@@ -360,6 +378,7 @@ def _swept_search(
     workers = resolve_workers(workers)
     cache = resolve_cache(cache)
     report = SearchReport(model=model.name)
+    analyze_before = analyze.stats_snapshot() if analyze.analyze_enabled() else None
     total = program_count(bounds)
     if cache is None:
         cache_spec = None
@@ -464,6 +483,8 @@ def _swept_search(
         )
         if cache is not None:
             report.cache_stats = cache.stats()
+        if analyze_before is not None:
+            report.analyze_stats = analyze.stats_delta(analyze_before)
         # Returning at all (hit, exhausted, or quarantine-degraded) means
         # the sweep is decided; the journal has served its purpose.  An
         # exception (including KeyboardInterrupt/SIGTERM unwinding) keeps

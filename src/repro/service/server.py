@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Set
 
+from .. import analyze
 from ..dispatch import (
     SEMANTICS_REVISION,
     ShutdownRequested,
@@ -478,6 +479,13 @@ class VerdictService:
             "supervision": dict(self._supervision_totals),
             "breaker": self.breaker.snapshot(),
             "cache": cache_stats,
+            # The static analyzer's process-wide counters (parent's view,
+            # like the cache stats): fast-path hit rate, pruned rf edges,
+            # may-race pairs seen.  ``enabled`` reflects REPRO_ANALYZE.
+            "analyze": {
+                "enabled": analyze.analyze_enabled(),
+                **analyze.stats_snapshot(),
+            },
             "semantics_revision": SEMANTICS_REVISION,
         }
 

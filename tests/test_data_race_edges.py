@@ -1,0 +1,155 @@
+"""Edge cases of the Fig. 7 race predicate (``core/data_race.py``).
+
+Companion to the theorem-level suite: mixed-size *partial* overlaps,
+same-range SeqCst pairs in every mode combination, Init-event non-races,
+and wait/notify (``asw``) synchronisation edges entering ``hb``.
+"""
+
+from repro.core.data_race import data_races, is_data_race, is_race_free_execution
+from repro.core.events import Event, SEQCST, UNORDERED, make_init_event
+from repro.core.execution import CandidateExecution
+from repro.core.js_model import FINAL_MODEL, ORIGINAL_MODEL
+
+
+def _bytes(value, width):
+    return tuple((value & ((1 << (8 * width)) - 1)).to_bytes(width, "little"))
+
+
+def write(eid, tid, index, value, width=4, mode=SEQCST):
+    return Event(eid=eid, tid=tid, ord=mode, block="b", index=index, writes=_bytes(value, width))
+
+
+def read(eid, tid, index, value, width=4, mode=SEQCST):
+    return Event(eid=eid, tid=tid, ord=mode, block="b", index=index, reads=_bytes(value, width))
+
+
+def hb_of(execution, model=FINAL_MODEL):
+    return model.happens_before(execution)
+
+
+class TestMixedSizePartialOverlaps:
+    def test_partially_overlapping_tail_races(self):
+        # 4-byte write at [0:4) vs 2-byte read at [2:4): two shared bytes.
+        init = make_init_event("b", 8)
+        wide = write(1, 0, 0, 1, width=4, mode=UNORDERED)
+        narrow = read(2, 1, 2, 0, width=2, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, wide, narrow],
+            rbf={(2, 1, 2), (3, 1, 2)},
+            tot=[0, 1, 2],
+        )
+        assert (1, 2) in data_races(execution, FINAL_MODEL)
+
+    def test_disjoint_footprints_never_race(self):
+        # Same block, adjacent but non-overlapping ranges.
+        init = make_init_event("b", 8)
+        low = write(1, 0, 0, 1, width=4, mode=UNORDERED)
+        high = read(2, 1, 4, 0, width=2, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, low, high],
+            rbf={(4, 0, 2), (5, 0, 2)},
+            tot=[0, 1, 2],
+        )
+        assert is_race_free_execution(execution, FINAL_MODEL)
+
+    def test_partial_overlap_races_even_when_both_seqcst(self):
+        # The SeqCst exemption needs *equal* ranges; a partial overlap of
+        # two SeqCst accesses is still a race (Fig. 7's range clause).
+        init = make_init_event("b", 8)
+        wide = write(1, 0, 0, 1, width=4, mode=SEQCST)
+        narrow = write(2, 1, 2, 1, width=2, mode=SEQCST)
+        execution = CandidateExecution.build(
+            events=[init, wide, narrow], tot=[0, 1, 2]
+        )
+        hb = hb_of(execution)
+        assert is_data_race(wide, narrow, hb)
+
+
+class TestSameRangeSeqCstPairs:
+    def test_seqcst_write_write_same_range_is_exempt(self):
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=SEQCST)
+        w1 = write(2, 1, 0, 2, mode=SEQCST)
+        execution = CandidateExecution.build(events=[init, w0, w1], tot=[0, 1, 2])
+        assert is_race_free_execution(execution, FINAL_MODEL)
+
+    def test_seqcst_vs_unordered_same_range_races(self):
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=SEQCST)
+        r0 = read(2, 1, 0, 0, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, w0, r0], rbf={(k, 0, 2) for k in range(4)}, tot=[0, 1, 2]
+        )
+        assert (1, 2) in data_races(execution, FINAL_MODEL)
+
+    def test_seqcst_reads_without_write_never_race(self):
+        init = make_init_event("b", 4)
+        r0 = read(1, 0, 0, 0, mode=UNORDERED)
+        r1 = read(2, 1, 0, 0, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, r0, r1],
+            rbf={(k, 0, 1) for k in range(4)} | {(k, 0, 2) for k in range(4)},
+            tot=[0, 1, 2],
+        )
+        assert is_race_free_execution(execution, FINAL_MODEL)
+
+
+class TestInitEvents:
+    def test_init_never_races_with_overlapping_write(self):
+        # Init precedes everything it overlaps (init-overlap ⊆ hb), so even
+        # an unordered conflicting write does not race with it.
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=UNORDERED)
+        execution = CandidateExecution.build(events=[init, w0], tot=[0, 1])
+        hb = hb_of(execution)
+        assert not is_data_race(init, w0, hb)
+        assert data_races(execution, FINAL_MODEL) == []
+
+    def test_init_exemption_holds_under_original_model(self):
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=UNORDERED)
+        r0 = read(2, 1, 0, 0, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, w0, r0], rbf={(k, 0, 2) for k in range(4)}, tot=[0, 1, 2]
+        )
+        races = data_races(execution, ORIGINAL_MODEL)
+        assert (0, 1) not in races and (0, 2) not in races
+        assert (1, 2) in races  # the non-init pair still races
+
+
+class TestWaitNotifySyncEdges:
+    def test_asw_edge_orders_the_racing_pair(self):
+        # The wait/notify pattern: an agent's write is released to the
+        # waiter through an additional-synchronizes-with edge, which enters
+        # sw and therefore hb — the conflicting pair stops racing.
+        init = make_init_event("b", 4)
+        w0 = write(1, 0, 0, 1, mode=UNORDERED)
+        r0 = read(2, 1, 0, 1, mode=UNORDERED)
+        rbf = {(k, 1, 2) for k in range(4)}
+        racy = CandidateExecution.build(
+            events=[init, w0, r0], rbf=rbf, tot=[0, 1, 2]
+        )
+        assert (1, 2) in data_races(racy, FINAL_MODEL)
+        synced = CandidateExecution.build(
+            events=[init, w0, r0], asw=[(1, 2)], rbf=rbf, tot=[0, 1, 2]
+        )
+        assert is_race_free_execution(synced, FINAL_MODEL)
+
+    def test_asw_edge_orders_transitively_through_sb(self):
+        # t0: write data, then the "notify" point; t1: the "wait" point,
+        # then read data.  asw connects notify to wait; sb closes the rest.
+        init = make_init_event("b", 8)
+        data_w = write(1, 0, 0, 7, mode=UNORDERED)
+        notify_w = write(2, 0, 4, 1, mode=SEQCST)
+        wait_r = read(3, 1, 4, 1, mode=SEQCST)
+        data_r = read(4, 1, 0, 7, mode=UNORDERED)
+        execution = CandidateExecution.build(
+            events=[init, data_w, notify_w, wait_r, data_r],
+            sb=[(1, 2), (3, 4)],
+            asw=[(2, 3)],
+            rbf={(k, 2, 3) for k in range(4, 8)} | {(k, 1, 4) for k in range(4)},
+            tot=[0, 1, 2, 3, 4],
+        )
+        assert is_race_free_execution(execution, FINAL_MODEL)
+        hb = hb_of(execution)
+        assert (1, 4) in hb  # data write hb data read, through asw

@@ -265,6 +265,14 @@ class TestServing:
                 stats = client.stats()
                 assert stats["semantics_revision"] == SEMANTICS_REVISION
                 assert stats["breaker"]["state"] == "closed"
+                assert isinstance(stats["analyze"]["enabled"], bool)
+                assert set(stats["analyze"]) >= {
+                    "fast_path_hits",
+                    "fast_path_misses",
+                    "pruned_rf_edges",
+                    "dead_outcomes",
+                    "race_pairs",
+                }
                 assert set(stats["counters"]) >= {
                     "admitted",
                     "served",
