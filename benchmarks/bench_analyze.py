@@ -46,7 +46,10 @@ MISS_TESTS = [
 
 OVERHEAD_BUDGET = 1.05
 GATE_ROUNDS = 5
-GATE_ROUNDS_MAX = 12
+# Escalation cap raised from 12: on a loaded host the min-min pair
+# needs more rounds to expose both arms' quiet floors; extra rounds
+# only ever move the ratio toward the true overhead.
+GATE_ROUNDS_MAX = 24
 
 
 def _sweep(analyze: bool):

@@ -9,6 +9,7 @@ sweeps record ``cache_stats`` in ``extra_info`` so the snapshot JSON
 carries the hit/miss/corrupt counters alongside the timings.
 """
 
+import gc
 import json
 import shutil
 import tempfile
@@ -17,7 +18,24 @@ from pathlib import Path
 from repro.dispatch import MISS, SegmentVerdictCache, VerdictCache, open_cache
 from repro.litmus.runner import run_catalogue
 
-from conftest import print_rows, run_once
+from conftest import print_rows
+
+#: Rounds for the raw put/get arms.  These are pure-I/O microbenchmarks —
+#: their single-round timings swing 2x with page-cache and journal state
+#: alone — so each arm takes the min over a few rounds instead (the
+#: snapshot comparison reads per-arm minima).
+IO_ROUNDS = 3
+
+
+def _gc_setup():
+    gc.collect()
+
+
+def _run_io(benchmark, function, *args, **kwargs):
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, setup=_gc_setup,
+        rounds=IO_ROUNDS, iterations=1,
+    )
 
 GOLDEN_PATH = Path(__file__).parent.parent / "tests" / "data" / "catalogue_verdicts.json"
 
@@ -48,8 +66,9 @@ def _bench_writes(benchmark, backend):
     root = tempfile.mkdtemp(prefix=f"repro-store-{backend}-")
     try:
         cache = open_cache(Path(root) / "w", backend=backend)
-        run_once(benchmark, _populate, cache)
-        assert cache.writes == POPULATION
+        _run_io(benchmark, _populate, cache)
+        # Every round re-puts the full population (overwrites are writes).
+        assert cache.writes == IO_ROUNDS * POPULATION
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
@@ -59,8 +78,8 @@ def _bench_reads(benchmark, backend):
     try:
         _populate(open_cache(Path(root) / "r", backend=backend))
         cache = open_cache(Path(root) / "r", backend=backend)
-        run_once(benchmark, _read_all, cache)
-        assert cache.hits == POPULATION and cache.misses == 0
+        _run_io(benchmark, _read_all, cache)
+        assert cache.hits == IO_ROUNDS * POPULATION and cache.misses == 0
         benchmark.extra_info["cache_stats"] = cache.stats()
     finally:
         shutil.rmtree(root, ignore_errors=True)
@@ -110,7 +129,7 @@ def _bench_catalogue_warm(benchmark, backend):
         cache_dir = Path(root) / "verdicts"
         run_catalogue(cache=open_cache(cache_dir, backend=backend))
         cache = open_cache(cache_dir, backend=backend)
-        report = run_once(benchmark, run_catalogue, cache=cache)
+        report = _run_io(benchmark, run_catalogue, cache=cache)
         _assert_catalogue_matches_golden(report)
         assert cache.writes == 0, "warm run recomputed something"
         assert report.cache_stats is not None

@@ -1,0 +1,170 @@
+"""Orbit-quotient win and overhead of the symmetry engine.
+
+Two very different inputs, two very different questions:
+
+* The **two-location** §5.4 hunt is where the quotient earns its keep: the
+  enumeration is full of location-renamed and thread-permuted isomorphs,
+  so evaluating one representative per orbit skips roughly half the
+  checker calls.  ``test_sc_drf_hunt_symmetry_off``/``_on`` snapshot both
+  arms for the ``BENCH_*.json`` trajectory, recording the engine's
+  counters in ``extra_info["symmetry_stats"]``.
+* The **one-location** hunt is orbit-trivial by construction — the shape
+  generator already deduplicates sorted single-location shapes, so every
+  orbit has exactly one member and the canonical-form pass is pure
+  overhead.  ``test_symmetry_orbit_trivial_overhead_budget`` is the gate:
+  interleaved rounds with alternating arm order (load shifts hit both arms
+  equally in both directions), min-over-min ratio, 1.05x budget.
+
+Every round of both measurements asserts the two arms produce identical
+reports — the bit-identity contract, enforced where the time is measured.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+from repro.analyze.symmetry import SYMMETRY_ENV
+from repro.core.js_model import ORIGINAL_MODEL
+from repro.search import SearchBounds, search_sc_drf_violation
+
+import pytest
+
+from conftest import print_rows
+
+#: Orbit-rich input: two locations make the enumeration ~50% isomorphs.
+QUOTIENT_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=2,
+    values=(1, 2),
+    allow_unordered=True,
+    guarded_observer=True,
+)
+
+#: Orbit-trivial input: the paper's Fig. 8 bound.  One location leaves no
+#: index renamings and the generator's sorted-shape dedup already collapses
+#: thread permutations, so every canonical-form pass is wasted work — the
+#: worst case the overhead gate bills.
+TRIVIAL_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=1,
+    values=(1, 2),
+    allow_unordered=True,
+    guarded_observer=True,
+)
+
+OVERHEAD_BUDGET = 1.05
+GATE_ROUNDS = 5
+# True orbit-trivial overhead measures ~1.02-1.04x, so the noise headroom
+# under the 1.05x budget is small; under full quick-profile load the gate
+# may need many escalation rounds to find a quiet min-min pair.  Each
+# round is ~0.5 s, so even the cap is cheap.
+GATE_ROUNDS_MAX = 24
+
+
+def _sweep(bounds: SearchBounds, symmetry: bool):
+    previous = os.environ.get(SYMMETRY_ENV)
+    os.environ[SYMMETRY_ENV] = "1" if symmetry else "off"
+    try:
+        return search_sc_drf_violation(bounds, model=ORIGINAL_MODEL, cache=False)
+    finally:
+        if previous is None:
+            os.environ.pop(SYMMETRY_ENV, None)
+        else:
+            os.environ[SYMMETRY_ENV] = previous
+
+
+def _assert_reports_match(off, on):
+    assert on.found == off.found
+    assert on.programs_examined == off.programs_examined
+    if off.found:
+        assert on.counterexample.program.name == off.counterexample.program.name
+        assert on.counterexample.outcome == off.counterexample.outcome
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm():
+    # Steady state for both arms: shape tables, model caches and the
+    # generator memos warm once, billed to neither arm.
+    for bounds in (QUOTIENT_BOUNDS, TRIVIAL_BOUNDS):
+        _sweep(bounds, symmetry=True)
+        _sweep(bounds, symmetry=False)
+
+
+def _run_hunt_arm(benchmark, symmetry: bool, title: str):
+    gc.collect()
+    report = benchmark.pedantic(
+        lambda: _sweep(QUOTIENT_BOUNDS, symmetry=symmetry), rounds=3, iterations=1
+    )
+    assert report.found
+    rows = [f"{report.programs_examined} programs examined, hit found"]
+    if report.symmetry_stats is not None:
+        benchmark.extra_info["symmetry_stats"] = report.symmetry_stats
+        rows.append(
+            f"orbits seen {report.symmetry_stats['orbits_seen']}, "
+            f"members skipped {report.symmetry_stats['members_skipped']}"
+        )
+    print_rows(title, rows)
+
+
+def test_sc_drf_hunt_symmetry_off(benchmark):
+    _run_hunt_arm(benchmark, False, "two-location SC-DRF hunt, symmetry off")
+
+
+def test_sc_drf_hunt_symmetry_on(benchmark):
+    _run_hunt_arm(benchmark, True, "two-location SC-DRF hunt, symmetry on")
+
+
+def test_symmetry_orbit_trivial_overhead_budget():
+    """The gate: alternating-order interleaved rounds, min-over-min <= budget.
+
+    Same escalation logic as the analyzer and resilience gates — each arm's
+    minimum only ever moves toward the noise-free time — plus order
+    balancing: odd rounds run on-before-off, so slow drifts on a loaded
+    host cancel instead of consistently taxing the second arm.
+    """
+    off_times, on_times = [], []
+
+    def one_round(on_first: bool):
+        timed = {}
+        order = ("on", "off") if on_first else ("off", "on")
+        for key in order:
+            gc.collect()
+            start = time.perf_counter()
+            timed[key] = _sweep(TRIVIAL_BOUNDS, symmetry=(key == "on"))
+            (on_times if key == "on" else off_times).append(
+                time.perf_counter() - start
+            )
+        # Bit-identity where the overhead is measured.
+        _assert_reports_match(timed["off"], timed["on"])
+        assert timed["on"].symmetry_stats is not None
+        # Orbit-trivial means exactly that: the quotient never skips.
+        assert timed["on"].symmetry_stats["members_skipped"] == 0
+
+    for round_index in range(GATE_ROUNDS):
+        one_round(on_first=bool(round_index % 2))
+    while min(on_times) / min(off_times) > OVERHEAD_BUDGET and (
+        len(off_times) < GATE_ROUNDS_MAX
+    ):
+        one_round(on_first=bool(len(off_times) % 2))
+    ratio = min(on_times) / min(off_times)
+    print_rows(
+        "symmetry orbit-trivial overhead gate",
+        [
+            f"symmetry-off minimum: {min(off_times) * 1000:8.1f} ms",
+            f"symmetry-on minimum:  {min(on_times) * 1000:8.1f} ms",
+            f"ratio {ratio:.3f}x over {len(off_times)} interleaved rounds "
+            f"(budget {OVERHEAD_BUDGET:.2f}x, one-location hunt)",
+        ],
+    )
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"symmetry engine costs {ratio:.3f}x on orbit-trivial input "
+        f"(budget {OVERHEAD_BUDGET:.2f}x): symmetry-off min "
+        f"{min(off_times) * 1000:.1f} ms vs symmetry-on min "
+        f"{min(on_times) * 1000:.1f} ms over {len(off_times)} interleaved rounds"
+    )

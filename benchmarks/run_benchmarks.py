@@ -49,6 +49,7 @@ QUICK_FILES = (
     "bench_resilience_overhead.py",
     "bench_store_backends.py",
     "bench_analyze.py",
+    "bench_symmetry.py",
 )
 
 # The fault-free-overhead budget of the resilience layer, for the
@@ -157,16 +158,45 @@ def report_cache_health(snapshot: Path) -> None:
             if key in stats
         )
         rows.append(f"  cache health {name}: {counters}")
+    symmetry_rows = []
+    for bench in benchmarks:
+        stats = (bench.get("extra_info") or {}).get("symmetry_stats")
+        if not isinstance(stats, dict):
+            continue
+        name = bench.get("fullname", bench.get("name", "?"))
+        counters = ", ".join(
+            f"{key}={stats[key]}"
+            for key in (
+                "orbits_seen",
+                "members_skipped",
+                "canonical_cache_hits",
+                "parity_failures",
+            )
+            if key in stats
+        )
+        symmetry_rows.append(f"  symmetry {name}: {counters}")
     if rows:
         print("verdict-cache counters (from extra_info):")
         for row in rows:
             print(row)
+    if symmetry_rows:
+        print("symmetry counters (from extra_info):")
+        for row in symmetry_rows:
+            print(row)
 
 
 def compare_snapshots(current: Path, baseline: Path, threshold: float) -> int:
-    """Print a comparison table; return the number of regressions past threshold."""
-    current_means = _load_means(current)
-    baseline_means = _load_means(baseline)
+    """Print a comparison table; return the number of regressions past threshold.
+
+    Compares the arms' *minimum* rounds, not their means — the same
+    noise-robust estimator :func:`check_resilience_overhead` documents
+    (scheduler and I/O noise only ever add time, so the min of each arm is
+    the consistent estimate of its quiet floor).  Single-round arms are
+    unaffected (min == mean); multi-round arms stop flagging a noisy round
+    as a regression.
+    """
+    current_means = _load_stat(current, "min")
+    baseline_means = _load_stat(baseline, "min")
     common = sorted(set(current_means) & set(baseline_means))
     only_current = sorted(set(current_means) - set(baseline_means))
     only_baseline = sorted(set(baseline_means) - set(current_means))

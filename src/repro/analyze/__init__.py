@@ -14,6 +14,12 @@ Three consumers, one pass (:func:`analyze_program` is memoized per program):
 Everything is toggled by ``REPRO_ANALYZE`` (default on) and selects between
 bit-identical verdict paths: cache keys and ``SEMANTICS_REVISION`` never see
 the flag.
+
+The **symmetry engine** (:mod:`repro.analyze.symmetry`, toggled separately
+by ``REPRO_SYMMETRY``) extends the layer from per-program facts to
+cross-program structure: canonical forms under the verdict-preserving
+relabeling group, orbit quotienting for the sweeps, the canonical cache
+tier and the independence decomposition.
 """
 
 from .races import (
@@ -35,6 +41,20 @@ from .races import (
     stats_delta,
     stats_snapshot,
 )
+from .symmetry import (
+    SYMMETRY_ENV,
+    Relabeling,
+    SymmetryAnalysis,
+    SymmetryStats,
+    analyze_symmetry,
+    independence_applies,
+    independence_partition,
+    independence_split,
+    symmetry_enabled,
+    symmetry_stats_delta,
+    symmetry_stats_snapshot,
+)
+from .symmetry import STATS as SYMMETRY_STATS
 
 __all__ = [
     "ANALYZE_ENV",
@@ -54,4 +74,16 @@ __all__ = [
     "statically_race_free",
     "stats_delta",
     "stats_snapshot",
+    "SYMMETRY_ENV",
+    "SYMMETRY_STATS",
+    "Relabeling",
+    "SymmetryAnalysis",
+    "SymmetryStats",
+    "analyze_symmetry",
+    "independence_applies",
+    "independence_partition",
+    "independence_split",
+    "symmetry_enabled",
+    "symmetry_stats_delta",
+    "symmetry_stats_snapshot",
 ]

@@ -6,11 +6,18 @@ access summary, the may-race pairs, the race-freedom verdict, and which
 models the SC fast path would answer for.  This is the human-readable
 window onto the facts the enumeration layer consumes silently — use it to
 understand why a program did (or did not) take the fast path.
+
+With ``--symmetry`` the report instead shows what
+:mod:`repro.analyze.symmetry` computed: the canonical fingerprint, orbit
+and group size of the relabeling pass, whether the program already is its
+own canonical form, and the static independence partition.  ``--json``
+emits the same facts machine-readably.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -21,6 +28,7 @@ from ..core.js_model import (
     ORIGINAL_MODEL,
 )
 from .races import analyze_program, sc_fast_path_model
+from .symmetry import analyze_symmetry
 
 MODELS = (ORIGINAL_MODEL, ARMV8_FIX_MODEL, FINAL_MODEL, FINAL_MODEL_STRONG_TEAR)
 
@@ -57,6 +65,45 @@ def describe_program(name: str, program) -> str:
     return "\n".join(lines)
 
 
+def symmetry_facts(name: str, program) -> dict:
+    """The symmetry engine's facts for one program, JSON-shaped."""
+    analysis = analyze_symmetry(program)
+    return {
+        "name": name,
+        "canonical_fingerprint": analysis.canonical_fingerprint,
+        "orbit_size": analysis.orbit_size,
+        "group_size": analysis.group_size,
+        "group_capped": analysis.capped,
+        "is_canonical_form": analysis.relabeling.is_identity,
+        "independence_partition": [
+            list(tids) for tids in analysis.components
+        ],
+    }
+
+
+def describe_symmetry(name: str, program) -> str:
+    """A multi-line symmetry report for one named program."""
+    facts = symmetry_facts(name, program)
+    lines = [f"{name}:"]
+    lines.append(f"  canonical fingerprint: {facts['canonical_fingerprint'][:16]}")
+    lines.append(
+        f"  orbit size {facts['orbit_size']} of group size {facts['group_size']}"
+        + (" (capped)" if facts["group_capped"] else "")
+    )
+    lines.append(
+        "  canonical form: "
+        + ("this program" if facts["is_canonical_form"] else "a relabeling")
+    )
+    lines.append(
+        "  independence partition: "
+        + " | ".join(
+            "{" + ", ".join(f"t{t}" for t in tids) + "}"
+            for tids in facts["independence_partition"]
+        )
+    )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
@@ -72,7 +119,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="list catalogue test names and exit",
     )
+    parser.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="report canonical forms, orbit sizes and independence partitions",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --symmetry: emit the facts as a JSON array",
+    )
     args = parser.parse_args(argv)
+    if args.json and not args.symmetry:
+        parser.error("--json requires --symmetry")
 
     from ..litmus.catalogue import all_tests, by_name
 
@@ -87,6 +146,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"unknown catalogue test: {exc}")
     else:
         tests = all_tests()
+    if args.symmetry:
+        if args.json:
+            print(
+                json.dumps(
+                    [symmetry_facts(t.name, t.program) for t in tests], indent=2
+                )
+            )
+            return 0
+        canonical = 0
+        for index, test in enumerate(tests):
+            if index:
+                print()
+            print(describe_symmetry(test.name, test.program))
+            if analyze_symmetry(test.program).relabeling.is_identity:
+                canonical += 1
+        print()
+        print(
+            f"repro-analyze: {canonical}/{len(tests)} program(s) already in "
+            "canonical form"
+        )
+        return 0
     race_free = 0
     for index, test in enumerate(tests):
         if index:

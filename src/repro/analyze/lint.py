@@ -21,6 +21,14 @@ an AST pass enforcing the three ways that purity historically rots:
   preimages are pinned as a field digest per ``SEMANTICS_REVISION``.
   Adding, removing or retyping a field without bumping the revision would
   silently serve stale cached verdicts; the pin makes that a lint failure.
+* **ambient mutable state** (``mutable-state``): module-level mutable
+  containers (dict/list/set literals, comprehensions, or constructor
+  calls) and mutable default arguments in verdict-path packages.  Ad-hoc
+  module caches are how verdicts silently start depending on query order;
+  shared memoization must go through the audited structures
+  (``SignatureInterner``, ``_BoundedMemo`` — both exempt) or carry a
+  justified pragma saying why the container cannot leak state between
+  queries (e.g. a read-only registry).
 
 Findings are suppressed line-by-line with a justified pragma::
 
@@ -58,8 +66,11 @@ IMPURE_MODULES = frozenset({"time", "datetime", "random", "secrets", "locale"})
 
 #: Every environment knob the project reads, with its one-line purpose.
 #: ``repro-lint`` fails on reads of anything not listed here.
+# lint: allow(mutable-state) — declarative knob registry, written only at
+# import time; the lint reads it, no verdict code does.
 ENV_REGISTRY: Dict[str, str] = {
     "REPRO_ANALYZE": "static analyzer on/off (bit-identical verdict paths)",
+    "REPRO_SYMMETRY": "symmetry engine on/off (bit-identical verdict paths)",
     "REPRO_WORKERS": "dispatch pool width for sharded sweeps",
     "REPRO_SUPERVISE": "supervised dispatch engine on/off",
     "REPRO_RETRIES": "per-task retry budget under supervision",
@@ -91,6 +102,8 @@ ENV_REGISTRY: Dict[str, str] = {
 #: cache-key preimages, per file (relative to the ``repro`` package root).
 #: The lint digests their (name, annotation) field pairs in declaration
 #: order; see :data:`PINNED_FIELD_DIGESTS`.
+# lint: allow(mutable-state) — declarative pin registry, written only at
+# import time; the lint reads it, no verdict code does.
 FINGERPRINT_CLASS_REGISTRY: Dict[str, Tuple[str, ...]] = {
     "lang/ast.py": (
         "Register",
@@ -119,9 +132,20 @@ FINGERPRINT_CLASS_REGISTRY: Dict[str, Tuple[str, ...]] = {
 #: digest change means the structural fingerprint's input space changed:
 #: either bump the revision (stale cache entries must die) and pin the new
 #: digest under the new key, or revert the field change.
+# lint: allow(mutable-state) — declarative pin registry, written only at
+# import time; the lint reads it, no verdict code does.
 PINNED_FIELD_DIGESTS: Dict[str, str] = {
     "2": "8c73cfd25f22eb17899bc7081d407865facc873cafe6ea6737299bdde2679822",
 }
+
+#: Constructor names whose module-level call builds a mutable container.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+#: Memoization structures exempt from the mutable-state rule: both are
+#: audited, bounded, and keyed so entries cannot alias across queries.
+MEMO_STRUCTURES = frozenset({"SignatureInterner", "_BoundedMemo"})
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
 _PRAGMA_WINDOW = 2  # flagged line plus this many lines above
@@ -295,6 +319,80 @@ def _check_env_reads(
         yield Finding(str(relpath), lineno, rule, message)
 
 
+def _mutable_value_kind(node: Optional[ast.expr]) -> Optional[str]:
+    """How an expression builds a mutable container, or ``None``."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in MEMO_STRUCTURES:
+            return None
+        if name in MUTABLE_CONSTRUCTORS:
+            return f"{name}()"
+    return None
+
+
+def _check_mutable_state(
+    relpath: Path, tree: ast.Module, lines: Sequence[str]
+) -> Iterable[Finding]:
+    if not _is_verdict_path(relpath):
+        return
+
+    def emit(lineno: int, message: str) -> Iterable[Finding]:
+        suppressed, justified = _pragma_allows(lines, lineno, "mutable-state")
+        if suppressed and justified:
+            return
+        if suppressed and not justified:
+            message += "; pragma present but missing a justification"
+        yield Finding(str(relpath), lineno, "mutable-state", message)
+
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        kind = _mutable_value_kind(value)
+        if kind is None:
+            continue
+        plain = [t.id for t in targets if isinstance(t, ast.Name)]
+        # Dunder module metadata (__all__ and friends) is read only by the
+        # import system, never by verdict code.
+        if plain and all(n.startswith("__") and n.endswith("__") for n in plain):
+            continue
+        names = ", ".join(plain) or "<target>"
+        yield from emit(
+            node.lineno,
+            f"module-level mutable {kind} {names!r} on the verdict path; "
+            "memoize through SignatureInterner/_BoundedMemo or justify "
+            "why it cannot leak state between queries",
+        )
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            kind = _mutable_value_kind(default)
+            if kind is None:
+                continue
+            yield from emit(
+                default.lineno,
+                f"mutable {kind} default argument in {node.name!r}; a "
+                "shared default accumulates state across calls — default "
+                "to None (or a tuple) instead",
+            )
+
+
 def _class_fields(tree: ast.Module, class_name: str) -> Optional[List[Tuple[str, str]]]:
     """(name, annotation) of a class's annotated fields, declaration order."""
     for node in tree.body:
@@ -406,6 +504,7 @@ def run_lint(package_root: Path) -> List[Finding]:
         findings.extend(
             _check_env_reads(relpath, tree, lines, global_constants)
         )
+        findings.extend(_check_mutable_state(relpath, tree, lines))
     findings.extend(_check_fingerprint_pin(package_root))
     return findings
 

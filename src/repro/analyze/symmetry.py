@@ -1,0 +1,962 @@
+"""Static symmetry analysis: canonical program forms and orbit quotienting.
+
+The §5 sweeps and the litmus catalogue evaluate large families of programs
+that differ only by *sound relabelings* — permuting threads, renaming
+memory locations, renaming registers.  Every verdict this project produces
+(outcome allowed, DRF, SC-DRF hit, compilation hit) is invariant under
+those relabelings, so evaluating more than one member of an isomorphism
+class is wasted enumeration.  This module computes, per
+:class:`~repro.lang.ast.Program`, a **canonical form** under the
+verdict-preserving symmetry group together with the relabeling that
+produced it, so that:
+
+* the sweeps evaluate one representative per orbit and replay its verdict
+  onto the members (:mod:`repro.search.counterexamples`);
+* the verdict cache gains a secondary index keyed by the canonical
+  fingerprint, so isomorphic programs hit warm verdicts across sweeps and
+  corpora (:func:`repro.dispatch.cache.get_or_compute_aliased`);
+* boolean outcome queries over threads with disjoint byte footprints
+  factor into independent per-component queries
+  (:func:`independence_split`, consumed by
+  :func:`repro.lang.enumeration.outcome_allowed`).
+
+The symmetry group
+------------------
+
+* **Thread permutation** — agents are anonymous: every relation of the
+  model (sb, asw, sw, hb, tot) is defined per event, never per thread
+  index, so permuting the thread tuple permutes outcomes by the same map
+  and preserves every verdict.
+* **Location renaming** — for a buffer whose every access is a
+  :class:`~repro.lang.ast.TypedAccess` through one view shape (same
+  element type and byte offset), any bijection of the *used* element
+  indices onto ``0..k-1`` preserves byte-range equality, disjointness,
+  width, alignment and tear-freedom (distinct elements never overlap, and
+  Init zero-fills uniformly).  Buffers accessed through mixed view shapes
+  or DataViews keep their indices (the renaming would change overlap
+  structure).  Buffer and view *names* are normalised positionally — they
+  never reach a memory-model event.
+* **Register renaming** — registers are thread-local; outcomes rename by
+  the same per-thread map.
+
+**Value renaming is deliberately excluded**: stored values pass through
+byte encode/decode (wrapping, per-byte rf choices, tearing), so permuting
+the value alphabet is *not* verdict-preserving in general.
+
+Everything is toggled by ``REPRO_SYMMETRY`` (default on) and — like
+``REPRO_ANALYZE`` — only ever selects between bit-identical verdict
+paths: the flag is not part of any primary cache key and
+``SEMANTICS_REVISION`` is untouched.  The canonical *alias* keys the
+cache tier writes are sound on their own terms: a single alias key is
+only ever shared by (program, query) pairs whose verdicts are provably
+equal under the group above, and every alias hit re-checks the inverse
+relabeling's parity before the verdict is replayed.
+
+This module must not import :mod:`repro.lang.enumeration` (or anything
+that does) at module level — the enumeration imports us for the
+independence decomposition — so all ``repro.lang`` imports are deferred
+exactly like :mod:`repro.analyze.races` defers ``thread_paths``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field as dataclasses_field, fields
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..dispatch.cache import DISABLED_ENV_VALUES, fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
+    from ..core.js_model import JsModel
+    from ..lang.ast import Outcome, Program
+
+SYMMETRY_ENV = "REPRO_SYMMETRY"
+
+GROUP_CAP = 720
+"""Most candidate relabelings enumerated per program.
+
+Past the cap the pass degrades gracefully (thread permutations only, then
+the identity), counting :attr:`SymmetryStats.group_capped` — a capped
+canonical form is still a *valid* relabeling, it just quotients less.
+"""
+
+
+def symmetry_enabled() -> bool:
+    """Is the symmetry engine on (the default) or disabled via the environment?
+
+    ``REPRO_SYMMETRY=off`` (or ``0``/``no``/``none``/``disabled``) turns the
+    orbit quotient, the canonical cache tier and the independence
+    decomposition off; unset or any other value leaves them on.
+    """
+    # lint: allow(env-read) — REPRO_SYMMETRY is a registered knob selecting
+    # between bit-identical verdict paths; it never changes an answer.
+    raw = os.environ.get(SYMMETRY_ENV, "").strip().lower()
+    return not raw or raw not in DISABLED_ENV_VALUES
+
+
+# ---------------------------------------------------------------------------
+# symmetry counters
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SymmetryStats:
+    """Process-wide symmetry counters (mirrors :class:`AnalyzeStats`).
+
+    ``orbits_seen``/``members_skipped`` count sweep-side quotienting (one
+    representative evaluated per orbit, members replayed);
+    ``canonical_cache_hits`` counts verdicts served through the canonical
+    alias key of the verdict cache; ``parity_failures`` counts alias hits
+    rejected by the read-back relabeling parity check (each one recomputes
+    instead of replaying); ``independent_splits`` counts boolean queries
+    factored over disjoint thread components.  Multi-worker sweeps count
+    the *parent's* view only, exactly like ``cache_stats``.
+    """
+
+    programs_canonicalized: int = 0
+    orbits_seen: int = 0
+    members_skipped: int = 0
+    canonical_cache_hits: int = 0
+    parity_failures: int = 0
+    independent_splits: int = 0
+    group_capped: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def delta(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Counter increments since a :meth:`snapshot` taken earlier."""
+        return {name: value - before.get(name, 0) for name, value in self.snapshot().items()}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+STATS = SymmetryStats()
+
+
+def symmetry_stats_snapshot() -> Dict[str, int]:
+    return STATS.snapshot()
+
+
+def symmetry_stats_delta(before: Mapping[str, int]) -> Dict[str, int]:
+    return STATS.delta(before)
+
+
+def count_canonical_hit() -> None:
+    """Account one verdict served through the canonical cache tier."""
+    STATS.canonical_cache_hits += 1
+
+
+# ---------------------------------------------------------------------------
+# relabelings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Relabeling:
+    """The renaming taking an original program to its canonical form.
+
+    ``thread_order[i]`` is the *original* tid standing at canonical
+    position ``i``; ``register_maps[t]`` maps original thread ``t``'s
+    register names to their canonical names.  Outcomes map both ways:
+    :meth:`map_outcome` takes original outcome keys (``"1:r0"``) to
+    canonical ones, :meth:`unmap_outcome` inverts it.
+    """
+
+    thread_order: Tuple[int, ...]
+    register_maps: Tuple[Tuple[Tuple[str, str], ...], ...]
+
+    @property
+    def is_identity(self) -> bool:
+        return self.thread_order == tuple(range(len(self.thread_order))) and all(
+            old == new for per_thread in self.register_maps for old, new in per_thread
+        )
+
+    def _canonical_tid(self, original_tid: int) -> int:
+        return self.thread_order.index(original_tid)
+
+    def map_outcome(self, outcome: Mapping[str, int]) -> Optional[Dict[str, int]]:
+        """Original outcome keys to canonical ones; ``None`` when unmappable.
+
+        A key is unmappable when its thread index does not parse or its
+        register never occurs in that thread — the caller then stands
+        aside instead of guessing.
+        """
+        mapped: Dict[str, int] = {}
+        for key, value in outcome.items():
+            tid_text, sep, register = key.partition(":")
+            if not sep or not tid_text.isdigit():
+                return None
+            tid = int(tid_text)
+            if not 0 <= tid < len(self.register_maps):
+                return None
+            renamed = dict(self.register_maps[tid]).get(register)
+            if renamed is None:
+                return None
+            mapped[f"{self._canonical_tid(tid)}:{renamed}"] = value
+        return mapped
+
+    def unmap_outcome(self, outcome: Mapping[str, int]) -> Optional[Dict[str, int]]:
+        """Canonical outcome keys back to the original labeling."""
+        unmapped: Dict[str, int] = {}
+        for key, value in outcome.items():
+            tid_text, sep, register = key.partition(":")
+            if not sep or not tid_text.isdigit():
+                return None
+            position = int(tid_text)
+            if not 0 <= position < len(self.thread_order):
+                return None
+            original_tid = self.thread_order[position]
+            inverse = {new: old for old, new in self.register_maps[original_tid]}
+            original_register = inverse.get(register)
+            if original_register is None:
+                return None
+            unmapped[f"{original_tid}:{original_register}"] = value
+        return unmapped
+
+    def parity_ok(self) -> bool:
+        """Is the relabeling a structural bijection that round-trips?
+
+        Checked on every canonical cache hit before a verdict is replayed:
+        the thread order must be a permutation, every register map must be
+        injective both ways, and mapping then unmapping a probe outcome
+        over every register must reproduce it exactly.
+        """
+        if sorted(self.thread_order) != list(range(len(self.thread_order))):
+            return False
+        for per_thread in self.register_maps:
+            olds = [old for old, _new in per_thread]
+            news = [new for _old, new in per_thread]
+            if len(set(olds)) != len(olds) or len(set(news)) != len(news):
+                return False
+        probe = {
+            f"{tid}:{old}": 0
+            for tid, per_thread in enumerate(self.register_maps)
+            for old, _new in per_thread
+        }
+        mapped = self.map_outcome(probe)
+        return mapped is not None and self.unmap_outcome(mapped) == probe
+
+
+def alias_parity(
+    analysis: "SymmetryAnalysis", spec: Optional[Mapping[str, int]] = None
+) -> Callable[[Any], bool]:
+    """The read-back parity predicate for one canonical-alias lookup.
+
+    Returns a callable the cache tier invokes with the alias-hit verdict;
+    a failed check counts :attr:`SymmetryStats.parity_failures` and forces
+    a recompute instead of replaying the verdict.
+    """
+
+    def check(_verdict: Any) -> bool:
+        ok = analysis.relabeling.parity_ok()
+        if ok and spec is not None:
+            mapped = analysis.relabeling.map_outcome(spec)
+            ok = (
+                mapped is not None
+                and analysis.relabeling.unmap_outcome(mapped) == dict(spec)
+            )
+        if not ok:
+            STATS.parity_failures += 1
+        return ok
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# the canonical-form pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymmetryAnalysis:
+    """Everything the canonical-form pass proves about one program.
+
+    ``canonical_program`` is the lexicographically minimal relabeled form,
+    ``relabeling`` the group element that produced it (original →
+    canonical), ``orbit_size`` the number of *distinct* programs among the
+    enumerated candidate relabelings (1 means the program is orbit-trivial
+    under the group), and ``components`` the independence partition of the
+    thread indices by byte-footprint overlap.
+    """
+
+    canonical_key: Tuple
+    orbit_size: int
+    group_size: int
+    capped: bool
+    thread_order: Tuple[int, ...] = dataclasses_field(
+        repr=False, compare=False, default=()
+    )
+    register_numberings: Any = dataclasses_field(
+        repr=False, compare=False, default=None
+    )
+    source_program: "Program" = dataclasses_field(repr=False, compare=False, default=None)
+    index_maps: Any = dataclasses_field(repr=False, compare=False, default=None)
+
+    def _memo(self, name: str, compute) -> Any:
+        cached = self.__dict__.get(name)
+        if cached is None:
+            cached = compute()
+            object.__setattr__(self, name, cached)
+        return cached
+
+    @property
+    def relabeling(self) -> Relabeling:
+        """The original → canonical group element (built lazily).
+
+        Uncached sweeps deduplicate orbits on :attr:`canonical_key` alone;
+        the :class:`Relabeling` (and its per-thread sorted register maps)
+        is only paid for when a cache alias, a parity check or an outcome
+        mapping actually needs it.
+        """
+        return self._memo(
+            "_relabeling_memo",
+            lambda: Relabeling(
+                thread_order=self.thread_order,
+                register_maps=tuple(
+                    tuple(
+                        sorted(
+                            (name, f"r{number}")
+                            for name, number in numbering.items()
+                        )
+                    )
+                    for numbering in self.register_numberings
+                ),
+            ),
+        )
+
+    @property
+    def canonical_fingerprint(self) -> str:
+        """The content-addressed name of the canonical form (lazy).
+
+        Deterministic across processes and runs — it feeds the canonical
+        alias keys of the verdict cache — but only computed when someone
+        actually needs it: the quotiented sweeps deduplicate orbits on the
+        raw :attr:`canonical_key` tuple and never pay the hash unless a
+        cache is attached.
+        """
+        return self._memo(
+            "_canonical_fingerprint_memo",
+            lambda: fingerprint(
+                "symmetry-canonical",
+                tuple(buffer.byte_length for buffer in self.source_program.buffers),
+                self.canonical_key,
+            ),
+        )
+
+    @property
+    def canonical_program(self) -> "Program":
+        """The canonical form as a real :class:`Program` (built lazily).
+
+        Sweep quotienting and the cache tier only need the key and the
+        fingerprint; the AST rebuild is paid on first use (CLI reports,
+        parity tests).
+        """
+        return self._memo(
+            "_canonical_program_memo",
+            lambda: _relabel_program(
+                self.source_program, self.thread_order, self.index_maps
+            )[0],
+        )
+
+    @property
+    def components(self) -> Tuple[Tuple[int, ...], ...]:
+        """The independence partition of the thread indices (lazy)."""
+        return self._memo(
+            "_components_memo", lambda: independence_partition(self.source_program)
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"canonical fingerprint: {self.canonical_fingerprint[:16]}…",
+            f"orbit size: {self.orbit_size} "
+            f"(group of {self.group_size} candidate relabeling(s)"
+            + (", capped)" if self.capped else ")"),
+            "relabeling: "
+            + ("identity" if self.relabeling.is_identity else "non-trivial"),
+            "independence partition: "
+            + " | ".join(
+                "{" + ", ".join(f"t{t}" for t in tids) + "}"
+                for tids in self.components
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _iter_statements(statements) -> Any:
+    """Every statement, recursing into conditional branches, in walk order."""
+    for stmt in statements:
+        yield stmt
+        for attr in ("then", "otherwise"):
+            yield from _iter_statements(getattr(stmt, attr, ()))
+
+
+# Lazily-bound lang.ast module: layering bars a module-level lang import
+# here (lang imports analyze.races), and a per-call deferred import is
+# import-machinery overhead in the per-program hot path.
+_LANG_AST = None
+
+
+def _lang_ast():
+    global _LANG_AST
+    if _LANG_AST is None:
+        from ..lang import ast as lang_ast
+
+        _LANG_AST = lang_ast
+    return _LANG_AST
+
+
+def _buffer_renaming_slots(program: "Program") -> Dict[str, Tuple[int, ...]]:
+    """Per buffer: the sorted used element indices, when renaming is sound.
+
+    A buffer is *renameable* when every access to it is a ``TypedAccess``
+    through one view shape — the same element type and byte offset — so a
+    bijection of the used indices preserves all overlap structure.  Buffers
+    touched through DataViews or mixed view shapes are omitted (identity).
+    """
+    TypedAccess = _lang_ast().TypedAccess
+
+    used: Dict[str, set] = {}
+    shapes: Dict[str, set] = {}
+    tainted: set = set()
+    # Explicit work stack, direct ``view.buffer.name`` chain: this runs
+    # once per program inside sweeps, so the recursive-generator resume
+    # and the three chained ``.block`` properties are worth avoiding.
+    stack: list = [
+        stmt for thread in program.threads for stmt in thread.statements
+    ]
+    while stack:
+        stmt = stack.pop()
+        then = getattr(stmt, "then", None)
+        if then is not None:
+            stack.extend(then)
+            stack.extend(stmt.otherwise)
+        access = getattr(stmt, "access", None)
+        if access is None:
+            continue
+        view = access.view
+        block = view.buffer.name
+        if not isinstance(access, TypedAccess):
+            tainted.add(block)
+            continue
+        element = view.element
+        shapes.setdefault(block, set()).add(
+            (element.name, element.width, element.signed, view.byte_offset)
+        )
+        used.setdefault(block, set()).add(access.index)
+    slots: Dict[str, Tuple[int, ...]] = {}
+    for block, indices in used.items():
+        if block in tainted or len(shapes.get(block, ())) != 1:
+            continue
+        slots[block] = tuple(sorted(indices))
+    return slots
+
+
+def _relabel_program(
+    program: "Program",
+    thread_order: Sequence[int],
+    index_maps: Mapping[str, Mapping[int, int]],
+) -> Tuple["Program", Relabeling]:
+    """Rebuild ``program`` under one candidate relabeling.
+
+    ``thread_order[i]`` is the original tid placed at canonical position
+    ``i``; ``index_maps`` renames element indices per renameable buffer.
+    Buffers are renamed positionally (``b0``, ``b1``, …), views get
+    structural names, thread names are dropped, and each thread's
+    registers are renamed ``r0``, ``r1``, … in first-occurrence order.
+    """
+    from ..lang.ast import (
+        AtomicAdd,
+        DataViewAccess,
+        Exchange,
+        IfEq,
+        Load,
+        Notify,
+        Program,
+        Register,
+        Store,
+        Thread,
+        TypedAccess,
+        Wait,
+    )
+    from ..lang.memory import DataViewAccessor, SharedArrayBuffer, TypedArrayView
+
+    buffer_by_name = {}
+    for position, buffer in enumerate(program.buffers):
+        buffer_by_name[buffer.name] = SharedArrayBuffer(
+            name=f"b{position}", byte_length=buffer.byte_length
+        )
+    view_memo: Dict[Tuple, Any] = {}
+
+    def relabel_view(view) -> Any:
+        new_buffer = buffer_by_name[view.buffer.name]
+        if isinstance(view, TypedArrayView):
+            key = ("typed", view.buffer.name, view.element.name, view.byte_offset)
+            if key not in view_memo:
+                view_memo[key] = TypedArrayView(
+                    name=f"{new_buffer.name}.{view.element.name}@{view.byte_offset}",
+                    buffer=new_buffer,
+                    element=view.element,
+                    byte_offset=view.byte_offset,
+                )
+        else:
+            key = ("dataview", view.buffer.name)
+            if key not in view_memo:
+                view_memo[key] = DataViewAccessor(
+                    name=f"{new_buffer.name}.dv", buffer=new_buffer
+                )
+        return view_memo[key]
+
+    def relabel_access(access):
+        if isinstance(access, TypedAccess):
+            renamed = index_maps.get(access.block, {})
+            return TypedAccess(
+                view=relabel_view(access.view),
+                index=renamed.get(access.index, access.index),
+            )
+        return DataViewAccess(
+            view=relabel_view(access.view),
+            byte_offset=access.byte_offset,
+            width=access.width,
+        )
+
+    register_maps: List[Dict[str, str]] = [dict() for _ in program.threads]
+
+    def relabel_register(tid: int, register) -> Any:
+        names = register_maps[tid]
+        if register.name not in names:
+            names[register.name] = f"r{len(names)}"
+        return Register(names[register.name])
+
+    def relabel_statement(tid: int, stmt):
+        if isinstance(stmt, Store):
+            value = stmt.value
+            if isinstance(value, Register):
+                value = relabel_register(tid, value)
+            return Store(relabel_access(stmt.access), value, atomic=stmt.atomic)
+        if isinstance(stmt, Load):
+            return Load(
+                relabel_register(tid, stmt.dest),
+                relabel_access(stmt.access),
+                atomic=stmt.atomic,
+            )
+        if isinstance(stmt, Exchange):
+            value = stmt.value
+            if isinstance(value, Register):
+                value = relabel_register(tid, value)
+            return Exchange(relabel_register(tid, stmt.dest), relabel_access(stmt.access), value)
+        if isinstance(stmt, AtomicAdd):
+            return AtomicAdd(
+                relabel_register(tid, stmt.dest), relabel_access(stmt.access), stmt.value
+            )
+        if isinstance(stmt, IfEq):
+            register = relabel_register(tid, stmt.register)
+            then = tuple(relabel_statement(tid, s) for s in stmt.then)
+            otherwise = tuple(relabel_statement(tid, s) for s in stmt.otherwise)
+            return IfEq(register, stmt.constant, then=then, otherwise=otherwise)
+        if isinstance(stmt, Wait):
+            return Wait(relabel_access(stmt.access), stmt.expected)
+        if isinstance(stmt, Notify):
+            dest = stmt.dest
+            if dest is not None:
+                dest = relabel_register(tid, dest)
+            return Notify(relabel_access(stmt.access), dest=dest)
+        raise TypeError(  # pragma: no cover - the AST is closed
+            f"cannot relabel statement of type {type(stmt).__name__}"
+        )
+
+    threads = tuple(
+        Thread(
+            tuple(
+                relabel_statement(original_tid, stmt)
+                for stmt in program.threads[original_tid].statements
+            )
+        )
+        for original_tid in thread_order
+    )
+    relabeled = Program(
+        name="canonical",
+        buffers=tuple(buffer_by_name[b.name] for b in program.buffers),
+        threads=threads,
+        description="",
+    )
+    relabeling = Relabeling(
+        thread_order=tuple(thread_order),
+        register_maps=tuple(
+            tuple(sorted(names.items())) for names in register_maps
+        ),
+    )
+    return relabeled, relabeling
+
+
+def _encode_thread(
+    thread,
+    buffer_positions: Mapping[str, int],
+    index_maps: Mapping[str, Mapping[int, int]],
+) -> Tuple[Tuple, Dict[str, int]]:
+    """Encode one thread under one index renaming as a comparable tuple.
+
+    The encoding is a *flat* token stream — a pure structural image of the
+    thread with every name normalised away: buffers by position, views by
+    shape, registers by first-occurrence number (the same walk order
+    :func:`_relabel_program` uses, so the returned ``{original name:
+    number}`` map *is* that candidate's register relabeling).  Each opcode
+    fixes the arity of its payload and branch bodies are bracketed, so the
+    stream parses back uniquely; element-wise tuple comparison stays
+    well-typed because at any first-differing offset both streams hold the
+    same scalar kind (opcodes and brackets are strings, payload slots line
+    up by opcode).  One tuple per thread — no AST rebuild, no nested
+    allocations — keeps the pass cheap enough to run per program inside a
+    sweep.
+    """
+    ast = _lang_ast()
+    AtomicAdd, Exchange, IfEq, Load = ast.AtomicAdd, ast.Exchange, ast.IfEq, ast.Load
+    Notify, Register, Store = ast.Notify, ast.Register, ast.Store
+    TypedAccess, Wait = ast.TypedAccess, ast.Wait
+
+    registers: Dict[str, int] = {}
+    out: list = []
+    emit = out.append
+
+    def reg(register) -> int:
+        number = registers.get(register.name)
+        if number is None:
+            number = registers[register.name] = len(registers)
+        return number
+
+    def emit_value(value) -> None:
+        if isinstance(value, Register):
+            emit("r")
+            emit(reg(value))
+        else:
+            emit("v")
+            emit(value)
+
+    def emit_access(access) -> None:
+        # ``view.buffer.name`` is ``access.block`` without the three
+        # chained property calls — this is the hottest line of the pass.
+        view = access.view
+        block = view.buffer.name
+        if isinstance(access, TypedAccess):
+            renamed = index_maps.get(block)
+            emit("t")
+            emit(buffer_positions[block])
+            emit(view.element.name)
+            emit(view.byte_offset)
+            emit(renamed[access.index] if renamed is not None else access.index)
+        else:
+            emit("d")
+            emit(buffer_positions[block])
+            emit(access.byte_offset)
+            emit(access.width)
+
+    def emit_stmt(stmt) -> None:
+        # Register numbering must follow _relabel_program's occurrence
+        # order, so the reg()/emit_value() call order below is load-bearing.
+        if isinstance(stmt, Store):
+            emit("st")
+            emit_access(stmt.access)
+            emit_value(stmt.value)
+            emit(stmt.atomic)
+        elif isinstance(stmt, Load):
+            emit("ld")
+            emit(reg(stmt.dest))
+            emit_access(stmt.access)
+            emit(stmt.atomic)
+        elif isinstance(stmt, Exchange):
+            emit("xc")
+            emit_value(stmt.value)
+            emit(reg(stmt.dest))
+            emit_access(stmt.access)
+        elif isinstance(stmt, AtomicAdd):
+            emit("aa")
+            emit(reg(stmt.dest))
+            emit_access(stmt.access)
+            emit(stmt.value)
+        elif isinstance(stmt, IfEq):
+            emit("if")
+            emit(reg(stmt.register))
+            emit(stmt.constant)
+            emit("(")
+            for s in stmt.then:
+                emit_stmt(s)
+            emit("|")
+            for s in stmt.otherwise:
+                emit_stmt(s)
+            emit(")")
+        elif isinstance(stmt, Wait):
+            emit("wa")
+            emit_access(stmt.access)
+            emit(stmt.expected)
+        elif isinstance(stmt, Notify):
+            emit("no")
+            emit_access(stmt.access)
+            # -1, not None: tokens must stay totally ordered.
+            emit(reg(stmt.dest) if stmt.dest is not None else -1)
+        else:  # pragma: no cover - the AST is closed
+            raise TypeError(
+                f"cannot encode statement of type {type(stmt).__name__}"
+            )
+
+    for stmt in thread.statements:
+        emit_stmt(stmt)
+    return tuple(out), registers
+
+
+def _factorial(n: int) -> int:
+    result = 1
+    for k in range(2, n + 1):
+        result *= k
+    return result
+
+
+def analyze_symmetry(program: "Program") -> SymmetryAnalysis:
+    """The canonical-form pass for one program (memoized on the instance).
+
+    Enumerates the candidate relabelings — thread permutations crossed
+    with per-buffer used-index bijections onto ``0..k-1`` — normalises
+    each (names, registers), and keeps the lexicographically minimal
+    encoding.  The memo lives in the instance ``__dict__`` exactly like
+    ``_analyze_memo`` / ``_fingerprint_memo``.
+    """
+    memo = program.__dict__.get("_symmetry_memo")
+    if memo is not None:
+        return memo
+
+    slots = _buffer_renaming_slots(program)
+    thread_count = len(program.threads)
+
+    # Thread permutations are never enumerated: the minimal candidate key
+    # over all permutations of a fixed per-thread encoding multiset is its
+    # sorted order, so the pass is linear in the number of index-renaming
+    # combos and only those are capped.
+    index_combo_count = 1
+    for indices in slots.values():
+        index_combo_count *= _factorial(len(indices))
+    capped = index_combo_count > GROUP_CAP
+    if capped:
+        STATS.group_capped += 1
+    if capped or index_combo_count == 1:
+        # One candidate renaming only — map each block's sorted used
+        # indices positionally onto 0..k-1.  Same dict the general path
+        # would build, without the product/zip machinery; this is the
+        # common case (every single-location sweep program lands here).
+        combos = [
+            {
+                block: {index: position for position, index in enumerate(indices)}
+                for block, indices in slots.items()
+            }
+        ]
+    else:
+        assignments = [
+            list(itertools.permutations(range(len(indices))))
+            for indices in slots.values()
+        ]
+        blocks = list(slots.keys())
+        combos = [
+            {
+                block: dict(zip(slots[block], assignment))
+                for block, assignment in zip(blocks, combo)
+            }
+            for combo in itertools.product(*assignments)
+        ]
+    buffer_positions = {
+        buffer.name: position for position, buffer in enumerate(program.buffers)
+    }
+
+    encoded = [
+        [
+            _encode_thread(thread, buffer_positions, index_maps)
+            for thread in program.threads
+        ]
+        for index_maps in combos
+    ]
+
+    thread_factorial = _factorial(thread_count)
+    best_key: Optional[Tuple] = None
+    best_combo = 0
+    best_order: Tuple[int, ...] = tuple(range(thread_count))
+    multiset_images: Dict[Tuple, int] = {}
+    for combo_index, per_thread in enumerate(encoded):
+        # Stable sort: equal encodings keep original thread order, so the
+        # chosen relabeling is deterministic per program.
+        order = tuple(
+            sorted(range(thread_count), key=lambda tid: per_thread[tid][0])
+        )
+        key = tuple(per_thread[tid][0] for tid in order)
+        if key not in multiset_images:
+            # Distinct permutation images of this encoding multiset:
+            # n! / prod(multiplicity!) per distinct multiset; different
+            # multisets have disjoint image sets, so the sum is exact.
+            images = thread_factorial
+            run_length = 1
+            for position in range(1, thread_count):
+                if key[position] == key[position - 1]:
+                    run_length += 1
+                    images //= run_length
+                else:
+                    run_length = 1
+            multiset_images[key] = images
+        if best_key is None or key < best_key:
+            best_key = key
+            best_combo = combo_index
+            best_order = order
+
+    analysis = SymmetryAnalysis(
+        canonical_key=best_key,
+        orbit_size=sum(multiset_images.values()),
+        group_size=thread_factorial * len(combos),
+        capped=capped,
+        thread_order=tuple(best_order),
+        register_numberings=tuple(
+            numbering for _encoding, numbering in encoded[best_combo]
+        ),
+        source_program=program,
+        index_maps=combos[best_combo],
+    )
+    STATS.programs_canonicalized += 1
+    object.__setattr__(program, "_symmetry_memo", analysis)
+    return analysis
+
+
+def sweep_canonical(program: "Program") -> Optional[SymmetryAnalysis]:
+    """The symmetry analysis for quotiented sweeps, or ``None`` when off."""
+    if not symmetry_enabled():
+        return None
+    return analyze_symmetry(program)
+
+
+# ---------------------------------------------------------------------------
+# independence decomposition
+# ---------------------------------------------------------------------------
+
+
+def _thread_footprints(program: "Program") -> List[set]:
+    footprints: List[set] = []
+    for thread in program.threads:
+        bytes_touched: set = set()
+        for stmt in _iter_statements(thread.statements):
+            access = getattr(stmt, "access", None)
+            if access is None:
+                continue
+            rng = access.byte_range()
+            bytes_touched.update((access.block, loc) for loc in rng)
+        footprints.append(bytes_touched)
+    return footprints
+
+
+def independence_partition(program: "Program") -> Tuple[Tuple[int, ...], ...]:
+    """Thread indices grouped into byte-footprint-overlap components.
+
+    Two threads land in one component when their byte footprints
+    intersect (directly or transitively).  Threads in different
+    components share no location, so no rf, sw, sc-order or race edge can
+    ever connect their events — the static fact the boolean-query
+    decomposition rests on.
+    """
+    footprints = _thread_footprints(program)
+    parent = list(range(len(footprints)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i in range(len(footprints)):
+        for j in range(i + 1, len(footprints)):
+            if footprints[i] & footprints[j]:
+                parent[find(i)] = find(j)
+    components: Dict[int, List[int]] = {}
+    for tid in range(len(footprints)):
+        components.setdefault(find(tid), []).append(tid)
+    return tuple(
+        tuple(sorted(tids))
+        for tids in sorted(components.values(), key=lambda tids: min(tids))
+    )
+
+
+def independence_applies(
+    program: "Program",
+    model: "JsModel",
+    extra_asw: Sequence[Tuple[int, int]] = (),
+    max_assignments: Optional[int] = None,
+) -> bool:
+    """May a boolean outcome query factor over disjoint thread components?
+
+    Same restrictions as the PR 9 SC fast path: final (simplified-sw,
+    final SC-atomics) models only — factored-out components are answered
+    by the SC interpreter, which under-approximates the ORIGINAL /
+    ARMV8_FIX models — no wait/notify (a blocked wait is invisible to the
+    SC oracle), no budget (budget semantics are charged against the
+    undecomposed assignment space) and no extra ``asw`` edges (they are
+    not in the program text, so they could bridge components).
+    """
+    if not symmetry_enabled():
+        return False
+    if max_assignments is not None or tuple(extra_asw):
+        return False
+    from .races import sc_fast_path_model
+
+    if not sc_fast_path_model(model):
+        return False
+    if program.thread_count < 2 or program.uses_wait_notify():
+        return False
+    return len(analyze_symmetry(program).components) >= 2
+
+
+def independence_split(
+    program: "Program", spec: "Outcome"
+) -> Optional[List[Tuple[Tuple[int, ...], "Program", Dict[str, int]]]]:
+    """Factor ``(program, spec)`` into per-component subqueries.
+
+    Returns ``(component tids, subprogram, remapped spec)`` triples, or
+    ``None`` when some spec key cannot be attributed to a thread (the
+    caller then falls through to the undecomposed path).  The overall
+    verdict is the conjunction of the per-component verdicts: events of
+    different components share no byte, so rf/sw/hb/tot constraints and
+    outcomes all factor, and ``tot`` witnesses interleave freely.
+    """
+    from ..lang.ast import Program
+
+    by_tid: Dict[int, Dict[str, int]] = {}
+    for key, value in spec.items():
+        tid_text, sep, register = key.partition(":")
+        if not sep or not tid_text.isdigit():
+            return None
+        tid = int(tid_text)
+        if not 0 <= tid < program.thread_count:
+            return None
+        by_tid.setdefault(tid, {})[register] = value
+    parts: List[Tuple[Tuple[int, ...], "Program", Dict[str, int]]] = []
+    for tids in analyze_symmetry(program).components:
+        subprogram = Program(
+            name=f"{program.name}#part{tids[0]}",
+            buffers=program.buffers,
+            threads=tuple(program.threads[tid] for tid in tids),
+            description=program.description,
+        )
+        subspec: Dict[str, int] = {}
+        for position, tid in enumerate(tids):
+            for register, value in by_tid.get(tid, {}).items():
+                subspec[f"{position}:{register}"] = value
+        parts.append((tids, subprogram, subspec))
+    return parts
+
+
+def count_independent_split() -> None:
+    """Account one boolean query factored over independent components."""
+    STATS.independent_splits += 1

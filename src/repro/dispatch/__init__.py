@@ -49,6 +49,7 @@ from .cache import (
     VerdictCache,
     canonical,
     fingerprint,
+    get_or_compute_aliased,
     open_cache,
     program_fingerprint,
     resolve_backend,
@@ -117,6 +118,7 @@ __all__ = [
     "canonical",
     "chain_initializers",
     "fingerprint",
+    "get_or_compute_aliased",
     "is_segment_store",
     "migrate_legacy",
     "open_cache",

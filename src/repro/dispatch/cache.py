@@ -611,6 +611,51 @@ class VerdictCache:
         return verdict
 
 
+def get_or_compute_aliased(
+    cache: Any,
+    key: str,
+    alias_key: Any,
+    compute: Callable[[], Any],
+    parity: Optional[Callable[[Any], bool]] = None,
+    on_alias_hit: Optional[Callable[[], None]] = None,
+) -> Any:
+    """``get_or_compute`` with a secondary (alias) index.
+
+    The canonical cache tier of the symmetry engine: ``key`` is the query's
+    primary key, ``alias_key`` a class-level key shared by every query the
+    caller has proven verdict-equivalent (e.g. keyed by a program's
+    canonical fingerprint and canonically-relabeled outcome).  Lookup order
+    is primary, then alias; an alias hit must first pass the caller's
+    ``parity`` check (the read-back relabeling validation) before the
+    verdict is replayed under the primary key.  A computed verdict is
+    recorded under both keys, so any member of the class warms the whole
+    class.  ``alias_key=None`` degrades to plain :meth:`get_or_compute`.
+
+    ``alias_key`` may also be a zero-argument callable returning an
+    ``(alias key, parity)`` pair: it is only invoked on a primary miss, so
+    warm lookups never pay for building the alias (relabeling an outcome
+    and hashing a canonical fingerprint cost more than the primary hit
+    they would ride on).  The ``parity`` argument is ignored in that form.
+    """
+    verdict = cache.get(key)
+    if verdict is not MISS:
+        return verdict
+    if callable(alias_key):
+        alias_key, parity = alias_key()
+    if alias_key is not None and alias_key != key:
+        verdict = cache.get(alias_key)
+        if verdict is not MISS and (parity is None or parity(verdict)):
+            if on_alias_hit is not None:
+                on_alias_hit()
+            cache.put(key, verdict)
+            return verdict
+    verdict = compute()
+    cache.put(key, verdict)
+    if alias_key is not None and alias_key != key:
+        cache.put(alias_key, verdict)
+    return verdict
+
+
 def resolve_backend(
     backend: Optional[str] = None, directory: Optional[os.PathLike] = None
 ) -> str:

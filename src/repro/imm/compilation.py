@@ -34,6 +34,8 @@ from .x86 import x86_consistent
 
 ArchitectureModel = Callable[[UniExecution], bool]
 
+# lint: allow(mutable-state) — read-only dispatch table of consistency
+# predicates, never mutated after import.
 ARCHITECTURES: Dict[str, ArchitectureModel] = {
     "x86-tso": x86_consistent,
     "power": power_consistent,

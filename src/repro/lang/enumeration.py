@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..analyze import races as analyze
+from ..analyze import symmetry as _symmetry
 from ..core.events import Event, EventSet, make_init_event
 from ..core.execution import CandidateExecution, RbfTriple
 from ..core.groundcore import (
@@ -895,6 +896,13 @@ def outcome_allowed(
       outcomes *equal* to the SC-interpreter outcomes (Theorem 6.1 and its
       converse), so the spec is checked against those;
     * a spec no static write/binding can produce is dead under any model.
+
+    A third (:mod:`repro.analyze.symmetry`, ``REPRO_SYMMETRY``) factors the
+    query when threads decompose into groups with disjoint byte footprints:
+    no relation of the model crosses components, so the spec is allowed iff
+    each component's projection is — single-thread components through the
+    SC interpreter (they are trivially race-free), multi-thread ones
+    recursively, each over exponentially fewer interleavings.
     """
     if analyze.sc_fast_path_applies(
         program, model, extra_asw=extra_asw, max_assignments=max_assignments
@@ -904,6 +912,25 @@ def outcome_allowed(
         program, spec, max_assignments=max_assignments
     ):
         return False
+    if _symmetry.independence_applies(
+        program, model, extra_asw=extra_asw, max_assignments=max_assignments
+    ):
+        split = _symmetry.independence_split(program, spec)
+        if split is not None:
+            _symmetry.count_independent_split()
+            for _tids, sub, subspec in split:
+                if len(sub.threads) == 1:
+                    ok = any(outcome_matches(o, subspec) for o in sc_outcomes(sub))
+                else:
+                    ok = outcome_allowed(
+                        sub,
+                        subspec,
+                        model,
+                        collapse_value_profiles=collapse_value_profiles,
+                    )
+                if not ok:
+                    return False
+            return True
     for ground in ground_executions(
         program,
         extra_asw=extra_asw,

@@ -64,6 +64,8 @@ UINT32 = ElementType("Uint32", 4, signed=False)
 BIGINT64 = ElementType("BigInt64", 8, signed=True)
 BIGUINT64 = ElementType("BigUint64", 8, signed=False)
 
+# lint: allow(mutable-state) — read-only name table of the eight element
+# types above, never mutated after import.
 ELEMENT_TYPES = {
     t.name: t
     for t in (INT8, UINT8, INT16, UINT16, INT32, UINT32, BIGINT64, BIGUINT64)

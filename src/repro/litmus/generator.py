@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from ..analyze import symmetry
 from ..armv8.program import (
     ArmLoad,
     ArmProgram,
@@ -39,6 +40,52 @@ class GeneratorConfig:
     accesses_per_thread: int = 2
     include_mixed_size: bool = True
     max_tests: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class OrbitClass:
+    """One isomorphism class of a generated corpus.
+
+    ``members`` keeps generation order (the representative is the first
+    member), and every member is the *original* program — a consumer that
+    evaluates the representative replays its verdict onto the members and
+    reports them in their own labeling.
+    """
+
+    representative: Program
+    members: Tuple[Program, ...]
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.members)
+
+
+def orbit_quotient(programs: Iterable[Program]) -> List[OrbitClass]:
+    """Group a corpus by canonical form (``REPRO_SYMMETRY``).
+
+    One :class:`OrbitClass` per isomorphism class, classes ordered by first
+    appearance.  A boolean verdict of any member holds for every member —
+    the canonical relabeling is verdict-preserving — so sweeping one
+    representative per class covers the corpus.  With symmetry off every
+    program is its own singleton class and the sweep is the identity.
+    """
+    if not symmetry.symmetry_enabled():
+        return [OrbitClass(p, (p,)) for p in programs]
+    grouped: dict = {}
+    order: List = []
+    for program in programs:
+        key = symmetry.analyze_symmetry(program).canonical_key
+        bucket = grouped.get(key)
+        if bucket is None:
+            grouped[key] = [program]
+            order.append(key)
+            symmetry.STATS.orbits_seen += 1
+        else:
+            bucket.append(program)
+            symmetry.STATS.members_skipped += 1
+    return [
+        OrbitClass(grouped[key][0], tuple(grouped[key])) for key in order
+    ]
 
 
 _ARM_SLOT_KINDS = (

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import analyze
+from ..analyze import symmetry
 from ..core.js_model import (
     ARMV8_FIX_MODEL,
     FINAL_MODEL,
@@ -28,6 +29,7 @@ from ..dispatch import (
     SweepJournal,
     VerdictCache,
     fingerprint,
+    get_or_compute_aliased,
     program_fingerprint,
     resolve_cache,
     resolve_checkpoint,
@@ -51,6 +53,8 @@ from .catalogue import (
     by_name,
 )
 
+# lint: allow(mutable-state) — read-only model registry, never mutated
+# after import; the cache key embeds the full model value, not this dict.
 MODEL_BY_KEY: Dict[str, JsModel] = {
     ORIGINAL: ORIGINAL_MODEL,
     ARMV8_FIX: ARMV8_FIX_MODEL,
@@ -108,6 +112,19 @@ def _spec_allowed_uncached(
     return outcome_allowed(program, spec, model)
 
 
+def _corrected_flag(test: LitmusTest) -> Optional[bool]:
+    """The §7 semantics slot of a litmus cache key.
+
+    Same normalisation as the checker: for wait/notify programs unset means
+    corrected (§7), so ``None`` and ``True`` share one cache slot; programs
+    without wait/notify use ``None``.
+    """
+    if not test.program.uses_wait_notify():
+        return None
+    corrected = test.corrected_wait_notify
+    return True if corrected is None else corrected
+
+
 def _expectation_key(
     cache: VerdictCache, test: LitmusTest, spec: Dict[str, int], model_key: str
 ) -> str:
@@ -119,22 +136,43 @@ def _expectation_key(
     semantics apply.
     """
     model = None if model_key == SC else MODEL_BY_KEY[model_key]
-    if test.program.uses_wait_notify():
-        # Same normalisation as the checker: unset means corrected (§7), so
-        # None and True share one cache slot.
-        corrected = test.corrected_wait_notify
-        if corrected is None:
-            corrected = True
-    else:
-        corrected = None
     return cache.key(
         "litmus-verdict",
         program_fingerprint(test.program),
         model_key,
         model,
         tuple(sorted(spec.items())),
-        corrected,
+        _corrected_flag(test),
     )
+
+
+def _canonical_expectation_key(
+    cache: VerdictCache, test: LitmusTest, spec: Dict[str, int], model_key: str
+):
+    """The canonical-tier alias key of one litmus verdict, or ``None``.
+
+    Keyed by the *canonical* program fingerprint and the canonically
+    relabeled spec, so isomorphic tests querying equivalent outcomes share
+    one cache slot.  ``None`` (no alias) when symmetry is off or the spec
+    does not relabel cleanly; the second element is the parity callback
+    :func:`spec_allowed` passes to ``get_or_compute_aliased``.
+    """
+    if not symmetry.symmetry_enabled():
+        return None, None
+    analysis = symmetry.analyze_symmetry(test.program)
+    mapped = analysis.relabeling.map_outcome(spec)
+    if mapped is None:
+        return None, None
+    model = None if model_key == SC else MODEL_BY_KEY[model_key]
+    alias = cache.key(
+        "litmus-verdict",
+        analysis.canonical_fingerprint,
+        model_key,
+        model,
+        tuple(sorted(mapped.items())),
+        _corrected_flag(test),
+    )
+    return alias, symmetry.alias_parity(analysis, spec)
 
 
 def spec_allowed(
@@ -146,8 +184,14 @@ def spec_allowed(
         return _spec_allowed_uncached(test, spec, model_key)
     key = _expectation_key(cache, test, spec, model_key)
     return bool(
-        cache.get_or_compute(
-            key, lambda: _spec_allowed_uncached(test, spec, model_key)
+        get_or_compute_aliased(
+            cache,
+            key,
+            # Lazy: the alias (canonical fingerprint + relabeled spec) is
+            # only built on a primary miss, so warm sweeps stay alias-free.
+            lambda: _canonical_expectation_key(cache, test, spec, model_key),
+            lambda: _spec_allowed_uncached(test, spec, model_key),
+            on_alias_hit=symmetry.count_canonical_hit,
         )
     )
 
@@ -378,6 +422,13 @@ class CatalogueReport:
     runs, so cached verdicts contribute neither hits nor misses.
     """
 
+    symmetry_stats: Optional[Dict[str, int]] = None
+    """The symmetry engine's counter increments over this sweep
+    (:class:`repro.analyze.SymmetryStats`), or ``None`` when
+    ``REPRO_SYMMETRY`` is off.  Parent's view only, like
+    :attr:`analyze_stats`.
+    """
+
     @property
     def passed(self) -> bool:
         return all(result.passed for result in self.results)
@@ -414,6 +465,11 @@ class CatalogueReport:
                 f"{k}={v}" for k, v in sorted(self.analyze_stats.items())
             )
             lines.append(f"static analyzer: {pairs}")
+        if self.symmetry_stats is not None:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.symmetry_stats.items())
+            )
+            lines.append(f"symmetry: {pairs}")
         lines.extend(r.describe() for r in bad)
         return "\n".join(lines)
 
@@ -442,6 +498,9 @@ def run_catalogue(
     # unchanged) so the report can snapshot the cache's counters.
     cache = resolve_cache(cache)
     analyze_before = analyze.stats_snapshot() if analyze.analyze_enabled() else None
+    symmetry_before = (
+        symmetry.symmetry_stats_snapshot() if symmetry.symmetry_enabled() else None
+    )
     results = run_tests(
         tests,
         workers=workers,
@@ -458,6 +517,11 @@ def run_catalogue(
         analyze_stats=(
             analyze.stats_delta(analyze_before)
             if analyze_before is not None
+            else None
+        ),
+        symmetry_stats=(
+            symmetry.symmetry_stats_delta(symmetry_before)
+            if symmetry_before is not None
             else None
         ),
     )

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from .. import analyze
+from ..analyze import symmetry
 from ..compile.correctness import (
     CompilationCounterExample,
     find_compilation_violation,
@@ -35,6 +36,7 @@ from ..dispatch import (
     VerdictCache,
     chain_initializers,
     fingerprint,
+    get_or_compute_aliased,
     program_fingerprint,
     resolve_cache,
     resolve_checkpoint,
@@ -106,9 +108,42 @@ class SearchReport:
     reach the analyzer at all.
     """
 
+    symmetry_stats: Optional[dict] = None
+    """The symmetry engine's counter increments over this sweep
+    (:class:`repro.analyze.SymmetryStats`), or ``None`` when
+    ``REPRO_SYMMETRY`` is off.  Parent's view only, like
+    :attr:`analyze_stats`.
+    """
+
     @property
     def found(self) -> bool:
         return self.counterexample is not None
+
+    def describe(self) -> str:
+        lines = [
+            f"sweep [{self.model}]: {self.programs_examined} program(s) "
+            + (
+                "examined, counterexample found"
+                if self.found
+                else "examined, no counterexample"
+            )
+        ]
+        if self.quarantined:
+            lines.append(
+                "quarantined indices: "
+                + ", ".join(str(i) for i in self.quarantined)
+            )
+        for label, stats in (
+            ("verdict cache", self.cache_stats),
+            ("static analyzer", self.analyze_stats),
+            ("symmetry", self.symmetry_stats),
+        ):
+            if stats is not None:
+                pairs = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+                lines.append(f"{label}: {pairs}")
+        if self.found and hasattr(self.counterexample, "describe"):
+            lines.append(self.counterexample.describe())
+        return "\n".join(lines)
 
 
 def _location_count(program: Program) -> int:
@@ -187,6 +222,8 @@ def _compilation_hit(
 
 # Per-program hit predicates by sweep kind; the kind tag is also part of the
 # verdict-cache key.
+# lint: allow(mutable-state) — read-only dispatch table, never mutated after
+# import; both entries are verdict functions of their arguments alone.
 _SWEEP_KINDS = {
     "sc-drf": lambda program, model, _use_operational: _sc_drf_hit(program, model),
     "arm-compilation": _compilation_hit,
@@ -213,22 +250,67 @@ def _sweep_chunk_worker(
         cache = VerdictCache.from_spec(cache_spec)
     else:
         cache = cache_spec
+    quotient = symmetry.symmetry_enabled()
+    # Orbit quotient: one representative evaluated per isomorphism class,
+    # its verdict replayed onto the members.  Reuse is observationally
+    # identical to recomputation — the hit predicates are invariant under
+    # the relabeling group — and a True verdict returns at the
+    # representative, so replayed verdicts are always False and examined
+    # counts, first-hit indices and reports stay bit-identical.
+    orbit_verdicts: dict = {}
     examined = 0
     for index, program in zip(
         range(start, stop), generate_programs(bounds, start, stop)
     ):
         examined += 1
+        canon = symmetry.analyze_symmetry(program) if quotient else None
+        if canon is not None and canon.canonical_key in orbit_verdicts:
+            symmetry.STATS.members_skipped += 1
+            hit = orbit_verdicts[canon.canonical_key]
+            if cache is not None:
+                # Replay onto the member's own primary key so later
+                # symmetry-off runs stay warm too.
+                cache.put(
+                    cache.key(
+                        kind, program_fingerprint(program), model, use_operational
+                    ),
+                    hit,
+                )
+            if hit:
+                return examined, index
+            continue
         if cache is None:
             hit = check(program, model, use_operational)
         else:
             key = cache.key(
                 kind, program_fingerprint(program), model, use_operational
             )
+
+            def alias_and_parity(canon=canon):
+                # Lazy (only built on a primary miss): the canonical
+                # fingerprint hash costs more than the warm hit it
+                # would ride on.
+                if canon is None:
+                    return None, None
+                return (
+                    cache.key(
+                        kind, canon.canonical_fingerprint, model, use_operational
+                    ),
+                    symmetry.alias_parity(canon),
+                )
+
             hit = bool(
-                cache.get_or_compute(
-                    key, lambda: check(program, model, use_operational)
+                get_or_compute_aliased(
+                    cache,
+                    key,
+                    alias_and_parity,
+                    lambda: check(program, model, use_operational),
+                    on_alias_hit=symmetry.count_canonical_hit,
                 )
             )
+        if canon is not None:
+            symmetry.STATS.orbits_seen += 1
+            orbit_verdicts[canon.canonical_key] = hit
         if hit:
             return examined, index
     return examined, None
@@ -379,6 +461,9 @@ def _swept_search(
     cache = resolve_cache(cache)
     report = SearchReport(model=model.name)
     analyze_before = analyze.stats_snapshot() if analyze.analyze_enabled() else None
+    symmetry_before = (
+        symmetry.symmetry_stats_snapshot() if symmetry.symmetry_enabled() else None
+    )
     total = program_count(bounds)
     if cache is None:
         cache_spec = None
@@ -485,6 +570,8 @@ def _swept_search(
             report.cache_stats = cache.stats()
         if analyze_before is not None:
             report.analyze_stats = analyze.stats_delta(analyze_before)
+        if symmetry_before is not None:
+            report.symmetry_stats = symmetry.symmetry_stats_delta(symmetry_before)
         # Returning at all (hit, exhausted, or quarantine-degraded) means
         # the sweep is decided; the journal has served its purpose.  An
         # exception (including KeyboardInterrupt/SIGTERM unwinding) keeps

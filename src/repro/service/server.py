@@ -486,6 +486,12 @@ class VerdictService:
                 "enabled": analyze.analyze_enabled(),
                 **analyze.stats_snapshot(),
             },
+            # The symmetry engine's counters, same parent's-view caveat:
+            # orbits seen, members skipped, canonical-tier cache hits.
+            "symmetry": {
+                "enabled": analyze.symmetry_enabled(),
+                **analyze.symmetry_stats_snapshot(),
+            },
             "semantics_revision": SEMANTICS_REVISION,
         }
 

@@ -145,6 +145,77 @@ class TestEnvReads:
         assert all(name.startswith("REPRO_") for name in ENV_REGISTRY)
 
 
+class TestMutableState:
+    def test_module_level_dict_literal_is_flagged(self, tmp_path):
+        found = findings_for(
+            tmp_path, {"core/bad.py": "CACHE = {}\n"}, "mutable-state"
+        )
+        assert len(found) == 1
+        assert "CACHE" in found[0].message
+
+    def test_literals_comprehensions_and_constructors_are_covered(self, tmp_path):
+        source = """\
+            from collections import defaultdict
+            A = []
+            B = {x for x in range(3)}
+            C = dict()
+            D = defaultdict(list)
+        """
+        found = findings_for(tmp_path, {"lang/bad.py": source}, "mutable-state")
+        assert len(found) == 4
+
+    def test_annotated_assignment_is_covered(self, tmp_path):
+        source = """\
+            from typing import Dict
+            TABLE: Dict[str, int] = {}
+        """
+        found = findings_for(tmp_path, {"core/bad.py": source}, "mutable-state")
+        assert len(found) == 1
+
+    def test_memo_structures_are_exempt(self, tmp_path):
+        source = """\
+            from repro.dispatch.memo import SignatureInterner, _BoundedMemo
+            INTERNER = SignatureInterner()
+            MEMO = _BoundedMemo(512)
+        """
+        assert findings_for(tmp_path, {"core/ok.py": source}, "mutable-state") == []
+
+    def test_dunder_metadata_is_exempt(self, tmp_path):
+        source = '__all__ = ["a", "b"]\n'
+        assert findings_for(tmp_path, {"core/ok.py": source}, "mutable-state") == []
+
+    def test_mutable_default_argument_is_flagged(self, tmp_path):
+        source = """\
+            def check(program, seen=[], *, notes={}):
+                return seen, notes
+        """
+        found = findings_for(tmp_path, {"lang/bad.py": source}, "mutable-state")
+        assert len(found) == 2
+        assert all("default" in f.message for f in found)
+
+    def test_infrastructure_packages_are_exempt(self, tmp_path):
+        found = findings_for(
+            tmp_path, {"dispatch/ok.py": "CACHE = {}\n"}, "mutable-state"
+        )
+        assert found == []
+
+    def test_justified_pragma_suppresses(self, tmp_path):
+        source = """\
+            # lint: allow(mutable-state) — read-only registry, never mutated
+            TABLE = {"a": 1}
+        """
+        assert findings_for(tmp_path, {"core/ok.py": source}, "mutable-state") == []
+
+    def test_bare_pragma_is_not_enough(self, tmp_path):
+        source = """\
+            # lint: allow(mutable-state)
+            TABLE = {"a": 1}
+        """
+        found = findings_for(tmp_path, {"core/bad.py": source}, "mutable-state")
+        assert len(found) == 1
+        assert "justification" in found[0].message
+
+
 class TestFingerprintPin:
     def test_digest_is_pinned_for_current_revision(self):
         digest, drift = fingerprint_field_digest(REAL_ROOT)

@@ -273,6 +273,15 @@ class TestServing:
                     "dead_outcomes",
                     "race_pairs",
                 }
+                assert isinstance(stats["symmetry"]["enabled"], bool)
+                assert set(stats["symmetry"]) >= {
+                    "programs_canonicalized",
+                    "orbits_seen",
+                    "members_skipped",
+                    "canonical_cache_hits",
+                    "parity_failures",
+                    "independent_splits",
+                }
                 assert set(stats["counters"]) >= {
                     "admitted",
                     "served",

@@ -1,0 +1,634 @@
+"""The symmetry engine: canonical forms, quotients, cache tier, independence.
+
+The engine's one contract mirrors the analyzer's: with ``REPRO_SYMMETRY``
+on or off, every verdict-producing API returns exactly the same answers —
+symmetry may only change how many programs are actually *evaluated*.
+These tests enforce that contract (catalogue-wide renaming parity, a
+thousand generated programs, quotiented sweeps bit-identical to unquotiented
+ones, budget exceptions preserved), then pin down the mechanisms: the
+canonical-form pass and its relabelings, the orbit quotient, the canonical
+cache-key tier with its read-back parity check, and the static independence
+decomposition.
+"""
+
+import contextlib
+import dataclasses
+import itertools
+import json
+import os
+
+import pytest
+
+from repro.analyze import cli as analyze_cli
+from repro.analyze import symmetry as sym
+from repro.analyze.symmetry import STATS, analyze_symmetry
+from repro.core.js_model import ARMV8_FIX_MODEL, FINAL_MODEL, ORIGINAL_MODEL
+from repro.dispatch.cache import VerdictCache, get_or_compute_aliased
+from repro.lang.ast import Load, Program, Register, Store, Thread, TypedAccess
+from repro.lang.enumeration import (
+    EnumerationBudgetExceeded,
+    allowed_outcomes,
+    outcome_allowed,
+    program_is_data_race_free,
+)
+from repro.lang.memory import INT32, new_shared_array_buffer, new_typed_array
+from repro.litmus.catalogue import FINAL, LitmusTest, all_tests, by_name
+from repro.litmus.generator import orbit_quotient
+from repro.litmus.runner import _spec_allowed_uncached, run_catalogue, spec_allowed
+from repro.search import SearchBounds, search_sc_drf_violation
+from repro.search.counterexamples import search_compilation_violation
+from repro.search.shapes import generate_programs
+
+
+@contextlib.contextmanager
+def symmetry(value):
+    """Run a block with ``REPRO_SYMMETRY`` set to ``value``."""
+    previous = os.environ.get(sym.SYMMETRY_ENV)
+    os.environ[sym.SYMMETRY_ENV] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(sym.SYMMETRY_ENV, None)
+        else:
+            os.environ[sym.SYMMETRY_ENV] = previous
+
+
+def message_passing_pair():
+    """Two isomorphic message-passing programs: threads swapped, registers renamed."""
+    sab_a = new_shared_array_buffer("x", 8)
+    view_a = new_typed_array("x", sab_a, INT32)
+    data_a, flag_a = TypedAccess(view_a, 0), TypedAccess(view_a, 1)
+    original = Program(
+        name="mp-original",
+        buffers=(sab_a,),
+        threads=(
+            Thread((Store(data_a, 1, atomic=True), Store(flag_a, 1, atomic=True))),
+            Thread(
+                (
+                    Load(Register("rf"), flag_a, atomic=True),
+                    Load(Register("rd"), data_a, atomic=True),
+                )
+            ),
+        ),
+    )
+    sab_b = new_shared_array_buffer("y", 8)
+    view_b = new_typed_array("y", sab_b, INT32)
+    data_b, flag_b = TypedAccess(view_b, 0), TypedAccess(view_b, 1)
+    swapped = Program(
+        name="mp-swapped",
+        buffers=(sab_b,),
+        threads=(
+            Thread(
+                (
+                    Load(Register("a"), flag_b, atomic=True),
+                    Load(Register("b"), data_b, atomic=True),
+                )
+            ),
+            Thread((Store(data_b, 1, atomic=True), Store(flag_b, 1, atomic=True))),
+        ),
+    )
+    return original, swapped
+
+
+def three_component_program():
+    """t0/t1 race on word 0, t2 alone touches word 1 — two independent components.
+
+    The t0/t1 pair is deliberately non-atomic (racy), so the PR 9 SC fast
+    path declines the whole program and the independence decomposition is
+    what actually answers the boolean queries.
+    """
+    sab = new_shared_array_buffer("b", 8)
+    view = new_typed_array("b", sab, INT32)
+    shared, lone = TypedAccess(view, 0), TypedAccess(view, 1)
+    return Program(
+        name="probe-independent",
+        buffers=(sab,),
+        threads=(
+            Thread((Store(shared, 1, atomic=False),)),
+            Thread((Load(Register("r0"), shared, atomic=False),)),
+            Thread(
+                (Store(lone, 2, atomic=True), Load(Register("r0"), lone, atomic=True))
+            ),
+        ),
+    )
+
+
+GENERATED_BOUNDS = SearchBounds(
+    threads=2,
+    max_accesses_per_thread=2,
+    max_total_accesses=4,
+    locations=2,
+    values=(1, 2),
+    allow_unordered=True,
+    guarded_observer=True,
+)
+
+
+class TestCanonicalForm:
+    def test_catalogue_relabelings_are_sound(self):
+        for test in all_tests():
+            analysis = analyze_symmetry(test.program)
+            assert analysis.relabeling.parity_ok(), test.name
+            assert 1 <= analysis.orbit_size <= analysis.group_size, test.name
+
+    def test_canonical_form_is_idempotent(self):
+        for test in all_tests():
+            analysis = analyze_symmetry(test.program)
+            again = analyze_symmetry(analysis.canonical_program)
+            assert again.canonical_key == analysis.canonical_key, test.name
+            assert again.relabeling.is_identity, test.name
+            assert (
+                again.canonical_fingerprint == analysis.canonical_fingerprint
+            ), test.name
+
+    def test_isomorphic_programs_share_a_fingerprint(self):
+        original, swapped = message_passing_pair()
+        a, b = analyze_symmetry(original), analyze_symmetry(swapped)
+        assert a.canonical_fingerprint == b.canonical_fingerprint
+        assert a.canonical_key == b.canonical_key
+        assert a.orbit_size == b.orbit_size
+        # At least one of the pair had to move to reach the shared form.
+        assert not (a.relabeling.is_identity and b.relabeling.is_identity)
+
+    def test_value_renaming_is_not_in_the_group(self):
+        # Stored values pass through byte encode/decode, so a program that
+        # differs only in a stored value must keep its own canonical form.
+        original, _ = message_passing_pair()
+        sab = new_shared_array_buffer("x", 8)
+        view = new_typed_array("x", sab, INT32)
+        data, flag = TypedAccess(view, 0), TypedAccess(view, 1)
+        revalued = Program(
+            name="mp-revalued",
+            buffers=(sab,),
+            threads=(
+                Thread((Store(data, 2, atomic=True), Store(flag, 1, atomic=True))),
+                Thread(
+                    (
+                        Load(Register("rf"), flag, atomic=True),
+                        Load(Register("rd"), data, atomic=True),
+                    )
+                ),
+            ),
+        )
+        assert (
+            analyze_symmetry(original).canonical_fingerprint
+            != analyze_symmetry(revalued).canonical_fingerprint
+        )
+
+    def test_analysis_is_memoized_per_program(self):
+        program, _ = message_passing_pair()
+        assert analyze_symmetry(program) is analyze_symmetry(program)
+        assert program.__dict__["_symmetry_memo"] is analyze_symmetry(program)
+
+    def test_outcome_round_trips_through_the_relabeling(self):
+        for test in all_tests():
+            relabeling = analyze_symmetry(test.program).relabeling
+            for expectation in test.expectations:
+                spec = expectation.spec_dict
+                mapped = relabeling.map_outcome(spec)
+                assert mapped is not None, test.name
+                assert relabeling.unmap_outcome(mapped) == spec, test.name
+
+    def test_unmappable_outcome_returns_none(self):
+        relabeling = analyze_symmetry(by_name("sb-sc").program).relabeling
+        assert relabeling.map_outcome({"not-a-key": 1}) is None
+        assert relabeling.map_outcome({"9:r0": 1}) is None
+        assert relabeling.map_outcome({"0:no_such_register": 1}) is None
+
+    def test_group_cap_degrades_gracefully(self):
+        # Seven used indices on one renameable buffer: 7! candidate index
+        # renamings blow the cap, the pass falls back to the identity
+        # renaming and still produces a sound relabeling.
+        sab = new_shared_array_buffer("b", 28)
+        view = new_typed_array("b", sab, INT32)
+        program = Program(
+            name="probe-capped",
+            buffers=(sab,),
+            threads=(
+                Thread(
+                    tuple(
+                        Load(Register(f"r{i}"), TypedAccess(view, i), atomic=True)
+                        for i in range(7)
+                    )
+                ),
+            ),
+        )
+        before = STATS.group_capped
+        analysis = analyze_symmetry(program)
+        assert analysis.capped
+        assert STATS.group_capped == before + 1
+        assert analysis.relabeling.parity_ok()
+
+    def test_describe_mentions_the_partition(self):
+        text = analyze_symmetry(three_component_program()).describe()
+        assert "canonical fingerprint" in text
+        assert "independence partition" in text
+
+    def test_enabled_flag_follows_environment(self):
+        with symmetry("off"):
+            assert not sym.symmetry_enabled()
+            assert sym.sweep_canonical(by_name("sb-sc").program) is None
+        with symmetry("1"):
+            assert sym.symmetry_enabled()
+            assert sym.sweep_canonical(by_name("sb-sc").program) is not None
+
+
+class TestRenamingParity:
+    def test_catalogue_verdicts_survive_relabeling(self):
+        # The property the canonical cache tier rests on: every catalogue
+        # expectation, evaluated on the canonical program under the mapped
+        # spec, returns the original verdict.
+        for test in all_tests():
+            analysis = analyze_symmetry(test.program)
+            canonical_test = dataclasses.replace(
+                test, program=analysis.canonical_program
+            )
+            for expectation in test.expectations:
+                spec = expectation.spec_dict
+                mapped = analysis.relabeling.map_outcome(spec)
+                assert mapped is not None, test.name
+                assert _spec_allowed_uncached(
+                    canonical_test, mapped, expectation.model
+                ) == _spec_allowed_uncached(test, spec, expectation.model), (
+                    test.name,
+                    expectation.model,
+                    spec,
+                )
+
+    @pytest.mark.parametrize(
+        "model,count",
+        [(FINAL_MODEL, 1000), (ORIGINAL_MODEL, 300)],
+        ids=["final", "original"],
+    )
+    def test_generated_program_parity(self, model, count):
+        for program in itertools.islice(generate_programs(GENERATED_BOUNDS), count):
+            analysis = analyze_symmetry(program)
+            relabeling = analysis.relabeling
+            canonical = analysis.canonical_program
+            assert program_is_data_race_free(
+                program, model=model
+            ) == program_is_data_race_free(canonical, model=model)
+            original_outcomes = allowed_outcomes(program, model=model)
+            canonical_outcomes = {
+                tuple(sorted(o.items()))
+                for o in allowed_outcomes(canonical, model=model)
+            }
+            mapped_outcomes = set()
+            for outcome in original_outcomes:
+                mapped = relabeling.map_outcome(outcome)
+                assert mapped is not None, program.name
+                mapped_outcomes.add(tuple(sorted(mapped.items())))
+            assert mapped_outcomes == canonical_outcomes, program.name
+
+
+class TestQuotientedSweeps:
+    def test_sc_drf_hunt_bit_identical(self):
+        # The §5.4 sweep over the two-location bound, quotiented vs not:
+        # verdict, examined count and the counterexample itself (reported
+        # in the original labeling) must match bit for bit.
+        with symmetry("off"):
+            off = search_sc_drf_violation(
+                GENERATED_BOUNDS, model=ORIGINAL_MODEL, cache=False
+            )
+        with symmetry("1"):
+            on = search_sc_drf_violation(
+                GENERATED_BOUNDS, model=ORIGINAL_MODEL, cache=False
+            )
+        assert on.found == off.found
+        assert on.programs_examined == off.programs_examined
+        assert on.counterexample.program.name == off.counterexample.program.name
+        assert on.counterexample.outcome == off.counterexample.outcome
+        # The quotient did real work on the way there.
+        assert on.symmetry_stats is not None
+        assert on.symmetry_stats["members_skipped"] >= 1
+        assert off.symmetry_stats is None
+
+    def test_sc_drf_final_model_exhausts_identically(self):
+        bounds = dataclasses.replace(GENERATED_BOUNDS, max_programs=300)
+        with symmetry("off"):
+            off = search_sc_drf_violation(bounds, model=FINAL_MODEL, cache=False)
+        with symmetry("1"):
+            on = search_sc_drf_violation(bounds, model=FINAL_MODEL, cache=False)
+        assert on.found == off.found == False  # noqa: E712 - the verdict is the point
+        assert on.programs_examined == off.programs_examined
+
+    def test_compilation_sweep_bit_identical(self):
+        bounds = SearchBounds(max_programs=80)
+        with symmetry("off"):
+            off = search_compilation_violation(
+                bounds, model=ORIGINAL_MODEL, cache=False
+            )
+        with symmetry("1"):
+            on = search_compilation_violation(
+                bounds, model=ORIGINAL_MODEL, cache=False
+            )
+        assert on.found == off.found
+        assert on.programs_examined == off.programs_examined
+
+    def test_cached_quotiented_sweep_stays_identical(self, tmp_path):
+        bounds = dataclasses.replace(GENERATED_BOUNDS, max_programs=120)
+        with symmetry("1"):
+            cold = search_sc_drf_violation(
+                bounds,
+                model=ORIGINAL_MODEL,
+                cache=VerdictCache(tmp_path / "cache"),
+            )
+            warm = search_sc_drf_violation(
+                bounds,
+                model=ORIGINAL_MODEL,
+                cache=VerdictCache(tmp_path / "cache"),
+            )
+        with symmetry("off"):
+            plain = search_sc_drf_violation(bounds, model=ORIGINAL_MODEL, cache=False)
+        for report in (cold, warm):
+            assert report.found == plain.found
+            assert report.programs_examined == plain.programs_examined
+
+    def test_budget_exception_identical(self):
+        # The independence decomposition is gated on ``max_assignments is
+        # None``: a budgeted enumeration must blow up identically, with the
+        # budget charged from the undecomposed assignment space.
+        program = by_name("fig14-init-tearing").program
+        with symmetry("off"):
+            with pytest.raises(EnumerationBudgetExceeded) as off:
+                allowed_outcomes(program, model=FINAL_MODEL, max_assignments=1)
+        with symmetry("1"):
+            with pytest.raises(EnumerationBudgetExceeded) as on:
+                allowed_outcomes(program, model=FINAL_MODEL, max_assignments=1)
+        assert str(on.value) == str(off.value)
+
+    def test_search_report_describe_carries_symmetry(self):
+        with symmetry("1"):
+            report = search_sc_drf_violation(
+                SearchBounds(max_programs=8), model=ORIGINAL_MODEL, cache=False
+            )
+        assert "symmetry:" in report.describe()
+        with symmetry("off"):
+            report = search_sc_drf_violation(
+                SearchBounds(max_programs=8), model=ORIGINAL_MODEL, cache=False
+            )
+        assert "symmetry:" not in report.describe()
+
+
+class TestOrbitQuotient:
+    def test_quotient_partitions_the_corpus(self):
+        corpus = list(itertools.islice(generate_programs(GENERATED_BOUNDS), 300))
+        with symmetry("1"):
+            classes = orbit_quotient(corpus)
+        assert sum(cls.multiplicity for cls in classes) == len(corpus)
+        assert len(classes) < len(corpus)
+        flattened = [program for cls in classes for program in cls.members]
+        assert {id(p) for p in flattened} == {id(p) for p in corpus}
+        for cls in classes:
+            assert cls.representative is cls.members[0]
+            fingerprints = {
+                analyze_symmetry(member).canonical_fingerprint
+                for member in cls.members
+            }
+            assert len(fingerprints) == 1
+
+    def test_representative_verdict_holds_for_members(self):
+        corpus = list(itertools.islice(generate_programs(GENERATED_BOUNDS), 300))
+        with symmetry("1"):
+            classes = orbit_quotient(corpus)
+        checked = 0
+        for cls in classes:
+            if cls.multiplicity < 2:
+                continue
+            verdicts = {
+                program_is_data_race_free(member, model=FINAL_MODEL)
+                for member in cls.members
+            }
+            assert len(verdicts) == 1, cls.representative.name
+            checked += 1
+            if checked >= 5:
+                break
+        assert checked >= 1
+
+    def test_quotient_off_is_the_identity(self):
+        corpus = list(itertools.islice(generate_programs(GENERATED_BOUNDS), 40))
+        with symmetry("off"):
+            classes = orbit_quotient(corpus)
+        assert len(classes) == len(corpus)
+        assert all(cls.multiplicity == 1 for cls in classes)
+
+
+class TestCanonicalCacheTier:
+    def test_compute_writes_both_keys(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key, alias = cache.key("probe", "primary"), cache.key("probe", "alias")
+        assert get_or_compute_aliased(cache, key, alias, lambda: True) is True
+        assert cache.get(key) is True
+        assert cache.get(alias) is True
+
+    def test_alias_hit_replays_and_fills_primary(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key, alias = cache.key("probe", "primary"), cache.key("probe", "alias")
+        cache.put(alias, False)
+        hits = []
+        verdict = get_or_compute_aliased(
+            cache,
+            key,
+            alias,
+            lambda: pytest.fail("alias hit must not recompute"),
+            on_alias_hit=lambda: hits.append(1),
+        )
+        assert verdict is False
+        assert hits == [1]
+        assert cache.get(key) is False
+
+    def test_lazy_alias_is_never_built_on_a_primary_hit(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("probe", "primary")
+        cache.put(key, True)
+        verdict = get_or_compute_aliased(
+            cache,
+            key,
+            lambda: pytest.fail("primary hit must not build the alias"),
+            lambda: pytest.fail("primary hit must not recompute"),
+        )
+        assert verdict is True
+
+    def test_lazy_alias_is_used_on_a_primary_miss(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key, alias = cache.key("probe", "primary"), cache.key("probe", "alias")
+        cache.put(alias, False)
+        hits = []
+        verdict = get_or_compute_aliased(
+            cache,
+            key,
+            lambda: (alias, None),
+            lambda: pytest.fail("alias hit must not recompute"),
+            on_alias_hit=lambda: hits.append(1),
+        )
+        assert verdict is False
+        assert hits == [1]
+        assert cache.get(key) is False
+
+    def test_failed_parity_forces_a_recompute(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key, alias = cache.key("probe", "primary"), cache.key("probe", "alias")
+        cache.put(alias, True)
+        computed = []
+        verdict = get_or_compute_aliased(
+            cache,
+            key,
+            alias,
+            lambda: computed.append(1) or False,
+            parity=lambda _verdict: False,
+        )
+        assert verdict is False
+        assert computed == [1]
+
+    def test_missing_alias_degrades_to_plain_lookup(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        key = cache.key("probe", "primary")
+        assert get_or_compute_aliased(cache, key, None, lambda: True) is True
+        assert cache.get(key) is True
+
+    def test_isomorphic_litmus_tests_share_a_cache_slot(self, tmp_path):
+        original, swapped = message_passing_pair()
+        test_a = LitmusTest(name="mp-a", program=original, expectations=())
+        test_b = LitmusTest(name="mp-b", program=swapped, expectations=())
+        cache = VerdictCache(tmp_path)
+        with symmetry("1"):
+            first = spec_allowed(test_a, {"1:rf": 1, "1:rd": 0}, FINAL, cache=cache)
+            before = STATS.canonical_cache_hits
+            # The same question about the isomorph: threads swapped,
+            # registers renamed.  Never computed — served through the
+            # canonical alias.
+            second = spec_allowed(test_b, {"0:a": 1, "0:b": 0}, FINAL, cache=cache)
+        assert STATS.canonical_cache_hits == before + 1
+        assert first == second
+        with symmetry("off"):
+            assert (
+                _spec_allowed_uncached(test_b, {"0:a": 1, "0:b": 0}, FINAL) == second
+            )
+
+    def test_alias_parity_guards_the_replay(self):
+        analysis = analyze_symmetry(by_name("sb-sc").program)
+        check = sym.alias_parity(analysis, {"0:r0": 0})
+        assert check(True)
+        # A degenerate thread_order makes the lazily-built relabeling
+        # fail its bijection check; the replay must be rejected.
+        broken = dataclasses.replace(
+            analysis, thread_order=(0, 0), register_numberings=({}, {})
+        )
+        assert broken.relabeling == sym.Relabeling((0, 0), ((), ()))
+        failures = STATS.parity_failures
+        assert not sym.alias_parity(broken)(True)
+        assert STATS.parity_failures == failures + 1
+
+
+class TestIndependence:
+    def test_partition_by_byte_footprint(self):
+        assert sym.independence_partition(three_component_program()) == ((0, 1), (2,))
+        # Overlapping footprints collapse to one component.
+        assert sym.independence_partition(by_name("sb-sc").program) == ((0, 1),)
+
+    def test_applies_gating(self):
+        program = three_component_program()
+        with symmetry("1"):
+            assert sym.independence_applies(program, FINAL_MODEL)
+            # ORIGINAL / ARMV8_FIX are the Fig. 8 models: factored-out
+            # components would be answered by the SC oracle, which
+            # under-approximates them — never decompose.
+            assert not sym.independence_applies(program, ORIGINAL_MODEL)
+            assert not sym.independence_applies(program, ARMV8_FIX_MODEL)
+            assert not sym.independence_applies(
+                program, FINAL_MODEL, max_assignments=100
+            )
+            assert not sym.independence_applies(
+                program, FINAL_MODEL, extra_asw=((1, 2),)
+            )
+            assert not sym.independence_applies(
+                by_name("fig13-wait-notify").program, FINAL_MODEL
+            )
+            assert not sym.independence_applies(by_name("sb-sc").program, FINAL_MODEL)
+        with symmetry("off"):
+            assert not sym.independence_applies(program, FINAL_MODEL)
+
+    def test_split_remaps_specs_per_component(self):
+        program = three_component_program()
+        parts = sym.independence_split(program, {"1:r0": 1, "2:r0": 2})
+        assert parts is not None
+        assert [tids for tids, _sub, _spec in parts] == [(0, 1), (2,)]
+        (_, first_sub, first_spec), (_, second_sub, second_spec) = parts
+        assert first_sub.thread_count == 2 and first_spec == {"1:r0": 1}
+        assert second_sub.thread_count == 1 and second_spec == {"0:r0": 2}
+        assert sym.independence_split(program, {"bogus": 1}) is None
+
+    def test_decomposed_verdicts_bit_identical(self):
+        program = three_component_program()
+        specs = [
+            {"1:r0": 1, "2:r0": 2},
+            {"1:r0": 0, "2:r0": 2},
+            {"1:r0": 1, "2:r0": 0},
+            {"2:r0": 2},
+            {"1:r0": 77},
+        ]
+        with symmetry("off"):
+            off = [outcome_allowed(program, spec, FINAL_MODEL) for spec in specs]
+        with symmetry("1"):
+            before = STATS.independent_splits
+            on = [outcome_allowed(program, spec, FINAL_MODEL) for spec in specs]
+            assert STATS.independent_splits > before
+        assert on == off
+        # Sanity: the probe exercises both verdicts.
+        assert True in off and False in off
+
+
+class TestStatsSurfacing:
+    def test_catalogue_report_carries_symmetry_stats(self, tmp_path):
+        with symmetry("1"):
+            report = run_catalogue(
+                ["sb-sc", "sb-un"], cache=VerdictCache(tmp_path)
+            )
+        assert report.symmetry_stats is not None
+        assert report.symmetry_stats["programs_canonicalized"] >= 1
+        assert "symmetry:" in report.describe()
+
+    def test_catalogue_report_without_symmetry(self):
+        with symmetry("off"):
+            report = run_catalogue(["sb-sc"], cache=False)
+        assert report.symmetry_stats is None
+        assert "symmetry:" not in report.describe()
+
+    def test_catalogue_verdicts_match_with_and_without_symmetry(self, tmp_path):
+        with symmetry("off"):
+            off = run_catalogue(cache=VerdictCache(tmp_path / "off")).verdicts()
+        with symmetry("1"):
+            on = run_catalogue(cache=VerdictCache(tmp_path / "on")).verdicts()
+        assert on == off
+
+    def test_stats_delta_only_counts_new_work(self):
+        before = sym.symmetry_stats_snapshot()
+        assert all(v == 0 for v in sym.symmetry_stats_delta(before).values())
+
+
+class TestCli:
+    def test_symmetry_report(self, capsys):
+        assert analyze_cli.main(["--symmetry", "sb-sc", "fig6-armv8-violation"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical fingerprint" in out
+        assert "independence partition" in out
+        assert "program(s) already in canonical form" in out
+
+    def test_symmetry_json(self, capsys):
+        assert analyze_cli.main(["--symmetry", "--json", "sb-sc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert set(payload[0]) >= {
+            "name",
+            "canonical_fingerprint",
+            "orbit_size",
+            "group_size",
+            "group_capped",
+            "is_canonical_form",
+            "independence_partition",
+        }
+
+    def test_json_requires_symmetry(self, capsys):
+        with pytest.raises(SystemExit):
+            analyze_cli.main(["--json"])
